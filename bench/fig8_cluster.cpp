@@ -1,0 +1,78 @@
+//===- bench/fig8_cluster.cpp - Figure 8 (left half) -----------*- C++ -*-===//
+//
+// Regenerates Fig. 8's cluster experiments on the 20-node m1.xlarge model:
+//  * compute-component speedup over Spark for Q1 / Gene / GDA (single or
+//    double scans; I/O excluded as in the paper);
+//  * k-means and LogReg speedup over Spark at a small and a large dataset
+//    scale (many iterations amortize input movement).
+// DMLL runs in the JVM here (generated Scala, Section 6.2), so expected
+// gaps are much smaller than on NUMA — comparable to the single-threaded
+// difference between the systems.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/Simulator.h"
+#include "support/Table.h"
+#include "systems/Systems.h"
+
+#include <cstdio>
+
+using namespace dmll;
+
+int main() {
+  ClusterModel C = ClusterModel::ec2_20();
+
+  std::printf("Figure 8 (left): 20-node EC2 cluster, compute component, "
+              "speedup over Spark\n");
+  Table TL({"App", "DMLL ms", "Spark ms", "speedup"});
+  struct ScanCase {
+    const char *Name;
+    BenchApp App;
+  } Scans[] = {{"Q1", benchTpchQ1()}, {"Gene", benchGene()},
+               {"GDA", benchGda()}};
+  for (auto &S : Scans) {
+    auto Dmll = planCosts(S.App, dmllPlanOptions(Target::Cluster));
+    auto Unfused = planCosts(S.App, sparkPlanOptions(Target::Cluster));
+    double D =
+        simulateCluster(Dmll, C, Discipline::dmllJvm(), S.App.AmortizeIters)
+            .Ms;
+    double Sp =
+        simulateCluster(Unfused, C, Discipline::spark(), S.App.AmortizeIters)
+            .Ms;
+    TL.addRow({S.Name, Table::fmt(D, 1), Table::fmt(Sp, 1),
+               Table::fmtX(Sp / D)});
+  }
+  std::printf("%s\n", TL.render().c_str());
+
+  std::printf("Figure 8 (mid-left): iterative apps vs Spark at two "
+              "dataset scales (per iteration)\n");
+  Table TM({"App", "scale", "DMLL ms", "Spark ms", "speedup"});
+  struct IterCase {
+    const char *Name;
+    BenchApp Small, Large;
+    const char *SmallDesc, *LargeDesc;
+  } Iters[] = {
+      {"k-means", benchKMeans(100e3, 100, 20), benchKMeans(1e6, 100, 20),
+       "~1.7GB", "~17GB"},
+      {"LogReg", benchLogReg(200e3, 100), benchLogReg(2e6, 100), "~3.4GB",
+       "~17GB"},
+  };
+  for (auto &I : Iters) {
+    for (int Which = 0; Which < 2; ++Which) {
+      const BenchApp &App = Which ? I.Large : I.Small;
+      auto Dmll = planCosts(App, dmllPlanOptions(Target::Cluster));
+      auto Unfused = planCosts(App, sparkPlanOptions(Target::Cluster));
+      double D =
+          simulateCluster(Dmll, C, Discipline::dmllJvm(), App.AmortizeIters)
+              .Ms;
+      double Sp = simulateCluster(Unfused, C, Discipline::spark(),
+                                  App.AmortizeIters)
+                      .Ms;
+      TM.addRow({I.Name, Which ? I.LargeDesc : I.SmallDesc,
+                 Table::fmt(D, 1), Table::fmt(Sp, 1),
+                 Table::fmtX(Sp / D)});
+    }
+  }
+  std::printf("%s\n", TM.render().c_str());
+  return 0;
+}

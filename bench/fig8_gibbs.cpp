@@ -1,0 +1,79 @@
+//===- bench/fig8_gibbs.cpp - Figure 8 (Gibbs sampling) --------*- C++ -*-===//
+//
+// Regenerates Fig. 8's rightmost panel, the Section 6.3 case study: Gibbs
+// sampling on factor graphs vs DimmWitted, as speedup over *sequential
+// DimmWitted*. The sequential DMLL-vs-DimmWitted ratio is real measured
+// wall-clock (flat unwrapped arrays vs pointer-chasing node objects — the
+// paper's ~2x); multicore points scale the measured sequential times with
+// the NUMA model's nested-parallel strategy (per-socket Hogwild replicas);
+// the GPU point pays the random-access penalty that Section 6.3 blames.
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/Gibbs.h"
+#include "data/Datasets.h"
+#include "sim/MachineModel.h"
+#include "support/Table.h"
+
+#include <chrono>
+#include <cstdio>
+#include <functional>
+
+using namespace dmll;
+
+namespace {
+
+double timeMs(const std::function<void()> &F, int Iters = 3) {
+  F();
+  auto T0 = std::chrono::steady_clock::now();
+  for (int I = 0; I < Iters; ++I)
+    F();
+  auto T1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(T1 - T0).count() / Iters;
+}
+
+} // namespace
+
+int main() {
+  auto F = data::makeFactorGraph(200000, 8, 4242);
+  const int Sweeps = 3;
+
+  // Real measured: flat (DMLL-generated style) vs pointer (DimmWitted).
+  double FlatMs = timeMs([&] { (void)gibbs::sampleFlat(F, Sweeps, 1); });
+  double PtrMs = timeMs([&] { (void)gibbs::samplePointer(F, Sweeps, 1); });
+
+  MachineModel M = MachineModel::numa4x12();
+  // Within a socket both systems use Hogwild; across sockets, replicated
+  // models. Model scaling: near-linear to the core count with a small
+  // coherence tax per extra socket.
+  auto Scale = [&](double SeqMs, int Cores) {
+    int Sockets = M.socketsUsed(Cores);
+    double Eff = 0.92 - 0.02 * (Sockets - 1);
+    return SeqMs / (Cores * Eff);
+  };
+  GpuModel Gpu = GpuModel::teslaC2050();
+  // GPU: bandwidth-bound on random factor-graph accesses.
+  double Bytes = static_cast<double>(F.Neighbor.size()) * 16.0 * Sweeps;
+  double GpuMs =
+      Bytes * Gpu.RandomAccessPenalty / (Gpu.MemBandwidthGBs * 1e9) * 1e3;
+
+  std::printf("Figure 8 (right): Gibbs sampling, speedup over sequential "
+              "DimmWitted\n");
+  std::printf("(sequential times measured on this host: DMLL flat %.1f ms, "
+              "DimmWitted pointer %.1f ms per %d sweeps)\n\n",
+              FlatMs, PtrMs, Sweeps);
+  Table T({"Config", "DimmWitted", "DMLL"});
+  T.addRow({"sequential", Table::fmtX(1.0),
+            Table::fmtX(PtrMs / FlatMs)});
+  T.addRow({"12 CPU", Table::fmtX(PtrMs / Scale(PtrMs, 12)),
+            Table::fmtX(PtrMs / Scale(FlatMs, 12))});
+  T.addRow({"48 CPU", Table::fmtX(PtrMs / Scale(PtrMs, 48)),
+            Table::fmtX(PtrMs / Scale(FlatMs, 48))});
+  T.addRow({"GPU", "-", Table::fmtX(PtrMs / GpuMs)});
+  std::printf("%s\n", T.render().c_str());
+  std::printf("(paper: DMLL ~2x sequentially and ~3x with multi-core over "
+              "DimmWitted thanks to\nunwrapped arrays of primitives; both "
+              "scale nearly linearly across sockets; the\nGPU is limited by "
+              "random factor-graph accesses.)\n");
+  return 0;
+}

@@ -1,0 +1,116 @@
+//===- bench/micro_patterns.cpp - google-benchmark micros ------*- C++ -*-===//
+//
+// Measured microbenchmarks of the runtime substrates: interpreter pattern
+// throughput, parallel executor, bucket implementations, distributed-array
+// directory, and the Gibbs samplers.
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/Gibbs.h"
+#include "data/Datasets.h"
+#include "frontend/Frontend.h"
+#include "interp/Interp.h"
+#include "runtime/DistArray.h"
+#include "runtime/ThreadPool.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace dmll;
+using namespace dmll::frontend;
+
+namespace {
+
+Program mapReduceProgram() {
+  ProgramBuilder B;
+  Val Xs = B.inVecF64("xs");
+  return B.build(sum(map(Xs, [](Val X) { return X * X + Val(1.0); })));
+}
+
+InputMap doubles(size_t N) {
+  std::vector<double> D(N);
+  for (size_t I = 0; I < N; ++I)
+    D[I] = static_cast<double>(I % 1024) * 0.5;
+  return {{"xs", Value::arrayOfDoubles(D)}};
+}
+
+void BM_InterpMapReduce(benchmark::State &S) {
+  Program P = mapReduceProgram();
+  InputMap In = doubles(static_cast<size_t>(S.range(0)));
+  for (auto _ : S)
+    benchmark::DoNotOptimize(evalProgram(P, In));
+  S.SetItemsProcessed(S.iterations() * S.range(0));
+}
+BENCHMARK(BM_InterpMapReduce)->Arg(1 << 12)->Arg(1 << 16);
+
+void BM_ParallelExecutor(benchmark::State &S) {
+  Program P = mapReduceProgram();
+  InputMap In = doubles(1 << 16);
+  for (auto _ : S)
+    benchmark::DoNotOptimize(
+        evalProgramParallel(P, In, static_cast<unsigned>(S.range(0)), 4096));
+}
+BENCHMARK(BM_ParallelExecutor)->Arg(1)->Arg(2)->Arg(4);
+
+void BM_DenseBuckets(benchmark::State &S) {
+  ProgramBuilder B;
+  Val Xs = B.inVecI64("xs");
+  Val XsV = Xs;
+  Program P = B.build(bucketReduceDense(
+      Xs.len(), [&](Val I) { return XsV(I); },
+      [](Val) { return Val(int64_t(1)); },
+      [](Val A, Val C) { return A + C; }, Val(int64_t(64))));
+  std::vector<int64_t> D(1 << 15);
+  for (size_t I = 0; I < D.size(); ++I)
+    D[I] = static_cast<int64_t>(I % 64);
+  InputMap In{{"xs", Value::arrayOfInts(D)}};
+  for (auto _ : S)
+    benchmark::DoNotOptimize(evalProgram(P, In));
+}
+BENCHMARK(BM_DenseBuckets);
+
+void BM_HashBuckets(benchmark::State &S) {
+  ProgramBuilder B;
+  Val Xs = B.inVecI64("xs");
+  Val XsV = Xs;
+  Program P = B.build(bucketReduceHash(
+      Xs.len(), [&](Val I) { return XsV(I); },
+      [](Val) { return Val(int64_t(1)); },
+      [](Val A, Val C) { return A + C; }));
+  std::vector<int64_t> D(1 << 15);
+  for (size_t I = 0; I < D.size(); ++I)
+    D[I] = static_cast<int64_t>(I % 64);
+  InputMap In{{"xs", Value::arrayOfInts(D)}};
+  for (auto _ : S)
+    benchmark::DoNotOptimize(evalProgram(P, In));
+}
+BENCHMARK(BM_HashBuckets);
+
+void BM_DirectoryLookup(benchmark::State &S) {
+  RangeDirectory D = RangeDirectory::evenBlocks(1 << 20, 20);
+  int64_t I = 0;
+  for (auto _ : S) {
+    benchmark::DoNotOptimize(D.locationOf(I));
+    I = (I + 7919) & ((1 << 20) - 1);
+  }
+}
+BENCHMARK(BM_DirectoryLookup);
+
+void BM_GibbsFlat(benchmark::State &S) {
+  auto F = data::makeFactorGraph(20000, 8, 7);
+  for (auto _ : S)
+    benchmark::DoNotOptimize(gibbs::sampleFlat(F, 1, 3));
+  S.SetItemsProcessed(S.iterations() * 20000);
+}
+BENCHMARK(BM_GibbsFlat);
+
+void BM_GibbsPointer(benchmark::State &S) {
+  auto F = data::makeFactorGraph(20000, 8, 7);
+  for (auto _ : S)
+    benchmark::DoNotOptimize(gibbs::samplePointer(F, 1, 3));
+  S.SetItemsProcessed(S.iterations() * 20000);
+}
+BENCHMARK(BM_GibbsPointer);
+
+} // namespace
+
+BENCHMARK_MAIN();

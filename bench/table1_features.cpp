@@ -1,0 +1,17 @@
+//===- bench/table1_features.cpp - Table 1 ---------------------*- C++ -*-===//
+//
+// Regenerates Table 1: programming-model features and hardware targets of
+// the parallel frameworks the paper surveys.
+//
+//===----------------------------------------------------------------------===//
+
+#include "systems/Features.h"
+
+#include <cstdio>
+
+int main() {
+  std::printf("Table 1: programming model features and supported hardware\n"
+              "(reproduction of Brown et al., CGO 2016)\n\n%s\n",
+              dmll::renderFeatureTable().c_str());
+  return 0;
+}

@@ -1,0 +1,79 @@
+//===- examples/graph_analytics.cpp - OptiGraph on DMLL --------*- C++ -*-===//
+//
+// Graph analytics the Section 6.2 way: PageRank in both the pull and the
+// push formulation (the OptiGraph domain transformation), triangle
+// counting, the IR formulation checked against the native kernels, and a
+// distributed array demonstrating trapped remote reads — the reason the
+// paper calls graph communication "fundamental".
+//
+// Build and run:  ./build/examples/graph_analytics
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/Apps.h"
+#include "data/Datasets.h"
+#include "graph/Graph.h"
+#include "graph/PushPull.h"
+#include "interp/Interp.h"
+#include "runtime/DistArray.h"
+#include "transform/Pipeline.h"
+
+#include <cmath>
+#include <cstdio>
+
+using namespace dmll;
+
+int main() {
+  auto G = data::makeRmat(10, 6, 2026);
+  auto In = G.transposed();
+  auto Und = graph::symmetrize(G);
+  std::printf("RMAT graph: %lld vertices, %lld edges\n",
+              static_cast<long long>(G.NumV),
+              static_cast<long long>(G.numEdges()));
+
+  // PageRank: pull vs push (must agree), plus the IR formulation.
+  std::vector<double> Ranks(static_cast<size_t>(G.NumV),
+                            1.0 / static_cast<double>(G.NumV));
+  ThreadPool Pool(4);
+  for (int Iter = 0; Iter < 5; ++Iter)
+    Ranks = graph::pageRankStep(G, In, Ranks, graph::GraphMode::Pull, Pool);
+  auto Push = graph::pageRankStep(G, In, Ranks, graph::GraphMode::Push, Pool);
+  auto Pull = graph::pageRankStep(G, In, Ranks, graph::GraphMode::Pull, Pool);
+  double MaxDiff = 0;
+  for (size_t V = 0; V < Push.size(); ++V)
+    MaxDiff = std::max(MaxDiff, std::fabs(Push[V] - Pull[V]));
+  std::printf("push vs pull max |diff| after 5 iterations: %.2e\n", MaxDiff);
+
+  Value IrRanks =
+      evalProgram(apps::pageRankPull(), graph::pageRankInputs(G, Ranks));
+  std::printf("IR formulation matches native pull: %s\n",
+              std::fabs(IrRanks.at(0).asFloat() - Pull[0]) < 1e-9 ? "yes"
+                                                                  : "no");
+
+  // Triangle counting.
+  std::printf("triangles: %lld\n",
+              static_cast<long long>(graph::triangleCount(Und, Pool)));
+
+  // The compiler warns that the edge accesses cannot be made local.
+  CompileOptions Opts;
+  Opts.T = Target::Cluster;
+  CompileResult CR = compileProgram(apps::pageRankPull(), Opts);
+  std::printf("\ncompiler warnings for the cluster target:\n");
+  for (const std::string &W : CR.Partitioning.Diags.warnings())
+    std::printf("  %s\n", W.c_str());
+
+  // Distributed ranks array: remote reads are trapped and counted.
+  DistArray<double> DRanks(Ranks,
+                           RangeDirectory::evenBlocks(G.NumV, /*nodes=*/4),
+                           /*Home=*/0);
+  auto [B, E] = DRanks.localRange();
+  for (int64_t V = 0; V < G.NumV; ++V)
+    (void)DRanks.read(V); // a full pass: 1/4 local, 3/4 trapped
+  std::printf("\ndistributed ranks on node 0 (owns [%lld,%lld)): %lld local "
+              "reads, %lld trapped remote reads (%.0f%% remote)\n",
+              static_cast<long long>(B), static_cast<long long>(E),
+              static_cast<long long>(DRanks.stats().LocalReads),
+              static_cast<long long>(DRanks.stats().RemoteReads),
+              DRanks.stats().remoteFraction() * 100.0);
+  return 0;
+}

@@ -1,0 +1,141 @@
+//===- analysis/Affine.cpp -------------------------------------*- C++ -*-===//
+
+#include "analysis/Affine.h"
+
+#include "ir/Builder.h"
+#include "ir/Traversal.h"
+
+using namespace dmll;
+
+bool AffineForm::restIsZero() const {
+  if (!Rest)
+    return true;
+  const auto *C = dyn_cast<ConstIntExpr>(Rest);
+  return C && C->value() == 0;
+}
+
+const AffineTerm *AffineForm::termFor(uint64_t SymId) const {
+  for (const AffineTerm &T : Terms)
+    if (T.SymId == SymId)
+      return &T;
+  return nullptr;
+}
+
+namespace {
+
+bool mentionsAny(const ExprRef &E,
+                 const std::unordered_set<uint64_t> &Syms) {
+  for (uint64_t Id : freeSyms(E))
+    if (Syms.count(Id))
+      return true;
+  return false;
+}
+
+/// Multiplies a coefficient (nullptr == 1) by a loop-symbol-free factor.
+void scaleTerm(AffineTerm &T, const ExprRef &Factor) {
+  const auto *C = dyn_cast<ConstIntExpr>(Factor);
+  if (T.CoeffIsConst && C) {
+    T.CoeffConst *= C->value();
+    T.Coeff = T.CoeffConst == 1 ? nullptr : constI64(T.CoeffConst);
+    return;
+  }
+  T.CoeffIsConst = false;
+  T.Coeff = T.Coeff ? binop(BinOpKind::Mul, T.Coeff, Factor) : Factor;
+}
+
+AffineForm nonAffine(bool Mentions) {
+  AffineForm F;
+  F.IsAffine = false;
+  F.MentionsLoopSym = Mentions;
+  return F;
+}
+
+AffineForm go(const ExprRef &E, const std::unordered_set<uint64_t> &Syms) {
+  // Loop-symbol-free subtrees are pure remainder.
+  if (!mentionsAny(E, Syms)) {
+    AffineForm F;
+    F.IsAffine = true;
+    F.Rest = E;
+    return F;
+  }
+  switch (E->kind()) {
+  case ExprKind::Sym: {
+    AffineForm F;
+    F.IsAffine = true;
+    AffineTerm T;
+    T.SymId = cast<SymExpr>(E)->id();
+    T.CoeffIsConst = true;
+    T.CoeffConst = 1;
+    F.Terms.push_back(std::move(T));
+    return F;
+  }
+  case ExprKind::Cast:
+    return go(cast<CastExpr>(E)->operand(), Syms);
+  case ExprKind::BinOp: {
+    const auto *B = cast<BinOpExpr>(E);
+    if (B->op() == BinOpKind::Add || B->op() == BinOpKind::Sub) {
+      AffineForm L = go(B->lhs(), Syms);
+      AffineForm R = go(B->rhs(), Syms);
+      if (!L.IsAffine || !R.IsAffine)
+        return nonAffine(true);
+      if (B->op() == BinOpKind::Sub)
+        for (AffineTerm &T : R.Terms)
+          scaleTerm(T, constI64(-1));
+      AffineForm F;
+      F.IsAffine = true;
+      F.Terms = std::move(L.Terms);
+      for (AffineTerm &T : R.Terms) {
+        // Merge duplicate symbols only when both coefficients are constant;
+        // symbolic duplicate merging is not needed for stencil matching.
+        bool Merged = false;
+        for (AffineTerm &Existing : F.Terms)
+          if (Existing.SymId == T.SymId && Existing.CoeffIsConst &&
+              T.CoeffIsConst) {
+            Existing.CoeffConst += T.CoeffConst;
+            Existing.Coeff = Existing.CoeffConst == 1
+                                 ? nullptr
+                                 : constI64(Existing.CoeffConst);
+            Merged = true;
+            break;
+          }
+        if (!Merged)
+          F.Terms.push_back(std::move(T));
+      }
+      if (L.Rest && R.Rest)
+        F.Rest = binop(B->op(), L.Rest, R.Rest);
+      else if (R.Rest && B->op() == BinOpKind::Sub)
+        F.Rest = binop(BinOpKind::Sub, constI64(0), R.Rest);
+      else
+        F.Rest = L.Rest ? L.Rest : R.Rest;
+      return F;
+    }
+    if (B->op() == BinOpKind::Mul) {
+      // Exactly one side may contain loop symbols.
+      bool LHas = mentionsAny(B->lhs(), Syms);
+      bool RHas = mentionsAny(B->rhs(), Syms);
+      if (LHas && RHas)
+        return nonAffine(true);
+      const ExprRef &SymSide = LHas ? B->lhs() : B->rhs();
+      const ExprRef &FreeSide = LHas ? B->rhs() : B->lhs();
+      AffineForm F = go(SymSide, Syms);
+      if (!F.IsAffine)
+        return nonAffine(true);
+      for (AffineTerm &T : F.Terms)
+        scaleTerm(T, FreeSide);
+      if (F.Rest)
+        F.Rest = binop(BinOpKind::Mul, F.Rest, FreeSide);
+      return F;
+    }
+    return nonAffine(true);
+  }
+  default:
+    return nonAffine(true);
+  }
+}
+
+} // namespace
+
+AffineForm dmll::decomposeAffine(const ExprRef &Idx,
+                                 const std::unordered_set<uint64_t> &Syms) {
+  return go(Idx, Syms);
+}

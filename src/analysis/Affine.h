@@ -1,0 +1,60 @@
+//===- analysis/Affine.h - Affine decomposition of index exprs -*- C++ -*-===//
+//
+// Part of the DMLL reproduction of Brown et al., CGO 2016.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Decomposes an array-index expression into an affine combination of loop
+/// index symbols with (possibly symbolic) coefficients:
+///     idx = sum_k Coeff_k * Sym_k + Rest
+/// where every Coeff_k and Rest are free of the given loop symbols. This is
+/// the "standard affine analysis" Section 4.2 relies on to classify read
+/// stencils; symbolic coefficients matter because row strides are runtime
+/// values (`i * matrix.cols + j`).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DMLL_ANALYSIS_AFFINE_H
+#define DMLL_ANALYSIS_AFFINE_H
+
+#include "ir/Expr.h"
+
+#include <unordered_set>
+#include <vector>
+
+namespace dmll {
+
+/// One affine term: Coeff * the symbol with id SymId.
+struct AffineTerm {
+  uint64_t SymId;
+  /// nullptr encodes the constant coefficient 1.
+  ExprRef Coeff;
+  /// Set when Coeff is a compile-time integer constant.
+  bool CoeffIsConst = false;
+  int64_t CoeffConst = 1;
+};
+
+/// Result of decomposition.
+struct AffineForm {
+  bool IsAffine = false;
+  std::vector<AffineTerm> Terms;
+  /// The loop-symbol-free remainder; nullptr when it is the constant 0.
+  ExprRef Rest;
+  /// For non-affine forms: whether any of the loop symbols occurs at all
+  /// (distinguishes data-dependent indexing from loop-invariant indexing).
+  bool MentionsLoopSym = false;
+
+  bool restIsZero() const;
+  /// The term for \p SymId, or nullptr.
+  const AffineTerm *termFor(uint64_t SymId) const;
+};
+
+/// Decomposes \p Idx with respect to \p LoopSyms. Handles +, -, *, casts and
+/// constants; anything else containing a loop symbol is non-affine.
+AffineForm decomposeAffine(const ExprRef &Idx,
+                           const std::unordered_set<uint64_t> &LoopSyms);
+
+} // namespace dmll
+
+#endif // DMLL_ANALYSIS_AFFINE_H

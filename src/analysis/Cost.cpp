@@ -1,0 +1,380 @@
+//===- analysis/Cost.cpp ---------------------------------------*- C++ -*-===//
+
+#include "analysis/Cost.h"
+
+#include "ir/Builder.h"
+#include "ir/Printer.h"
+#include "ir/Traversal.h"
+#include "support/Error.h"
+
+#include <functional>
+#include <unordered_map>
+#include <unordered_set>
+
+using namespace dmll;
+
+namespace {
+
+/// Dotted path of a GetField chain rooted at an input, or empty.
+std::string inputFieldPath(const Expr *E) {
+  std::vector<const GetFieldExpr *> Chain;
+  const Expr *Cur = E;
+  while (const auto *GF = dyn_cast<GetFieldExpr>(Cur)) {
+    Chain.push_back(GF);
+    Cur = GF->base().get();
+  }
+  const auto *In = dyn_cast<InputExpr>(Cur);
+  if (!In)
+    return {};
+  std::string Path = In->name();
+  for (auto It = Chain.rbegin(); It != Chain.rend(); ++It)
+    Path += "." + (*It)->field();
+  return Path;
+}
+
+class SizeEval {
+public:
+  explicit SizeEval(const SizeEnv &Env) : Env(Env) {}
+
+  double eval(const ExprRef &E) {
+    switch (E->kind()) {
+    case ExprKind::ConstInt:
+      return static_cast<double>(cast<ConstIntExpr>(E)->value());
+    case ExprKind::ConstFloat:
+      return cast<ConstFloatExpr>(E)->value();
+    case ExprKind::ConstBool:
+      return cast<ConstBoolExpr>(E)->value() ? 1 : 0;
+    case ExprKind::Input:
+    case ExprKind::GetField: {
+      std::string Path = inputFieldPath(E.get());
+      if (!Path.empty()) {
+        auto It = Env.Scalars.find(Path);
+        if (It != Env.Scalars.end())
+          return It->second;
+      }
+      // Hash-bucket projections: keys/values counts.
+      if (const auto *GF = dyn_cast<GetFieldExpr>(E))
+        if (GF->field() == "keys" || GF->field() == "values")
+          return Env.HashKeys;
+      return 1;
+    }
+    case ExprKind::ArrayLen:
+      return lenOf(cast<ArrayLenExpr>(E)->array());
+    case ExprKind::BinOp: {
+      const auto *B = cast<BinOpExpr>(E);
+      double L = eval(B->lhs()), R = eval(B->rhs());
+      switch (B->op()) {
+      case BinOpKind::Add:
+        return L + R;
+      case BinOpKind::Sub:
+        return L - R;
+      case BinOpKind::Mul:
+        return L * R;
+      case BinOpKind::Div:
+        return R != 0 ? L / R : 0;
+      case BinOpKind::Min:
+        return std::min(L, R);
+      case BinOpKind::Max:
+        return std::max(L, R);
+      default:
+        return 1;
+      }
+    }
+    case ExprKind::Cast:
+      return eval(cast<CastExpr>(E)->operand());
+    default:
+      return 1;
+    }
+  }
+
+  /// Approximate element count of a collection-typed expression.
+  double lenOf(const ExprRef &Coll) {
+    std::string Path = inputFieldPath(Coll.get());
+    if (!Path.empty()) {
+      auto It = Env.ArrayLens.find(Path);
+      if (It != Env.ArrayLens.end())
+        return It->second;
+    }
+    if (const auto *ML = dyn_cast<MultiloopExpr>(Coll))
+      return lenOfGen(ML, 0);
+    if (const auto *LO = dyn_cast<LoopOutExpr>(Coll))
+      return lenOfGen(cast<MultiloopExpr>(LO->loop()), LO->index());
+    if (const auto *GF = dyn_cast<GetFieldExpr>(Coll)) {
+      // keys/values of a hash bucket loop.
+      if (GF->field() == "keys" || GF->field() == "values")
+        return Env.HashKeys;
+      return lenOf(GF->base());
+    }
+    if (const auto *R = dyn_cast<ArrayReadExpr>(Coll)) {
+      // A bucket: total elements spread over the keys.
+      double Total = lenOf(R->array());
+      return std::max(1.0, Total); // conservative per-bucket bound
+    }
+    if (const auto *F = dyn_cast<FlattenExpr>(Coll))
+      return lenOf(F->array()) * 4; // inner arrays assumed small
+    return 1;
+  }
+
+  double lenOfGen(const MultiloopExpr *ML, unsigned G) {
+    const Generator &Gen = ML->gen(G);
+    double Iters = eval(ML->size());
+    double Sel = (Gen.Cond.isSet() && !isTrueCond(Gen.Cond))
+                     ? Env.Selectivity
+                     : 1.0;
+    switch (Gen.Kind) {
+    case GenKind::Collect:
+      return Iters * Sel;
+    case GenKind::Reduce:
+      return 1;
+    case GenKind::BucketCollect:
+    case GenKind::BucketReduce:
+      return Gen.NumKeys ? eval(Gen.NumKeys) : Env.HashKeys;
+    }
+    return 1;
+  }
+
+private:
+  const SizeEnv &Env;
+};
+
+/// Estimated payload bytes of one value of type \p Ty produced by \p E.
+double valueBytes(const ExprRef &E, SizeEval &SE) {
+  const TypeRef &Ty = E->type();
+  if (Ty->isScalar())
+    return Ty->scalarBytes();
+  if (Ty->isArray()) {
+    double Elem = Ty->elem()->isScalar() ? Ty->elem()->scalarBytes() : 8.0;
+    if (const auto *ML = dyn_cast<MultiloopExpr>(E))
+      return SE.eval(ML->size()) * Elem;
+    return SE.lenOf(E) * Elem;
+  }
+  return Ty->scalarBytes();
+}
+
+/// Walks a top-level loop accumulating flops and classified traffic.
+class CostWalker {
+public:
+  CostWalker(const MultiloopExpr *ML, const PartitionInfo &Info,
+             const SizeEnv &Env, const LoopStencils &LS)
+      : ML(ML), Info(Info), SE(Env), LS(LS) {}
+
+  LoopCost run() {
+    LoopCost C;
+    C.Loop = ML;
+    C.Iters = SE.eval(ML->size());
+    C.NumGens = static_cast<int>(ML->numGens());
+    // One visited set across all generators: a fused loop computes shared
+    // subexpressions once per index (cross-generator CSE in codegen).
+    Visited.clear();
+    for (const Generator &G : ML->gens()) {
+      C.HasBucket |= G.isBucket();
+      if (G.isReduce() && !G.Value.Body->type()->isScalar()) {
+        C.VectorReduce = true;
+        C.ReduceValueBytes += valueBytes(G.Value.Body, SE);
+      }
+      for (const Func *F : {&G.Cond, &G.Key, &G.Value, &G.Reduce})
+        if (F->isSet())
+          walk(F->Body, C);
+      // Writes and combine state.
+      double Sel =
+          (G.Cond.isSet() && !isTrueCond(G.Cond)) ? 0.5 : 1.0;
+      double VBytes = valueBytes(G.Value.Body, SE);
+      switch (G.Kind) {
+      case GenKind::Collect:
+        C.WriteBytesPerIter += Sel * VBytes;
+        break;
+      case GenKind::Reduce:
+        C.WriteBytesPerIter += 0; // accumulator stays in registers/cache
+        C.CombineBytes += VBytes;
+        break;
+      case GenKind::BucketCollect:
+        // Materializing buckets scatters whole elements by key: the data
+        // shuffle of the distributed k-means formulation.
+        C.ShuffleBytesPerIter += Sel * VBytes;
+        C.CombineBytes += SE.lenOfGen(ML, 0) * VBytes;
+        break;
+      case GenKind::BucketReduce: {
+        double Keys = G.NumKeys ? SE.eval(G.NumKeys) : 16.0;
+        double State = Keys * VBytes;
+        // Read-modify-write of the per-key state: cache-resident when the
+        // bucket table is small (dense k-means sums), a scatter otherwise.
+        if (State <= 4e6)
+          C.WriteBytesPerIter += Sel * VBytes;
+        else
+          C.ShuffleBytesPerIter += Sel * VBytes;
+        C.CombineBytes += State;
+        break;
+      }
+      }
+    }
+    return C;
+  }
+
+private:
+  const MultiloopExpr *ML;
+  const PartitionInfo &Info;
+  SizeEval SE;
+  const LoopStencils &LS;
+  std::unordered_set<const Expr *> Visited;
+  /// Enclosing nested-loop binders. A node's effective multiplier is the
+  /// cumulative count of the deepest binder it depends on — loop-invariant
+  /// subtrees hoist to where their deepest dependency lives (code motion,
+  /// Section 5).
+  struct Binder {
+    std::unordered_set<uint64_t> Syms;
+    double CumMult;  ///< executions of this binder's body per top index
+    double OwnIters; ///< this binder's own trip count
+  };
+  std::vector<Binder> Binders;
+
+  /// Multiplier for a node, honoring invariant hoisting.
+  double multFor(const ExprRef &E) const {
+    auto Free = freeSyms(E);
+    for (auto It = Binders.rbegin(); It != Binders.rend(); ++It)
+      for (uint64_t Id : Free)
+        if (It->Syms.count(Id))
+          return It->CumMult;
+    return 1.0;
+  }
+
+  /// Distinct values an index expression takes per top-loop iteration: the
+  /// product of trip counts of the binders it actually varies with. Reads
+  /// beyond this count re-touch the same elements (cache hits), e.g.
+  /// k-means re-reading the row once per candidate centroid.
+  double uniqueTouches(const ExprRef &Idx) const {
+    auto Free = freeSyms(Idx);
+    double U = 1.0;
+    for (const Binder &B : Binders)
+      for (uint64_t Id : Free)
+        if (B.Syms.count(Id)) {
+          U *= B.OwnIters;
+          break;
+        }
+    return U;
+  }
+
+  void walk(const ExprRef &E, LoopCost &C) {
+    // Shared nodes compute once per index (codegen CSEs them).
+    if (!Visited.insert(E.get()).second)
+      return;
+    switch (E->kind()) {
+    case ExprKind::BinOp:
+    case ExprKind::UnOp:
+    case ExprKind::Select:
+    case ExprKind::Cast:
+      C.FlopsPerIter += multFor(E);
+      break;
+    case ExprKind::ArrayRead: {
+      const auto *R = cast<ArrayReadExpr>(E);
+      const Expr *Root = readRoot(R->array());
+      bool IsLocalValue = isa<SymExpr>(Root) || isa<ArrayReadExpr>(Root);
+      if (!IsLocalValue) {
+        double Mult = multFor(E);
+        // First touches per index come from memory; re-touches of the same
+        // elements (the index does not vary with every enclosing binder)
+        // hit cache.
+        double Unique = std::min(Mult, uniqueTouches(R->index()));
+        double Retouch = Mult - Unique;
+        // Reading a struct element pulls the whole record (the AoS cost
+        // that AoS-to-SoA plus dead field elimination removes); array
+        // elements are references.
+        double Bytes = E->type()->isArray()
+                           ? 8.0
+                           : E->type()->scalarBytes();
+        Stencil S = Stencil::Unknown;
+        bool Known = LS.lookup(Root, S);
+        bool Partitioned = Info.layoutOf(Root) == DataLayout::Partitioned;
+        if (!Known)
+          S = Stencil::Const;
+        C.CachedBytesPerIter += Retouch * Bytes;
+        switch (S) {
+        case Stencil::Interval:
+          C.StreamBytesPerIter += Unique * Bytes;
+          break;
+        case Stencil::Const:
+        case Stencil::All: {
+          C.CachedBytesPerIter += Unique * Bytes;
+          // Broadcast the whole collection once when it is consumed by a
+          // distributed loop.
+          double CollBytes = SE.lenOf(R->array()) * Bytes;
+          C.BroadcastBytes = std::max(C.BroadcastBytes, CollBytes);
+          break;
+        }
+        case Stencil::Unknown:
+          if (LS.unknownIsStrided(Root))
+            C.StridedBytesPerIter += Unique * Bytes;
+          else if (Partitioned)
+            C.RandomBytesPerIter += Unique * Bytes;
+          else
+            C.CachedBytesPerIter += Unique * Bytes;
+          break;
+        }
+      }
+      break;
+    }
+    case ExprKind::Multiloop: {
+      const auto *Nested = cast<MultiloopExpr>(E);
+      // Globally closed nested loops are hoisted by code motion and costed
+      // as top-level loops of their own; do not fold them into this loop.
+      if (freeSyms(E).empty())
+        return;
+      walk(Nested->size(), C);
+      double OwnIters = std::max(1.0, SE.eval(Nested->size()));
+      double BodyMult = multFor(E) * OwnIters;
+      std::unordered_set<uint64_t> Params;
+      for (const Generator &G : Nested->gens()) {
+        if (G.NumKeys)
+          walk(G.NumKeys, C);
+        for (const Func *F : {&G.Cond, &G.Key, &G.Value, &G.Reduce})
+          for (const SymRef &P : F->Params)
+            Params.insert(P->id());
+      }
+      Binders.push_back({std::move(Params), BodyMult, OwnIters});
+      for (const Generator &G : Nested->gens())
+        for (const Func *F : {&G.Cond, &G.Key, &G.Value, &G.Reduce})
+          if (F->isSet())
+            walk(F->Body, C);
+      Binders.pop_back();
+      return;
+    }
+    default:
+      break;
+    }
+    for (const ExprRef &Child : E->ops())
+      walk(Child, C);
+  }
+};
+
+} // namespace
+
+double dmll::evalApproxSize(const ExprRef &E, const SizeEnv &Env) {
+  return SizeEval(Env).eval(E);
+}
+
+std::vector<LoopCost> dmll::analyzeCosts(const Program &P,
+                                         const PartitionInfo &Info,
+                                         const SizeEnv &Env) {
+  // Top-level (independently schedulable) loops are the globally closed
+  // ones: code motion hoists a closed loop out of any syntactic nesting.
+  // Loops that bind free symbols are folded into their enclosing loop's
+  // per-iteration cost by the walker.
+  std::vector<LoopCost> Out;
+  for (const ExprRef &Loop : collectMultiloops(P.Result)) {
+    if (!freeSyms(Loop).empty())
+      continue;
+    const LoopStencils *LS = nullptr;
+    for (const LoopStencils &Cand : Info.Stencils)
+      if (Cand.Loop == Loop.get())
+        LS = &Cand;
+    LoopStencils Fresh;
+    if (!LS) {
+      Fresh = computeStencils(Loop);
+      LS = &Fresh;
+    }
+    LoopCost C =
+        CostWalker(cast<MultiloopExpr>(Loop), Info, Env, *LS).run();
+    C.Signature = loopSignature(Loop);
+    Out.push_back(std::move(C));
+  }
+  return Out;
+}

@@ -1,0 +1,100 @@
+//===- analysis/Cost.h - Static cost model over multiloops -----*- C++ -*-===//
+//
+// Part of the DMLL reproduction of Brown et al., CGO 2016.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Derives per-loop work and traffic estimates from the IR: iterations
+/// (from symbolic sizes evaluated against dataset metadata), arithmetic
+/// operations per iteration, and bytes moved per iteration classified by
+/// the read-stencil and layout analyses (streamed partitioned data vs
+/// broadcast/cached small collections vs remote random reads). The hardware
+/// simulator (src/sim) turns these into simulated times for each target; it
+/// is the mechanism by which fusion (fewer loops), partitioning (local vs
+/// remote bytes) and the Fig. 3 rewrites (changed stencils) show up in the
+/// reproduced figures.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DMLL_ANALYSIS_COST_H
+#define DMLL_ANALYSIS_COST_H
+
+#include "analysis/Partitioning.h"
+#include "ir/Expr.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace dmll {
+
+/// Dataset metadata the symbolic sizes are evaluated against.
+struct SizeEnv {
+  /// Scalar input values and scalar struct fields: "matrix.rows" -> 50000,
+  /// "numClusters" -> 20.
+  std::map<std::string, double> Scalars;
+  /// Array lengths by input field path: "matrix.data" -> 5e6, "y" -> 50000.
+  std::map<std::string, double> ArrayLens;
+  /// Estimated distinct keys of hash-bucket loops (TPC-H Q1 has 6 groups).
+  double HashKeys = 16;
+  /// Selectivity assumed for non-trivial generator conditions.
+  double Selectivity = 0.5;
+};
+
+/// Work/traffic profile of one top-level multiloop.
+struct LoopCost {
+  const Expr *Loop = nullptr;
+  std::string Signature;
+  double Iters = 0;
+  double FlopsPerIter = 0;
+  /// Streamed reads of partitioned collections with Interval stencils:
+  /// local after partitioning, remote-heavy without it.
+  double StreamBytesPerIter = 0;
+  /// Reads of local (cache-resident after first touch) collections, counted
+  /// per iteration; the simulator caps them by collection footprint.
+  double CachedBytesPerIter = 0;
+  /// Affine-strided (e.g. column-major) reads: poor locality that a
+  /// transpose or interchange fixes.
+  double StridedBytesPerIter = 0;
+  /// Data-dependent reads of partitioned collections (trapped remote
+  /// fetches).
+  double RandomBytesPerIter = 0;
+  /// One-time broadcast traffic: Const/All-stencil collections shipped to
+  /// every partition (bytes).
+  double BroadcastBytes = 0;
+  /// Output bytes written per iteration (post-condition selectivity).
+  double WriteBytesPerIter = 0;
+  /// Bucket-shuffle bytes per iteration: writes scattered by key (hash
+  /// buckets, large dense buckets) that cross memory regions on NUMA and
+  /// the network on clusters.
+  double ShuffleBytesPerIter = 0;
+  /// Bytes of reduction state combined across workers at loop end.
+  double CombineBytes = 0;
+  /// Per-iteration payload of non-scalar reduction values: on a GPU these
+  /// accumulators do not fit in shared memory and each iteration
+  /// read-modify-writes them in global memory (Section 6).
+  double ReduceValueBytes = 0;
+  /// Number of fused generators (1 traversal regardless).
+  int NumGens = 1;
+  /// True if any generator is a bucket op (shuffle on clusters).
+  bool HasBucket = false;
+  /// True if any generator reduces non-scalar (vector) values.
+  bool VectorReduce = false;
+
+  double totalFlops() const { return Iters * FlopsPerIter; }
+  double totalStreamBytes() const { return Iters * StreamBytesPerIter; }
+};
+
+/// Evaluates a size-shaped expression against \p Env (approximately).
+double evalApproxSize(const ExprRef &E, const SizeEnv &Env);
+
+/// Costs for every top-level (independently schedulable) multiloop of
+/// \p P.Result, in execution (post)order. \p Info supplies layouts and
+/// stencils.
+std::vector<LoopCost> analyzeCosts(const Program &P, const PartitionInfo &Info,
+                                   const SizeEnv &Env);
+
+} // namespace dmll
+
+#endif // DMLL_ANALYSIS_COST_H

@@ -1,0 +1,142 @@
+//===- analysis/Partitioning.cpp -------------------------------*- C++ -*-===//
+
+#include "analysis/Partitioning.h"
+
+#include "ir/Traversal.h"
+
+#include <unordered_set>
+
+using namespace dmll;
+
+const char *dmll::layoutName(DataLayout L) {
+  return L == DataLayout::Local ? "Local" : "Partitioned";
+}
+
+namespace {
+
+/// True when the generator's output is spread over partitions; reductions
+/// and bucket-reductions aggregate into (small) local results.
+bool outputIsPartitionable(const Generator &G) {
+  switch (G.Kind) {
+  case GenKind::Collect:
+  case GenKind::BucketCollect:
+    return true;
+  case GenKind::Reduce:
+  case GenKind::BucketReduce:
+    return false;
+  }
+  return false;
+}
+
+} // namespace
+
+PartitionInfo dmll::analyzePartitioning(const Program &P) {
+  PartitionInfo Info;
+
+  // Seed from the user annotations (Section 4.1). Default is Local.
+  for (const auto &In : P.Inputs)
+    Info.Layouts[In.get()] = In->hint() == LayoutHint::Partitioned
+                                 ? DataLayout::Partitioned
+                                 : DataLayout::Local;
+
+  // Forward dataflow in post-order (producers visit before consumers in the
+  // DAG walk).
+  std::vector<ExprRef> Order;
+  visitAll(P.Result, [&](const ExprRef &E) { Order.push_back(E); });
+
+  for (const ExprRef &E : Order) {
+    const auto *ML = dyn_cast<MultiloopExpr>(E);
+    if (!ML)
+      continue;
+    // Only top-level (closed, hence hoistable and independently
+    // schedulable) loops are distribution units; loops binding free
+    // symbols execute locally within one iteration of their enclosing loop
+    // and are folded into its stencils by the walker.
+    if (!freeSyms(E).empty())
+      continue;
+    LoopStencils LS = computeStencils(E);
+
+    // Which partitioned collections does this loop consume?
+    bool ConsumesPartitioned = false;
+    std::set<const Expr *> IntervalPartitioned;
+    for (const StencilEntry &Entry : LS.Entries) {
+      if (Info.layoutOf(Entry.Root) != DataLayout::Partitioned)
+        continue;
+      ConsumesPartitioned = true;
+      if (Entry.S == Stencil::Interval)
+        IntervalPartitioned.insert(Entry.Root);
+      if (Entry.S == Stencil::Unknown)
+        Info.Diags.warn("loop has Unknown stencil on partitioned collection " +
+                        Entry.RootDesc +
+                        "; falling back to runtime data movement");
+    }
+
+    if (ConsumesPartitioned) {
+      // Multiloops are parallel ops: distribute, and mark partitionable
+      // outputs. Local inputs and the loop body are broadcast.
+      for (size_t G = 0; G < ML->numGens(); ++G) {
+        if (!outputIsPartitionable(ML->gen(G)))
+          continue;
+        if (ML->isSingle()) {
+          Info.Layouts[E.get()] = DataLayout::Partitioned;
+        } else {
+          // Find (or conceptually create) the LoopOut for this generator;
+          // layouts of multi-output loops are tracked per output below.
+          Info.Layouts[E.get()] = DataLayout::Partitioned;
+        }
+      }
+      if (IntervalPartitioned.size() > 1)
+        Info.CoPartition.push_back(std::move(IntervalPartitioned));
+    }
+    Info.Stencils.push_back(std::move(LS));
+  }
+
+  // Propagate through projections and mark multi-output components.
+  for (const ExprRef &E : Order) {
+    if (const auto *LO = dyn_cast<LoopOutExpr>(E)) {
+      const auto *ML = cast<MultiloopExpr>(LO->loop());
+      bool LoopPart =
+          Info.layoutOf(ML) == DataLayout::Partitioned;
+      Info.Layouts[E.get()] =
+          LoopPart && outputIsPartitionable(ML->gen(LO->index()))
+              ? DataLayout::Partitioned
+              : DataLayout::Local;
+    }
+    if (const auto *GF = dyn_cast<GetFieldExpr>(E)) {
+      // Struct-of-arrays inputs: fields inherit the base layout. The keys /
+      // values of hash buckets inherit the bucket loop's layout.
+      Info.Layouts[E.get()] = Info.layoutOf(readRoot(GF->base()));
+    }
+    if (const auto *FL = dyn_cast<FlattenExpr>(E))
+      Info.Layouts[E.get()] = Info.layoutOf(FL->array().get());
+  }
+
+  // Section 4.3: sequential (non-multiloop) consumption of partitioned
+  // collections. Whitelisted: length (metadata), projections, and use as a
+  // multiloop input (handled above).
+  std::unordered_set<const Expr *> InsideLoops;
+  for (const ExprRef &E : Order) {
+    if (const auto *ML = dyn_cast<MultiloopExpr>(E))
+      for (const Generator &G : ML->gens())
+        for (const Func *F : {&G.Cond, &G.Key, &G.Value, &G.Reduce})
+          if (F->isSet())
+            visitAll(F->Body, [&](const ExprRef &Inner) {
+              InsideLoops.insert(Inner.get());
+            });
+  }
+  for (const ExprRef &E : Order) {
+    if (InsideLoops.count(E.get()))
+      continue;
+    const auto *R = dyn_cast<ArrayReadExpr>(E);
+    if (!R)
+      continue;
+    const Expr *Root = readRoot(R->array());
+    if (Info.layoutOf(Root) == DataLayout::Partitioned)
+      Info.Diags.warn("sequential read of partitioned collection " +
+                      rootDesc(Root) +
+                      " outside any parallel pattern; disallowed when "
+                      "compiling for clusters");
+  }
+
+  return Info;
+}

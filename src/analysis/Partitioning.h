@@ -1,0 +1,61 @@
+//===- analysis/Partitioning.h - Algorithm 1 dataflow ----------*- C++ -*-===//
+//
+// Part of the DMLL reproduction of Brown et al., CGO 2016.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The partitioning analysis of Section 4.1: a forward dataflow over
+/// `Local | Partitioned` layouts, seeded by the user's data-source
+/// annotations, that moves the computation to the data. Parallel patterns
+/// consuming partitioned collections produce partitioned outputs when the
+/// pattern kind is partitionable (Collect / BucketCollect) and local
+/// aggregates otherwise (Reduce / BucketReduce). Sequential consumption of
+/// partitioned data warns unless whitelisted (Section 4.3); collection
+/// length is the canonical whitelisted metadata read.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DMLL_ANALYSIS_PARTITIONING_H
+#define DMLL_ANALYSIS_PARTITIONING_H
+
+#include "analysis/Stencil.h"
+#include "ir/Expr.h"
+#include "support/Error.h"
+
+#include <map>
+#include <set>
+#include <vector>
+
+namespace dmll {
+
+/// Layout decision for one collection-typed node.
+enum class DataLayout { Local, Partitioned };
+
+/// Printable layout name.
+const char *layoutName(DataLayout L);
+
+/// Result of the analysis.
+struct PartitionInfo {
+  /// Layout per collection root (inputs, loops, loop outputs).
+  std::map<const Expr *, DataLayout> Layouts;
+  /// Groups of collections that must be co-partitioned at runtime (consumed
+  /// with Interval stencils by the same loop).
+  std::vector<std::set<const Expr *>> CoPartition;
+  /// Per-loop stencils (computed along the way; reused by the simulator).
+  std::vector<LoopStencils> Stencils;
+  /// Algorithm 1's warn() calls.
+  DiagSink Diags;
+
+  DataLayout layoutOf(const Expr *Root) const {
+    auto It = Layouts.find(Root);
+    return It == Layouts.end() ? DataLayout::Local : It->second;
+  }
+};
+
+/// Runs the analysis over \p P.
+PartitionInfo analyzePartitioning(const Program &P);
+
+} // namespace dmll
+
+#endif // DMLL_ANALYSIS_PARTITIONING_H

@@ -1,0 +1,250 @@
+//===- analysis/Stencil.cpp ------------------------------------*- C++ -*-===//
+
+#include "analysis/Stencil.h"
+
+#include "analysis/Affine.h"
+#include "ir/Traversal.h"
+#include "support/Error.h"
+
+#include <functional>
+#include <unordered_map>
+#include <unordered_set>
+
+using namespace dmll;
+
+const char *dmll::stencilName(Stencil S) {
+  switch (S) {
+  case Stencil::Interval:
+    return "Interval";
+  case Stencil::Const:
+    return "Const";
+  case Stencil::All:
+    return "All";
+  case Stencil::Unknown:
+    return "Unknown";
+  }
+  dmllUnreachable("bad Stencil");
+}
+
+Stencil dmll::joinStencil(Stencil A, Stencil B) {
+  return static_cast<Stencil>(
+      std::max(static_cast<int>(A), static_cast<int>(B)));
+}
+
+bool LoopStencils::lookup(const Expr *Root, Stencil &Out) const {
+  bool Found = false;
+  for (const StencilEntry &E : Entries)
+    if (E.Root == Root) {
+      Out = Found ? joinStencil(Out, E.S) : E.S;
+      Found = true;
+    }
+  return Found;
+}
+
+bool LoopStencils::hasUnknown() const {
+  for (const StencilEntry &E : Entries)
+    if (E.S == Stencil::Unknown)
+      return true;
+  return false;
+}
+
+bool LoopStencils::unknownIsStrided(const Expr *Root) const {
+  bool Any = false;
+  for (const StencilEntry &E : Entries)
+    if (E.Root == Root && E.S == Stencil::Unknown) {
+      Any = true;
+      if (!E.AffineStrided)
+        return false;
+    }
+  return Any;
+}
+
+const Expr *dmll::readRoot(const ExprRef &Base) {
+  const Expr *Cur = Base.get();
+  while (const auto *GF = dyn_cast<GetFieldExpr>(Cur))
+    Cur = GF->base().get();
+  return Cur;
+}
+
+std::string dmll::rootDesc(const Expr *Root) {
+  if (const auto *In = dyn_cast<InputExpr>(Root))
+    return "@" + In->name();
+  if (isa<MultiloopExpr>(Root))
+    return "loop";
+  if (const auto *LO = dyn_cast<LoopOutExpr>(Root))
+    return "loop.out" + std::to_string(LO->index());
+  if (isa<FlattenExpr>(Root))
+    return "flatten";
+  if (const auto *S = dyn_cast<SymExpr>(Root))
+    return S->name() + std::to_string(S->id());
+  return "expr";
+}
+
+namespace {
+
+/// Walks one multiloop's functions, classifying every read site.
+class StencilWalker {
+public:
+  explicit StencilWalker(const MultiloopExpr *ML) : ML(ML) {}
+
+  LoopStencils run() {
+    LoopStencils Out;
+    Out.Loop = ML;
+    for (const Generator &G : ML->gens()) {
+      for (const Func *F : {&G.Cond, &G.Key, &G.Value}) {
+        if (!F->isSet())
+          continue;
+        PartitionSyms.insert(F->Params[0]->id());
+      }
+      for (const SymRef &P : G.Reduce.Params)
+        LocalValueSyms.insert(P->id());
+    }
+    // Size / NumKeys evaluate once per loop: loop-invariant context.
+    walk(ML->size());
+    for (const Generator &G : ML->gens()) {
+      if (G.NumKeys)
+        walk(G.NumKeys);
+      for (const Func *F : {&G.Cond, &G.Key, &G.Value, &G.Reduce})
+        if (F->isSet())
+          walk(F->Body);
+    }
+    Out.Entries = std::move(Entries);
+    return Out;
+  }
+
+private:
+  const MultiloopExpr *ML;
+  std::unordered_set<uint64_t> PartitionSyms;
+  std::unordered_set<uint64_t> LocalValueSyms;
+  // Inner (nested) loop indices and their loop sizes.
+  std::unordered_map<uint64_t, ExprRef> InnerSizes;
+  std::vector<StencilEntry> Entries;
+
+  void record(const Expr *Root, Stencil S, bool AffineStrided) {
+    Entries.push_back({Root, rootDesc(Root), S, AffineStrided});
+  }
+
+  Stencil classify(const ExprRef &Idx, bool &AffineStrided) {
+    AffineStrided = false;
+    std::unordered_set<uint64_t> AllSyms = PartitionSyms;
+    for (const auto &[Id, Sz] : InnerSizes)
+      AllSyms.insert(Id);
+    AffineForm F = decomposeAffine(Idx, AllSyms);
+    if (!F.IsAffine)
+      return F.MentionsLoopSym ? Stencil::Unknown : Stencil::Const;
+    AffineStrided = true; // downgraded below unless the result is Unknown
+
+    const AffineTerm *PTerm = nullptr;
+    std::vector<const AffineTerm *> Inner;
+    for (const AffineTerm &T : F.Terms) {
+      if (PartitionSyms.count(T.SymId)) {
+        if (PTerm)
+          return Stencil::Unknown; // i appears twice (merged consts only).
+        PTerm = &T;
+      } else {
+        Inner.push_back(&T);
+      }
+    }
+    if (!PTerm)
+      return Inner.empty() ? Stencil::Const : Stencil::All;
+    if (Inner.empty()) {
+      if (PTerm->CoeffIsConst && PTerm->CoeffConst == 1 && F.restIsZero())
+        return Stencil::Interval;
+      // i * stride + offset with a symbolic (runtime) stride and a
+      // loop-invariant offset: element `offset` of row i — within the ith
+      // slice of one dimension, hence Interval. (A constant coefficient
+      // stays strict: we cannot distinguish a stride from plain scaling.)
+      if (!PTerm->CoeffIsConst && PTerm->Coeff)
+        return Stencil::Interval;
+      return Stencil::Unknown;
+    }
+    if (!F.restIsZero())
+      return Stencil::Unknown;
+    // Row access: i * stride + j with j an inner index of extent == stride.
+    if (Inner.size() == 1 && Inner[0]->CoeffIsConst &&
+        Inner[0]->CoeffConst == 1) {
+      auto It = InnerSizes.find(Inner[0]->SymId);
+      if (It != InnerSizes.end() && PTerm->Coeff &&
+          structuralEq(PTerm->Coeff, It->second))
+        return Stencil::Interval;
+    }
+    return Stencil::Unknown;
+  }
+
+  void walk(const ExprRef &E) {
+    if (const auto *R = dyn_cast<ArrayReadExpr>(E)) {
+      const Expr *Root = readRoot(R->array());
+      // Element-of-element reads (buckets) and reads rooted at reduction
+      // parameters are local values; the underlying collection read is
+      // classified where it happens.
+      bool Skip = isa<ArrayReadExpr>(Root);
+      if (const auto *S = dyn_cast<SymExpr>(Root))
+        Skip = Skip || LocalValueSyms.count(S->id()) ||
+               PartitionSyms.count(S->id()) || InnerSizes.count(S->id());
+      if (!Skip) {
+        bool AffineStrided = false;
+        Stencil S = classify(R->index(), AffineStrided);
+        record(Root, S, S == Stencil::Unknown && AffineStrided);
+      }
+      walk(R->array());
+      walk(R->index());
+      return;
+    }
+    if (const auto *Nested = dyn_cast<MultiloopExpr>(E)) {
+      // Closed nested loops are hoisted out by code motion (Section 5);
+      // their reads happen on their own schedule, not per iteration of this
+      // loop, so they do not contribute to this loop's stencils.
+      bool Closed = true;
+      for (uint64_t Id : freeSyms(E))
+        if (PartitionSyms.count(Id) || InnerSizes.count(Id) ||
+            LocalValueSyms.count(Id))
+          Closed = false;
+      if (Closed)
+        return;
+      walk(Nested->size());
+      for (const Generator &G : Nested->gens()) {
+        if (G.NumKeys)
+          walk(G.NumKeys);
+        for (const Func *F : {&G.Cond, &G.Key, &G.Value}) {
+          if (!F->isSet())
+            continue;
+          InnerSizes.emplace(F->Params[0]->id(), Nested->size());
+        }
+        for (const SymRef &P : G.Reduce.Params)
+          LocalValueSyms.insert(P->id());
+        for (const Func *F : {&G.Cond, &G.Key, &G.Value, &G.Reduce})
+          if (F->isSet())
+            walk(F->Body);
+      }
+      return;
+    }
+    for (const ExprRef &Child : exprChildren(E))
+      walk(Child);
+  }
+};
+
+} // namespace
+
+LoopStencils dmll::computeStencils(const ExprRef &Loop) {
+  return StencilWalker(cast<MultiloopExpr>(Loop)).run();
+}
+
+std::vector<LoopStencils> dmll::computeAllStencils(const ExprRef &E) {
+  std::vector<LoopStencils> Out;
+  for (const ExprRef &Loop : collectMultiloops(E))
+    Out.push_back(computeStencils(Loop));
+  return Out;
+}
+
+std::map<const Expr *, Stencil> dmll::globalStencils(const ExprRef &E) {
+  std::map<const Expr *, Stencil> Global;
+  for (const LoopStencils &LS : computeAllStencils(E))
+    for (const StencilEntry &Entry : LS.Entries) {
+      auto It = Global.find(Entry.Root);
+      if (It == Global.end())
+        Global.emplace(Entry.Root, Entry.S);
+      else
+        It->second = joinStencil(It->second, Entry.S);
+    }
+  return Global;
+}

@@ -1,0 +1,90 @@
+//===- analysis/Stencil.h - Read stencil analysis (Section 4.2) -*- C++ -*-===//
+//
+// Part of the DMLL reproduction of Brown et al., CGO 2016.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// For every multiloop, classifies each input collection's access pattern:
+///
+///  * Interval — index i touches the ith element / ith row of the
+///    collection; the runtime may split it on interval boundaries and all
+///    accesses stay local.
+///  * Const    — a loop-invariant element; broadcast the element.
+///  * All      — the entire collection is consumed at each index; broadcast
+///    the collection.
+///  * Unknown  — data-dependent access; triggers the Fig. 3 rewrites, and
+///    if they fail, runtime data movement plus a user warning.
+///
+/// The global stencil of a collection is the conservative join (the lattice
+/// is Interval < Const < All < Unknown) of its per-loop stencils.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DMLL_ANALYSIS_STENCIL_H
+#define DMLL_ANALYSIS_STENCIL_H
+
+#include "ir/Expr.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace dmll {
+
+/// Access-pattern classification of one collection within one multiloop.
+enum class Stencil { Interval, Const, All, Unknown };
+
+/// Human-readable stencil name.
+const char *stencilName(Stencil S);
+
+/// Conservative join (lattice max).
+Stencil joinStencil(Stencil A, Stencil B);
+
+/// One read-root: the collection a chain of reads bottoms out at. Roots are
+/// identified by node pointer, with a printable description.
+struct StencilEntry {
+  const Expr *Root = nullptr; ///< Input or producing loop node.
+  std::string RootDesc;       ///< "@matrix.data", "loop#3", ...
+  Stencil S = Stencil::Unknown;
+  /// For Unknown entries: the index was affine in the loop indices (a
+  /// strided, e.g. column-major, walk) rather than data-dependent. Strided
+  /// access is what a transpose fixes; data-dependent access is not.
+  bool AffineStrided = false;
+};
+
+/// Per-loop stencil table.
+struct LoopStencils {
+  const Expr *Loop = nullptr;
+  std::vector<StencilEntry> Entries;
+
+  /// Joined stencil for \p Root, or nullopt-like Interval default when the
+  /// collection is not read by this loop.
+  bool lookup(const Expr *Root, Stencil &Out) const;
+
+  /// True if any entry is Unknown.
+  bool hasUnknown() const;
+
+  /// True if every Unknown entry for \p Root is affine-strided (a
+  /// transpose-fixable walk, not data-dependent access).
+  bool unknownIsStrided(const Expr *Root) const;
+};
+
+/// Computes stencils for one multiloop node.
+LoopStencils computeStencils(const ExprRef &Loop);
+
+/// Computes stencils for every multiloop under \p E (keyed by loop node).
+std::vector<LoopStencils> computeAllStencils(const ExprRef &E);
+
+/// Global per-root join over all loops.
+std::map<const Expr *, Stencil> globalStencils(const ExprRef &E);
+
+/// Walks GetField chains down to the underlying Input / loop node.
+const Expr *readRoot(const ExprRef &Base);
+
+/// Printable description of a root ("@name" for inputs, "loop" otherwise).
+std::string rootDesc(const Expr *Root);
+
+} // namespace dmll
+
+#endif // DMLL_ANALYSIS_STENCIL_H

@@ -1,0 +1,86 @@
+//===- apps/Apps.h - Benchmark applications as DMLL programs ---*- C++ -*-===//
+//
+// Part of the DMLL reproduction of Brown et al., CGO 2016.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's benchmark applications written against the implicitly
+/// parallel front end — exactly as a user would write them (Fig. 1 style),
+/// with no distribution awareness. Iterative algorithms build one iteration
+/// (the paper reports per-iteration times). Each function documents its
+/// inputs; the data generators in src/data produce matching Values.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DMLL_APPS_APPS_H
+#define DMLL_APPS_APPS_H
+
+#include "ir/Expr.h"
+
+namespace dmll {
+namespace apps {
+
+/// k-means, shared-memory formulation (Fig. 1 top): assign each row of
+/// @matrix [partitioned] to the nearest row of @clusters [local], then
+/// average the rows per cluster via filter + gather (random access of
+/// @matrix — the Unknown stencil Conditional Reduce must fix).
+/// Result: Array[Array[f64]] of new centroids (empty array for an empty
+/// cluster).
+Program kmeansSharedMemory();
+
+/// k-means, distributed-memory formulation (Fig. 1 bottom): groupRowsBy
+/// nearest centroid, then average each group. Result: {keys: Array[i64],
+/// values: Array[Array[f64]]} in first-occurrence key order.
+Program kmeansGroupBy();
+
+/// One logistic-regression gradient step over @x [partitioned],
+/// @y [partitioned], @theta [local], @alpha. Textbook formulation: outer
+/// loop over features, nested sum over samples (Column-to-Row fixes it).
+/// Result: Array[f64] newTheta.
+Program logreg();
+
+/// Gaussian discriminant analysis over @x, @y: class prior, per-class
+/// means, pooled covariance (cols x cols, matrix-valued reduction).
+/// Result: {phi: f64, mu0: Array[f64], mu1: Array[f64],
+/// sigma: Array[Array[f64]], count0: i64, count1: i64}.
+Program gda();
+
+/// TPC-H Query 1 over @lineitems [partitioned, AoS]: filter by shipdate,
+/// group by (returnflag, linestatus), aggregate five sums and a count.
+/// Result: {keys, sum_qty, sum_base_price, sum_disc_price, sum_charge,
+/// count}.
+Program tpchQ1();
+
+/// Gene barcoding over @genes [partitioned, AoS]: quality-filter, group by
+/// barcode, count reads and accumulate length per barcode.
+/// Result: {keys, counts, total_len}.
+Program geneBarcoding();
+
+/// One PageRank iteration (pull model) over @in_offsets/@in_edges (incoming
+/// CSR, partitioned), @outdeg, @ranks, @numv. Result: Array[f64].
+Program pageRankPull();
+
+/// One PageRank iteration (push model): each vertex scatters
+/// rank/outdeg to its out-neighbors via a dense BucketReduce over edges.
+/// Same result as pull (the OptiGraph-style domain transformation).
+Program pageRankPush();
+
+/// Triangle counting over sorted adjacency @offsets/@edges: for each edge
+/// (u, v) with u < v, counts common neighbors w > v. Result: i64.
+Program triangleCount();
+
+/// 1-nearest-neighbor classification: for each row of @test, the label of
+/// the closest row of @train; per-label counts of the predictions.
+/// Result: {labels: Array[i64], counts: Array[i64]}.
+Program knn();
+
+/// Naive Bayes training: per-class, per-feature conditional means over
+/// @x/@y (conditional reduction keyed by class). Result:
+/// {priors: Array[f64], means: Array[Array[f64]]}.
+Program naiveBayes();
+
+} // namespace apps
+} // namespace dmll
+
+#endif // DMLL_APPS_APPS_H

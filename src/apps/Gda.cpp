@@ -1,0 +1,66 @@
+//===- apps/Gda.cpp - Gaussian discriminant analysis -----------*- C++ -*-===//
+
+#include "apps/Apps.h"
+#include "frontend/Frontend.h"
+
+using namespace dmll;
+using namespace dmll::frontend;
+
+Program dmll::apps::gda() {
+  ProgramBuilder B;
+  Mat X = B.inMat("x", LayoutHint::Partitioned);
+  Val Y = B.inVecI64("y", LayoutHint::Partitioned);
+  Val YV = Y;
+
+  // First pass: class counts and per-class feature sums (vector
+  // reductions over the samples).
+  Val Count1 = sumRange(X.rows(), [&](Val I) { return YV(I); });
+  Val Count0 = X.rows() - Count1;
+  auto ClassSum = [&](int64_t Label) {
+    Generator G;
+    G.Kind = GenKind::Reduce;
+    SymRef I = freshSym("i", Type::i64());
+    G.Cond = Func({I}, (YV(Val(ExprRef(I))) == Val(Label)).expr());
+    G.Value = Func({I}, X.row(Val(ExprRef(I))).expr());
+    TypeRef VecTy = Type::arrayOf(Type::f64());
+    G.Reduce = binFunc("r", VecTy, [](const ExprRef &A, const ExprRef &B) {
+      return zipWith(Val(A), Val(B), [](Val P, Val Q) { return P + Q; })
+          .expr();
+    });
+    return Val(singleLoop(X.rows().expr(), std::move(G)));
+  };
+  Val Sum0 = ClassSum(0), Sum1 = ClassSum(1);
+  Val Mu0 = map(Sum0, [&](Val S) { return S / toF64(vmax(Count0, 1)); });
+  Val Mu1 = map(Sum1, [&](Val S) { return S / toF64(vmax(Count1, 1)); });
+  Val Mu0V = Mu0, Mu1V = Mu1;
+
+  // Second pass: pooled covariance as a sum of per-sample outer products —
+  // the matrix-valued reduction that makes GDA a GPU-interesting benchmark
+  // (nested collection reduce).
+  Val Sigma = sumRange(X.rows(), [&](Val I) {
+    Val IV = I;
+    // Per-sample deviation vector, computed once and reused by the outer
+    // product (a DMLL user writes it this way; so does hand-tuned C++).
+    Val Dx = tabulate(X.cols(), [&](Val J) {
+      Val MuJ = vselect(YV(IV) == Val(int64_t(1)), Mu1V(J), Mu0V(J));
+      return X.at(IV, J) - MuJ;
+    });
+    Val DxV = Dx;
+    return tabulate(X.cols(), [&](Val A) {
+      Val DxA = DxV(A);
+      Val DxAV = DxA;
+      return tabulate(X.cols(), [&](Val Bc) { return DxAV * DxV(Bc); });
+    });
+  });
+
+  Val Phi = toF64(Count1) / toF64(X.rows());
+  return B.build(makeStruct({{"phi", Type::f64()},
+                             {"mu0", Type::arrayOf(Type::f64())},
+                             {"mu1", Type::arrayOf(Type::f64())},
+                             {"sigma",
+                              Type::arrayOf(Type::arrayOf(Type::f64()))},
+                             {"count0", Type::i64()},
+                             {"count1", Type::i64()}},
+                            {Phi.expr(), Mu0.expr(), Mu1.expr(),
+                             Sigma.expr(), Count0.expr(), Count1.expr()}));
+}

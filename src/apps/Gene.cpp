@@ -1,0 +1,34 @@
+//===- apps/Gene.cpp - Gene barcoding --------------------------*- C++ -*-===//
+
+#include "apps/Apps.h"
+#include "data/Datasets.h"
+#include "frontend/Frontend.h"
+
+using namespace dmll;
+using namespace dmll::frontend;
+
+Program dmll::apps::geneBarcoding() {
+  ProgramBuilder B;
+  Val Genes = B.in("genes", Type::arrayOf(data::GeneReads::elemType()),
+                   LayoutHint::Partitioned);
+  Val MinQuality = B.inF64("min_quality");
+
+  Val Good = filter(Genes, [&](Val G) {
+    return G.field("quality") >= MinQuality;
+  });
+  Val Groups = groupBy(Good, [](Val G) { return G.field("barcode"); });
+  Val Buckets = Groups.field("values");
+  Val BucketsV = Buckets;
+
+  Val Counts = tabulate(Buckets.len(), [&](Val K) {
+    return sum(map(BucketsV(K), [](Val) { return Val(int64_t(1)); }));
+  });
+  Val TotalLen = tabulate(Buckets.len(), [&](Val K) {
+    return sum(map(BucketsV(K), [](Val G) { return G.field("length"); }));
+  });
+
+  TypeRef I64s = Type::arrayOf(Type::i64());
+  return B.build(makeStruct(
+      {{"keys", I64s}, {"counts", I64s}, {"total_len", I64s}},
+      {Groups.field("keys").expr(), Counts.expr(), TotalLen.expr()}));
+}

@@ -1,0 +1,186 @@
+//===- apps/Gibbs.cpp ------------------------------------------*- C++ -*-===//
+
+#include "apps/Gibbs.h"
+
+#include <atomic>
+#include <cmath>
+#include <memory>
+#include <thread>
+
+using namespace dmll;
+using namespace dmll::gibbs;
+using dmll::data::FactorGraph;
+
+namespace {
+
+/// Deterministic per-(seed, variable, sweep) uniform in [0, 1).
+double hashRand(uint64_t Seed, int64_t Var, int64_t Sweep) {
+  uint64_t X = Seed ^ (static_cast<uint64_t>(Var) * 0x9e3779b97f4a7c15ULL) ^
+               (static_cast<uint64_t>(Sweep) * 0xbf58476d1ce4e5b9ULL);
+  X ^= X >> 33;
+  X *= 0xff51afd7ed558ccdULL;
+  X ^= X >> 33;
+  X *= 0xc4ceb9fe1a85ec53ULL;
+  X ^= X >> 33;
+  return static_cast<double>(X >> 11) * 0x1.0p-53;
+}
+
+double sigmoidD(double Z) { return 1.0 / (1.0 + std::exp(-Z)); }
+
+} // namespace
+
+GibbsResult gibbs::sampleFlat(const FactorGraph &F, int Sweeps,
+                              uint64_t Seed) {
+  size_t N = static_cast<size_t>(F.NumVars);
+  std::vector<int8_t> State(N, 0);
+  std::vector<int64_t> Ones(N, 0);
+  for (int S = 0; S < Sweeps; ++S) {
+    for (size_t V = 0; V < N; ++V) {
+      double Energy = F.Bias[V];
+      for (int64_t E = F.VarOffsets[V]; E < F.VarOffsets[V + 1]; ++E)
+        Energy += F.Weight[static_cast<size_t>(E)] *
+                  (State[static_cast<size_t>(
+                       F.Neighbor[static_cast<size_t>(E)])]
+                       ? 1.0
+                       : -1.0);
+      State[V] = hashRand(Seed, static_cast<int64_t>(V), S) <
+                 sigmoidD(2.0 * Energy);
+      Ones[V] += State[V];
+    }
+  }
+  GibbsResult R;
+  R.Marginals.resize(N);
+  for (size_t V = 0; V < N; ++V)
+    R.Marginals[V] = static_cast<double>(Ones[V]) / Sweeps;
+  R.Updates = static_cast<int64_t>(N) * Sweeps;
+  return R;
+}
+
+namespace {
+
+/// DimmWitted-style representation: heap node objects with pointer edges
+/// ("more pointer indirections in the factor graph implementation for the
+/// sake of user-friendly abstractions").
+struct VarNode;
+
+struct FactorEdge {
+  VarNode *Other;
+  double Weight;
+};
+
+struct VarNode {
+  double Bias;
+  int8_t State = 0;
+  int64_t Ones = 0;
+  std::vector<FactorEdge> Edges;
+};
+
+} // namespace
+
+GibbsResult gibbs::samplePointer(const FactorGraph &F, int Sweeps,
+                                 uint64_t Seed) {
+  size_t N = static_cast<size_t>(F.NumVars);
+  std::vector<std::unique_ptr<VarNode>> Nodes(N);
+  for (size_t V = 0; V < N; ++V) {
+    Nodes[V] = std::make_unique<VarNode>();
+    Nodes[V]->Bias = F.Bias[V];
+  }
+  for (size_t V = 0; V < N; ++V)
+    for (int64_t E = F.VarOffsets[V]; E < F.VarOffsets[V + 1]; ++E) {
+      FactorEdge Edge;
+      Edge.Other =
+          Nodes[static_cast<size_t>(F.Neighbor[static_cast<size_t>(E)])]
+              .get();
+      Edge.Weight = F.Weight[static_cast<size_t>(E)];
+      Nodes[V]->Edges.push_back(Edge);
+    }
+
+  for (int S = 0; S < Sweeps; ++S)
+    for (size_t V = 0; V < N; ++V) {
+      VarNode *Node = Nodes[V].get();
+      double Energy = Node->Bias;
+      for (const FactorEdge &Edge : Node->Edges)
+        Energy += Edge.Weight * (Edge.Other->State ? 1.0 : -1.0);
+      Node->State = hashRand(Seed, static_cast<int64_t>(V), S) <
+                    sigmoidD(2.0 * Energy);
+      Node->Ones += Node->State;
+    }
+
+  GibbsResult R;
+  R.Marginals.resize(N);
+  for (size_t V = 0; V < N; ++V)
+    R.Marginals[V] = static_cast<double>(Nodes[V]->Ones) / Sweeps;
+  R.Updates = static_cast<int64_t>(N) * Sweeps;
+  return R;
+}
+
+GibbsResult gibbs::sampleHogwild(const FactorGraph &F, int Sweeps,
+                                 uint64_t Seed, int Threads) {
+  size_t N = static_cast<size_t>(F.NumVars);
+  // Relaxed atomics: racy reads are the Hogwild! point.
+  std::vector<std::atomic<int8_t>> State(N);
+  for (auto &S : State)
+    S.store(0, std::memory_order_relaxed);
+  std::vector<std::atomic<int64_t>> Ones(N);
+  for (auto &O : Ones)
+    O.store(0, std::memory_order_relaxed);
+
+  auto Worker = [&](int T) {
+    for (int S = 0; S < Sweeps; ++S)
+      for (size_t V = static_cast<size_t>(T); V < N;
+           V += static_cast<size_t>(Threads)) {
+        double Energy = F.Bias[V];
+        for (int64_t E = F.VarOffsets[V]; E < F.VarOffsets[V + 1]; ++E)
+          Energy += F.Weight[static_cast<size_t>(E)] *
+                    (State[static_cast<size_t>(
+                               F.Neighbor[static_cast<size_t>(E)])]
+                             .load(std::memory_order_relaxed)
+                         ? 1.0
+                         : -1.0);
+        int8_t NewState = hashRand(Seed, static_cast<int64_t>(V), S) <
+                          sigmoidD(2.0 * Energy);
+        State[V].store(NewState, std::memory_order_relaxed);
+        Ones[V].fetch_add(NewState, std::memory_order_relaxed);
+      }
+  };
+  std::vector<std::thread> Pool;
+  for (int T = 0; T < Threads; ++T)
+    Pool.emplace_back(Worker, T);
+  for (std::thread &T : Pool)
+    T.join();
+
+  GibbsResult R;
+  R.Marginals.resize(N);
+  for (size_t V = 0; V < N; ++V)
+    R.Marginals[V] =
+        static_cast<double>(Ones[V].load(std::memory_order_relaxed)) /
+        Sweeps;
+  R.Updates = static_cast<int64_t>(N) * Sweeps;
+  return R;
+}
+
+GibbsResult gibbs::sampleReplicated(const FactorGraph &F, int Sweeps,
+                                    uint64_t Seed, int Replicas,
+                                    int ThreadsPerReplica) {
+  // Outer parallelism over models, inner Hogwild within each model; the
+  // sample averages are the final output (Section 6.3).
+  std::vector<GibbsResult> Partial(static_cast<size_t>(Replicas));
+  std::vector<std::thread> Pool;
+  for (int M = 0; M < Replicas; ++M)
+    Pool.emplace_back([&, M] {
+      Partial[static_cast<size_t>(M)] = sampleHogwild(
+          F, Sweeps, Seed + 0x5bd1e995u * static_cast<uint64_t>(M + 1),
+          ThreadsPerReplica);
+    });
+  for (std::thread &T : Pool)
+    T.join();
+
+  GibbsResult R;
+  R.Marginals.assign(static_cast<size_t>(F.NumVars), 0.0);
+  for (const GibbsResult &P : Partial) {
+    for (size_t V = 0; V < R.Marginals.size(); ++V)
+      R.Marginals[V] += P.Marginals[V] / Replicas;
+    R.Updates += P.Updates;
+  }
+  return R;
+}

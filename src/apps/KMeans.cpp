@@ -1,0 +1,78 @@
+//===- apps/KMeans.cpp - k-means clustering (Fig. 1) -----------*- C++ -*-===//
+
+#include "apps/Apps.h"
+#include "frontend/Frontend.h"
+
+using namespace dmll;
+using namespace dmll::frontend;
+
+namespace {
+
+/// Index of the nearest centroid for row \p I of \p M.
+Val nearestCluster(const Mat &M, const Mat &Clusters, Val I) {
+  return minIndexBy(Clusters.rows(), [&](Val C) {
+    return sumRange(M.cols(), [&](Val J) {
+      Val D = M.at(I, J) - Clusters.at(C, J);
+      return D * D;
+    });
+  });
+}
+
+} // namespace
+
+Program dmll::apps::kmeansSharedMemory() {
+  ProgramBuilder B;
+  Mat Matrix = B.inMat("matrix", LayoutHint::Partitioned);
+  Mat Clusters = B.inMat("clusters", LayoutHint::Local);
+
+  // val assigned = matrix.mapRows { row => nearest cluster }
+  Val Assigned = Matrix.mapRowsIdx(
+      [&](Val I) { return nearestCluster(Matrix, Clusters, I); });
+
+  // val newClusters = clusters.mapIndices { i =>
+  //   val as = assigned indices where == i      (data implicitly shuffled
+  //   matrix(as).sumRows.map(s => s / as.count)  via the indexing op)
+  // }
+  Val NewClusters = tabulate(Clusters.rows(), [&](Val I) {
+    // Indices of the rows assigned to cluster i.
+    Generator G;
+    G.Kind = GenKind::Collect;
+    SymRef J = freshSym("j", Type::i64());
+    G.Cond = Func({J}, (Val(Assigned)(Val(ExprRef(J))) == I).expr());
+    G.Value = Func({J}, ExprRef(J));
+    Val As = singleLoop(Assigned.len().expr(), std::move(G));
+    Val Sum = sumRange(As.len(), [&](Val K) { return Matrix.row(As(K)); });
+    Val Count = As.len();
+    return map(Sum, [&](Val S) { return S / toF64(Count); });
+  });
+  return B.build(NewClusters);
+}
+
+Program dmll::apps::kmeansGroupBy() {
+  ProgramBuilder B;
+  Mat Matrix = B.inMat("matrix", LayoutHint::Partitioned);
+  Mat Clusters = B.inMat("clusters", LayoutHint::Local);
+
+  // val clusteredData = matrix.groupRowsBy { row => nearest cluster }
+  Generator G;
+  G.Kind = GenKind::BucketCollect;
+  SymRef I = freshSym("i", Type::i64());
+  G.Cond = trueCond();
+  G.Key = Func({I}, nearestCluster(Matrix, Clusters, Val(ExprRef(I))).expr());
+  G.Value = Func({I}, Matrix.row(Val(ExprRef(I))).expr());
+  Val Grouped = singleLoop(Matrix.rows().expr(), std::move(G));
+
+  // val newClusters = clusteredData.map(e => e.sum / e.count)
+  Val Buckets = Grouped.field("values");
+  Val BucketsV = Buckets;
+  Val NewClusters = tabulate(Buckets.len(), [&](Val K) {
+    Val Bucket = BucketsV(K);
+    Val Sum = sum(Bucket);
+    Val Count = Bucket.len();
+    return map(Sum, [&](Val S) { return S / toF64(Count); });
+  });
+  return B.build(makeStruct(
+      {{"keys", Type::arrayOf(Type::i64())},
+       {"values", Type::arrayOf(Type::arrayOf(Type::f64()))}},
+      {Grouped.field("keys").expr(), NewClusters.expr()}));
+}

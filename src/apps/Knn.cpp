@@ -1,0 +1,40 @@
+//===- apps/Knn.cpp - 1-nearest-neighbor classification --------*- C++ -*-===//
+
+#include "apps/Apps.h"
+#include "frontend/Frontend.h"
+
+using namespace dmll;
+using namespace dmll::frontend;
+
+Program dmll::apps::knn() {
+  ProgramBuilder B;
+  Mat Train = B.inMat("train", LayoutHint::Partitioned);
+  Val TrainY = B.inVecI64("train_y", LayoutHint::Partitioned);
+  Mat Test = B.inMat("test", LayoutHint::Local);
+  Val NumLabels = B.inI64("num_labels");
+  Val TY = TrainY;
+
+  // Label of the nearest training row for each test row.
+  Val Predictions = Test.mapRowsIdx([&](Val T) {
+    Val TV = T;
+    Val Nearest = minIndexBy(Train.rows(), [&](Val R) {
+      return sumRange(Train.cols(), [&](Val J) {
+        Val D = Train.at(R, J) - Test.at(TV, J);
+        return D * D;
+      });
+    });
+    return TY(Nearest);
+  });
+  Val PredV = Predictions;
+
+  // Per-label counts of the predictions (the grouping step the paper
+  // mentions for kNN).
+  Val Counts = bucketReduceDense(
+      Predictions.len(), [&](Val I) { return PredV(I); },
+      [](Val) { return Val(int64_t(1)); },
+      [](Val A, Val C) { return A + C; }, NumLabels);
+
+  TypeRef I64s = Type::arrayOf(Type::i64());
+  return B.build(makeStruct({{"labels", I64s}, {"counts", I64s}},
+                            {Predictions.expr(), Counts.expr()}));
+}

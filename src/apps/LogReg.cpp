@@ -1,0 +1,38 @@
+//===- apps/LogReg.cpp - Logistic regression gradient step -----*- C++ -*-===//
+
+#include "apps/Apps.h"
+#include "frontend/Frontend.h"
+
+using namespace dmll;
+using namespace dmll::frontend;
+
+Program dmll::apps::logreg() {
+  ProgramBuilder B;
+  Mat X = B.inMat("x", LayoutHint::Partitioned);
+  Val Y = B.inVecF64("y", LayoutHint::Partitioned);
+  Val Theta = B.inVecF64("theta", LayoutHint::Local);
+  Val Alpha = B.inF64("alpha");
+  Val YV = Y, ThetaV = Theta;
+
+  // Textbook formulation (Section 3.2): the per-sample error, then for
+  // each feature j a gradient summed over all samples i. As written, the
+  // gradient loop walks the dataset column-wise once per feature — the
+  // Column-to-Row rule restructures it into one row-wise pass
+  // accumulating a vector of per-feature sums.
+  Val Err = tabulate(X.rows(), [&](Val I) {
+    Val IV = I;
+    Val Hyp = sigmoid(sumRange(X.cols(), [&](Val K) {
+      return ThetaV(K) * X.at(IV, K);
+    }));
+    return YV(IV) - Hyp;
+  });
+  Val ErrV = Err;
+  Val NewTheta = tabulate(X.cols(), [&](Val J) {
+    Val JV = J;
+    Val Gradient = sumRange(X.rows(), [&](Val I) {
+      return X.at(I, JV) * ErrV(I);
+    });
+    return ThetaV(J) + Alpha * Gradient;
+  });
+  return B.build(NewTheta);
+}

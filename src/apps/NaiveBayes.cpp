@@ -1,0 +1,51 @@
+//===- apps/NaiveBayes.cpp - Naive Bayes training --------------*- C++ -*-===//
+
+#include "apps/Apps.h"
+#include "frontend/Frontend.h"
+
+using namespace dmll;
+using namespace dmll::frontend;
+
+Program dmll::apps::naiveBayes() {
+  ProgramBuilder B;
+  Mat X = B.inMat("x", LayoutHint::Partitioned);
+  Val Y = B.inVecI64("y", LayoutHint::Partitioned);
+  Val NumClasses = B.inI64("num_classes");
+  Val YV = Y;
+
+  // Class priors.
+  Val ClassCounts = bucketReduceDense(
+      X.rows(), [&](Val I) { return YV(I); },
+      [](Val) { return Val(int64_t(1)); },
+      [](Val A, Val C) { return A + C; }, NumClasses);
+  Val CC = ClassCounts;
+  Val Priors = tabulate(NumClasses, [&](Val C) {
+    return toF64(CC(C)) / toF64(X.rows());
+  });
+
+  // Per-class per-feature conditional means: the inner reduction predicate
+  // `y(i) == c` is a function of the outer index — the Conditional Reduce
+  // shape, per class and feature.
+  Val Means = tabulate(NumClasses, [&](Val C) {
+    Val CV = C;
+    return tabulate(X.cols(), [&](Val J) {
+      Val JV = J;
+      Generator G;
+      G.Kind = GenKind::Reduce;
+      SymRef I = freshSym("i", Type::i64());
+      G.Cond = Func({I}, (YV(Val(ExprRef(I))) == CV).expr());
+      G.Value = Func({I}, X.at(Val(ExprRef(I)), JV).expr());
+      G.Reduce = binFunc("r", Type::f64(),
+                         [](const ExprRef &A, const ExprRef &Bv) {
+                           return binop(BinOpKind::Add, A, Bv);
+                         });
+      Val Sum = singleLoop(X.rows().expr(), std::move(G));
+      return Sum / toF64(vmax(CC(CV), 1));
+    });
+  });
+
+  return B.build(makeStruct(
+      {{"priors", Type::arrayOf(Type::f64())},
+       {"means", Type::arrayOf(Type::arrayOf(Type::f64()))}},
+      {Priors.expr(), Means.expr()}));
+}

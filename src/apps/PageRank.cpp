@@ -1,0 +1,55 @@
+//===- apps/PageRank.cpp - PageRank (pull and push models) -----*- C++ -*-===//
+
+#include "apps/Apps.h"
+#include "frontend/Frontend.h"
+
+using namespace dmll;
+using namespace dmll::frontend;
+
+Program dmll::apps::pageRankPull() {
+  ProgramBuilder B;
+  // Incoming-edge CSR: in_edges[in_offsets[v] .. in_offsets[v+1]) are the
+  // vertices linking *to* v.
+  Val InOffsets = B.inVecI64("in_offsets", LayoutHint::Partitioned);
+  Val InEdges = B.inVecI64("in_edges", LayoutHint::Partitioned);
+  Val OutDeg = B.inVecI64("outdeg", LayoutHint::Local);
+  Val Ranks = B.inVecF64("ranks", LayoutHint::Partitioned);
+  Val NumV = B.inI64("numv");
+  Val IO = InOffsets, IE = InEdges, OD = OutDeg, RK = Ranks;
+
+  Val NewRanks = tabulate(NumV, [&](Val V) {
+    Val Begin = IO(V);
+    Val Contrib = sumRange(IO(V + Val(int64_t(1))) - Begin, [&](Val E) {
+      Val U = IE(Begin + E);
+      return RK(U) / toF64(vmax(OD(U), 1));
+    });
+    return Val(0.15) / toF64(NumV) + Val(0.85) * Contrib;
+  });
+  return B.build(NewRanks);
+}
+
+Program dmll::apps::pageRankPush() {
+  ProgramBuilder B;
+  // Outgoing-edge CSR plus a flat edge list (src per edge) so the scatter
+  // is a single dense BucketReduce over the edges.
+  Val Srcs = B.inVecI64("edge_src", LayoutHint::Partitioned);
+  Val Dsts = B.inVecI64("edge_dst", LayoutHint::Partitioned);
+  Val OutDeg = B.inVecI64("outdeg", LayoutHint::Local);
+  Val Ranks = B.inVecF64("ranks", LayoutHint::Partitioned);
+  Val NumV = B.inI64("numv");
+  Val SR = Srcs, DS = Dsts, OD = OutDeg, RK = Ranks;
+
+  Val Gathered = bucketReduceDense(
+      Srcs.len(), [&](Val E) { return DS(E); },
+      [&](Val E) {
+        Val U = SR(E);
+        return RK(U) / toF64(vmax(OD(U), 1));
+      },
+      [](Val A, Val Bv) { return A + Bv; }, NumV);
+  Val GatheredV = Gathered;
+  Val NewRanks = tabulate(NumV, [&](Val V) {
+    return Val(0.15) / toF64(NumV) + Val(0.85) * GatheredV(V);
+  });
+  return B.build(NewRanks);
+}
+

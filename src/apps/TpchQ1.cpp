@@ -1,0 +1,52 @@
+//===- apps/TpchQ1.cpp - TPC-H Query 1 -------------------------*- C++ -*-===//
+
+#include "apps/Apps.h"
+#include "data/Datasets.h"
+#include "frontend/Frontend.h"
+
+using namespace dmll;
+using namespace dmll::frontend;
+
+Program dmll::apps::tpchQ1() {
+  ProgramBuilder B;
+  Val Items = B.in("lineitems", Type::arrayOf(data::LineItems::elemType()),
+                   LayoutHint::Partitioned);
+  Val Cutoff = B.inI64("cutoff");
+
+  Val Filtered = filter(Items, [&](Val L) {
+    return L.field("shipdate") <= Cutoff;
+  });
+  Val Groups = groupBy(Filtered, [](Val L) {
+    return L.field("returnflag") * Val(int64_t(256)) + L.field("linestatus");
+  });
+  Val Buckets = Groups.field("values");
+  Val BucketsV = Buckets;
+
+  auto Agg = [&](const Fn1 &F) {
+    return tabulate(Buckets.len(), [&](Val K) {
+      return sum(map(BucketsV(K), F));
+    });
+  };
+  Val SumQty = Agg([](Val L) { return L.field("quantity"); });
+  Val SumBase = Agg([](Val L) { return L.field("extendedprice"); });
+  Val SumDisc = Agg([](Val L) {
+    return L.field("extendedprice") * (Val(1.0) - L.field("discount"));
+  });
+  Val SumCharge = Agg([](Val L) {
+    return L.field("extendedprice") * (Val(1.0) - L.field("discount")) *
+           (Val(1.0) + L.field("tax"));
+  });
+  Val Counts = Agg([](Val) { return Val(int64_t(1)); });
+
+  TypeRef F64s = Type::arrayOf(Type::f64());
+  TypeRef I64s = Type::arrayOf(Type::i64());
+  return B.build(makeStruct({{"keys", I64s},
+                             {"sum_qty", F64s},
+                             {"sum_base_price", F64s},
+                             {"sum_disc_price", F64s},
+                             {"sum_charge", F64s},
+                             {"count", I64s}},
+                            {Groups.field("keys").expr(), SumQty.expr(),
+                             SumBase.expr(), SumDisc.expr(),
+                             SumCharge.expr(), Counts.expr()}));
+}

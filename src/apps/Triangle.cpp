@@ -1,0 +1,36 @@
+//===- apps/Triangle.cpp - Triangle counting -------------------*- C++ -*-===//
+
+#include "apps/Apps.h"
+#include "frontend/Frontend.h"
+
+using namespace dmll;
+using namespace dmll::frontend;
+
+Program dmll::apps::triangleCount() {
+  ProgramBuilder B;
+  Val Offsets = B.inVecI64("offsets", LayoutHint::Partitioned);
+  Val Edges = B.inVecI64("edges", LayoutHint::Partitioned);
+  Val Srcs = B.inVecI64("edge_src", LayoutHint::Partitioned);
+  Val Dsts = B.inVecI64("edge_dst", LayoutHint::Partitioned);
+  Val OF = Offsets, ED = Edges, SR = Srcs, DS = Dsts;
+
+  // For each edge (u, v) with u < v, count common neighbors w > v; each
+  // triangle u < v < w is counted exactly once (undirected input graphs
+  // store both directions).
+  Val Count = sumRange(Srcs.len(), [&](Val E) {
+    Val U = SR(E), V = DS(E);
+    Val UV = U, VV = V;
+    Val Inner = sumRange(OF(UV + Val(int64_t(1))) - OF(UV), [&](Val A) {
+      Val W = ED(OF(UV) + A);
+      Val WV = W;
+      Val Matches =
+          sumRange(OF(VV + Val(int64_t(1))) - OF(VV), [&](Val Bi) {
+            Val W2 = ED(OF(VV) + Bi);
+            return vselect(W2 == WV, Val(int64_t(1)), Val(int64_t(0)));
+          });
+      return vselect(WV > VV, Matches, Val(int64_t(0)));
+    });
+    return vselect(UV < VV, Inner, Val(int64_t(0)));
+  });
+  return B.build(Count);
+}

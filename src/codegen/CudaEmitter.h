@@ -1,0 +1,56 @@
+//===- codegen/CudaEmitter.h - CUDA-dialect kernel emission ----*- C++ -*-===//
+//
+// Part of the DMLL reproduction of Brown et al., CGO 2016.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Emits CUDA-dialect kernel source for the top-level multiloops of a
+/// program, realizing the GPU implementation strategies of Section 3.1:
+///
+///  * Collect with a non-trivial condition: two-phase — evaluate the
+///    condition for all indices, exclusive-scan to sizes, then write values
+///    to their final positions (no dynamic append on device).
+///  * Reduce over scalars: tree reduction in __shared__ memory.
+///  * Reduce over vectors: global-memory strided reduction, annotated as
+///    inefficient — the reason Row-to-Column Reduce exists.
+///  * BucketReduce: atomic read-modify-write per key (the sorting-based
+///    alternative noted in the paper is left to future work).
+///
+/// There is no GPU on this host (DESIGN.md §2), so the output is checked
+/// structurally by tests and used by the GPU simulator's kernel-choice
+/// logic, not executed.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DMLL_CODEGEN_CUDAEMITTER_H
+#define DMLL_CODEGEN_CUDAEMITTER_H
+
+#include "ir/Expr.h"
+
+#include <string>
+#include <vector>
+
+namespace dmll {
+
+/// Summary of the kernel choices made for one loop.
+struct CudaKernelInfo {
+  std::string Name;
+  bool TwoPhaseCollect = false;
+  bool SharedMemReduce = false; ///< scalar reduction in shared memory
+  bool GlobalMemReduce = false; ///< vector reduction spilling to global
+  bool AtomicBuckets = false;
+};
+
+/// Result of CUDA emission.
+struct CudaEmission {
+  std::string Source;
+  std::vector<CudaKernelInfo> Kernels;
+};
+
+/// Emits kernels for every top-level (closed) multiloop of \p P.
+CudaEmission emitCuda(const Program &P);
+
+} // namespace dmll
+
+#endif // DMLL_CODEGEN_CUDAEMITTER_H

@@ -1,0 +1,223 @@
+//===- data/Datasets.cpp ---------------------------------------*- C++ -*-===//
+
+#include "data/Datasets.h"
+
+#include "ir/Type.h"
+#include "support/Rng.h"
+
+#include <algorithm>
+#include <cassert>
+#include <set>
+
+using namespace dmll;
+using namespace dmll::data;
+
+Value MatrixData::toValue() const {
+  return Value::makeStruct({Value::arrayOfDoubles(Data),
+                            Value(static_cast<int64_t>(Rows)),
+                            Value(static_cast<int64_t>(Cols))});
+}
+
+MatrixData data::makeGaussianMixture(size_t Rows, size_t Cols, size_t K,
+                                     uint64_t Seed) {
+  Rng R(Seed);
+  // Cluster centers on a scaled lattice.
+  std::vector<double> Centers(K * Cols);
+  for (double &C : Centers)
+    C = R.nextGaussian() * 8.0;
+  MatrixData M;
+  M.Rows = Rows;
+  M.Cols = Cols;
+  M.Data.resize(Rows * Cols);
+  for (size_t I = 0; I < Rows; ++I) {
+    size_t C = R.nextBelow(K);
+    for (size_t J = 0; J < Cols; ++J)
+      M.Data[I * Cols + J] = Centers[C * Cols + J] + R.nextGaussian();
+  }
+  return M;
+}
+
+MatrixData data::makeCentroids(const MatrixData &M, size_t K, uint64_t Seed) {
+  Rng R(Seed);
+  MatrixData C;
+  C.Rows = K;
+  C.Cols = M.Cols;
+  C.Data.resize(K * M.Cols);
+  for (size_t I = 0; I < K; ++I) {
+    size_t Pick = R.nextBelow(M.Rows);
+    for (size_t J = 0; J < M.Cols; ++J)
+      C.Data[I * M.Cols + J] = M.at(Pick, J) + 0.1 * R.nextGaussian();
+  }
+  return C;
+}
+
+std::vector<int64_t> data::makeLabels(const MatrixData &M, uint64_t Seed) {
+  Rng R(Seed);
+  std::vector<int64_t> Y(M.Rows);
+  for (size_t I = 0; I < M.Rows; ++I) {
+    double Noise = R.nextGaussian() * 0.5;
+    Y[I] = (M.at(I, 0) + Noise) > 0.0 ? 1 : 0;
+  }
+  return Y;
+}
+
+TypeRef LineItems::elemType() {
+  return Type::structOf({{"quantity", Type::f64()},
+                         {"extendedprice", Type::f64()},
+                         {"discount", Type::f64()},
+                         {"tax", Type::f64()},
+                         {"returnflag", Type::i64()},
+                         {"linestatus", Type::i64()},
+                         {"shipdate", Type::i64()},
+                         {"orderkey", Type::i64()},
+                         {"partkey", Type::i64()}});
+}
+
+Value LineItems::toAosValue() const {
+  ArrayData Elems;
+  Elems.reserve(size());
+  for (size_t I = 0; I < size(); ++I)
+    Elems.push_back(Value::makeStruct(
+        {Value(Quantity[I]), Value(ExtendedPrice[I]), Value(Discount[I]),
+         Value(Tax[I]), Value(ReturnFlag[I]), Value(LineStatus[I]),
+         Value(ShipDate[I]), Value(OrderKey[I]), Value(PartKey[I])}));
+  return Value::makeArray(std::move(Elems));
+}
+
+LineItems data::makeLineItems(size_t N, uint64_t Seed) {
+  Rng R(Seed);
+  LineItems L;
+  L.Quantity.reserve(N);
+  for (size_t I = 0; I < N; ++I) {
+    L.Quantity.push_back(1.0 + static_cast<double>(R.nextBelow(50)));
+    L.ExtendedPrice.push_back(900.0 + R.nextDouble() * 100000.0);
+    L.Discount.push_back(R.nextDouble() * 0.1);
+    L.Tax.push_back(R.nextDouble() * 0.08);
+    L.ReturnFlag.push_back(static_cast<int64_t>(R.nextBelow(3)));
+    L.LineStatus.push_back(static_cast<int64_t>(R.nextBelow(2)));
+    L.ShipDate.push_back(static_cast<int64_t>(R.nextBelow(10000)));
+    L.OrderKey.push_back(static_cast<int64_t>(R.next() & 0xffffff));
+    L.PartKey.push_back(static_cast<int64_t>(R.next() & 0xffff));
+  }
+  return L;
+}
+
+TypeRef GeneReads::elemType() {
+  return Type::structOf({{"barcode", Type::i64()},
+                         {"quality", Type::f64()},
+                         {"length", Type::i64()},
+                         {"flowcell", Type::i64()}});
+}
+
+Value GeneReads::toAosValue() const {
+  ArrayData Elems;
+  Elems.reserve(size());
+  for (size_t I = 0; I < size(); ++I)
+    Elems.push_back(Value::makeStruct({Value(Barcode[I]), Value(Quality[I]),
+                                       Value(Length[I]),
+                                       Value(FlowCell[I])}));
+  return Value::makeArray(std::move(Elems));
+}
+
+GeneReads data::makeGeneReads(size_t N, size_t NumBarcodes, uint64_t Seed) {
+  Rng R(Seed);
+  GeneReads G;
+  for (size_t I = 0; I < N; ++I) {
+    // Skew: square the uniform pick so low barcodes are hot.
+    double U = R.nextDouble();
+    G.Barcode.push_back(
+        static_cast<int64_t>(U * U * static_cast<double>(NumBarcodes)));
+    G.Quality.push_back(R.nextDouble() * 40.0);
+    G.Length.push_back(50 + static_cast<int64_t>(R.nextBelow(100)));
+    G.FlowCell.push_back(static_cast<int64_t>(R.nextBelow(8)));
+  }
+  return G;
+}
+
+CsrGraph CsrGraph::transposed() const {
+  CsrGraph T;
+  T.NumV = NumV;
+  T.Offsets.assign(static_cast<size_t>(NumV) + 1, 0);
+  for (int64_t E : Edges)
+    ++T.Offsets[static_cast<size_t>(E) + 1];
+  for (size_t V = 1; V < T.Offsets.size(); ++V)
+    T.Offsets[V] += T.Offsets[V - 1];
+  T.Edges.resize(Edges.size());
+  std::vector<int64_t> Cursor(T.Offsets.begin(), T.Offsets.end() - 1);
+  for (int64_t U = 0; U < NumV; ++U)
+    for (int64_t E = Offsets[U]; E < Offsets[U + 1]; ++E)
+      T.Edges[static_cast<size_t>(Cursor[static_cast<size_t>(Edges[E])]++)] =
+          U;
+  for (int64_t V = 0; V < NumV; ++V)
+    std::sort(T.Edges.begin() + T.Offsets[V], T.Edges.begin() + T.Offsets[V + 1]);
+  T.OutDeg = OutDeg; // out-degrees of the original orientation
+  return T;
+}
+
+CsrGraph data::makeRmat(unsigned Scale, unsigned EdgeFactor, uint64_t Seed) {
+  Rng R(Seed);
+  int64_t N = int64_t(1) << Scale;
+  size_t Target = static_cast<size_t>(N) * EdgeFactor;
+  std::set<std::pair<int64_t, int64_t>> Seen;
+  // RMAT(0.57, 0.19, 0.19, 0.05).
+  for (size_t T = 0; T < Target * 2 && Seen.size() < Target; ++T) {
+    int64_t U = 0, V = 0;
+    for (unsigned B = 0; B < Scale; ++B) {
+      double P = R.nextDouble();
+      int Quad = P < 0.57 ? 0 : P < 0.76 ? 1 : P < 0.95 ? 2 : 3;
+      U = (U << 1) | (Quad >> 1);
+      V = (V << 1) | (Quad & 1);
+    }
+    if (U != V)
+      Seen.insert({U, V});
+  }
+  CsrGraph G;
+  G.NumV = N;
+  G.Offsets.assign(static_cast<size_t>(N) + 1, 0);
+  for (const auto &[U, V] : Seen)
+    ++G.Offsets[static_cast<size_t>(U) + 1];
+  for (size_t V = 1; V < G.Offsets.size(); ++V)
+    G.Offsets[V] += G.Offsets[V - 1];
+  G.Edges.resize(Seen.size());
+  std::vector<int64_t> Cursor(G.Offsets.begin(), G.Offsets.end() - 1);
+  for (const auto &[U, V] : Seen)
+    G.Edges[static_cast<size_t>(Cursor[static_cast<size_t>(U)]++)] = V;
+  G.OutDeg.resize(static_cast<size_t>(N));
+  for (int64_t V = 0; V < N; ++V)
+    G.OutDeg[static_cast<size_t>(V)] = G.deg(V);
+  return G;
+}
+
+FactorGraph data::makeFactorGraph(int64_t NumVars, int64_t AvgDeg,
+                                  uint64_t Seed) {
+  Rng R(Seed);
+  FactorGraph F;
+  F.NumVars = NumVars;
+  F.Bias.resize(static_cast<size_t>(NumVars));
+  for (double &B : F.Bias)
+    B = R.nextGaussian() * 0.5;
+  // Symmetric pairwise factors built per variable.
+  std::vector<std::vector<std::pair<int64_t, double>>> Adj(
+      static_cast<size_t>(NumVars));
+  int64_t NumFactors = NumVars * AvgDeg / 2;
+  for (int64_t T = 0; T < NumFactors; ++T) {
+    int64_t A = static_cast<int64_t>(R.nextBelow(NumVars));
+    int64_t B = static_cast<int64_t>(R.nextBelow(NumVars));
+    if (A == B)
+      continue;
+    double W = R.nextGaussian() * 0.3;
+    Adj[static_cast<size_t>(A)].push_back({B, W});
+    Adj[static_cast<size_t>(B)].push_back({A, W});
+  }
+  F.VarOffsets.assign(static_cast<size_t>(NumVars) + 1, 0);
+  for (int64_t V = 0; V < NumVars; ++V)
+    F.VarOffsets[static_cast<size_t>(V) + 1] =
+        F.VarOffsets[static_cast<size_t>(V)] +
+        static_cast<int64_t>(Adj[static_cast<size_t>(V)].size());
+  for (int64_t V = 0; V < NumVars; ++V)
+    for (const auto &[N, W] : Adj[static_cast<size_t>(V)]) {
+      F.Neighbor.push_back(N);
+      F.Weight.push_back(W);
+    }
+  return F;
+}

@@ -1,0 +1,116 @@
+//===- data/Datasets.h - Deterministic synthetic workloads -----*- C++ -*-===//
+//
+// Part of the DMLL reproduction of Brown et al., CGO 2016.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Synthetic stand-ins for the paper's datasets (see DESIGN.md §2): Gaussian
+/// mixture matrices for the ML benchmarks (500k x 100 in the paper), a
+/// TPC-H-shaped lineitem table for Query 1, gene reads for barcoding, and
+/// an RMAT power-law graph replacing LiveJournal. All generators are
+/// deterministic in their seed.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DMLL_DATA_DATASETS_H
+#define DMLL_DATA_DATASETS_H
+
+#include "interp/Value.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace dmll {
+namespace data {
+
+/// Dense row-major matrix.
+struct MatrixData {
+  size_t Rows = 0, Cols = 0;
+  std::vector<double> Data;
+
+  double at(size_t I, size_t J) const { return Data[I * Cols + J]; }
+  /// As the frontend's {data, rows, cols} struct Value.
+  Value toValue() const;
+};
+
+/// Rows drawn from \p K Gaussian clusters with unit-variance noise (the
+/// k-means / GDA / logreg workload shape).
+MatrixData makeGaussianMixture(size_t Rows, size_t Cols, size_t K,
+                               uint64_t Seed);
+
+/// \p K initial centroids (the first K mixture centers, slightly
+/// perturbed).
+MatrixData makeCentroids(const MatrixData &M, size_t K, uint64_t Seed);
+
+/// Binary labels correlated with the first feature (logreg / GDA).
+std::vector<int64_t> makeLabels(const MatrixData &M, uint64_t Seed);
+
+/// TPC-H-shaped lineitem table (the columns Query 1 touches plus dead
+/// fields that dead-field elimination should drop).
+struct LineItems {
+  std::vector<double> Quantity, ExtendedPrice, Discount, Tax;
+  std::vector<int64_t> ReturnFlag, LineStatus, ShipDate;
+  std::vector<int64_t> OrderKey, PartKey; ///< never read by Query 1 (DFE)
+
+  size_t size() const { return Quantity.size(); }
+  /// Element struct type (AoS form, field order fixed).
+  static TypeRef elemType();
+  /// AoS Value: Array of structs.
+  Value toAosValue() const;
+};
+
+/// \p N lineitems; ReturnFlag in {0,1,2}, LineStatus in {0,1}, ShipDate
+/// uniform in [0, 10000) so the Query 1 predicate (<= 9500) keeps ~95%.
+LineItems makeLineItems(size_t N, uint64_t Seed);
+
+/// Gene reads for the barcoding benchmark.
+struct GeneReads {
+  std::vector<int64_t> Barcode;
+  std::vector<double> Quality;
+  std::vector<int64_t> Length;
+  std::vector<int64_t> FlowCell; ///< dead field
+
+  size_t size() const { return Barcode.size(); }
+  static TypeRef elemType();
+  Value toAosValue() const;
+};
+
+/// \p N reads over \p NumBarcodes barcodes with a skewed distribution.
+GeneReads makeGeneReads(size_t N, size_t NumBarcodes, uint64_t Seed);
+
+/// CSR graph (directed; Edges holds out-neighbors, sorted per vertex).
+struct CsrGraph {
+  int64_t NumV = 0;
+  std::vector<int64_t> Offsets; ///< NumV + 1 entries
+  std::vector<int64_t> Edges;
+  std::vector<int64_t> OutDeg;
+
+  int64_t numEdges() const { return static_cast<int64_t>(Edges.size()); }
+  int64_t deg(int64_t V) const { return Offsets[V + 1] - Offsets[V]; }
+  /// Reverses edge direction (for pull-model PageRank).
+  CsrGraph transposed() const;
+};
+
+/// RMAT power-law graph: 2^Scale vertices, ~EdgeFactor * 2^Scale edges,
+/// deduplicated and sorted, no self loops (LiveJournal stand-in).
+CsrGraph makeRmat(unsigned Scale, unsigned EdgeFactor, uint64_t Seed);
+
+/// A factor graph for Gibbs sampling: binary variables, pairwise factors.
+struct FactorGraph {
+  int64_t NumVars = 0;
+  /// CSR of factors per variable: each incident factor contributes
+  /// (neighbor variable, weight).
+  std::vector<int64_t> VarOffsets;
+  std::vector<int64_t> Neighbor;
+  std::vector<double> Weight;
+  std::vector<double> Bias; ///< per-variable unary factor
+};
+
+/// Random pairwise factor graph with average degree \p AvgDeg.
+FactorGraph makeFactorGraph(int64_t NumVars, int64_t AvgDeg, uint64_t Seed);
+
+} // namespace data
+} // namespace dmll
+
+#endif // DMLL_DATA_DATASETS_H

@@ -1,0 +1,251 @@
+//===- frontend/Frontend.cpp -----------------------------------*- C++ -*-===//
+
+#include "frontend/Frontend.h"
+
+#include "support/Error.h"
+
+using namespace dmll;
+using namespace dmll::frontend;
+
+namespace dmll {
+namespace frontend {
+
+Val operator+(Val A, Val B) { return binop(BinOpKind::Add, A.expr(), B.expr()); }
+Val operator-(Val A, Val B) { return binop(BinOpKind::Sub, A.expr(), B.expr()); }
+Val operator*(Val A, Val B) { return binop(BinOpKind::Mul, A.expr(), B.expr()); }
+Val operator/(Val A, Val B) { return binop(BinOpKind::Div, A.expr(), B.expr()); }
+Val operator%(Val A, Val B) { return binop(BinOpKind::Mod, A.expr(), B.expr()); }
+Val operator==(Val A, Val B) { return binop(BinOpKind::Eq, A.expr(), B.expr()); }
+Val operator!=(Val A, Val B) { return binop(BinOpKind::Ne, A.expr(), B.expr()); }
+Val operator<(Val A, Val B) { return binop(BinOpKind::Lt, A.expr(), B.expr()); }
+Val operator<=(Val A, Val B) { return binop(BinOpKind::Le, A.expr(), B.expr()); }
+Val operator>(Val A, Val B) { return binop(BinOpKind::Gt, A.expr(), B.expr()); }
+Val operator>=(Val A, Val B) { return binop(BinOpKind::Ge, A.expr(), B.expr()); }
+Val operator&&(Val A, Val B) { return binop(BinOpKind::And, A.expr(), B.expr()); }
+Val operator||(Val A, Val B) { return binop(BinOpKind::Or, A.expr(), B.expr()); }
+Val operator-(Val A) { return unop(UnOpKind::Neg, A.expr()); }
+
+Val vmin(Val A, Val B) { return binop(BinOpKind::Min, A.expr(), B.expr()); }
+Val vmax(Val A, Val B) { return binop(BinOpKind::Max, A.expr(), B.expr()); }
+Val vselect(Val C, Val A, Val B) {
+  return select(C.expr(), A.expr(), B.expr());
+}
+Val vexp(Val A) { return unop(UnOpKind::Exp, A.expr()); }
+Val vlog(Val A) { return unop(UnOpKind::Log, A.expr()); }
+Val vsqrt(Val A) { return unop(UnOpKind::Sqrt, A.expr()); }
+Val vabs(Val A) { return unop(UnOpKind::Abs, A.expr()); }
+Val toF64(Val A) { return castTo(Type::f64(), A.expr()); }
+Val toI64(Val A) { return castTo(Type::i64(), A.expr()); }
+
+Val tabulate(Val N, const Fn1 &F) {
+  Generator G;
+  G.Kind = GenKind::Collect;
+  G.Cond = trueCond();
+  G.Value = indexFunc("i", [&](const ExprRef &I) { return F(Val(I)).expr(); });
+  return singleLoop(N.expr(), std::move(G));
+}
+
+Val map(Val Arr, const Fn1 &F) {
+  Val ArrV = Arr;
+  return tabulate(Arr.len(), [&](Val I) { return F(ArrV(I)); });
+}
+
+Val zipWith(Val A, Val B, const Fn2 &F) {
+  Val AV = A, BV = B;
+  return tabulate(A.len(), [&](Val I) { return F(AV(I), BV(I)); });
+}
+
+Val filter(Val Arr, const Fn1 &Pred) {
+  Generator G;
+  G.Kind = GenKind::Collect;
+  Val ArrV = Arr;
+  G.Cond = indexFunc(
+      "i", [&](const ExprRef &I) { return Pred(ArrV(Val(I))).expr(); });
+  G.Value =
+      indexFunc("i", [&](const ExprRef &I) { return ArrV(Val(I)).expr(); });
+  return singleLoop(Arr.len().expr(), std::move(G));
+}
+
+Val flatMap(Val Arr, const Fn1 &F) { return flatten(map(Arr, F).expr()); }
+
+Val reduceRange(Val N, const Fn1 &F, const Fn2 &R) {
+  Generator G;
+  G.Kind = GenKind::Reduce;
+  G.Cond = trueCond();
+  G.Value = indexFunc("i", [&](const ExprRef &I) { return F(Val(I)).expr(); });
+  TypeRef VTy = G.Value.Body->type();
+  G.Reduce = binFunc("r", VTy, [&](const ExprRef &A, const ExprRef &B) {
+    return R(Val(A), Val(B)).expr();
+  });
+  return singleLoop(N.expr(), std::move(G));
+}
+
+Val reduce(Val Arr, const Fn2 &F) {
+  Val ArrV = Arr;
+  return reduceRange(Arr.len(), [&](Val I) { return ArrV(I); }, F);
+}
+
+/// Scalar or vector addition depending on the operand type; nested arrays
+/// add recursively (sums of matrices for GDA's covariance).
+static Val addAny(Val A, Val B) {
+  if (A.type()->isArray())
+    return zipWith(A, B, [](Val X, Val Y) { return addAny(X, Y); });
+  return A + B;
+}
+
+Val sum(Val Arr) {
+  return reduce(Arr, [](Val A, Val B) { return addAny(A, B); });
+}
+
+Val sumRange(Val N, const Fn1 &F) {
+  return reduceRange(N, F, [](Val A, Val B) { return addAny(A, B); });
+}
+
+Val minIndexBy(Val N, const Fn1 &F) {
+  // Reduce over {v, i} pairs, keeping the earlier index on ties (the reduce
+  // is left-associated by the sequential semantics and kept ordered by the
+  // parallel runtimes).
+  std::vector<Type::Field> PairFields = {{"v", Type::f64()},
+                                         {"i", Type::i64()}};
+  Generator G;
+  G.Kind = GenKind::Reduce;
+  G.Cond = trueCond();
+  G.Value = indexFunc("i", [&](const ExprRef &I) {
+    Val V = toF64(F(Val(I)));
+    return makeStruct(PairFields, {V.expr(), I});
+  });
+  TypeRef PairTy = G.Value.Body->type();
+  G.Reduce = binFunc("m", PairTy, [&](const ExprRef &A, const ExprRef &B) {
+    Val AV(A), BV(B);
+    return vselect(AV.field("v") <= BV.field("v"), AV, BV).expr();
+  });
+  Val Pair = singleLoop(N.expr(), std::move(G));
+  return Pair.field("i");
+}
+
+Val minIndex(Val Arr) {
+  Val ArrV = Arr;
+  return minIndexBy(Arr.len(), [&](Val I) { return ArrV(I); });
+}
+
+Val groupBy(Val Arr, const Fn1 &KeyF) {
+  Generator G;
+  G.Kind = GenKind::BucketCollect;
+  Val ArrV = Arr;
+  G.Cond = trueCond();
+  G.Key = indexFunc(
+      "i", [&](const ExprRef &I) { return toI64(KeyF(ArrV(Val(I)))).expr(); });
+  G.Value =
+      indexFunc("i", [&](const ExprRef &I) { return ArrV(Val(I)).expr(); });
+  return singleLoop(Arr.len().expr(), std::move(G));
+}
+
+Val bucketReduceDense(Val N, const Fn1 &KeyF, const Fn1 &F, const Fn2 &R,
+                      Val NumKeys) {
+  Generator G;
+  G.Kind = GenKind::BucketReduce;
+  G.Cond = trueCond();
+  G.Key = indexFunc(
+      "i", [&](const ExprRef &I) { return toI64(KeyF(Val(I))).expr(); });
+  G.Value = indexFunc("i", [&](const ExprRef &I) { return F(Val(I)).expr(); });
+  TypeRef VTy = G.Value.Body->type();
+  G.Reduce = binFunc("r", VTy, [&](const ExprRef &A, const ExprRef &B) {
+    return R(Val(A), Val(B)).expr();
+  });
+  G.NumKeys = NumKeys.expr();
+  return singleLoop(N.expr(), std::move(G));
+}
+
+Val bucketReduceHash(Val N, const Fn1 &KeyF, const Fn1 &F, const Fn2 &R) {
+  Generator G;
+  G.Kind = GenKind::BucketReduce;
+  G.Cond = trueCond();
+  G.Key = indexFunc(
+      "i", [&](const ExprRef &I) { return toI64(KeyF(Val(I))).expr(); });
+  G.Value = indexFunc("i", [&](const ExprRef &I) { return F(Val(I)).expr(); });
+  TypeRef VTy = G.Value.Body->type();
+  G.Reduce = binFunc("r", VTy, [&](const ExprRef &A, const ExprRef &B) {
+    return R(Val(A), Val(B)).expr();
+  });
+  return singleLoop(N.expr(), std::move(G));
+}
+
+TypeRef Mat::type() {
+  return Type::structOf({{"data", Type::arrayOf(Type::f64())},
+                         {"rows", Type::i64()},
+                         {"cols", Type::i64()}});
+}
+
+Val Mat::row(Val I) const {
+  const Mat &M = *this;
+  Val IV = I;
+  return tabulate(cols(), [&](Val J) { return M.at(IV, J); });
+}
+
+Val Mat::mapRowsIdx(const Fn1 &F) const { return tabulate(rows(), F); }
+
+Val Mat::sumRowsVec() const {
+  const Mat &M = *this;
+  return sumRange(rows(), [&](Val I) { return M.row(I); });
+}
+
+Val makeMat(Val Data, Val Rows, Val Cols) {
+  return makeStruct({{"data", Type::arrayOf(Type::f64())},
+                     {"rows", Type::i64()},
+                     {"cols", Type::i64()}},
+                    {Data.expr(), Rows.expr(), Cols.expr()});
+}
+
+Val distSq(Val A, Val B) {
+  Val AV = A, BV = B;
+  return sumRange(A.len(), [&](Val J) {
+    Val D = AV(J) - BV(J);
+    return D * D;
+  });
+}
+
+Val dot(Val A, Val B) {
+  Val AV = A, BV = B;
+  return sumRange(A.len(), [&](Val J) { return AV(J) * BV(J); });
+}
+
+Val sigmoid(Val Z) { return Val(1.0) / (Val(1.0) + vexp(-Z)); }
+
+Val ProgramBuilder::in(const std::string &Name, TypeRef Ty, LayoutHint Hint) {
+  for (const auto &I : Inputs)
+    if (I->name() == Name)
+      fatalError("duplicate input '" + Name + "'");
+  auto In = input(Name, std::move(Ty), Hint);
+  Inputs.push_back(In);
+  return Val(ExprRef(In));
+}
+
+Mat ProgramBuilder::inMat(const std::string &Name, LayoutHint Hint) {
+  return Mat(in(Name, Mat::type(), Hint));
+}
+
+Val ProgramBuilder::inVecF64(const std::string &Name, LayoutHint Hint) {
+  return in(Name, Type::arrayOf(Type::f64()), Hint);
+}
+
+Val ProgramBuilder::inVecI64(const std::string &Name, LayoutHint Hint) {
+  return in(Name, Type::arrayOf(Type::i64()), Hint);
+}
+
+Val ProgramBuilder::inI64(const std::string &Name) {
+  return in(Name, Type::i64(), LayoutHint::Local);
+}
+
+Val ProgramBuilder::inF64(const std::string &Name) {
+  return in(Name, Type::f64(), LayoutHint::Local);
+}
+
+Program ProgramBuilder::build(Val Result) {
+  Program P;
+  P.Inputs = Inputs;
+  P.Result = Result.expr();
+  return P;
+}
+
+} // namespace frontend
+} // namespace dmll

@@ -1,0 +1,221 @@
+//===- frontend/Frontend.h - Implicitly parallel patterns API --*- C++ -*-===//
+//
+// Part of the DMLL reproduction of Brown et al., CGO 2016.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The user-facing programming model: implicitly parallel patterns (map,
+/// zipWith, filter, flatMap, reduce, groupBy, ...) that build multiloop IR,
+/// mirroring the pseudocode of the paper (Fig. 1). Applications written
+/// against this API are *not* distribution-aware; Sections 3-4's analyses
+/// and transformations do that automatically.
+///
+/// `Val` wraps an expression; `Mat` wraps the {data, rows, cols} struct
+/// encoding of dense row-major matrices and provides mapRows / sumRows /
+/// minIndex-style helpers used by the ML benchmarks.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DMLL_FRONTEND_FRONTEND_H
+#define DMLL_FRONTEND_FRONTEND_H
+
+#include "ir/Builder.h"
+#include "ir/Expr.h"
+
+#include <functional>
+
+namespace dmll {
+namespace frontend {
+
+/// A staged value: a typed IR expression with operator sugar.
+class Val {
+public:
+  Val() = default;
+  /*implicit*/ Val(ExprRef E) : E(std::move(E)) {}
+  /*implicit*/ Val(SymRef S) : E(std::move(S)) {}
+  /*implicit*/ Val(int I) : E(constI64(I)) {}
+  /*implicit*/ Val(int64_t I) : E(constI64(I)) {}
+  /*implicit*/ Val(double D) : E(constF64(D)) {}
+
+  bool isSet() const { return E != nullptr; }
+  const ExprRef &expr() const { return E; }
+  const TypeRef &type() const { return E->type(); }
+
+  /// Random-access read `arr(i)`.
+  Val operator()(Val Idx) const { return arrayRead(E, Idx.expr()); }
+  /// Struct field projection.
+  Val field(const std::string &Name) const { return getField(E, Name); }
+  /// Collection length.
+  Val len() const { return arrayLen(E); }
+
+private:
+  ExprRef E;
+};
+
+Val operator+(Val A, Val B);
+Val operator-(Val A, Val B);
+Val operator*(Val A, Val B);
+Val operator/(Val A, Val B);
+Val operator%(Val A, Val B);
+Val operator==(Val A, Val B);
+Val operator!=(Val A, Val B);
+Val operator<(Val A, Val B);
+Val operator<=(Val A, Val B);
+Val operator>(Val A, Val B);
+Val operator>=(Val A, Val B);
+Val operator&&(Val A, Val B);
+Val operator||(Val A, Val B);
+Val operator-(Val A);
+
+Val vmin(Val A, Val B);
+Val vmax(Val A, Val B);
+Val vselect(Val C, Val A, Val B);
+Val vexp(Val A);
+Val vlog(Val A);
+Val vsqrt(Val A);
+Val vabs(Val A);
+Val toF64(Val A);
+Val toI64(Val A);
+
+using Fn1 = std::function<Val(Val)>;
+using Fn2 = std::function<Val(Val, Val)>;
+
+//===----------------------------------------------------------------------===//
+// Core patterns (all lower to multiloops).
+//===----------------------------------------------------------------------===//
+
+/// `Collect` over [0, n) producing F(i).
+Val tabulate(Val N, const Fn1 &F);
+
+/// Element-wise map.
+Val map(Val Arr, const Fn1 &F);
+
+/// Two-collection map (Table 1 "multiple collections").
+Val zipWith(Val A, Val B, const Fn2 &F);
+
+/// Keeps elements satisfying \p Pred.
+Val filter(Val Arr, const Fn1 &Pred);
+
+/// Map to collections, then concatenate.
+Val flatMap(Val Arr, const Fn1 &F);
+
+/// Reduction over elements with operator \p F (associative).
+Val reduce(Val Arr, const Fn2 &F);
+
+/// Reduction of F(i) over [0, n).
+Val reduceRange(Val N, const Fn1 &F, const Fn2 &R);
+
+/// Sum of elements; elements may be scalars or vectors (vector sums use a
+/// zipWith(+) reduction, the paper's "sum of vectors").
+Val sum(Val Arr);
+
+/// Sum of F(i) for i in [0, n).
+Val sumRange(Val N, const Fn1 &F);
+
+/// Index of the minimum element (first occurrence on ties).
+Val minIndex(Val Arr);
+
+/// Index i in [0, n) minimizing F(i) (first occurrence on ties).
+Val minIndexBy(Val N, const Fn1 &F);
+
+/// Hash-bucket groupBy: returns {keys: Array[i64], values: Array[Array[V]]}
+/// in first-occurrence key order.
+Val groupBy(Val Arr, const Fn1 &KeyF);
+
+/// Dense-bucket per-key reduction of F(i) over [0, n): result has NumKeys
+/// entries indexed by key. This is the paper's `bucketReduce(true, key, f,
+/// +)` building block (Fig. 5).
+Val bucketReduceDense(Val N, const Fn1 &KeyF, const Fn1 &F, const Fn2 &R,
+                      Val NumKeys);
+
+/// Hash-bucket per-key reduction: {keys, values}.
+Val bucketReduceHash(Val N, const Fn1 &KeyF, const Fn1 &F, const Fn2 &R);
+
+//===----------------------------------------------------------------------===//
+// Matrices: struct {data: Array[f64], rows: i64, cols: i64}, row-major.
+//===----------------------------------------------------------------------===//
+
+/// Dense matrix wrapper.
+class Mat {
+public:
+  explicit Mat(Val V) : V(V) {}
+
+  const Val &val() const { return V; }
+  Val data() const { return V.field("data"); }
+  Val rows() const { return V.field("rows"); }
+  Val cols() const { return V.field("cols"); }
+
+  /// Scalar element (i, j).
+  Val at(Val I, Val J) const { return data()(I * cols() + J); }
+
+  /// Row i materialized as a vector (fused away by pipeline fusion in
+  /// practice).
+  Val row(Val I) const;
+
+  /// Collect over rows: F receives the row index. (The paper's mapRows
+  /// passes the row; index form composes better with `at`, and `row(i)`
+  /// recovers the row.)
+  Val mapRowsIdx(const Fn1 &F) const;
+
+  /// Column-wise sums: a vector of length cols().
+  Val sumRowsVec() const;
+
+  /// The matrix type used by all apps.
+  static TypeRef type();
+
+private:
+  Val V;
+};
+
+/// Matrix-shaped struct from its three components.
+Val makeMat(Val Data, Val Rows, Val Cols);
+
+/// Squared Euclidean distance between two equal-length vectors.
+Val distSq(Val A, Val B);
+
+/// Dot product of two equal-length vectors.
+Val dot(Val A, Val B);
+
+/// Logistic function 1 / (1 + exp(-z)).
+Val sigmoid(Val Z);
+
+//===----------------------------------------------------------------------===//
+// Program assembly.
+//===----------------------------------------------------------------------===//
+
+/// Collects the inputs of a program under construction.
+class ProgramBuilder {
+public:
+  /// Declares an input dataset with the Section 4.1 annotation.
+  Val in(const std::string &Name, TypeRef Ty,
+         LayoutHint Hint = LayoutHint::Default);
+
+  /// Declares a matrix input; returns the wrapper.
+  Mat inMat(const std::string &Name, LayoutHint Hint = LayoutHint::Default);
+
+  /// Declares an Array[f64] input.
+  Val inVecF64(const std::string &Name,
+               LayoutHint Hint = LayoutHint::Default);
+
+  /// Declares an Array[i64] input.
+  Val inVecI64(const std::string &Name,
+               LayoutHint Hint = LayoutHint::Default);
+
+  /// Declares a scalar i64 input (e.g. a hyper-parameter).
+  Val inI64(const std::string &Name);
+
+  /// Declares a scalar f64 input.
+  Val inF64(const std::string &Name);
+
+  /// Finishes the program with result \p Result.
+  Program build(Val Result);
+
+private:
+  std::vector<std::shared_ptr<const InputExpr>> Inputs;
+};
+
+} // namespace frontend
+} // namespace dmll
+
+#endif // DMLL_FRONTEND_FRONTEND_H

@@ -1,0 +1,63 @@
+//===- graph/Graph.cpp -----------------------------------------*- C++ -*-===//
+
+#include "graph/Graph.h"
+
+#include <set>
+
+using namespace dmll;
+using namespace dmll::graph;
+using data::CsrGraph;
+
+CsrGraph graph::symmetrize(const CsrGraph &G) {
+  std::set<std::pair<int64_t, int64_t>> Und;
+  for (int64_t U = 0; U < G.NumV; ++U)
+    for (int64_t E = G.Offsets[U]; E < G.Offsets[U + 1]; ++E) {
+      int64_t V = G.Edges[static_cast<size_t>(E)];
+      Und.insert({U, V});
+      Und.insert({V, U});
+    }
+  CsrGraph S;
+  S.NumV = G.NumV;
+  S.Offsets.assign(static_cast<size_t>(S.NumV) + 1, 0);
+  for (const auto &[U, V] : Und)
+    ++S.Offsets[static_cast<size_t>(U) + 1];
+  for (size_t V = 1; V < S.Offsets.size(); ++V)
+    S.Offsets[V] += S.Offsets[V - 1];
+  S.Edges.resize(Und.size());
+  std::vector<int64_t> Cur(S.Offsets.begin(), S.Offsets.end() - 1);
+  for (const auto &[U, V] : Und)
+    S.Edges[static_cast<size_t>(Cur[static_cast<size_t>(U)]++)] = V;
+  for (int64_t V = 0; V < S.NumV; ++V)
+    S.OutDeg.push_back(S.deg(V));
+  return S;
+}
+
+EdgeList graph::edgeList(const CsrGraph &G) {
+  EdgeList L;
+  L.Src.reserve(G.Edges.size());
+  L.Dst.reserve(G.Edges.size());
+  for (int64_t U = 0; U < G.NumV; ++U)
+    for (int64_t E = G.Offsets[U]; E < G.Offsets[U + 1]; ++E) {
+      L.Src.push_back(U);
+      L.Dst.push_back(G.Edges[static_cast<size_t>(E)]);
+    }
+  return L;
+}
+
+InputMap graph::pageRankInputs(const CsrGraph &G,
+                               const std::vector<double> &Ranks) {
+  CsrGraph In = G.transposed();
+  return {{"in_offsets", Value::arrayOfInts(In.Offsets)},
+          {"in_edges", Value::arrayOfInts(In.Edges)},
+          {"outdeg", Value::arrayOfInts(G.OutDeg)},
+          {"ranks", Value::arrayOfDoubles(Ranks)},
+          {"numv", Value(G.NumV)}};
+}
+
+InputMap graph::triangleInputs(const CsrGraph &Und) {
+  EdgeList L = edgeList(Und);
+  return {{"offsets", Value::arrayOfInts(Und.Offsets)},
+          {"edges", Value::arrayOfInts(Und.Edges)},
+          {"edge_src", Value::arrayOfInts(L.Src)},
+          {"edge_dst", Value::arrayOfInts(L.Dst)}};
+}

@@ -1,0 +1,42 @@
+//===- graph/Graph.h - Graph utilities for OptiGraph apps ------*- C++ -*-===//
+//
+// Part of the DMLL reproduction of Brown et al., CGO 2016.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Graph helpers shared by the OptiGraph-style applications (Section 6.2):
+/// symmetrization, flat edge lists, and conversion to the interpreter's
+/// input Values for the IR formulations.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DMLL_GRAPH_GRAPH_H
+#define DMLL_GRAPH_GRAPH_H
+
+#include "data/Datasets.h"
+#include "interp/Interp.h"
+
+namespace dmll {
+namespace graph {
+
+/// Undirected view: both directions stored, adjacency sorted.
+data::CsrGraph symmetrize(const data::CsrGraph &G);
+
+/// Flat (src, dst) edge list in CSR order.
+struct EdgeList {
+  std::vector<int64_t> Src, Dst;
+};
+EdgeList edgeList(const data::CsrGraph &G);
+
+/// Inputs for apps::pageRankPull (incoming CSR + out-degrees + ranks).
+InputMap pageRankInputs(const data::CsrGraph &G,
+                        const std::vector<double> &Ranks);
+
+/// Inputs for apps::triangleCount over a symmetrized graph.
+InputMap triangleInputs(const data::CsrGraph &Und);
+
+} // namespace graph
+} // namespace dmll
+
+#endif // DMLL_GRAPH_GRAPH_H

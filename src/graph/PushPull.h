@@ -1,0 +1,46 @@
+//===- graph/PushPull.h - OptiGraph push/pull implementations --*- C++ -*-===//
+//
+// Part of the DMLL reproduction of Brown et al., CGO 2016.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// OptiGraph (Section 6.2): a graph DSL on top of DMLL whose domain-
+/// specific transformation switches between a *pull* model of computation
+/// (gather over incoming neighbors — natural in shared memory) and a *push*
+/// model (scatter contributions to out-neighbors — natural in distributed
+/// systems), following Hong et al. [16]. These are the native
+/// "DMLL-generated" graph kernels the graph benchmarks time: parallel over
+/// vertices/edges with merge-based intersection primitives, structurally
+/// what the DSL's code generator emits.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DMLL_GRAPH_PUSHPULL_H
+#define DMLL_GRAPH_PUSHPULL_H
+
+#include "data/Datasets.h"
+#include "runtime/ThreadPool.h"
+
+namespace dmll {
+namespace graph {
+
+/// Computation direction (the domain-specific transformation's choice).
+enum class GraphMode { Pull, Push };
+
+/// One PageRank iteration. Pull gathers from the transposed CSR \p In;
+/// Push scatters rank/outdeg over the forward CSR \p Out into per-thread
+/// buffers combined at the end. Both produce identical results.
+std::vector<double> pageRankStep(const data::CsrGraph &Out,
+                                 const data::CsrGraph &In,
+                                 const std::vector<double> &Ranks,
+                                 GraphMode Mode, const ThreadPool &Pool);
+
+/// Exact triangle count over a symmetrized graph with sorted adjacency
+/// (merge-based intersection), parallel over vertices.
+int64_t triangleCount(const data::CsrGraph &Und, const ThreadPool &Pool);
+
+} // namespace graph
+} // namespace dmll
+
+#endif // DMLL_GRAPH_PUSHPULL_H

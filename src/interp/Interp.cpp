@@ -1,0 +1,584 @@
+//===- interp/Interp.cpp ---------------------------------------*- C++ -*-===//
+
+#include "interp/Interp.h"
+
+#include "ir/Traversal.h"
+#include "runtime/ThreadPool.h"
+#include "support/Error.h"
+
+#include <cmath>
+#include <memory>
+#include <unordered_set>
+
+using namespace dmll;
+
+namespace {
+
+/// A lexical scope: a handful of symbol bindings plus a memo table for
+/// expensive nodes whose innermost free symbol is bound here.
+struct Scope {
+  Scope *Parent = nullptr;
+  std::vector<std::pair<uint64_t, Value>> Bindings;
+  std::unordered_map<const Expr *, Value> Memo;
+
+  bool binds(uint64_t Id) const {
+    for (const auto &[K, V] : Bindings)
+      if (K == Id)
+        return true;
+    return false;
+  }
+
+  const Value *lookup(uint64_t Id) const {
+    for (const Scope *S = this; S; S = S->Parent)
+      for (const auto &[K, V] : S->Bindings)
+        if (K == Id)
+          return &V;
+    return nullptr;
+  }
+};
+
+class Evaluator {
+public:
+  explicit Evaluator(const InputMap &Inputs, unsigned Threads = 1,
+                     int64_t MinChunk = 1024)
+      : Inputs(Inputs), Threads(Threads), MinChunk(MinChunk) {}
+
+  Value evalTop(const ExprRef &E) {
+    Scope Global;
+    return eval(E, Global);
+  }
+
+private:
+  const InputMap &Inputs;
+  unsigned Threads;
+  int64_t MinChunk;
+  // Free symbols per node, cached (the IR is immutable).
+  std::unordered_map<const Expr *, std::vector<uint64_t>> FreeCache;
+
+  const std::vector<uint64_t> &freeOf(const ExprRef &E) {
+    auto It = FreeCache.find(E.get());
+    if (It != FreeCache.end())
+      return It->second;
+    std::unordered_set<uint64_t> S = freeSyms(E);
+    std::vector<uint64_t> V(S.begin(), S.end());
+    return FreeCache.emplace(E.get(), std::move(V)).first->second;
+  }
+
+  /// The innermost scope binding any free symbol of \p E; the global scope
+  /// for closed expressions. Memoizing there is sound (the value cannot
+  /// change while that scope is alive) and maximally reusable.
+  Scope &memoScope(const ExprRef &E, Scope &S) {
+    const std::vector<uint64_t> &Free = freeOf(E);
+    Scope *Cur = &S;
+    while (Cur->Parent) {
+      for (uint64_t Id : Free)
+        if (Cur->binds(Id))
+          return *Cur;
+      Cur = Cur->Parent;
+    }
+    return *Cur;
+  }
+
+  Value applyUnary(const Func &F, int64_t Index, Scope &S) {
+    Scope Child;
+    Child.Parent = &S;
+    Child.Bindings.emplace_back(F.Params[0]->id(), Value(Index));
+    return eval(F.Body, Child);
+  }
+
+  bool evalCond(const Func &Cond, int64_t Index, Scope &S) {
+    if (!Cond.isSet())
+      return true;
+    return applyUnary(Cond, Index, S).asBool();
+  }
+
+  Value applyReduce(const Func &R, const Value &A, const Value &B, Scope &S) {
+    Scope Child;
+    Child.Parent = &S;
+    Child.Bindings.emplace_back(R.Params[0]->id(), A);
+    Child.Bindings.emplace_back(R.Params[1]->id(), B);
+    return eval(R.Body, Child);
+  }
+
+  /// Per-generator accumulation state; chunk-local during parallel
+  /// execution, merged in index order afterwards.
+  struct GenState {
+    ArrayData Collected;
+    Value Acc;
+    bool HasAcc = false;
+    // Dense buckets.
+    int64_t NumKeys = 0;
+    std::vector<Value> DenseVals;
+    std::vector<char> DenseHas;
+    std::vector<ArrayData> DenseColl;
+    // Hash buckets.
+    std::unordered_map<int64_t, size_t> KeyIndex;
+    std::vector<int64_t> KeysInOrder;
+    std::vector<Value> HashVals;
+    std::vector<ArrayData> HashColl;
+  };
+
+  std::vector<GenState> initStates(const MultiloopExpr *ML, Scope &S) {
+    std::vector<GenState> States(ML->numGens());
+    for (size_t G = 0; G < ML->numGens(); ++G) {
+      const Generator &Gen = ML->gen(G);
+      if (Gen.isDenseBucket()) {
+        int64_t K = eval(Gen.NumKeys, S).toInt();
+        if (K < 0)
+          fatalError("negative dense bucket count");
+        States[G].NumKeys = K;
+        if (Gen.Kind == GenKind::BucketReduce) {
+          States[G].DenseVals.resize(static_cast<size_t>(K));
+          States[G].DenseHas.assign(static_cast<size_t>(K), 0);
+        } else {
+          States[G].DenseColl.resize(static_cast<size_t>(K));
+        }
+      }
+    }
+    return States;
+  }
+
+  /// Runs [Begin, End) of the loop, accumulating into \p States.
+  void runRange(const MultiloopExpr *ML, int64_t Begin, int64_t End,
+                std::vector<GenState> &States, Scope &S) {
+    for (int64_t I = Begin; I < End; ++I) {
+      for (size_t G = 0; G < ML->numGens(); ++G) {
+        const Generator &Gen = ML->gen(G);
+        GenState &St = States[G];
+        if (!evalCond(Gen.Cond, I, S))
+          continue;
+        Value V = applyUnary(Gen.Value, I, S);
+        switch (Gen.Kind) {
+        case GenKind::Collect:
+          St.Collected.push_back(std::move(V));
+          break;
+        case GenKind::Reduce:
+          if (!St.HasAcc) {
+            St.Acc = std::move(V);
+            St.HasAcc = true;
+          } else {
+            St.Acc = applyReduce(Gen.Reduce, St.Acc, V, S);
+          }
+          break;
+        case GenKind::BucketCollect:
+        case GenKind::BucketReduce: {
+          int64_t Key = applyUnary(Gen.Key, I, S).toInt();
+          if (Gen.NumKeys) {
+            if (Key < 0 || Key >= St.NumKeys)
+              fatalError("dense bucket key " + std::to_string(Key) +
+                         " out of range [0," + std::to_string(St.NumKeys) +
+                         ")");
+            size_t K = static_cast<size_t>(Key);
+            if (Gen.Kind == GenKind::BucketCollect) {
+              St.DenseColl[K].push_back(std::move(V));
+            } else if (!St.DenseHas[K]) {
+              St.DenseVals[K] = std::move(V);
+              St.DenseHas[K] = 1;
+            } else {
+              St.DenseVals[K] = applyReduce(Gen.Reduce, St.DenseVals[K], V, S);
+            }
+          } else {
+            auto [It, Inserted] =
+                St.KeyIndex.emplace(Key, St.KeysInOrder.size());
+            if (Inserted) {
+              St.KeysInOrder.push_back(Key);
+              if (Gen.Kind == GenKind::BucketCollect)
+                St.HashColl.emplace_back();
+              else
+                St.HashVals.emplace_back();
+            }
+            size_t K = It->second;
+            if (Gen.Kind == GenKind::BucketCollect) {
+              St.HashColl[K].push_back(std::move(V));
+            } else if (Inserted) {
+              St.HashVals[K] = std::move(V);
+            } else {
+              St.HashVals[K] = applyReduce(Gen.Reduce, St.HashVals[K], V, S);
+            }
+          }
+          break;
+        }
+        }
+      }
+    }
+  }
+
+  /// Merges the chunk state \p Next (covering later indices) into \p Acc.
+  void mergeStates(const MultiloopExpr *ML, std::vector<GenState> &Acc,
+                   std::vector<GenState> &Next, Scope &S) {
+    for (size_t G = 0; G < ML->numGens(); ++G) {
+      const Generator &Gen = ML->gen(G);
+      GenState &A = Acc[G];
+      GenState &B = Next[G];
+      switch (Gen.Kind) {
+      case GenKind::Collect:
+        A.Collected.insert(A.Collected.end(),
+                           std::make_move_iterator(B.Collected.begin()),
+                           std::make_move_iterator(B.Collected.end()));
+        break;
+      case GenKind::Reduce:
+        if (!A.HasAcc) {
+          A.Acc = std::move(B.Acc);
+          A.HasAcc = B.HasAcc;
+        } else if (B.HasAcc) {
+          A.Acc = applyReduce(Gen.Reduce, A.Acc, B.Acc, S);
+        }
+        break;
+      case GenKind::BucketCollect:
+      case GenKind::BucketReduce:
+        if (Gen.NumKeys) {
+          for (size_t K = 0; K < static_cast<size_t>(A.NumKeys); ++K) {
+            if (Gen.Kind == GenKind::BucketCollect) {
+              A.DenseColl[K].insert(
+                  A.DenseColl[K].end(),
+                  std::make_move_iterator(B.DenseColl[K].begin()),
+                  std::make_move_iterator(B.DenseColl[K].end()));
+            } else if (B.DenseHas[K]) {
+              if (!A.DenseHas[K]) {
+                A.DenseVals[K] = std::move(B.DenseVals[K]);
+                A.DenseHas[K] = 1;
+              } else {
+                A.DenseVals[K] =
+                    applyReduce(Gen.Reduce, A.DenseVals[K], B.DenseVals[K], S);
+              }
+            }
+          }
+        } else {
+          for (size_t BK = 0; BK < B.KeysInOrder.size(); ++BK) {
+            int64_t Key = B.KeysInOrder[BK];
+            auto [It, Inserted] = A.KeyIndex.emplace(Key, A.KeysInOrder.size());
+            if (Inserted) {
+              A.KeysInOrder.push_back(Key);
+              if (Gen.Kind == GenKind::BucketCollect)
+                A.HashColl.push_back(std::move(B.HashColl[BK]));
+              else
+                A.HashVals.push_back(std::move(B.HashVals[BK]));
+              continue;
+            }
+            size_t K = It->second;
+            if (Gen.Kind == GenKind::BucketCollect)
+              A.HashColl[K].insert(
+                  A.HashColl[K].end(),
+                  std::make_move_iterator(B.HashColl[BK].begin()),
+                  std::make_move_iterator(B.HashColl[BK].end()));
+            else
+              A.HashVals[K] =
+                  applyReduce(Gen.Reduce, A.HashVals[K], B.HashVals[BK], S);
+          }
+        }
+        break;
+      }
+    }
+  }
+
+  Value finishGen(const MultiloopExpr *ML, std::vector<GenState> &States,
+                  size_t G) {
+    const Generator &Gen = ML->gen(G);
+    GenState &St = States[G];
+    switch (Gen.Kind) {
+    case GenKind::Collect:
+      return Value::makeArray(std::move(St.Collected));
+    case GenKind::Reduce:
+      if (St.HasAcc)
+        return std::move(St.Acc);
+      return Value::zeroOf(*Gen.Value.Body->type());
+    case GenKind::BucketCollect: {
+      if (Gen.NumKeys) {
+        ArrayData Buckets;
+        for (ArrayData &B : St.DenseColl)
+          Buckets.push_back(Value::makeArray(std::move(B)));
+        return Value::makeArray(std::move(Buckets));
+      }
+      ArrayData Keys, Buckets;
+      for (int64_t K : St.KeysInOrder)
+        Keys.push_back(Value(K));
+      for (ArrayData &B : St.HashColl)
+        Buckets.push_back(Value::makeArray(std::move(B)));
+      return Value::makeStruct({Value::makeArray(std::move(Keys)),
+                                Value::makeArray(std::move(Buckets))});
+    }
+    case GenKind::BucketReduce: {
+      if (Gen.NumKeys) {
+        ArrayData Out;
+        for (size_t K = 0; K < St.DenseVals.size(); ++K)
+          Out.push_back(St.DenseHas[K]
+                            ? std::move(St.DenseVals[K])
+                            : Value::zeroOf(*Gen.Value.Body->type()));
+        return Value::makeArray(std::move(Out));
+      }
+      ArrayData Keys;
+      for (int64_t K : St.KeysInOrder)
+        Keys.push_back(Value(K));
+      return Value::makeStruct(
+          {Value::makeArray(std::move(Keys)),
+           Value::makeArray(ArrayData(std::move(St.HashVals)))});
+    }
+    }
+    dmllUnreachable("bad GenKind");
+  }
+
+  Value evalMultiloop(const ExprRef &E, const MultiloopExpr *ML, Scope &S) {
+    int64_t N = eval(ML->size(), S).toInt();
+    if (N < 0)
+      fatalError("negative multiloop size " + std::to_string(N));
+
+    std::vector<GenState> States = initStates(ML, S);
+
+    bool Closed = freeOf(E).empty();
+    if (Threads > 1 && Closed && N >= 2 * MinChunk) {
+      // Chunked parallel execution (Section 5): workers evaluate disjoint
+      // subranges with independent evaluators; chunk states merge in index
+      // order, so element order and first-occurrence key order match the
+      // sequential semantics.
+      int64_t NumChunks =
+          std::min<int64_t>((N + MinChunk - 1) / MinChunk,
+                            static_cast<int64_t>(Threads) * 4);
+      int64_t Per = (N + NumChunks - 1) / NumChunks;
+      std::vector<std::vector<GenState>> ChunkStates(
+          static_cast<size_t>(NumChunks));
+      ThreadPool Pool(Threads);
+      Pool.parallelFor(NumChunks, 1, [&](int64_t CB, int64_t CE, unsigned) {
+        for (int64_t C = CB; C < CE; ++C) {
+          Evaluator Sub(Inputs);
+          Scope Local;
+          ChunkStates[static_cast<size_t>(C)] = Sub.initStates(ML, Local);
+          Sub.runRange(ML, C * Per, std::min((C + 1) * Per, N),
+                       ChunkStates[static_cast<size_t>(C)], Local);
+        }
+      });
+      States = std::move(ChunkStates[0]);
+      for (size_t C = 1; C < ChunkStates.size(); ++C)
+        mergeStates(ML, States, ChunkStates[C], S);
+    } else {
+      runRange(ML, 0, N, States, S);
+    }
+
+    if (ML->isSingle())
+      return finishGen(ML, States, 0);
+    std::vector<Value> Outs;
+    for (size_t G = 0; G < ML->numGens(); ++G)
+      Outs.push_back(finishGen(ML, States, G));
+    return Value::makeStruct(std::move(Outs));
+  }
+
+  Value evalBinOp(const BinOpExpr *B, Scope &S) {
+    Value L = eval(B->lhs(), S);
+    Value R = eval(B->rhs(), S);
+    BinOpKind Op = B->op();
+    switch (Op) {
+    case BinOpKind::And:
+      return Value(L.asBool() && R.asBool());
+    case BinOpKind::Or:
+      return Value(L.asBool() || R.asBool());
+    case BinOpKind::Eq:
+    case BinOpKind::Ne:
+    case BinOpKind::Lt:
+    case BinOpKind::Le:
+    case BinOpKind::Gt:
+    case BinOpKind::Ge: {
+      bool Result;
+      if (L.isFloat() || R.isFloat()) {
+        double A = L.toDouble(), C = R.toDouble();
+        Result = Op == BinOpKind::Eq   ? A == C
+                 : Op == BinOpKind::Ne ? A != C
+                 : Op == BinOpKind::Lt ? A < C
+                 : Op == BinOpKind::Le ? A <= C
+                 : Op == BinOpKind::Gt ? A > C
+                                       : A >= C;
+      } else {
+        int64_t A = L.toInt(), C = R.toInt();
+        Result = Op == BinOpKind::Eq   ? A == C
+                 : Op == BinOpKind::Ne ? A != C
+                 : Op == BinOpKind::Lt ? A < C
+                 : Op == BinOpKind::Le ? A <= C
+                 : Op == BinOpKind::Gt ? A > C
+                                       : A >= C;
+      }
+      return Value(Result);
+    }
+    default:
+      break;
+    }
+    if (B->type()->isFloat()) {
+      double A = L.toDouble(), C = R.toDouble();
+      switch (Op) {
+      case BinOpKind::Add:
+        return Value(A + C);
+      case BinOpKind::Sub:
+        return Value(A - C);
+      case BinOpKind::Mul:
+        return Value(A * C);
+      case BinOpKind::Div:
+        return Value(A / C);
+      case BinOpKind::Mod:
+        return Value(std::fmod(A, C));
+      case BinOpKind::Min:
+        return Value(std::fmin(A, C));
+      case BinOpKind::Max:
+        return Value(std::fmax(A, C));
+      default:
+        dmllUnreachable("bad float binop");
+      }
+    }
+    int64_t A = L.toInt(), C = R.toInt();
+    switch (Op) {
+    case BinOpKind::Add:
+      return Value(A + C);
+    case BinOpKind::Sub:
+      return Value(A - C);
+    case BinOpKind::Mul:
+      return Value(A * C);
+    case BinOpKind::Div:
+      if (C == 0)
+        fatalError("integer division by zero");
+      return Value(A / C);
+    case BinOpKind::Mod:
+      if (C == 0)
+        fatalError("integer modulo by zero");
+      return Value(A % C);
+    case BinOpKind::Min:
+      return Value(A < C ? A : C);
+    case BinOpKind::Max:
+      return Value(A > C ? A : C);
+    default:
+      dmllUnreachable("bad int binop");
+    }
+  }
+
+  Value evalUnOp(const UnOpExpr *U, Scope &S) {
+    Value A = eval(U->operand(), S);
+    switch (U->op()) {
+    case UnOpKind::Not:
+      return Value(!A.asBool());
+    case UnOpKind::Neg:
+      if (U->type()->isFloat())
+        return Value(-A.toDouble());
+      return Value(-A.toInt());
+    case UnOpKind::Abs:
+      if (U->type()->isFloat())
+        return Value(std::fabs(A.toDouble()));
+      return Value(A.toInt() < 0 ? -A.toInt() : A.toInt());
+    case UnOpKind::Exp:
+      return Value(std::exp(A.toDouble()));
+    case UnOpKind::Log:
+      return Value(std::log(A.toDouble()));
+    case UnOpKind::Sqrt:
+      return Value(std::sqrt(A.toDouble()));
+    }
+    dmllUnreachable("bad UnOpKind");
+  }
+
+  Value eval(const ExprRef &E, Scope &S) {
+    switch (E->kind()) {
+    case ExprKind::ConstInt:
+      return Value(cast<ConstIntExpr>(E)->value());
+    case ExprKind::ConstFloat:
+      return Value(cast<ConstFloatExpr>(E)->value());
+    case ExprKind::ConstBool:
+      return Value(cast<ConstBoolExpr>(E)->value());
+    case ExprKind::Sym: {
+      const auto *Sym = cast<SymExpr>(E);
+      if (const Value *V = S.lookup(Sym->id()))
+        return *V;
+      fatalError("unbound symbol " + Sym->name() +
+                 std::to_string(Sym->id()));
+    }
+    case ExprKind::Input: {
+      const auto *In = cast<InputExpr>(E);
+      auto It = Inputs.find(In->name());
+      if (It == Inputs.end())
+        fatalError("no binding for input '" + In->name() + "'");
+      return It->second;
+    }
+    case ExprKind::BinOp:
+      return evalBinOp(cast<BinOpExpr>(E), S);
+    case ExprKind::UnOp:
+      return evalUnOp(cast<UnOpExpr>(E), S);
+    case ExprKind::Select: {
+      const auto *Sel = cast<SelectExpr>(E);
+      // Lazy: only the chosen arm is evaluated.
+      if (eval(Sel->cond(), S).asBool())
+        return eval(Sel->trueVal(), S);
+      return eval(Sel->falseVal(), S);
+    }
+    case ExprKind::Cast: {
+      Value A = eval(cast<CastExpr>(E)->operand(), S);
+      if (E->type()->isFloat())
+        return Value(A.toDouble());
+      if (E->type()->isInt())
+        return Value(A.toInt());
+      return Value(A.toDouble() != 0.0);
+    }
+    case ExprKind::ArrayRead: {
+      const auto *R = cast<ArrayReadExpr>(E);
+      Value Arr = eval(R->array(), S);
+      int64_t Idx = eval(R->index(), S).toInt();
+      if (Idx < 0 || static_cast<size_t>(Idx) >= Arr.arraySize())
+        fatalError("array read out of range: index " + std::to_string(Idx) +
+                   ", size " + std::to_string(Arr.arraySize()));
+      return Arr.at(static_cast<size_t>(Idx));
+    }
+    case ExprKind::ArrayLen:
+      return Value(static_cast<int64_t>(
+          eval(cast<ArrayLenExpr>(E)->array(), S).arraySize()));
+    case ExprKind::Flatten: {
+      Scope &MS = memoScope(E, S);
+      auto It = MS.Memo.find(E.get());
+      if (It != MS.Memo.end())
+        return It->second;
+      Value Arr = eval(cast<FlattenExpr>(E)->array(), S);
+      ArrayData Out;
+      for (const Value &Inner : *Arr.array())
+        for (const Value &V : *Inner.array())
+          Out.push_back(V);
+      Value Result = Value::makeArray(std::move(Out));
+      MS.Memo.emplace(E.get(), Result);
+      return Result;
+    }
+    case ExprKind::MakeStruct: {
+      std::vector<Value> Fields;
+      for (const ExprRef &Op : E->ops())
+        Fields.push_back(eval(Op, S));
+      return Value::makeStruct(std::move(Fields));
+    }
+    case ExprKind::GetField: {
+      const auto *G = cast<GetFieldExpr>(E);
+      Value Base = eval(G->base(), S);
+      int Idx = G->base()->type()->fieldIndex(G->field());
+      assert(Idx >= 0 && "field checked at construction");
+      return Base.strct()->Fields[static_cast<size_t>(Idx)];
+    }
+    case ExprKind::Multiloop: {
+      Scope &MS = memoScope(E, S);
+      auto It = MS.Memo.find(E.get());
+      if (It != MS.Memo.end())
+        return It->second;
+      Value Result = evalMultiloop(E, cast<MultiloopExpr>(E), S);
+      MS.Memo.emplace(E.get(), Result);
+      return Result;
+    }
+    case ExprKind::LoopOut: {
+      const auto *LO = cast<LoopOutExpr>(E);
+      Value Loop = eval(LO->loop(), S);
+      return Loop.strct()->Fields[LO->index()];
+    }
+    }
+    dmllUnreachable("bad ExprKind");
+  }
+};
+
+} // namespace
+
+Value dmll::evalProgram(const Program &P, const InputMap &Inputs) {
+  return Evaluator(Inputs).evalTop(P.Result);
+}
+
+Value dmll::evalClosed(const ExprRef &E, const InputMap &Inputs) {
+  return Evaluator(Inputs).evalTop(E);
+}
+
+Value dmll::evalProgramParallel(const Program &P, const InputMap &Inputs,
+                                unsigned Threads, int64_t MinChunk) {
+  return Evaluator(Inputs, Threads ? Threads : 1, MinChunk)
+      .evalTop(P.Result);
+}

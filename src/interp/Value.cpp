@@ -1,0 +1,185 @@
+//===- interp/Value.cpp ----------------------------------------*- C++ -*-===//
+
+#include "interp/Value.h"
+
+#include "support/Error.h"
+
+#include <cmath>
+#include <sstream>
+
+using namespace dmll;
+
+bool Value::asBool() const {
+  if (!isBool())
+    fatalError("value is not a bool: " + str());
+  return std::get<bool>(V);
+}
+
+int64_t Value::asInt() const {
+  if (!isInt())
+    fatalError("value is not an int: " + str());
+  return std::get<int64_t>(V);
+}
+
+double Value::asFloat() const {
+  if (!isFloat())
+    fatalError("value is not a float: " + str());
+  return std::get<double>(V);
+}
+
+double Value::toDouble() const {
+  if (isFloat())
+    return std::get<double>(V);
+  if (isInt())
+    return static_cast<double>(std::get<int64_t>(V));
+  if (isBool())
+    return std::get<bool>(V) ? 1.0 : 0.0;
+  fatalError("cannot coerce non-scalar to double: " + str());
+}
+
+int64_t Value::toInt() const {
+  if (isInt())
+    return std::get<int64_t>(V);
+  if (isFloat())
+    return static_cast<int64_t>(std::get<double>(V));
+  if (isBool())
+    return std::get<bool>(V) ? 1 : 0;
+  fatalError("cannot coerce non-scalar to int: " + str());
+}
+
+const ArrayPtr &Value::array() const {
+  if (!isArray())
+    fatalError("value is not an array: " + str());
+  return std::get<ArrayPtr>(V);
+}
+
+const StructPtr &Value::strct() const {
+  if (!isStruct())
+    fatalError("value is not a struct: " + str());
+  return std::get<StructPtr>(V);
+}
+
+const Value &Value::at(size_t I) const {
+  const ArrayPtr &A = array();
+  if (I >= A->size())
+    fatalError("array index " + std::to_string(I) + " out of range (size " +
+               std::to_string(A->size()) + ")");
+  return (*A)[I];
+}
+
+bool Value::deepEquals(const Value &O, double Tol) const {
+  if (isArray() && O.isArray()) {
+    const ArrayData &A = *array(), &B = *O.array();
+    if (A.size() != B.size())
+      return false;
+    for (size_t I = 0; I < A.size(); ++I)
+      if (!A[I].deepEquals(B[I], Tol))
+        return false;
+    return true;
+  }
+  if (isStruct() && O.isStruct()) {
+    const auto &A = strct()->Fields, &B = O.strct()->Fields;
+    if (A.size() != B.size())
+      return false;
+    for (size_t I = 0; I < A.size(); ++I)
+      if (!A[I].deepEquals(B[I], Tol))
+        return false;
+    return true;
+  }
+  if (isBool() && O.isBool())
+    return asBool() == O.asBool();
+  if (isInt() && O.isInt())
+    return asInt() == O.asInt();
+  // Mixed numerics and floats compare as doubles.
+  if ((isInt() || isFloat() || isBool()) &&
+      (O.isInt() || O.isFloat() || O.isBool())) {
+    double A = toDouble(), B = O.toDouble();
+    if (A == B)
+      return true;
+    double Scale = std::fmax(1.0, std::fmax(std::fabs(A), std::fabs(B)));
+    return std::fabs(A - B) <= Tol * Scale;
+  }
+  return false;
+}
+
+std::string Value::str(size_t MaxElems) const {
+  std::ostringstream OS;
+  if (isBool()) {
+    OS << (asBool() ? "true" : "false");
+  } else if (isInt()) {
+    OS << asInt();
+  } else if (isFloat()) {
+    OS << asFloat();
+  } else if (isArray()) {
+    OS << "[";
+    const ArrayData &A = *array();
+    for (size_t I = 0; I < A.size(); ++I) {
+      if (I >= MaxElems) {
+        OS << ", ... (" << A.size() << " elems)";
+        break;
+      }
+      if (I)
+        OS << ", ";
+      OS << A[I].str(MaxElems);
+    }
+    OS << "]";
+  } else {
+    OS << "{";
+    const auto &Fs = strct()->Fields;
+    for (size_t I = 0; I < Fs.size(); ++I) {
+      if (I)
+        OS << ", ";
+      OS << Fs[I].str(MaxElems);
+    }
+    OS << "}";
+  }
+  return OS.str();
+}
+
+Value Value::makeArray(ArrayData Elems) {
+  return Value(std::make_shared<ArrayData>(std::move(Elems)));
+}
+
+Value Value::makeStruct(std::vector<Value> Fields) {
+  auto S = std::make_shared<StructData>();
+  S->Fields = std::move(Fields);
+  return Value(std::move(S));
+}
+
+Value Value::arrayOfDoubles(const std::vector<double> &Xs) {
+  ArrayData A;
+  A.reserve(Xs.size());
+  for (double X : Xs)
+    A.push_back(Value(X));
+  return makeArray(std::move(A));
+}
+
+Value Value::arrayOfInts(const std::vector<int64_t> &Xs) {
+  ArrayData A;
+  A.reserve(Xs.size());
+  for (int64_t X : Xs)
+    A.push_back(Value(X));
+  return makeArray(std::move(A));
+}
+
+Value Value::zeroOf(const Type &Ty) {
+  switch (Ty.getKind()) {
+  case TypeKind::Bool:
+    return Value(false);
+  case TypeKind::Int32:
+  case TypeKind::Int64:
+    return Value(int64_t(0));
+  case TypeKind::Float32:
+  case TypeKind::Float64:
+    return Value(0.0);
+  case TypeKind::Array:
+    return makeArray({});
+  case TypeKind::Struct: {
+    std::vector<Value> Fields;
+    for (const Type::Field &F : Ty.fields())
+      Fields.push_back(zeroOf(*F.Ty));
+    return makeStruct(std::move(Fields));
+  }
+  }
+  dmllUnreachable("bad TypeKind");
+}

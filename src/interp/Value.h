@@ -1,0 +1,93 @@
+//===- interp/Value.h - Runtime values for the interpreter -----*- C++ -*-===//
+//
+// Part of the DMLL reproduction of Brown et al., CGO 2016.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Dynamically typed runtime values. Scalars collapse to bool/int64/double
+/// (the static Type still distinguishes widths for codegen); collections are
+/// shared vectors; structs are positional (field names come from the static
+/// type at each use site).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DMLL_INTERP_VALUE_H
+#define DMLL_INTERP_VALUE_H
+
+#include "ir/Type.h"
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace dmll {
+
+class Value;
+using ArrayData = std::vector<Value>;
+using ArrayPtr = std::shared_ptr<ArrayData>;
+
+/// A positional struct value.
+struct StructData {
+  std::vector<Value> Fields;
+};
+using StructPtr = std::shared_ptr<StructData>;
+
+/// One runtime value: bool, integer, float, array, or struct.
+class Value {
+public:
+  Value() : V(int64_t(0)) {}
+  explicit Value(bool B) : V(B) {}
+  explicit Value(int64_t I) : V(I) {}
+  explicit Value(double D) : V(D) {}
+  explicit Value(ArrayPtr A) : V(std::move(A)) {}
+  explicit Value(StructPtr S) : V(std::move(S)) {}
+
+  bool isBool() const { return std::holds_alternative<bool>(V); }
+  bool isInt() const { return std::holds_alternative<int64_t>(V); }
+  bool isFloat() const { return std::holds_alternative<double>(V); }
+  bool isArray() const { return std::holds_alternative<ArrayPtr>(V); }
+  bool isStruct() const { return std::holds_alternative<StructPtr>(V); }
+
+  bool asBool() const;
+  int64_t asInt() const;
+  double asFloat() const;
+
+  /// Numeric coercion to double (bool -> 0/1, int -> double).
+  double toDouble() const;
+
+  /// Numeric coercion to int64 (floats truncate).
+  int64_t toInt() const;
+
+  const ArrayPtr &array() const;
+  const StructPtr &strct() const;
+
+  size_t arraySize() const { return array()->size(); }
+  const Value &at(size_t I) const;
+
+  /// Deep structural equality; floats compared with |a-b| <= Tol *
+  /// max(1,|a|,|b|).
+  bool deepEquals(const Value &O, double Tol = 0.0) const;
+
+  /// Debug rendering (arrays truncated after \p MaxElems elements).
+  std::string str(size_t MaxElems = 16) const;
+
+  // Construction helpers.
+  static Value makeArray(ArrayData Elems);
+  static Value makeStruct(std::vector<Value> Fields);
+  static Value arrayOfDoubles(const std::vector<double> &Xs);
+  static Value arrayOfInts(const std::vector<int64_t> &Xs);
+
+  /// Neutral "zero" for \p Ty: 0 / 0.0 / false / empty array / struct of
+  /// zeros. Used as the reduce identity for empty reductions.
+  static Value zeroOf(const Type &Ty);
+
+private:
+  std::variant<bool, int64_t, double, ArrayPtr, StructPtr> V;
+};
+
+} // namespace dmll
+
+#endif // DMLL_INTERP_VALUE_H

@@ -1,0 +1,81 @@
+//===- ir/Builder.h - Node factories with type checking --------*- C++ -*-===//
+//
+// Part of the DMLL reproduction of Brown et al., CGO 2016.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Factory functions for IR nodes. Each factory computes the result type
+/// (with numeric promotion for arithmetic) and performs light constant
+/// folding; malformed construction aborts, so any Expr that exists is
+/// locally well typed. The Verifier re-checks whole programs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DMLL_IR_BUILDER_H
+#define DMLL_IR_BUILDER_H
+
+#include "ir/Expr.h"
+
+namespace dmll {
+
+// Leaves.
+ExprRef constI64(int64_t V);
+ExprRef constI32(int64_t V);
+ExprRef constF64(double V);
+ExprRef constBool(bool V);
+SymRef freshSym(const std::string &Name, TypeRef Ty);
+std::shared_ptr<const InputExpr> input(const std::string &Name, TypeRef Ty,
+                                       LayoutHint Hint = LayoutHint::Default);
+
+// Scalar operations.
+ExprRef binop(BinOpKind Op, ExprRef A, ExprRef B);
+ExprRef unop(UnOpKind Op, ExprRef A);
+ExprRef select(ExprRef C, ExprRef A, ExprRef B);
+ExprRef castTo(TypeRef Ty, ExprRef A);
+
+// Collections and structs.
+ExprRef arrayRead(ExprRef Arr, ExprRef Idx);
+ExprRef arrayLen(ExprRef Arr);
+ExprRef flatten(ExprRef ArrOfArr);
+ExprRef makeStruct(std::vector<Type::Field> Fields,
+                   std::vector<ExprRef> Values);
+ExprRef getField(ExprRef Base, const std::string &Field);
+
+// Multiloops.
+ExprRef multiloop(ExprRef Size, std::vector<Generator> Gens);
+ExprRef loopOut(ExprRef Loop, unsigned Index);
+
+/// Builds a single-generator multiloop; the generator's result type is the
+/// node type.
+ExprRef singleLoop(ExprRef Size, Generator Gen);
+
+/// A Func of one fresh i64 index parameter whose body is produced by \p
+/// MakeBody applied to the parameter.
+template <typename Fn> Func indexFunc(const std::string &Name, Fn MakeBody) {
+  SymRef I = freshSym(Name, Type::i64());
+  return Func({I}, MakeBody(ExprRef(I)));
+}
+
+/// A Func of two fresh parameters of type \p Ty (reduction operator shape).
+template <typename Fn>
+Func binFunc(const std::string &Name, TypeRef Ty, Fn MakeBody) {
+  SymRef A = freshSym(Name + ".a", Ty);
+  SymRef B = freshSym(Name + ".b", Ty);
+  return Func({A, B}, MakeBody(ExprRef(A), ExprRef(B)));
+}
+
+/// The trivially-true condition (`_` in the paper's notation).
+Func trueCond();
+
+/// True if \p F is unset or its body is the literal `true`.
+bool isTrueCond(const Func &F);
+
+/// Neutral element for reduction \p Op over scalar type \p Ty (0 for Add,
+/// +inf for Min, ...). Returns nullptr for reductions with no static
+/// identity (vector reductions use a first-element flag instead).
+ExprRef reductionIdentity(BinOpKind Op, const TypeRef &Ty);
+
+} // namespace dmll
+
+#endif // DMLL_IR_BUILDER_H

@@ -1,0 +1,42 @@
+//===- ir/Expr.cpp ---------------------------------------------*- C++ -*-===//
+
+#include "ir/Expr.h"
+
+#include "support/Error.h"
+
+#include <atomic>
+
+using namespace dmll;
+
+static std::atomic<uint64_t> NextSymId{1};
+
+SymExpr::SymExpr(std::string Name, TypeRef T)
+    : Expr(ExprKind::Sym, std::move(T), {}),
+      Id(NextSymId.fetch_add(1, std::memory_order_relaxed)),
+      Name(std::move(Name)) {}
+
+TypeRef Generator::resultType() const {
+  assert(Value.isSet() && "generator requires a value function");
+  const TypeRef &V = Value.Body->type();
+  switch (Kind) {
+  case GenKind::Collect:
+    return Type::arrayOf(V);
+  case GenKind::Reduce:
+    return V;
+  case GenKind::BucketCollect: {
+    TypeRef Buckets = Type::arrayOf(Type::arrayOf(V));
+    if (NumKeys)
+      return Buckets;
+    return Type::structOf({{"keys", Type::arrayOf(Type::i64())},
+                           {"values", Buckets}});
+  }
+  case GenKind::BucketReduce: {
+    TypeRef Buckets = Type::arrayOf(V);
+    if (NumKeys)
+      return Buckets;
+    return Type::structOf({{"keys", Type::arrayOf(Type::i64())},
+                           {"values", Buckets}});
+  }
+  }
+  dmllUnreachable("bad GenKind");
+}

@@ -1,0 +1,461 @@
+//===- ir/Traversal.cpp ----------------------------------------*- C++ -*-===//
+
+#include "ir/Traversal.h"
+
+#include "ir/Builder.h"
+#include "support/Error.h"
+
+using namespace dmll;
+
+std::vector<ExprRef> dmll::exprChildren(const ExprRef &E) {
+  std::vector<ExprRef> Out(E->ops().begin(), E->ops().end());
+  if (const auto *ML = dyn_cast<MultiloopExpr>(E)) {
+    for (const Generator &G : ML->gens()) {
+      if (G.NumKeys)
+        Out.push_back(G.NumKeys);
+      for (const Func *F : {&G.Cond, &G.Key, &G.Value, &G.Reduce})
+        if (F->isSet())
+          Out.push_back(F->Body);
+    }
+  }
+  return Out;
+}
+
+void dmll::visitAll(const ExprRef &E,
+                    const std::function<void(const ExprRef &)> &Fn) {
+  std::unordered_set<const Expr *> Seen;
+  // Explicit stack with a post-order marker to avoid deep recursion on large
+  // generated programs.
+  std::vector<std::pair<ExprRef, bool>> Stack{{E, false}};
+  while (!Stack.empty()) {
+    auto [Node, Expanded] = Stack.back();
+    Stack.pop_back();
+    if (Expanded) {
+      Fn(Node);
+      continue;
+    }
+    if (!Seen.insert(Node.get()).second)
+      continue;
+    Stack.push_back({Node, true});
+    for (const ExprRef &C : exprChildren(Node))
+      Stack.push_back({C, false});
+  }
+}
+
+/// Rebuilds a function, applying \p Fn to its body only.
+static Func mapFunc(const Func &F,
+                    const std::function<ExprRef(const ExprRef &)> &Fn,
+                    bool &Changed) {
+  if (!F.isSet())
+    return F;
+  ExprRef NewBody = Fn(F.Body);
+  if (NewBody == F.Body)
+    return F;
+  Changed = true;
+  return Func(F.Params, std::move(NewBody));
+}
+
+ExprRef dmll::mapChildren(const ExprRef &E,
+                          const std::function<ExprRef(const ExprRef &)> &Fn) {
+  switch (E->kind()) {
+  case ExprKind::ConstInt:
+  case ExprKind::ConstFloat:
+  case ExprKind::ConstBool:
+  case ExprKind::Sym:
+  case ExprKind::Input:
+    return E;
+  case ExprKind::BinOp: {
+    const auto *B = cast<BinOpExpr>(E);
+    ExprRef L = Fn(B->lhs()), R = Fn(B->rhs());
+    if (L == B->lhs() && R == B->rhs())
+      return E;
+    return binop(B->op(), std::move(L), std::move(R));
+  }
+  case ExprKind::UnOp: {
+    const auto *U = cast<UnOpExpr>(E);
+    ExprRef A = Fn(U->operand());
+    if (A == U->operand())
+      return E;
+    return unop(U->op(), std::move(A));
+  }
+  case ExprKind::Select: {
+    const auto *S = cast<SelectExpr>(E);
+    ExprRef C = Fn(S->cond()), A = Fn(S->trueVal()), B = Fn(S->falseVal());
+    if (C == S->cond() && A == S->trueVal() && B == S->falseVal())
+      return E;
+    return select(std::move(C), std::move(A), std::move(B));
+  }
+  case ExprKind::Cast: {
+    const auto *C = cast<CastExpr>(E);
+    ExprRef A = Fn(C->operand());
+    if (A == C->operand())
+      return E;
+    return castTo(E->type(), std::move(A));
+  }
+  case ExprKind::ArrayRead: {
+    const auto *R = cast<ArrayReadExpr>(E);
+    ExprRef Arr = Fn(R->array()), Idx = Fn(R->index());
+    if (Arr == R->array() && Idx == R->index())
+      return E;
+    return arrayRead(std::move(Arr), std::move(Idx));
+  }
+  case ExprKind::ArrayLen: {
+    const auto *L = cast<ArrayLenExpr>(E);
+    ExprRef Arr = Fn(L->array());
+    if (Arr == L->array())
+      return E;
+    return arrayLen(std::move(Arr));
+  }
+  case ExprKind::Flatten: {
+    const auto *F = cast<FlattenExpr>(E);
+    ExprRef Arr = Fn(F->array());
+    if (Arr == F->array())
+      return E;
+    return flatten(std::move(Arr));
+  }
+  case ExprKind::MakeStruct: {
+    const auto *MS = cast<MakeStructExpr>(E);
+    std::vector<ExprRef> NewOps;
+    bool Changed = false;
+    for (const ExprRef &Op : MS->ops()) {
+      NewOps.push_back(Fn(Op));
+      Changed |= NewOps.back() != Op;
+    }
+    if (!Changed)
+      return E;
+    std::vector<Type::Field> Fields = E->type()->fields();
+    return makeStruct(std::move(Fields), std::move(NewOps));
+  }
+  case ExprKind::GetField: {
+    const auto *G = cast<GetFieldExpr>(E);
+    ExprRef Base = Fn(G->base());
+    if (Base == G->base())
+      return E;
+    return getField(std::move(Base), G->field());
+  }
+  case ExprKind::Multiloop: {
+    const auto *ML = cast<MultiloopExpr>(E);
+    bool Changed = false;
+    ExprRef Size = Fn(ML->size());
+    Changed |= Size != ML->size();
+    std::vector<Generator> Gens;
+    for (const Generator &G : ML->gens()) {
+      Generator NG = G;
+      if (G.NumKeys) {
+        NG.NumKeys = Fn(G.NumKeys);
+        Changed |= NG.NumKeys != G.NumKeys;
+      }
+      NG.Cond = mapFunc(G.Cond, Fn, Changed);
+      NG.Key = mapFunc(G.Key, Fn, Changed);
+      NG.Value = mapFunc(G.Value, Fn, Changed);
+      NG.Reduce = mapFunc(G.Reduce, Fn, Changed);
+      Gens.push_back(std::move(NG));
+    }
+    if (!Changed)
+      return E;
+    return multiloop(std::move(Size), std::move(Gens));
+  }
+  case ExprKind::LoopOut: {
+    const auto *LO = cast<LoopOutExpr>(E);
+    ExprRef Loop = Fn(LO->loop());
+    if (Loop == LO->loop())
+      return E;
+    return loopOut(std::move(Loop), LO->index());
+  }
+  }
+  dmllUnreachable("bad ExprKind");
+}
+
+ExprRef dmll::transformBottomUp(
+    const ExprRef &E, const std::function<ExprRef(const ExprRef &)> &Fn) {
+  std::unordered_map<const Expr *, ExprRef> Memo;
+  std::function<ExprRef(const ExprRef &)> Go =
+      [&](const ExprRef &Node) -> ExprRef {
+    auto It = Memo.find(Node.get());
+    if (It != Memo.end())
+      return It->second;
+    ExprRef Rebuilt = mapChildren(Node, Go);
+    ExprRef Result = Fn(Rebuilt);
+    Memo.emplace(Node.get(), Result);
+    return Result;
+  };
+  return Go(E);
+}
+
+ExprRef dmll::substitute(const ExprRef &E,
+                         const std::unordered_map<uint64_t, ExprRef> &Map) {
+  if (Map.empty())
+    return E;
+  return transformBottomUp(E, [&](const ExprRef &Node) -> ExprRef {
+    const auto *S = dyn_cast<SymExpr>(Node);
+    if (!S)
+      return Node;
+    auto It = Map.find(S->id());
+    if (It == Map.end())
+      return Node;
+    assert(sameType(It->second->type(), Node->type()) &&
+           "substitution changes type");
+    return It->second;
+  });
+}
+
+Func dmll::freshened(const Func &F) {
+  if (!F.isSet())
+    return F;
+  std::unordered_map<uint64_t, ExprRef> Map;
+  std::vector<SymRef> NewParams;
+  for (const SymRef &P : F.Params) {
+    SymRef NP = freshSym(P->name(), P->type());
+    Map.emplace(P->id(), NP);
+    NewParams.push_back(std::move(NP));
+  }
+  return Func(std::move(NewParams), substitute(F.Body, Map));
+}
+
+ExprRef dmll::applyFunc(const Func &F, const ExprRef &Arg) {
+  assert(F.arity() == 1 && "applyFunc requires a unary function");
+  return substitute(F.Body, {{F.Params[0]->id(), Arg}});
+}
+
+ExprRef dmll::applyFunc2(const Func &F, const ExprRef &A, const ExprRef &B) {
+  assert(F.arity() == 2 && "applyFunc2 requires a binary function");
+  return substitute(F.Body, {{F.Params[0]->id(), A}, {F.Params[1]->id(), B}});
+}
+
+std::unordered_set<uint64_t> dmll::freeSyms(const ExprRef &E) {
+  // Because symbols are globally unique, "free in E" is exactly "occurs in E
+  // but declared by no function inside E".
+  std::unordered_set<uint64_t> Occurring, Bound;
+  visitAll(E, [&](const ExprRef &Node) {
+    if (const auto *S = dyn_cast<SymExpr>(Node))
+      Occurring.insert(S->id());
+    if (const auto *ML = dyn_cast<MultiloopExpr>(Node))
+      for (const Generator &G : ML->gens())
+        for (const Func *F : {&G.Cond, &G.Key, &G.Value, &G.Reduce})
+          if (F->isSet())
+            for (const SymRef &P : F->Params)
+              Bound.insert(P->id());
+  });
+  for (uint64_t Id : Bound)
+    Occurring.erase(Id);
+  return Occurring;
+}
+
+bool dmll::occursFree(const ExprRef &E, uint64_t Id) {
+  return freeSyms(E).count(Id) != 0;
+}
+
+bool dmll::reaches(const ExprRef &E, const Expr *Target) {
+  bool Found = false;
+  visitAll(E, [&](const ExprRef &Node) { Found |= Node.get() == Target; });
+  return Found;
+}
+
+namespace {
+
+/// Recursive alpha-aware equality; \p ParamMap maps A-side parameter ids to
+/// B-side ids.
+bool eqImpl(const ExprRef &A, const ExprRef &B,
+            std::unordered_map<uint64_t, uint64_t> &ParamMap) {
+  if (A.get() == B.get())
+    return true;
+  if (A->kind() != B->kind() || !sameType(A->type(), B->type()))
+    return false;
+  switch (A->kind()) {
+  case ExprKind::ConstInt:
+    return cast<ConstIntExpr>(A)->value() == cast<ConstIntExpr>(B)->value();
+  case ExprKind::ConstFloat:
+    return cast<ConstFloatExpr>(A)->value() ==
+           cast<ConstFloatExpr>(B)->value();
+  case ExprKind::ConstBool:
+    return cast<ConstBoolExpr>(A)->value() == cast<ConstBoolExpr>(B)->value();
+  case ExprKind::Sym: {
+    uint64_t IdA = cast<SymExpr>(A)->id(), IdB = cast<SymExpr>(B)->id();
+    auto It = ParamMap.find(IdA);
+    if (It != ParamMap.end())
+      return It->second == IdB;
+    return IdA == IdB;
+  }
+  case ExprKind::Input:
+    return cast<InputExpr>(A)->name() == cast<InputExpr>(B)->name();
+  case ExprKind::BinOp:
+    if (cast<BinOpExpr>(A)->op() != cast<BinOpExpr>(B)->op())
+      return false;
+    break;
+  case ExprKind::UnOp:
+    if (cast<UnOpExpr>(A)->op() != cast<UnOpExpr>(B)->op())
+      return false;
+    break;
+  case ExprKind::GetField:
+    if (cast<GetFieldExpr>(A)->field() != cast<GetFieldExpr>(B)->field())
+      return false;
+    break;
+  case ExprKind::LoopOut:
+    if (cast<LoopOutExpr>(A)->index() != cast<LoopOutExpr>(B)->index())
+      return false;
+    break;
+  default:
+    break;
+  }
+  if (const auto *MLA = dyn_cast<MultiloopExpr>(A)) {
+    const auto *MLB = cast<MultiloopExpr>(B);
+    if (MLA->numGens() != MLB->numGens())
+      return false;
+    if (!eqImpl(MLA->size(), MLB->size(), ParamMap))
+      return false;
+    for (size_t I = 0; I < MLA->numGens(); ++I) {
+      const Generator &GA = MLA->gen(I), &GB = MLB->gen(I);
+      if (GA.Kind != GB.Kind)
+        return false;
+      if ((GA.NumKeys != nullptr) != (GB.NumKeys != nullptr))
+        return false;
+      if (GA.NumKeys && !eqImpl(GA.NumKeys, GB.NumKeys, ParamMap))
+        return false;
+      const Func *FAs[] = {&GA.Cond, &GA.Key, &GA.Value, &GA.Reduce};
+      const Func *FBs[] = {&GB.Cond, &GB.Key, &GB.Value, &GB.Reduce};
+      for (int F = 0; F < 4; ++F) {
+        if (FAs[F]->isSet() != FBs[F]->isSet())
+          return false;
+        if (!FAs[F]->isSet())
+          continue;
+        if (FAs[F]->arity() != FBs[F]->arity())
+          return false;
+        for (size_t P = 0; P < FAs[F]->arity(); ++P)
+          ParamMap[FAs[F]->Params[P]->id()] = FBs[F]->Params[P]->id();
+        if (!eqImpl(FAs[F]->Body, FBs[F]->Body, ParamMap))
+          return false;
+      }
+    }
+    return true;
+  }
+  if (A->ops().size() != B->ops().size())
+    return false;
+  for (size_t I = 0; I < A->ops().size(); ++I)
+    if (!eqImpl(A->ops()[I], B->ops()[I], ParamMap))
+      return false;
+  return true;
+}
+
+uint64_t hashCombine(uint64_t H, uint64_t V) {
+  H ^= V + 0x9e3779b97f4a7c15ULL + (H << 6) + (H >> 2);
+  return H;
+}
+
+uint64_t hashImpl(const ExprRef &E,
+                  std::unordered_map<uint64_t, uint64_t> &ParamIdx,
+                  uint64_t &NextIdx) {
+  uint64_t H = static_cast<uint64_t>(E->kind()) * 1315423911ULL;
+  switch (E->kind()) {
+  case ExprKind::ConstInt:
+    return hashCombine(H,
+                       static_cast<uint64_t>(cast<ConstIntExpr>(E)->value()));
+  case ExprKind::ConstFloat: {
+    double V = cast<ConstFloatExpr>(E)->value();
+    uint64_t Bits;
+    static_assert(sizeof(Bits) == sizeof(V));
+    __builtin_memcpy(&Bits, &V, sizeof(Bits));
+    return hashCombine(H, Bits);
+  }
+  case ExprKind::ConstBool:
+    return hashCombine(H, cast<ConstBoolExpr>(E)->value() ? 1 : 2);
+  case ExprKind::Sym: {
+    uint64_t Id = cast<SymExpr>(E)->id();
+    auto It = ParamIdx.find(Id);
+    // Bound parameters hash by introduction order; free symbols by identity.
+    return hashCombine(H, It != ParamIdx.end() ? It->second : (Id << 17));
+  }
+  case ExprKind::Input: {
+    uint64_t NH = 1469598103934665603ULL;
+    for (char C : cast<InputExpr>(E)->name())
+      NH = (NH ^ static_cast<uint64_t>(C)) * 1099511628211ULL;
+    return hashCombine(H, NH);
+  }
+  case ExprKind::BinOp:
+    H = hashCombine(H, static_cast<uint64_t>(cast<BinOpExpr>(E)->op()));
+    break;
+  case ExprKind::UnOp:
+    H = hashCombine(H, static_cast<uint64_t>(cast<UnOpExpr>(E)->op()));
+    break;
+  case ExprKind::GetField: {
+    uint64_t NH = 0;
+    for (char C : cast<GetFieldExpr>(E)->field())
+      NH = NH * 131 + static_cast<uint64_t>(C);
+    H = hashCombine(H, NH);
+    break;
+  }
+  case ExprKind::LoopOut:
+    H = hashCombine(H, cast<LoopOutExpr>(E)->index());
+    break;
+  default:
+    break;
+  }
+  if (const auto *ML = dyn_cast<MultiloopExpr>(E)) {
+    H = hashCombine(H, hashImpl(ML->size(), ParamIdx, NextIdx));
+    for (const Generator &G : ML->gens()) {
+      H = hashCombine(H, static_cast<uint64_t>(G.Kind));
+      if (G.NumKeys)
+        H = hashCombine(H, hashImpl(G.NumKeys, ParamIdx, NextIdx));
+      for (const Func *F : {&G.Cond, &G.Key, &G.Value, &G.Reduce}) {
+        if (!F->isSet()) {
+          H = hashCombine(H, 0xdead);
+          continue;
+        }
+        for (const SymRef &P : F->Params)
+          ParamIdx[P->id()] = NextIdx++;
+        H = hashCombine(H, hashImpl(F->Body, ParamIdx, NextIdx));
+      }
+    }
+    return H;
+  }
+  for (const ExprRef &Op : E->ops())
+    H = hashCombine(H, hashImpl(Op, ParamIdx, NextIdx));
+  return H;
+}
+
+} // namespace
+
+bool dmll::structuralEq(const ExprRef &A, const ExprRef &B) {
+  std::unordered_map<uint64_t, uint64_t> ParamMap;
+  return eqImpl(A, B, ParamMap);
+}
+
+bool dmll::funcEq(const Func &A, const Func &B) {
+  auto IsTrue = [](const Func &F) {
+    if (!F.isSet())
+      return true;
+    const auto *CB = dyn_cast<ConstBoolExpr>(F.Body);
+    return CB && CB->value();
+  };
+  if (!A.isSet() || !B.isSet())
+    return IsTrue(A) && IsTrue(B);
+  if (A.arity() != B.arity())
+    return false;
+  std::unordered_map<uint64_t, uint64_t> ParamMap;
+  for (size_t P = 0; P < A.arity(); ++P) {
+    if (!sameType(A.Params[P]->type(), B.Params[P]->type()))
+      return false;
+    ParamMap[A.Params[P]->id()] = B.Params[P]->id();
+  }
+  return eqImpl(A.Body, B.Body, ParamMap);
+}
+
+uint64_t dmll::structuralHash(const ExprRef &E) {
+  std::unordered_map<uint64_t, uint64_t> ParamIdx;
+  uint64_t NextIdx = 1;
+  return hashImpl(E, ParamIdx, NextIdx);
+}
+
+std::vector<ExprRef> dmll::collectMultiloops(const ExprRef &E) {
+  std::vector<ExprRef> Out;
+  visitAll(E, [&](const ExprRef &Node) {
+    if (isa<MultiloopExpr>(Node))
+      Out.push_back(Node);
+  });
+  return Out;
+}
+
+size_t dmll::countNodes(const ExprRef &E) {
+  size_t N = 0;
+  visitAll(E, [&](const ExprRef &) { ++N; });
+  return N;
+}

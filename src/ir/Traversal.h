@@ -1,0 +1,89 @@
+//===- ir/Traversal.h - Generic IR walking and rewriting -------*- C++ -*-===//
+//
+// Part of the DMLL reproduction of Brown et al., CGO 2016.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Generic utilities over the expression DAG: child enumeration (including
+/// generator function bodies, which live under binders), memoized bottom-up
+/// rewriting, capture-free substitution, free-symbol computation,
+/// alpha-aware structural equality and hashing. Every transformation in
+/// src/transform is built from these.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DMLL_IR_TRAVERSAL_H
+#define DMLL_IR_TRAVERSAL_H
+
+#include "ir/Expr.h"
+
+#include <functional>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace dmll {
+
+/// All direct children of \p E: plain operands plus, for multiloops, each
+/// generator's NumKeys and function bodies.
+std::vector<ExprRef> exprChildren(const ExprRef &E);
+
+/// Calls \p Fn exactly once for every node reachable from \p E (post-order).
+void visitAll(const ExprRef &E,
+              const std::function<void(const ExprRef &)> &Fn);
+
+/// Rebuilds \p E with every child replaced by \p Fn(child). Returns \p E
+/// itself when no child changed. Function parameters are preserved.
+ExprRef mapChildren(const ExprRef &E,
+                    const std::function<ExprRef(const ExprRef &)> &Fn);
+
+/// Memoized bottom-up rewrite: children first, then \p Fn on the rebuilt
+/// node. Each distinct node is rewritten once, so DAG sharing is preserved.
+ExprRef transformBottomUp(const ExprRef &E,
+                          const std::function<ExprRef(const ExprRef &)> &Fn);
+
+/// Replaces free occurrences of the symbols in \p Map. Capture-free because
+/// symbols are globally unique.
+ExprRef substitute(const ExprRef &E,
+                   const std::unordered_map<uint64_t, ExprRef> &Map);
+
+/// Clones \p F with fresh parameters (required before duplicating a function
+/// into more than one context, to preserve global symbol uniqueness).
+Func freshened(const Func &F);
+
+/// Applies a unary \p F to \p Arg by substitution (beta reduction).
+ExprRef applyFunc(const Func &F, const ExprRef &Arg);
+
+/// Applies a binary \p F to \p A and \p B by substitution.
+ExprRef applyFunc2(const Func &F, const ExprRef &A, const ExprRef &B);
+
+/// Ids of symbols occurring in \p E whose binder is not inside \p E.
+std::unordered_set<uint64_t> freeSyms(const ExprRef &E);
+
+/// True if symbol \p Id occurs free in \p E.
+bool occursFree(const ExprRef &E, uint64_t Id);
+
+/// True if node \p Target is reachable from \p E (pointer identity).
+bool reaches(const ExprRef &E, const Expr *Target);
+
+/// Alpha-aware structural equality: function parameters are matched
+/// positionally; inputs compare by name; constants by value.
+bool structuralEq(const ExprRef &A, const ExprRef &B);
+
+/// Alpha-aware equality of two functions (parameters matched positionally).
+/// Unset functions compare equal to unset and to the literal-true condition.
+bool funcEq(const Func &A, const Func &B);
+
+/// Hash consistent with structuralEq (parameters hashed by binder depth).
+uint64_t structuralHash(const ExprRef &E);
+
+/// Every multiloop node reachable from \p E, in post-order (producers before
+/// consumers).
+std::vector<ExprRef> collectMultiloops(const ExprRef &E);
+
+/// Number of distinct nodes reachable from \p E (diagnostics / tests).
+size_t countNodes(const ExprRef &E);
+
+} // namespace dmll
+
+#endif // DMLL_IR_TRAVERSAL_H

@@ -1,0 +1,130 @@
+//===- ir/Type.cpp ---------------------------------------------*- C++ -*-===//
+
+#include "ir/Type.h"
+
+#include "support/Error.h"
+
+using namespace dmll;
+
+int Type::fieldIndex(const std::string &Name) const {
+  assert(isStruct() && "fieldIndex on non-struct type");
+  for (size_t I = 0; I < Fields.size(); ++I)
+    if (Fields[I].Name == Name)
+      return static_cast<int>(I);
+  return -1;
+}
+
+const TypeRef &Type::fieldType(const std::string &Name) const {
+  int Idx = fieldIndex(Name);
+  if (Idx < 0)
+    fatalError("struct type " + str() + " has no field '" + Name + "'");
+  return Fields[static_cast<size_t>(Idx)].Ty;
+}
+
+bool Type::equals(const Type &O) const {
+  if (Kind != O.Kind)
+    return false;
+  switch (Kind) {
+  case TypeKind::Bool:
+  case TypeKind::Int32:
+  case TypeKind::Int64:
+  case TypeKind::Float32:
+  case TypeKind::Float64:
+    return true;
+  case TypeKind::Array:
+    return Elem->equals(*O.Elem);
+  case TypeKind::Struct: {
+    if (Fields.size() != O.Fields.size())
+      return false;
+    for (size_t I = 0; I < Fields.size(); ++I)
+      if (Fields[I].Name != O.Fields[I].Name ||
+          !Fields[I].Ty->equals(*O.Fields[I].Ty))
+        return false;
+    return true;
+  }
+  }
+  dmllUnreachable("bad TypeKind");
+}
+
+std::string Type::str() const {
+  switch (Kind) {
+  case TypeKind::Bool:
+    return "bool";
+  case TypeKind::Int32:
+    return "i32";
+  case TypeKind::Int64:
+    return "i64";
+  case TypeKind::Float32:
+    return "f32";
+  case TypeKind::Float64:
+    return "f64";
+  case TypeKind::Array:
+    return "Array[" + Elem->str() + "]";
+  case TypeKind::Struct: {
+    std::string S = "{";
+    for (size_t I = 0; I < Fields.size(); ++I) {
+      if (I)
+        S += ",";
+      S += Fields[I].Name + ":" + Fields[I].Ty->str();
+    }
+    return S + "}";
+  }
+  }
+  dmllUnreachable("bad TypeKind");
+}
+
+unsigned Type::scalarBytes() const {
+  switch (Kind) {
+  case TypeKind::Bool:
+    return 1;
+  case TypeKind::Int32:
+  case TypeKind::Float32:
+    return 4;
+  case TypeKind::Int64:
+  case TypeKind::Float64:
+    return 8;
+  case TypeKind::Array:
+    return 8; // Reference to the payload.
+  case TypeKind::Struct: {
+    unsigned Sum = 0;
+    for (const Field &F : Fields)
+      Sum += F.Ty->scalarBytes();
+    return Sum;
+  }
+  }
+  dmllUnreachable("bad TypeKind");
+}
+
+const TypeRef &Type::boolTy() {
+  static TypeRef T(new Type(TypeKind::Bool));
+  return T;
+}
+const TypeRef &Type::i32() {
+  static TypeRef T(new Type(TypeKind::Int32));
+  return T;
+}
+const TypeRef &Type::i64() {
+  static TypeRef T(new Type(TypeKind::Int64));
+  return T;
+}
+const TypeRef &Type::f32() {
+  static TypeRef T(new Type(TypeKind::Float32));
+  return T;
+}
+const TypeRef &Type::f64() {
+  static TypeRef T(new Type(TypeKind::Float64));
+  return T;
+}
+
+TypeRef Type::arrayOf(TypeRef Elem) {
+  assert(Elem && "array element type must be set");
+  Type *T = new Type(TypeKind::Array);
+  T->Elem = std::move(Elem);
+  return TypeRef(T);
+}
+
+TypeRef Type::structOf(std::vector<Field> Fields) {
+  Type *T = new Type(TypeKind::Struct);
+  T->Fields = std::move(Fields);
+  return TypeRef(T);
+}

@@ -1,0 +1,108 @@
+//===- ir/Type.h - DMLL IR type system -------------------------*- C++ -*-===//
+//
+// Part of the DMLL reproduction of Brown et al., CGO 2016.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The DMLL type system: scalar types, collections (`Coll[V]` in the paper),
+/// and structs. Structs model both user records (TPC-H line items) and
+/// shaped data like matrices ({data, rows, cols}); the AoS-to-SoA pass of
+/// Section 5 rewrites Array-of-Struct types into Struct-of-Array types.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DMLL_IR_TYPE_H
+#define DMLL_IR_TYPE_H
+
+#include <cassert>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace dmll {
+
+class Type;
+using TypeRef = std::shared_ptr<const Type>;
+
+/// Discriminator for Type. Scalars collapse to int64/double/bool at
+/// interpreter runtime but stay distinct for code generation.
+enum class TypeKind { Bool, Int32, Int64, Float32, Float64, Array, Struct };
+
+/// An immutable, structurally compared type.
+class Type {
+public:
+  /// One named member of a struct type.
+  struct Field {
+    std::string Name;
+    TypeRef Ty;
+  };
+
+  TypeKind getKind() const { return Kind; }
+
+  bool isBool() const { return Kind == TypeKind::Bool; }
+  bool isInt() const {
+    return Kind == TypeKind::Int32 || Kind == TypeKind::Int64;
+  }
+  bool isFloat() const {
+    return Kind == TypeKind::Float32 || Kind == TypeKind::Float64;
+  }
+  bool isScalar() const { return !isArray() && !isStruct(); }
+  bool isArray() const { return Kind == TypeKind::Array; }
+  bool isStruct() const { return Kind == TypeKind::Struct; }
+
+  /// Element type; only valid for arrays.
+  const TypeRef &elem() const {
+    assert(isArray() && "elem() on non-array type");
+    return Elem;
+  }
+
+  /// Struct fields; only valid for structs.
+  const std::vector<Field> &fields() const {
+    assert(isStruct() && "fields() on non-struct type");
+    return Fields;
+  }
+
+  /// Index of the field named \p Name, or -1 if absent.
+  int fieldIndex(const std::string &Name) const;
+
+  /// Type of the field named \p Name; asserts that it exists.
+  const TypeRef &fieldType(const std::string &Name) const;
+
+  /// Structural equality.
+  bool equals(const Type &O) const;
+
+  /// Human-readable rendering, e.g. "Array[f64]" or "{data:Array[f64],...}".
+  std::string str() const;
+
+  /// Size in bytes of one element of this type when stored unboxed; arrays
+  /// and structs report the sum of their flattened scalar payload (structs)
+  /// or the element size (arrays report 8 for the reference). Used by the
+  /// cost analysis.
+  unsigned scalarBytes() const;
+
+  // Factories. Scalar types are shared singletons.
+  static const TypeRef &boolTy();
+  static const TypeRef &i32();
+  static const TypeRef &i64();
+  static const TypeRef &f32();
+  static const TypeRef &f64();
+  static TypeRef arrayOf(TypeRef Elem);
+  static TypeRef structOf(std::vector<Field> Fields);
+
+private:
+  explicit Type(TypeKind K) : Kind(K) {}
+
+  TypeKind Kind;
+  TypeRef Elem;                // Array only.
+  std::vector<Field> Fields;   // Struct only.
+};
+
+/// Convenience: true if both refs denote structurally equal types.
+inline bool sameType(const TypeRef &A, const TypeRef &B) {
+  return A && B && A->equals(*B);
+}
+
+} // namespace dmll
+
+#endif // DMLL_IR_TYPE_H

@@ -1,0 +1,103 @@
+//===- ir/Verifier.cpp -----------------------------------------*- C++ -*-===//
+
+#include "ir/Verifier.h"
+
+#include "ir/Traversal.h"
+
+using namespace dmll;
+
+namespace {
+
+void checkGenerator(const Generator &G, std::vector<std::string> &Errs) {
+  if (!G.Value.isSet()) {
+    Errs.push_back("generator without a value function");
+    return;
+  }
+  if (G.Value.arity() != 1)
+    Errs.push_back("value function must take exactly the loop index");
+  if (G.Cond.isSet()) {
+    if (G.Cond.arity() != 1)
+      Errs.push_back("condition function must take exactly the loop index");
+    else if (!G.Cond.Body->type()->isBool())
+      Errs.push_back("condition body must be bool, got " +
+                     G.Cond.Body->type()->str());
+  }
+  if (G.isBucket()) {
+    if (!G.Key.isSet())
+      Errs.push_back("bucket generator requires a key function");
+    else if (G.Key.arity() != 1)
+      Errs.push_back("key function must take exactly the loop index");
+    else if (!G.Key.Body->type()->isInt())
+      Errs.push_back("bucket keys must be integers, got " +
+                     G.Key.Body->type()->str());
+    if (G.NumKeys && !G.NumKeys->type()->isInt())
+      Errs.push_back("dense bucket NumKeys must be an integer");
+  } else if (G.Key.isSet()) {
+    Errs.push_back("non-bucket generator must not have a key function");
+  }
+  if (G.isReduce()) {
+    if (!G.Reduce.isSet()) {
+      Errs.push_back("reduce generator requires a reduction function");
+    } else {
+      if (G.Reduce.arity() != 2)
+        Errs.push_back("reduction function must be binary");
+      const TypeRef &V = G.Value.Body->type();
+      for (const SymRef &P : G.Reduce.Params)
+        if (!sameType(P->type(), V))
+          Errs.push_back("reduction parameter type " + P->type()->str() +
+                         " differs from value type " + V->str());
+      if (G.Reduce.isSet() && !sameType(G.Reduce.Body->type(), V))
+        Errs.push_back("reduction result type " +
+                       G.Reduce.Body->type()->str() +
+                       " differs from value type " + V->str());
+    }
+  } else if (G.Reduce.isSet()) {
+    Errs.push_back("non-reduce generator must not have a reduction function");
+  }
+}
+
+} // namespace
+
+std::vector<std::string> dmll::verifyExpr(const ExprRef &E) {
+  std::vector<std::string> Errs;
+  if (!E) {
+    Errs.push_back("null expression");
+    return Errs;
+  }
+  visitAll(E, [&](const ExprRef &Node) {
+    if (const auto *ML = dyn_cast<MultiloopExpr>(Node)) {
+      for (const Generator &G : ML->gens())
+        checkGenerator(G, Errs);
+      // The node type must match what the generators produce.
+      if (ML->isSingle()) {
+        if (!sameType(Node->type(), ML->gen().resultType()))
+          Errs.push_back("multiloop type does not match generator result");
+      } else {
+        if (!Node->type()->isStruct() ||
+            Node->type()->fields().size() != ML->numGens())
+          Errs.push_back("fused multiloop must have a struct type with one "
+                         "field per generator");
+      }
+    }
+    if (const auto *LO = dyn_cast<LoopOutExpr>(Node)) {
+      const auto *ML = dyn_cast<MultiloopExpr>(LO->loop());
+      if (!ML)
+        Errs.push_back("LoopOut of a non-multiloop");
+      else if (LO->index() >= ML->numGens())
+        Errs.push_back("LoopOut index out of range");
+    }
+  });
+  if (!freeSyms(E).empty())
+    Errs.push_back("expression has unbound symbols");
+  return Errs;
+}
+
+std::vector<std::string> dmll::verify(const Program &P) {
+  std::vector<std::string> Errs = verifyExpr(P.Result);
+  // Input names must be unique: analyses key layout decisions by name.
+  for (size_t I = 0; I < P.Inputs.size(); ++I)
+    for (size_t J = I + 1; J < P.Inputs.size(); ++J)
+      if (P.Inputs[I]->name() == P.Inputs[J]->name())
+        Errs.push_back("duplicate input name '" + P.Inputs[I]->name() + "'");
+  return Errs;
+}

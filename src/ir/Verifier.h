@@ -1,0 +1,33 @@
+//===- ir/Verifier.h - IR well-formedness checks ---------------*- C++ -*-===//
+//
+// Part of the DMLL reproduction of Brown et al., CGO 2016.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Whole-program verifier. Builders enforce local typing; the verifier
+/// re-checks global invariants after transformations: generator/function
+/// shapes, scoping (no unbound symbols), and type agreement of reduction
+/// operators. Tests run it after every rewrite.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DMLL_IR_VERIFIER_H
+#define DMLL_IR_VERIFIER_H
+
+#include "ir/Expr.h"
+
+#include <string>
+#include <vector>
+
+namespace dmll {
+
+/// Returns a list of diagnostics; empty means the program is well formed.
+std::vector<std::string> verify(const Program &P);
+
+/// Convenience for expressions without a Program wrapper.
+std::vector<std::string> verifyExpr(const ExprRef &E);
+
+} // namespace dmll
+
+#endif // DMLL_IR_VERIFIER_H

@@ -1,0 +1,246 @@
+//===- refimpl/RefImpl.cpp -------------------------------------*- C++ -*-===//
+
+#include "refimpl/RefImpl.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <unordered_map>
+
+using namespace dmll;
+using namespace dmll::refimpl;
+using data::CsrGraph;
+using data::MatrixData;
+
+std::vector<std::vector<double>>
+refimpl::kmeansStep(const MatrixData &M, const MatrixData &Clusters) {
+  size_t K = Clusters.Rows, Cols = M.Cols;
+  std::vector<double> Sums(K * Cols, 0.0);
+  std::vector<int64_t> Counts(K, 0);
+  for (size_t I = 0; I < M.Rows; ++I) {
+    size_t Best = 0;
+    double BestD = std::numeric_limits<double>::infinity();
+    for (size_t C = 0; C < K; ++C) {
+      double D = 0;
+      for (size_t J = 0; J < Cols; ++J) {
+        double T = M.Data[I * Cols + J] - Clusters.Data[C * Cols + J];
+        D += T * T;
+      }
+      if (D < BestD) {
+        BestD = D;
+        Best = C;
+      }
+    }
+    for (size_t J = 0; J < Cols; ++J)
+      Sums[Best * Cols + J] += M.Data[I * Cols + J];
+    ++Counts[Best];
+  }
+  std::vector<std::vector<double>> Out(K);
+  for (size_t C = 0; C < K; ++C) {
+    if (!Counts[C])
+      continue; // empty cluster -> empty row
+    Out[C].resize(Cols);
+    for (size_t J = 0; J < Cols; ++J)
+      Out[C][J] = Sums[C * Cols + J] / static_cast<double>(Counts[C]);
+  }
+  return Out;
+}
+
+std::vector<double> refimpl::logregStep(const MatrixData &X,
+                                        const std::vector<double> &Y,
+                                        const std::vector<double> &Theta,
+                                        double Alpha) {
+  size_t Rows = X.Rows, Cols = X.Cols;
+  std::vector<double> Grad(Cols, 0.0);
+  for (size_t I = 0; I < Rows; ++I) {
+    double Dot = 0;
+    for (size_t K = 0; K < Cols; ++K)
+      Dot += Theta[K] * X.Data[I * Cols + K];
+    double Err = Y[I] - 1.0 / (1.0 + std::exp(-Dot));
+    for (size_t J = 0; J < Cols; ++J)
+      Grad[J] += X.Data[I * Cols + J] * Err;
+  }
+  std::vector<double> NewTheta(Cols);
+  for (size_t J = 0; J < Cols; ++J)
+    NewTheta[J] = Theta[J] + Alpha * Grad[J];
+  return NewTheta;
+}
+
+GdaResult refimpl::gda(const MatrixData &X, const std::vector<int64_t> &Y) {
+  size_t Rows = X.Rows, Cols = X.Cols;
+  GdaResult R;
+  R.Mu0.assign(Cols, 0.0);
+  R.Mu1.assign(Cols, 0.0);
+  for (size_t I = 0; I < Rows; ++I) {
+    auto &Mu = Y[I] ? R.Mu1 : R.Mu0;
+    (Y[I] ? R.Count1 : R.Count0) += 1;
+    for (size_t J = 0; J < Cols; ++J)
+      Mu[J] += X.Data[I * Cols + J];
+  }
+  for (size_t J = 0; J < Cols; ++J) {
+    R.Mu0[J] /= static_cast<double>(std::max<int64_t>(R.Count0, 1));
+    R.Mu1[J] /= static_cast<double>(std::max<int64_t>(R.Count1, 1));
+  }
+  R.Sigma.assign(Cols * Cols, 0.0);
+  std::vector<double> Dx(Cols);
+  for (size_t I = 0; I < Rows; ++I) {
+    const auto &Mu = Y[I] ? R.Mu1 : R.Mu0;
+    for (size_t J = 0; J < Cols; ++J)
+      Dx[J] = X.Data[I * Cols + J] - Mu[J];
+    for (size_t A = 0; A < Cols; ++A)
+      for (size_t B = 0; B < Cols; ++B)
+        R.Sigma[A * Cols + B] += Dx[A] * Dx[B];
+  }
+  R.Phi = static_cast<double>(R.Count1) / static_cast<double>(Rows);
+  return R;
+}
+
+Q1Result refimpl::tpchQ1(const data::LineItems &L, int64_t Cutoff) {
+  Q1Result R;
+  std::unordered_map<int64_t, size_t> KeyIdx;
+  for (size_t I = 0; I < L.size(); ++I) {
+    if (L.ShipDate[I] > Cutoff)
+      continue;
+    int64_t Key = L.ReturnFlag[I] * 256 + L.LineStatus[I];
+    auto [It, Inserted] = KeyIdx.emplace(Key, R.Keys.size());
+    if (Inserted) {
+      R.Keys.push_back(Key);
+      R.SumQty.push_back(0);
+      R.SumBase.push_back(0);
+      R.SumDisc.push_back(0);
+      R.SumCharge.push_back(0);
+      R.Count.push_back(0);
+    }
+    size_t G = It->second;
+    double Price = L.ExtendedPrice[I], Disc = L.Discount[I], Tax = L.Tax[I];
+    R.SumQty[G] += L.Quantity[I];
+    R.SumBase[G] += Price;
+    R.SumDisc[G] += Price * (1.0 - Disc);
+    R.SumCharge[G] += Price * (1.0 - Disc) * (1.0 + Tax);
+    R.Count[G] += 1;
+  }
+  return R;
+}
+
+GeneResult refimpl::gene(const data::GeneReads &G, double MinQuality) {
+  // Hand-optimized: open-addressing barcode table (the std hash map costs
+  // ~2x here and a performance programmer would not use it).
+  GeneResult R;
+  size_t Cap = 1;
+  while (Cap < G.size())
+    Cap <<= 1;
+  std::vector<int64_t> Slots(Cap, -1);
+  std::vector<size_t> Index(Cap, 0);
+  size_t Mask = Cap - 1;
+  for (size_t I = 0; I < G.size(); ++I) {
+    if (G.Quality[I] < MinQuality)
+      continue;
+    int64_t Key = G.Barcode[I];
+    size_t H = static_cast<size_t>(Key * 0x9e3779b97f4a7c15LL) & Mask;
+    while (Slots[H] != -1 && Slots[H] != Key)
+      H = (H + 1) & Mask;
+    if (Slots[H] == -1) {
+      Slots[H] = Key;
+      Index[H] = R.Keys.size();
+      R.Keys.push_back(Key);
+      R.Counts.push_back(0);
+      R.TotalLen.push_back(0);
+    }
+    R.Counts[Index[H]] += 1;
+    R.TotalLen[Index[H]] += G.Length[I];
+  }
+  return R;
+}
+
+std::vector<double> refimpl::pageRankStep(const CsrGraph &In,
+                                          const std::vector<int64_t> &OutDeg,
+                                          const std::vector<double> &Ranks) {
+  size_t N = static_cast<size_t>(In.NumV);
+  std::vector<double> Out(N);
+  double Base = 0.15 / static_cast<double>(N);
+  for (size_t V = 0; V < N; ++V) {
+    double Sum = 0;
+    for (int64_t E = In.Offsets[V]; E < In.Offsets[V + 1]; ++E) {
+      int64_t U = In.Edges[static_cast<size_t>(E)];
+      Sum += Ranks[static_cast<size_t>(U)] /
+             static_cast<double>(
+                 std::max<int64_t>(OutDeg[static_cast<size_t>(U)], 1));
+    }
+    Out[V] = Base + 0.85 * Sum;
+  }
+  return Out;
+}
+
+int64_t refimpl::triangleCount(const CsrGraph &G) {
+  int64_t Count = 0;
+  for (int64_t U = 0; U < G.NumV; ++U) {
+    for (int64_t E = G.Offsets[U]; E < G.Offsets[U + 1]; ++E) {
+      int64_t V = G.Edges[static_cast<size_t>(E)];
+      if (U >= V)
+        continue;
+      // Merge-intersect adj(U) and adj(V), counting common neighbors > V.
+      int64_t A = G.Offsets[U], AEnd = G.Offsets[U + 1];
+      int64_t B = G.Offsets[V], BEnd = G.Offsets[V + 1];
+      while (A < AEnd && B < BEnd) {
+        int64_t WA = G.Edges[static_cast<size_t>(A)];
+        int64_t WB = G.Edges[static_cast<size_t>(B)];
+        if (WA < WB) {
+          ++A;
+        } else if (WA > WB) {
+          ++B;
+        } else {
+          Count += WA > V;
+          ++A;
+          ++B;
+        }
+      }
+    }
+  }
+  return Count;
+}
+
+std::vector<int64_t> refimpl::knnPredict(const MatrixData &Train,
+                                         const std::vector<int64_t> &TrainY,
+                                         const MatrixData &Test) {
+  std::vector<int64_t> Out(Test.Rows);
+  for (size_t T = 0; T < Test.Rows; ++T) {
+    size_t Best = 0;
+    double BestD = std::numeric_limits<double>::infinity();
+    for (size_t R = 0; R < Train.Rows; ++R) {
+      double D = 0;
+      for (size_t J = 0; J < Train.Cols; ++J) {
+        double X = Train.Data[R * Train.Cols + J] -
+                   Test.Data[T * Test.Cols + J];
+        D += X * X;
+      }
+      if (D < BestD) {
+        BestD = D;
+        Best = R;
+      }
+    }
+    Out[T] = TrainY[Best];
+  }
+  return Out;
+}
+
+NbResult refimpl::naiveBayes(const MatrixData &X,
+                             const std::vector<int64_t> &Y,
+                             int64_t NumClasses) {
+  NbResult R;
+  std::vector<int64_t> Counts(static_cast<size_t>(NumClasses), 0);
+  R.Means.assign(static_cast<size_t>(NumClasses),
+                 std::vector<double>(X.Cols, 0.0));
+  for (size_t I = 0; I < X.Rows; ++I) {
+    size_t C = static_cast<size_t>(Y[I]);
+    ++Counts[C];
+    for (size_t J = 0; J < X.Cols; ++J)
+      R.Means[C][J] += X.Data[I * X.Cols + J];
+  }
+  for (size_t C = 0; C < static_cast<size_t>(NumClasses); ++C) {
+    R.Priors.push_back(static_cast<double>(Counts[C]) /
+                       static_cast<double>(X.Rows));
+    for (double &M : R.Means[C])
+      M /= static_cast<double>(std::max<int64_t>(Counts[C], 1));
+  }
+  return R;
+}

@@ -1,0 +1,89 @@
+//===- refimpl/RefImpl.h - Hand-optimized C++ baselines --------*- C++ -*-===//
+//
+// Part of the DMLL reproduction of Brown et al., CGO 2016.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Hand-optimized sequential C++ implementations of every benchmark: the
+/// "C++" column of Table 2 and the correctness oracles for the DMLL
+/// programs. They follow the paper's description of such code — tight
+/// loops over flat arrays, aggressive buffer reuse, no intermediate
+/// allocations — and reproduce the interpreter's defined semantics (reduce
+/// in index order, empty reductions produce zeros, hash groups in
+/// first-occurrence order) so results are comparable bit-for-bit modulo
+/// float tolerance.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DMLL_REFIMPL_REFIMPL_H
+#define DMLL_REFIMPL_REFIMPL_H
+
+#include "data/Datasets.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace dmll {
+namespace refimpl {
+
+/// One k-means step: new centroid per cluster (empty vector for an empty
+/// cluster, matching the DMLL program's semantics).
+std::vector<std::vector<double>> kmeansStep(const data::MatrixData &M,
+                                            const data::MatrixData &Clusters);
+
+/// One logistic-regression gradient step.
+std::vector<double> logregStep(const data::MatrixData &X,
+                               const std::vector<double> &Y,
+                               const std::vector<double> &Theta,
+                               double Alpha);
+
+/// GDA sufficient statistics.
+struct GdaResult {
+  double Phi = 0;
+  std::vector<double> Mu0, Mu1, Sigma;
+  int64_t Count0 = 0, Count1 = 0;
+};
+GdaResult gda(const data::MatrixData &X, const std::vector<int64_t> &Y);
+
+/// TPC-H Query 1 aggregates, groups in first-occurrence order over the
+/// filtered items.
+struct Q1Result {
+  std::vector<int64_t> Keys;
+  std::vector<double> SumQty, SumBase, SumDisc, SumCharge;
+  std::vector<int64_t> Count;
+};
+Q1Result tpchQ1(const data::LineItems &L, int64_t Cutoff);
+
+/// Gene barcoding counts / total lengths per barcode.
+struct GeneResult {
+  std::vector<int64_t> Keys, Counts, TotalLen;
+};
+GeneResult gene(const data::GeneReads &G, double MinQuality);
+
+/// One PageRank iteration. \p In is the incoming-edge CSR; \p OutDeg the
+/// original out-degrees.
+std::vector<double> pageRankStep(const data::CsrGraph &In,
+                                 const std::vector<int64_t> &OutDeg,
+                                 const std::vector<double> &Ranks);
+
+/// Exact triangle count (merge-based intersection on sorted adjacency).
+int64_t triangleCount(const data::CsrGraph &G);
+
+/// 1-NN predictions for each row of \p Test.
+std::vector<int64_t> knnPredict(const data::MatrixData &Train,
+                                const std::vector<int64_t> &TrainY,
+                                const data::MatrixData &Test);
+
+/// Naive Bayes conditional means and priors.
+struct NbResult {
+  std::vector<double> Priors;
+  std::vector<std::vector<double>> Means;
+};
+NbResult naiveBayes(const data::MatrixData &X, const std::vector<int64_t> &Y,
+                    int64_t NumClasses);
+
+} // namespace refimpl
+} // namespace dmll
+
+#endif // DMLL_REFIMPL_REFIMPL_H

@@ -1,0 +1,34 @@
+//===- runtime/DistArray.cpp -----------------------------------*- C++ -*-===//
+
+#include "runtime/DistArray.h"
+
+using namespace dmll;
+
+RangeDirectory RangeDirectory::evenBlocks(int64_t Total, int Locations) {
+  RangeDirectory D;
+  D.Total = Total;
+  if (Locations < 1)
+    Locations = 1;
+  int64_t Per = (Total + Locations - 1) / Locations;
+  for (int L = 0; L < Locations; ++L)
+    D.Starts.push_back(std::min<int64_t>(Total, Per * L));
+  return D;
+}
+
+int RangeDirectory::locationOf(int64_t I) const {
+  assert(I >= 0 && I < Total && "directory lookup out of range");
+  // Starts is small (one entry per location): linear scan from the back.
+  for (int L = numLocations() - 1; L >= 0; --L)
+    if (Starts[static_cast<size_t>(L)] <= I)
+      return L;
+  return 0;
+}
+
+std::pair<int64_t, int64_t> RangeDirectory::rangeOf(int Location) const {
+  assert(Location >= 0 && Location < numLocations());
+  int64_t Begin = Starts[static_cast<size_t>(Location)];
+  int64_t End = Location + 1 < numLocations()
+                    ? Starts[static_cast<size_t>(Location) + 1]
+                    : Total;
+  return {Begin, End};
+}

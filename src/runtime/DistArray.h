@@ -1,0 +1,109 @@
+//===- runtime/DistArray.h - Distributed arrays with a directory -*- C++ -*-===//
+//
+// Part of the DMLL reproduction of Brown et al., CGO 2016.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Section 5 distributed-array runtime type: each physical instance
+/// holds a local chunk of the logical array plus a directory of index
+/// ranges to locations, broadcast at instantiation. Reads of indices that
+/// are not physically present are trapped and "fetched" from the owning
+/// location; traffic counters record local vs remote reads, which the
+/// cluster simulator converts into time. Partitioning is only paid for
+/// arrays the analysis marked Partitioned — Local arrays stay ordinary
+/// vectors.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DMLL_RUNTIME_DISTARRAY_H
+#define DMLL_RUNTIME_DISTARRAY_H
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace dmll {
+
+/// Directory of index ranges to owning locations. Ranges are contiguous
+/// and ordered (the runtime "only splits the collection on the interval
+/// boundaries").
+class RangeDirectory {
+public:
+  RangeDirectory() = default;
+
+  /// Even block partitioning of [0, Total) over \p Locations.
+  static RangeDirectory evenBlocks(int64_t Total, int Locations);
+
+  /// Location owning index \p I.
+  int locationOf(int64_t I) const;
+
+  /// [begin, end) owned by \p Location.
+  std::pair<int64_t, int64_t> rangeOf(int Location) const;
+
+  int numLocations() const { return static_cast<int>(Starts.size()); }
+  int64_t totalSize() const { return Total; }
+
+private:
+  std::vector<int64_t> Starts; ///< start index per location
+  int64_t Total = 0;
+};
+
+/// Read-traffic statistics of one distributed array instance.
+struct DistArrayStats {
+  int64_t LocalReads = 0;
+  int64_t RemoteReads = 0;
+
+  double remoteFraction() const {
+    int64_t T = LocalReads + RemoteReads;
+    return T ? static_cast<double>(RemoteReads) / static_cast<double>(T)
+             : 0.0;
+  }
+};
+
+/// One physical instance (at \p Home) of a logical distributed array.
+/// For the purposes of this repository, every instance can see the whole
+/// logical payload (we are simulating the cluster), but reads are routed
+/// through the directory so remote accesses are trapped and counted
+/// exactly as the real runtime would move them.
+template <typename T> class DistArray {
+public:
+  DistArray(std::vector<T> Logical, RangeDirectory Dir, int Home)
+      : Logical(std::move(Logical)), Dir(std::move(Dir)), Home(Home) {
+    assert(this->Dir.totalSize() ==
+               static_cast<int64_t>(this->Logical.size()) &&
+           "directory does not cover the array");
+  }
+
+  int64_t size() const { return static_cast<int64_t>(Logical.size()); }
+  int home() const { return Home; }
+  const RangeDirectory &directory() const { return Dir; }
+
+  /// Read with remote-trap accounting.
+  const T &read(int64_t I) {
+    if (Dir.locationOf(I) == Home)
+      ++Stats.LocalReads;
+    else
+      ++Stats.RemoteReads;
+    return Logical[static_cast<size_t>(I)];
+  }
+
+  /// The indices this instance should iterate to keep all Interval-stencil
+  /// reads local ("move the computation to the data").
+  std::pair<int64_t, int64_t> localRange() const { return Dir.rangeOf(Home); }
+
+  const DistArrayStats &stats() const { return Stats; }
+  void resetStats() { Stats = DistArrayStats(); }
+
+private:
+  std::vector<T> Logical;
+  RangeDirectory Dir;
+  int Home;
+  DistArrayStats Stats;
+};
+
+} // namespace dmll
+
+#endif // DMLL_RUNTIME_DISTARRAY_H

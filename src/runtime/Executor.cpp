@@ -1,0 +1,28 @@
+//===- runtime/Executor.cpp ------------------------------------*- C++ -*-===//
+
+#include "runtime/Executor.h"
+
+#include "transform/Soa.h"
+
+#include <chrono>
+
+using namespace dmll;
+
+ExecutionReport dmll::executeProgram(const Program &P, const InputMap &Inputs,
+                                     const CompileOptions &Opts,
+                                     unsigned Threads) {
+  CompileResult CR = compileProgram(P, Opts);
+  InputMap Adapted = Inputs;
+  for (const auto &[Name, Kept] : CR.SoaConverted) {
+    const InputExpr *In = P.findInput(Name);
+    if (In && Adapted.count(Name))
+      Adapted[Name] = aosToSoa(Adapted[Name], *In->type()->elem(), Kept);
+  }
+  ExecutionReport R;
+  R.Threads = Threads ? Threads : 1;
+  auto T0 = std::chrono::steady_clock::now();
+  R.Result = evalProgramParallel(CR.P, Adapted, R.Threads);
+  auto T1 = std::chrono::steady_clock::now();
+  R.Millis = std::chrono::duration<double, std::milli>(T1 - T0).count();
+  return R;
+}

@@ -1,0 +1,39 @@
+//===- runtime/Executor.h - Shared-memory execution entry point -*- C++ -*-===//
+//
+// Part of the DMLL reproduction of Brown et al., CGO 2016.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Public entry point tying the compiler and the shared-memory runtime
+/// together: compile for a target, then execute with the multithreaded
+/// chunked executor. (Scaling *measurements* on NUMA/cluster/GPU targets
+/// come from the simulator in src/sim; this executor is the real,
+/// correctness-bearing path.)
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DMLL_RUNTIME_EXECUTOR_H
+#define DMLL_RUNTIME_EXECUTOR_H
+
+#include "interp/Interp.h"
+#include "transform/Pipeline.h"
+
+namespace dmll {
+
+/// Result of executeProgram.
+struct ExecutionReport {
+  Value Result;
+  double Millis = 0;
+  unsigned Threads = 1;
+};
+
+/// Compiles \p P with \p Opts, adapts \p Inputs to any SoA layout change,
+/// and runs the optimized program on \p Threads workers.
+ExecutionReport executeProgram(const Program &P, const InputMap &Inputs,
+                               const CompileOptions &Opts,
+                               unsigned Threads = 1);
+
+} // namespace dmll
+
+#endif // DMLL_RUNTIME_EXECUTOR_H

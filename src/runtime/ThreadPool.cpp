@@ -1,0 +1,56 @@
+//===- runtime/ThreadPool.cpp ----------------------------------*- C++ -*-===//
+
+#include "runtime/ThreadPool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+#include <vector>
+
+using namespace dmll;
+
+ThreadPool::ThreadPool(unsigned T) : Threads(T) {
+  if (!Threads) {
+    Threads = std::thread::hardware_concurrency();
+    if (!Threads)
+      Threads = 1;
+  }
+}
+
+void ThreadPool::parallelFor(
+    int64_t N, int64_t ChunkSize,
+    const std::function<void(int64_t, int64_t, unsigned)> &Body) const {
+  if (N <= 0)
+    return;
+  ChunkSize = std::max<int64_t>(1, ChunkSize);
+  if (Threads == 1 || N <= ChunkSize) {
+    Body(0, N, 0);
+    return;
+  }
+  std::atomic<int64_t> Cursor{0};
+  auto Worker = [&](unsigned W) {
+    for (;;) {
+      int64_t Begin = Cursor.fetch_add(ChunkSize, std::memory_order_relaxed);
+      if (Begin >= N)
+        return;
+      Body(Begin, std::min(Begin + ChunkSize, N), W);
+    }
+  };
+  std::vector<std::thread> Pool;
+  Pool.reserve(Threads - 1);
+  for (unsigned W = 1; W < Threads; ++W)
+    Pool.emplace_back(Worker, W);
+  Worker(0);
+  for (std::thread &T : Pool)
+    T.join();
+}
+
+void ThreadPool::run(const std::function<void(unsigned)> &Body) const {
+  std::vector<std::thread> Pool;
+  Pool.reserve(Threads - 1);
+  for (unsigned W = 1; W < Threads; ++W)
+    Pool.emplace_back(Body, W);
+  Body(0);
+  for (std::thread &T : Pool)
+    T.join();
+}

@@ -1,0 +1,48 @@
+//===- runtime/ThreadPool.h - Worker pool with dynamic chunks --*- C++ -*-===//
+//
+// Part of the DMLL reproduction of Brown et al., CGO 2016.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A minimal thread pool with a dynamically load-balanced parallel-for: the
+/// iteration space is split into chunks handed out from an atomic cursor,
+/// which is the "dynamic load balancing within each machine" the paper's
+/// multi-core partitioner provides for irregular applications (Section 5).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DMLL_RUNTIME_THREADPOOL_H
+#define DMLL_RUNTIME_THREADPOOL_H
+
+#include <cstdint>
+#include <functional>
+
+namespace dmll {
+
+/// Fixed-size worker pool. Threads are created per parallelFor call (the
+/// pool is sized, not persistent, keeping the implementation dependency-
+/// free and the tests deterministic).
+class ThreadPool {
+public:
+  /// \p Threads == 0 selects the hardware concurrency.
+  explicit ThreadPool(unsigned Threads = 0);
+
+  unsigned numThreads() const { return Threads; }
+
+  /// Runs \p Body(begin, end, worker) over [0, N) in dynamically scheduled
+  /// chunks of at most \p ChunkSize. Blocks until complete.
+  void parallelFor(int64_t N, int64_t ChunkSize,
+                   const std::function<void(int64_t, int64_t, unsigned)>
+                       &Body) const;
+
+  /// Runs \p Body(worker) once on each of the pool's workers.
+  void run(const std::function<void(unsigned)> &Body) const;
+
+private:
+  unsigned Threads;
+};
+
+} // namespace dmll
+
+#endif // DMLL_RUNTIME_THREADPOOL_H

@@ -1,0 +1,83 @@
+//===- sim/MachineModel.cpp ------------------------------------*- C++ -*-===//
+
+#include "sim/MachineModel.h"
+
+using namespace dmll;
+
+MachineModel MachineModel::numa4x12() {
+  MachineModel M;
+  M.Name = "numa-4x12";
+  M.Sockets = 4;
+  M.CoresPerSocket = 12;
+  M.CoreGflops = 4.0;
+  M.SocketBandwidthGBs = 35.0;
+  M.InterSocketGBs = 12.0;
+  M.CacheBandwidthGBs = 200.0;
+  M.LlcMB = 30.0;
+  return M;
+}
+
+MachineModel MachineModel::m1xlarge() {
+  MachineModel M;
+  M.Name = "m1.xlarge";
+  M.Sockets = 1;
+  M.CoresPerSocket = 4;
+  M.CoreGflops = 2.0;
+  M.SocketBandwidthGBs = 10.0;
+  M.InterSocketGBs = 10.0;
+  M.CacheBandwidthGBs = 80.0;
+  M.LlcMB = 8.0;
+  return M;
+}
+
+MachineModel MachineModel::x5680() {
+  MachineModel M;
+  M.Name = "x5680";
+  M.Sockets = 2;
+  M.CoresPerSocket = 6;
+  M.CoreGflops = 3.5;
+  M.SocketBandwidthGBs = 25.0;
+  M.InterSocketGBs = 10.0;
+  M.CacheBandwidthGBs = 150.0;
+  M.LlcMB = 12.0;
+  return M;
+}
+
+NetworkModel NetworkModel::gigE() {
+  NetworkModel N;
+  N.GbitPerSec = 1.0;
+  N.LatencyUs = 100.0;
+  return N;
+}
+
+GpuModel GpuModel::teslaC2050() {
+  GpuModel G;
+  G.Name = "tesla-c2050";
+  G.Gflops = 500.0;
+  G.MemBandwidthGBs = 120.0;
+  G.PcieGBs = 6.0;
+  G.VectorReducePenalty = 2.5;
+  G.UncoalescedPenalty = 2.0;
+  G.RandomAccessPenalty = 10.0;
+  return G;
+}
+
+ClusterModel ClusterModel::ec2_20() {
+  ClusterModel C;
+  C.Name = "ec2-20-m1.xlarge";
+  C.Nodes = 20;
+  C.Node = MachineModel::m1xlarge();
+  C.Net = NetworkModel::gigE();
+  return C;
+}
+
+ClusterModel ClusterModel::gpu4() {
+  ClusterModel C;
+  C.Name = "gpu-cluster-4";
+  C.Nodes = 4;
+  C.Node = MachineModel::x5680();
+  C.Net = NetworkModel::gigE();
+  C.HasGpu = true;
+  C.Gpu = GpuModel::teslaC2050();
+  return C;
+}

@@ -1,0 +1,100 @@
+//===- sim/MachineModel.h - Hardware models for the simulator --*- C++ -*-===//
+//
+// Part of the DMLL reproduction of Brown et al., CGO 2016.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parameterized models of the paper's evaluation hardware (DESIGN.md §2's
+/// substitution for machines we do not have): the 4-socket Xeon E5-4657L
+/// NUMA box, Amazon m1.xlarge nodes, the 4-node X5680 + Tesla C2050 GPU
+/// cluster, and 1GbE interconnects. Bandwidth/compute constants are
+/// nominal-spec-order values; the simulator derives *relative* behaviour
+/// (scaling curves, crossovers) from them together with the IR cost
+/// analysis, and only shapes are compared against the paper.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DMLL_SIM_MACHINEMODEL_H
+#define DMLL_SIM_MACHINEMODEL_H
+
+namespace dmll {
+
+/// A shared-memory (possibly NUMA) machine.
+struct MachineModel {
+  const char *Name = "machine";
+  int Sockets = 1;
+  int CoresPerSocket = 1;
+  /// Sustainable double-precision Gflop/s per core.
+  double CoreGflops = 4.0;
+  /// Local DRAM bandwidth per socket, GB/s.
+  double SocketBandwidthGBs = 30.0;
+  /// Inter-socket link bandwidth (per direction, aggregate), GB/s.
+  double InterSocketGBs = 12.0;
+  /// Effective bandwidth for LLC-resident data per socket, GB/s.
+  double CacheBandwidthGBs = 150.0;
+  /// LLC capacity per socket, MB (decides cache residency of small
+  /// broadcast collections).
+  double LlcMB = 30.0;
+
+  int cores() const { return Sockets * CoresPerSocket; }
+  /// Sockets spanned when \p CoresUsed threads are packed socket-first.
+  int socketsUsed(int CoresUsed) const {
+    int S = (CoresUsed + CoresPerSocket - 1) / CoresPerSocket;
+    return S < 1 ? 1 : (S > Sockets ? Sockets : S);
+  }
+
+  /// The paper's 4-socket, 12-core E5-4657L machine (256 GB per socket).
+  static MachineModel numa4x12();
+  /// Amazon m1.xlarge: 4 virtual cores, modest memory system.
+  static MachineModel m1xlarge();
+  /// 12-core Xeon X5680 node of the GPU cluster.
+  static MachineModel x5680();
+};
+
+/// A network interconnect.
+struct NetworkModel {
+  double GbitPerSec = 1.0;
+  double LatencyUs = 100.0;
+
+  double bytesPerSec() const { return GbitPerSec * 1e9 / 8.0; }
+  /// 1Gb Ethernet (both paper clusters).
+  static NetworkModel gigE();
+};
+
+/// A discrete GPU.
+struct GpuModel {
+  const char *Name = "gpu";
+  double Gflops = 500.0;
+  double MemBandwidthGBs = 120.0;
+  double PcieGBs = 6.0;
+  /// Slowdown of reductions over non-scalar values (temporaries spill out
+  /// of shared memory, Section 6).
+  double VectorReducePenalty = 2.5;
+  /// Slowdown of non-coalesced (untransposed row-major) access.
+  double UncoalescedPenalty = 2.0;
+  /// Slowdown of data-dependent random reads (Gibbs, graphs).
+  double RandomAccessPenalty = 10.0;
+
+  /// NVIDIA Tesla C2050 (the paper's GPU).
+  static GpuModel teslaC2050();
+};
+
+/// A cluster of identical machines.
+struct ClusterModel {
+  const char *Name = "cluster";
+  int Nodes = 1;
+  MachineModel Node;
+  NetworkModel Net;
+  bool HasGpu = false;
+  GpuModel Gpu;
+
+  /// The 20-node m1.xlarge EC2 cluster (Section 6.2).
+  static ClusterModel ec2_20();
+  /// The 4-node X5680 + C2050 cluster.
+  static ClusterModel gpu4();
+};
+
+} // namespace dmll
+
+#endif // DMLL_SIM_MACHINEMODEL_H

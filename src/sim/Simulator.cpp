@@ -1,0 +1,284 @@
+//===- sim/Simulator.cpp ---------------------------------------*- C++ -*-===//
+
+#include "sim/Simulator.h"
+
+#include <algorithm>
+#include <cmath>
+
+using namespace dmll;
+
+Discipline Discipline::dmll() {
+  Discipline D;
+  D.Name = "DMLL";
+  return D;
+}
+
+Discipline Discipline::dmllJvm() {
+  Discipline D;
+  D.Name = "DMLL-JVM";
+  D.ComputeFactor = 1.6; // generated Scala instead of C++ (Section 6.2)
+  D.MemInflation = 1.2;
+  D.PerLoopOverheadMs = 0.5;
+  D.PerTaskOverheadMs = 0.02;
+  return D;
+}
+
+Discipline Discipline::delite() {
+  Discipline D;
+  D.Name = "Delite";
+  D.ComputeFactor = 1.05; // same generated code, heavier runtime
+  D.PerLoopOverheadMs = 0.1;
+  return D;
+}
+
+Discipline Discipline::spark() {
+  Discipline D;
+  D.Name = "Spark";
+  D.ComputeFactor = 2.5;  // JVM + boxed records + iterator chains
+  D.MemInflation = 2.0;   // object headers / boxing
+  D.PerLoopOverheadMs = 2.0;
+  D.PerTaskOverheadMs = 0.5;
+  D.SerializationFactor = 3.0;
+  D.MaterializesIntermediates = true;
+  return D;
+}
+
+Discipline Discipline::powerGraph() {
+  Discipline D;
+  D.Name = "PowerGraph";
+  D.ComputeFactor = 2.2; // C++ library with per-vertex virtual dispatch
+  D.MemInflation = 1.5;
+  D.PerLoopOverheadMs = 0.5;
+  D.PerTaskOverheadMs = 0.05;
+  D.SerializationFactor = 1.5;
+  return D;
+}
+
+namespace {
+
+/// Memory-traffic time for one loop on a shared-memory machine.
+double memoryMs(const LoopCost &L, const MachineModel &M, int SocketsUsed,
+                MemPolicy Policy, const Discipline &D) {
+  double Stream = L.Iters * L.StreamBytesPerIter * D.MemInflation;
+  double Cached = L.Iters * L.CachedBytesPerIter * D.MemInflation;
+  double Strided = L.Iters * L.StridedBytesPerIter * D.MemInflation;
+  double Random = L.Iters * L.RandomBytesPerIter * D.MemInflation;
+  double Writes = L.Iters * L.WriteBytesPerIter * D.MemInflation;
+  double Shuffle = L.Iters * L.ShuffleBytesPerIter * D.MemInflation;
+  if (D.MaterializesIntermediates)
+    Writes *= 2.0; // write out, read back
+
+  double LocalBw = M.SocketBandwidthGBs * 1e9;
+  double InterBw = M.InterSocketGBs * 1e9;
+  // Random reads of partitioned data: 1/S of requests stay local; remote
+  // requests spread over every socket's interconnect link, all at reduced
+  // (latency-bound) efficiency.
+  auto RandomMix = [&](double LocalShareBw, int S) {
+    double SingleSocket = LocalShareBw * 0.25;
+    if (S <= 1)
+      return SingleSocket;
+    double Local = 1.0 / S, Remote = 1.0 - Local;
+    double RemoteBw = InterBw * S; // every socket's link participates
+    double Mix = 0.25 / (Local / LocalShareBw + Remote / RemoteBw);
+    // Partitioning never makes random access slower than keeping the data
+    // on one socket would.
+    return std::max(Mix, SingleSocket);
+  };
+
+  double StreamBw = LocalBw, CachedBw = LocalBw, RandomBw = LocalBw,
+         ShuffleBw = LocalBw;
+  switch (Policy) {
+  case MemPolicy::Partitioned:
+    // Partitioned arrays stream from every used socket's memory at once.
+    StreamBw = LocalBw * SocketsUsed;
+    CachedBw = M.CacheBandwidthGBs * 1e9 * SocketsUsed;
+    RandomBw = RandomMix(LocalBw, SocketsUsed);
+    // Scattered bucket writes cross sockets once more than one is used.
+    ShuffleBw = SocketsUsed > 1 ? InterBw * SocketsUsed * 0.5 : LocalBw;
+    break;
+  case MemPolicy::PinnedSingleRegion:
+    // The big dataset lives in one region: its memory bus is the cap, but
+    // pinned thread-local working sets stay local and fast.
+    StreamBw = LocalBw;
+    CachedBw = M.CacheBandwidthGBs * 1e9 * SocketsUsed;
+    RandomBw = RandomMix(LocalBw, SocketsUsed);
+    ShuffleBw = SocketsUsed > 1 ? InterBw : LocalBw;
+    break;
+  case MemPolicy::UnpinnedSingleRegion: {
+    // One region and migrating threads: beyond one socket, even the
+    // nested-loop working sets cross the interconnect.
+    // Everything — the dataset and all thread-local temporaries — is
+    // allocated in one region, so past one socket the home socket's memory
+    // bus serves the entire machine's demand. This is why Delite "stops
+    // scaling after two sockets" in Fig. 7.
+    StreamBw = LocalBw;
+    CachedBw = SocketsUsed > 1 ? LocalBw : M.CacheBandwidthGBs * 1e9;
+    RandomBw = SocketsUsed > 1 ? InterBw * 0.25 : LocalBw * 0.25;
+    ShuffleBw = SocketsUsed > 1 ? InterBw : LocalBw;
+    break;
+  }
+  }
+  // Cached traffic only enjoys cache bandwidth while the broadcast
+  // collections actually fit in the LLC.
+  if (L.BroadcastBytes > M.LlcMB * 1e6)
+    CachedBw = StreamBw;
+
+  double Ms = 0;
+  Ms += Stream / StreamBw * 1e3;
+  // Strided walks waste most of each cache line (8 useful bytes of 64).
+  Ms += Strided / (StreamBw / 6.0) * 1e3;
+  Ms += Cached / CachedBw * 1e3;
+  if (Random > 0)
+    Ms += Random / std::max(RandomBw, 1.0) * 1e3;
+  Ms += Writes / StreamBw * 1e3;
+  Ms += Shuffle / ShuffleBw * 1e3;
+  return Ms;
+}
+
+} // namespace
+
+SimResult dmll::simulateShared(const std::vector<LoopCost> &Loops,
+                               const MachineModel &M, int CoresUsed,
+                               MemPolicy Policy, const Discipline &D) {
+  SimResult R;
+  CoresUsed = std::max(1, std::min(CoresUsed, M.cores()));
+  int SocketsUsed = M.socketsUsed(CoresUsed);
+  for (const LoopCost &L : Loops) {
+    double ComputeMs = L.Iters * L.FlopsPerIter /
+                       (M.CoreGflops * 1e9 * CoresUsed) * 1e3 *
+                       D.ComputeFactor;
+    double MemMs = memoryMs(L, M, SocketsUsed, Policy, D) /
+                   // Memory parallelism is already in the bandwidth model,
+                   // but a few cores cannot saturate a socket's bus (one
+                   // core reaches roughly a fifth of it).
+                   std::min(1.0, 0.18 * CoresUsed);
+    // Combining per-worker reduction state at the barrier.
+    double CombineMs =
+        L.CombineBytes * CoresUsed / (M.SocketBandwidthGBs * 1e9) * 1e3;
+    double Tasks = CoresUsed * 2.0;
+    double OverheadMs = D.PerLoopOverheadMs + D.PerTaskOverheadMs * Tasks;
+    SimResult LoopR;
+    LoopR.ComputeMs = ComputeMs;
+    LoopR.MemoryMs = MemMs + CombineMs;
+    LoopR.OverheadMs = OverheadMs;
+    LoopR.Ms = std::max(ComputeMs, MemMs) + CombineMs + OverheadMs;
+    R.add(LoopR);
+  }
+  return R;
+}
+
+SimResult dmll::simulateCluster(const std::vector<LoopCost> &Loops,
+                                const ClusterModel &C, const Discipline &D,
+                                int AmortizeIters) {
+  SimResult R;
+  double NetBps = C.Net.bytesPerSec();
+  for (const LoopCost &L : Loops) {
+    // Each node runs its share of the iteration space on all its cores.
+    LoopCost Share = L;
+    Share.Iters = L.Iters / C.Nodes;
+    SimResult NodeR = simulateShared(
+        {Share}, C.Node, C.Node.cores(),
+        C.Node.Sockets > 1 ? MemPolicy::Partitioned
+                           : MemPolicy::PinnedSingleRegion,
+        D);
+
+    // Network: broadcast of Local collections consumed by the loop (and
+    // of the loop body), amortized for iterative algorithms when the data
+    // is resident; reduction state gathered from every node.
+    double BroadcastBytes =
+        L.BroadcastBytes * D.SerializationFactor / AmortizeIters;
+    double CombineBytes = L.CombineBytes * C.Nodes * D.SerializationFactor;
+    // Bucket shuffles move their scattered traffic across the network, and
+    // trapped remote reads (Unknown stencils: graphs) fetch (N-1)/N of
+    // their bytes from other machines — why the paper finds cluster graph
+    // analytics slower than one NUMA machine.
+    double ShuffleBytes =
+        L.Iters * L.ShuffleBytesPerIter * D.SerializationFactor;
+    double RemoteReadBytes = L.Iters * L.RandomBytesPerIter *
+                             (C.Nodes - 1.0) / C.Nodes *
+                             D.SerializationFactor;
+    double NetworkMs =
+        (BroadcastBytes + CombineBytes + ShuffleBytes + RemoteReadBytes) /
+            NetBps * 1e3 +
+        C.Net.LatencyUs / 1e3 * 2.0 * std::log2(std::max(2, C.Nodes));
+
+    double Tasks = C.Nodes * C.Node.cores() * 2.0;
+    double OverheadMs = D.PerLoopOverheadMs + D.PerTaskOverheadMs * Tasks;
+
+    SimResult LoopR;
+    LoopR.ComputeMs = NodeR.ComputeMs;
+    LoopR.MemoryMs = NodeR.MemoryMs;
+    LoopR.NetworkMs = NetworkMs;
+    LoopR.OverheadMs = OverheadMs;
+    LoopR.Ms = NodeR.Ms - NodeR.OverheadMs + NetworkMs + OverheadMs;
+    R.add(LoopR);
+  }
+  return R;
+}
+
+SimResult dmll::simulateGpu(const std::vector<LoopCost> &Loops,
+                            const GpuModel &G, const GpuExec &X) {
+  SimResult R;
+  for (const LoopCost &L : Loops) {
+    double ComputeMs = L.Iters * L.FlopsPerIter / (G.Gflops * 1e9) * 1e3;
+    // With thread == loop index, row-interval reads stride by the row
+    // length across adjacent threads: uncoalesced until the input matrix
+    // is transposed on transfer. Column-strided reads are the coalesced
+    // ones on a GPU (adjacent threads hit adjacent addresses), and GPU
+    // caches are too small for re-touches to stay resident, so "cached"
+    // traffic pays the same coalescing rules as first touches.
+    double StreamBytes = L.Iters *
+                         (L.StreamBytesPerIter + L.CachedBytesPerIter) *
+                         (X.Transposed ? 1.0 : G.UncoalescedPenalty);
+    double OtherBytes =
+        L.Iters * (L.StridedBytesPerIter + L.WriteBytesPerIter +
+                   2.0 * L.ShuffleBytesPerIter);
+    // Non-scalar reduction accumulators spill to global memory: each
+    // iteration read-modify-writes the whole vector (VectorReducePenalty
+    // scales the spill's effective cost).
+    double SpillBytes =
+        (L.VectorReduce && !X.ScalarReduce)
+            ? L.Iters * 2.0 * L.ReduceValueBytes * G.VectorReducePenalty
+            : 0.0;
+    double MemMs = (StreamBytes + OtherBytes + SpillBytes) /
+                   (G.MemBandwidthGBs * 1e9) * 1e3;
+    double RandomMs = L.Iters * L.RandomBytesPerIter *
+                      G.RandomAccessPenalty / (G.MemBandwidthGBs * 1e9) *
+                      1e3;
+    SimResult LoopR;
+    LoopR.ComputeMs = ComputeMs;
+    LoopR.MemoryMs = MemMs + RandomMs;
+    LoopR.OverheadMs = 0.05; // kernel launch
+    LoopR.Ms = std::max(ComputeMs, MemMs + RandomMs) + LoopR.OverheadMs;
+    R.add(LoopR);
+  }
+  // One-time transfer over PCIe, amortized across iterations.
+  double PcieMs =
+      X.InputBytes / (G.PcieGBs * 1e9) * 1e3 / std::max(1, X.AmortizeIters);
+  R.NetworkMs += PcieMs;
+  R.Ms += PcieMs;
+  return R;
+}
+
+SimResult dmll::simulateGpuCluster(const std::vector<LoopCost> &Loops,
+                                   const ClusterModel &C, const GpuExec &X,
+                                   const Discipline &D) {
+  SimResult R;
+  double NetBps = C.Net.bytesPerSec();
+  for (const LoopCost &L : Loops) {
+    LoopCost Share = L;
+    Share.Iters = L.Iters / C.Nodes;
+    GpuExec NodeX = X;
+    NodeX.InputBytes = X.InputBytes / C.Nodes;
+    SimResult NodeR = simulateGpu({Share}, C.Gpu, NodeX);
+    double NetworkMs =
+        (L.BroadcastBytes / X.AmortizeIters +
+         L.CombineBytes * C.Nodes * D.SerializationFactor) /
+            NetBps * 1e3 +
+        C.Net.LatencyUs / 1e3 * 2.0;
+    NodeR.NetworkMs += NetworkMs;
+    NodeR.Ms += NetworkMs;
+    R.add(NodeR);
+  }
+  return R;
+}

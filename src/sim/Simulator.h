@@ -1,0 +1,126 @@
+//===- sim/Simulator.h - Analytic performance simulator --------*- C++ -*-===//
+//
+// Part of the DMLL reproduction of Brown et al., CGO 2016.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Turns IR-derived LoopCosts (src/analysis/Cost.h) into simulated
+/// execution times on the hardware models of MachineModel.h, under an
+/// execution *discipline* describing how a framework runs the plan (DMLL
+/// compiled code vs Spark's interpreted, per-op-materializing, serializing
+/// runtime, etc.). The effects the paper studies arise mechanically:
+///
+///  * fusion -> fewer LoopCost entries -> fewer passes and task overheads;
+///  * the Fig. 3 rewrites -> Interval instead of Unknown stencils -> local
+///    streaming instead of trapped remote reads;
+///  * NUMA-aware partitioning -> stream bandwidth scales with sockets,
+///    pin-only/Delite saturate one socket's memory bus;
+///  * Row-to-Column + transpose -> GPU kernels lose the vector-reduce and
+///    uncoalesced-access penalties.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DMLL_SIM_SIMULATOR_H
+#define DMLL_SIM_SIMULATOR_H
+
+#include "analysis/Cost.h"
+#include "sim/MachineModel.h"
+
+#include <string>
+#include <vector>
+
+namespace dmll {
+
+/// How partitioned (large) collections are placed across NUMA regions.
+enum class MemPolicy {
+  /// DMLL: partitioned arrays spread across every used socket's memory.
+  Partitioned,
+  /// DMLL pin-only: threads pinned with local heaps, but the shared input
+  /// dataset lives in one socket's memory.
+  PinnedSingleRegion,
+  /// Delite/JVM: one memory region and unpinned threads, so even
+  /// thread-local working sets bounce across sockets.
+  UnpinnedSingleRegion,
+};
+
+/// How a framework executes the logical plan.
+struct Discipline {
+  const char *Name = "dmll";
+  /// Per-element compute multiplier vs compiled C++ (JVM, boxing,
+  /// iterators, virtual dispatch).
+  double ComputeFactor = 1.0;
+  /// Fixed scheduling cost per loop (per pass over the data).
+  double PerLoopOverheadMs = 0.05;
+  /// Cost per task; tasks ~ 2 chunks per worker per loop.
+  double PerTaskOverheadMs = 0.002;
+  /// Multiplier on bytes moved (boxed representations).
+  double MemInflation = 1.0;
+  /// Multiplier on bytes crossing machine boundaries (serialization).
+  double SerializationFactor = 1.0;
+  /// Whether intermediate collections are written + reread (no fusion at
+  /// the runtime level; used with plans compiled without fusion).
+  bool MaterializesIntermediates = false;
+
+  static Discipline dmll();
+  static Discipline dmllJvm(); ///< DMLL generating Scala on EC2 (Sec. 6.2)
+  static Discipline delite();
+  static Discipline spark();
+  static Discipline powerGraph();
+};
+
+/// One simulated execution.
+struct SimResult {
+  double Ms = 0;
+  double ComputeMs = 0;
+  double MemoryMs = 0;
+  double NetworkMs = 0;
+  double OverheadMs = 0;
+
+  void add(const SimResult &O) {
+    Ms += O.Ms;
+    ComputeMs += O.ComputeMs;
+    MemoryMs += O.MemoryMs;
+    NetworkMs += O.NetworkMs;
+    OverheadMs += O.OverheadMs;
+  }
+};
+
+/// Simulates \p Loops on \p M with \p CoresUsed workers.
+SimResult simulateShared(const std::vector<LoopCost> &Loops,
+                         const MachineModel &M, int CoresUsed,
+                         MemPolicy Policy, const Discipline &D);
+
+/// Simulates \p Loops on a cluster: iterations split over nodes, each node
+/// running all its cores; Local inputs broadcast and reduction state
+/// combined over the network. \p AmortizeIters spreads one-time transfers
+/// (input broadcast) over that many iterations of an iterative algorithm.
+SimResult simulateCluster(const std::vector<LoopCost> &Loops,
+                          const ClusterModel &C, const Discipline &D,
+                          int AmortizeIters = 1);
+
+/// GPU execution options (which kernel-level choices were applied).
+struct GpuExec {
+  /// Row-to-Column applied: reductions are scalar (fit shared memory).
+  bool ScalarReduce = true;
+  /// Input matrix transposed on transfer: accesses coalesce.
+  bool Transposed = true;
+  /// One-time PCIe input transfer amortized over this many iterations.
+  int AmortizeIters = 1;
+  /// Bytes shipped to the device once.
+  double InputBytes = 0;
+};
+
+/// Simulates \p Loops on one GPU.
+SimResult simulateGpu(const std::vector<LoopCost> &Loops, const GpuModel &G,
+                      const GpuExec &X);
+
+/// Simulates a GPU cluster: per-node share of iterations on each node's
+/// GPU plus cluster networking.
+SimResult simulateGpuCluster(const std::vector<LoopCost> &Loops,
+                             const ClusterModel &C, const GpuExec &X,
+                             const Discipline &D);
+
+} // namespace dmll
+
+#endif // DMLL_SIM_SIMULATOR_H

@@ -1,0 +1,25 @@
+//===- support/Error.cpp --------------------------------------*- C++ -*-===//
+
+#include "support/Error.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+using namespace dmll;
+
+void dmll::fatalError(const std::string &Msg) {
+  std::fprintf(stderr, "dmll fatal error: %s\n", Msg.c_str());
+  std::abort();
+}
+
+void dmll::dmllUnreachable(const char *Msg) {
+  std::fprintf(stderr, "dmll unreachable: %s\n", Msg);
+  std::abort();
+}
+
+bool DiagSink::hasWarningContaining(const std::string &Substr) const {
+  for (const std::string &W : Warnings)
+    if (W.find(Substr) != std::string::npos)
+      return true;
+  return false;
+}

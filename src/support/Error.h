@@ -1,0 +1,54 @@
+//===- support/Error.h - Fatal errors and diagnostics ----------*- C++ -*-===//
+//
+// Part of the DMLL reproduction of Brown et al., CGO 2016.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Fatal-error reporting and a lightweight diagnostic (warning) sink used by
+/// the compiler analyses. Library code never throws; invariant violations
+/// abort via fatalError / dmll_unreachable, and user-facing conditions (e.g.
+/// the partitioning analysis of Algorithm 1 calling `warn()`) are routed to
+/// a DiagSink that callers can capture.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DMLL_SUPPORT_ERROR_H
+#define DMLL_SUPPORT_ERROR_H
+
+#include <string>
+#include <vector>
+
+namespace dmll {
+
+/// Prints \p Msg to stderr and aborts. Used for violated invariants that
+/// cannot be expressed as a plain assert (e.g. carry runtime data).
+[[noreturn]] void fatalError(const std::string &Msg);
+
+/// Marks a point in the code that must never be reached.
+[[noreturn]] void dmllUnreachable(const char *Msg);
+
+/// Collects compiler warnings (the `warn()` calls of Algorithm 1 and the
+/// stencil fallback of Section 4.2) so tests can assert on them and tools can
+/// print them.
+class DiagSink {
+public:
+  /// Records one warning message.
+  void warn(const std::string &Msg) { Warnings.push_back(Msg); }
+
+  /// All warnings recorded so far, in emission order.
+  const std::vector<std::string> &warnings() const { return Warnings; }
+
+  /// True if at least one warning whose text contains \p Substr was emitted.
+  bool hasWarningContaining(const std::string &Substr) const;
+
+  /// Drops all recorded warnings.
+  void clear() { Warnings.clear(); }
+
+private:
+  std::vector<std::string> Warnings;
+};
+
+} // namespace dmll
+
+#endif // DMLL_SUPPORT_ERROR_H

@@ -1,0 +1,65 @@
+//===- support/Rng.cpp ----------------------------------------*- C++ -*-===//
+
+#include "support/Rng.h"
+
+#include <cassert>
+#include <cmath>
+
+using namespace dmll;
+
+static uint64_t splitmix64(uint64_t &X) {
+  X += 0x9e3779b97f4a7c15ULL;
+  uint64_t Z = X;
+  Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+  return Z ^ (Z >> 31);
+}
+
+Rng::Rng(uint64_t Seed) {
+  for (uint64_t &S : State)
+    S = splitmix64(Seed);
+  // Avoid the all-zero state, which is a fixed point of xoshiro.
+  if (!(State[0] | State[1] | State[2] | State[3]))
+    State[0] = 1;
+}
+
+static uint64_t rotl(uint64_t X, int K) { return (X << K) | (X >> (64 - K)); }
+
+uint64_t Rng::next() {
+  uint64_t Result = rotl(State[1] * 5, 7) * 9;
+  uint64_t T = State[1] << 17;
+  State[2] ^= State[0];
+  State[3] ^= State[1];
+  State[1] ^= State[2];
+  State[0] ^= State[3];
+  State[2] ^= T;
+  State[3] = rotl(State[3], 45);
+  return Result;
+}
+
+uint64_t Rng::nextBelow(uint64_t Bound) {
+  assert(Bound != 0 && "nextBelow requires a nonzero bound");
+  // Modulo bias is irrelevant for synthetic-data purposes.
+  return next() % Bound;
+}
+
+double Rng::nextDouble() {
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::nextGaussian() {
+  if (HasSpare) {
+    HasSpare = false;
+    return Spare;
+  }
+  double U, V, S;
+  do {
+    U = 2.0 * nextDouble() - 1.0;
+    V = 2.0 * nextDouble() - 1.0;
+    S = U * U + V * V;
+  } while (S >= 1.0 || S == 0.0);
+  double Mul = std::sqrt(-2.0 * std::log(S) / S);
+  Spare = V * Mul;
+  HasSpare = true;
+  return U * Mul;
+}

@@ -1,0 +1,47 @@
+//===- support/Rng.h - Deterministic pseudo-random numbers -----*- C++ -*-===//
+//
+// Part of the DMLL reproduction of Brown et al., CGO 2016.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small, fast, fully deterministic PRNG (xoshiro256**) used by all
+/// synthetic dataset generators and property tests so every run of the test
+/// and benchmark suites sees identical data.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DMLL_SUPPORT_RNG_H
+#define DMLL_SUPPORT_RNG_H
+
+#include <cstdint>
+
+namespace dmll {
+
+/// Deterministic xoshiro256** generator. Never seeded from the environment.
+class Rng {
+public:
+  /// Creates a generator from a 64-bit seed via splitmix64 expansion.
+  explicit Rng(uint64_t Seed);
+
+  /// Next raw 64-bit value.
+  uint64_t next();
+
+  /// Uniform integer in [0, Bound). \p Bound must be nonzero.
+  uint64_t nextBelow(uint64_t Bound);
+
+  /// Uniform double in [0, 1).
+  double nextDouble();
+
+  /// Standard normal variate (Box-Muller).
+  double nextGaussian();
+
+private:
+  uint64_t State[4];
+  bool HasSpare = false;
+  double Spare = 0.0;
+};
+
+} // namespace dmll
+
+#endif // DMLL_SUPPORT_RNG_H

@@ -1,0 +1,57 @@
+//===- support/Table.cpp --------------------------------------*- C++ -*-===//
+
+#include "support/Table.h"
+
+#include <cassert>
+#include <cstdio>
+
+using namespace dmll;
+
+Table::Table(std::vector<std::string> Hdrs) : Headers(std::move(Hdrs)) {}
+
+void Table::addRow(std::vector<std::string> Cells) {
+  assert(Cells.size() == Headers.size() && "row arity mismatch");
+  Rows.push_back(std::move(Cells));
+}
+
+std::string Table::render() const {
+  std::vector<size_t> Widths(Headers.size());
+  for (size_t C = 0; C < Headers.size(); ++C)
+    Widths[C] = Headers[C].size();
+  for (const auto &Row : Rows)
+    for (size_t C = 0; C < Row.size(); ++C)
+      if (Row[C].size() > Widths[C])
+        Widths[C] = Row[C].size();
+
+  auto emitRow = [&](const std::vector<std::string> &Row, std::string &Out) {
+    for (size_t C = 0; C < Row.size(); ++C) {
+      Out += Row[C];
+      if (C + 1 < Row.size())
+        Out.append(Widths[C] - Row[C].size() + 2, ' ');
+    }
+    Out += '\n';
+  };
+
+  std::string Out;
+  emitRow(Headers, Out);
+  size_t Total = 0;
+  for (size_t W : Widths)
+    Total += W + 2;
+  Out.append(Total > 2 ? Total - 2 : Total, '-');
+  Out += '\n';
+  for (const auto &Row : Rows)
+    emitRow(Row, Out);
+  return Out;
+}
+
+std::string Table::fmt(double V, int Digits) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.*f", Digits, V);
+  return Buf;
+}
+
+std::string Table::fmtX(double V, int Digits) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.*fx", Digits, V);
+  return Buf;
+}

@@ -1,0 +1,46 @@
+//===- support/Table.h - Aligned text tables for benchmark output -*- C++ -*-===//
+//
+// Part of the DMLL reproduction of Brown et al., CGO 2016.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A tiny column-aligned table printer used by every benchmark binary to
+/// print the rows/series that match the paper's tables and figures.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DMLL_SUPPORT_TABLE_H
+#define DMLL_SUPPORT_TABLE_H
+
+#include <string>
+#include <vector>
+
+namespace dmll {
+
+/// Accumulates rows of string cells and renders them with aligned columns.
+class Table {
+public:
+  /// Creates a table with the given column headers.
+  explicit Table(std::vector<std::string> Headers);
+
+  /// Appends one row; must have exactly as many cells as there are headers.
+  void addRow(std::vector<std::string> Cells);
+
+  /// Renders the table (headers, separator, rows) as a string.
+  std::string render() const;
+
+  /// Formats \p V with \p Digits fractional digits.
+  static std::string fmt(double V, int Digits = 2);
+
+  /// Formats \p V as a speedup like "3.1x".
+  static std::string fmtX(double V, int Digits = 1);
+
+private:
+  std::vector<std::string> Headers;
+  std::vector<std::vector<std::string>> Rows;
+};
+
+} // namespace dmll
+
+#endif // DMLL_SUPPORT_TABLE_H

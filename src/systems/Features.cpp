@@ -1,0 +1,60 @@
+//===- systems/Features.cpp ------------------------------------*- C++ -*-===//
+
+#include "systems/Features.h"
+
+#include "support/Table.h"
+
+using namespace dmll;
+
+int SystemFeatures::featureCount() const {
+  return RichDataParallelism + NestedProgramming + NestedParallelism +
+         MultipleCollections + RandomReads + MultiCore + Numa + Clusters +
+         Gpus;
+}
+
+const std::vector<SystemFeatures> &dmll::featureTable() {
+  static const std::vector<SystemFeatures> Rows = [] {
+    auto Mk = [](const char *Name, bool Rich, bool NestProg, bool NestPar,
+                 bool Multi, bool Rand, bool MC, bool NU, bool CL, bool GP) {
+      SystemFeatures S;
+      S.Name = Name;
+      S.RichDataParallelism = Rich;
+      S.NestedProgramming = NestProg;
+      S.NestedParallelism = NestPar;
+      S.MultipleCollections = Multi;
+      S.RandomReads = Rand;
+      S.MultiCore = MC;
+      S.Numa = NU;
+      S.Clusters = CL;
+      S.Gpus = GP;
+      return S;
+    };
+    std::vector<SystemFeatures> R;
+    R.push_back(Mk("MapReduce", 0, 0, 0, 0, 0, 0, 0, 1, 0));
+    R.push_back(Mk("DryadLINQ", 1, 0, 0, 1, 0, 0, 0, 1, 0));
+    R.push_back(Mk("Thrust", 1, 0, 0, 0, 0, 0, 0, 0, 1));
+    R.push_back(Mk("Scala Collections", 1, 1, 1, 1, 1, 1, 0, 0, 0));
+    R.push_back(Mk("Delite", 1, 1, 1, 1, 1, 1, 0, 0, 1));
+    R.push_back(Mk("Spark", 0, 0, 0, 0, 0, 1, 0, 1, 0));
+    R.push_back(Mk("Lime", 1, 1, 0, 1, 0, 1, 0, 0, 1));
+    R.push_back(Mk("PowerGraph", 0, 0, 0, 0, 1, 1, 0, 1, 0));
+    R.push_back(Mk("Dandelion", 1, 1, 0, 1, 0, 1, 0, 1, 1));
+    R.push_back(Mk("DMLL", 1, 1, 1, 1, 1, 1, 1, 1, 1));
+    return R;
+  }();
+  return Rows;
+}
+
+const SystemFeatures &dmll::dmllFeatures() { return featureTable().back(); }
+
+std::string dmll::renderFeatureTable() {
+  Table T({"System", "RichDP", "NestProg", "NestPar", "MultiColl",
+           "RandRead", "MultiCore", "NUMA", "Cluster", "GPU"});
+  auto Dot = [](bool B) { return std::string(B ? "x" : ""); };
+  for (const SystemFeatures &S : featureTable())
+    T.addRow({S.Name, Dot(S.RichDataParallelism), Dot(S.NestedProgramming),
+              Dot(S.NestedParallelism), Dot(S.MultipleCollections),
+              Dot(S.RandomReads), Dot(S.MultiCore), Dot(S.Numa),
+              Dot(S.Clusters), Dot(S.Gpus)});
+  return T.render();
+}

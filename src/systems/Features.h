@@ -1,0 +1,53 @@
+//===- systems/Features.h - Table 1 capability matrix ----------*- C++ -*-===//
+//
+// Part of the DMLL reproduction of Brown et al., CGO 2016.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The programming-model-feature and hardware-target comparison of Table 1,
+/// as a queryable registry. DMLL's row is additionally *checked by tests*
+/// against what this repository actually implements (e.g. "random reads"
+/// holds because ArrayRead accepts arbitrary indices and the runtime traps
+/// remote ones).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DMLL_SYSTEMS_FEATURES_H
+#define DMLL_SYSTEMS_FEATURES_H
+
+#include <string>
+#include <vector>
+
+namespace dmll {
+
+/// One row of Table 1.
+struct SystemFeatures {
+  std::string Name;
+  // Programming model features.
+  bool RichDataParallelism = false;
+  bool NestedProgramming = false;
+  bool NestedParallelism = false;
+  bool MultipleCollections = false;
+  bool RandomReads = false;
+  // Supported hardware.
+  bool MultiCore = false;
+  bool Numa = false;
+  bool Clusters = false;
+  bool Gpus = false;
+
+  int featureCount() const;
+};
+
+/// All rows, in the paper's (chronological) order; DMLL last.
+const std::vector<SystemFeatures> &featureTable();
+
+/// The DMLL row.
+const SystemFeatures &dmllFeatures();
+
+/// Renders the matrix like Table 1.
+std::string renderFeatureTable();
+
+} // namespace dmll
+
+#endif // DMLL_SYSTEMS_FEATURES_H

@@ -1,0 +1,151 @@
+//===- systems/Systems.cpp -------------------------------------*- C++ -*-===//
+
+#include "systems/Systems.h"
+
+#include "apps/Apps.h"
+
+using namespace dmll;
+
+namespace {
+
+SizeEnv matrixEnv(const char *Name, double Rows, double Cols) {
+  SizeEnv E;
+  E.Scalars[std::string(Name) + ".rows"] = Rows;
+  E.Scalars[std::string(Name) + ".cols"] = Cols;
+  E.ArrayLens[std::string(Name) + ".data"] = Rows * Cols;
+  return E;
+}
+
+} // namespace
+
+BenchApp dmll::benchKMeans(double Rows, double Cols, double K) {
+  BenchApp A;
+  A.Name = "k-means";
+  A.P = apps::kmeansSharedMemory();
+  A.Env = matrixEnv("matrix", Rows, Cols);
+  SizeEnv C = matrixEnv("clusters", K, Cols);
+  A.Env.Scalars.insert(C.Scalars.begin(), C.Scalars.end());
+  A.Env.ArrayLens.insert(C.ArrayLens.begin(), C.ArrayLens.end());
+  A.DatasetBytes = Rows * Cols * 8;
+  A.AmortizeIters = 20;
+  return A;
+}
+
+BenchApp dmll::benchLogReg(double Rows, double Cols) {
+  BenchApp A;
+  A.Name = "logreg";
+  A.P = apps::logreg();
+  A.Env = matrixEnv("x", Rows, Cols);
+  A.Env.ArrayLens["y"] = Rows;
+  A.Env.ArrayLens["theta"] = Cols;
+  A.Env.Scalars["alpha"] = 0.1;
+  A.DatasetBytes = Rows * (Cols + 1) * 8;
+  A.AmortizeIters = 30;
+  return A;
+}
+
+BenchApp dmll::benchGda(double Rows, double Cols) {
+  BenchApp A;
+  A.Name = "gda";
+  A.P = apps::gda();
+  A.Env = matrixEnv("x", Rows, Cols);
+  A.Env.ArrayLens["y"] = Rows;
+  A.DatasetBytes = Rows * (Cols + 1) * 8;
+  A.AmortizeIters = 2; // GDA iterates over its dataset twice
+  return A;
+}
+
+BenchApp dmll::benchTpchQ1(double Items) {
+  BenchApp A;
+  A.Name = "tpch-q1";
+  A.P = apps::tpchQ1();
+  // Per-field columns after SoA; the AoS path reads the same totals.
+  for (const char *F : {"quantity", "extendedprice", "discount", "tax"})
+    A.Env.ArrayLens[std::string("lineitems.") + F] = Items;
+  for (const char *F : {"returnflag", "linestatus", "shipdate", "orderkey",
+                        "partkey"})
+    A.Env.ArrayLens[std::string("lineitems.") + F] = Items;
+  A.Env.ArrayLens["lineitems"] = Items;
+  A.Env.Scalars["cutoff"] = 9500;
+  A.Env.HashKeys = 6; // 3 return flags x 2 line statuses
+  A.DatasetBytes = Items * (4 * 8 + 3 * 8); // the seven live fields
+  A.AmortizeIters = 1;
+  return A;
+}
+
+BenchApp dmll::benchGene(double Reads, double Barcodes) {
+  BenchApp A;
+  A.Name = "gene";
+  A.P = apps::geneBarcoding();
+  for (const char *F : {"barcode", "quality", "length", "flowcell"})
+    A.Env.ArrayLens[std::string("genes.") + F] = Reads;
+  A.Env.ArrayLens["genes"] = Reads;
+  A.Env.Scalars["min_quality"] = 10.0;
+  A.Env.HashKeys = Barcodes;
+  A.DatasetBytes = Reads * 3 * 8;
+  A.AmortizeIters = 1;
+  return A;
+}
+
+BenchApp dmll::benchPageRank(double Vertices, double Edges) {
+  BenchApp A;
+  A.Name = "pagerank";
+  A.P = apps::pageRankPull();
+  A.Env.ArrayLens["in_offsets"] = Vertices + 1;
+  A.Env.ArrayLens["in_edges"] = Edges;
+  A.Env.ArrayLens["outdeg"] = Vertices;
+  A.Env.ArrayLens["ranks"] = Vertices;
+  A.Env.Scalars["numv"] = Vertices;
+  A.DatasetBytes = (Edges + 3 * Vertices) * 8;
+  A.AmortizeIters = 10;
+  return A;
+}
+
+BenchApp dmll::benchTriangle(double Vertices, double Edges) {
+  BenchApp A;
+  A.Name = "triangle";
+  A.P = apps::triangleCount();
+  A.Env.ArrayLens["offsets"] = Vertices + 1;
+  A.Env.ArrayLens["edges"] = Edges;
+  A.Env.ArrayLens["edge_src"] = Edges;
+  A.Env.ArrayLens["edge_dst"] = Edges;
+  A.DatasetBytes = Edges * 3 * 8;
+  A.AmortizeIters = 1;
+  return A;
+}
+
+std::vector<LoopCost> dmll::planCosts(const BenchApp &App,
+                                      const CompileOptions &Opts) {
+  CompileResult CR = compileProgram(App.P, Opts);
+  return analyzeCosts(CR.P, CR.Partitioning, App.Env);
+}
+
+CompileOptions dmll::dmllPlanOptions(Target T) {
+  CompileOptions O;
+  O.T = T;
+  return O;
+}
+
+CompileOptions dmll::fusionOnlyPlanOptions(Target T) {
+  CompileOptions O;
+  O.T = T;
+  O.EnableNestedRules = false;
+  return O;
+}
+
+CompileOptions dmll::sparkPlanOptions(Target T) {
+  CompileOptions O;
+  O.T = T;
+  O.EnableSoa = false;
+  return O;
+}
+
+CompileOptions dmll::unfusedPlanOptions(Target T) {
+  CompileOptions O;
+  O.T = T;
+  O.EnableFusion = false;
+  O.EnableHorizontal = false;
+  O.EnableNestedRules = false;
+  O.EnableSoa = false;
+  return O;
+}

@@ -1,0 +1,68 @@
+//===- systems/Systems.h - Benchmark bundles and plan costing --*- C++ -*-===//
+//
+// Part of the DMLL reproduction of Brown et al., CGO 2016.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Packages each benchmark as a BenchApp: the DMLL program plus the dataset
+/// metadata (SizeEnv) the symbolic cost analysis is evaluated against, at
+/// paper scale by default (500k x 100 matrices, TPC-H SF5-sized lineitems,
+/// LiveJournal-sized graph). planCosts() compiles a plan under given
+/// options and derives its LoopCosts — the optimized DMLL plan, the
+/// fusion-only Delite-style plan, or the unfused per-pattern plan the
+/// Spark discipline executes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DMLL_SYSTEMS_SYSTEMS_H
+#define DMLL_SYSTEMS_SYSTEMS_H
+
+#include "analysis/Cost.h"
+#include "transform/Pipeline.h"
+
+#include <string>
+#include <vector>
+
+namespace dmll {
+
+/// One benchmark instance at a given data scale.
+struct BenchApp {
+  std::string Name;
+  Program P;
+  SizeEnv Env;
+  /// Primary dataset footprint in bytes (PCIe / network transfers).
+  double DatasetBytes = 0;
+  /// Iterations the paper amortizes one-time transfers over (iterative
+  /// algorithms run many steps; Q1/Gene scan once).
+  int AmortizeIters = 1;
+};
+
+/// Factories. Scales default to the paper's datasets; tests pass smaller
+/// ones. K-means/logreg/GDA: Rows x Cols matrix; k clusters.
+BenchApp benchKMeans(double Rows = 500e3, double Cols = 100, double K = 20);
+BenchApp benchLogReg(double Rows = 500e3, double Cols = 100);
+BenchApp benchGda(double Rows = 500e3, double Cols = 100);
+BenchApp benchTpchQ1(double Items = 30e6); ///< ~SF5
+BenchApp benchGene(double Reads = 3.5e6, double Barcodes = 1e4);
+BenchApp benchPageRank(double Vertices = 4.8e6, double Edges = 69e6);
+BenchApp benchTriangle(double Vertices = 4.8e6, double Edges = 69e6);
+
+/// Compiles \p App.P with \p Opts and evaluates the cost analysis against
+/// \p App.Env. The returned plan is what the simulator executes.
+std::vector<LoopCost> planCosts(const BenchApp &App,
+                                const CompileOptions &Opts);
+
+/// Compile options for the three plan variants used across the figures.
+CompileOptions dmllPlanOptions(Target T);
+CompileOptions fusionOnlyPlanOptions(Target T);   ///< Delite / Fig. 6 base
+/// The manually optimized Spark port (Section 6): same parallelization and
+/// distribution strategy, hand-enforced — i.e. the full plan minus
+/// AoS-to-SoA, which "is not possible in Spark because each field of the
+/// output record is produced from multiple fields of the input record".
+CompileOptions sparkPlanOptions(Target T);
+CompileOptions unfusedPlanOptions(Target T);      ///< naive per-pattern plan
+
+} // namespace dmll
+
+#endif // DMLL_SYSTEMS_SYSTEMS_H

@@ -1,0 +1,104 @@
+//===- transform/ConditionalReduce.cpp - Fig. 3 Conditional Reduce -*- C++ -*-===//
+//
+// A Collect whose body conditionally reduces a dataset, with the predicate
+// comparing a data-dependent key against the outer index, becomes a dense
+// BucketReduce computed in a single pass plus index lookups (the shared-
+// memory k-means of Fig. 1 becomes Fig. 5). This is the transformation that
+// breaks the inner reduction's dependency on the outer loop index and makes
+// the large dataset partitionable.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Builder.h"
+#include "ir/Traversal.h"
+#include "transform/Rules.h"
+
+using namespace dmll;
+
+ExprRef ConditionalReduceRule::apply(const ExprRef &E) const {
+  const auto *Outer = dyn_cast<MultiloopExpr>(E);
+  if (!Outer || !Outer->isSingle())
+    return nullptr;
+  const Generator &OG = Outer->gen();
+  if (OG.Kind != GenKind::Collect || !isTrueCond(OG.Cond))
+    return nullptr;
+  uint64_t I = OG.Value.Params[0]->id();
+  SymRef ISym = OG.Value.Params[0];
+
+  // Find a nested Reduce whose condition has the g(j) == h(i) shape with
+  // h(i) = i (the common form; k-means' `assigned(j) == i`).
+  ExprRef RNode;
+  ExprRef GBody; // g(j), in terms of the reduce's own index.
+  visitAll(OG.Value.Body, [&](const ExprRef &Node) {
+    if (RNode)
+      return;
+    const auto *ML = dyn_cast<MultiloopExpr>(Node);
+    if (!ML || !ML->isSingle() || ML->gen().Kind != GenKind::Reduce)
+      return;
+    const Generator &RG = ML->gen();
+    if (!RG.Cond.isSet())
+      return;
+    const auto *Eq = dyn_cast<BinOpExpr>(RG.Cond.Body);
+    if (!Eq || Eq->op() != BinOpKind::Eq)
+      return;
+    uint64_t CondJ = RG.Cond.Params[0]->id();
+    auto IsOuterIndex = [&](const ExprRef &Side) {
+      const auto *S = dyn_cast<SymExpr>(Side);
+      return S && S->id() == I;
+    };
+    auto IsKeySide = [&](const ExprRef &Side) {
+      // Depends on j, not on i, and is integer-typed.
+      return Side->type()->isInt() && occursFree(Side, CondJ) &&
+             !occursFree(Side, I);
+    };
+    ExprRef G;
+    if (IsOuterIndex(Eq->lhs()) && IsKeySide(Eq->rhs()))
+      G = Eq->rhs();
+    else if (IsOuterIndex(Eq->rhs()) && IsKeySide(Eq->lhs()))
+      G = Eq->lhs();
+    else
+      return;
+    // The reduce's range, value and reduction must not depend on the outer
+    // index, or the partial reductions cannot be hoisted.
+    if (occursFree(ML->size(), I) || occursFree(RG.Value.Body, I))
+      return;
+    if (RG.Reduce.isSet() && occursFree(RG.Reduce.Body, I))
+      return;
+    RNode = Node;
+    GBody = G;
+  });
+  if (!RNode)
+    return nullptr;
+
+  const auto *R = cast<MultiloopExpr>(RNode);
+  const Generator &RG = R->gen();
+
+  // Build H = BucketReduce over the reduce's range, dense with one bucket
+  // per outer index. Keys outside [0, s1) matched no outer index in the
+  // original program; the guard condition drops them.
+  SymRef K = freshSym("k", Type::i64());
+  ExprRef Key = substitute(GBody, {{RG.Cond.Params[0]->id(), K}});
+  Key = castTo(Type::i64(), Key);
+  ExprRef Guard =
+      binop(BinOpKind::And,
+            binop(BinOpKind::Ge, Key, constI64(0)),
+            binop(BinOpKind::Lt, Key, Outer->size()));
+  Generator HG;
+  HG.Kind = GenKind::BucketReduce;
+  HG.Cond = Func({K}, Guard);
+  HG.Key = Func({K}, Key);
+  HG.Value = Func({K}, substitute(RG.Value.Body,
+                                  {{RG.Value.Params[0]->id(), K}}));
+  HG.Reduce = freshened(RG.Reduce);
+  HG.NumKeys = Outer->size();
+  ExprRef H = singleLoop(R->size(), std::move(HG));
+
+  // Replace the reduce with the bucket lookup H(i).
+  ExprRef NewBody = replaceNode(OG.Value.Body, RNode.get(),
+                                arrayRead(H, ISym));
+  Generator NG;
+  NG.Kind = GenKind::Collect;
+  NG.Cond = trueCond();
+  NG.Value = Func({ISym}, NewBody);
+  return singleLoop(Outer->size(), std::move(NG));
+}

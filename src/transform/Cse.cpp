@@ -1,0 +1,40 @@
+//===- transform/Cse.cpp - Common subexpression elimination ----*- C++ -*-===//
+//
+// Hash-consing CSE (Section 5 lists CSE among the Delite optimizations DMLL
+// reuses). Merging is alpha-aware for whole multiloops and id-exact for free
+// symbols, so expressions under different binders never merge incorrectly,
+// while the copies of an inlined producer in sibling generators of a fused
+// loop re-merge into one shared node (computed once per index by codegen).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Traversal.h"
+#include "transform/Rules.h"
+
+#include <unordered_map>
+
+using namespace dmll;
+
+ExprRef dmll::cse(const ExprRef &E) {
+  std::unordered_map<uint64_t, std::vector<ExprRef>> Canon;
+  return transformBottomUp(E, [&](const ExprRef &Node) -> ExprRef {
+    // Leaves are cheap and merging them buys nothing.
+    switch (Node->kind()) {
+    case ExprKind::ConstInt:
+    case ExprKind::ConstFloat:
+    case ExprKind::ConstBool:
+    case ExprKind::Sym:
+    case ExprKind::Input:
+      return Node;
+    default:
+      break;
+    }
+    uint64_t H = structuralHash(Node);
+    auto &Bucket = Canon[H];
+    for (const ExprRef &Existing : Bucket)
+      if (structuralEq(Existing, Node))
+        return Existing;
+    Bucket.push_back(Node);
+    return Node;
+  });
+}

@@ -1,0 +1,86 @@
+//===- transform/Dce.cpp - Dead generator elimination ----------*- C++ -*-===//
+//
+// With a DAG IR, unreferenced loops vanish by construction; the remaining
+// dead code is generators of fused multiloops whose outputs lost all
+// consumers to later rewrites. This pass drops them and remaps LoopOut
+// indices.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Builder.h"
+#include "ir/Traversal.h"
+#include "transform/Rules.h"
+
+#include <functional>
+#include <set>
+#include <unordered_map>
+
+using namespace dmll;
+
+ExprRef dmll::dce(const ExprRef &E) {
+  // Which outputs of each multi-generator loop are consumed?
+  std::unordered_map<const Expr *, std::set<unsigned>> Used;
+  std::unordered_map<const Expr *, bool> WholeUse;
+  visitAll(E, [&](const ExprRef &Node) {
+    if (const auto *LO = dyn_cast<LoopOutExpr>(Node)) {
+      Used[LO->loop().get()].insert(LO->index());
+      return;
+    }
+    // Any non-LoopOut edge to a multi-generator loop consumes the whole
+    // struct: keep everything.
+    for (const ExprRef &Child : exprChildren(Node)) {
+      const auto *ML = dyn_cast<MultiloopExpr>(Child);
+      if (ML && !ML->isSingle() && !isa<LoopOutExpr>(Node))
+        WholeUse[Child.get()] = true;
+    }
+  });
+  // The root itself may be a multi-generator loop.
+  if (const auto *ML = dyn_cast<MultiloopExpr>(E); ML && !ML->isSingle())
+    WholeUse[E.get()] = true;
+
+  // Rebuild, pruning dead generators; LoopOut handled before its child so
+  // the old loop pointer is still observable.
+  std::unordered_map<const Expr *, std::vector<int>> Remap;
+  std::unordered_map<const Expr *, ExprRef> Memo;
+  std::function<ExprRef(const ExprRef &)> Go =
+      [&](const ExprRef &Node) -> ExprRef {
+    auto It = Memo.find(Node.get());
+    if (It != Memo.end())
+      return It->second;
+    ExprRef Result;
+    if (const auto *LO = dyn_cast<LoopOutExpr>(Node)) {
+      ExprRef NewLoop = Go(LO->loop());
+      auto RIt = Remap.find(LO->loop().get());
+      unsigned NewIdx = LO->index();
+      if (RIt != Remap.end()) {
+        assert(RIt->second[LO->index()] >= 0 && "used output pruned");
+        NewIdx = static_cast<unsigned>(RIt->second[LO->index()]);
+      }
+      Result = loopOut(NewLoop, NewIdx);
+    } else if (const auto *ML = dyn_cast<MultiloopExpr>(Node);
+               ML && !ML->isSingle() && !WholeUse[Node.get()]) {
+      const std::set<unsigned> &Live = Used[Node.get()];
+      ExprRef Rebuilt = mapChildren(Node, Go);
+      const auto *RML = cast<MultiloopExpr>(Rebuilt);
+      if (Live.size() == ML->numGens() || Live.empty()) {
+        Result = Rebuilt;
+      } else {
+        std::vector<Generator> Kept;
+        std::vector<int> Map(ML->numGens(), -1);
+        for (unsigned G = 0; G < ML->numGens(); ++G) {
+          if (!Live.count(G))
+            continue;
+          Map[G] = static_cast<int>(Kept.size());
+          Kept.push_back(RML->gen(G));
+        }
+        Remap.emplace(Node.get(), std::move(Map));
+        Result = multiloop(RML->size(), std::move(Kept));
+      }
+    } else {
+      Result = mapChildren(Node, Go);
+    }
+    Memo.emplace(Node.get(), Result);
+    return Result;
+  };
+  return Go(E);
+}

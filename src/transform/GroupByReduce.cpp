@@ -1,0 +1,236 @@
+//===- transform/GroupByReduce.cpp - Fig. 3 GroupBy-Reduce -----*- C++ -*-===//
+//
+// A BucketCollect consumed by a Collect that reduces each bucket becomes a
+// single BucketReduce: one traversal that reduces values as they are
+// assigned to buckets, instead of materializing the buckets first. The rule
+// matches the aggregation-query pattern of Section 3.2 and the groupBy
+// formulation of k-means.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Builder.h"
+#include "ir/Traversal.h"
+#include "transform/Rules.h"
+
+using namespace dmll;
+
+namespace {
+
+/// A hash-mode single BucketCollect loop.
+const MultiloopExpr *asHashGroupBy(const ExprRef &E) {
+  const auto *ML = dyn_cast<MultiloopExpr>(E);
+  if (ML && ML->isSingle() && ML->gen().Kind == GenKind::BucketCollect &&
+      !ML->gen().NumKeys)
+    return ML;
+  return nullptr;
+}
+
+bool isSymId(const ExprRef &E, uint64_t Id) {
+  const auto *S = dyn_cast<SymExpr>(E);
+  return S && S->id() == Id;
+}
+
+} // namespace
+
+ExprRef GroupByReduceRule::apply(const ExprRef &E) const {
+  const auto *Outer = dyn_cast<MultiloopExpr>(E);
+  if (!Outer || !Outer->isSingle())
+    return nullptr;
+  const Generator &OG = Outer->gen();
+  if (OG.Kind != GenKind::Collect || !isTrueCond(OG.Cond))
+    return nullptr;
+
+  // Outer size must be len(A.values) for a hash BucketCollect A.
+  const auto *SizeLen = dyn_cast<ArrayLenExpr>(Outer->size());
+  if (!SizeLen)
+    return nullptr;
+  const auto *GF = dyn_cast<GetFieldExpr>(SizeLen->array());
+  if (!GF || GF->field() != "values")
+    return nullptr;
+  const ExprRef &ARef = GF->base();
+  const MultiloopExpr *A = asHashGroupBy(ARef);
+  if (!A)
+    return nullptr;
+  const ExprRef Values = SizeLen->array();
+  uint64_t I = OG.Value.Params[0]->id();
+  SymRef ISym = OG.Value.Params[0];
+
+  // Locate the bucket node: ArrayRead(A.values, i). There may be several
+  // structurally identical reads; require one shared node (CSE runs first).
+  ExprRef Bucket;
+  bool BadUse = false;
+  visitAll(OG.Value.Body, [&](const ExprRef &Node) {
+    if (const auto *R = dyn_cast<ArrayReadExpr>(Node)) {
+      if (R->array().get() == Values.get()) {
+        if (!isSymId(R->index(), I)) {
+          BadUse = true;
+        } else if (!Bucket) {
+          Bucket = Node;
+        } else if (Bucket.get() != Node.get()) {
+          BadUse = true;
+        }
+      }
+      return;
+    }
+    // A.values may only be consumed through the bucket read above; A itself
+    // only through .values / .keys projections.
+    for (const ExprRef &Child : Node->ops()) {
+      if (Child.get() == Values.get() && !isa<ArrayReadExpr>(Node))
+        BadUse = true;
+      if (Child.get() == A && !isa<GetFieldExpr>(Node))
+        BadUse = true;
+    }
+  });
+  if (BadUse || !Bucket)
+    return nullptr;
+
+  // Find the per-bucket Reduce: single Reduce loop over len(bucket) whose
+  // value reads only bucket(j).
+  ExprRef RNode;
+  visitAll(OG.Value.Body, [&](const ExprRef &Node) {
+    const auto *ML = dyn_cast<MultiloopExpr>(Node);
+    if (!ML || !ML->isSingle() || ML->gen().Kind != GenKind::Reduce)
+      return;
+    if (!isTrueCond(ML->gen().Cond))
+      return;
+    const auto *RL = dyn_cast<ArrayLenExpr>(ML->size());
+    if (!RL || RL->array().get() != Bucket.get())
+      return;
+    if (!RNode)
+      RNode = Node;
+  });
+  if (!RNode)
+    return nullptr;
+  const auto *R = cast<MultiloopExpr>(RNode);
+  const Generator &RG = R->gen();
+  uint64_t J = RG.Value.Params[0]->id();
+
+  // Inside R's value: uses of the bucket must be element reads at j. In the
+  // whole outer body, the bucket may additionally appear only under
+  // ArrayLen (rewritten to the companion count below).
+  bool RBad = false;
+  visitAll(OG.Value.Body, [&](const ExprRef &Node) {
+    if (const auto *Rd = dyn_cast<ArrayReadExpr>(Node)) {
+      if (Rd->array().get() == Bucket.get() && !isSymId(Rd->index(), J))
+        RBad = true;
+      return;
+    }
+    if (isa<ArrayLenExpr>(Node))
+      return;
+    for (const ExprRef &Child : exprChildren(Node))
+      if (Child.get() == Bucket.get())
+        RBad = true;
+  });
+  if (RBad)
+    return nullptr;
+
+  // Compose f2 . f1 over the original domain with a fresh index k.
+  const Generator &AG = A->gen();
+  SymRef K = freshSym("k", Type::i64());
+  ExprRef F1 = substitute(AG.Value.Body, {{AG.Value.Params[0]->id(), K}});
+  ExprRef CondBody =
+      AG.Cond.isSet() ? substitute(AG.Cond.Body, {{AG.Cond.Params[0]->id(), K}})
+                      : constBool(true);
+  ExprRef KeyBody = substitute(AG.Key.Body, {{AG.Key.Params[0]->id(), K}});
+  ExprRef F2F1 =
+      transformBottomUp(RG.Value.Body, [&](const ExprRef &Node) -> ExprRef {
+        const auto *Rd = dyn_cast<ArrayReadExpr>(Node);
+        if (Rd && Rd->array().get() == Bucket.get())
+          return F1;
+        return Node;
+      });
+  // f2 must now be a function of the element alone (no residual i / bucket).
+  {
+    auto Free = freeSyms(F2F1);
+    Free.erase(K->id());
+    for (uint64_t Id : freeSyms(ExprRef(E)))
+      Free.erase(Id); // Symbols free in the whole consumer are outer context.
+    if (!Free.empty())
+      return nullptr;
+  }
+
+  Generator HG;
+  HG.Kind = GenKind::BucketReduce;
+  HG.Cond = Func({K}, CondBody);
+  HG.Key = Func({K}, KeyBody);
+  HG.Value = Func({K}, F2F1);
+  HG.Reduce = freshened(RG.Reduce);
+  ExprRef H = singleLoop(A->size(), std::move(HG));
+  ExprRef HVals = getField(H, "values");
+
+  // Rebuild the outer body in two passes so pointer identities stay valid:
+  // first the Reduce becomes H.values(i) (R's own children are untouched by
+  // that pass); any bucket length still present afterwards (e.g. the
+  // divisor of an average) becomes a companion counting BucketReduce, which
+  // horizontal fusion later merges with H into one traversal.
+  ExprRef HRead = arrayRead(HVals, ISym);
+  ExprRef NewBody = replaceNode(OG.Value.Body, RNode.get(), HRead);
+  bool NeedsCount = false;
+  visitAll(NewBody, [&](const ExprRef &Node) {
+    const auto *L = dyn_cast<ArrayLenExpr>(Node);
+    if (L && L->array().get() == Bucket.get())
+      NeedsCount = true;
+  });
+  if (NeedsCount) {
+    Generator CG;
+    CG.Kind = GenKind::BucketReduce;
+    SymRef K2 = freshSym("k", Type::i64());
+    CG.Cond = Func({K2}, substitute(CondBody, {{K->id(), K2}}));
+    CG.Key = Func({K2}, substitute(KeyBody, {{K->id(), K2}}));
+    CG.Value = Func({K2}, constI64(1));
+    CG.Reduce = binFunc("c", Type::i64(),
+                        [](const ExprRef &X, const ExprRef &Y) {
+                          return binop(BinOpKind::Add, X, Y);
+                        });
+    ExprRef HC = singleLoop(A->size(), std::move(CG));
+    ExprRef CountRead = arrayRead(getField(HC, "values"), ISym);
+    NewBody = transformBottomUp(NewBody, [&](const ExprRef &Node) -> ExprRef {
+      const auto *L = dyn_cast<ArrayLenExpr>(Node);
+      if (L && L->array().get() == Bucket.get())
+        return CountRead;
+      return Node;
+    });
+  }
+  // Keys used in the surrounding context (e.g. the program result) are
+  // redirected by shareBucketKeys once A has no remaining value consumers.
+  Generator NG;
+  NG.Kind = GenKind::Collect;
+  NG.Cond = trueCond();
+  NG.Value = Func({ISym}, NewBody);
+  return singleLoop(arrayLen(HVals), std::move(NG));
+}
+
+ExprRef dmll::shareBucketKeys(const ExprRef &E) {
+  // Pair every hash BucketCollect with a hash BucketReduce of identical
+  // size / cond / key; redirect .keys reads to the reduce's keys.
+  std::vector<const MultiloopExpr *> Collects;
+  std::vector<ExprRef> Reduces;
+  visitAll(E, [&](const ExprRef &Node) {
+    const auto *ML = dyn_cast<MultiloopExpr>(Node);
+    if (!ML || !ML->isSingle() || ML->gen().NumKeys)
+      return;
+    if (ML->gen().Kind == GenKind::BucketCollect)
+      Collects.push_back(ML);
+    else if (ML->gen().Kind == GenKind::BucketReduce)
+      Reduces.push_back(Node);
+  });
+  if (Collects.empty() || Reduces.empty())
+    return E;
+  return transformBottomUp(E, [&](const ExprRef &Node) -> ExprRef {
+    const auto *GF = dyn_cast<GetFieldExpr>(Node);
+    if (!GF || GF->field() != "keys")
+      return Node;
+    const auto *A = dyn_cast<MultiloopExpr>(GF->base());
+    if (!A || !A->isSingle() || A->gen().Kind != GenKind::BucketCollect ||
+        A->gen().NumKeys)
+      return Node;
+    for (const ExprRef &HRef : Reduces) {
+      const auto *H = cast<MultiloopExpr>(HRef);
+      if (structuralEq(H->size(), A->size()) &&
+          funcEq(H->gen().Cond, A->gen().Cond) &&
+          funcEq(H->gen().Key, A->gen().Key))
+        return getField(HRef, "keys");
+    }
+    return Node;
+  });
+}

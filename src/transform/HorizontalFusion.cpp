@@ -1,0 +1,140 @@
+//===- transform/HorizontalFusion.cpp - Multi-output loop fusion -*- C++ -*-===//
+//
+// Horizontal fusion (Section 3.1, following Rompf et al. [30]): independent
+// multiloops of the same size and same lexical context merge into a single
+// multiloop carrying all generators, which then traverses the data once. In
+// k-means (Fig. 5) this merges the sum and count BucketReduces (and the
+// inlined `assigned` computation, re-shared by CSE) into one pass over the
+// partitioned matrix.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Builder.h"
+#include "ir/Traversal.h"
+#include "transform/Rules.h"
+
+#include <unordered_map>
+
+using namespace dmll;
+
+namespace {
+
+/// Canonical, order-independent rendering of a free-symbol set.
+std::vector<uint64_t> sortedFree(const ExprRef &E) {
+  auto S = freeSyms(E);
+  std::vector<uint64_t> V(S.begin(), S.end());
+  std::sort(V.begin(), V.end());
+  return V;
+}
+
+/// Replaces two loops by one fused loop throughout \p Root, fixing LoopOut
+/// indices of the second loop by \p Offset.
+ExprRef replaceFused(const ExprRef &Root, const Expr *A, const Expr *B,
+                     const ExprRef &Fused, unsigned Offset, bool ASingle,
+                     bool BSingle) {
+  std::unordered_map<const Expr *, ExprRef> Memo;
+  std::function<ExprRef(const ExprRef &)> Go =
+      [&](const ExprRef &Node) -> ExprRef {
+    auto It = Memo.find(Node.get());
+    if (It != Memo.end())
+      return It->second;
+    ExprRef Result;
+    if (const auto *LO = dyn_cast<LoopOutExpr>(Node);
+        LO && (LO->loop().get() == A || LO->loop().get() == B)) {
+      unsigned Idx = LO->loop().get() == A ? LO->index()
+                                           : Offset + LO->index();
+      Result = loopOut(Fused, Idx);
+    } else if (Node.get() == A) {
+      assert(ASingle && "bare use of a multi-output loop");
+      Result = loopOut(Fused, 0);
+    } else if (Node.get() == B) {
+      assert(BSingle && "bare use of a multi-output loop");
+      Result = loopOut(Fused, Offset);
+    } else {
+      Result = mapChildren(Node, Go);
+    }
+    Memo.emplace(Node.get(), Result);
+    return Result;
+  };
+  return Go(Root);
+}
+
+} // namespace
+
+int dmll::horizontalFusion(ExprRef &E, RewriteStats *Stats) {
+  int Merged = 0;
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    std::vector<ExprRef> Loops = collectMultiloops(E);
+    for (size_t X = 0; X < Loops.size() && !Changed; ++X) {
+      const auto *A = cast<MultiloopExpr>(Loops[X]);
+      for (size_t Y = X + 1; Y < Loops.size() && !Changed; ++Y) {
+        const auto *B = cast<MultiloopExpr>(Loops[Y]);
+        if (!structuralEq(A->size(), B->size()))
+          continue;
+        // Same lexical context: identical free-symbol sets, so the fused
+        // loop is well scoped at every former use site.
+        if (sortedFree(Loops[X]) != sortedFree(Loops[Y]))
+          continue;
+        // Independence: neither consumes the other's output.
+        if (reaches(Loops[X], B) || reaches(Loops[Y], A))
+          continue;
+        // Structurally identical loops are one computation: merge instead
+        // of fusing duplicate generators (CSE beats fusion here).
+        if (structuralEq(Loops[X], Loops[Y])) {
+          E = replaceNode(E, B, Loops[X]);
+          ++Merged;
+          if (Stats)
+            ++Stats->Applied["loop-cse"];
+          Changed = true;
+          continue;
+        }
+
+        ExprRef NA = normalizeLoopIndex(Loops[X]);
+        ExprRef NB = normalizeLoopIndex(Loops[Y]);
+        const auto *MA = cast<MultiloopExpr>(NA);
+        const auto *MB = cast<MultiloopExpr>(NB);
+        // Retarget B's generators onto A's shared index symbol so CSE can
+        // share work across all generators of the fused loop.
+        const SymExpr *IdxA = nullptr;
+        for (const Func *F : {&MA->gen().Cond, &MA->gen().Key,
+                              &MA->gen().Value})
+          if (F->isSet()) {
+            IdxA = F->Params[0].get();
+            break;
+          }
+        assert(IdxA && "normalized loop without unary functions");
+        SymRef IdxARef;
+        // Recover the SymRef for A's index from one of its functions.
+        for (const Generator &G : MA->gens())
+          for (const Func *F : {&G.Cond, &G.Key, &G.Value})
+            if (F->isSet() && F->Params[0]->id() == IdxA->id())
+              IdxARef = F->Params[0];
+        std::vector<Generator> Gens(MA->gens());
+        for (const Generator &G : MB->gens()) {
+          Generator NG = G;
+          auto Retarget = [&](const Func &F) -> Func {
+            if (!F.isSet())
+              return F;
+            return Func({IdxARef},
+                        substitute(F.Body, {{F.Params[0]->id(), IdxARef}}));
+          };
+          NG.Cond = Retarget(G.Cond);
+          NG.Key = Retarget(G.Key);
+          NG.Value = Retarget(G.Value);
+          Gens.push_back(std::move(NG));
+        }
+        ExprRef Fused = multiloop(MA->size(), std::move(Gens));
+        E = replaceFused(E, A, B, Fused,
+                         static_cast<unsigned>(MA->numGens()),
+                         MA->isSingle(), MB->isSingle());
+        ++Merged;
+        if (Stats)
+          ++Stats->Applied["horizontal-fusion"];
+        Changed = true;
+      }
+    }
+  }
+  return Merged;
+}

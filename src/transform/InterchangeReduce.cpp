@@ -1,0 +1,223 @@
+//===- transform/InterchangeReduce.cpp - Fig. 3 interchange rules -*- C++ -*-===//
+//
+// Column-to-Row Reduce vectorizes a nested reduction so the big dimension
+// becomes the outer traversal (one pass over the samples, accumulating a
+// vector of per-feature sums) — the right shape for CPUs, NUMA and
+// clusters. Row-to-Column Reduce is its exact inverse, recovering scalar
+// reductions that fit GPU shared memory. The two rules are mutually inverse
+// (Section 3.2), which the test suite checks by round-tripping.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Builder.h"
+#include "ir/Traversal.h"
+#include "transform/Rules.h"
+
+using namespace dmll;
+
+ExprRef ColumnToRowRule::apply(const ExprRef &E) const {
+  const auto *Outer = dyn_cast<MultiloopExpr>(E);
+  if (!Outer || !Outer->isSingle())
+    return nullptr;
+  const Generator &OG = Outer->gen();
+  if (OG.Kind != GenKind::Collect || !isTrueCond(OG.Cond))
+    return nullptr;
+  uint64_t I = OG.Value.Params[0]->id();
+  SymRef ISym = OG.Value.Params[0];
+  auto OuterFree = freeSyms(E);
+
+  // A nested scalar Reduce whose only binding dependency is the outer index.
+  ExprRef RNode;
+  visitAll(OG.Value.Body, [&](const ExprRef &Node) {
+    if (RNode)
+      return;
+    const auto *ML = dyn_cast<MultiloopExpr>(Node);
+    if (!ML || !ML->isSingle() || ML->gen().Kind != GenKind::Reduce)
+      return;
+    const Generator &RG = ML->gen();
+    if (!isTrueCond(RG.Cond) || !RG.Value.Body->type()->isScalar())
+      return;
+    if (occursFree(ML->size(), I))
+      return;
+    // Must actually depend on the outer index (otherwise it is loop
+    // invariant and there is nothing to interchange)...
+    if (!occursFree(Node, I))
+      return;
+    // ...and on nothing else bound between the outer loop and here (e.g.
+    // an intervening lambda parameter), or the hoisted reduce would escape
+    // its binder.
+    for (uint64_t Id : freeSyms(Node))
+      if (Id != I && !OuterFree.count(Id))
+        return;
+    RNode = Node;
+  });
+  if (!RNode)
+    return nullptr;
+
+  const auto *R = cast<MultiloopExpr>(RNode);
+  const Generator &RG = R->gen();
+  const TypeRef &ScalarTy = RG.Value.Body->type();
+
+  // fv(j) = Collect over the outer range of f(i2, j): one vector per inner
+  // index.
+  SymRef J2 = freshSym("j", Type::i64());
+  SymRef I2 = freshSym("i", Type::i64());
+  ExprRef FBody = substitute(RG.Value.Body,
+                             {{RG.Value.Params[0]->id(), J2}, {I, I2}});
+  Generator FvGen;
+  FvGen.Kind = GenKind::Collect;
+  FvGen.Cond = trueCond();
+  FvGen.Value = Func({I2}, FBody);
+  ExprRef FvLoop = singleLoop(Outer->size(), std::move(FvGen));
+
+  // rv(a, b) = zipWith(r) over the two vectors.
+  TypeRef VecTy = Type::arrayOf(ScalarTy);
+  SymRef A = freshSym("a", VecTy);
+  SymRef B = freshSym("b", VecTy);
+  Func RScalar = freshened(RG.Reduce);
+  SymRef K = freshSym("k", Type::i64());
+  ExprRef RvElem = applyFunc2(RScalar, arrayRead(A, K), arrayRead(B, K));
+  Generator RvGen;
+  RvGen.Kind = GenKind::Collect;
+  RvGen.Cond = trueCond();
+  RvGen.Value = Func({K}, RvElem);
+  ExprRef RvLoop = singleLoop(arrayLen(A), std::move(RvGen));
+
+  Generator NewR;
+  NewR.Kind = GenKind::Reduce;
+  NewR.Cond = trueCond();
+  NewR.Value = Func({J2}, FvLoop);
+  NewR.Reduce = Func({A, B}, RvLoop);
+  ExprRef RPrime = singleLoop(R->size(), std::move(NewR));
+
+  ExprRef NewBody = replaceNode(OG.Value.Body, RNode.get(),
+                                arrayRead(RPrime, ISym));
+  Generator NG;
+  NG.Kind = GenKind::Collect;
+  NG.Cond = trueCond();
+  NG.Value = Func({ISym}, NewBody);
+  return singleLoop(Outer->size(), std::move(NG));
+}
+
+ExprRef RowToColumnRule::apply(const ExprRef &E) const {
+  const auto *R = dyn_cast<MultiloopExpr>(E);
+  if (!R || !R->isSingle())
+    return nullptr;
+  const Generator &RG = R->gen();
+  if (RG.Kind != GenKind::Reduce)
+    return nullptr;
+
+  // The value must be a whole Collect (a vector per outer index).
+  const auto *FV = dyn_cast<MultiloopExpr>(RG.Value.Body);
+  if (!FV || !FV->isSingle() || FV->gen().Kind != GenKind::Collect ||
+      !isTrueCond(FV->gen().Cond))
+    return nullptr;
+  if (!FV->gen().Value.Body->type()->isScalar())
+    return nullptr;
+  uint64_t I = RG.Value.Params[0]->id();
+  // iff size(a) == size(b) == s2 (Fig. 3): the inner extent must not vary
+  // with the outer index.
+  if (occursFree(FV->size(), I))
+    return nullptr;
+
+  // The reduction must be a zipWith: Collect over len(a) (or s2) of
+  // r(a(k), b(k)).
+  if (!RG.Reduce.isSet() || RG.Reduce.arity() != 2)
+    return nullptr;
+  const auto *RV = dyn_cast<MultiloopExpr>(RG.Reduce.Body);
+  if (!RV || !RV->isSingle() || RV->gen().Kind != GenKind::Collect ||
+      !isTrueCond(RV->gen().Cond))
+    return nullptr;
+  uint64_t PA = RG.Reduce.Params[0]->id(), PB = RG.Reduce.Params[1]->id();
+  // Size: len(a), len(b) or s2.
+  bool SizeOk = structuralEq(RV->size(), FV->size());
+  if (const auto *L = dyn_cast<ArrayLenExpr>(RV->size()))
+    if (const auto *S = dyn_cast<SymExpr>(L->array()))
+      SizeOk |= S->id() == PA || S->id() == PB;
+  if (!SizeOk)
+    return nullptr;
+  uint64_t KV = RV->gen().Value.Params[0]->id();
+
+  // Extract the scalar r from the zipWith body.
+  const TypeRef &ScalarTy = FV->gen().Value.Body->type();
+  SymRef NewA = freshSym("a", ScalarTy);
+  SymRef NewB = freshSym("b", ScalarTy);
+  bool Bad = false;
+  ExprRef RBody = transformBottomUp(
+      RV->gen().Value.Body, [&](const ExprRef &Node) -> ExprRef {
+        if (const auto *Rd = dyn_cast<ArrayReadExpr>(Node)) {
+          const auto *Arr = dyn_cast<SymExpr>(Rd->array());
+          const auto *Idx = dyn_cast<SymExpr>(Rd->index());
+          if (Arr && Idx && Idx->id() == KV) {
+            if (Arr->id() == PA)
+              return NewA;
+            if (Arr->id() == PB)
+              return NewB;
+          }
+        }
+        return Node;
+      });
+  for (uint64_t Id : freeSyms(RBody))
+    if (Id == PA || Id == PB || Id == KV)
+      Bad = true;
+  if (Bad)
+    return nullptr;
+
+  // Fission (Section 3.2's logreg recipe): subtrees that depend on the
+  // outer index but not the inner one — e.g. the hypothesis in logistic
+  // regression — would be recomputed once per inner index after the
+  // interchange. Materialize each such nested loop as its own Collect over
+  // the outer range first; it becomes a separate (GPU) kernel.
+  ExprRef FvBody = FV->gen().Value.Body;
+  uint64_t KIn = FV->gen().Value.Params[0]->id();
+  {
+    std::vector<ExprRef> Hoistable;
+    visitAll(FvBody, [&](const ExprRef &Node) {
+      if (!isa<MultiloopExpr>(Node))
+        return;
+      if (occursFree(Node, I) && !occursFree(Node, KIn) &&
+          Node->type()->isScalar())
+        Hoistable.push_back(Node);
+    });
+    for (const ExprRef &H : Hoistable) {
+      // Skip nodes nested inside another hoist candidate (the outermost
+      // replacement covers them).
+      bool Nested = false;
+      for (const ExprRef &Other : Hoistable)
+        if (Other.get() != H.get() && reaches(Other, H.get()))
+          Nested = true;
+      if (Nested)
+        continue;
+      SymRef IH = freshSym("i", Type::i64());
+      Generator HG;
+      HG.Kind = GenKind::Collect;
+      HG.Cond = trueCond();
+      HG.Value = Func({IH}, substitute(H, {{I, IH}}));
+      ExprRef Materialized = singleLoop(R->size(), std::move(HG));
+      FvBody = replaceNode(
+          FvBody, H.get(),
+          arrayRead(Materialized, ExprRef(RG.Value.Params[0])));
+    }
+  }
+
+  // Collect over the inner range of scalar Reduces over the outer range.
+  SymRef K2 = freshSym("k", Type::i64());
+  SymRef I2 = freshSym("i", Type::i64());
+  ExprRef G = substitute(FvBody,
+                         {{FV->gen().Value.Params[0]->id(), K2}, {I, I2}});
+  Generator InnerRed;
+  InnerRed.Kind = GenKind::Reduce;
+  InnerRed.Cond = RG.Cond.isSet()
+                      ? Func({I2}, substitute(RG.Cond.Body,
+                                              {{RG.Cond.Params[0]->id(), I2}}))
+                      : trueCond();
+  InnerRed.Value = Func({I2}, G);
+  InnerRed.Reduce = Func({NewA, NewB}, RBody);
+  ExprRef Inner = singleLoop(R->size(), std::move(InnerRed));
+
+  Generator OuterCollect;
+  OuterCollect.Kind = GenKind::Collect;
+  OuterCollect.Cond = trueCond();
+  OuterCollect.Value = Func({K2}, Inner);
+  return singleLoop(FV->size(), std::move(OuterCollect));
+}

@@ -1,0 +1,216 @@
+//===- transform/Pipeline.cpp ----------------------------------*- C++ -*-===//
+
+#include "transform/Pipeline.h"
+
+#include "ir/Builder.h"
+#include "ir/Traversal.h"
+#include "support/Error.h"
+#include "transform/Rules.h"
+
+#include <unordered_map>
+
+using namespace dmll;
+
+const char *dmll::targetName(Target T) {
+  switch (T) {
+  case Target::Sequential:
+    return "sequential";
+  case Target::MultiCore:
+    return "multicore";
+  case Target::Numa:
+    return "numa";
+  case Target::Cluster:
+    return "cluster";
+  case Target::Gpu:
+    return "gpu";
+  case Target::GpuCluster:
+    return "gpu-cluster";
+  }
+  dmllUnreachable("bad Target");
+}
+
+ExprRef dmll::convertLenOfFilter(const ExprRef &E) {
+  // Use counts of every Collect loop.
+  std::unordered_map<const Expr *, int> TotalUses, LenUses;
+  visitAll(E, [&](const ExprRef &Node) {
+    for (const ExprRef &Child : exprChildren(Node)) {
+      const auto *ML = dyn_cast<MultiloopExpr>(Child);
+      if (!ML || !ML->isSingle() || ML->gen().Kind != GenKind::Collect)
+        continue;
+      ++TotalUses[Child.get()];
+      if (isa<ArrayLenExpr>(Node))
+        ++LenUses[Child.get()];
+    }
+  });
+  return transformBottomUp(E, [&](const ExprRef &Node) -> ExprRef {
+    const auto *L = dyn_cast<ArrayLenExpr>(Node);
+    if (!L)
+      return Node;
+    const auto *ML = dyn_cast<MultiloopExpr>(L->array());
+    if (!ML || !ML->isSingle() || ML->gen().Kind != GenKind::Collect)
+      return Node;
+    // Only when the Collect exists solely to be counted.
+    auto TIt = TotalUses.find(ML);
+    if (TIt == TotalUses.end() || TIt->second != LenUses[ML])
+      return Node;
+    Generator G;
+    G.Kind = GenKind::Reduce;
+    G.Cond = freshened(ML->gen().Cond);
+    if (!G.Cond.isSet())
+      G.Cond = trueCond();
+    G.Value = indexFunc("i", [](const ExprRef &) { return constI64(1); });
+    G.Reduce = binFunc("c", Type::i64(),
+                       [](const ExprRef &A, const ExprRef &B) {
+                         return binop(BinOpKind::Add, A, B);
+                       });
+    return singleLoop(ML->size(), std::move(G));
+  });
+}
+
+namespace {
+
+/// Number of bad stencils: Unknown anywhere, or All on a partitioned
+/// collection (a broadcast of distributed data).
+int badStencilCount(const Program &P, const PartitionInfo &Info) {
+  int Bad = 0;
+  for (const LoopStencils &LS : Info.Stencils)
+    for (const StencilEntry &E : LS.Entries) {
+      if (E.S == Stencil::Unknown)
+        ++Bad;
+      else if (E.S == Stencil::All &&
+               Info.layoutOf(E.Root) == DataLayout::Partitioned)
+        ++Bad;
+    }
+  (void)P;
+  return Bad;
+}
+
+/// One round of stencil-driven rewriting: finds a loop with a bad stencil,
+/// tries the Fig. 3 rules one at a time, keeps the first improving rewrite.
+bool stencilDrivenRound(Program &P, RewriteStats &Stats, DiagSink &Diags) {
+  PartitionInfo Info = analyzePartitioning(P);
+  int BadBefore = badStencilCount(P, Info);
+  if (BadBefore == 0)
+    return false;
+
+  GroupByReduceRule GBR;
+  ConditionalReduceRule CR;
+  ColumnToRowRule C2R;
+  const RewriteRule *Rules[] = {&GBR, &CR, &C2R};
+
+  for (const LoopStencils &LS : Info.Stencils) {
+    bool LoopBad = false;
+    for (const StencilEntry &E : LS.Entries)
+      LoopBad |= E.S == Stencil::Unknown ||
+                 (E.S == Stencil::All &&
+                  Info.layoutOf(E.Root) == DataLayout::Partitioned);
+    if (!LoopBad)
+      continue;
+    // Recover the ExprRef for this loop node.
+    ExprRef LoopRef;
+    visitAll(P.Result, [&](const ExprRef &Node) {
+      if (Node.get() == LS.Loop)
+        LoopRef = Node;
+    });
+    if (!LoopRef)
+      continue;
+    for (const RewriteRule *Rule : Rules) {
+      ExprRef Rewritten = Rule->apply(LoopRef);
+      if (!Rewritten)
+        continue;
+      Program Cand = P;
+      Cand.Result = replaceNode(P.Result, LS.Loop, Rewritten);
+      Cand.Result = convertLenOfFilter(Cand.Result);
+      PartitionInfo CandInfo = analyzePartitioning(Cand);
+      if (badStencilCount(Cand, CandInfo) < BadBefore) {
+        P = Cand;
+        ++Stats.Applied[Rule->name()];
+        return true;
+      }
+    }
+  }
+  Diags.warn("bad access stencils remain after trying all rewrite rules; "
+             "falling back to runtime data movement");
+  return false;
+}
+
+} // namespace
+
+CompileResult dmll::compileProgram(const Program &P,
+                                   const CompileOptions &Opts) {
+  CompileResult Res;
+  Res.P = P;
+  Res.P.Result = cse(Res.P.Result);
+
+  // 1. Pipeline fusion (+ always-beneficial GroupBy-Reduce) to fixpoint.
+  VerticalFusionRule VF;
+  IdentityCollectRule IC;
+  LenOfCollectRule LC;
+  GroupByReduceRule GBR;
+  std::vector<const RewriteRule *> FusionRules;
+  if (Opts.EnableFusion) {
+    FusionRules.push_back(&VF);
+    FusionRules.push_back(&IC);
+    FusionRules.push_back(&LC);
+  }
+  if (Opts.EnableNestedRules)
+    FusionRules.push_back(&GBR);
+  if (!FusionRules.empty()) {
+    Res.P = rewriteProgram(Res.P, FusionRules, &Res.Stats, Opts.MaxPasses);
+    Res.P.Result = cse(Res.P.Result);
+    // Redirect groupBy keys to the BucketReduces GroupBy-Reduce created so
+    // the whole-element BucketCollect dies; otherwise it blocks SoA.
+    Res.P.Result = shareBucketKeys(Res.P.Result);
+    Res.P.Result = dce(Res.P.Result);
+  }
+
+  // 2. AoS-to-SoA + DFE.
+  if (Opts.EnableSoa) {
+    SoaResult Soa = soaTransform(Res.P);
+    Res.P = std::move(Soa.P);
+    Res.SoaConverted = std::move(Soa.Converted);
+  }
+
+  // 3. Stencil-driven nested-pattern rewriting.
+  if (Opts.EnableNestedRules) {
+    Res.P.Result = convertLenOfFilter(Res.P.Result);
+    for (int Round = 0; Round < Opts.MaxPasses; ++Round)
+      if (!stencilDrivenRound(Res.P, Res.Stats, Res.Partitioning.Diags))
+        break;
+    // New fusion opportunities typically appear (Fig. 5: `assigned` fuses
+    // into the BucketReduces).
+    if (Opts.EnableFusion)
+      Res.P = rewriteProgram(Res.P, FusionRules, &Res.Stats, Opts.MaxPasses);
+  }
+
+  // 4. Cleanup: share bucket keys, horizontal fusion, CSE, DCE.
+  Res.P.Result = shareBucketKeys(Res.P.Result);
+  Res.P.Result = cse(Res.P.Result);
+  if (Opts.EnableHorizontal)
+    horizontalFusion(Res.P.Result, &Res.Stats);
+  Res.P.Result = cse(Res.P.Result);
+  Res.P.Result = dce(Res.P.Result);
+
+  // Final distribution analysis for the runtime / simulator. For GPU
+  // targets this is computed here, *before* the kernel-level Row-to-Column
+  // rewrite: distribution happens over the Column-to-Row form, and each
+  // node then regenerates scalar-reduction kernels locally (Section 3.2's
+  // GPU-cluster recipe).
+  DiagSink Saved = Res.Partitioning.Diags;
+  Res.Partitioning = analyzePartitioning(Res.P);
+  for (const std::string &W : Saved.warnings())
+    Res.Partitioning.Diags.warn(W);
+
+  // 5. GPU: always Row-to-Column when possible (scalar reductions fit
+  // shared memory).
+  if (Opts.EnableNestedRules &&
+      (Opts.T == Target::Gpu || Opts.T == Target::GpuCluster)) {
+    RowToColumnRule R2C;
+    Res.P = rewriteProgram(Res.P, {&R2C}, &Res.Stats, Opts.MaxPasses);
+    Res.P.Result = cse(Res.P.Result);
+    if (Opts.EnableHorizontal)
+      horizontalFusion(Res.P.Result, &Res.Stats);
+    Res.P.Result = dce(Res.P.Result);
+  }
+  return Res;
+}

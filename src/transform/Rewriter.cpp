@@ -1,0 +1,85 @@
+//===- transform/Rewriter.cpp ----------------------------------*- C++ -*-===//
+
+#include "transform/Rewriter.h"
+
+#include "ir/Builder.h"
+#include "ir/Traversal.h"
+
+using namespace dmll;
+
+RewriteRule::~RewriteRule() = default;
+
+ExprRef dmll::rewriteFixpoint(const ExprRef &E,
+                              const std::vector<const RewriteRule *> &Rules,
+                              RewriteStats *Stats, int MaxPasses) {
+  ExprRef Cur = E;
+  for (int Pass = 0; Pass < MaxPasses; ++Pass) {
+    bool Changed = false;
+    ExprRef Next = transformBottomUp(Cur, [&](const ExprRef &Node) -> ExprRef {
+      for (const RewriteRule *Rule : Rules) {
+        if (ExprRef R = Rule->apply(Node)) {
+          if (Stats)
+            ++Stats->Applied[Rule->name()];
+          Changed = true;
+          return R;
+        }
+      }
+      return Node;
+    });
+    Cur = Next;
+    if (!Changed)
+      break;
+  }
+  return Cur;
+}
+
+Program dmll::rewriteProgram(const Program &P,
+                             const std::vector<const RewriteRule *> &Rules,
+                             RewriteStats *Stats, int MaxPasses) {
+  Program Out = P;
+  Out.Result = rewriteFixpoint(P.Result, Rules, Stats, MaxPasses);
+  return Out;
+}
+
+ExprRef dmll::normalizeLoopIndex(const ExprRef &Loop) {
+  const auto *ML = cast<MultiloopExpr>(Loop);
+  // Already normalized when every unary function of every generator binds
+  // the same symbol.
+  const SymExpr *Shared = nullptr;
+  bool Normalized = true;
+  for (const Generator &G : ML->gens()) {
+    for (const Func *F : {&G.Cond, &G.Key, &G.Value}) {
+      if (!F->isSet())
+        continue;
+      if (!Shared)
+        Shared = F->Params[0].get();
+      else if (F->Params[0].get() != Shared)
+        Normalized = false;
+    }
+  }
+  if (Normalized)
+    return Loop;
+
+  SymRef Idx = freshSym("i", Type::i64());
+  std::vector<Generator> Gens;
+  for (const Generator &G : ML->gens()) {
+    Generator NG = G;
+    auto Retarget = [&](const Func &F) -> Func {
+      if (!F.isSet())
+        return F;
+      return Func({Idx}, substitute(F.Body, {{F.Params[0]->id(), Idx}}));
+    };
+    NG.Cond = Retarget(G.Cond);
+    NG.Key = Retarget(G.Key);
+    NG.Value = Retarget(G.Value);
+    Gens.push_back(std::move(NG));
+  }
+  return multiloop(ML->size(), std::move(Gens));
+}
+
+ExprRef dmll::replaceNode(const ExprRef &Root, const Expr *From,
+                          const ExprRef &To) {
+  return transformBottomUp(Root, [&](const ExprRef &Node) -> ExprRef {
+    return Node.get() == From ? To : Node;
+  });
+}

@@ -1,0 +1,77 @@
+//===- transform/Rewriter.h - Rewrite-rule framework -----------*- C++ -*-===//
+//
+// Part of the DMLL reproduction of Brown et al., CGO 2016.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The rewrite framework behind Section 3's transformations. Rules match a
+/// single node (usually a multiloop) whose children have already been
+/// rewritten; the driver applies a rule set bottom-up to a fixed point.
+/// Following Section 4.2, rules are designed not to overlap and the driver
+/// tries one rule at a time, keeping the search linear and
+/// order-independent.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DMLL_TRANSFORM_REWRITER_H
+#define DMLL_TRANSFORM_REWRITER_H
+
+#include "ir/Expr.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace dmll {
+
+/// A single local rewrite. apply() returns nullptr when the node does not
+/// match.
+class RewriteRule {
+public:
+  virtual ~RewriteRule();
+
+  /// Stable rule name, e.g. "groupby-reduce" (recorded in RewriteStats and
+  /// printed by benches to match Table 2's "Optimizations" column).
+  virtual const char *name() const = 0;
+
+  /// Attempts the rewrite at \p E; children of \p E are already rewritten.
+  virtual ExprRef apply(const ExprRef &E) const = 0;
+};
+
+/// Counts of rule applications, keyed by rule name.
+struct RewriteStats {
+  std::map<std::string, int> Applied;
+
+  int total() const {
+    int N = 0;
+    for (const auto &[K, V] : Applied)
+      N += V;
+    return N;
+  }
+};
+
+/// Applies \p Rules bottom-up over \p E repeatedly until no rule fires or
+/// \p MaxPasses is reached. Stats, when provided, accumulate applications.
+ExprRef rewriteFixpoint(const ExprRef &E,
+                        const std::vector<const RewriteRule *> &Rules,
+                        RewriteStats *Stats = nullptr, int MaxPasses = 8);
+
+/// rewriteFixpoint over a program's result.
+Program rewriteProgram(const Program &P,
+                       const std::vector<const RewriteRule *> &Rules,
+                       RewriteStats *Stats = nullptr, int MaxPasses = 8);
+
+/// Rewrites \p Loop (a multiloop) so that the unary component functions
+/// (cond, key, value) of all generators bind one shared index symbol. The
+/// nested-pattern rules and cross-generator CSE rely on this normal form.
+/// Returns the input unchanged if already normalized.
+ExprRef normalizeLoopIndex(const ExprRef &Loop);
+
+/// Replaces every occurrence of node \p From (pointer identity) with \p To
+/// under \p Root.
+ExprRef replaceNode(const ExprRef &Root, const Expr *From, const ExprRef &To);
+
+} // namespace dmll
+
+#endif // DMLL_TRANSFORM_REWRITER_H

@@ -1,0 +1,127 @@
+//===- transform/Rules.h - DMLL transformation catalog ---------*- C++ -*-===//
+//
+// Part of the DMLL reproduction of Brown et al., CGO 2016.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The transformation catalog: the pipeline-fusion rule of Section 3.1, the
+/// four nested-pattern rules of Fig. 3, and the global passes (horizontal
+/// fusion, CSE, DCE, AoS-to-SoA). The Pipeline driver in Pipeline.h composes
+/// them per hardware target.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DMLL_TRANSFORM_RULES_H
+#define DMLL_TRANSFORM_RULES_H
+
+#include "transform/Rewriter.h"
+
+namespace dmll {
+
+/// Section 3.1 pipeline (vertical) fusion:
+///   C = Collect_s(c1)(f1);  G_C(c2)(k(f1))(f2(f1))(r)
+///   ->  G_s(c1 && c2')(...)
+/// Fires on a consumer multiloop whose size is len(C) for a single-Collect
+/// producer C read only at the consumer's own index. When c1 is non-trivial
+/// the consumer must touch its index only through C (element positions
+/// shift otherwise).
+class VerticalFusionRule : public RewriteRule {
+public:
+  const char *name() const override { return "pipeline-fusion"; }
+  ExprRef apply(const ExprRef &E) const override;
+};
+
+/// Collect(len(X))(_)(i => X(i))  ->  X. Cleans up the identity loops left
+/// behind by the Fig. 3 rules when the surrounding context is empty.
+class IdentityCollectRule : public RewriteRule {
+public:
+  const char *name() const override { return "identity-collect"; }
+  ExprRef apply(const ExprRef &E) const override;
+};
+
+/// len(Collect_s(true)(f)) -> s. Normalizes sizes so consumers of an
+/// unfiltered Collect range over the producer's own extent, which is what
+/// the pipeline-fusion matcher keys on.
+class LenOfCollectRule : public RewriteRule {
+public:
+  const char *name() const override { return "len-of-collect"; }
+  ExprRef apply(const ExprRef &E) const override;
+};
+
+/// Fig. 3 GroupBy-Reduce:
+///   A = BucketCollect_s(c)(k)(f1); Collect_A(_)(i => Reduce_{A(i)}(_)(f2)(r))
+///   ->  H = BucketReduce_s(c)(k)(f2 . f1); Collect_H(_)(i => H(i))
+/// Also rewrites residual `len(bucket)` uses into a companion counting
+/// BucketReduce (horizontally fusable with H), which is what the average
+/// per group in k-means needs.
+class GroupByReduceRule : public RewriteRule {
+public:
+  const char *name() const override { return "groupby-reduce"; }
+  ExprRef apply(const ExprRef &E) const override;
+};
+
+/// Fig. 3 Conditional Reduce:
+///   Collect_s1(_)(i => Reduce_s2(j => g(j) == i)(f)(r))
+///   ->  H = BucketReduce_s2(0 <= g(j) < s1)(g)(f)(r)[dense:s1];
+///       Collect_s1(_)(i => H(i))
+/// Breaks the dependency of the inner reduction predicate on the outer
+/// index by precomputing all partial reductions in one pass (Fig. 5).
+class ConditionalReduceRule : public RewriteRule {
+public:
+  const char *name() const override { return "conditional-reduce"; }
+  ExprRef apply(const ExprRef &E) const override;
+};
+
+/// Fig. 3 Column-to-Row Reduce (vectorizing interchange, CPU/cluster
+/// direction):
+///   Collect_s1(_)(i => Reduce_s2(_)(f)(r))
+///   ->  R = Reduce_s2(_)(fv)(rv); Collect_s1(_)(i => R(i))
+/// where fv/rv are the vectorized f/r (each wrapped in a Collect).
+class ColumnToRowRule : public RewriteRule {
+public:
+  const char *name() const override { return "column-to-row-reduce"; }
+  ExprRef apply(const ExprRef &E) const override;
+};
+
+/// Fig. 3 Row-to-Column Reduce (exact inverse; GPU direction, producing
+/// scalar reductions that fit GPU shared memory):
+///   Reduce_s1(c)(fv)(rv: (a,b) => Collect_s2(_)(k => r(a(k), b(k))))
+///   ->  Collect_s2(_)(k => Reduce_s1(c)(f)(r))
+class RowToColumnRule : public RewriteRule {
+public:
+  const char *name() const override { return "row-to-column-reduce"; }
+  ExprRef apply(const ExprRef &E) const override;
+};
+
+//===----------------------------------------------------------------------===//
+// Global passes.
+//===----------------------------------------------------------------------===//
+
+/// Horizontal fusion (Section 3.1 via [30]): merges independent multiloops
+/// of structurally equal size and equal free-symbol context into one
+/// multiloop with multiple generators. Returns the number of loops merged.
+int horizontalFusion(ExprRef &E, RewriteStats *Stats = nullptr);
+
+/// Structural-hash-based common subexpression elimination. Alpha-aware, so
+/// the copies of a shared computation created by fusing a producer into two
+/// consumers re-merge into one node.
+ExprRef cse(const ExprRef &E);
+
+/// Redirects `A.keys` reads from a hash BucketCollect A to the keys of a
+/// BucketReduce H with identical size/cond/key (the two produce identical
+/// first-occurrence key orders), so A can die after GroupBy-Reduce fires.
+ExprRef shareBucketKeys(const ExprRef &E);
+
+/// Removes generators of fused loops whose outputs are never consumed.
+ExprRef dce(const ExprRef &E);
+
+/// Rewrites `len(Collect_s(c)(f))` into `Reduce_s(c)(1)(+)` when the Collect
+/// has no other consumers: counting a filter should not materialize it.
+/// Turns k-means' `as.count` into the counting reduce that Conditional
+/// Reduce then lifts into the `cs` BucketReduce of Fig. 5.
+ExprRef convertLenOfFilter(const ExprRef &E);
+
+} // namespace dmll
+
+#endif // DMLL_TRANSFORM_RULES_H

@@ -1,0 +1,137 @@
+//===- transform/Soa.cpp ---------------------------------------*- C++ -*-===//
+
+#include "transform/Soa.h"
+
+#include "ir/Builder.h"
+#include "ir/Traversal.h"
+#include "support/Error.h"
+
+#include <functional>
+#include <set>
+#include <unordered_map>
+
+using namespace dmll;
+
+namespace {
+
+/// Parent-edge map over the whole program (function bodies included).
+std::unordered_map<const Expr *, std::vector<const Expr *>>
+buildParents(const ExprRef &E) {
+  std::unordered_map<const Expr *, std::vector<const Expr *>> Parents;
+  visitAll(E, [&](const ExprRef &Node) {
+    for (const ExprRef &Child : exprChildren(Node))
+      Parents[Child.get()].push_back(Node.get());
+  });
+  return Parents;
+}
+
+} // namespace
+
+SoaResult dmll::soaTransform(const Program &P) {
+  SoaResult Out;
+  Out.P = P;
+  auto Parents = buildParents(P.Result);
+
+  for (size_t InIdx = 0; InIdx < Out.P.Inputs.size(); ++InIdx) {
+    const auto &In = Out.P.Inputs[InIdx];
+    const TypeRef &Ty = In->type();
+    if (!Ty->isArray() || !Ty->elem()->isStruct())
+      continue;
+    bool AllScalar = true;
+    for (const Type::Field &F : Ty->elem()->fields())
+      AllScalar &= F.Ty->isScalar();
+    if (!AllScalar)
+      continue;
+
+    // Eligibility: the input is only consumed via ArrayLen and via
+    // ArrayRead whose every consumer is a GetField.
+    bool Eligible = true;
+    std::set<std::string> FieldsRead;
+    auto PIt = Parents.find(In.get());
+    if (PIt == Parents.end())
+      continue; // Dead input: leave as is.
+    for (const Expr *Use : PIt->second) {
+      if (isa<ArrayLenExpr>(Use))
+        continue;
+      const auto *Read = dyn_cast<ArrayReadExpr>(Use);
+      if (!Read || Read->array().get() != In.get()) {
+        Eligible = false;
+        break;
+      }
+      for (const Expr *ReadUse : Parents[Use]) {
+        const auto *GF = dyn_cast<GetFieldExpr>(ReadUse);
+        if (!GF) {
+          Eligible = false;
+          break;
+        }
+        FieldsRead.insert(GF->field());
+      }
+    }
+    if (!Eligible || FieldsRead.empty())
+      continue;
+
+    // New input: struct of arrays over the fields actually read (DFE), in
+    // original field order.
+    std::vector<std::string> Kept;
+    std::vector<Type::Field> NewFields;
+    for (const Type::Field &F : Ty->elem()->fields()) {
+      if (!FieldsRead.count(F.Name))
+        continue;
+      Kept.push_back(F.Name);
+      NewFields.push_back({F.Name, Type::arrayOf(F.Ty)});
+    }
+    auto NewIn = input(In->name(), Type::structOf(NewFields), In->hint());
+    ExprRef NewInRef(NewIn);
+    const std::string &LenField = Kept.front();
+
+    // Rewrite: field-of-element reads and lengths. Top-down on the two
+    // shapes so the old input node (whose type changed) never survives.
+    std::unordered_map<const Expr *, ExprRef> Memo;
+    std::function<ExprRef(const ExprRef &)> Go =
+        [&](const ExprRef &Node) -> ExprRef {
+      auto MIt = Memo.find(Node.get());
+      if (MIt != Memo.end())
+        return MIt->second;
+      ExprRef Result;
+      if (const auto *GF = dyn_cast<GetFieldExpr>(Node)) {
+        const auto *Read = dyn_cast<ArrayReadExpr>(GF->base());
+        if (Read && Read->array().get() == In.get()) {
+          Result = arrayRead(getField(NewInRef, GF->field()),
+                             Go(Read->index()));
+        }
+      }
+      if (!Result) {
+        if (const auto *L = dyn_cast<ArrayLenExpr>(Node);
+            L && L->array().get() == In.get())
+          Result = arrayLen(getField(NewInRef, LenField));
+      }
+      if (!Result)
+        Result = mapChildren(Node, Go);
+      Memo.emplace(Node.get(), Result);
+      return Result;
+    };
+    Out.P.Result = Go(Out.P.Result);
+    Out.P.Inputs[InIdx] = NewIn;
+    Out.Converted.emplace(In->name(), std::move(Kept));
+    // Parent map is stale after a rewrite; rebuild for the next input.
+    Parents = buildParents(Out.P.Result);
+  }
+  return Out;
+}
+
+Value dmll::aosToSoa(const Value &Aos, const Type &ElemTy,
+                     const std::vector<std::string> &KeptFields) {
+  const ArrayData &Elems = *Aos.array();
+  std::vector<Value> Columns;
+  for (const std::string &FieldName : KeptFields) {
+    int Idx = ElemTy.fieldIndex(FieldName);
+    if (Idx < 0)
+      fatalError("aosToSoa: no field '" + FieldName + "' in " + ElemTy.str());
+    ArrayData Col;
+    Col.reserve(Elems.size());
+    for (const Value &E : Elems)
+      Col.push_back(E.strct()->Fields[static_cast<size_t>(Idx)]);
+    Columns.push_back(Value::makeArray(std::move(Col)));
+  }
+  return Value::makeStruct(std::move(Columns));
+}

@@ -1,0 +1,232 @@
+//===- transform/VerticalFusion.cpp - Pipeline fusion ----------*- C++ -*-===//
+//
+// Implements the generalized pipeline-fusion rule of Section 3.1 and the
+// identity-collect cleanup.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Builder.h"
+#include "ir/Traversal.h"
+#include "transform/Rules.h"
+
+using namespace dmll;
+
+namespace {
+
+/// The shared index symbol of a normalized loop, or nullptr when the loop
+/// has no unary functions (cannot happen for verified generators).
+const SymExpr *sharedIndex(const MultiloopExpr *ML) {
+  for (const Generator &G : ML->gens())
+    for (const Func *F : {&G.Cond, &G.Key, &G.Value})
+      if (F->isSet())
+        return F->Params[0].get();
+  return nullptr;
+}
+
+/// True when \p Idx is the symbol \p I.
+bool isSym(const ExprRef &Idx, const SymExpr *I) {
+  const auto *S = dyn_cast<SymExpr>(Idx);
+  return S && S->id() == I->id();
+}
+
+/// A fusable producer: a single-generator Collect multiloop.
+const MultiloopExpr *asCollectProducer(const ExprRef &E) {
+  const auto *ML = dyn_cast<MultiloopExpr>(E);
+  if (ML && ML->isSingle() && ML->gen().Kind == GenKind::Collect)
+    return ML;
+  return nullptr;
+}
+
+} // namespace
+
+ExprRef VerticalFusionRule::apply(const ExprRef &E) const {
+  const auto *Raw = dyn_cast<MultiloopExpr>(E);
+  if (!Raw)
+    return nullptr;
+  ExprRef Norm = normalizeLoopIndex(E);
+  const auto *ML = cast<MultiloopExpr>(Norm);
+  const SymExpr *I = sharedIndex(ML);
+  if (!I)
+    return nullptr;
+
+  // Find a Collect producer read at the consumer's own index whose extent
+  // matches the consumer's range: either size == len(C), or C is
+  // unfiltered and size == C.size.
+  ExprRef CRef;
+  for (const Generator &G : ML->gens()) {
+    for (const Func *F : {&G.Cond, &G.Key, &G.Value}) {
+      if (!F->isSet() || CRef)
+        continue;
+      visitAll(F->Body, [&](const ExprRef &Node) {
+        if (CRef)
+          return;
+        const auto *R = dyn_cast<ArrayReadExpr>(Node);
+        if (!R || !isSym(R->index(), I))
+          return;
+        const MultiloopExpr *Cand = asCollectProducer(R->array());
+        if (!Cand || Cand == ML)
+          return;
+        bool SizeMatch = structuralEq(ML->size(), arrayLen(R->array()));
+        if (!SizeMatch && isTrueCond(Cand->gen().Cond))
+          SizeMatch = structuralEq(ML->size(), Cand->size());
+        if (SizeMatch)
+          CRef = R->array();
+      });
+    }
+  }
+  if (!CRef)
+    return nullptr;
+  const MultiloopExpr *C = asCollectProducer(CRef);
+
+  // The producer must not depend on the consumer's index (it would then be
+  // a per-iteration loop, not a pipeline stage).
+  if (occursFree(CRef, I->id()))
+    return nullptr;
+
+  // Profitability: inlining a closed (hoistable, computed-once) producer
+  // into a consumer that itself runs once per iteration of an enclosing
+  // loop would recompute the producer at every outer iteration. Fusion is
+  // the paper's most important optimization, but not that way around.
+  if (!freeSyms(E).empty() && freeSyms(CRef).empty())
+    return nullptr;
+
+  // Gather every use of C inside the consumer's functions: all must be
+  // element reads at the consumer index (or len(C), handled below).
+  bool UsesOk = true;
+  bool HasLenUseInFuncs = false;
+  size_t ReadsAtIndex = 0;
+  for (const Generator &G : ML->gens()) {
+    for (const Func *F : {&G.Cond, &G.Key, &G.Value, &G.Reduce}) {
+      if (!F->isSet())
+        continue;
+      visitAll(F->Body, [&](const ExprRef &Node) {
+        if (const auto *R = dyn_cast<ArrayReadExpr>(Node)) {
+          if (R->array().get() == C) {
+            if (isSym(R->index(), I))
+              ++ReadsAtIndex;
+            else
+              UsesOk = false;
+          }
+          return;
+        }
+        if (const auto *L = dyn_cast<ArrayLenExpr>(Node)) {
+          if (L->array().get() == C)
+            HasLenUseInFuncs = true;
+          return;
+        }
+        // Any other direct edge to C (e.g. returning the whole collection)
+        // blocks fusion.
+        for (const ExprRef &Child : Node->ops())
+          if (Child.get() == C)
+            if (!isa<ArrayReadExpr>(Node) && !isa<ArrayLenExpr>(Node))
+              UsesOk = false;
+      });
+    }
+  }
+  if (!UsesOk || ReadsAtIndex == 0)
+    return nullptr;
+
+  const Generator &PG = C->gen();
+  bool CondTrivial = isTrueCond(PG.Cond);
+  // With a filtering producer, element positions shift: the consumer may
+  // depend on its index *only* through C(i), and len(C) != s.
+  if (!CondTrivial) {
+    if (HasLenUseInFuncs)
+      return nullptr;
+    // Replace reads C(i) with a closed placeholder, then the index must not
+    // remain free anywhere in the consumer's functions.
+    SymRef Hole = freshSym("hole", C->type()->elem());
+    bool IndexEscapes = false;
+    for (const Generator &G : ML->gens()) {
+      for (const Func *F : {&G.Cond, &G.Key, &G.Value}) {
+        if (!F->isSet())
+          continue;
+        ExprRef Plugged =
+            transformBottomUp(F->Body, [&](const ExprRef &Node) -> ExprRef {
+              const auto *R = dyn_cast<ArrayReadExpr>(Node);
+              if (R && R->array().get() == C && isSym(R->index(), I))
+                return Hole;
+              return Node;
+            });
+        if (occursFree(Plugged, I->id()))
+          IndexEscapes = true;
+      }
+    }
+    if (IndexEscapes)
+      return nullptr;
+  }
+
+  // Build the fused loop over the producer's range with a fresh index J.
+  SymRef J = freshSym("i", Type::i64());
+  ExprRef F1Body = substitute(PG.Value.Body, {{PG.Value.Params[0]->id(), J}});
+  ExprRef C1Body = PG.Cond.isSet()
+                       ? substitute(PG.Cond.Body,
+                                    {{PG.Cond.Params[0]->id(), J}})
+                       : constBool(true);
+
+  // One rewrite over generator bodies: i -> J, C(J) -> f1(J), len(C) -> s
+  // (the latter only when the producer does not filter).
+  auto RewriteBody = [&](const ExprRef &Body) {
+    return transformBottomUp(Body, [&](const ExprRef &Node) -> ExprRef {
+      if (const auto *S = dyn_cast<SymExpr>(Node))
+        if (S->id() == I->id())
+          return J;
+      if (const auto *R = dyn_cast<ArrayReadExpr>(Node))
+        if (R->array().get() == C && isSym(R->index(), J.get()))
+          return F1Body;
+      if (CondTrivial)
+        if (const auto *L = dyn_cast<ArrayLenExpr>(Node))
+          if (L->array().get() == C)
+            return C->size();
+      return Node;
+    });
+  };
+
+  std::vector<Generator> Gens;
+  for (const Generator &G : ML->gens()) {
+    Generator NG = G;
+    ExprRef CondBody = G.Cond.isSet() ? RewriteBody(G.Cond.Body)
+                                      : constBool(true);
+    NG.Cond = Func({J}, binop(BinOpKind::And, C1Body, CondBody));
+    if (G.Key.isSet())
+      NG.Key = Func({J}, RewriteBody(G.Key.Body));
+    NG.Value = Func({J}, RewriteBody(G.Value.Body));
+    // Reduce functions do not reference the loop index; keep as is.
+    Gens.push_back(std::move(NG));
+  }
+  return multiloop(C->size(), std::move(Gens));
+}
+
+ExprRef LenOfCollectRule::apply(const ExprRef &E) const {
+  const auto *L = dyn_cast<ArrayLenExpr>(E);
+  if (!L)
+    return nullptr;
+  const MultiloopExpr *C = asCollectProducer(L->array());
+  if (!C || !isTrueCond(C->gen().Cond))
+    return nullptr;
+  return C->size();
+}
+
+ExprRef IdentityCollectRule::apply(const ExprRef &E) const {
+  const auto *ML = dyn_cast<MultiloopExpr>(E);
+  if (!ML || !ML->isSingle())
+    return nullptr;
+  const Generator &G = ML->gen();
+  if (G.Kind != GenKind::Collect || !isTrueCond(G.Cond))
+    return nullptr;
+  // Body must be exactly X(i) for the loop's own index i.
+  const auto *Read = dyn_cast<ArrayReadExpr>(G.Value.Body);
+  if (!Read)
+    return nullptr;
+  const auto *IdxSym = dyn_cast<SymExpr>(Read->index());
+  if (!IdxSym || IdxSym->id() != G.Value.Params[0]->id())
+    return nullptr;
+  const ExprRef &X = Read->array();
+  if (occursFree(X, G.Value.Params[0]->id()))
+    return nullptr;
+  // Size must be len(X).
+  const auto *SizeLen = dyn_cast<ArrayLenExpr>(ML->size());
+  if (!SizeLen || SizeLen->array().get() != X.get())
+    return nullptr;
+  return X;
+}

@@ -1,0 +1,213 @@
+//===- tests/AnalysisTest.cpp - Stencil/partitioning/cost tests -*- C++ -*-===//
+
+#include "analysis/Affine.h"
+#include "analysis/Cost.h"
+#include "analysis/Partitioning.h"
+#include "analysis/Stencil.h"
+#include "apps/Apps.h"
+#include "frontend/Frontend.h"
+#include "ir/Traversal.h"
+#include "systems/Systems.h"
+#include "transform/Pipeline.h"
+
+#include <gtest/gtest.h>
+
+using namespace dmll;
+using namespace dmll::frontend;
+
+namespace {
+
+/// Stencil of @name's first entry in the only top-level loop of P.
+Stencil stencilOf(const Program &P, const std::string &Name) {
+  PartitionInfo Info = analyzePartitioning(P);
+  for (const LoopStencils &LS : Info.Stencils)
+    for (const StencilEntry &E : LS.Entries)
+      if (E.RootDesc == "@" + Name)
+        return E.S;
+  ADD_FAILURE() << "no stencil entry for " << Name;
+  return Stencil::Unknown;
+}
+
+} // namespace
+
+TEST(AffineTest, DecomposesLinearForms) {
+  SymRef I = freshSym("i", Type::i64());
+  SymRef J = freshSym("j", Type::i64());
+  auto In = input("m", Type::structOf({{"cols", Type::i64()}}));
+  ExprRef Cols = getField(ExprRef(In), "cols");
+  // i * cols + j
+  ExprRef Idx = binop(BinOpKind::Add,
+                      binop(BinOpKind::Mul, ExprRef(I), Cols), ExprRef(J));
+  AffineForm F = decomposeAffine(Idx, {I->id(), J->id()});
+  ASSERT_TRUE(F.IsAffine);
+  ASSERT_EQ(F.Terms.size(), 2u);
+  EXPECT_TRUE(F.restIsZero());
+  const AffineTerm *TI = F.termFor(I->id());
+  ASSERT_NE(TI, nullptr);
+  EXPECT_FALSE(TI->CoeffIsConst);
+  EXPECT_TRUE(structuralEq(TI->Coeff, Cols));
+  const AffineTerm *TJ = F.termFor(J->id());
+  ASSERT_NE(TJ, nullptr);
+  EXPECT_TRUE(TJ->CoeffIsConst);
+  EXPECT_EQ(TJ->CoeffConst, 1);
+}
+
+TEST(AffineTest, NonAffineFormsAreFlagged) {
+  SymRef I = freshSym("i", Type::i64());
+  auto In = input("xs", Type::arrayOf(Type::i64()));
+  // xs(i) as an index: data-dependent.
+  ExprRef Idx = arrayRead(ExprRef(In), ExprRef(I));
+  AffineForm F = decomposeAffine(Idx, {I->id()});
+  EXPECT_FALSE(F.IsAffine);
+  EXPECT_TRUE(F.MentionsLoopSym);
+  // A loop-invariant dynamic index is affine remainder.
+  AffineForm G = decomposeAffine(Idx, {});
+  EXPECT_TRUE(G.IsAffine);
+  EXPECT_TRUE(G.Terms.empty());
+}
+
+TEST(StencilTest, ElementwiseMapIsInterval) {
+  ProgramBuilder B;
+  Val Xs = B.inVecF64("xs", LayoutHint::Partitioned);
+  Program P = B.build(map(Xs, [](Val X) { return X * Val(2.0); }));
+  EXPECT_EQ(stencilOf(P, "xs"), Stencil::Interval);
+}
+
+TEST(StencilTest, RowAccessIsInterval) {
+  ProgramBuilder B;
+  Mat M = B.inMat("m", LayoutHint::Partitioned);
+  Program P = B.build(M.mapRowsIdx([&](Val I) {
+    Val IV = I;
+    return sumRange(M.cols(), [&](Val J) { return M.at(IV, J); });
+  }));
+  EXPECT_EQ(stencilOf(P, "m"), Stencil::Interval);
+}
+
+TEST(StencilTest, WholeCollectionPerIndexIsAll) {
+  ProgramBuilder B;
+  Val Xs = B.inVecF64("xs", LayoutHint::Partitioned);
+  Val Ws = B.inVecF64("ws", LayoutHint::Local);
+  Val XsV = Xs, WsV = Ws;
+  // Each output consumes the whole of ws (the inner loop depends on the
+  // outer index, so it cannot hoist).
+  Program P = B.build(tabulate(Xs.len(), [&](Val I) {
+    Val IV = I;
+    return sumRange(Ws.len(), [&](Val J) { return WsV(J) * XsV(IV); });
+  }));
+  EXPECT_EQ(stencilOf(P, "ws"), Stencil::All);
+}
+
+TEST(StencilTest, DataDependentGatherIsUnknown) {
+  ProgramBuilder B;
+  Val Xs = B.inVecF64("xs", LayoutHint::Partitioned);
+  Val Idx = B.inVecI64("idx", LayoutHint::Partitioned);
+  Val XsV = Xs, IdxV = Idx;
+  Program P = B.build(tabulate(Idx.len(), [&](Val I) {
+    return XsV(IdxV(I));
+  }));
+  EXPECT_EQ(stencilOf(P, "xs"), Stencil::Unknown);
+  EXPECT_EQ(stencilOf(P, "idx"), Stencil::Interval);
+}
+
+TEST(StencilTest, JoinIsConservative) {
+  EXPECT_EQ(joinStencil(Stencil::Interval, Stencil::Interval),
+            Stencil::Interval);
+  EXPECT_EQ(joinStencil(Stencil::Interval, Stencil::All), Stencil::All);
+  EXPECT_EQ(joinStencil(Stencil::Const, Stencil::Unknown), Stencil::Unknown);
+}
+
+TEST(PartitioningTest, KMeansMatchesFigure4) {
+  // Before transformation, k-means' layouts must match Fig. 4: assigned is
+  // Partitioned (a map over the partitioned matrix), the averaged rows are
+  // Local (reductions).
+  Program P = apps::kmeansSharedMemory();
+  PartitionInfo Info = analyzePartitioning(P);
+  const Expr *MatrixIn = P.findInput("matrix");
+  const Expr *ClustersIn = P.findInput("clusters");
+  EXPECT_EQ(Info.layoutOf(MatrixIn), DataLayout::Partitioned);
+  EXPECT_EQ(Info.layoutOf(ClustersIn), DataLayout::Local);
+  // The Unknown stencil on matrix (random gather) is diagnosed.
+  EXPECT_TRUE(Info.Diags.hasWarningContaining("Unknown stencil"));
+}
+
+TEST(PartitioningTest, SequentialReadOfPartitionedWarns) {
+  ProgramBuilder B;
+  Val Xs = B.inVecF64("xs", LayoutHint::Partitioned);
+  Val XsV = Xs;
+  // A top-level (sequential) element read of partitioned data.
+  Program P = B.build(XsV(Val(int64_t(0))));
+  PartitionInfo Info = analyzePartitioning(P);
+  EXPECT_TRUE(Info.Diags.hasWarningContaining("sequential read"));
+  // Whereas len() is whitelisted metadata.
+  ProgramBuilder B2;
+  Val Ys = B2.inVecF64("ys", LayoutHint::Partitioned);
+  Program P2 = B2.build(toF64(Ys.len()));
+  PartitionInfo Info2 = analyzePartitioning(P2);
+  EXPECT_FALSE(Info2.Diags.hasWarningContaining("sequential read"));
+}
+
+TEST(PartitioningTest, CompiledKMeansHasNoBadStencils) {
+  CompileOptions Opts;
+  Opts.T = Target::Numa;
+  CompileResult CR = compileProgram(apps::kmeansSharedMemory(), Opts);
+  for (const LoopStencils &LS : CR.Partitioning.Stencils)
+    EXPECT_FALSE(LS.hasUnknown());
+}
+
+TEST(CostTest, FusionReducesPassesAndTraffic) {
+  BenchApp App = benchTpchQ1(1e6);
+  auto Full = planCosts(App, dmllPlanOptions(Target::Numa));
+  auto Unfused = planCosts(App, unfusedPlanOptions(Target::Numa));
+  EXPECT_LT(Full.size(), Unfused.size());
+  auto TotalBytes = [](const std::vector<LoopCost> &P) {
+    double B = 0;
+    for (const LoopCost &L : P)
+      B += L.Iters * (L.StreamBytesPerIter + L.WriteBytesPerIter +
+                      L.ShuffleBytesPerIter);
+    return B;
+  };
+  EXPECT_LT(TotalBytes(Full), TotalBytes(Unfused));
+}
+
+TEST(CostTest, DfeShrinksStreamedBytes) {
+  // With SoA+DFE, Q1 streams ~7 live columns; without, whole records
+  // including dead fields.
+  BenchApp App = benchTpchQ1(1e6);
+  auto WithSoa = planCosts(App, dmllPlanOptions(Target::Numa));
+  CompileOptions NoSoa = dmllPlanOptions(Target::Numa);
+  NoSoa.EnableSoa = false;
+  auto Without = planCosts(App, NoSoa);
+  ASSERT_FALSE(WithSoa.empty());
+  ASSERT_FALSE(Without.empty());
+  EXPECT_LT(WithSoa[0].StreamBytesPerIter, Without[0].StreamBytesPerIter);
+}
+
+TEST(CostTest, ConditionalReduceRemovesBroadcastPasses) {
+  // Section 3.2: without Conditional Reduce, computing newClusters
+  // "require[s] the entirety of matrix to be broadcast" — one full pass
+  // per cluster (All stencil on the partitioned input). The transformed
+  // program touches the matrix once with an Interval stencil.
+  Program P = apps::kmeansSharedMemory();
+  auto BadMatrixStencil = [&](const CompileOptions &O) {
+    CompileResult CR = compileProgram(P, O);
+    const Expr *M = CR.P.findInput("matrix");
+    bool Bad = false;
+    for (const LoopStencils &LS : CR.Partitioning.Stencils)
+      for (const StencilEntry &E : LS.Entries)
+        if (E.Root == M &&
+            (E.S == Stencil::All || E.S == Stencil::Unknown))
+          Bad = true;
+    return Bad;
+  };
+  EXPECT_FALSE(BadMatrixStencil(dmllPlanOptions(Target::Numa)));
+  EXPECT_TRUE(BadMatrixStencil(fusionOnlyPlanOptions(Target::Numa)));
+}
+
+TEST(CostTest, SizeEnvDrivesIterations) {
+  BenchApp App = benchLogReg(1000, 10);
+  auto Plan = planCosts(App, dmllPlanOptions(Target::Numa));
+  double MaxIters = 0;
+  for (const LoopCost &L : Plan)
+    MaxIters = std::max(MaxIters, L.Iters);
+  EXPECT_DOUBLE_EQ(MaxIters, 1000.0);
+}

@@ -1,0 +1,146 @@
+//===- tests/IrExprTest.cpp - Expression/builder unit tests ----*- C++ -*-===//
+
+#include "ir/Builder.h"
+#include "ir/Printer.h"
+#include "ir/Verifier.h"
+
+#include <gtest/gtest.h>
+
+using namespace dmll;
+
+TEST(ExprTest, ConstantsAndKinds) {
+  ExprRef I = constI64(42);
+  EXPECT_TRUE(isa<ConstIntExpr>(I));
+  EXPECT_EQ(cast<ConstIntExpr>(I)->value(), 42);
+  EXPECT_EQ(dyn_cast<ConstFloatExpr>(I), nullptr);
+  ExprRef F = constF64(1.5);
+  EXPECT_TRUE(F->type()->isFloat());
+}
+
+TEST(ExprTest, ConstantFolding) {
+  ExprRef Sum = binop(BinOpKind::Add, constI64(2), constI64(3));
+  ASSERT_TRUE(isa<ConstIntExpr>(Sum));
+  EXPECT_EQ(cast<ConstIntExpr>(Sum)->value(), 5);
+  ExprRef Cmp = binop(BinOpKind::Lt, constI64(2), constI64(3));
+  ASSERT_TRUE(isa<ConstBoolExpr>(Cmp));
+  EXPECT_TRUE(cast<ConstBoolExpr>(Cmp)->value());
+  // x && true -> x.
+  SymRef X = freshSym("x", Type::boolTy());
+  ExprRef And = binop(BinOpKind::And, ExprRef(X), constBool(true));
+  EXPECT_EQ(And.get(), X.get());
+  // x + 0 -> x (integers only).
+  SymRef N = freshSym("n", Type::i64());
+  EXPECT_EQ(binop(BinOpKind::Add, ExprRef(N), constI64(0)).get(), N.get());
+}
+
+TEST(ExprTest, TypePromotion) {
+  ExprRef Mixed = binop(BinOpKind::Mul, constI64(2), constF64(1.5));
+  EXPECT_TRUE(Mixed->type()->isFloat());
+  ExprRef Cmp = binop(BinOpKind::Eq, constI64(1), constF64(1.0));
+  EXPECT_TRUE(Cmp->type()->isBool());
+}
+
+TEST(ExprTest, SymbolsAreUnique) {
+  SymRef A = freshSym("i", Type::i64());
+  SymRef B = freshSym("i", Type::i64());
+  EXPECT_NE(A->id(), B->id());
+}
+
+TEST(ExprTest, SelectFoldsConstantCondition) {
+  ExprRef A = constI64(1), B = constI64(2);
+  EXPECT_EQ(select(constBool(true), A, B).get(), A.get());
+  EXPECT_EQ(select(constBool(false), A, B).get(), B.get());
+}
+
+TEST(ExprTest, GetFieldFoldsMakeStruct) {
+  ExprRef S = makeStruct({{"a", Type::i64()}, {"b", Type::f64()}},
+                         {constI64(7), constF64(2.5)});
+  ExprRef A = getField(S, "a");
+  ASSERT_TRUE(isa<ConstIntExpr>(A));
+  EXPECT_EQ(cast<ConstIntExpr>(A)->value(), 7);
+}
+
+TEST(ExprTest, MultiloopTypes) {
+  auto In = input("xs", Type::arrayOf(Type::f64()));
+  Generator G;
+  G.Kind = GenKind::Collect;
+  G.Cond = trueCond();
+  G.Value = indexFunc("i", [&](const ExprRef &I) {
+    return binop(BinOpKind::Mul, arrayRead(ExprRef(In), I), constF64(2.0));
+  });
+  ExprRef Loop = singleLoop(arrayLen(ExprRef(In)), std::move(G));
+  EXPECT_TRUE(Loop->type()->isArray());
+  EXPECT_TRUE(Loop->type()->elem()->isFloat());
+}
+
+TEST(ExprTest, BucketGeneratorTypes) {
+  auto In = input("xs", Type::arrayOf(Type::i64()));
+  ExprRef InRef(In);
+  Generator G;
+  G.Kind = GenKind::BucketReduce;
+  G.Cond = trueCond();
+  G.Key = indexFunc("i",
+                    [&](const ExprRef &I) { return arrayRead(InRef, I); });
+  G.Value = indexFunc("i", [&](const ExprRef &) { return constI64(1); });
+  G.Reduce = binFunc("r", Type::i64(), [](const ExprRef &A, const ExprRef &B) {
+    return binop(BinOpKind::Add, A, B);
+  });
+  // Hash mode: {keys, values}.
+  ExprRef Hash = singleLoop(arrayLen(InRef), G);
+  EXPECT_TRUE(Hash->type()->isStruct());
+  EXPECT_EQ(Hash->type()->fieldIndex("keys"), 0);
+  // Dense mode: Array[i64].
+  Generator GD = G;
+  GD.NumKeys = constI64(8);
+  ExprRef Dense = singleLoop(arrayLen(InRef), std::move(GD));
+  EXPECT_TRUE(Dense->type()->isArray());
+  EXPECT_TRUE(Dense->type()->elem()->isInt());
+}
+
+TEST(ExprTest, VerifierAcceptsWellFormed) {
+  auto In = input("xs", Type::arrayOf(Type::f64()));
+  Generator G;
+  G.Kind = GenKind::Reduce;
+  G.Cond = trueCond();
+  G.Value = indexFunc(
+      "i", [&](const ExprRef &I) { return arrayRead(ExprRef(In), I); });
+  G.Reduce = binFunc("r", Type::f64(), [](const ExprRef &A, const ExprRef &B) {
+    return binop(BinOpKind::Add, A, B);
+  });
+  Program P;
+  P.Inputs = {In};
+  P.Result = singleLoop(arrayLen(ExprRef(In)), std::move(G));
+  EXPECT_TRUE(verify(P).empty());
+}
+
+TEST(ExprTest, VerifierCatchesBadGenerators) {
+  auto In = input("xs", Type::arrayOf(Type::f64()));
+  Generator G;
+  G.Kind = GenKind::Reduce;
+  G.Cond = trueCond();
+  G.Value = indexFunc(
+      "i", [&](const ExprRef &I) { return arrayRead(ExprRef(In), I); });
+  // Missing the reduction function.
+  ExprRef Loop = singleLoop(arrayLen(ExprRef(In)), std::move(G));
+  EXPECT_FALSE(verifyExpr(Loop).empty());
+}
+
+TEST(ExprTest, VerifierCatchesUnboundSymbols) {
+  SymRef Stray = freshSym("stray", Type::i64());
+  ExprRef E = binop(BinOpKind::Add, ExprRef(Stray), constI64(1));
+  EXPECT_FALSE(verifyExpr(E).empty());
+}
+
+TEST(ExprTest, PrinterRendersPaperNotation) {
+  auto In = input("xs", Type::arrayOf(Type::f64()));
+  Generator G;
+  G.Kind = GenKind::Collect;
+  G.Cond = trueCond();
+  G.Value = indexFunc(
+      "i", [&](const ExprRef &I) { return arrayRead(ExprRef(In), I); });
+  ExprRef Loop = singleLoop(arrayLen(ExprRef(In)), std::move(G));
+  std::string S = printExpr(Loop);
+  EXPECT_NE(S.find("Collect"), std::string::npos);
+  EXPECT_NE(S.find("@xs"), std::string::npos);
+  EXPECT_EQ(loopSignature(Loop), "Multiloop[Collect]");
+}

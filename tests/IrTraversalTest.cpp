@@ -1,0 +1,141 @@
+//===- tests/IrTraversalTest.cpp - Traversal utilities tests ---*- C++ -*-===//
+
+#include "ir/Builder.h"
+#include "ir/Traversal.h"
+
+#include <gtest/gtest.h>
+
+using namespace dmll;
+
+namespace {
+
+/// map(xs, x => x * 2) as a multiloop.
+ExprRef doubledLoop(const ExprRef &In) {
+  Generator G;
+  G.Kind = GenKind::Collect;
+  G.Cond = trueCond();
+  G.Value = indexFunc("i", [&](const ExprRef &I) {
+    return binop(BinOpKind::Mul, arrayRead(In, I), constF64(2.0));
+  });
+  return singleLoop(arrayLen(In), std::move(G));
+}
+
+} // namespace
+
+TEST(TraversalTest, VisitAllReachesFunctionBodies) {
+  auto In = input("xs", Type::arrayOf(Type::f64()));
+  ExprRef Loop = doubledLoop(ExprRef(In));
+  bool SawInput = false, SawMul = false;
+  visitAll(Loop, [&](const ExprRef &E) {
+    SawInput |= isa<InputExpr>(E);
+    if (const auto *B = dyn_cast<BinOpExpr>(E))
+      SawMul |= B->op() == BinOpKind::Mul;
+  });
+  EXPECT_TRUE(SawInput);
+  EXPECT_TRUE(SawMul);
+}
+
+TEST(TraversalTest, CountNodesIsStableOnDag) {
+  auto In = input("xs", Type::arrayOf(Type::f64()));
+  ExprRef L = arrayLen(ExprRef(In));
+  // Shared node used twice: counted once.
+  ExprRef Sum = binop(BinOpKind::Add, L, L);
+  EXPECT_EQ(countNodes(Sum), 3u); // input, len, add
+}
+
+TEST(TraversalTest, SubstituteReplacesFreeSymbols) {
+  SymRef X = freshSym("x", Type::i64());
+  ExprRef Body = binop(BinOpKind::Add, ExprRef(X), constI64(1));
+  ExprRef Out = substitute(Body, {{X->id(), constI64(41)}});
+  ASSERT_TRUE(isa<ConstIntExpr>(Out));
+  EXPECT_EQ(cast<ConstIntExpr>(Out)->value(), 42);
+}
+
+TEST(TraversalTest, FreeSymsExcludesBoundParams) {
+  auto In = input("xs", Type::arrayOf(Type::f64()));
+  ExprRef Loop = doubledLoop(ExprRef(In));
+  EXPECT_TRUE(freeSyms(Loop).empty());
+
+  // A loop whose body references an outer symbol.
+  SymRef Outer = freshSym("o", Type::f64());
+  Generator G;
+  G.Kind = GenKind::Collect;
+  G.Cond = trueCond();
+  G.Value = indexFunc("i", [&](const ExprRef &I) {
+    return binop(BinOpKind::Add, arrayRead(ExprRef(In), I), ExprRef(Outer));
+  });
+  ExprRef Open = singleLoop(arrayLen(ExprRef(In)), std::move(G));
+  auto Free = freeSyms(Open);
+  EXPECT_EQ(Free.size(), 1u);
+  EXPECT_TRUE(Free.count(Outer->id()));
+  EXPECT_TRUE(occursFree(Open, Outer->id()));
+}
+
+TEST(TraversalTest, ApplyFuncBetaReduces) {
+  Func F = indexFunc("i", [](const ExprRef &I) {
+    return binop(BinOpKind::Mul, I, I);
+  });
+  ExprRef Out = applyFunc(F, constI64(6));
+  ASSERT_TRUE(isa<ConstIntExpr>(Out));
+  EXPECT_EQ(cast<ConstIntExpr>(Out)->value(), 36);
+}
+
+TEST(TraversalTest, FreshenedRenamesParams) {
+  Func F = indexFunc("i", [](const ExprRef &I) {
+    return binop(BinOpKind::Add, I, constI64(1));
+  });
+  Func G = freshened(F);
+  EXPECT_NE(F.Params[0]->id(), G.Params[0]->id());
+  EXPECT_TRUE(funcEq(F, G));
+}
+
+TEST(TraversalTest, StructuralEqIsAlphaAware) {
+  auto In = input("xs", Type::arrayOf(Type::f64()));
+  ExprRef A = doubledLoop(ExprRef(In));
+  ExprRef B = doubledLoop(ExprRef(In));
+  EXPECT_NE(A.get(), B.get());
+  EXPECT_TRUE(structuralEq(A, B));
+  EXPECT_EQ(structuralHash(A), structuralHash(B));
+
+  // Different constant: not equal.
+  Generator G;
+  G.Kind = GenKind::Collect;
+  G.Cond = trueCond();
+  ExprRef InRef(In);
+  G.Value = indexFunc("i", [&](const ExprRef &I) {
+    return binop(BinOpKind::Mul, arrayRead(InRef, I), constF64(3.0));
+  });
+  ExprRef C = singleLoop(arrayLen(InRef), std::move(G));
+  EXPECT_FALSE(structuralEq(A, C));
+}
+
+TEST(TraversalTest, StructuralEqDistinguishesFreeSymbols) {
+  SymRef X = freshSym("x", Type::i64());
+  SymRef Y = freshSym("y", Type::i64());
+  ExprRef A = binop(BinOpKind::Add, ExprRef(X), constI64(1));
+  ExprRef B = binop(BinOpKind::Add, ExprRef(Y), constI64(1));
+  EXPECT_FALSE(structuralEq(A, B)); // free symbols compare by identity
+}
+
+TEST(TraversalTest, ReachesFindsTransitiveOperands) {
+  auto In = input("xs", Type::arrayOf(Type::f64()));
+  ExprRef Loop = doubledLoop(ExprRef(In));
+  EXPECT_TRUE(reaches(Loop, In.get()));
+  auto Other = input("ys", Type::arrayOf(Type::f64()));
+  EXPECT_FALSE(reaches(Loop, Other.get()));
+}
+
+TEST(TraversalTest, TransformBottomUpPreservesSharing) {
+  auto In = input("xs", Type::arrayOf(Type::f64()));
+  ExprRef L = arrayLen(ExprRef(In));
+  ExprRef Sum = binop(BinOpKind::Add, L, L);
+  // Identity transform returns the identical nodes.
+  ExprRef Same = transformBottomUp(Sum, [](const ExprRef &E) { return E; });
+  EXPECT_EQ(Same.get(), Sum.get());
+}
+
+TEST(TraversalTest, MapChildrenRebuildsOnlyWhenChanged) {
+  ExprRef A = binop(BinOpKind::Add, constI64(1), constI64(2)); // folds to 3
+  ExprRef Same = mapChildren(A, [](const ExprRef &E) { return E; });
+  EXPECT_EQ(Same.get(), A.get());
+}

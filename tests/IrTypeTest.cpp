@@ -1,0 +1,60 @@
+//===- tests/IrTypeTest.cpp - Type system unit tests -----------*- C++ -*-===//
+
+#include "ir/Type.h"
+
+#include <gtest/gtest.h>
+
+using namespace dmll;
+
+TEST(TypeTest, ScalarSingletons) {
+  EXPECT_EQ(Type::i64().get(), Type::i64().get());
+  EXPECT_EQ(Type::f64().get(), Type::f64().get());
+  EXPECT_TRUE(Type::i64()->isInt());
+  EXPECT_TRUE(Type::f64()->isFloat());
+  EXPECT_TRUE(Type::boolTy()->isBool());
+  EXPECT_TRUE(Type::i32()->isScalar());
+  EXPECT_FALSE(Type::i64()->isArray());
+}
+
+TEST(TypeTest, ArrayTypes) {
+  TypeRef A = Type::arrayOf(Type::f64());
+  EXPECT_TRUE(A->isArray());
+  EXPECT_TRUE(A->elem()->isFloat());
+  TypeRef AA = Type::arrayOf(A);
+  EXPECT_TRUE(AA->elem()->isArray());
+  EXPECT_EQ(AA->str(), "Array[Array[f64]]");
+}
+
+TEST(TypeTest, StructTypes) {
+  TypeRef S = Type::structOf({{"a", Type::i64()}, {"b", Type::f64()}});
+  EXPECT_TRUE(S->isStruct());
+  EXPECT_EQ(S->fields().size(), 2u);
+  EXPECT_EQ(S->fieldIndex("a"), 0);
+  EXPECT_EQ(S->fieldIndex("b"), 1);
+  EXPECT_EQ(S->fieldIndex("c"), -1);
+  EXPECT_TRUE(S->fieldType("b")->isFloat());
+}
+
+TEST(TypeTest, StructuralEquality) {
+  TypeRef A = Type::structOf({{"x", Type::arrayOf(Type::f64())}});
+  TypeRef B = Type::structOf({{"x", Type::arrayOf(Type::f64())}});
+  TypeRef C = Type::structOf({{"y", Type::arrayOf(Type::f64())}});
+  EXPECT_TRUE(A->equals(*B));
+  EXPECT_FALSE(A->equals(*C));
+  EXPECT_TRUE(sameType(Type::i64(), Type::i64()));
+  EXPECT_FALSE(sameType(Type::i64(), Type::i32()));
+}
+
+TEST(TypeTest, ScalarBytes) {
+  EXPECT_EQ(Type::i32()->scalarBytes(), 4u);
+  EXPECT_EQ(Type::f64()->scalarBytes(), 8u);
+  EXPECT_EQ(Type::boolTy()->scalarBytes(), 1u);
+  TypeRef S = Type::structOf({{"a", Type::i64()}, {"b", Type::f32()}});
+  EXPECT_EQ(S->scalarBytes(), 12u);
+}
+
+TEST(TypeTest, Printing) {
+  EXPECT_EQ(Type::i64()->str(), "i64");
+  TypeRef S = Type::structOf({{"a", Type::i64()}, {"b", Type::f64()}});
+  EXPECT_EQ(S->str(), "{a:i64,b:f64}");
+}

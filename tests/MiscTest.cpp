@@ -1,0 +1,120 @@
+//===- tests/MiscTest.cpp - Remaining coverage ----------------*- C++ -*-===//
+
+#include "TestUtil.h"
+#include "apps/Apps.h"
+#include "data/Datasets.h"
+#include "frontend/Frontend.h"
+#include "graph/Graph.h"
+#include "ir/Printer.h"
+
+#include <gtest/gtest.h>
+
+using namespace dmll;
+using namespace dmll::frontend;
+
+TEST(CoPartitionTest, JointConsumersAreCoPartitioned) {
+  // zipWith over two partitioned inputs: both consumed with Interval
+  // stencils by one loop -> one co-partition group (Section 4.2).
+  ProgramBuilder B;
+  Val Xs = B.inVecF64("xs", LayoutHint::Partitioned);
+  Val Ys = B.inVecF64("ys", LayoutHint::Partitioned);
+  Program P = B.build(zipWith(Xs, Ys, [](Val X, Val Y) { return X + Y; }));
+  PartitionInfo Info = analyzePartitioning(P);
+  ASSERT_EQ(Info.CoPartition.size(), 1u);
+  EXPECT_EQ(Info.CoPartition[0].size(), 2u);
+  EXPECT_TRUE(Info.CoPartition[0].count(P.findInput("xs")));
+  EXPECT_TRUE(Info.CoPartition[0].count(P.findInput("ys")));
+}
+
+TEST(CompiledMiscTest, KnnEquivalence) {
+  auto Train = data::makeGaussianMixture(20, 3, 2, 301);
+  auto TrainY = data::makeLabels(Train, 302);
+  auto Test = data::makeGaussianMixture(6, 3, 2, 303);
+  InputMap In{{"train", Train.toValue()},
+              {"train_y", Value::arrayOfInts(TrainY)},
+              {"test", Test.toValue()},
+              {"num_labels", Value(int64_t(2))}};
+  testutil::expectSameResult(apps::knn(), In, Target::Numa, 1e-9);
+}
+
+TEST(CompiledMiscTest, TriangleEquivalence) {
+  auto Und = graph::symmetrize(data::makeRmat(4, 3, 305));
+  testutil::expectSameResult(apps::triangleCount(),
+                             graph::triangleInputs(Und), Target::Cluster,
+                             0.0);
+}
+
+TEST(CompiledMiscTest, KMeansGroupByAcrossTargets) {
+  auto M = data::makeGaussianMixture(18, 3, 3, 307);
+  auto C = data::makeCentroids(M, 3, 308);
+  InputMap In{{"matrix", M.toValue()}, {"clusters", C.toValue()}};
+  testutil::expectSameResult(apps::kmeansGroupBy(), In, Target::Gpu, 1e-9);
+}
+
+TEST(VerifierNegativeTest, RejectsMalformedGenerators) {
+  auto In = input("xs", Type::arrayOf(Type::f64()));
+  ExprRef InRef(In);
+  // Key function on a non-bucket generator.
+  Generator G;
+  G.Kind = GenKind::Collect;
+  G.Cond = trueCond();
+  G.Key = indexFunc("i", [](const ExprRef &I) { return I; });
+  G.Value = indexFunc("i",
+                      [&](const ExprRef &I) { return arrayRead(InRef, I); });
+  ExprRef Loop = singleLoop(arrayLen(InRef), std::move(G));
+  EXPECT_FALSE(verifyExpr(Loop).empty());
+
+  // Reduction whose parameter type disagrees with the value type.
+  Generator G2;
+  G2.Kind = GenKind::Reduce;
+  G2.Cond = trueCond();
+  G2.Value = indexFunc(
+      "i", [&](const ExprRef &I) { return arrayRead(InRef, I); });
+  G2.Reduce = binFunc("r", Type::i64(),
+                      [](const ExprRef &A, const ExprRef &B) {
+                        return binop(BinOpKind::Add, A, B);
+                      });
+  ExprRef Loop2 = singleLoop(arrayLen(InRef), std::move(G2));
+  EXPECT_FALSE(verifyExpr(Loop2).empty());
+}
+
+TEST(PrinterTest, ProgramRenderingIsStable) {
+  Program P = apps::kmeansSharedMemory();
+  std::string S = printProgram(P);
+  EXPECT_NE(S.find("input @matrix"), std::string::npos);
+  EXPECT_NE(S.find("[partitioned]"), std::string::npos);
+  EXPECT_NE(S.find("input @clusters"), std::string::npos);
+  EXPECT_NE(S.find("[local]"), std::string::npos);
+  EXPECT_NE(S.find("Reduce"), std::string::npos);
+  // Rendering twice yields the same text (no hidden state).
+  EXPECT_EQ(S, printProgram(P));
+}
+
+TEST(DatasetTest, GeneratorsAreDeterministic) {
+  auto A = data::makeGaussianMixture(10, 4, 2, 99);
+  auto B = data::makeGaussianMixture(10, 4, 2, 99);
+  EXPECT_EQ(A.Data, B.Data);
+  auto G1 = data::makeRmat(6, 4, 7);
+  auto G2 = data::makeRmat(6, 4, 7);
+  EXPECT_EQ(G1.Edges, G2.Edges);
+  auto L1 = data::makeLineItems(50, 3);
+  auto L2 = data::makeLineItems(50, 3);
+  EXPECT_EQ(L1.ShipDate, L2.ShipDate);
+}
+
+TEST(DatasetTest, RmatIsWellFormedCsr) {
+  auto G = data::makeRmat(7, 5, 11);
+  ASSERT_EQ(G.Offsets.size(), static_cast<size_t>(G.NumV) + 1);
+  EXPECT_EQ(G.Offsets.front(), 0);
+  EXPECT_EQ(G.Offsets.back(), G.numEdges());
+  for (int64_t V = 0; V < G.NumV; ++V) {
+    EXPECT_LE(G.Offsets[V], G.Offsets[V + 1]);
+    for (int64_t E = G.Offsets[V]; E < G.Offsets[V + 1]; ++E) {
+      EXPECT_GE(G.Edges[static_cast<size_t>(E)], 0);
+      EXPECT_LT(G.Edges[static_cast<size_t>(E)], G.NumV);
+      if (E > G.Offsets[V])
+        EXPECT_LT(G.Edges[static_cast<size_t>(E) - 1],
+                  G.Edges[static_cast<size_t>(E)]); // sorted, deduped
+    }
+  }
+}

@@ -1,0 +1,137 @@
+//===- tests/SimTest.cpp - Simulator shape tests ---------------*- C++ -*-===//
+//
+// Locks in the qualitative claims of the paper's figures: these are the
+// shape properties EXPERIMENTS.md reports, asserted so regressions in the
+// cost model or the transformations are caught.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/Simulator.h"
+#include "systems/Features.h"
+#include "systems/Systems.h"
+
+#include <gtest/gtest.h>
+
+using namespace dmll;
+
+namespace {
+
+double sharedMs(const std::vector<LoopCost> &P, int Cores, MemPolicy Pol,
+                const Discipline &D) {
+  return simulateShared(P, MachineModel::numa4x12(), Cores, Pol, D).Ms;
+}
+
+} // namespace
+
+TEST(SimTest, DmllScalesAcrossSockets) {
+  auto Plan = planCosts(benchKMeans(), dmllPlanOptions(Target::Numa));
+  double S1 = sharedMs(Plan, 1, MemPolicy::Partitioned, Discipline::dmll());
+  double S12 = sharedMs(Plan, 12, MemPolicy::Partitioned, Discipline::dmll());
+  double S48 = sharedMs(Plan, 48, MemPolicy::Partitioned, Discipline::dmll());
+  EXPECT_GT(S1 / S12, 4.0);   // near-linear within a socket
+  EXPECT_GT(S12 / S48, 2.0);  // keeps scaling across sockets
+}
+
+TEST(SimTest, PinOnlyFlattensForStreamBoundApps) {
+  // Fig. 7: Q1 is stream-bound; pin-only saturates one socket's bus.
+  auto Plan = planCosts(benchTpchQ1(), dmllPlanOptions(Target::Numa));
+  double Pin12 =
+      sharedMs(Plan, 12, MemPolicy::PinnedSingleRegion, Discipline::dmll());
+  double Pin48 =
+      sharedMs(Plan, 48, MemPolicy::PinnedSingleRegion, Discipline::dmll());
+  double Part48 =
+      sharedMs(Plan, 48, MemPolicy::Partitioned, Discipline::dmll());
+  EXPECT_GT(Pin48, 0.9 * Pin12);  // no further scaling
+  EXPECT_LT(Part48, 0.5 * Pin48); // partitioning keeps scaling
+}
+
+TEST(SimTest, PinOnlyTracksDmllForThreadLocalApps) {
+  // Fig. 7: k-means/GDA work mostly over per-row working sets, so pinning
+  // alone captures most of the NUMA win.
+  auto Plan = planCosts(benchKMeans(), dmllPlanOptions(Target::Numa));
+  double Pin48 =
+      sharedMs(Plan, 48, MemPolicy::PinnedSingleRegion, Discipline::dmll());
+  double Part48 =
+      sharedMs(Plan, 48, MemPolicy::Partitioned, Discipline::dmll());
+  EXPECT_LT(Pin48 / Part48, 3.0);
+}
+
+TEST(SimTest, DeliteStopsScalingAfterOneSocket) {
+  auto Plan = planCosts(benchGda(), fusionOnlyPlanOptions(Target::Numa));
+  double D12 = sharedMs(Plan, 12, MemPolicy::UnpinnedSingleRegion,
+                        Discipline::delite());
+  double D48 = sharedMs(Plan, 48, MemPolicy::UnpinnedSingleRegion,
+                        Discipline::delite());
+  EXPECT_GT(D48, 0.8 * D12); // flat or worse beyond one socket
+}
+
+TEST(SimTest, SparkFarBelowDmll) {
+  // Up to ~40x total gap at full machine scale (Section 7).
+  auto Dmll = planCosts(benchKMeans(), dmllPlanOptions(Target::Numa));
+  auto Unfused = planCosts(benchKMeans(), sparkPlanOptions(Target::Numa));
+  double D = sharedMs(Dmll, 48, MemPolicy::Partitioned, Discipline::dmll());
+  double S = sharedMs(Unfused, 48, MemPolicy::UnpinnedSingleRegion,
+                      Discipline::spark());
+  EXPECT_GT(S / D, 10.0);
+  EXPECT_LT(S / D, 200.0);
+}
+
+TEST(SimTest, GpuTransformationsPayOff) {
+  // Fig. 6 left: the full transformation stack beats every partial one.
+  auto Plan = planCosts(benchLogReg(), dmllPlanOptions(Target::Cluster));
+  GpuModel G = GpuModel::teslaC2050();
+  BenchApp App = benchLogReg();
+  GpuExec None{false, false, App.AmortizeIters, App.DatasetBytes};
+  GpuExec Tr = None;
+  Tr.Transposed = true;
+  GpuExec Sc = None;
+  Sc.ScalarReduce = true;
+  GpuExec Both = Tr;
+  Both.ScalarReduce = true;
+  double MsNone = simulateGpu(Plan, G, None).Ms;
+  double MsBoth = simulateGpu(Plan, G, Both).Ms;
+  EXPECT_LT(MsBoth, simulateGpu(Plan, G, Tr).Ms);
+  EXPECT_LT(MsBoth, simulateGpu(Plan, G, Sc).Ms);
+  EXPECT_GT(MsNone / MsBoth, 1.5);
+}
+
+TEST(SimTest, ClusterGapSmallerThanNumaGap) {
+  // Section 6.2: on the weak-node EC2 cluster the DMLL/Spark gap shrinks
+  // towards the single-threaded difference.
+  BenchApp App = benchKMeans();
+  auto Dmll = planCosts(App, dmllPlanOptions(Target::Cluster));
+  auto Unfused = planCosts(App, sparkPlanOptions(Target::Cluster));
+  ClusterModel C = ClusterModel::ec2_20();
+  double D = simulateCluster(Dmll, C, Discipline::dmllJvm(),
+                             App.AmortizeIters)
+                 .Ms;
+  double S = simulateCluster(Unfused, C, Discipline::spark(),
+                             App.AmortizeIters)
+                 .Ms;
+  double ClusterGap = S / D;
+  auto DmllN = planCosts(App, dmllPlanOptions(Target::Numa));
+  auto UnfusedN = planCosts(App, sparkPlanOptions(Target::Numa));
+  double NumaGap =
+      sharedMs(UnfusedN, 48, MemPolicy::UnpinnedSingleRegion,
+               Discipline::spark()) /
+      sharedMs(DmllN, 48, MemPolicy::Partitioned, Discipline::dmll());
+  EXPECT_GT(ClusterGap, 1.0);
+  EXPECT_LT(ClusterGap, NumaGap);
+}
+
+TEST(FeatureTableTest, MatchesTable1) {
+  const auto &Rows = featureTable();
+  ASSERT_EQ(Rows.size(), 10u);
+  EXPECT_EQ(Rows.front().Name, "MapReduce");
+  const SystemFeatures &Dmll = dmllFeatures();
+  EXPECT_EQ(Dmll.Name, "DMLL");
+  // DMLL is the only row with every feature and target.
+  EXPECT_EQ(Dmll.featureCount(), 9);
+  for (size_t I = 0; I + 1 < Rows.size(); ++I)
+    EXPECT_LT(Rows[I].featureCount(), 9);
+  // Spot checks from the paper's table.
+  EXPECT_FALSE(Rows[5].RichDataParallelism); // Spark
+  EXPECT_TRUE(Rows[5].Clusters);
+  EXPECT_TRUE(Rows[4].Gpus); // Delite
+  EXPECT_FALSE(Rows[4].Clusters);
+}

@@ -1,0 +1,52 @@
+//===- tests/TestUtil.h - Shared helpers for the test suites ---*- C++ -*-===//
+
+#ifndef DMLL_TESTS_TESTUTIL_H
+#define DMLL_TESTS_TESTUTIL_H
+
+#include "interp/Interp.h"
+#include "ir/Verifier.h"
+#include "transform/Pipeline.h"
+
+#include <gtest/gtest.h>
+
+namespace dmll {
+namespace testutil {
+
+/// Converts AoS inputs to the SoA layouts chosen by the compiler.
+inline InputMap adaptInputs(const Program &Original, const CompileResult &CR,
+                            const InputMap &Inputs) {
+  InputMap Adapted = Inputs;
+  for (const auto &[Name, Kept] : CR.SoaConverted) {
+    const InputExpr *In = Original.findInput(Name);
+    if (!In || !Adapted.count(Name)) {
+      ADD_FAILURE() << "unknown SoA-converted input " << Name;
+      continue;
+    }
+    Adapted[Name] = aosToSoa(Adapted[Name], *In->type()->elem(), Kept);
+  }
+  return Adapted;
+}
+
+/// Compiles \p P for \p T and checks the optimized program verifies and
+/// evaluates to the same value as the original (tolerance for float
+/// reassociation).
+inline void expectSameResult(const Program &P, const InputMap &Inputs,
+                             Target T = Target::Numa, double Tol = 1e-9) {
+  ASSERT_TRUE(verify(P).empty());
+  Value Expected = evalProgram(P, Inputs);
+  CompileOptions Opts;
+  Opts.T = T;
+  CompileResult CR = compileProgram(P, Opts);
+  auto Errs = verify(CR.P);
+  for (const std::string &E : Errs)
+    ADD_FAILURE() << "verifier: " << E;
+  InputMap Adapted = adaptInputs(P, CR, Inputs);
+  Value Actual = evalProgram(CR.P, Adapted);
+  EXPECT_TRUE(Expected.deepEquals(Actual, Tol))
+      << "expected: " << Expected.str() << "\nactual:   " << Actual.str();
+}
+
+} // namespace testutil
+} // namespace dmll
+
+#endif // DMLL_TESTS_TESTUTIL_H

@@ -1,0 +1,510 @@
+//===- tests/TransformTest.cpp - Rewrite rule unit tests -------*- C++ -*-===//
+//
+// Each Fig. 3 rule and fusion pass is checked two ways: structurally (the
+// expected loop shapes appear) and semantically (the rewritten program
+// evaluates identically on concrete inputs).
+//
+//===----------------------------------------------------------------------===//
+
+#include "data/Datasets.h"
+#include "frontend/Frontend.h"
+#include "interp/Interp.h"
+#include "ir/Printer.h"
+#include "ir/Traversal.h"
+#include "ir/Verifier.h"
+#include "transform/Rules.h"
+
+#include <gtest/gtest.h>
+
+using namespace dmll;
+using namespace dmll::frontend;
+
+namespace {
+
+/// Applies a rule set to fixpoint and checks semantics are preserved.
+void expectEquivalent(const Program &P,
+                      const std::vector<const RewriteRule *> &Rules,
+                      const InputMap &Inputs, double Tol = 1e-9) {
+  ASSERT_TRUE(verify(P).empty());
+  RewriteStats Stats;
+  Program Q = rewriteProgram(P, Rules, &Stats);
+  auto Errs = verify(Q);
+  for (const std::string &E : Errs)
+    ADD_FAILURE() << E << "\n" << printProgram(Q);
+  Value A = evalProgram(P, Inputs);
+  Value B = evalProgram(Q, Inputs);
+  EXPECT_TRUE(A.deepEquals(B, Tol))
+      << "before: " << A.str() << "\nafter:  " << B.str();
+}
+
+size_t loopCount(const Program &P) {
+  return collectMultiloops(P.Result).size();
+}
+
+Value vecD(std::initializer_list<double> Xs) {
+  return Value::arrayOfDoubles(std::vector<double>(Xs));
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Pipeline (vertical) fusion.
+//===----------------------------------------------------------------------===//
+
+TEST(VerticalFusionTest, MapReduceFusesToSingleLoop) {
+  ProgramBuilder B;
+  Val Xs = B.inVecF64("xs");
+  Program P = B.build(sum(map(Xs, [](Val X) { return X * X; })));
+  EXPECT_EQ(loopCount(P), 2u);
+
+  VerticalFusionRule VF;
+  RewriteStats Stats;
+  Program Q = rewriteProgram(P, {&VF}, &Stats);
+  EXPECT_EQ(Stats.Applied["pipeline-fusion"], 1);
+  EXPECT_EQ(loopCount(Q), 1u);
+  const auto *ML = cast<MultiloopExpr>(collectMultiloops(Q.Result)[0]);
+  EXPECT_EQ(ML->gen().Kind, GenKind::Reduce);
+
+  InputMap In{{"xs", vecD({1, 2, 3})}};
+  EXPECT_DOUBLE_EQ(evalProgram(Q, In).asFloat(), 14.0);
+}
+
+TEST(VerticalFusionTest, FilterThenMapShiftsIndicesCorrectly) {
+  ProgramBuilder B;
+  Val Xs = B.inVecF64("xs");
+  Val Kept = filter(Xs, [](Val X) { return X > Val(0.0); });
+  Program P = B.build(map(Kept, [](Val X) { return X + Val(100.0); }));
+
+  VerticalFusionRule VF;
+  expectEquivalent(P, {&VF}, {{"xs", vecD({-1, 2, -3, 4, 5})}});
+  RewriteStats Stats;
+  Program Q = rewriteProgram(P, {&VF}, &Stats);
+  EXPECT_EQ(loopCount(Q), 1u);
+}
+
+TEST(VerticalFusionTest, FilterConsumerUsingOwnIndexDoesNotFuse) {
+  // zipWith(filtered, ys) reads its index beyond the filtered collection;
+  // fusing would mis-align the pair. The rule must refuse.
+  ProgramBuilder B;
+  Val Xs = B.inVecF64("xs");
+  Val Ys = B.inVecF64("ys");
+  Val Kept = filter(Xs, [](Val X) { return X > Val(0.0); });
+  Val KeptV = Kept, YsV = Ys;
+  Program P = B.build(tabulate(Kept.len(), [&](Val I) {
+    return KeptV(I) + YsV(I);
+  }));
+  VerticalFusionRule VF;
+  RewriteStats Stats;
+  Program Q = rewriteProgram(P, {&VF}, &Stats);
+  EXPECT_EQ(Stats.Applied["pipeline-fusion"], 0);
+  (void)Q;
+}
+
+TEST(VerticalFusionTest, MapOfMapChainsFuse) {
+  ProgramBuilder B;
+  Val Xs = B.inVecF64("xs");
+  Val M1 = map(Xs, [](Val X) { return X * Val(2.0); });
+  Val M2 = map(M1, [](Val X) { return X + Val(1.0); });
+  Program P = B.build(sum(M2));
+  VerticalFusionRule VF;
+  RewriteStats Stats;
+  Program Q = rewriteProgram(P, {&VF}, &Stats);
+  EXPECT_EQ(loopCount(Q), 1u);
+  expectEquivalent(P, {&VF}, {{"xs", vecD({1, 2, 3, 4})}});
+}
+
+TEST(VerticalFusionTest, FusesIntoBucketGenerators) {
+  // filter -> groupBy is the classic filter-groupBy pipeline.
+  ProgramBuilder B;
+  Val Xs = B.inVecI64("xs");
+  Val Kept = filter(Xs, [](Val X) { return X > Val(int64_t(0)); });
+  Program P = B.build(groupBy(Kept, [](Val X) { return X % Val(int64_t(3)); }));
+  VerticalFusionRule VF;
+  RewriteStats Stats;
+  Program Q = rewriteProgram(P, {&VF}, &Stats);
+  EXPECT_EQ(Stats.Applied["pipeline-fusion"], 1);
+  EXPECT_EQ(loopCount(Q), 1u);
+  expectEquivalent(P, {&VF},
+                   {{"xs", Value::arrayOfInts({3, -1, 5, 9, -2, 7})}});
+}
+
+TEST(IdentityCollectTest, RemovesIdentityLoop) {
+  ProgramBuilder B;
+  Val Xs = B.inVecF64("xs");
+  Val XsV = Xs;
+  Program P = B.build(tabulate(Xs.len(), [&](Val I) { return XsV(I); }));
+  IdentityCollectRule IC;
+  RewriteStats Stats;
+  Program Q = rewriteProgram(P, {&IC}, &Stats);
+  EXPECT_EQ(Stats.Applied["identity-collect"], 1);
+  EXPECT_TRUE(isa<InputExpr>(Q.Result));
+}
+
+//===----------------------------------------------------------------------===//
+// GroupBy-Reduce (Fig. 3).
+//===----------------------------------------------------------------------===//
+
+TEST(GroupByReduceTest, AggregationQueryBecomesBucketReduce) {
+  // lineItems.groupBy(status).map(g => g.map(quantity).sum)  (Section 3.2)
+  ProgramBuilder B;
+  Val Xs = B.inVecI64("xs");
+  Val Groups = groupBy(Xs, [](Val X) { return X % Val(int64_t(4)); });
+  Val Buckets = Groups.field("values");
+  Val BucketsV = Buckets;
+  Val Sums = tabulate(Buckets.len(), [&](Val K) {
+    return sum(map(BucketsV(K), [](Val X) { return X * Val(int64_t(10)); }));
+  });
+  Program P = B.build(Sums);
+
+  // Pipeline fusion first (map-into-reduce inside the bucket), then GBR.
+  VerticalFusionRule VF;
+  GroupByReduceRule GBR;
+  IdentityCollectRule IC;
+  RewriteStats Stats;
+  Program Q = rewriteProgram(P, {&VF, &IC, &GBR}, &Stats);
+  EXPECT_GE(Stats.Applied["groupby-reduce"], 1);
+  // The BucketCollect is gone (replaced by a BucketReduce).
+  bool HasBucketReduce = false, HasBucketCollect = false;
+  for (const ExprRef &L : collectMultiloops(Q.Result))
+    for (const Generator &G : cast<MultiloopExpr>(L)->gens()) {
+      HasBucketReduce |= G.Kind == GenKind::BucketReduce;
+      HasBucketCollect |= G.Kind == GenKind::BucketCollect;
+    }
+  EXPECT_TRUE(HasBucketReduce);
+  EXPECT_FALSE(HasBucketCollect);
+  expectEquivalent(P, {&VF, &IC, &GBR},
+                   {{"xs", Value::arrayOfInts({7, 2, 9, 4, 4, 11, 0})}});
+}
+
+TEST(GroupByReduceTest, AverageUsesCompanionCount) {
+  // Average per group: sum / len(bucket) exercises the residual-length
+  // rewrite into a counting BucketReduce.
+  ProgramBuilder B;
+  Val Xs = B.inVecF64("xs");
+  Val Groups = groupBy(Xs, [](Val X) {
+    return vselect(X > Val(0.0), Val(int64_t(1)), Val(int64_t(0)));
+  });
+  Val Buckets = Groups.field("values");
+  Val BucketsV = Buckets;
+  Val Avgs = tabulate(Buckets.len(), [&](Val K) {
+    Val Bucket = BucketsV(K);
+    return sum(Bucket) / toF64(Bucket.len());
+  });
+  Program P = B.build(Avgs);
+
+  VerticalFusionRule VF;
+  GroupByReduceRule GBR;
+  RewriteStats Stats;
+  Program Q = rewriteProgram(P, {&VF, &GBR}, &Stats);
+  EXPECT_GE(Stats.Applied["groupby-reduce"], 1);
+  expectEquivalent(P, {&VF, &GBR},
+                   {{"xs", vecD({1.0, -2.0, 3.0, -4.0, 6.0})}});
+}
+
+TEST(GroupByReduceTest, KeysRedirectToBucketReduce) {
+  // The program result includes grouped.keys; shareBucketKeys must point
+  // them at the BucketReduce so the groupBy dies.
+  ProgramBuilder B;
+  Val Xs = B.inVecI64("xs");
+  Val Groups = groupBy(Xs, [](Val X) { return X % Val(int64_t(3)); });
+  Val Buckets = Groups.field("values");
+  Val BucketsV = Buckets;
+  Val Sums = tabulate(Buckets.len(), [&](Val K) {
+    return sum(map(BucketsV(K), [](Val X) { return X; }));
+  });
+  Program P = B.build(makeStruct(
+      {{"keys", Type::arrayOf(Type::i64())},
+       {"sums", Type::arrayOf(Type::i64())}},
+      {Groups.field("keys").expr(), Sums.expr()}));
+
+  VerticalFusionRule VF;
+  GroupByReduceRule GBR;
+  IdentityCollectRule IC;
+  Program Q = rewriteProgram(P, {&VF, &IC, &GBR}, nullptr);
+  Q.Result = shareBucketKeys(Q.Result);
+  Q.Result = cse(Q.Result);
+  ASSERT_TRUE(verify(Q).empty());
+  // No BucketCollect survives.
+  for (const ExprRef &L : collectMultiloops(Q.Result))
+    for (const Generator &G : cast<MultiloopExpr>(L)->gens())
+      EXPECT_NE(G.Kind, GenKind::BucketCollect) << printProgram(Q);
+  InputMap In{{"xs", Value::arrayOfInts({5, 3, 7, 9, 2, 4})}};
+  EXPECT_TRUE(evalProgram(P, In).deepEquals(evalProgram(Q, In), 0));
+}
+
+//===----------------------------------------------------------------------===//
+// Conditional Reduce (Fig. 3).
+//===----------------------------------------------------------------------===//
+
+TEST(ConditionalReduceTest, LiftsPredicatedReduction) {
+  // Collect(s1)(i => sum of xs(j) where key(j) == i).
+  ProgramBuilder B;
+  Val Keys = B.inVecI64("keys");
+  Val Xs = B.inVecF64("xs");
+  Val K = B.inI64("k");
+  Val KeysV = Keys, XsV = Xs;
+  Program P = B.build(tabulate(K, [&](Val I) {
+    Generator G;
+    G.Kind = GenKind::Reduce;
+    SymRef J = freshSym("j", Type::i64());
+    G.Cond = Func({J}, (KeysV(Val(ExprRef(J))) == I).expr());
+    G.Value = Func({J}, XsV(Val(ExprRef(J))).expr());
+    G.Reduce = binFunc("r", Type::f64(),
+                       [](const ExprRef &A, const ExprRef &Bv) {
+                         return binop(BinOpKind::Add, A, Bv);
+                       });
+    return Val(singleLoop(Xs.len().expr(), std::move(G)));
+  }));
+
+  ConditionalReduceRule CR;
+  RewriteStats Stats;
+  Program Q = rewriteProgram(P, {&CR}, &Stats);
+  EXPECT_EQ(Stats.Applied["conditional-reduce"], 1);
+  // A dense BucketReduce appears.
+  bool HasDense = false;
+  for (const ExprRef &L : collectMultiloops(Q.Result))
+    for (const Generator &G : cast<MultiloopExpr>(L)->gens())
+      HasDense |= G.Kind == GenKind::BucketReduce && G.NumKeys != nullptr;
+  EXPECT_TRUE(HasDense);
+
+  InputMap In{{"keys", Value::arrayOfInts({0, 1, 2, 1, 0, 1})},
+              {"xs", vecD({1, 2, 3, 4, 5, 6})},
+              {"k", Value(int64_t(3))}};
+  EXPECT_TRUE(evalProgram(P, In).deepEquals(evalProgram(Q, In), 1e-12));
+}
+
+TEST(ConditionalReduceTest, OutOfRangeKeysAreDropped) {
+  // Keys outside [0, k) never matched any outer index; the transformed
+  // dense BucketReduce must drop them via the guard condition.
+  ProgramBuilder B;
+  Val Keys = B.inVecI64("keys");
+  Val Xs = B.inVecF64("xs");
+  Val K = B.inI64("k");
+  Val KeysV = Keys, XsV = Xs;
+  Program P = B.build(tabulate(K, [&](Val I) {
+    Generator G;
+    G.Kind = GenKind::Reduce;
+    SymRef J = freshSym("j", Type::i64());
+    G.Cond = Func({J}, (KeysV(Val(ExprRef(J))) == I).expr());
+    G.Value = Func({J}, XsV(Val(ExprRef(J))).expr());
+    G.Reduce = binFunc("r", Type::f64(),
+                       [](const ExprRef &A, const ExprRef &Bv) {
+                         return binop(BinOpKind::Add, A, Bv);
+                       });
+    return Val(singleLoop(Xs.len().expr(), std::move(G)));
+  }));
+  ConditionalReduceRule CR;
+  Program Q = rewriteProgram(P, {&CR}, nullptr);
+  InputMap In{{"keys", Value::arrayOfInts({0, 7, -2, 1, 0})},
+              {"xs", vecD({1, 2, 3, 4, 5})},
+              {"k", Value(int64_t(2))}};
+  EXPECT_TRUE(evalProgram(P, In).deepEquals(evalProgram(Q, In), 1e-12));
+}
+
+TEST(ConditionalReduceTest, ValueDependingOnOuterIndexBlocks) {
+  // f depends on the outer index: the partial reductions cannot be hoisted.
+  ProgramBuilder B;
+  Val Keys = B.inVecI64("keys");
+  Val Xs = B.inVecF64("xs");
+  Val K = B.inI64("k");
+  Val KeysV = Keys, XsV = Xs;
+  Program P = B.build(tabulate(K, [&](Val I) {
+    Val IV = I;
+    Generator G;
+    G.Kind = GenKind::Reduce;
+    SymRef J = freshSym("j", Type::i64());
+    G.Cond = Func({J}, (KeysV(Val(ExprRef(J))) == IV).expr());
+    G.Value = Func({J}, (XsV(Val(ExprRef(J))) * toF64(IV)).expr());
+    G.Reduce = binFunc("r", Type::f64(),
+                       [](const ExprRef &A, const ExprRef &Bv) {
+                         return binop(BinOpKind::Add, A, Bv);
+                       });
+    return Val(singleLoop(Xs.len().expr(), std::move(G)));
+  }));
+  ConditionalReduceRule CR;
+  RewriteStats Stats;
+  rewriteProgram(P, {&CR}, &Stats);
+  EXPECT_EQ(Stats.Applied["conditional-reduce"], 0);
+}
+
+//===----------------------------------------------------------------------===//
+// Column-to-Row / Row-to-Column (Fig. 3).
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// The textbook logreg-like nested loop: out(j) = sum_i m[i][j] * w(i).
+Program nestedColumnSums(frontend::ProgramBuilder &B) {
+  Mat M = B.inMat("m", LayoutHint::Partitioned);
+  Val W = B.inVecF64("w", LayoutHint::Partitioned);
+  Val WV = W;
+  return B.build(tabulate(M.cols(), [&](Val J) {
+    Val JV = J;
+    return sumRange(M.rows(), [&](Val I) { return M.at(I, JV) * WV(I); });
+  }));
+}
+
+InputMap columnSumInputs() {
+  data::MatrixData MD;
+  MD.Rows = 3;
+  MD.Cols = 2;
+  MD.Data = {1, 2, 3, 4, 5, 6};
+  return {{"m", MD.toValue()},
+          {"w", Value::arrayOfDoubles({1.0, 10.0, 100.0})}};
+}
+
+} // namespace
+
+TEST(ColumnToRowTest, VectorizesNestedReduce) {
+  ProgramBuilder B;
+  Program P = nestedColumnSums(B);
+  ColumnToRowRule C2R;
+  RewriteStats Stats;
+  Program Q = rewriteProgram(P, {&C2R}, &Stats);
+  EXPECT_EQ(Stats.Applied["column-to-row-reduce"], 1);
+  ASSERT_TRUE(verify(Q).empty());
+  // The hoisted reduce is closed (computable once, partitionable by rows).
+  bool FoundClosedVectorReduce = false;
+  for (const ExprRef &L : collectMultiloops(Q.Result)) {
+    const auto *ML = cast<MultiloopExpr>(L);
+    if (ML->isSingle() && ML->gen().Kind == GenKind::Reduce &&
+        ML->gen().Value.Body->type()->isArray() && freeSyms(L).empty())
+      FoundClosedVectorReduce = true;
+  }
+  EXPECT_TRUE(FoundClosedVectorReduce);
+  InputMap In = columnSumInputs();
+  EXPECT_TRUE(evalProgram(P, In).deepEquals(evalProgram(Q, In), 1e-12));
+}
+
+TEST(RowToColumnTest, InvertsColumnToRow) {
+  ProgramBuilder B;
+  Program P = nestedColumnSums(B);
+  ColumnToRowRule C2R;
+  RowToColumnRule R2C;
+  Program Q = rewriteProgram(P, {&C2R}, nullptr);
+  RewriteStats Stats;
+  Program R = rewriteProgram(Q, {&R2C}, &Stats);
+  EXPECT_GE(Stats.Applied["row-to-column-reduce"], 1);
+  ASSERT_TRUE(verify(R).empty());
+  InputMap In = columnSumInputs();
+  Value VP = evalProgram(P, In);
+  EXPECT_TRUE(VP.deepEquals(evalProgram(R, In), 1e-12));
+  // No vector reduce remains after the inverse (GPU-friendly form).
+  for (const ExprRef &L : collectMultiloops(R.Result))
+    for (const Generator &G : cast<MultiloopExpr>(L)->gens())
+      if (G.isReduce())
+        EXPECT_TRUE(G.Value.Body->type()->isScalar());
+}
+
+//===----------------------------------------------------------------------===//
+// Horizontal fusion / CSE / DCE.
+//===----------------------------------------------------------------------===//
+
+TEST(HorizontalFusionTest, MergesIndependentLoopsOfSameSize) {
+  ProgramBuilder B;
+  Val Xs = B.inVecF64("xs");
+  Val Sum = sum(Xs);
+  Val SumSq = sum(map(Xs, [](Val X) { return X * X; }));
+  Program P = B.build(makeStruct({{"s", Type::f64()}, {"sq", Type::f64()}},
+                                 {Sum.expr(), SumSq.expr()}));
+  // Fuse the map into its reduce first so both loops range over xs.
+  VerticalFusionRule VF;
+  Program Q = rewriteProgram(P, {&VF}, nullptr);
+  RewriteStats Stats;
+  int Merged = horizontalFusion(Q.Result, &Stats);
+  EXPECT_EQ(Merged, 1);
+  EXPECT_EQ(loopCount(Q), 1u);
+  const auto *ML = cast<MultiloopExpr>(collectMultiloops(Q.Result)[0]);
+  EXPECT_EQ(ML->numGens(), 2u);
+  ASSERT_TRUE(verify(Q).empty());
+  InputMap In{{"xs", vecD({1, 2, 3})}};
+  EXPECT_TRUE(evalProgram(P, In).deepEquals(evalProgram(Q, In), 1e-12));
+}
+
+TEST(HorizontalFusionTest, DependentLoopsDoNotFuse) {
+  ProgramBuilder B;
+  Val Xs = B.inVecF64("xs");
+  Val M = map(Xs, [](Val X) { return X * Val(2.0); });
+  Val M2 = map(M, [](Val X) { return X + Val(1.0); });
+  Program P = B.build(M2);
+  // Without vertical fusion, M2 consumes M: same size but dependent.
+  ExprRef E = P.Result;
+  int Merged = horizontalFusion(E, nullptr);
+  EXPECT_EQ(Merged, 0);
+}
+
+TEST(HorizontalFusionTest, NestedScopesRespected) {
+  // Loops with different free symbols (one closed, one per-row) must not
+  // merge even if sizes match.
+  ProgramBuilder B;
+  Mat M = B.inMat("m");
+  Val RowSums = M.mapRowsIdx([&](Val I) {
+    Val IV = I;
+    return sumRange(M.cols(), [&](Val J) { return M.at(IV, J); });
+  });
+  Val ColCount = sumRange(M.cols(), [](Val) { return Val(int64_t(1)); });
+  Program P = B.build(makeStruct(
+      {{"rows", Type::arrayOf(Type::f64())}, {"n", Type::i64()}},
+      {RowSums.expr(), ColCount.expr()}));
+  ExprRef E = P.Result;
+  horizontalFusion(E, nullptr);
+  Program Q;
+  Q.Inputs = P.Inputs;
+  Q.Result = E;
+  ASSERT_TRUE(verify(Q).empty());
+  data::MatrixData MD;
+  MD.Rows = 2;
+  MD.Cols = 3;
+  MD.Data = {1, 2, 3, 4, 5, 6};
+  InputMap In{{"m", MD.toValue()}};
+  EXPECT_TRUE(evalProgram(P, In).deepEquals(evalProgram(Q, In), 1e-12));
+}
+
+TEST(CseTest, MergesAlphaEquivalentLoops) {
+  ProgramBuilder B;
+  Val Xs = B.inVecF64("xs");
+  Val S1 = sum(Xs);
+  Val S2 = sum(Xs); // separately constructed, alpha-equivalent
+  Program P = B.build(S1 + S2);
+  EXPECT_EQ(loopCount(P), 2u);
+  P.Result = cse(P.Result);
+  EXPECT_EQ(loopCount(P), 1u);
+  InputMap In{{"xs", vecD({1, 2, 3})}};
+  EXPECT_DOUBLE_EQ(evalProgram(P, In).asFloat(), 12.0);
+}
+
+TEST(DceTest, DropsUnusedGenerators) {
+  ProgramBuilder B;
+  Val Xs = B.inVecF64("xs");
+  Val Sum = sum(Xs);
+  Val SumSq = sum(map(Xs, [](Val X) { return X * X; }));
+  Program P = B.build(makeStruct({{"s", Type::f64()}, {"sq", Type::f64()}},
+                                 {Sum.expr(), SumSq.expr()}));
+  VerticalFusionRule VF;
+  Program Q = rewriteProgram(P, {&VF}, nullptr);
+  horizontalFusion(Q.Result, nullptr);
+  // Drop one output: keep only .s of the struct.
+  Q.Result = getField(Q.Result, "s");
+  Q.Result = dce(Q.Result);
+  const auto Loops = collectMultiloops(Q.Result);
+  ASSERT_EQ(Loops.size(), 1u);
+  EXPECT_EQ(cast<MultiloopExpr>(Loops[0])->numGens(), 1u);
+  InputMap In{{"xs", vecD({1, 2, 3})}};
+  EXPECT_DOUBLE_EQ(evalProgram(Q, In).asFloat(), 6.0);
+}
+
+TEST(ConvertLenOfFilterTest, CountWithoutMaterializing) {
+  ProgramBuilder B;
+  Val Xs = B.inVecF64("xs");
+  Program P = B.build(
+      toI64(filter(Xs, [](Val X) { return X > Val(0.0); }).len()));
+  Program Q = P;
+  Q.Result = convertLenOfFilter(Q.Result);
+  bool HasCollect = false;
+  for (const ExprRef &L : collectMultiloops(Q.Result))
+    for (const Generator &G : cast<MultiloopExpr>(L)->gens())
+      HasCollect |= G.Kind == GenKind::Collect;
+  EXPECT_FALSE(HasCollect);
+  InputMap In{{"xs", vecD({1, -2, 3, -4, 5})}};
+  EXPECT_EQ(evalProgram(Q, In).asInt(), 3);
+}
