@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_transformations.dir/fig6_transformations.cpp.o"
+  "CMakeFiles/fig6_transformations.dir/fig6_transformations.cpp.o.d"
+  "fig6_transformations"
+  "fig6_transformations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_transformations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

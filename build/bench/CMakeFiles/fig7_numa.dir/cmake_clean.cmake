@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_numa.dir/fig7_numa.cpp.o"
+  "CMakeFiles/fig7_numa.dir/fig7_numa.cpp.o.d"
+  "fig7_numa"
+  "fig7_numa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_numa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

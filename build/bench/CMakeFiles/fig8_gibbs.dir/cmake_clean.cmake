@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_gibbs.dir/fig8_gibbs.cpp.o"
+  "CMakeFiles/fig8_gibbs.dir/fig8_gibbs.cpp.o.d"
+  "fig8_gibbs"
+  "fig8_gibbs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_gibbs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

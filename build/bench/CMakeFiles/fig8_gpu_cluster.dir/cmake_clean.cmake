@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_gpu_cluster.dir/fig8_gpu_cluster.cpp.o"
+  "CMakeFiles/fig8_gpu_cluster.dir/fig8_gpu_cluster.cpp.o.d"
+  "fig8_gpu_cluster"
+  "fig8_gpu_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_gpu_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

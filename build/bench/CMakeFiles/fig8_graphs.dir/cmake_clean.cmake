@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_graphs.dir/fig8_graphs.cpp.o"
+  "CMakeFiles/fig8_graphs.dir/fig8_graphs.cpp.o.d"
+  "fig8_graphs"
+  "fig8_graphs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_graphs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

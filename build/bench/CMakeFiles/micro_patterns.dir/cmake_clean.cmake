@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_patterns.dir/micro_patterns.cpp.o"
+  "CMakeFiles/micro_patterns.dir/micro_patterns.cpp.o.d"
+  "micro_patterns"
+  "micro_patterns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_patterns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_sequential.dir/table2_sequential.cpp.o"
+  "CMakeFiles/table2_sequential.dir/table2_sequential.cpp.o.d"
+  "table2_sequential"
+  "table2_sequential.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_sequential.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

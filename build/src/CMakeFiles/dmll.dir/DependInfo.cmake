@@ -1,0 +1,67 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/Affine.cpp" "src/CMakeFiles/dmll.dir/analysis/Affine.cpp.o" "gcc" "src/CMakeFiles/dmll.dir/analysis/Affine.cpp.o.d"
+  "/root/repo/src/analysis/Cost.cpp" "src/CMakeFiles/dmll.dir/analysis/Cost.cpp.o" "gcc" "src/CMakeFiles/dmll.dir/analysis/Cost.cpp.o.d"
+  "/root/repo/src/analysis/Partitioning.cpp" "src/CMakeFiles/dmll.dir/analysis/Partitioning.cpp.o" "gcc" "src/CMakeFiles/dmll.dir/analysis/Partitioning.cpp.o.d"
+  "/root/repo/src/analysis/Stencil.cpp" "src/CMakeFiles/dmll.dir/analysis/Stencil.cpp.o" "gcc" "src/CMakeFiles/dmll.dir/analysis/Stencil.cpp.o.d"
+  "/root/repo/src/apps/Gda.cpp" "src/CMakeFiles/dmll.dir/apps/Gda.cpp.o" "gcc" "src/CMakeFiles/dmll.dir/apps/Gda.cpp.o.d"
+  "/root/repo/src/apps/Gene.cpp" "src/CMakeFiles/dmll.dir/apps/Gene.cpp.o" "gcc" "src/CMakeFiles/dmll.dir/apps/Gene.cpp.o.d"
+  "/root/repo/src/apps/Gibbs.cpp" "src/CMakeFiles/dmll.dir/apps/Gibbs.cpp.o" "gcc" "src/CMakeFiles/dmll.dir/apps/Gibbs.cpp.o.d"
+  "/root/repo/src/apps/KMeans.cpp" "src/CMakeFiles/dmll.dir/apps/KMeans.cpp.o" "gcc" "src/CMakeFiles/dmll.dir/apps/KMeans.cpp.o.d"
+  "/root/repo/src/apps/Knn.cpp" "src/CMakeFiles/dmll.dir/apps/Knn.cpp.o" "gcc" "src/CMakeFiles/dmll.dir/apps/Knn.cpp.o.d"
+  "/root/repo/src/apps/LogReg.cpp" "src/CMakeFiles/dmll.dir/apps/LogReg.cpp.o" "gcc" "src/CMakeFiles/dmll.dir/apps/LogReg.cpp.o.d"
+  "/root/repo/src/apps/NaiveBayes.cpp" "src/CMakeFiles/dmll.dir/apps/NaiveBayes.cpp.o" "gcc" "src/CMakeFiles/dmll.dir/apps/NaiveBayes.cpp.o.d"
+  "/root/repo/src/apps/PageRank.cpp" "src/CMakeFiles/dmll.dir/apps/PageRank.cpp.o" "gcc" "src/CMakeFiles/dmll.dir/apps/PageRank.cpp.o.d"
+  "/root/repo/src/apps/TpchQ1.cpp" "src/CMakeFiles/dmll.dir/apps/TpchQ1.cpp.o" "gcc" "src/CMakeFiles/dmll.dir/apps/TpchQ1.cpp.o.d"
+  "/root/repo/src/apps/Triangle.cpp" "src/CMakeFiles/dmll.dir/apps/Triangle.cpp.o" "gcc" "src/CMakeFiles/dmll.dir/apps/Triangle.cpp.o.d"
+  "/root/repo/src/codegen/CppEmitter.cpp" "src/CMakeFiles/dmll.dir/codegen/CppEmitter.cpp.o" "gcc" "src/CMakeFiles/dmll.dir/codegen/CppEmitter.cpp.o.d"
+  "/root/repo/src/codegen/CudaEmitter.cpp" "src/CMakeFiles/dmll.dir/codegen/CudaEmitter.cpp.o" "gcc" "src/CMakeFiles/dmll.dir/codegen/CudaEmitter.cpp.o.d"
+  "/root/repo/src/data/Datasets.cpp" "src/CMakeFiles/dmll.dir/data/Datasets.cpp.o" "gcc" "src/CMakeFiles/dmll.dir/data/Datasets.cpp.o.d"
+  "/root/repo/src/frontend/Frontend.cpp" "src/CMakeFiles/dmll.dir/frontend/Frontend.cpp.o" "gcc" "src/CMakeFiles/dmll.dir/frontend/Frontend.cpp.o.d"
+  "/root/repo/src/graph/Graph.cpp" "src/CMakeFiles/dmll.dir/graph/Graph.cpp.o" "gcc" "src/CMakeFiles/dmll.dir/graph/Graph.cpp.o.d"
+  "/root/repo/src/graph/PushPull.cpp" "src/CMakeFiles/dmll.dir/graph/PushPull.cpp.o" "gcc" "src/CMakeFiles/dmll.dir/graph/PushPull.cpp.o.d"
+  "/root/repo/src/interp/Interp.cpp" "src/CMakeFiles/dmll.dir/interp/Interp.cpp.o" "gcc" "src/CMakeFiles/dmll.dir/interp/Interp.cpp.o.d"
+  "/root/repo/src/interp/Value.cpp" "src/CMakeFiles/dmll.dir/interp/Value.cpp.o" "gcc" "src/CMakeFiles/dmll.dir/interp/Value.cpp.o.d"
+  "/root/repo/src/ir/Builder.cpp" "src/CMakeFiles/dmll.dir/ir/Builder.cpp.o" "gcc" "src/CMakeFiles/dmll.dir/ir/Builder.cpp.o.d"
+  "/root/repo/src/ir/Expr.cpp" "src/CMakeFiles/dmll.dir/ir/Expr.cpp.o" "gcc" "src/CMakeFiles/dmll.dir/ir/Expr.cpp.o.d"
+  "/root/repo/src/ir/Printer.cpp" "src/CMakeFiles/dmll.dir/ir/Printer.cpp.o" "gcc" "src/CMakeFiles/dmll.dir/ir/Printer.cpp.o.d"
+  "/root/repo/src/ir/Traversal.cpp" "src/CMakeFiles/dmll.dir/ir/Traversal.cpp.o" "gcc" "src/CMakeFiles/dmll.dir/ir/Traversal.cpp.o.d"
+  "/root/repo/src/ir/Type.cpp" "src/CMakeFiles/dmll.dir/ir/Type.cpp.o" "gcc" "src/CMakeFiles/dmll.dir/ir/Type.cpp.o.d"
+  "/root/repo/src/ir/Verifier.cpp" "src/CMakeFiles/dmll.dir/ir/Verifier.cpp.o" "gcc" "src/CMakeFiles/dmll.dir/ir/Verifier.cpp.o.d"
+  "/root/repo/src/refimpl/RefImpl.cpp" "src/CMakeFiles/dmll.dir/refimpl/RefImpl.cpp.o" "gcc" "src/CMakeFiles/dmll.dir/refimpl/RefImpl.cpp.o.d"
+  "/root/repo/src/runtime/DistArray.cpp" "src/CMakeFiles/dmll.dir/runtime/DistArray.cpp.o" "gcc" "src/CMakeFiles/dmll.dir/runtime/DistArray.cpp.o.d"
+  "/root/repo/src/runtime/Executor.cpp" "src/CMakeFiles/dmll.dir/runtime/Executor.cpp.o" "gcc" "src/CMakeFiles/dmll.dir/runtime/Executor.cpp.o.d"
+  "/root/repo/src/runtime/ThreadPool.cpp" "src/CMakeFiles/dmll.dir/runtime/ThreadPool.cpp.o" "gcc" "src/CMakeFiles/dmll.dir/runtime/ThreadPool.cpp.o.d"
+  "/root/repo/src/sim/MachineModel.cpp" "src/CMakeFiles/dmll.dir/sim/MachineModel.cpp.o" "gcc" "src/CMakeFiles/dmll.dir/sim/MachineModel.cpp.o.d"
+  "/root/repo/src/sim/Simulator.cpp" "src/CMakeFiles/dmll.dir/sim/Simulator.cpp.o" "gcc" "src/CMakeFiles/dmll.dir/sim/Simulator.cpp.o.d"
+  "/root/repo/src/support/Error.cpp" "src/CMakeFiles/dmll.dir/support/Error.cpp.o" "gcc" "src/CMakeFiles/dmll.dir/support/Error.cpp.o.d"
+  "/root/repo/src/support/Rng.cpp" "src/CMakeFiles/dmll.dir/support/Rng.cpp.o" "gcc" "src/CMakeFiles/dmll.dir/support/Rng.cpp.o.d"
+  "/root/repo/src/support/Table.cpp" "src/CMakeFiles/dmll.dir/support/Table.cpp.o" "gcc" "src/CMakeFiles/dmll.dir/support/Table.cpp.o.d"
+  "/root/repo/src/systems/Features.cpp" "src/CMakeFiles/dmll.dir/systems/Features.cpp.o" "gcc" "src/CMakeFiles/dmll.dir/systems/Features.cpp.o.d"
+  "/root/repo/src/systems/Systems.cpp" "src/CMakeFiles/dmll.dir/systems/Systems.cpp.o" "gcc" "src/CMakeFiles/dmll.dir/systems/Systems.cpp.o.d"
+  "/root/repo/src/transform/ConditionalReduce.cpp" "src/CMakeFiles/dmll.dir/transform/ConditionalReduce.cpp.o" "gcc" "src/CMakeFiles/dmll.dir/transform/ConditionalReduce.cpp.o.d"
+  "/root/repo/src/transform/Cse.cpp" "src/CMakeFiles/dmll.dir/transform/Cse.cpp.o" "gcc" "src/CMakeFiles/dmll.dir/transform/Cse.cpp.o.d"
+  "/root/repo/src/transform/Dce.cpp" "src/CMakeFiles/dmll.dir/transform/Dce.cpp.o" "gcc" "src/CMakeFiles/dmll.dir/transform/Dce.cpp.o.d"
+  "/root/repo/src/transform/GroupByReduce.cpp" "src/CMakeFiles/dmll.dir/transform/GroupByReduce.cpp.o" "gcc" "src/CMakeFiles/dmll.dir/transform/GroupByReduce.cpp.o.d"
+  "/root/repo/src/transform/HorizontalFusion.cpp" "src/CMakeFiles/dmll.dir/transform/HorizontalFusion.cpp.o" "gcc" "src/CMakeFiles/dmll.dir/transform/HorizontalFusion.cpp.o.d"
+  "/root/repo/src/transform/InterchangeReduce.cpp" "src/CMakeFiles/dmll.dir/transform/InterchangeReduce.cpp.o" "gcc" "src/CMakeFiles/dmll.dir/transform/InterchangeReduce.cpp.o.d"
+  "/root/repo/src/transform/Pipeline.cpp" "src/CMakeFiles/dmll.dir/transform/Pipeline.cpp.o" "gcc" "src/CMakeFiles/dmll.dir/transform/Pipeline.cpp.o.d"
+  "/root/repo/src/transform/Rewriter.cpp" "src/CMakeFiles/dmll.dir/transform/Rewriter.cpp.o" "gcc" "src/CMakeFiles/dmll.dir/transform/Rewriter.cpp.o.d"
+  "/root/repo/src/transform/Soa.cpp" "src/CMakeFiles/dmll.dir/transform/Soa.cpp.o" "gcc" "src/CMakeFiles/dmll.dir/transform/Soa.cpp.o.d"
+  "/root/repo/src/transform/VerticalFusion.cpp" "src/CMakeFiles/dmll.dir/transform/VerticalFusion.cpp.o" "gcc" "src/CMakeFiles/dmll.dir/transform/VerticalFusion.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,3 @@
+src/CMakeFiles/dmll.dir/sim/MachineModel.cpp.o: \
+ /root/repo/src/sim/MachineModel.cpp /usr/include/stdc-predef.h \
+ /root/repo/src/sim/MachineModel.h

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/FrontendTest.cpp" "tests/CMakeFiles/ir_tests.dir/FrontendTest.cpp.o" "gcc" "tests/CMakeFiles/ir_tests.dir/FrontendTest.cpp.o.d"
+  "/root/repo/tests/InterpTest.cpp" "tests/CMakeFiles/ir_tests.dir/InterpTest.cpp.o" "gcc" "tests/CMakeFiles/ir_tests.dir/InterpTest.cpp.o.d"
+  "/root/repo/tests/IrExprTest.cpp" "tests/CMakeFiles/ir_tests.dir/IrExprTest.cpp.o" "gcc" "tests/CMakeFiles/ir_tests.dir/IrExprTest.cpp.o.d"
+  "/root/repo/tests/IrTraversalTest.cpp" "tests/CMakeFiles/ir_tests.dir/IrTraversalTest.cpp.o" "gcc" "tests/CMakeFiles/ir_tests.dir/IrTraversalTest.cpp.o.d"
+  "/root/repo/tests/IrTypeTest.cpp" "tests/CMakeFiles/ir_tests.dir/IrTypeTest.cpp.o" "gcc" "tests/CMakeFiles/ir_tests.dir/IrTypeTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dmll.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

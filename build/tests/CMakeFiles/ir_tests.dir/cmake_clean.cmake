@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ir_tests.dir/FrontendTest.cpp.o"
+  "CMakeFiles/ir_tests.dir/FrontendTest.cpp.o.d"
+  "CMakeFiles/ir_tests.dir/InterpTest.cpp.o"
+  "CMakeFiles/ir_tests.dir/InterpTest.cpp.o.d"
+  "CMakeFiles/ir_tests.dir/IrExprTest.cpp.o"
+  "CMakeFiles/ir_tests.dir/IrExprTest.cpp.o.d"
+  "CMakeFiles/ir_tests.dir/IrTraversalTest.cpp.o"
+  "CMakeFiles/ir_tests.dir/IrTraversalTest.cpp.o.d"
+  "CMakeFiles/ir_tests.dir/IrTypeTest.cpp.o"
+  "CMakeFiles/ir_tests.dir/IrTypeTest.cpp.o.d"
+  "ir_tests"
+  "ir_tests.pdb"
+  "ir_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ir_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
