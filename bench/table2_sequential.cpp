@@ -6,6 +6,11 @@
 // versions of the paper's (reported in the rows). The paper's bound:
 // |delta| <= 25% for every application.
 //
+// Pass --trace-out trace.json to dump a Chrome-trace timeline of every
+// compile phase, rewrite application, analysis, and generated-code run
+// (open in chrome://tracing or https://ui.perfetto.dev; see
+// docs/OBSERVABILITY.md).
+//
 //===----------------------------------------------------------------------===//
 
 #include "apps/Apps.h"
@@ -13,6 +18,7 @@
 #include "data/Datasets.h"
 #include "graph/Graph.h"
 #include "graph/PushPull.h"
+#include "observe/Trace.h"
 #include "refimpl/RefImpl.h"
 #include "support/Table.h"
 #include "transform/Pipeline.h"
@@ -60,6 +66,7 @@ std::string optsApplied(const CompileResult &CR) {
 void runCase(const std::string &Name, const Program &P, const InputMap &In,
              const std::string &DataDesc, int Iters,
              const std::function<void()> &Ref) {
+  TraceSpan Span("bench." + Name, "phase");
   CompileOptions CO;
   CO.T = Target::Sequential;
   CompileResult CR = compileProgram(P, CO);
@@ -81,7 +88,11 @@ void runCase(const std::string &Name, const Program &P, const InputMap &In,
 
 } // namespace
 
-int main() {
+int main(int Argc, char **Argv) {
+  std::string TracePath = traceArgPath(Argc, Argv);
+  TraceSession Session;
+  TraceActivation Activation(Session);
+
   // Scaled datasets (constant factor below the paper's; see DESIGN.md §2).
   const size_t Rows_ = 50000, Cols = 20, K = 10;
 
@@ -160,5 +171,15 @@ int main() {
               "hand-optimized C++\n(paper bound: |delta| <= 25%% per "
               "application)\n\n%s\n",
               T.render().c_str());
+
+  if (!TracePath.empty()) {
+    if (Session.writeChromeJson(TracePath))
+      std::printf("wrote %zu trace events to %s "
+                  "(open in chrome://tracing or ui.perfetto.dev)\n",
+                  Session.size(), TracePath.c_str());
+    else
+      std::fprintf(stderr, "failed to write trace to %s\n",
+                   TracePath.c_str());
+  }
   return 0;
 }

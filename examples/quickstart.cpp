@@ -3,9 +3,11 @@
 // The smallest end-to-end tour of the public API:
 //   1. write an implicitly parallel program with the pattern front end;
 //   2. compile it for a target (watch fusion fire);
-//   3. run it — sequentially, and with the parallel executor.
+//   3. run it — sequentially, and with the parallel executor;
+//   4. observe it — rewrite provenance, per-worker metrics, and an optional
+//      Chrome-trace dump (open in chrome://tracing or https://ui.perfetto.dev).
 //
-// Build and run:  ./build/examples/quickstart
+// Build and run:  ./build/examples/quickstart [--trace-out trace.json]
 //
 //===----------------------------------------------------------------------===//
 
@@ -13,6 +15,8 @@
 #include "interp/Interp.h"
 #include "ir/Printer.h"
 #include "ir/Traversal.h"
+#include "observe/Metrics.h"
+#include "observe/Trace.h"
 #include "transform/Pipeline.h"
 
 #include <cstdio>
@@ -20,7 +24,13 @@
 using namespace dmll;
 using namespace dmll::frontend;
 
-int main() {
+int main(int Argc, char **Argv) {
+  // Optional observability: with --trace-out, every compiler phase, rewrite
+  // application, analysis, and executor chunk below records into Session.
+  std::string TracePath = traceArgPath(Argc, Argv);
+  TraceSession Session;
+  TraceActivation Activation(Session);
+
   // 1. An implicitly parallel program: mean of the squares of the
   //    positive entries. Three logical patterns: filter, map, reduce.
   ProgramBuilder B;
@@ -41,8 +51,10 @@ int main() {
   std::printf("=== optimized (%zu loops) ===\n%s\n",
               collectMultiloops(CR.P.Result).size(),
               printProgram(CR.P).c_str());
-  for (const auto &[Rule, Count] : CR.Stats.Applied)
-    std::printf("rule %-20s fired %d time(s)\n", Rule.c_str(), Count);
+  // Rewrite provenance: not just how often each rule fired, but on what.
+  for (const RewriteApplication &A : CR.Stats.Provenance)
+    std::printf("rule %-20s [%s pass %d] %s => %s\n", A.Rule.c_str(),
+                A.Phase.c_str(), A.Pass, A.Before.c_str(), A.After.c_str());
 
   // 3. Run it.
   std::vector<double> Data;
@@ -50,10 +62,31 @@ int main() {
     Data.push_back(I * 0.1);
   InputMap Inputs{{"xs", Value::arrayOfDoubles(Data)}};
   Value Seq = evalProgram(CR.P, Inputs);
+  ExecProfile Profile;
   Value Par = evalProgramParallel(CR.P, Inputs, /*Threads=*/4,
-                                  /*MinChunk=*/128);
+                                  /*MinChunk=*/128, &Profile);
   std::printf("\nmean of squares of positives: sequential %.6f, "
               "4 threads %.6f\n",
               Seq.asFloat(), Par.asFloat());
+
+  // 4. Executor metrics: how the parallel run spread across workers.
+  std::printf("\n%lld parallel / %lld sequential loop(s)\n%s",
+              static_cast<long long>(Profile.ParallelLoops),
+              static_cast<long long>(Profile.SequentialLoops),
+              renderWorkerStats(Profile.Workers).c_str());
+
+  if (!TracePath.empty()) {
+    if (Session.writeChromeJson(TracePath))
+      std::printf("\nwrote %zu trace events to %s "
+                  "(open in chrome://tracing or ui.perfetto.dev)\n",
+                  Session.size(), TracePath.c_str());
+    else
+      std::fprintf(stderr, "\nfailed to write trace to %s\n",
+                   TracePath.c_str());
+  } else {
+    std::printf("\n=== trace (re-run with --trace-out trace.json for the "
+                "Chrome-trace version) ===\n%s",
+                Session.renderText().c_str());
+  }
   return 0;
 }

@@ -5,6 +5,7 @@
 #include "ir/Builder.h"
 #include "ir/Printer.h"
 #include "ir/Traversal.h"
+#include "observe/Trace.h"
 #include "support/Error.h"
 
 #include <functional>
@@ -354,6 +355,7 @@ double dmll::evalApproxSize(const ExprRef &E, const SizeEnv &Env) {
 std::vector<LoopCost> dmll::analyzeCosts(const Program &P,
                                          const PartitionInfo &Info,
                                          const SizeEnv &Env) {
+  TraceSpan Span("analysis.cost", "analysis");
   // Top-level (independently schedulable) loops are the globally closed
   // ones: code motion hoists a closed loop out of any syntactic nesting.
   // Loops that bind free symbols are folded into their enclosing loop's
@@ -376,5 +378,7 @@ std::vector<LoopCost> dmll::analyzeCosts(const Program &P,
     C.Signature = loopSignature(Loop);
     Out.push_back(std::move(C));
   }
+  if (Span.live())
+    Span.argInt("loops", static_cast<int64_t>(Out.size()));
   return Out;
 }

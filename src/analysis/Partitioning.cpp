@@ -3,6 +3,7 @@
 #include "analysis/Partitioning.h"
 
 #include "ir/Traversal.h"
+#include "observe/Trace.h"
 
 #include <unordered_set>
 
@@ -31,6 +32,7 @@ bool outputIsPartitionable(const Generator &G) {
 } // namespace
 
 PartitionInfo dmll::analyzePartitioning(const Program &P) {
+  TraceSpan Span("analysis.partitioning", "analysis");
   PartitionInfo Info;
 
   // Seed from the user annotations (Section 4.1). Default is Local.
@@ -138,5 +140,11 @@ PartitionInfo dmll::analyzePartitioning(const Program &P) {
                       "compiling for clusters");
   }
 
+  if (Span.live()) {
+    Span.argInt("layouts", static_cast<int64_t>(Info.Layouts.size()));
+    Span.argInt("loops", static_cast<int64_t>(Info.Stencils.size()));
+    Span.argInt("warnings",
+                static_cast<int64_t>(Info.Diags.warnings().size()));
+  }
   return Info;
 }

@@ -4,6 +4,7 @@
 
 #include "analysis/Affine.h"
 #include "ir/Traversal.h"
+#include "observe/Trace.h"
 #include "support/Error.h"
 
 #include <functional>
@@ -226,7 +227,13 @@ private:
 } // namespace
 
 LoopStencils dmll::computeStencils(const ExprRef &Loop) {
-  return StencilWalker(cast<MultiloopExpr>(Loop)).run();
+  // Per-loop span: analyzePartitioning calls this once per multiloop, so
+  // these nest under "analysis.partitioning" in the trace.
+  TraceSpan Span("analysis.stencils", "analysis");
+  LoopStencils LS = StencilWalker(cast<MultiloopExpr>(Loop)).run();
+  if (Span.live())
+    Span.argInt("entries", static_cast<int64_t>(LS.Entries.size()));
+  return LS;
 }
 
 std::vector<LoopStencils> dmll::computeAllStencils(const ExprRef &E) {

@@ -4,6 +4,7 @@
 
 #include "ir/Builder.h"
 #include "ir/Traversal.h"
+#include "observe/Trace.h"
 #include "support/Error.h"
 
 #include <cinttypes>
@@ -953,7 +954,13 @@ void writeLeaf(FILE *F, const Value &V, const TypeRef &Ty) {
 } // namespace
 
 std::string dmll::emitCpp(const Program &P, const CppEmitOptions &Opts) {
-  return Emitter(P, Opts).run();
+  TraceSpan Span("codegen.emit-cpp", "codegen");
+  std::string Src = Emitter(P, Opts).run();
+  if (Span.live()) {
+    Span.argInt("nodes", static_cast<int64_t>(countNodes(P.Result)));
+    Span.argInt("source.bytes", static_cast<int64_t>(Src.size()));
+  }
+  return Src;
 }
 
 Checksum dmll::checksumValue(const Value &V) {
@@ -993,11 +1000,19 @@ GeneratedRunResult dmll::compileAndRun(const Program &P,
     std::fwrite(Code.data(), 1, Code.size(), F);
     std::fclose(F);
   }
-  writeInputsBinary(P, Inputs, Dat);
+  {
+    TraceSpan S("codegen.write-inputs", "codegen");
+    writeInputsBinary(P, Inputs, Dat);
+  }
   std::string Compile = "c++ -O3 -march=native -std=c++20 -o " + Bin + " " +
                         Src + " 2> " + Bin + ".log";
-  if (std::system(Compile.c_str()) != 0)
-    return R;
+  {
+    TraceSpan S("codegen.gcc", "codegen");
+    S.arg("binary", Bin);
+    if (std::system(Compile.c_str()) != 0)
+      return R;
+  }
+  TraceSpan RunSpan("codegen.run", "codegen");
   std::string Run = Bin + " " + Dat;
   FILE *Pipe = popen(Run.c_str(), "r");
   if (!Pipe)
@@ -1016,5 +1031,10 @@ GeneratedRunResult dmll::compileAndRun(const Program &P,
       R.MillisPerIter = D;
   }
   R.Ok = pclose(Pipe) == 0;
+  if (RunSpan.live() && R.Ok) {
+    char Buf[32];
+    std::snprintf(Buf, sizeof(Buf), "%.3f", R.MillisPerIter);
+    RunSpan.arg("ms_per_iter", Buf);
+  }
   return R;
 }

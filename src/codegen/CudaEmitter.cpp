@@ -5,6 +5,7 @@
 #include "analysis/Stencil.h"
 #include "ir/Builder.h"
 #include "ir/Traversal.h"
+#include "observe/Trace.h"
 #include "support/Error.h"
 
 #include <sstream>
@@ -243,6 +244,7 @@ std::string kernelParams(const ExprRef &Loop) {
 } // namespace
 
 CudaEmission dmll::emitCuda(const Program &P) {
+  TraceSpan Span("codegen.emit-cuda", "codegen");
   CudaEmission Out;
   std::ostringstream OS;
   OS << "// Generated CUDA-dialect kernels (DMLL, Brown et al. CGO 2016 "
@@ -376,5 +378,7 @@ CudaEmission dmll::emitCuda(const Program &P) {
     Out.Kernels.push_back(Info);
   }
   Out.Source = OS.str();
+  if (Span.live())
+    Span.argInt("kernels", static_cast<int64_t>(Out.Kernels.size()));
   return Out;
 }

@@ -2,6 +2,8 @@
 
 #include "frontend/Frontend.h"
 
+#include "ir/Traversal.h"
+#include "observe/Trace.h"
 #include "support/Error.h"
 
 using namespace dmll;
@@ -244,6 +246,12 @@ Program ProgramBuilder::build(Val Result) {
   Program P;
   P.Inputs = Inputs;
   P.Result = Result.expr();
+  if (TraceSession *Trace = TraceSession::active())
+    Trace->instant(
+        "frontend.program", "phase",
+        {{"inputs", std::to_string(P.Inputs.size())},
+         {"nodes", std::to_string(countNodes(P.Result))},
+         {"loops", std::to_string(collectMultiloops(P.Result).size())}});
   return P;
 }
 

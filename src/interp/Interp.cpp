@@ -2,7 +2,9 @@
 
 #include "interp/Interp.h"
 
+#include "ir/Printer.h"
 #include "ir/Traversal.h"
+#include "observe/Trace.h"
 #include "runtime/ThreadPool.h"
 #include "support/Error.h"
 
@@ -40,8 +42,9 @@ struct Scope {
 class Evaluator {
 public:
   explicit Evaluator(const InputMap &Inputs, unsigned Threads = 1,
-                     int64_t MinChunk = 1024)
-      : Inputs(Inputs), Threads(Threads), MinChunk(MinChunk) {}
+                     int64_t MinChunk = 1024, ExecProfile *Profile = nullptr)
+      : Inputs(Inputs), Threads(Threads), MinChunk(MinChunk),
+        Profile(Profile) {}
 
   Value evalTop(const ExprRef &E) {
     Scope Global;
@@ -52,6 +55,7 @@ private:
   const InputMap &Inputs;
   unsigned Threads;
   int64_t MinChunk;
+  ExecProfile *Profile;
   // Free symbols per node, cached (the IR is immutable).
   std::unordered_map<const Expr *, std::vector<uint64_t>> FreeCache;
 
@@ -330,6 +334,11 @@ private:
       // subranges with independent evaluators; chunk states merge in index
       // order, so element order and first-occurrence key order match the
       // sequential semantics.
+      TraceSpan LoopSpan("exec.loop", "exec");
+      if (LoopSpan.live()) {
+        LoopSpan.arg("loop", loopSignature(E));
+        LoopSpan.argInt("iters", N);
+      }
       int64_t NumChunks =
           std::min<int64_t>((N + MinChunk - 1) / MinChunk,
                             static_cast<int64_t>(Threads) * 4);
@@ -337,19 +346,34 @@ private:
       std::vector<std::vector<GenState>> ChunkStates(
           static_cast<size_t>(NumChunks));
       ThreadPool Pool(Threads);
-      Pool.parallelFor(NumChunks, 1, [&](int64_t CB, int64_t CE, unsigned) {
-        for (int64_t C = CB; C < CE; ++C) {
-          Evaluator Sub(Inputs);
-          Scope Local;
-          ChunkStates[static_cast<size_t>(C)] = Sub.initStates(ML, Local);
-          Sub.runRange(ML, C * Per, std::min((C + 1) * Per, N),
-                       ChunkStates[static_cast<size_t>(C)], Local);
-        }
-      });
-      States = std::move(ChunkStates[0]);
-      for (size_t C = 1; C < ChunkStates.size(); ++C)
-        mergeStates(ML, States, ChunkStates[C], S);
+      ParallelForStats PStats;
+      Pool.parallelFor(
+          NumChunks, 1,
+          [&](int64_t CB, int64_t CE, unsigned) {
+            for (int64_t C = CB; C < CE; ++C) {
+              Evaluator Sub(Inputs);
+              Scope Local;
+              ChunkStates[static_cast<size_t>(C)] = Sub.initStates(ML, Local);
+              Sub.runRange(ML, C * Per, std::min((C + 1) * Per, N),
+                           ChunkStates[static_cast<size_t>(C)], Local);
+            }
+          },
+          Profile ? &PStats : nullptr, "exec.chunk");
+      if (Profile) {
+        Profile->accumulate(PStats);
+        ++Profile->ParallelLoops;
+      }
+      if (LoopSpan.live())
+        LoopSpan.argInt("chunks", NumChunks);
+      {
+        TraceSpan MergeSpan("exec.merge", "exec");
+        States = std::move(ChunkStates[0]);
+        for (size_t C = 1; C < ChunkStates.size(); ++C)
+          mergeStates(ML, States, ChunkStates[C], S);
+      }
     } else {
+      if (Profile && Closed)
+        ++Profile->SequentialLoops;
       runRange(ML, 0, N, States, S);
     }
 
@@ -578,7 +602,8 @@ Value dmll::evalClosed(const ExprRef &E, const InputMap &Inputs) {
 }
 
 Value dmll::evalProgramParallel(const Program &P, const InputMap &Inputs,
-                                unsigned Threads, int64_t MinChunk) {
-  return Evaluator(Inputs, Threads ? Threads : 1, MinChunk)
+                                unsigned Threads, int64_t MinChunk,
+                                ExecProfile *Profile) {
+  return Evaluator(Inputs, Threads ? Threads : 1, MinChunk, Profile)
       .evalTop(P.Result);
 }

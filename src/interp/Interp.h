@@ -25,6 +25,7 @@
 
 #include "interp/Value.h"
 #include "ir/Expr.h"
+#include "observe/Metrics.h"
 
 #include <unordered_map>
 
@@ -48,8 +49,15 @@ Value evalClosed(const ExprRef &E, const InputMap &Inputs);
 /// (associative) reduction operator; hash buckets merge preserving
 /// first-occurrence key order. Results equal sequential evaluation up to
 /// floating-point reassociation.
+///
+/// When \p Profile is non-null it accumulates per-worker executor metrics
+/// (chunk counts, busy/queue-wait time) across every parallel loop; when a
+/// TraceSession (observe/Trace.h) is active, each parallel loop records an
+/// "exec.loop" span and each chunk an "exec.chunk" span on its worker's
+/// trace thread.
 Value evalProgramParallel(const Program &P, const InputMap &Inputs,
-                          unsigned Threads, int64_t MinChunk = 1024);
+                          unsigned Threads, int64_t MinChunk = 1024,
+                          ExecProfile *Profile = nullptr);
 
 } // namespace dmll
 

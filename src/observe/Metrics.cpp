@@ -1,0 +1,50 @@
+//===- observe/Metrics.cpp -------------------------------------*- C++ -*-===//
+
+#include "observe/Metrics.h"
+
+#include <cstdio>
+#include <sstream>
+
+using namespace dmll;
+
+int64_t ParallelForStats::totalChunks() const {
+  int64_t N = 0;
+  for (const WorkerStats &W : Workers)
+    N += W.Chunks;
+  return N;
+}
+
+int64_t ParallelForStats::totalItems() const {
+  int64_t N = 0;
+  for (const WorkerStats &W : Workers)
+    N += W.Items;
+  return N;
+}
+
+void ExecProfile::accumulate(const ParallelForStats &S) {
+  for (const WorkerStats &W : S.Workers) {
+    if (W.Worker >= Workers.size()) {
+      Workers.resize(W.Worker + 1);
+      for (size_t I = 0; I < Workers.size(); ++I)
+        Workers[I].Worker = static_cast<unsigned>(I);
+    }
+    WorkerStats &Acc = Workers[W.Worker];
+    Acc.Chunks += W.Chunks;
+    Acc.Items += W.Items;
+    Acc.BusyMs += W.BusyMs;
+    Acc.WaitMs += W.WaitMs;
+  }
+}
+
+std::string dmll::renderWorkerStats(const std::vector<WorkerStats> &Workers) {
+  std::ostringstream OS;
+  OS << "worker   chunks      items    busy(ms)    wait(ms)\n";
+  for (const WorkerStats &W : Workers) {
+    char Buf[128];
+    std::snprintf(Buf, sizeof(Buf), "%6u %8lld %10lld %11.3f %11.3f\n",
+                  W.Worker, static_cast<long long>(W.Chunks),
+                  static_cast<long long>(W.Items), W.BusyMs, W.WaitMs);
+    OS << Buf;
+  }
+  return OS.str();
+}

@@ -1,0 +1,62 @@
+//===- observe/Metrics.h - Executor metrics aggregation --------*- C++ -*-===//
+//
+// Part of the DMLL reproduction of Brown et al., CGO 2016.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Per-worker metrics for the chunked shared-memory executor: how many
+/// chunks each worker claimed from the atomic cursor, how many index-space
+/// items those chunks covered, time spent inside chunk bodies (busy) versus
+/// in the claim loop waiting on the cursor / joining (queue-wait).
+/// ThreadPool::parallelFor fills a ParallelForStats per call; the
+/// interpreter accumulates them across all parallel multiloops into an
+/// ExecProfile, which executeProgram surfaces on the ExecutionReport.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DMLL_OBSERVE_METRICS_H
+#define DMLL_OBSERVE_METRICS_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dmll {
+
+/// One worker's share of one (or, after accumulation, many) parallel-for
+/// executions.
+struct WorkerStats {
+  unsigned Worker = 0; ///< worker index, 0-based
+  int64_t Chunks = 0;  ///< chunks claimed from the dynamic cursor
+  int64_t Items = 0;   ///< iteration-space indices covered by those chunks
+  double BusyMs = 0;   ///< wall time inside chunk bodies
+  double WaitMs = 0;   ///< claim-loop time outside bodies (queue wait)
+};
+
+/// Metrics of a single ThreadPool::parallelFor call.
+struct ParallelForStats {
+  double ElapsedMs = 0; ///< wall time of the whole call
+  std::vector<WorkerStats> Workers;
+
+  int64_t totalChunks() const;
+  int64_t totalItems() const;
+};
+
+/// Accumulated executor metrics across an evaluation (one entry per worker,
+/// merged by worker index across all parallel loops).
+struct ExecProfile {
+  std::vector<WorkerStats> Workers;
+  int64_t ParallelLoops = 0;   ///< multiloops that took the chunked path
+  int64_t SequentialLoops = 0; ///< multiloops evaluated on one thread
+
+  /// Merges one parallel-for's stats into the per-worker totals.
+  void accumulate(const ParallelForStats &S);
+};
+
+/// Fixed-width text table of per-worker stats (for benches/examples).
+std::string renderWorkerStats(const std::vector<WorkerStats> &Workers);
+
+} // namespace dmll
+
+#endif // DMLL_OBSERVE_METRICS_H

@@ -1,0 +1,280 @@
+//===- observe/Trace.cpp ---------------------------------------*- C++ -*-===//
+
+#include "observe/Trace.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+using namespace dmll;
+
+TraceSession *TraceSession::Active = nullptr;
+
+TraceSession::TraceSession() : Epoch(std::chrono::steady_clock::now()) {}
+
+double TraceSession::nowMs() const {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - Epoch)
+      .count();
+}
+
+void TraceSession::record(TraceEvent E) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  Events.push_back(std::move(E));
+}
+
+void TraceSession::instant(
+    std::string Name, std::string Cat,
+    std::vector<std::pair<std::string, std::string>> Args, unsigned Tid) {
+  TraceEvent E;
+  E.Name = std::move(Name);
+  E.Cat = std::move(Cat);
+  E.StartMs = nowMs();
+  E.Tid = Tid;
+  E.Instant = true;
+  E.Args = std::move(Args);
+  record(std::move(E));
+}
+
+void TraceSession::counter(std::string Name, double Value) {
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "%g", Value);
+  instant(std::move(Name), "counter", {{"value", Buf}});
+}
+
+std::vector<TraceEvent> TraceSession::events() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Events;
+}
+
+size_t TraceSession::size() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Events.size();
+}
+
+TraceSession *TraceSession::active() { return Active; }
+
+TraceActivation::TraceActivation(TraceSession &S) : Prev(TraceSession::Active) {
+  TraceSession::Active = &S;
+}
+
+TraceActivation::~TraceActivation() { TraceSession::Active = Prev; }
+
+TraceSpan::TraceSpan(std::string Name, std::string Cat, unsigned Tid)
+    : TraceSpan(TraceSession::active(), std::move(Name), std::move(Cat), Tid) {
+}
+
+TraceSpan::TraceSpan(TraceSession *S, std::string Name, std::string Cat,
+                     unsigned Tid)
+    : S(S), Name(std::move(Name)), Cat(std::move(Cat)), Tid(Tid) {
+  if (S)
+    Start = S->nowMs();
+}
+
+TraceSpan::~TraceSpan() {
+  if (!S)
+    return;
+  TraceEvent E;
+  E.Name = std::move(Name);
+  E.Cat = std::move(Cat);
+  E.StartMs = Start;
+  E.DurMs = S->nowMs() - Start;
+  E.Tid = Tid;
+  E.Args = std::move(Args);
+  S->record(std::move(E));
+}
+
+void TraceSpan::arg(std::string Key, std::string Value) {
+  if (S)
+    Args.emplace_back(std::move(Key), std::move(Value));
+}
+
+void TraceSpan::argInt(std::string Key, int64_t Value) {
+  arg(std::move(Key), std::to_string(Value));
+}
+
+namespace {
+
+std::string threadName(unsigned Tid) {
+  if (Tid == 0)
+    return "compiler/driver";
+  return "worker " + std::to_string(Tid - 1);
+}
+
+/// Events of one tid sorted for tree reconstruction: by start time, longer
+/// spans first on ties so parents precede their children.
+std::vector<const TraceEvent *> sortedForTid(const std::vector<TraceEvent> &Es,
+                                             unsigned Tid) {
+  std::vector<const TraceEvent *> Out;
+  for (const TraceEvent &E : Es)
+    if (E.Tid == Tid)
+      Out.push_back(&E);
+  std::stable_sort(Out.begin(), Out.end(),
+                   [](const TraceEvent *A, const TraceEvent *B) {
+                     if (A->StartMs != B->StartMs)
+                       return A->StartMs < B->StartMs;
+                     return A->DurMs > B->DurMs;
+                   });
+  return Out;
+}
+
+void jsonEscape(std::ostringstream &OS, const std::string &S) {
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      OS << "\\\"";
+      break;
+    case '\\':
+      OS << "\\\\";
+      break;
+    case '\n':
+      OS << "\\n";
+      break;
+    case '\t':
+      OS << "\\t";
+      break;
+    case '\r':
+      OS << "\\r";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        OS << Buf;
+      } else {
+        OS << C;
+      }
+    }
+  }
+}
+
+void jsonString(std::ostringstream &OS, const std::string &S) {
+  OS << '"';
+  jsonEscape(OS, S);
+  OS << '"';
+}
+
+} // namespace
+
+std::string TraceSession::renderText() const {
+  std::vector<TraceEvent> Es = events();
+  std::vector<unsigned> Tids;
+  for (const TraceEvent &E : Es)
+    if (std::find(Tids.begin(), Tids.end(), E.Tid) == Tids.end())
+      Tids.push_back(E.Tid);
+  std::sort(Tids.begin(), Tids.end());
+
+  std::ostringstream OS;
+  for (unsigned Tid : Tids) {
+    OS << "[" << threadName(Tid) << "]\n";
+    // Depth = number of still-open enclosing spans, tracked as a stack of
+    // end times.
+    std::vector<double> Open;
+    for (const TraceEvent *E : sortedForTid(Es, Tid)) {
+      while (!Open.empty() && E->StartMs >= Open.back() - 1e-9)
+        Open.pop_back();
+      char Buf[64];
+      std::snprintf(Buf, sizeof(Buf), "%9.3fms ", E->StartMs);
+      OS << Buf;
+      for (size_t D = 0; D < Open.size(); ++D)
+        OS << "  ";
+      OS << E->Name;
+      if (!E->Instant) {
+        std::snprintf(Buf, sizeof(Buf), " (%.3fms)", E->DurMs);
+        OS << Buf;
+      }
+      for (const auto &[K, V] : E->Args)
+        OS << " " << K << "=" << V;
+      OS << "\n";
+      if (!E->Instant)
+        Open.push_back(E->StartMs + E->DurMs);
+    }
+  }
+  return OS.str();
+}
+
+std::string TraceSession::renderChromeJson() const {
+  std::vector<TraceEvent> Es = events();
+  std::ostringstream OS;
+  OS << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool First = true;
+  auto Sep = [&] {
+    if (!First)
+      OS << ",";
+    First = false;
+    OS << "\n";
+  };
+  // Thread-name metadata so chrome://tracing labels the rows.
+  std::map<unsigned, bool> Seen;
+  for (const TraceEvent &E : Es)
+    Seen[E.Tid] = true;
+  for (const auto &[Tid, Unused] : Seen) {
+    (void)Unused;
+    Sep();
+    OS << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":" << Tid
+       << ",\"args\":{\"name\":";
+    jsonString(OS, threadName(Tid));
+    OS << "}}";
+  }
+  for (const TraceEvent &E : Es) {
+    Sep();
+    bool IsCounter = E.Cat == "counter";
+    OS << "{\"name\":";
+    jsonString(OS, E.Name);
+    OS << ",\"cat\":";
+    jsonString(OS, E.Cat.empty() ? "trace" : E.Cat);
+    OS << ",\"ph\":\"" << (IsCounter ? "C" : E.Instant ? "i" : "X") << "\"";
+    char Buf[64];
+    std::snprintf(Buf, sizeof(Buf), "%.3f", E.StartMs * 1000.0);
+    OS << ",\"ts\":" << Buf;
+    if (!E.Instant && !IsCounter) {
+      std::snprintf(Buf, sizeof(Buf), "%.3f", E.DurMs * 1000.0);
+      OS << ",\"dur\":" << Buf;
+    }
+    if (E.Instant && !IsCounter)
+      OS << ",\"s\":\"t\"";
+    OS << ",\"pid\":1,\"tid\":" << E.Tid;
+    if (!E.Args.empty()) {
+      OS << ",\"args\":{";
+      bool FirstArg = true;
+      for (const auto &[K, V] : E.Args) {
+        if (!FirstArg)
+          OS << ",";
+        FirstArg = false;
+        jsonString(OS, K);
+        OS << ":";
+        // Counters must carry numeric args for the Chrome counter track.
+        if (IsCounter && K == "value")
+          OS << V;
+        else
+          jsonString(OS, V);
+      }
+      OS << "}";
+    }
+    OS << "}";
+  }
+  OS << "\n]}\n";
+  return OS.str();
+}
+
+bool TraceSession::writeChromeJson(const std::string &Path) const {
+  std::ofstream Out(Path, std::ios::binary);
+  if (!Out)
+    return false;
+  Out << renderChromeJson();
+  return static_cast<bool>(Out);
+}
+
+std::string dmll::traceArgPath(int Argc, char **Argv) {
+  for (int I = 1; I < Argc; ++I) {
+    const char *A = Argv[I];
+    if (std::strncmp(A, "--trace-out=", 12) == 0)
+      return A + 12;
+    if (std::strcmp(A, "--trace-out") == 0 && I + 1 < Argc)
+      return Argv[I + 1];
+  }
+  return "";
+}

@@ -1,0 +1,156 @@
+//===- observe/Trace.h - Compiler/runtime trace sessions -------*- C++ -*-===//
+//
+// Part of the DMLL reproduction of Brown et al., CGO 2016.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The observability substrate behind docs/OBSERVABILITY.md: a TraceSession
+/// records an ordered tree of timed events (compiler phases, rewrite-rule
+/// firings, analysis runs, codegen steps, executor chunk spans) that can be
+/// rendered as an indented text tree or exported as Chrome-trace-format
+/// JSON for chrome://tracing / Perfetto.
+///
+/// Instrumentation uses the LLVM time-trace idiom: one session is made
+/// *active* (TraceActivation, RAII) and instrumented code records into it
+/// through TraceSpan / TraceSession::active() with zero plumbing; when no
+/// session is active every probe is a cheap no-op. Recording is
+/// mutex-protected so executor worker threads may record concurrently;
+/// activation itself must happen while single-threaded (before workers
+/// spawn).
+///
+/// Event naming convention (see docs/OBSERVABILITY.md for the full table):
+/// dotted lowercase `<area>.<step>`, e.g. "compile.fusion",
+/// "analysis.partitioning", "rewrite.groupby-reduce", "exec.chunk". The
+/// category groups events for filtering: "phase", "pass", "rewrite",
+/// "analysis", "codegen", "exec", "counter".
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DMLL_OBSERVE_TRACE_H
+#define DMLL_OBSERVE_TRACE_H
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace dmll {
+
+/// One completed (or instantaneous) event. Durations are derived, not open:
+/// spans record themselves on close, and nesting is reconstructed from
+/// timestamps at render time, which keeps recording lock-cheap and
+/// thread-safe.
+struct TraceEvent {
+  std::string Name; ///< dotted name, e.g. "compile.fusion"
+  std::string Cat;  ///< "phase" | "pass" | "rewrite" | "analysis" |
+                    ///< "codegen" | "exec" | "counter" | ...
+  double StartMs = 0; ///< milliseconds since the session epoch
+  double DurMs = 0;   ///< 0 for instants and counters
+  unsigned Tid = 0;   ///< 0 = compile/driver thread; executor worker W is W+1
+  bool Instant = false; ///< zero-duration marker (Chrome phase "i" / "C")
+  /// Extra metadata: counter values, IR node counts, rule summaries.
+  std::vector<std::pair<std::string, std::string>> Args;
+};
+
+/// An append-only event log with a steady-clock epoch. Sessions are created
+/// by tools (benches, examples, tests), activated for a region, and
+/// exported at the end.
+class TraceSession {
+public:
+  TraceSession();
+
+  /// Milliseconds since this session was constructed.
+  double nowMs() const;
+
+  /// Appends one event. Thread-safe.
+  void record(TraceEvent E);
+
+  /// Records a zero-duration marker event.
+  void instant(std::string Name, std::string Cat,
+               std::vector<std::pair<std::string, std::string>> Args = {},
+               unsigned Tid = 0);
+
+  /// Records a named counter sample (rendered as a Chrome "C" event).
+  void counter(std::string Name, double Value);
+
+  /// Snapshot of all events recorded so far, in recording order.
+  std::vector<TraceEvent> events() const;
+
+  /// Number of events recorded so far.
+  size_t size() const;
+
+  /// The currently active session, or nullptr. Probes (TraceSpan and the
+  /// instrumentation in compiler/runtime code) no-op when this is null.
+  static TraceSession *active();
+
+  /// Indented per-thread text tree (nesting derived from timestamps).
+  std::string renderText() const;
+
+  /// Chrome trace format: {"traceEvents": [...]} with complete ("X"),
+  /// instant ("i"), counter ("C") and thread-name metadata ("M") records.
+  /// Loadable by chrome://tracing and https://ui.perfetto.dev.
+  std::string renderChromeJson() const;
+
+  /// Writes renderChromeJson() to \p Path; returns false on I/O failure.
+  bool writeChromeJson(const std::string &Path) const;
+
+private:
+  friend class TraceActivation;
+  std::chrono::steady_clock::time_point Epoch;
+  mutable std::mutex Mu;
+  std::vector<TraceEvent> Events;
+  static TraceSession *Active;
+};
+
+/// RAII: makes a session the active one for its scope (restoring the
+/// previous active session on destruction). Activate while single-threaded.
+class TraceActivation {
+public:
+  explicit TraceActivation(TraceSession &S);
+  ~TraceActivation();
+  TraceActivation(const TraceActivation &) = delete;
+  TraceActivation &operator=(const TraceActivation &) = delete;
+
+private:
+  TraceSession *Prev;
+};
+
+/// RAII timed span recorded into the active session (or an explicit one) at
+/// scope exit. Args attached before destruction land on the event.
+class TraceSpan {
+public:
+  /// Span against the active session; no-op when none is active.
+  TraceSpan(std::string Name, std::string Cat, unsigned Tid = 0);
+  /// Span against an explicit session (\p S may be null: no-op).
+  TraceSpan(TraceSession *S, std::string Name, std::string Cat,
+            unsigned Tid = 0);
+  ~TraceSpan();
+  TraceSpan(const TraceSpan &) = delete;
+  TraceSpan &operator=(const TraceSpan &) = delete;
+
+  /// Attaches a string argument to the pending event.
+  void arg(std::string Key, std::string Value);
+  /// Attaches an integer argument to the pending event.
+  void argInt(std::string Key, int64_t Value);
+
+  /// True if this span will actually record (a session is attached).
+  bool live() const { return S != nullptr; }
+
+private:
+  TraceSession *S;
+  std::string Name, Cat;
+  unsigned Tid;
+  double Start = 0;
+  std::vector<std::pair<std::string, std::string>> Args;
+};
+
+/// Parses `--trace-out=PATH` / `--trace-out PATH` out of a main()'s argv
+/// (the convention every bench/example follows); returns "" when absent.
+std::string traceArgPath(int Argc, char **Argv);
+
+} // namespace dmll
+
+#endif // DMLL_OBSERVE_TRACE_H

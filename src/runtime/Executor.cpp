@@ -2,6 +2,7 @@
 
 #include "runtime/Executor.h"
 
+#include "observe/Trace.h"
 #include "transform/Soa.h"
 
 #include <chrono>
@@ -11,18 +12,35 @@ using namespace dmll;
 ExecutionReport dmll::executeProgram(const Program &P, const InputMap &Inputs,
                                      const CompileOptions &Opts,
                                      unsigned Threads) {
-  CompileResult CR = compileProgram(P, Opts);
-  InputMap Adapted = Inputs;
-  for (const auto &[Name, Kept] : CR.SoaConverted) {
-    const InputExpr *In = P.findInput(Name);
-    if (In && Adapted.count(Name))
-      Adapted[Name] = aosToSoa(Adapted[Name], *In->type()->elem(), Kept);
-  }
   ExecutionReport R;
+  auto C0 = std::chrono::steady_clock::now();
+  CompileResult CR = compileProgram(P, Opts);
+  R.CompileMillis = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - C0)
+                        .count();
+  R.Rewrites = CR.Stats;
+  InputMap Adapted = Inputs;
+  {
+    TraceSpan S("exec.adapt-inputs", "exec");
+    for (const auto &[Name, Kept] : CR.SoaConverted) {
+      const InputExpr *In = P.findInput(Name);
+      if (In && Adapted.count(Name))
+        Adapted[Name] = aosToSoa(Adapted[Name], *In->type()->elem(), Kept);
+    }
+  }
   R.Threads = Threads ? Threads : 1;
+  ExecProfile Profile;
   auto T0 = std::chrono::steady_clock::now();
-  R.Result = evalProgramParallel(CR.P, Adapted, R.Threads);
+  {
+    TraceSpan S("exec.run", "exec");
+    S.argInt("threads", R.Threads);
+    R.Result = evalProgramParallel(CR.P, Adapted, R.Threads,
+                                   /*MinChunk=*/1024, &Profile);
+  }
   auto T1 = std::chrono::steady_clock::now();
   R.Millis = std::chrono::duration<double, std::milli>(T1 - T0).count();
+  R.Workers = std::move(Profile.Workers);
+  R.ParallelLoops = Profile.ParallelLoops;
+  R.SequentialLoops = Profile.SequentialLoops;
   return R;
 }

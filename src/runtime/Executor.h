@@ -6,10 +6,18 @@
 ///
 /// \file
 /// Public entry point tying the compiler and the shared-memory runtime
-/// together: compile for a target, then execute with the multithreaded
-/// chunked executor. (Scaling *measurements* on NUMA/cluster/GPU targets
-/// come from the simulator in src/sim; this executor is the real,
-/// correctness-bearing path.)
+/// together: compile for a target, adapt inputs to any SoA layout change,
+/// then execute with the multithreaded chunked executor. (Scaling
+/// *measurements* on NUMA/cluster/GPU targets come from the simulator in
+/// src/sim; this executor is the real, correctness-bearing path.)
+///
+/// The returned ExecutionReport carries full observability data: compile
+/// and execute wall times, the rewrite statistics with per-application
+/// provenance (which rule fired where, transform/Rewriter.h), and the
+/// per-worker executor metrics (chunks claimed, items covered, busy vs
+/// queue-wait time, observe/Metrics.h). When a TraceSession is active
+/// (observe/Trace.h) the whole run additionally records a phase/event tree
+/// exportable as Chrome-trace JSON — see docs/OBSERVABILITY.md.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -24,8 +32,21 @@ namespace dmll {
 /// Result of executeProgram.
 struct ExecutionReport {
   Value Result;
+  /// Execution wall time (the parallel evaluation only).
   double Millis = 0;
+  /// Workers the executor ran with.
   unsigned Threads = 1;
+  /// Wall time spent in compileProgram (all phases and analyses).
+  double CompileMillis = 0;
+  /// Rewrite counters + per-application provenance from compilation.
+  RewriteStats Rewrites;
+  /// Per-worker executor metrics accumulated across all parallel loops:
+  /// chunks claimed from the dynamic cursor, index-space items covered,
+  /// busy time inside chunk bodies, and queue-wait in the claim loop.
+  std::vector<WorkerStats> Workers;
+  /// Multiloops that took the chunked parallel path / stayed sequential.
+  int64_t ParallelLoops = 0;
+  int64_t SequentialLoops = 0;
 };
 
 /// Compiles \p P with \p Opts, adapts \p Inputs to any SoA layout change,

@@ -2,12 +2,25 @@
 
 #include "runtime/ThreadPool.h"
 
+#include "observe/Trace.h"
+
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <thread>
 #include <vector>
 
 using namespace dmll;
+
+namespace {
+
+double sinceMs(std::chrono::steady_clock::time_point T0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - T0)
+      .count();
+}
+
+} // namespace
 
 ThreadPool::ThreadPool(unsigned T) : Threads(T) {
   if (!Threads) {
@@ -19,21 +32,62 @@ ThreadPool::ThreadPool(unsigned T) : Threads(T) {
 
 void ThreadPool::parallelFor(
     int64_t N, int64_t ChunkSize,
-    const std::function<void(int64_t, int64_t, unsigned)> &Body) const {
+    const std::function<void(int64_t, int64_t, unsigned)> &Body,
+    ParallelForStats *Stats, const char *TaskName) const {
+  if (Stats) {
+    *Stats = ParallelForStats{};
+    Stats->Workers.resize(Threads);
+    for (unsigned W = 0; W < Threads; ++W)
+      Stats->Workers[W].Worker = W;
+  }
   if (N <= 0)
     return;
   ChunkSize = std::max<int64_t>(1, ChunkSize);
+  TraceSession *Trace = TraceSession::active();
+  const char *Name = TaskName ? TaskName : "exec.chunk";
+  auto Start = std::chrono::steady_clock::now();
+
+  // One chunk body execution, with optional span + per-worker accounting.
+  auto RunChunk = [&](int64_t Begin, int64_t End, unsigned W) {
+    double T0 = Stats || Trace ? sinceMs(Start) : 0;
+    {
+      TraceSpan Span(Trace, Name, "exec", W + 1);
+      Span.argInt("begin", Begin);
+      Span.argInt("end", End);
+      Body(Begin, End, W);
+    }
+    if (Stats) {
+      WorkerStats &WS = Stats->Workers[W];
+      ++WS.Chunks;
+      WS.Items += End - Begin;
+      WS.BusyMs += sinceMs(Start) - T0;
+    }
+  };
+
   if (Threads == 1 || N <= ChunkSize) {
-    Body(0, N, 0);
+    RunChunk(0, N, 0);
+    if (Stats)
+      Stats->ElapsedMs = sinceMs(Start);
     return;
   }
+
   std::atomic<int64_t> Cursor{0};
   auto Worker = [&](unsigned W) {
+    double Entered = Stats ? sinceMs(Start) : 0;
     for (;;) {
       int64_t Begin = Cursor.fetch_add(ChunkSize, std::memory_order_relaxed);
       if (Begin >= N)
-        return;
-      Body(Begin, std::min(Begin + ChunkSize, N), W);
+        break;
+      RunChunk(Begin, std::min(Begin + ChunkSize, N), W);
+    }
+    if (Stats) {
+      // Queue-wait: everything in the claim loop that was not chunk work —
+      // thread spawn latency, cursor contention, and the idle tail after
+      // the last chunk is claimed by someone else.
+      WorkerStats &WS = Stats->Workers[W];
+      WS.WaitMs = sinceMs(Start) - Entered - WS.BusyMs;
+      if (WS.WaitMs < 0)
+        WS.WaitMs = 0;
     }
   };
   std::vector<std::thread> Pool;
@@ -43,6 +97,8 @@ void ThreadPool::parallelFor(
   Worker(0);
   for (std::thread &T : Pool)
     T.join();
+  if (Stats)
+    Stats->ElapsedMs = sinceMs(Start);
 }
 
 void ThreadPool::run(const std::function<void(unsigned)> &Body) const {

@@ -10,10 +10,17 @@
 /// which is the "dynamic load balancing within each machine" the paper's
 /// multi-core partitioner provides for irregular applications (Section 5).
 ///
+/// parallelFor is instrumented: when a ParallelForStats is supplied it
+/// records per-worker chunk counts, items covered, busy time and queue-wait
+/// (observe/Metrics.h), and when a TraceSession is active (observe/Trace.h)
+/// each chunk is recorded as a timed span on its worker's trace thread.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef DMLL_RUNTIME_THREADPOOL_H
 #define DMLL_RUNTIME_THREADPOOL_H
+
+#include "observe/Metrics.h"
 
 #include <cstdint>
 #include <functional>
@@ -31,10 +38,14 @@ public:
   unsigned numThreads() const { return Threads; }
 
   /// Runs \p Body(begin, end, worker) over [0, N) in dynamically scheduled
-  /// chunks of at most \p ChunkSize. Blocks until complete.
+  /// chunks of at most \p ChunkSize. Blocks until complete. When \p Stats
+  /// is non-null it is overwritten with this call's per-worker metrics;
+  /// \p TaskName labels the chunk spans recorded into the active
+  /// TraceSession (defaults to "exec.chunk").
   void parallelFor(int64_t N, int64_t ChunkSize,
-                   const std::function<void(int64_t, int64_t, unsigned)>
-                       &Body) const;
+                   const std::function<void(int64_t, int64_t, unsigned)> &Body,
+                   ParallelForStats *Stats = nullptr,
+                   const char *TaskName = nullptr) const;
 
   /// Runs \p Body(worker) once on each of the pool's workers.
   void run(const std::function<void(unsigned)> &Body) const;

@@ -2,6 +2,8 @@
 
 #include "sim/Simulator.h"
 
+#include "observe/Trace.h"
+
 #include <algorithm>
 #include <cmath>
 
@@ -140,6 +142,7 @@ double memoryMs(const LoopCost &L, const MachineModel &M, int SocketsUsed,
 SimResult dmll::simulateShared(const std::vector<LoopCost> &Loops,
                                const MachineModel &M, int CoresUsed,
                                MemPolicy Policy, const Discipline &D) {
+  TraceSpan Span("sim.shared", "analysis");
   SimResult R;
   CoresUsed = std::max(1, std::min(CoresUsed, M.cores()));
   int SocketsUsed = M.socketsUsed(CoresUsed);
@@ -170,6 +173,7 @@ SimResult dmll::simulateShared(const std::vector<LoopCost> &Loops,
 SimResult dmll::simulateCluster(const std::vector<LoopCost> &Loops,
                                 const ClusterModel &C, const Discipline &D,
                                 int AmortizeIters) {
+  TraceSpan Span("sim.cluster", "analysis");
   SimResult R;
   double NetBps = C.Net.bytesPerSec();
   for (const LoopCost &L : Loops) {
@@ -218,6 +222,7 @@ SimResult dmll::simulateCluster(const std::vector<LoopCost> &Loops,
 
 SimResult dmll::simulateGpu(const std::vector<LoopCost> &Loops,
                             const GpuModel &G, const GpuExec &X) {
+  TraceSpan Span("sim.gpu", "analysis");
   SimResult R;
   for (const LoopCost &L : Loops) {
     double ComputeMs = L.Iters * L.FlopsPerIter / (G.Gflops * 1e9) * 1e3;
@@ -263,6 +268,7 @@ SimResult dmll::simulateGpu(const std::vector<LoopCost> &Loops,
 SimResult dmll::simulateGpuCluster(const std::vector<LoopCost> &Loops,
                                    const ClusterModel &C, const GpuExec &X,
                                    const Discipline &D) {
+  TraceSpan Span("sim.gpu-cluster", "analysis");
   SimResult R;
   double NetBps = C.Net.bytesPerSec();
   for (const LoopCost &L : Loops) {

@@ -86,7 +86,7 @@ int dmll::horizontalFusion(ExprRef &E, RewriteStats *Stats) {
           E = replaceNode(E, B, Loops[X]);
           ++Merged;
           if (Stats)
-            ++Stats->Applied["loop-cse"];
+            Stats->recordApplication("loop-cse", Merged, Loops[Y], Loops[X]);
           Changed = true;
           continue;
         }
@@ -131,7 +131,8 @@ int dmll::horizontalFusion(ExprRef &E, RewriteStats *Stats) {
                          MA->isSingle(), MB->isSingle());
         ++Merged;
         if (Stats)
-          ++Stats->Applied["horizontal-fusion"];
+          Stats->recordApplication("horizontal-fusion", Merged, Loops[X],
+                                   Fused);
         Changed = true;
       }
     }

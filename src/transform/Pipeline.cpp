@@ -4,6 +4,7 @@
 
 #include "ir/Builder.h"
 #include "ir/Traversal.h"
+#include "observe/Trace.h"
 #include "support/Error.h"
 #include "transform/Rules.h"
 
@@ -87,7 +88,9 @@ int badStencilCount(const Program &P, const PartitionInfo &Info) {
 
 /// One round of stencil-driven rewriting: finds a loop with a bad stencil,
 /// tries the Fig. 3 rules one at a time, keeps the first improving rewrite.
-bool stencilDrivenRound(Program &P, RewriteStats &Stats, DiagSink &Diags) {
+/// \p Round (1-based) labels provenance records.
+bool stencilDrivenRound(Program &P, RewriteStats &Stats, DiagSink &Diags,
+                        int Round) {
   PartitionInfo Info = analyzePartitioning(P);
   int BadBefore = badStencilCount(P, Info);
   if (BadBefore == 0)
@@ -124,7 +127,7 @@ bool stencilDrivenRound(Program &P, RewriteStats &Stats, DiagSink &Diags) {
       PartitionInfo CandInfo = analyzePartitioning(Cand);
       if (badStencilCount(Cand, CandInfo) < BadBefore) {
         P = Cand;
-        ++Stats.Applied[Rule->name()];
+        Stats.recordApplication(Rule->name(), Round, LoopRef, Rewritten);
         return true;
       }
     }
@@ -140,7 +143,17 @@ CompileResult dmll::compileProgram(const Program &P,
                                    const CompileOptions &Opts) {
   CompileResult Res;
   Res.P = P;
-  Res.P.Result = cse(Res.P.Result);
+  TraceSpan Compile("compile", "phase");
+  Compile.arg("target", targetName(Opts.T));
+  if (Compile.live()) {
+    Compile.argInt("nodes.before", static_cast<int64_t>(countNodes(P.Result)));
+    Compile.argInt("loops.before",
+                   static_cast<int64_t>(collectMultiloops(P.Result).size()));
+  }
+  {
+    TraceSpan S("compile.cse", "phase");
+    Res.P.Result = cse(Res.P.Result);
+  }
 
   // 1. Pipeline fusion (+ always-beneficial GroupBy-Reduce) to fixpoint.
   VerticalFusionRule VF;
@@ -156,6 +169,8 @@ CompileResult dmll::compileProgram(const Program &P,
   if (Opts.EnableNestedRules)
     FusionRules.push_back(&GBR);
   if (!FusionRules.empty()) {
+    TraceSpan S("compile.fusion", "phase");
+    Res.Stats.Phase = "fusion";
     Res.P = rewriteProgram(Res.P, FusionRules, &Res.Stats, Opts.MaxPasses);
     Res.P.Result = cse(Res.P.Result);
     // Redirect groupBy keys to the BucketReduces GroupBy-Reduce created so
@@ -166,30 +181,46 @@ CompileResult dmll::compileProgram(const Program &P,
 
   // 2. AoS-to-SoA + DFE.
   if (Opts.EnableSoa) {
+    TraceSpan S("compile.soa", "phase");
     SoaResult Soa = soaTransform(Res.P);
     Res.P = std::move(Soa.P);
     Res.SoaConverted = std::move(Soa.Converted);
+    if (S.live())
+      S.argInt("inputs.converted",
+               static_cast<int64_t>(Res.SoaConverted.size()));
   }
 
   // 3. Stencil-driven nested-pattern rewriting.
   if (Opts.EnableNestedRules) {
+    TraceSpan S("compile.stencil-rewrites", "phase");
+    Res.Stats.Phase = "stencil";
     Res.P.Result = convertLenOfFilter(Res.P.Result);
-    for (int Round = 0; Round < Opts.MaxPasses; ++Round)
-      if (!stencilDrivenRound(Res.P, Res.Stats, Res.Partitioning.Diags))
+    for (int Round = 0; Round < Opts.MaxPasses; ++Round) {
+      TraceSpan RS("compile.stencil-round", "pass");
+      RS.argInt("round", Round + 1);
+      if (!stencilDrivenRound(Res.P, Res.Stats, Res.Partitioning.Diags,
+                              Round + 1))
         break;
+    }
     // New fusion opportunities typically appear (Fig. 5: `assigned` fuses
     // into the BucketReduces).
-    if (Opts.EnableFusion)
+    if (Opts.EnableFusion) {
+      Res.Stats.Phase = "refusion";
       Res.P = rewriteProgram(Res.P, FusionRules, &Res.Stats, Opts.MaxPasses);
+    }
   }
 
   // 4. Cleanup: share bucket keys, horizontal fusion, CSE, DCE.
-  Res.P.Result = shareBucketKeys(Res.P.Result);
-  Res.P.Result = cse(Res.P.Result);
-  if (Opts.EnableHorizontal)
-    horizontalFusion(Res.P.Result, &Res.Stats);
-  Res.P.Result = cse(Res.P.Result);
-  Res.P.Result = dce(Res.P.Result);
+  {
+    TraceSpan S("compile.cleanup", "phase");
+    Res.Stats.Phase = "cleanup";
+    Res.P.Result = shareBucketKeys(Res.P.Result);
+    Res.P.Result = cse(Res.P.Result);
+    if (Opts.EnableHorizontal)
+      horizontalFusion(Res.P.Result, &Res.Stats);
+    Res.P.Result = cse(Res.P.Result);
+    Res.P.Result = dce(Res.P.Result);
+  }
 
   // Final distribution analysis for the runtime / simulator. For GPU
   // targets this is computed here, *before* the kernel-level Row-to-Column
@@ -205,12 +236,21 @@ CompileResult dmll::compileProgram(const Program &P,
   // shared memory).
   if (Opts.EnableNestedRules &&
       (Opts.T == Target::Gpu || Opts.T == Target::GpuCluster)) {
+    TraceSpan S("compile.gpu-row-to-column", "phase");
+    Res.Stats.Phase = "gpu";
     RowToColumnRule R2C;
     Res.P = rewriteProgram(Res.P, {&R2C}, &Res.Stats, Opts.MaxPasses);
     Res.P.Result = cse(Res.P.Result);
     if (Opts.EnableHorizontal)
       horizontalFusion(Res.P.Result, &Res.Stats);
     Res.P.Result = dce(Res.P.Result);
+  }
+  if (Compile.live()) {
+    Compile.argInt("nodes.after",
+                   static_cast<int64_t>(countNodes(Res.P.Result)));
+    Compile.argInt("loops.after",
+                   static_cast<int64_t>(collectMultiloops(Res.P.Result).size()));
+    Compile.argInt("rewrites", Res.Stats.total());
   }
   return Res;
 }

@@ -20,6 +20,11 @@
 ///      possible (scalar reductions fit shared memory).
 ///   5. Horizontal fusion, bucket-key sharing, CSE, DCE.
 ///
+/// When a TraceSession (observe/Trace.h) is active, every stage records a
+/// timed "compile.*" phase span with IR node/loop counts, every rewrite
+/// application records a "rewrite.<rule>" instant, and RewriteStats carries
+/// full per-application provenance. See docs/OBSERVABILITY.md.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef DMLL_TRANSFORM_PIPELINE_H
@@ -51,7 +56,8 @@ struct CompileOptions {
 struct CompileResult {
   Program P;
   PartitionInfo Partitioning; ///< final layouts / stencils / warnings
-  RewriteStats Stats;         ///< which rules fired, how often (Table 2)
+  RewriteStats Stats;         ///< which rules fired, how often (Table 2),
+                              ///< plus per-application provenance records
   std::map<std::string, std::vector<std::string>> SoaConverted;
 
   /// True if the named rule fired at least once.

@@ -3,11 +3,89 @@
 #include "transform/Rewriter.h"
 
 #include "ir/Builder.h"
+#include "ir/Printer.h"
 #include "ir/Traversal.h"
+#include "observe/Trace.h"
 
 using namespace dmll;
 
 RewriteRule::~RewriteRule() = default;
+
+std::string dmll::summarizeExpr(const ExprRef &E) {
+  if (!E)
+    return "<null>";
+  if (isa<MultiloopExpr>(E)) {
+    // Top-level generator kinds, plus the signatures of any loops nested
+    // inside generator functions: "Multiloop[Collect]{Multiloop[BucketReduce]}".
+    // The nesting matters for provenance queries — e.g. conditional-reduce
+    // leaves the outer Collect intact and rewrites an inner Reduce into a
+    // BucketReduce, which only the nested part of the summary reveals.
+    std::string S = loopSignature(E);
+    std::vector<ExprRef> Loops = collectMultiloops(E);
+    if (Loops.size() > 1) {
+      S += "{";
+      for (size_t I = 1; I < Loops.size(); ++I) {
+        if (I > 1)
+          S += ",";
+        S += loopSignature(Loops[I]);
+      }
+      S += "}";
+    }
+    return S;
+  }
+  std::string S = printExpr(E);
+  size_t NL = S.find('\n');
+  if (NL != std::string::npos)
+    S = S.substr(0, NL) + " ...";
+  if (S.size() > 96)
+    S = S.substr(0, 93) + "...";
+  return S;
+}
+
+void RewriteStats::recordApplication(const char *Rule, int Pass,
+                                     const ExprRef &Before,
+                                     const ExprRef &After) {
+  ++Applied[Rule];
+  RewriteApplication App;
+  App.Rule = Rule;
+  App.Phase = Phase;
+  App.Pass = Pass;
+  App.Before = summarizeExpr(Before);
+  App.After = summarizeExpr(After);
+  if (TraceSession *Trace = TraceSession::active())
+    Trace->instant(std::string("rewrite.") + Rule, "rewrite",
+                   {{"phase", App.Phase},
+                    {"pass", std::to_string(Pass)},
+                    {"before", App.Before},
+                    {"after", App.After}});
+  Provenance.push_back(std::move(App));
+}
+
+std::vector<const RewriteApplication *>
+RewriteStats::applicationsOf(const std::string &Rule) const {
+  std::vector<const RewriteApplication *> Out;
+  for (const RewriteApplication &A : Provenance)
+    if (A.Rule == Rule)
+      Out.push_back(&A);
+  return Out;
+}
+
+std::vector<const RewriteApplication *>
+RewriteStats::applicationsTouching(const std::string &Substr) const {
+  std::vector<const RewriteApplication *> Out;
+  for (const RewriteApplication &A : Provenance)
+    if (A.Before.find(Substr) != std::string::npos ||
+        A.After.find(Substr) != std::string::npos)
+      Out.push_back(&A);
+  return Out;
+}
+
+bool RewriteStats::provenanceConsistent() const {
+  std::map<std::string, int> FromProvenance;
+  for (const RewriteApplication &A : Provenance)
+    ++FromProvenance[A.Rule];
+  return FromProvenance == Applied;
+}
 
 ExprRef dmll::rewriteFixpoint(const ExprRef &E,
                               const std::vector<const RewriteRule *> &Rules,
@@ -15,11 +93,19 @@ ExprRef dmll::rewriteFixpoint(const ExprRef &E,
   ExprRef Cur = E;
   for (int Pass = 0; Pass < MaxPasses; ++Pass) {
     bool Changed = false;
+    int AppliedThisPass = 0;
+    size_t NodesBefore = 0;
+    TraceSpan PassSpan(Stats ? TraceSession::active() : nullptr,
+                       "rewrite.pass", "pass");
+    if (PassSpan.live())
+      NodesBefore = countNodes(Cur);
     ExprRef Next = transformBottomUp(Cur, [&](const ExprRef &Node) -> ExprRef {
       for (const RewriteRule *Rule : Rules) {
         if (ExprRef R = Rule->apply(Node)) {
-          if (Stats)
-            ++Stats->Applied[Rule->name()];
+          if (Stats) {
+            Stats->recordApplication(Rule->name(), Pass + 1, Node, R);
+            ++AppliedThisPass;
+          }
           Changed = true;
           return R;
         }
@@ -27,6 +113,12 @@ ExprRef dmll::rewriteFixpoint(const ExprRef &E,
       return Node;
     });
     Cur = Next;
+    if (PassSpan.live()) {
+      PassSpan.argInt("pass", Pass + 1);
+      PassSpan.argInt("applied", AppliedThisPass);
+      PassSpan.argInt("nodes.before", static_cast<int64_t>(NodesBefore));
+      PassSpan.argInt("nodes.after", static_cast<int64_t>(countNodes(Cur)));
+    }
     if (!Changed)
       break;
   }

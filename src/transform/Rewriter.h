@@ -12,6 +12,11 @@
 /// tries one rule at a time, keeping the search linear and
 /// order-independent.
 ///
+/// Every application is recorded in RewriteStats: a per-rule counter plus a
+/// RewriteApplication provenance record (rule, phase, pass, pre/post
+/// summaries), and — when a TraceSession is active — a "rewrite.<rule>"
+/// trace instant. docs/OBSERVABILITY.md documents the resulting format.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef DMLL_TRANSFORM_REWRITER_H
@@ -39,9 +44,27 @@ public:
   virtual ExprRef apply(const ExprRef &E) const = 0;
 };
 
-/// Counts of rule applications, keyed by rule name.
+/// Provenance of one rule application: which rule fired, in which pipeline
+/// phase and fixpoint pass, and one-line pre/post expression summaries
+/// (loop signatures for multiloops, truncated printed IR otherwise).
+struct RewriteApplication {
+  std::string Rule;   ///< RewriteRule::name()
+  std::string Phase;  ///< pipeline stage label, e.g. "fusion", "stencil"
+  int Pass = 0;       ///< fixpoint pass number within the stage (1-based)
+  std::string Before; ///< summary of the matched node
+  std::string After;  ///< summary of the replacement
+};
+
+/// Counts of rule applications, keyed by rule name, plus the full ordered
+/// provenance log (one record per application, so
+/// `Provenance.size() == total()` always holds — ObserveTest checks it).
 struct RewriteStats {
   std::map<std::string, int> Applied;
+  /// Every application in firing order.
+  std::vector<RewriteApplication> Provenance;
+  /// Label stamped on subsequent Provenance records (set by the pipeline
+  /// driver around each stage).
+  std::string Phase;
 
   int total() const {
     int N = 0;
@@ -49,7 +72,28 @@ struct RewriteStats {
       N += V;
     return N;
   }
+
+  /// Records one application: bumps Applied, appends provenance, and emits
+  /// a "rewrite.<rule>" instant into the active TraceSession (if any).
+  void recordApplication(const char *Rule, int Pass, const ExprRef &Before,
+                         const ExprRef &After);
+
+  /// All applications of \p Rule, in firing order.
+  std::vector<const RewriteApplication *>
+  applicationsOf(const std::string &Rule) const;
+
+  /// Per-loop query: applications whose pre- or post-summary contains
+  /// \p Substr (e.g. a loop signature fragment like "BucketReduce").
+  std::vector<const RewriteApplication *>
+  applicationsTouching(const std::string &Substr) const;
+
+  /// True iff per-rule provenance counts equal Applied exactly.
+  bool provenanceConsistent() const;
 };
+
+/// One-line summary of an expression for provenance records: loopSignature
+/// for multiloops, first line of the printed IR (truncated) otherwise.
+std::string summarizeExpr(const ExprRef &E);
 
 /// Applies \p Rules bottom-up over \p E repeatedly until no rule fires or
 /// \p MaxPasses is reached. Stats, when provided, accumulate applications.

@@ -1,0 +1,633 @@
+//===- tests/ObserveTest.cpp - Observability layer tests -------*- C++ -*-===//
+//
+// Covers docs/OBSERVABILITY.md's contracts: trace events are well-nested
+// per thread, rewrite provenance agrees with RewriteStats.Applied, executor
+// metrics account for every chunk, and the Chrome-trace JSON export
+// round-trips through a real (minimal) JSON parser.
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/Apps.h"
+#include "data/Datasets.h"
+#include "frontend/Frontend.h"
+#include "interp/Interp.h"
+#include "observe/Metrics.h"
+#include "observe/Trace.h"
+#include "runtime/Executor.h"
+#include "runtime/ThreadPool.h"
+#include "transform/Pipeline.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <map>
+#include <thread>
+
+using namespace dmll;
+using namespace dmll::frontend;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Minimal JSON parser (syntax + structure) for the round-trip check.
+//===----------------------------------------------------------------------===//
+
+struct JsonValue {
+  enum Kind { Null, Bool, Number, String, Array, Object } K = Null;
+  bool B = false;
+  double Num = 0;
+  std::string Str;
+  std::vector<JsonValue> Arr;
+  std::vector<std::pair<std::string, JsonValue>> Obj;
+
+  const JsonValue *field(const std::string &Key) const {
+    for (const auto &[F, V] : Obj)
+      if (F == Key)
+        return &V;
+    return nullptr;
+  }
+};
+
+class JsonParser {
+public:
+  explicit JsonParser(const std::string &S) : S(S) {}
+
+  bool parse(JsonValue &Out) {
+    skipWs();
+    if (!value(Out))
+      return false;
+    skipWs();
+    return Pos == S.size(); // no trailing garbage
+  }
+
+private:
+  const std::string &S;
+  size_t Pos = 0;
+
+  void skipWs() {
+    while (Pos < S.size() && (S[Pos] == ' ' || S[Pos] == '\t' ||
+                              S[Pos] == '\n' || S[Pos] == '\r'))
+      ++Pos;
+  }
+
+  bool lit(const char *L, JsonValue &Out, JsonValue::Kind K, bool B) {
+    size_t N = std::strlen(L);
+    if (S.compare(Pos, N, L) != 0)
+      return false;
+    Pos += N;
+    Out.K = K;
+    Out.B = B;
+    return true;
+  }
+
+  bool string(std::string &Out) {
+    if (Pos >= S.size() || S[Pos] != '"')
+      return false;
+    ++Pos;
+    while (Pos < S.size() && S[Pos] != '"') {
+      if (S[Pos] == '\\') {
+        if (Pos + 1 >= S.size())
+          return false;
+        char C = S[Pos + 1];
+        if (C == 'u') {
+          if (Pos + 5 >= S.size())
+            return false;
+          Out += '?'; // code point value irrelevant for the check
+          Pos += 6;
+          continue;
+        }
+        if (!std::strchr("\"\\/bfnrt", C))
+          return false;
+        Out += C == 'n' ? '\n' : C == 't' ? '\t' : C;
+        Pos += 2;
+        continue;
+      }
+      Out += S[Pos++];
+    }
+    if (Pos >= S.size())
+      return false;
+    ++Pos; // closing quote
+    return true;
+  }
+
+  bool number(JsonValue &Out) {
+    size_t Start = Pos;
+    if (Pos < S.size() && S[Pos] == '-')
+      ++Pos;
+    while (Pos < S.size() && (std::isdigit(S[Pos]) || S[Pos] == '.' ||
+                              S[Pos] == 'e' || S[Pos] == 'E' ||
+                              S[Pos] == '+' || S[Pos] == '-'))
+      ++Pos;
+    if (Pos == Start)
+      return false;
+    Out.K = JsonValue::Number;
+    Out.Num = std::stod(S.substr(Start, Pos - Start));
+    return true;
+  }
+
+  bool value(JsonValue &Out) {
+    skipWs();
+    if (Pos >= S.size())
+      return false;
+    char C = S[Pos];
+    if (C == 'n')
+      return lit("null", Out, JsonValue::Null, false);
+    if (C == 't')
+      return lit("true", Out, JsonValue::Bool, true);
+    if (C == 'f')
+      return lit("false", Out, JsonValue::Bool, false);
+    if (C == '"') {
+      Out.K = JsonValue::String;
+      return string(Out.Str);
+    }
+    if (C == '[') {
+      ++Pos;
+      Out.K = JsonValue::Array;
+      skipWs();
+      if (Pos < S.size() && S[Pos] == ']') {
+        ++Pos;
+        return true;
+      }
+      for (;;) {
+        JsonValue V;
+        if (!value(V))
+          return false;
+        Out.Arr.push_back(std::move(V));
+        skipWs();
+        if (Pos < S.size() && S[Pos] == ',') {
+          ++Pos;
+          continue;
+        }
+        break;
+      }
+      if (Pos >= S.size() || S[Pos] != ']')
+        return false;
+      ++Pos;
+      return true;
+    }
+    if (C == '{') {
+      ++Pos;
+      Out.K = JsonValue::Object;
+      skipWs();
+      if (Pos < S.size() && S[Pos] == '}') {
+        ++Pos;
+        return true;
+      }
+      for (;;) {
+        skipWs();
+        std::string Key;
+        if (!string(Key))
+          return false;
+        skipWs();
+        if (Pos >= S.size() || S[Pos] != ':')
+          return false;
+        ++Pos;
+        JsonValue V;
+        if (!value(V))
+          return false;
+        Out.Obj.emplace_back(std::move(Key), std::move(V));
+        skipWs();
+        if (Pos < S.size() && S[Pos] == ',') {
+          ++Pos;
+          continue;
+        }
+        break;
+      }
+      if (Pos >= S.size() || S[Pos] != '}')
+        return false;
+      ++Pos;
+      return true;
+    }
+    return number(Out);
+  }
+};
+
+/// Checks that all span events of one trace thread are properly nested:
+/// any two spans on the same tid are either disjoint or one contains the
+/// other (small tolerance for clock granularity).
+void expectWellNested(const std::vector<TraceEvent> &Events) {
+  std::map<unsigned, std::vector<const TraceEvent *>> ByTid;
+  for (const TraceEvent &E : Events)
+    if (!E.Instant)
+      ByTid[E.Tid].push_back(&E);
+  const double Eps = 1e-6;
+  for (const auto &[Tid, Spans] : ByTid) {
+    for (size_t I = 0; I < Spans.size(); ++I)
+      for (size_t J = I + 1; J < Spans.size(); ++J) {
+        const TraceEvent *A = Spans[I], *B = Spans[J];
+        double AEnd = A->StartMs + A->DurMs, BEnd = B->StartMs + B->DurMs;
+        bool Disjoint = AEnd <= B->StartMs + Eps || BEnd <= A->StartMs + Eps;
+        bool AInB = A->StartMs >= B->StartMs - Eps && AEnd <= BEnd + Eps;
+        bool BInA = B->StartMs >= A->StartMs - Eps && BEnd <= AEnd + Eps;
+        EXPECT_TRUE(Disjoint || AInB || BInA)
+            << "overlapping spans on tid " << Tid << ": " << A->Name << " ["
+            << A->StartMs << "," << AEnd << ") vs " << B->Name << " ["
+            << B->StartMs << "," << BEnd << ")";
+      }
+  }
+}
+
+bool hasEvent(const std::vector<TraceEvent> &Events, const std::string &Name) {
+  return std::any_of(Events.begin(), Events.end(),
+                     [&](const TraceEvent &E) { return E.Name == Name; });
+}
+
+/// Mean-of-positive-squares program (the quickstart pipeline): fires
+/// pipeline fusion and runs big enough to parallelize.
+Program meanOfSquares(int64_t &OutN, InputMap &Inputs) {
+  ProgramBuilder B;
+  Val Xs = B.inVecF64("xs", LayoutHint::Partitioned);
+  Val Kept = filter(Xs, [](Val X) { return X > Val(0.0); });
+  Val Squares = map(Kept, [](Val X) { return X * X; });
+  Program P = B.build(sum(Squares) / toF64(Kept.len()));
+  std::vector<double> Data;
+  for (int I = -4000; I < 4000; ++I)
+    Data.push_back(I * 0.01);
+  OutN = static_cast<int64_t>(Data.size());
+  Inputs = {{"xs", Value::arrayOfDoubles(Data)}};
+  return P;
+}
+
+//===----------------------------------------------------------------------===//
+// TraceSession basics.
+//===----------------------------------------------------------------------===//
+
+TEST(TraceSession, SpansRecordAndNest) {
+  TraceSession S;
+  TraceActivation Act(S);
+  {
+    TraceSpan Outer("outer", "phase");
+    {
+      TraceSpan Inner("inner", "pass");
+      Inner.argInt("n", 42);
+    }
+    S.instant("marker", "rewrite", {{"rule", "test"}});
+  }
+  auto Events = S.events();
+  ASSERT_EQ(Events.size(), 3u);
+  expectWellNested(Events);
+  // Inner closes before outer, so it is recorded first; both on tid 0.
+  EXPECT_EQ(Events[0].Name, "inner");
+  EXPECT_EQ(Events[2].Name, "outer");
+  EXPECT_TRUE(Events[1].Instant);
+  ASSERT_EQ(Events[0].Args.size(), 1u);
+  EXPECT_EQ(Events[0].Args[0].second, "42");
+  // The inner span's interval lies within the outer's.
+  EXPECT_GE(Events[0].StartMs, Events[2].StartMs);
+  EXPECT_LE(Events[0].StartMs + Events[0].DurMs,
+            Events[2].StartMs + Events[2].DurMs + 1e-6);
+}
+
+TEST(TraceSession, InactiveSessionIsNoOp) {
+  ASSERT_EQ(TraceSession::active(), nullptr);
+  TraceSpan S("orphan", "phase"); // must not crash or record anywhere
+  EXPECT_FALSE(S.live());
+}
+
+TEST(TraceSession, ActivationNestsAndRestores) {
+  TraceSession A, B;
+  {
+    TraceActivation ActA(A);
+    EXPECT_EQ(TraceSession::active(), &A);
+    {
+      TraceActivation ActB(B);
+      EXPECT_EQ(TraceSession::active(), &B);
+    }
+    EXPECT_EQ(TraceSession::active(), &A);
+  }
+  EXPECT_EQ(TraceSession::active(), nullptr);
+}
+
+TEST(TraceSession, TraceArgPath) {
+  const char *Argv1[] = {"bench", "--trace-out=/tmp/t.json"};
+  EXPECT_EQ(traceArgPath(2, const_cast<char **>(Argv1)), "/tmp/t.json");
+  const char *Argv2[] = {"bench", "--trace-out", "x.json"};
+  EXPECT_EQ(traceArgPath(3, const_cast<char **>(Argv2)), "x.json");
+  const char *Argv3[] = {"bench", "--other"};
+  EXPECT_EQ(traceArgPath(2, const_cast<char **>(Argv3)), "");
+}
+
+//===----------------------------------------------------------------------===//
+// Compiler tracing + rewrite provenance.
+//===----------------------------------------------------------------------===//
+
+TEST(Provenance, MatchesAppliedTotalsQuickstart) {
+  int64_t N;
+  InputMap Inputs;
+  Program P = meanOfSquares(N, Inputs);
+  CompileOptions Opts;
+  CompileResult CR = compileProgram(P, Opts);
+  EXPECT_GT(CR.Stats.total(), 0);
+  EXPECT_EQ(static_cast<int>(CR.Stats.Provenance.size()), CR.Stats.total());
+  EXPECT_TRUE(CR.Stats.provenanceConsistent());
+  // Per-rule query agrees with the counter.
+  for (const auto &[Rule, Count] : CR.Stats.Applied)
+    EXPECT_EQ(static_cast<int>(CR.Stats.applicationsOf(Rule).size()), Count)
+        << Rule;
+  // Every record carries a phase label and summaries.
+  for (const RewriteApplication &A : CR.Stats.Provenance) {
+    EXPECT_FALSE(A.Phase.empty());
+    EXPECT_FALSE(A.Before.empty());
+    EXPECT_FALSE(A.After.empty());
+    EXPECT_GE(A.Pass, 1);
+  }
+}
+
+TEST(Provenance, MatchesAppliedTotalsAcrossAppsAndTargets) {
+  struct Case {
+    const char *Name;
+    Program P;
+  } Cases[] = {
+      {"kmeans", apps::kmeansSharedMemory()},
+      {"tpch", apps::tpchQ1()},
+      {"logreg", apps::logreg()},
+  };
+  for (auto &C : Cases)
+    for (Target T : {Target::Sequential, Target::Numa, Target::Gpu}) {
+      CompileOptions Opts;
+      Opts.T = T;
+      CompileResult CR = compileProgram(C.P, Opts);
+      EXPECT_TRUE(CR.Stats.provenanceConsistent())
+          << C.Name << " on " << targetName(T);
+      EXPECT_EQ(static_cast<int>(CR.Stats.Provenance.size()),
+                CR.Stats.total())
+          << C.Name << " on " << targetName(T);
+    }
+}
+
+TEST(Provenance, PerLoopQueryFindsBucketRewrites) {
+  CompileOptions Opts;
+  CompileResult CR = compileProgram(apps::kmeansSharedMemory(), Opts);
+  ASSERT_TRUE(CR.applied("conditional-reduce"));
+  // The Fig. 5 story: conditional-reduce produced BucketReduce loops, and
+  // the per-loop query can locate those applications by signature.
+  auto Touching = CR.Stats.applicationsTouching("BucketReduce");
+  EXPECT_FALSE(Touching.empty());
+  bool FoundCR = false;
+  for (const RewriteApplication *A : Touching)
+    FoundCR |= A->Rule == "conditional-reduce";
+  EXPECT_TRUE(FoundCR);
+}
+
+TEST(CompileTrace, PhasesRewritesAndAnalysesRecorded) {
+  TraceSession S;
+  TraceActivation Act(S);
+  CompileOptions Opts;
+  CompileResult CR = compileProgram(apps::kmeansSharedMemory(), Opts);
+  auto Events = S.events();
+  expectWellNested(Events);
+  EXPECT_TRUE(hasEvent(Events, "compile"));
+  EXPECT_TRUE(hasEvent(Events, "compile.fusion"));
+  EXPECT_TRUE(hasEvent(Events, "compile.stencil-rewrites"));
+  EXPECT_TRUE(hasEvent(Events, "compile.cleanup"));
+  EXPECT_TRUE(hasEvent(Events, "analysis.partitioning"));
+  EXPECT_TRUE(hasEvent(Events, "analysis.stencils"));
+  // One "rewrite.<rule>" instant per application.
+  int RewriteEvents = 0;
+  for (const TraceEvent &E : Events)
+    if (E.Cat == "rewrite")
+      ++RewriteEvents;
+  EXPECT_EQ(RewriteEvents, CR.Stats.total());
+  // The phase spans carry IR node counts.
+  for (const TraceEvent &E : Events)
+    if (E.Name == "compile") {
+      bool HasNodes = false;
+      for (const auto &[K, V] : E.Args)
+        HasNodes |= K == "nodes.before";
+      EXPECT_TRUE(HasNodes);
+    }
+}
+
+//===----------------------------------------------------------------------===//
+// Executor metrics.
+//===----------------------------------------------------------------------===//
+
+TEST(ExecutorMetrics, ParallelForAccountsEveryChunk) {
+  ThreadPool Pool(4);
+  ParallelForStats Stats;
+  std::atomic<int64_t> Sum{0};
+  const int64_t N = 1000, Chunk = 64;
+  Pool.parallelFor(
+      N, Chunk,
+      [&](int64_t B, int64_t E, unsigned) { Sum += E - B; }, &Stats);
+  EXPECT_EQ(Sum.load(), N);
+  EXPECT_EQ(Stats.totalItems(), N);
+  EXPECT_EQ(Stats.totalChunks(), (N + Chunk - 1) / Chunk);
+  EXPECT_EQ(Stats.Workers.size(), 4u);
+  EXPECT_GT(Stats.ElapsedMs, 0.0);
+  for (const WorkerStats &W : Stats.Workers) {
+    EXPECT_GE(W.BusyMs, 0.0);
+    EXPECT_GE(W.WaitMs, 0.0);
+  }
+}
+
+TEST(ExecutorMetrics, SingleThreadShortcutStillAccounted) {
+  ThreadPool Pool(1);
+  ParallelForStats Stats;
+  Pool.parallelFor(10, 64, [](int64_t, int64_t, unsigned) {}, &Stats);
+  EXPECT_EQ(Stats.totalChunks(), 1);
+  EXPECT_EQ(Stats.totalItems(), 10);
+}
+
+TEST(ExecutorMetrics, ChunkSpansLandOnWorkerThreads) {
+  TraceSession S;
+  TraceActivation Act(S);
+  ThreadPool Pool(4);
+  ParallelForStats Stats;
+  Pool.parallelFor(
+      512, 32, [](int64_t, int64_t, unsigned) {}, &Stats, "exec.chunk");
+  auto Events = S.events();
+  expectWellNested(Events);
+  int Chunks = 0;
+  for (const TraceEvent &E : Events)
+    if (E.Name == "exec.chunk") {
+      ++Chunks;
+      EXPECT_GE(E.Tid, 1u); // tid 0 is the driver; workers are 1..N
+      EXPECT_LE(E.Tid, 4u);
+    }
+  EXPECT_EQ(Chunks, 16);
+  EXPECT_EQ(static_cast<int>(Stats.totalChunks()), Chunks);
+}
+
+TEST(ExecutorMetrics, ProfileAccumulatesAcrossLoops) {
+  int64_t N;
+  InputMap Inputs;
+  Program P = meanOfSquares(N, Inputs);
+  CompileOptions Opts;
+  CompileResult CR = compileProgram(P, Opts);
+  ExecProfile Profile;
+  Value Par =
+      evalProgramParallel(CR.P, Inputs, /*Threads=*/4, /*MinChunk=*/128,
+                          &Profile);
+  Value Seq = evalProgram(CR.P, Inputs);
+  EXPECT_TRUE(Seq.deepEquals(Par, 1e-9));
+  EXPECT_GE(Profile.ParallelLoops, 1);
+  ASSERT_FALSE(Profile.Workers.empty());
+  int64_t Chunks = 0;
+  for (const WorkerStats &W : Profile.Workers)
+    Chunks += W.Chunks;
+  EXPECT_GT(Chunks, 1);
+}
+
+TEST(ExecutorMetrics, ExecutionReportCarriesEverything) {
+  int64_t N;
+  InputMap Inputs;
+  Program P = meanOfSquares(N, Inputs);
+  CompileOptions Opts;
+  ExecutionReport R = executeProgram(P, Inputs, Opts, /*Threads=*/4);
+  EXPECT_EQ(R.Threads, 4u);
+  EXPECT_GT(R.CompileMillis, 0.0);
+  EXPECT_TRUE(R.Rewrites.provenanceConsistent());
+  EXPECT_GT(R.Rewrites.total(), 0);
+  // 8000 elements >= 2 * MinChunk(1024): the fused loop parallelizes.
+  EXPECT_GE(R.ParallelLoops, 1);
+  ASSERT_FALSE(R.Workers.empty());
+  EXPECT_GT(R.Workers[0].Chunks, 0);
+  EXPECT_FALSE(renderWorkerStats(R.Workers).empty());
+}
+
+//===----------------------------------------------------------------------===//
+// Exporters.
+//===----------------------------------------------------------------------===//
+
+TEST(Export, ChromeJsonRoundTripsThroughParser) {
+  TraceSession S;
+  TraceActivation Act(S);
+  int64_t N;
+  InputMap Inputs;
+  Program P = meanOfSquares(N, Inputs);
+  CompileOptions Opts;
+  ExecutionReport R = executeProgram(P, Inputs, Opts, /*Threads=*/4);
+  ASSERT_GT(S.size(), 0u);
+
+  std::string Json = S.renderChromeJson();
+  JsonValue Root;
+  ASSERT_TRUE(JsonParser(Json).parse(Root)) << Json.substr(0, 400);
+  ASSERT_EQ(Root.K, JsonValue::Object);
+  const JsonValue *Events = Root.field("traceEvents");
+  ASSERT_NE(Events, nullptr);
+  ASSERT_EQ(Events->K, JsonValue::Array);
+
+  // Every recorded event appears, plus >= 1 thread-name metadata record.
+  auto Recorded = S.events();
+  size_t Meta = 0, Complete = 0, Instant = 0;
+  std::map<std::string, int> RewriteByName;
+  for (const JsonValue &E : Events->Arr) {
+    ASSERT_EQ(E.K, JsonValue::Object);
+    const JsonValue *Ph = E.field("ph");
+    ASSERT_NE(Ph, nullptr);
+    const JsonValue *Name = E.field("name");
+    ASSERT_NE(Name, nullptr);
+    if (Ph->Str == "M") {
+      ++Meta;
+      continue;
+    }
+    // Data events must carry numeric ts and a tid.
+    EXPECT_EQ(E.field("ts")->K, JsonValue::Number);
+    EXPECT_EQ(E.field("tid")->K, JsonValue::Number);
+    if (Ph->Str == "X") {
+      ++Complete;
+      EXPECT_EQ(E.field("dur")->K, JsonValue::Number);
+    } else {
+      ++Instant;
+    }
+    // Rule-application instants have cat "rewrite" and name "rewrite.<rule>"
+    // (the "rewrite.pass" spans use cat "pass", so filter by category).
+    const JsonValue *Cat = E.field("cat");
+    if (Cat && Cat->Str == "rewrite" && Name->Str.rfind("rewrite.", 0) == 0)
+      ++RewriteByName[Name->Str.substr(8)];
+  }
+  EXPECT_GE(Meta, 2u); // driver + at least one worker row
+  EXPECT_EQ(Complete + Instant, Recorded.size());
+
+  // One JSON event per rewrite application, by rule name (the acceptance
+  // criterion: the export is auditable against RewriteStats).
+  std::map<std::string, int> Expected(R.Rewrites.Applied.begin(),
+                                      R.Rewrites.Applied.end());
+  EXPECT_EQ(RewriteByName, Expected);
+
+  // Per-worker executor chunk spans are present.
+  bool WorkerSpan = false;
+  for (const JsonValue &E : Events->Arr)
+    if (const JsonValue *Name = E.field("name"))
+      if (Name->Str == "exec.chunk" && E.field("tid") &&
+          E.field("tid")->Num >= 1)
+        WorkerSpan = true;
+  EXPECT_TRUE(WorkerSpan);
+}
+
+TEST(Export, JsonEscapesSpecialCharacters) {
+  TraceSession S;
+  S.instant("we\"ird\\name\n", "cat\t");
+  JsonValue Root;
+  ASSERT_TRUE(JsonParser(S.renderChromeJson()).parse(Root));
+  const JsonValue *Events = Root.field("traceEvents");
+  ASSERT_NE(Events, nullptr);
+  bool Found = false;
+  for (const JsonValue &E : Events->Arr)
+    if (const JsonValue *Name = E.field("name"))
+      Found |= Name->Str == "we\"ird\\name\n";
+  EXPECT_TRUE(Found);
+}
+
+TEST(Export, WriteChromeJsonToFile) {
+  TraceSession S;
+  {
+    TraceActivation Act(S);
+    TraceSpan Span("compile", "phase");
+  }
+  std::string Path = ::testing::TempDir() + "/dmll_trace_test.json";
+  ASSERT_TRUE(S.writeChromeJson(Path));
+  FILE *F = std::fopen(Path.c_str(), "rb");
+  ASSERT_NE(F, nullptr);
+  std::string Content;
+  char Buf[4096];
+  size_t Got;
+  while ((Got = std::fread(Buf, 1, sizeof(Buf), F)) > 0)
+    Content.append(Buf, Got);
+  std::fclose(F);
+  JsonValue Root;
+  EXPECT_TRUE(JsonParser(Content).parse(Root));
+  std::remove(Path.c_str());
+}
+
+TEST(Export, TextRenderShowsTreeAndArgs) {
+  TraceSession S;
+  {
+    TraceActivation Act(S);
+    TraceSpan Outer("compile", "phase");
+    TraceSpan Inner("compile.fusion", "phase");
+    Inner.argInt("nodes.before", 7);
+  }
+  std::string Text = S.renderText();
+  EXPECT_NE(Text.find("compile"), std::string::npos);
+  EXPECT_NE(Text.find("compile.fusion"), std::string::npos);
+  EXPECT_NE(Text.find("nodes.before=7"), std::string::npos);
+  EXPECT_NE(Text.find("[compiler/driver]"), std::string::npos);
+}
+
+TEST(Export, CountersEmitNumericArgs) {
+  TraceSession S;
+  S.counter("ir.nodes", 128);
+  std::string Json = S.renderChromeJson();
+  JsonValue Root;
+  ASSERT_TRUE(JsonParser(Json).parse(Root));
+  const JsonValue *Events = Root.field("traceEvents");
+  ASSERT_NE(Events, nullptr);
+  bool Found = false;
+  for (const JsonValue &E : Events->Arr)
+    if (const JsonValue *Ph = E.field("ph"))
+      if (Ph->Str == "C") {
+        const JsonValue *Args = E.field("args");
+        ASSERT_NE(Args, nullptr);
+        const JsonValue *V = Args->field("value");
+        ASSERT_NE(V, nullptr);
+        EXPECT_EQ(V->K, JsonValue::Number);
+        EXPECT_DOUBLE_EQ(V->Num, 128.0);
+        Found = true;
+      }
+  EXPECT_TRUE(Found);
+}
+
+} // namespace

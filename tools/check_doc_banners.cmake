@@ -1,0 +1,46 @@
+# tools/check_doc_banners.cmake — docs lint for the tier-1 flow.
+#
+# Fails when any header under src/ lacks a Doxygen `\file` doc banner, so
+# every module keeps the LLVM-style file documentation that
+# docs/ARCHITECTURE.md links into. Run standalone:
+#
+#   cmake -DDMLL_SOURCE_DIR=$PWD -P tools/check_doc_banners.cmake
+#
+# or via ctest (registered as the `docs_lint` test by the top-level
+# CMakeLists.txt).
+
+if(NOT DEFINED DMLL_SOURCE_DIR)
+  get_filename_component(DMLL_SOURCE_DIR "${CMAKE_CURRENT_LIST_DIR}/.." ABSOLUTE)
+endif()
+
+file(GLOB_RECURSE HEADERS "${DMLL_SOURCE_DIR}/src/*.h")
+if(NOT HEADERS)
+  message(FATAL_ERROR "docs lint: no headers found under ${DMLL_SOURCE_DIR}/src")
+endif()
+
+set(MISSING "")
+foreach(HDR ${HEADERS})
+  file(READ "${HDR}" CONTENT)
+  # Every header must carry a `\file` Doxygen banner...
+  string(FIND "${CONTENT}" "\\file" POS)
+  if(POS EQUAL -1)
+    list(APPEND MISSING "${HDR}")
+    continue()
+  endif()
+  # ...with at least a line of prose after it (an empty banner is as bad as
+  # a missing one): require a non-empty `/// ...` line following `\file`.
+  string(SUBSTRING "${CONTENT}" ${POS} -1 TAIL)
+  if(NOT TAIL MATCHES "///[ \t]*[A-Za-z0-9]")
+    list(APPEND MISSING "${HDR}")
+  endif()
+endforeach()
+
+list(LENGTH HEADERS TOTAL)
+if(MISSING)
+  list(LENGTH MISSING NMISSING)
+  string(REPLACE ";" "\n  " PRETTY "${MISSING}")
+  message(FATAL_ERROR "docs lint: ${NMISSING}/${TOTAL} header(s) lack a "
+          "non-empty \\file doc banner:\n  ${PRETTY}\n"
+          "Add an LLVM-style banner (see src/observe/Trace.h for the shape).")
+endif()
+message(STATUS "docs lint: all ${TOTAL} headers under src/ carry \\file banners")
