@@ -1,0 +1,73 @@
+//===- bench/bench_json.cpp ------------------------------------*- C++ -*-===//
+
+#include "bench_json.h"
+
+#include <cstdio>
+#include <sstream>
+
+using namespace dmll::bench;
+
+namespace {
+
+/// JSON string escaping (bench names are ASCII, but stay correct anyway).
+std::string escape(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size());
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      Out += C;
+    }
+  }
+  return Out;
+}
+
+std::string num(double V) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.6g", V);
+  return Buf;
+}
+
+} // namespace
+
+std::string BenchJsonWriter::render() const {
+  std::ostringstream OS;
+  OS << "{\n  \"benchmark\": \"" << escape(Name) << "\",\n  \"records\": [";
+  for (size_t I = 0; I < Records.size(); ++I) {
+    const BenchRecord &R = Records[I];
+    OS << (I ? "," : "") << "\n    {\"pattern\": \"" << escape(R.Pattern)
+       << "\", \"n\": " << R.N << ", \"threads\": " << R.Threads
+       << ", \"engine\": \"" << escape(R.Engine) << "\", \"ms\": " << num(R.Ms)
+       << ", \"speedup\": " << num(R.Speedup) << "}";
+  }
+  OS << "\n  ]\n}\n";
+  return OS.str();
+}
+
+bool BenchJsonWriter::write(const std::string &Path) const {
+  std::FILE *F = std::fopen(Path.c_str(), "w");
+  if (!F)
+    return false;
+  std::string Doc = render();
+  bool Ok = std::fwrite(Doc.data(), 1, Doc.size(), F) == Doc.size();
+  return std::fclose(F) == 0 && Ok;
+}
+
+std::string dmll::bench::jsonOutArgPath(int Argc, char **Argv) {
+  for (int I = 1; I + 1 < Argc; ++I)
+    if (std::string(Argv[I]) == "--json-out")
+      return Argv[I + 1];
+  return "";
+}

@@ -4,9 +4,17 @@
 // throughput, parallel executor, bucket implementations, distributed-array
 // directory, and the Gibbs samplers.
 //
+// With `--json-out FILE` the binary instead runs the engine comparison
+// suite — each core pattern (collect / reduce / dense and hash
+// bucket-reduce) under the boxed interpreter and under the compiled kernel
+// engine (docs/EXECUTION.md) at equal thread count — and writes the
+// BenchRecord rows as JSON (see bench_json.h). tools/run_benchmarks.sh
+// regenerates the committed BENCH_perf.json this way.
+//
 //===----------------------------------------------------------------------===//
 
 #include "apps/Gibbs.h"
+#include "bench_json.h"
 #include "data/Datasets.h"
 #include "frontend/Frontend.h"
 #include "interp/Interp.h"
@@ -14,6 +22,9 @@
 #include "runtime/ThreadPool.h"
 
 #include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
 
 using namespace dmll;
 using namespace dmll::frontend;
@@ -111,6 +122,121 @@ void BM_GibbsPointer(benchmark::State &S) {
 }
 BENCHMARK(BM_GibbsPointer);
 
+//===----------------------------------------------------------------------===//
+// Engine comparison suite (--json-out)
+//===----------------------------------------------------------------------===//
+
+/// Milliseconds per evaluation: warm-up once (which also compiles the
+/// kernel under EngineMode::Kernel), then best-of-\p Reps to shed scheduler
+/// noise on shared machines.
+double engineMs(const Program &P, const InputMap &In, engine::EngineMode M,
+                unsigned Threads, int Reps) {
+  EvalOptions Opts;
+  Opts.Threads = Threads;
+  Opts.Mode = M;
+  evalProgramWith(P, In, Opts); // warm-up + kernel compile
+  double Best = 0;
+  for (int R = 0; R < Reps; ++R) {
+    auto T0 = std::chrono::steady_clock::now();
+    Value V = evalProgramWith(P, In, Opts);
+    double Ms = std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - T0)
+                    .count();
+    benchmark::DoNotOptimize(V);
+    if (R == 0 || Ms < Best)
+      Best = Ms;
+  }
+  return Best;
+}
+
+/// Runs one pattern under Interp then Kernel and appends both rows.
+void engineCase(bench::BenchJsonWriter &W, const std::string &Pattern,
+                const Program &P, const InputMap &In, int64_t N,
+                unsigned Threads) {
+  const int Reps = 5;
+  double InterpMs =
+      engineMs(P, In, engine::EngineMode::Interp, Threads, Reps);
+  double KernelMs =
+      engineMs(P, In, engine::EngineMode::Kernel, Threads, Reps);
+  W.add({Pattern, N, Threads, "interp", InterpMs, 1.0});
+  W.add({Pattern, N, Threads, "kernel", KernelMs,
+         KernelMs > 0 ? InterpMs / KernelMs : 0.0});
+  std::printf("%-20s N=%-8lld T=%u  interp %8.3f ms   kernel %8.3f ms   "
+              "speedup %.2fx\n",
+              Pattern.c_str(), static_cast<long long>(N), Threads, InterpMs,
+              KernelMs, KernelMs > 0 ? InterpMs / KernelMs : 0.0);
+}
+
+/// The four core patterns, each a single closed loop over the input.
+int runEngineSuite(const std::string &Path) {
+  bench::BenchJsonWriter W("micro_patterns");
+  const int64_t N = 1 << 16;
+  const unsigned Threads = 1; // the speedup measured is unboxing, not cores
+
+  std::vector<double> DF(static_cast<size_t>(N));
+  for (size_t I = 0; I < DF.size(); ++I)
+    DF[I] = static_cast<double>(I % 1024) * 0.5;
+  std::vector<int64_t> DI(static_cast<size_t>(N));
+  for (size_t I = 0; I < DI.size(); ++I)
+    DI[I] = static_cast<int64_t>(I % 64);
+  InputMap FIn{{"xs", Value::arrayOfDoubles(DF)}};
+  InputMap IIn{{"xs", Value::arrayOfInts(DI)}};
+
+  {
+    ProgramBuilder B;
+    Val Xs = B.inVecF64("xs");
+    Val XsV = Xs;
+    Program P = B.build(tabulate(
+        Xs.len(), [&](Val I) { return XsV(I) * XsV(I) + Val(1.0); }));
+    engineCase(W, "collect", P, FIn, N, Threads);
+  }
+  {
+    ProgramBuilder B;
+    Val Xs = B.inVecF64("xs");
+    Val XsV = Xs;
+    Program P = B.build(sumRange(
+        Xs.len(), [&](Val I) { return XsV(I) * XsV(I) + Val(1.0); }));
+    engineCase(W, "reduce", P, FIn, N, Threads);
+  }
+  {
+    ProgramBuilder B;
+    Val Xs = B.inVecI64("xs");
+    Val XsV = Xs;
+    Program P = B.build(bucketReduceDense(
+        Xs.len(), [&](Val I) { return XsV(I); },
+        [](Val) { return Val(int64_t(1)); },
+        [](Val A, Val C) { return A + C; }, Val(int64_t(64))));
+    engineCase(W, "bucket_reduce_dense", P, IIn, N, Threads);
+  }
+  {
+    ProgramBuilder B;
+    Val Xs = B.inVecI64("xs");
+    Val XsV = Xs;
+    Program P = B.build(bucketReduceHash(
+        Xs.len(), [&](Val I) { return XsV(I); },
+        [](Val) { return Val(int64_t(1)); },
+        [](Val A, Val C) { return A + C; }));
+    engineCase(W, "bucket_reduce_hash", P, IIn, N, Threads);
+  }
+
+  if (!W.write(Path)) {
+    std::fprintf(stderr, "failed to write %s\n", Path.c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", Path.c_str());
+  return 0;
+}
+
 } // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char **argv) {
+  std::string JsonPath = bench::jsonOutArgPath(argc, argv);
+  if (!JsonPath.empty())
+    return runEngineSuite(JsonPath);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv))
+    return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -14,6 +14,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "apps/Apps.h"
+#include "bench_json.h"
 #include "codegen/CppEmitter.h"
 #include "data/Datasets.h"
 #include "graph/Graph.h"
@@ -44,6 +45,7 @@ double timeMs(const std::function<void()> &F, int Iters) {
 
 struct Row {
   std::string Name, Opts, Data;
+  int64_t N; ///< problem size in elements (rows/reads/edges)
   double DmllMs, CppMs;
 };
 
@@ -64,7 +66,7 @@ std::string optsApplied(const CompileResult &CR) {
 /// Times the generated-C++ side via compile-and-run and the reference via
 /// the provided closure.
 void runCase(const std::string &Name, const Program &P, const InputMap &In,
-             const std::string &DataDesc, int Iters,
+             const std::string &DataDesc, int64_t N, int Iters,
              const std::function<void()> &Ref) {
   TraceSpan Span("bench." + Name, "phase");
   CompileOptions CO;
@@ -83,7 +85,8 @@ void runCase(const std::string &Name, const Program &P, const InputMap &In,
     return;
   }
   double CppMs = timeMs(Ref, Iters);
-  Rows.push_back({Name, optsApplied(CR), DataDesc, G.MillisPerIter, CppMs});
+  Rows.push_back(
+      {Name, optsApplied(CR), DataDesc, N, G.MillisPerIter, CppMs});
 }
 
 } // namespace
@@ -101,28 +104,28 @@ int main(int Argc, char **Argv) {
     int64_t Cutoff = 9500;
     runCase("tpch-q1", apps::tpchQ1(),
             {{"lineitems", L.toAosValue()}, {"cutoff", Value(Cutoff)}},
-            "500k lineitems", 3,
+            "500k lineitems", 500000, 3,
             [&] { (void)refimpl::tpchQ1(L, Cutoff); });
   }
   {
     auto G = data::makeGeneReads(500000, 10000, 2);
     runCase("gene", apps::geneBarcoding(),
             {{"genes", G.toAosValue()}, {"min_quality", Value(10.0)}},
-            "500k reads", 3, [&] { (void)refimpl::gene(G, 10.0); });
+            "500k reads", 500000, 3, [&] { (void)refimpl::gene(G, 10.0); });
   }
   {
     auto X = data::makeGaussianMixture(Rows_, Cols, 2, 3);
     auto Y = data::makeLabels(X, 4);
     runCase("gda", apps::gda(),
             {{"x", X.toValue()}, {"y", Value::arrayOfInts(Y)}},
-            "50k x 20 matrix", 2, [&] { (void)refimpl::gda(X, Y); });
+            "50k x 20 matrix", static_cast<int64_t>(Rows_), 2, [&] { (void)refimpl::gda(X, Y); });
   }
   {
     auto M = data::makeGaussianMixture(Rows_, Cols, K, 5);
     auto C = data::makeCentroids(M, K, 6);
     runCase("k-means", apps::kmeansSharedMemory(),
             {{"matrix", M.toValue()}, {"clusters", C.toValue()}},
-            "50k x 20, k=10 (per iter)", 3,
+            "50k x 20, k=10 (per iter)", static_cast<int64_t>(Rows_), 3,
             [&] { (void)refimpl::kmeansStep(M, C); });
   }
   {
@@ -134,7 +137,7 @@ int main(int Argc, char **Argv) {
              {"y", Value::arrayOfDoubles(YD)},
              {"theta", Value::arrayOfDoubles(Theta)},
              {"alpha", Value(0.1)}},
-            "50k x 20 (per iter)", 3,
+            "50k x 20 (per iter)", static_cast<int64_t>(Rows_), 3,
             [&] { (void)refimpl::logregStep(X, YD, Theta, 0.1); });
   }
   {
@@ -143,7 +146,7 @@ int main(int Argc, char **Argv) {
                               1.0 / static_cast<double>(G.NumV));
     auto In = G.transposed();
     runCase("pagerank", apps::pageRankPull(),
-            graph::pageRankInputs(G, Ranks), "RMAT-14 (per iter)", 3, [&] {
+            graph::pageRankInputs(G, Ranks), "RMAT-14 (per iter)", G.NumV, 3, [&] {
               (void)refimpl::pageRankStep(In, G.OutDeg, Ranks);
             });
   }
@@ -157,7 +160,7 @@ int main(int Argc, char **Argv) {
     double CppMs = timeMs([&] { (void)refimpl::triangleCount(Und); }, 3);
     Rows.push_back({"triangle", "domain-specific push-pull, merge "
                                 "intersection",
-                    "RMAT-13 sym", DmllMs, CppMs});
+                    "RMAT-13 sym", Und.NumV, DmllMs, CppMs});
   }
 
   Table T({"Benchmark", "Optimizations applied", "Data set", "DMLL",
@@ -171,6 +174,23 @@ int main(int Argc, char **Argv) {
               "hand-optimized C++\n(paper bound: |delta| <= 25%% per "
               "application)\n\n%s\n",
               T.render().c_str());
+
+  // --json-out FILE: the same rows machine-readable; the hand-written C++
+  // reference is the baseline (speedup 1.0), the generated-code row carries
+  // cpp_ms / dmll_ms.
+  std::string JsonPath = bench::jsonOutArgPath(Argc, Argv);
+  if (!JsonPath.empty()) {
+    bench::BenchJsonWriter W("table2_sequential");
+    for (const Row &R : Rows) {
+      W.add({R.Name, R.N, 1, "cpp-ref", R.CppMs, 1.0});
+      W.add({R.Name, R.N, 1, "dmll-codegen", R.DmllMs,
+             R.DmllMs > 0 ? R.CppMs / R.DmllMs : 0.0});
+    }
+    if (W.write(JsonPath))
+      std::printf("wrote %s\n", JsonPath.c_str());
+    else
+      std::fprintf(stderr, "failed to write %s\n", JsonPath.c_str());
+  }
 
   if (!TracePath.empty()) {
     if (Session.writeChromeJson(TracePath))

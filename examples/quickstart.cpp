@@ -7,7 +7,11 @@
 //   4. observe it — rewrite provenance, per-worker metrics, and an optional
 //      Chrome-trace dump (open in chrome://tracing or https://ui.perfetto.dev).
 //
-// Build and run:  ./build/examples/quickstart [--trace-out trace.json]
+// Build and run:
+//   ./build/examples/quickstart [--trace-out trace.json] [--engine MODE]
+// where MODE is interp (boxed reference interpreter), kernel (compiled
+// register bytecode, docs/EXECUTION.md), or auto (the default: kernels for
+// non-tiny loops, interpreter otherwise).
 //
 //===----------------------------------------------------------------------===//
 
@@ -30,6 +34,12 @@ int main(int Argc, char **Argv) {
   std::string TracePath = traceArgPath(Argc, Argv);
   TraceSession Session;
   TraceActivation Activation(Session);
+
+  // --engine interp|kernel|auto selects the multiloop execution engine.
+  engine::EngineMode Mode = engine::EngineMode::Auto;
+  for (int I = 1; I + 1 < Argc; ++I)
+    if (std::string(Argv[I]) == "--engine")
+      Mode = engine::parseEngineMode(Argv[I + 1]);
 
   // 1. An implicitly parallel program: mean of the squares of the
   //    positive entries. Three logical patterns: filter, map, reduce.
@@ -63,17 +73,34 @@ int main(int Argc, char **Argv) {
   InputMap Inputs{{"xs", Value::arrayOfDoubles(Data)}};
   Value Seq = evalProgram(CR.P, Inputs);
   ExecProfile Profile;
-  Value Par = evalProgramParallel(CR.P, Inputs, /*Threads=*/4,
-                                  /*MinChunk=*/128, &Profile);
+  engine::KernelStats Kernels;
+  EvalOptions EOpts;
+  EOpts.Threads = 4;
+  EOpts.MinChunk = 128;
+  EOpts.Mode = Mode;
+  EOpts.Profile = &Profile;
+  EOpts.Kernels = &Kernels;
+  Value Par = evalProgramWith(CR.P, Inputs, EOpts);
   std::printf("\nmean of squares of positives: sequential %.6f, "
-              "4 threads %.6f\n",
-              Seq.asFloat(), Par.asFloat());
+              "4 threads (%s engine) %.6f\n",
+              Seq.asFloat(), engine::engineModeName(Mode), Par.asFloat());
 
-  // 4. Executor metrics: how the parallel run spread across workers.
+  // 4. Executor metrics: how the parallel run spread across workers, and
+  //    what the kernel engine did with each loop.
   std::printf("\n%lld parallel / %lld sequential loop(s)\n%s",
               static_cast<long long>(Profile.ParallelLoops),
               static_cast<long long>(Profile.SequentialLoops),
               renderWorkerStats(Profile.Workers).c_str());
+  if (Mode != engine::EngineMode::Interp) {
+    std::printf("\n%lld kernel(s) compiled in %.3f ms, %lld launch(es), "
+                "%lld loop(s) fell back to the interpreter\n",
+                static_cast<long long>(Kernels.Compiled),
+                Kernels.CompileMillis,
+                static_cast<long long>(Kernels.Launches),
+                static_cast<long long>(Kernels.FallbackLoops));
+    for (const std::string &F : Kernels.Fallbacks)
+      std::printf("  fallback: %s\n", F.c_str());
+  }
 
   if (!TracePath.empty()) {
     if (Session.writeChromeJson(TracePath))

@@ -2,6 +2,7 @@
 
 #include "codegen/CppEmitter.h"
 
+#include "codegen/LowerCommon.h"
 #include "ir/Builder.h"
 #include "ir/Traversal.h"
 #include "observe/Trace.h"
@@ -315,20 +316,8 @@ private:
 
   /// True when \p R is the scalar addition (a, b) => a + b: the accumulator
   /// can start at 0 with no first-element flag, letting the compiler
-  /// vectorize the reduction loop.
-  static bool isScalarAdd(const Func &R) {
-    if (!R.isSet() || R.arity() != 2 || !R.Body->type()->isScalar())
-      return false;
-    const auto *Add = dyn_cast<BinOpExpr>(R.Body);
-    if (!Add || Add->op() != BinOpKind::Add)
-      return false;
-    const auto *L = dyn_cast<SymExpr>(Add->lhs());
-    const auto *Rr = dyn_cast<SymExpr>(Add->rhs());
-    if (!L || !Rr)
-      return false;
-    uint64_t A = R.Params[0]->id(), B = R.Params[1]->id();
-    return (L->id() == A && Rr->id() == B) || (L->id() == B && Rr->id() == A);
-  }
+  /// vectorize the reduction loop. Shared with the kernel engine.
+  static bool isScalarAdd(const Func &R) { return lower::isScalarAddReduce(R); }
 
   /// In-place vector accumulation: a (Bucket)Reduce over array values whose
   /// value is a Collect and whose reduction is elementwise addition can

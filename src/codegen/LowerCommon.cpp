@@ -1,0 +1,50 @@
+//===- codegen/LowerCommon.cpp ---------------------------------*- C++ -*-===//
+
+#include "codegen/LowerCommon.h"
+
+using namespace dmll;
+
+lower::ScalarKind lower::scalarKindOf(const Type &Ty) {
+  switch (Ty.getKind()) {
+  case TypeKind::Bool:
+    return ScalarKind::I1;
+  case TypeKind::Int32:
+  case TypeKind::Int64:
+    return ScalarKind::I64;
+  case TypeKind::Float32:
+  case TypeKind::Float64:
+    return ScalarKind::F64;
+  case TypeKind::Array:
+  case TypeKind::Struct:
+    return ScalarKind::NotScalar;
+  }
+  return ScalarKind::NotScalar;
+}
+
+const char *lower::scalarKindName(ScalarKind K) {
+  switch (K) {
+  case ScalarKind::I1:
+    return "i1";
+  case ScalarKind::I64:
+    return "i64";
+  case ScalarKind::F64:
+    return "f64";
+  case ScalarKind::NotScalar:
+    return "non-scalar";
+  }
+  return "non-scalar";
+}
+
+bool lower::isScalarAddReduce(const Func &R) {
+  if (!R.isSet() || R.arity() != 2 || !R.Body->type()->isScalar())
+    return false;
+  const auto *Add = dyn_cast<BinOpExpr>(R.Body);
+  if (!Add || Add->op() != BinOpKind::Add)
+    return false;
+  const auto *L = dyn_cast<SymExpr>(Add->lhs());
+  const auto *Rr = dyn_cast<SymExpr>(Add->rhs());
+  if (!L || !Rr)
+    return false;
+  uint64_t A = R.Params[0]->id(), B = R.Params[1]->id();
+  return (L->id() == A && Rr->id() == B) || (L->id() == B && Rr->id() == A);
+}

@@ -1,0 +1,47 @@
+//===- codegen/LowerCommon.h - Shared lowering helpers ---------*- C++ -*-===//
+//
+// Part of the DMLL reproduction of Brown et al., CGO 2016.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Helpers shared by every backend that lowers multiloops out of the boxed
+/// interpreter world: the C++ emitter (codegen/CppEmitter), the CUDA emitter,
+/// and the in-process kernel engine (src/engine). They answer the two
+/// questions every lowering asks per expression: "which unboxed scalar class
+/// does this type collapse to?" (the interpreter collapses i32/i64 to int64
+/// and f32/f64 to double — see interp/Value.h) and "is this reduction the
+/// plain scalar addition?" (which permits a zero-initialized accumulator with
+/// no first-element flag, the shape compilers vectorize).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DMLL_CODEGEN_LOWERCOMMON_H
+#define DMLL_CODEGEN_LOWERCOMMON_H
+
+#include "ir/Expr.h"
+#include "ir/Type.h"
+
+namespace dmll {
+namespace lower {
+
+/// The unboxed register/buffer classes scalars collapse to at runtime,
+/// mirroring interp/Value.h: bool, int64_t, double. NotScalar marks arrays
+/// and structs (unlowerable as flat registers).
+enum class ScalarKind { I1, I64, F64, NotScalar };
+
+/// Maps a static type to its runtime scalar class.
+ScalarKind scalarKindOf(const Type &Ty);
+
+/// Printable name ("i1", "i64", "f64", "non-scalar").
+const char *scalarKindName(ScalarKind K);
+
+/// True when \p R is the two-parameter scalar addition (a, b) => a + b (in
+/// either parameter order): its accumulator may start at zero with no
+/// first-element flag, which lets lowered reduction loops vectorize.
+bool isScalarAddReduce(const Func &R);
+
+} // namespace lower
+} // namespace dmll
+
+#endif // DMLL_CODEGEN_LOWERCOMMON_H

@@ -1,0 +1,28 @@
+//===- engine/Engine.cpp ---------------------------------------*- C++ -*-===//
+
+#include "engine/Engine.h"
+
+using namespace dmll;
+
+const char *engine::engineModeName(EngineMode M) {
+  switch (M) {
+  case EngineMode::Interp:
+    return "interp";
+  case EngineMode::Kernel:
+    return "kernel";
+  case EngineMode::Auto:
+    return "auto";
+  }
+  return "interp";
+}
+
+engine::EngineMode engine::parseEngineMode(const std::string &S,
+                                           EngineMode Default) {
+  if (S == "interp")
+    return EngineMode::Interp;
+  if (S == "kernel")
+    return EngineMode::Kernel;
+  if (S == "auto")
+    return EngineMode::Auto;
+  return Default;
+}

@@ -1,0 +1,46 @@
+//===- engine/KernelCompiler.h - Multiloop -> bytecode lowering -*- C++ -*-===//
+//
+// Part of the DMLL reproduction of Brown et al., CGO 2016.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lowers a closed multiloop into the register bytecode of engine/Kernel.h.
+/// The compiler is deliberately partial: scalar expression bodies over
+/// loop-invariant arrays lower; everything else (loop-varying arrays or
+/// structs, non-invariant nested multiloops, Flatten in the body) returns a
+/// failure reason and the caller falls back to the reference interpreter,
+/// which is always semantically complete. The lowering preserves the
+/// interpreter's observable behaviour: lazy Select, eager And/Or,
+/// static-type-driven arithmetic over dynamic-kind registers, and the exact
+/// fatal-error messages for division by zero and out-of-range reads.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DMLL_ENGINE_KERNELCOMPILER_H
+#define DMLL_ENGINE_KERNELCOMPILER_H
+
+#include "engine/Kernel.h"
+
+#include <memory>
+#include <string>
+
+namespace dmll {
+namespace engine {
+
+/// Result of compiling one multiloop: either a kernel or a human-readable
+/// reason why the loop must stay on the interpreter.
+struct CompileOutcome {
+  std::unique_ptr<Kernel> K; ///< null when the loop cannot be lowered
+  std::string Reason;        ///< set when K is null
+};
+
+/// Compiles \p Loop (a Multiloop node; must be closed — no free symbols) to
+/// bytecode. Never fails fatally: unlowerable constructs produce a
+/// CompileOutcome with a reason string instead.
+CompileOutcome compileKernel(const ExprRef &Loop);
+
+} // namespace engine
+} // namespace dmll
+
+#endif // DMLL_ENGINE_KERNELCOMPILER_H

@@ -1,0 +1,993 @@
+//===- engine/KernelVM.cpp -------------------------------------*- C++ -*-===//
+
+#include "engine/KernelVM.h"
+
+#include "observe/Trace.h"
+#include "runtime/ThreadPool.h"
+#include "support/Error.h"
+
+#include <algorithm>
+#include <cmath>
+#include <type_traits>
+
+using namespace dmll;
+using namespace dmll::engine;
+using lower::ScalarKind;
+
+const ColBuf *ColumnCache::get(const ArrayPtr &Arr, ScalarKind Kind) {
+  std::vector<std::unique_ptr<ColBuf>> &Slot = Cache[Arr.get()];
+  for (const std::unique_ptr<ColBuf> &B : Slot)
+    if (B->Kind == Kind)
+      return B.get();
+
+  auto Buf = std::make_unique<ColBuf>();
+  Buf->Kind = Kind;
+  Buf->Keepalive = Arr;
+  Buf->Size = Arr->size();
+  switch (Kind) {
+  case ScalarKind::I64:
+    Buf->I.reserve(Arr->size());
+    for (const Value &V : *Arr) {
+      if (!V.isInt())
+        return nullptr;
+      Buf->I.push_back(V.asInt());
+    }
+    break;
+  case ScalarKind::F64:
+    Buf->F.reserve(Arr->size());
+    for (const Value &V : *Arr) {
+      if (!V.isFloat())
+        return nullptr;
+      Buf->F.push_back(V.asFloat());
+    }
+    break;
+  case ScalarKind::I1:
+    Buf->B.reserve(Arr->size());
+    for (const Value &V : *Arr) {
+      if (!V.isBool())
+        return nullptr;
+      Buf->B.push_back(V.asBool() ? 1 : 0);
+    }
+    break;
+  case ScalarKind::NotScalar:
+    return nullptr;
+  }
+  Slot.push_back(std::move(Buf));
+  return Slot.back().get();
+}
+
+namespace {
+
+/// The three register banks of one executing chunk.
+struct Regs {
+  std::vector<int64_t> I;
+  std::vector<double> F;
+  std::vector<uint8_t> B;
+
+  explicit Regs(const Kernel &K)
+      : I(K.NumI, 0), F(K.NumF, 0.0), B(K.NumB, 0) {}
+};
+
+/// Unboxed per-chunk accumulation state for one generator; the typed
+/// mirror of the interpreter's GenState. Only the members matching the
+/// generator kind and value bank are used.
+struct ChunkGen {
+  // Collect.
+  std::vector<int64_t> CI;
+  std::vector<double> CF;
+  std::vector<uint8_t> CB;
+  // Reduce.
+  int64_t AccI = 0;
+  double AccF = 0;
+  uint8_t AccB = 0;
+  bool Has = false;
+  // Dense buckets.
+  std::vector<int64_t> DVI;
+  std::vector<double> DVF;
+  std::vector<uint8_t> DVB;
+  std::vector<char> DHas;
+  std::vector<std::vector<int64_t>> DCI;
+  std::vector<std::vector<double>> DCF;
+  std::vector<std::vector<uint8_t>> DCB;
+  // Hash buckets (first-occurrence key order).
+  std::unordered_map<int64_t, size_t> KeyIndex;
+  std::vector<int64_t> KeysInOrder;
+  std::vector<int64_t> HVI;
+  std::vector<double> HVF;
+  std::vector<uint8_t> HVB;
+  std::vector<std::vector<int64_t>> HCI;
+  std::vector<std::vector<double>> HCF;
+  std::vector<std::vector<uint8_t>> HCB;
+  // Slot between a BucketHead and its BucketStore.
+  int64_t Pending = -1;
+};
+
+void initChunk(const Kernel &K, const std::vector<int64_t> &NumKeys,
+               std::vector<ChunkGen> &Gens) {
+  Gens.clear();
+  Gens.resize(K.Gens.size());
+  for (size_t G = 0; G < K.Gens.size(); ++G) {
+    const GenPlan &P = K.Gens[G];
+    if (!P.Dense)
+      continue;
+    size_t NK = static_cast<size_t>(NumKeys[G]);
+    if (P.Kind == GenKind::BucketReduce) {
+      switch (P.ValKind) {
+      case ScalarKind::I64:
+        Gens[G].DVI.assign(NK, 0);
+        break;
+      case ScalarKind::F64:
+        Gens[G].DVF.assign(NK, 0.0);
+        break;
+      default:
+        Gens[G].DVB.assign(NK, 0);
+        break;
+      }
+      Gens[G].DHas.assign(NK, 0);
+    } else {
+      switch (P.ValKind) {
+      case ScalarKind::I64:
+        Gens[G].DCI.resize(NK);
+        break;
+      case ScalarKind::F64:
+        Gens[G].DCF.resize(NK);
+        break;
+      default:
+        Gens[G].DCB.resize(NK);
+        break;
+      }
+    }
+  }
+}
+
+[[noreturn]] void colOutOfRange(int64_t Idx, size_t Size) {
+  fatalError("array read out of range: index " + std::to_string(Idx) +
+             ", size " + std::to_string(Size));
+}
+
+/// Executes instructions [Begin, End). \p NumKeys holds the dense bucket
+/// counts (parallel to K.Gens). The interpreter's fatal errors reproduce
+/// with identical messages.
+void execRange(const Kernel &K, int32_t Begin, int32_t End, Regs &R,
+               const std::vector<const ColBuf *> &Cols,
+               std::vector<ChunkGen> &Gens,
+               const std::vector<int64_t> &NumKeys) {
+  const Inst *Code = K.Code.data();
+  int32_t Ip = Begin;
+  while (Ip < End) {
+    const Inst &In = Code[Ip];
+    ++Ip;
+    switch (In.Op) {
+    case ROp::Jump:
+      Ip = In.Target;
+      break;
+    case ROp::JumpIfFalse:
+      if (!R.B[In.A])
+        Ip = In.Target;
+      break;
+    case ROp::JumpIfTrue:
+      if (R.B[In.A])
+        Ip = In.Target;
+      break;
+    case ROp::LoadImmI:
+      R.I[In.Dst] = In.ImmI;
+      break;
+    case ROp::LoadImmF:
+      R.F[In.Dst] = In.ImmF;
+      break;
+    case ROp::LoadImmB:
+      R.B[In.Dst] = In.ImmI != 0;
+      break;
+    case ROp::MoveI:
+      R.I[In.Dst] = R.I[In.A];
+      break;
+    case ROp::MoveF:
+      R.F[In.Dst] = R.F[In.A];
+      break;
+    case ROp::MoveB:
+      R.B[In.Dst] = R.B[In.A];
+      break;
+    case ROp::LoadColI: {
+      const ColBuf *C = Cols[In.A];
+      int64_t Idx = R.I[In.B];
+      if (Idx < 0 || static_cast<size_t>(Idx) >= C->Size)
+        colOutOfRange(Idx, C->Size);
+      R.I[In.Dst] = C->I[static_cast<size_t>(Idx)];
+      break;
+    }
+    case ROp::LoadColF: {
+      const ColBuf *C = Cols[In.A];
+      int64_t Idx = R.I[In.B];
+      if (Idx < 0 || static_cast<size_t>(Idx) >= C->Size)
+        colOutOfRange(Idx, C->Size);
+      R.F[In.Dst] = C->F[static_cast<size_t>(Idx)];
+      break;
+    }
+    case ROp::LoadColB: {
+      const ColBuf *C = Cols[In.A];
+      int64_t Idx = R.I[In.B];
+      if (Idx < 0 || static_cast<size_t>(Idx) >= C->Size)
+        colOutOfRange(Idx, C->Size);
+      R.B[In.Dst] = C->B[static_cast<size_t>(Idx)] != 0;
+      break;
+    }
+    case ROp::AddI:
+      R.I[In.Dst] = R.I[In.A] + R.I[In.B];
+      break;
+    case ROp::SubI:
+      R.I[In.Dst] = R.I[In.A] - R.I[In.B];
+      break;
+    case ROp::MulI:
+      R.I[In.Dst] = R.I[In.A] * R.I[In.B];
+      break;
+    case ROp::DivI:
+      if (R.I[In.B] == 0)
+        fatalError("integer division by zero");
+      R.I[In.Dst] = R.I[In.A] / R.I[In.B];
+      break;
+    case ROp::ModI:
+      if (R.I[In.B] == 0)
+        fatalError("integer modulo by zero");
+      R.I[In.Dst] = R.I[In.A] % R.I[In.B];
+      break;
+    case ROp::MinI:
+      R.I[In.Dst] = R.I[In.A] < R.I[In.B] ? R.I[In.A] : R.I[In.B];
+      break;
+    case ROp::MaxI:
+      R.I[In.Dst] = R.I[In.A] > R.I[In.B] ? R.I[In.A] : R.I[In.B];
+      break;
+    case ROp::NegI:
+      R.I[In.Dst] = -R.I[In.A];
+      break;
+    case ROp::AbsI:
+      R.I[In.Dst] = R.I[In.A] < 0 ? -R.I[In.A] : R.I[In.A];
+      break;
+    case ROp::AddF:
+      R.F[In.Dst] = R.F[In.A] + R.F[In.B];
+      break;
+    case ROp::SubF:
+      R.F[In.Dst] = R.F[In.A] - R.F[In.B];
+      break;
+    case ROp::MulF:
+      R.F[In.Dst] = R.F[In.A] * R.F[In.B];
+      break;
+    case ROp::DivF:
+      R.F[In.Dst] = R.F[In.A] / R.F[In.B];
+      break;
+    case ROp::ModF:
+      R.F[In.Dst] = std::fmod(R.F[In.A], R.F[In.B]);
+      break;
+    case ROp::MinF:
+      R.F[In.Dst] = std::fmin(R.F[In.A], R.F[In.B]);
+      break;
+    case ROp::MaxF:
+      R.F[In.Dst] = std::fmax(R.F[In.A], R.F[In.B]);
+      break;
+    case ROp::NegF:
+      R.F[In.Dst] = -R.F[In.A];
+      break;
+    case ROp::AbsF:
+      R.F[In.Dst] = std::fabs(R.F[In.A]);
+      break;
+    case ROp::ExpF:
+      R.F[In.Dst] = std::exp(R.F[In.A]);
+      break;
+    case ROp::LogF:
+      R.F[In.Dst] = std::log(R.F[In.A]);
+      break;
+    case ROp::SqrtF:
+      R.F[In.Dst] = std::sqrt(R.F[In.A]);
+      break;
+    case ROp::EqI:
+      R.B[In.Dst] = R.I[In.A] == R.I[In.B];
+      break;
+    case ROp::NeI:
+      R.B[In.Dst] = R.I[In.A] != R.I[In.B];
+      break;
+    case ROp::LtI:
+      R.B[In.Dst] = R.I[In.A] < R.I[In.B];
+      break;
+    case ROp::LeI:
+      R.B[In.Dst] = R.I[In.A] <= R.I[In.B];
+      break;
+    case ROp::GtI:
+      R.B[In.Dst] = R.I[In.A] > R.I[In.B];
+      break;
+    case ROp::GeI:
+      R.B[In.Dst] = R.I[In.A] >= R.I[In.B];
+      break;
+    case ROp::EqF:
+      R.B[In.Dst] = R.F[In.A] == R.F[In.B];
+      break;
+    case ROp::NeF:
+      R.B[In.Dst] = R.F[In.A] != R.F[In.B];
+      break;
+    case ROp::LtF:
+      R.B[In.Dst] = R.F[In.A] < R.F[In.B];
+      break;
+    case ROp::LeF:
+      R.B[In.Dst] = R.F[In.A] <= R.F[In.B];
+      break;
+    case ROp::GtF:
+      R.B[In.Dst] = R.F[In.A] > R.F[In.B];
+      break;
+    case ROp::GeF:
+      R.B[In.Dst] = R.F[In.A] >= R.F[In.B];
+      break;
+    case ROp::AndB:
+      R.B[In.Dst] = R.B[In.A] && R.B[In.B];
+      break;
+    case ROp::OrB:
+      R.B[In.Dst] = R.B[In.A] || R.B[In.B];
+      break;
+    case ROp::NotB:
+      R.B[In.Dst] = !R.B[In.A];
+      break;
+    case ROp::I2F:
+      R.F[In.Dst] = static_cast<double>(R.I[In.A]);
+      break;
+    case ROp::F2I:
+      R.I[In.Dst] = static_cast<int64_t>(R.F[In.A]);
+      break;
+    case ROp::B2I:
+      R.I[In.Dst] = R.B[In.A] ? 1 : 0;
+      break;
+    case ROp::B2F:
+      R.F[In.Dst] = R.B[In.A] ? 1.0 : 0.0;
+      break;
+    case ROp::I2B:
+      R.B[In.Dst] = R.I[In.A] != 0;
+      break;
+    case ROp::F2B:
+      R.B[In.Dst] = R.F[In.A] != 0.0;
+      break;
+
+    case ROp::EmitCollect: {
+      const GenPlan &P = K.Gens[In.Dst];
+      ChunkGen &G = Gens[In.Dst];
+      switch (P.ValKind) {
+      case ScalarKind::I64:
+        G.CI.push_back(R.I[In.A]);
+        break;
+      case ScalarKind::F64:
+        G.CF.push_back(R.F[In.A]);
+        break;
+      default:
+        G.CB.push_back(R.B[In.A]);
+        break;
+      }
+      break;
+    }
+    case ROp::EmitBucket: {
+      const GenPlan &P = K.Gens[In.Dst];
+      ChunkGen &G = Gens[In.Dst];
+      int64_t Key = R.I[P.KeyReg];
+      if (P.Dense) {
+        int64_t NK = NumKeys[In.Dst];
+        if (Key < 0 || Key >= NK)
+          fatalError("dense bucket key " + std::to_string(Key) +
+                     " out of range [0," + std::to_string(NK) + ")");
+        size_t Slot = static_cast<size_t>(Key);
+        switch (P.ValKind) {
+        case ScalarKind::I64:
+          G.DCI[Slot].push_back(R.I[In.A]);
+          break;
+        case ScalarKind::F64:
+          G.DCF[Slot].push_back(R.F[In.A]);
+          break;
+        default:
+          G.DCB[Slot].push_back(R.B[In.A]);
+          break;
+        }
+      } else {
+        auto [It, Inserted] = G.KeyIndex.emplace(Key, G.KeysInOrder.size());
+        if (Inserted) {
+          G.KeysInOrder.push_back(Key);
+          switch (P.ValKind) {
+          case ScalarKind::I64:
+            G.HCI.emplace_back();
+            break;
+          case ScalarKind::F64:
+            G.HCF.emplace_back();
+            break;
+          default:
+            G.HCB.emplace_back();
+            break;
+          }
+        }
+        size_t Slot = It->second;
+        switch (P.ValKind) {
+        case ScalarKind::I64:
+          G.HCI[Slot].push_back(R.I[In.A]);
+          break;
+        case ScalarKind::F64:
+          G.HCF[Slot].push_back(R.F[In.A]);
+          break;
+        default:
+          G.HCB[Slot].push_back(R.B[In.A]);
+          break;
+        }
+      }
+      break;
+    }
+    case ROp::ReduceHead: {
+      const GenPlan &P = K.Gens[In.Dst];
+      ChunkGen &G = Gens[In.Dst];
+      if (!G.Has) {
+        G.Has = true;
+        switch (P.ValKind) {
+        case ScalarKind::I64:
+          G.AccI = R.I[In.A];
+          break;
+        case ScalarKind::F64:
+          G.AccF = R.F[In.A];
+          break;
+        default:
+          G.AccB = R.B[In.A];
+          break;
+        }
+        Ip = In.Target;
+      } else {
+        switch (P.ValKind) {
+        case ScalarKind::I64:
+          R.I[P.AccInReg] = G.AccI;
+          R.I[P.ValInReg] = R.I[In.A];
+          break;
+        case ScalarKind::F64:
+          R.F[P.AccInReg] = G.AccF;
+          R.F[P.ValInReg] = R.F[In.A];
+          break;
+        default:
+          R.B[P.AccInReg] = G.AccB;
+          R.B[P.ValInReg] = R.B[In.A];
+          break;
+        }
+      }
+      break;
+    }
+    case ROp::ReduceStore: {
+      const GenPlan &P = K.Gens[In.Dst];
+      ChunkGen &G = Gens[In.Dst];
+      switch (P.ValKind) {
+      case ScalarKind::I64:
+        G.AccI = R.I[In.A];
+        break;
+      case ScalarKind::F64:
+        G.AccF = R.F[In.A];
+        break;
+      default:
+        G.AccB = R.B[In.A];
+        break;
+      }
+      break;
+    }
+    case ROp::BucketHead: {
+      const GenPlan &P = K.Gens[In.Dst];
+      ChunkGen &G = Gens[In.Dst];
+      int64_t Key = R.I[P.KeyReg];
+      size_t Slot;
+      bool First;
+      if (P.Dense) {
+        int64_t NK = NumKeys[In.Dst];
+        if (Key < 0 || Key >= NK)
+          fatalError("dense bucket key " + std::to_string(Key) +
+                     " out of range [0," + std::to_string(NK) + ")");
+        Slot = static_cast<size_t>(Key);
+        First = !G.DHas[Slot];
+        if (First)
+          G.DHas[Slot] = 1;
+      } else {
+        auto [It, Inserted] = G.KeyIndex.emplace(Key, G.KeysInOrder.size());
+        First = Inserted;
+        if (Inserted) {
+          G.KeysInOrder.push_back(Key);
+          switch (P.ValKind) {
+          case ScalarKind::I64:
+            G.HVI.emplace_back();
+            break;
+          case ScalarKind::F64:
+            G.HVF.emplace_back();
+            break;
+          default:
+            G.HVB.emplace_back();
+            break;
+          }
+        }
+        Slot = It->second;
+      }
+      auto &DI = P.Dense ? G.DVI : G.HVI;
+      auto &DF = P.Dense ? G.DVF : G.HVF;
+      auto &DB = P.Dense ? G.DVB : G.HVB;
+      if (First) {
+        switch (P.ValKind) {
+        case ScalarKind::I64:
+          DI[Slot] = R.I[In.A];
+          break;
+        case ScalarKind::F64:
+          DF[Slot] = R.F[In.A];
+          break;
+        default:
+          DB[Slot] = R.B[In.A];
+          break;
+        }
+        Ip = In.Target;
+      } else {
+        G.Pending = static_cast<int64_t>(Slot);
+        switch (P.ValKind) {
+        case ScalarKind::I64:
+          R.I[P.AccInReg] = DI[Slot];
+          R.I[P.ValInReg] = R.I[In.A];
+          break;
+        case ScalarKind::F64:
+          R.F[P.AccInReg] = DF[Slot];
+          R.F[P.ValInReg] = R.F[In.A];
+          break;
+        default:
+          R.B[P.AccInReg] = DB[Slot];
+          R.B[P.ValInReg] = R.B[In.A];
+          break;
+        }
+      }
+      break;
+    }
+    case ROp::BucketStore: {
+      const GenPlan &P = K.Gens[In.Dst];
+      ChunkGen &G = Gens[In.Dst];
+      size_t Slot = static_cast<size_t>(G.Pending);
+      auto &DI = P.Dense ? G.DVI : G.HVI;
+      auto &DF = P.Dense ? G.DVF : G.HVF;
+      auto &DB = P.Dense ? G.DVB : G.HVB;
+      switch (P.ValKind) {
+      case ScalarKind::I64:
+        DI[Slot] = R.I[In.A];
+        break;
+      case ScalarKind::F64:
+        DF[Slot] = R.F[In.A];
+        break;
+      default:
+        DB[Slot] = R.B[In.A];
+        break;
+      }
+      break;
+    }
+    }
+  }
+}
+
+/// Applies the generator's reduce fragment to (A, B) standalone, returning
+/// the result through the fragment's result register. \p R must have the
+/// uniform snapshot loaded.
+template <typename T>
+T applyFrag(const Kernel &K, const GenPlan &P, Regs &R,
+            const std::vector<const ColBuf *> &Cols,
+            std::vector<ChunkGen> &Scratch,
+            const std::vector<int64_t> &NumKeys, T A, T B,
+            std::vector<T> Regs::*Bank) {
+  (R.*Bank)[P.AccInReg] = A;
+  (R.*Bank)[P.ValInReg] = B;
+  execRange(K, P.FragBegin, P.FragEnd, R, Cols, Scratch, NumKeys);
+  return (R.*Bank)[P.ResultReg];
+}
+
+/// Merges chunk state \p B (later indices) into \p A, mirroring the
+/// interpreter's mergeStates: collects concatenate, reductions combine via
+/// the reduce fragment, hash buckets merge preserving first-occurrence key
+/// order.
+void mergeChunk(const Kernel &K, std::vector<ChunkGen> &A,
+                std::vector<ChunkGen> &B, Regs &R,
+                const std::vector<const ColBuf *> &Cols,
+                const std::vector<int64_t> &NumKeys) {
+  std::vector<ChunkGen> NoGens; // fragments contain no emit ops
+  auto Red = [&](const GenPlan &P, auto X, auto Y) {
+    using T = decltype(X);
+    if constexpr (std::is_same_v<T, int64_t>)
+      return applyFrag<int64_t>(K, P, R, Cols, NoGens, NumKeys, X, Y,
+                                &Regs::I);
+    else if constexpr (std::is_same_v<T, double>)
+      return applyFrag<double>(K, P, R, Cols, NoGens, NumKeys, X, Y,
+                               &Regs::F);
+    else
+      return applyFrag<uint8_t>(K, P, R, Cols, NoGens, NumKeys, X, Y,
+                                &Regs::B);
+  };
+
+  for (size_t GI = 0; GI < K.Gens.size(); ++GI) {
+    const GenPlan &P = K.Gens[GI];
+    ChunkGen &GA = A[GI];
+    ChunkGen &GB = B[GI];
+    switch (P.Kind) {
+    case GenKind::Collect:
+      GA.CI.insert(GA.CI.end(), GB.CI.begin(), GB.CI.end());
+      GA.CF.insert(GA.CF.end(), GB.CF.begin(), GB.CF.end());
+      GA.CB.insert(GA.CB.end(), GB.CB.begin(), GB.CB.end());
+      break;
+    case GenKind::Reduce:
+      if (!GA.Has) {
+        GA.AccI = GB.AccI;
+        GA.AccF = GB.AccF;
+        GA.AccB = GB.AccB;
+        GA.Has = GB.Has;
+      } else if (GB.Has) {
+        switch (P.ValKind) {
+        case ScalarKind::I64:
+          GA.AccI = Red(P, GA.AccI, GB.AccI);
+          break;
+        case ScalarKind::F64:
+          GA.AccF = Red(P, GA.AccF, GB.AccF);
+          break;
+        default:
+          GA.AccB = Red(P, GA.AccB, GB.AccB);
+          break;
+        }
+      }
+      break;
+    case GenKind::BucketCollect:
+      if (P.Dense) {
+        size_t NK = static_cast<size_t>(NumKeys[GI]);
+        for (size_t S = 0; S < NK; ++S) {
+          switch (P.ValKind) {
+          case ScalarKind::I64:
+            GA.DCI[S].insert(GA.DCI[S].end(), GB.DCI[S].begin(),
+                             GB.DCI[S].end());
+            break;
+          case ScalarKind::F64:
+            GA.DCF[S].insert(GA.DCF[S].end(), GB.DCF[S].begin(),
+                             GB.DCF[S].end());
+            break;
+          default:
+            GA.DCB[S].insert(GA.DCB[S].end(), GB.DCB[S].begin(),
+                             GB.DCB[S].end());
+            break;
+          }
+        }
+      } else {
+        for (size_t BK = 0; BK < GB.KeysInOrder.size(); ++BK) {
+          int64_t Key = GB.KeysInOrder[BK];
+          auto [It, Inserted] = GA.KeyIndex.emplace(Key, GA.KeysInOrder.size());
+          if (Inserted) {
+            GA.KeysInOrder.push_back(Key);
+            switch (P.ValKind) {
+            case ScalarKind::I64:
+              GA.HCI.push_back(std::move(GB.HCI[BK]));
+              break;
+            case ScalarKind::F64:
+              GA.HCF.push_back(std::move(GB.HCF[BK]));
+              break;
+            default:
+              GA.HCB.push_back(std::move(GB.HCB[BK]));
+              break;
+            }
+            continue;
+          }
+          size_t S = It->second;
+          switch (P.ValKind) {
+          case ScalarKind::I64:
+            GA.HCI[S].insert(GA.HCI[S].end(), GB.HCI[BK].begin(),
+                             GB.HCI[BK].end());
+            break;
+          case ScalarKind::F64:
+            GA.HCF[S].insert(GA.HCF[S].end(), GB.HCF[BK].begin(),
+                             GB.HCF[BK].end());
+            break;
+          default:
+            GA.HCB[S].insert(GA.HCB[S].end(), GB.HCB[BK].begin(),
+                             GB.HCB[BK].end());
+            break;
+          }
+        }
+      }
+      break;
+    case GenKind::BucketReduce:
+      if (P.Dense) {
+        size_t NK = static_cast<size_t>(NumKeys[GI]);
+        for (size_t S = 0; S < NK; ++S) {
+          if (!GB.DHas[S])
+            continue;
+          if (!GA.DHas[S]) {
+            GA.DHas[S] = 1;
+            switch (P.ValKind) {
+            case ScalarKind::I64:
+              GA.DVI[S] = GB.DVI[S];
+              break;
+            case ScalarKind::F64:
+              GA.DVF[S] = GB.DVF[S];
+              break;
+            default:
+              GA.DVB[S] = GB.DVB[S];
+              break;
+            }
+          } else {
+            switch (P.ValKind) {
+            case ScalarKind::I64:
+              GA.DVI[S] = Red(P, GA.DVI[S], GB.DVI[S]);
+              break;
+            case ScalarKind::F64:
+              GA.DVF[S] = Red(P, GA.DVF[S], GB.DVF[S]);
+              break;
+            default:
+              GA.DVB[S] = Red(P, GA.DVB[S], GB.DVB[S]);
+              break;
+            }
+          }
+        }
+      } else {
+        for (size_t BK = 0; BK < GB.KeysInOrder.size(); ++BK) {
+          int64_t Key = GB.KeysInOrder[BK];
+          auto [It, Inserted] = GA.KeyIndex.emplace(Key, GA.KeysInOrder.size());
+          if (Inserted) {
+            GA.KeysInOrder.push_back(Key);
+            switch (P.ValKind) {
+            case ScalarKind::I64:
+              GA.HVI.push_back(GB.HVI[BK]);
+              break;
+            case ScalarKind::F64:
+              GA.HVF.push_back(GB.HVF[BK]);
+              break;
+            default:
+              GA.HVB.push_back(GB.HVB[BK]);
+              break;
+            }
+            continue;
+          }
+          size_t S = It->second;
+          switch (P.ValKind) {
+          case ScalarKind::I64:
+            GA.HVI[S] = Red(P, GA.HVI[S], GB.HVI[BK]);
+            break;
+          case ScalarKind::F64:
+            GA.HVF[S] = Red(P, GA.HVF[S], GB.HVF[BK]);
+            break;
+          default:
+            GA.HVB[S] = Red(P, GA.HVB[S], GB.HVB[BK]);
+            break;
+          }
+        }
+      }
+      break;
+    }
+  }
+}
+
+Value boxScalar(ScalarKind K, int64_t I, double F, uint8_t B) {
+  switch (K) {
+  case ScalarKind::I64:
+    return Value(I);
+  case ScalarKind::F64:
+    return Value(F);
+  default:
+    return Value(B != 0);
+  }
+}
+
+/// Boxes one generator's final state, mirroring the interpreter's
+/// finishGen exactly (including zeroOf for empty reductions and untouched
+/// dense buckets).
+Value finishGen(const GenPlan &P, ChunkGen &G, int64_t NumKeys) {
+  switch (P.Kind) {
+  case GenKind::Collect: {
+    ArrayData Out;
+    switch (P.ValKind) {
+    case ScalarKind::I64:
+      Out.reserve(G.CI.size());
+      for (int64_t V : G.CI)
+        Out.push_back(Value(V));
+      break;
+    case ScalarKind::F64:
+      Out.reserve(G.CF.size());
+      for (double V : G.CF)
+        Out.push_back(Value(V));
+      break;
+    default:
+      Out.reserve(G.CB.size());
+      for (uint8_t V : G.CB)
+        Out.push_back(Value(V != 0));
+      break;
+    }
+    return Value::makeArray(std::move(Out));
+  }
+  case GenKind::Reduce:
+    if (G.Has)
+      return boxScalar(P.ValKind, G.AccI, G.AccF, G.AccB);
+    return Value::zeroOf(*P.ValType);
+  case GenKind::BucketCollect: {
+    auto BoxBucket = [&](std::vector<int64_t> &BI, std::vector<double> &BF,
+                         std::vector<uint8_t> &BB) {
+      ArrayData Elems;
+      switch (P.ValKind) {
+      case ScalarKind::I64:
+        Elems.reserve(BI.size());
+        for (int64_t V : BI)
+          Elems.push_back(Value(V));
+        break;
+      case ScalarKind::F64:
+        Elems.reserve(BF.size());
+        for (double V : BF)
+          Elems.push_back(Value(V));
+        break;
+      default:
+        Elems.reserve(BB.size());
+        for (uint8_t V : BB)
+          Elems.push_back(Value(V != 0));
+        break;
+      }
+      return Value::makeArray(std::move(Elems));
+    };
+    std::vector<int64_t> EmptyI;
+    std::vector<double> EmptyF;
+    std::vector<uint8_t> EmptyB;
+    if (P.Dense) {
+      ArrayData Buckets;
+      size_t NK = static_cast<size_t>(NumKeys);
+      for (size_t S = 0; S < NK; ++S)
+        Buckets.push_back(BoxBucket(
+            P.ValKind == ScalarKind::I64 ? G.DCI[S] : EmptyI,
+            P.ValKind == ScalarKind::F64 ? G.DCF[S] : EmptyF,
+            P.ValKind == ScalarKind::I1 ? G.DCB[S] : EmptyB));
+      return Value::makeArray(std::move(Buckets));
+    }
+    ArrayData Keys, Buckets;
+    for (int64_t Key : G.KeysInOrder)
+      Keys.push_back(Value(Key));
+    for (size_t S = 0; S < G.KeysInOrder.size(); ++S)
+      Buckets.push_back(BoxBucket(
+          P.ValKind == ScalarKind::I64 ? G.HCI[S] : EmptyI,
+          P.ValKind == ScalarKind::F64 ? G.HCF[S] : EmptyF,
+          P.ValKind == ScalarKind::I1 ? G.HCB[S] : EmptyB));
+    return Value::makeStruct({Value::makeArray(std::move(Keys)),
+                              Value::makeArray(std::move(Buckets))});
+  }
+  case GenKind::BucketReduce: {
+    if (P.Dense) {
+      ArrayData Out;
+      size_t NK = static_cast<size_t>(NumKeys);
+      for (size_t S = 0; S < NK; ++S)
+        Out.push_back(G.DHas[S]
+                          ? boxScalar(P.ValKind,
+                                      P.ValKind == ScalarKind::I64 ? G.DVI[S]
+                                                                   : 0,
+                                      P.ValKind == ScalarKind::F64 ? G.DVF[S]
+                                                                   : 0,
+                                      P.ValKind == ScalarKind::I1 ? G.DVB[S]
+                                                                  : 0)
+                          : Value::zeroOf(*P.ValType));
+      return Value::makeArray(std::move(Out));
+    }
+    ArrayData Keys, Vals;
+    for (int64_t Key : G.KeysInOrder)
+      Keys.push_back(Value(Key));
+    for (size_t S = 0; S < G.KeysInOrder.size(); ++S)
+      Vals.push_back(boxScalar(
+          P.ValKind, P.ValKind == ScalarKind::I64 ? G.HVI[S] : 0,
+          P.ValKind == ScalarKind::F64 ? G.HVF[S] : 0,
+          P.ValKind == ScalarKind::I1 ? G.HVB[S] : 0));
+    return Value::makeStruct({Value::makeArray(std::move(Keys)),
+                              Value::makeArray(std::move(Vals))});
+  }
+  }
+  dmllUnreachable("bad GenKind");
+}
+
+} // namespace
+
+bool engine::runKernel(const Kernel &K, int64_t N, const LaunchContext &Ctx,
+                       Value &Out) {
+  // Dense bucket counts evaluate on every launch, even for empty loops —
+  // the interpreter's initStates does the same.
+  std::vector<int64_t> NumKeys(K.Gens.size(), 0);
+  for (size_t G = 0; G < K.Gens.size(); ++G) {
+    const GenPlan &P = K.Gens[G];
+    if (!P.Dense)
+      continue;
+    int64_t NK = Ctx.EvalInvariant(P.NumKeys).toInt();
+    if (NK < 0)
+      fatalError("negative dense bucket count");
+    NumKeys[G] = NK;
+  }
+
+  Regs Snapshot(K);
+  ColumnCache LocalCache;
+  ColumnCache &Cache = Ctx.Columns ? *Ctx.Columns : LocalCache;
+  std::vector<const ColBuf *> Cols;
+  if (N > 0) {
+    // Bind uniforms and columns. A runtime kind that contradicts the
+    // compiled expectation rejects the launch (interpreter fallback).
+    for (const UniformRef &U : K.Uniforms) {
+      Value V = Ctx.EvalInvariant(U.E);
+      switch (U.Kind) {
+      case ScalarKind::I64:
+        if (!V.isInt())
+          return false;
+        Snapshot.I[U.Reg] = V.asInt();
+        break;
+      case ScalarKind::F64:
+        if (!V.isFloat())
+          return false;
+        Snapshot.F[U.Reg] = V.asFloat();
+        break;
+      case ScalarKind::I1:
+        if (!V.isBool())
+          return false;
+        Snapshot.B[U.Reg] = V.asBool();
+        break;
+      case ScalarKind::NotScalar:
+        return false;
+      }
+    }
+    Cols.reserve(K.Columns.size());
+    for (const ColumnRef &C : K.Columns) {
+      Value V = Ctx.EvalInvariant(C.E);
+      const ColBuf *Buf = Cache.get(V.array(), C.Kind);
+      if (!Buf)
+        return false;
+      Cols.push_back(Buf);
+    }
+  }
+
+  TraceSpan Span("engine.kernel", "exec");
+  if (Span.live()) {
+    Span.arg("loop", K.Signature);
+    Span.argInt("iters", N);
+  }
+
+  std::vector<ChunkGen> Final;
+  bool Parallel = Ctx.Pool && Ctx.Threads > 1 && N >= 2 * Ctx.MinChunk;
+  if (Parallel) {
+    // The interpreter's exact chunk arithmetic, so float reassociation is
+    // identical between engine and interpreter at equal thread counts.
+    int64_t NumChunks =
+        std::min<int64_t>((N + Ctx.MinChunk - 1) / Ctx.MinChunk,
+                          static_cast<int64_t>(Ctx.Threads) * 4);
+    int64_t Per = (N + NumChunks - 1) / NumChunks;
+    std::vector<std::vector<ChunkGen>> ChunkStates(
+        static_cast<size_t>(NumChunks));
+    ParallelForStats PStats;
+    Ctx.Pool->parallelFor(
+        NumChunks, 1,
+        [&](int64_t CB, int64_t CE, unsigned) {
+          for (int64_t C = CB; C < CE; ++C) {
+            Regs R = Snapshot;
+            std::vector<ChunkGen> &Gens = ChunkStates[static_cast<size_t>(C)];
+            initChunk(K, NumKeys, Gens);
+            int64_t End = std::min((C + 1) * Per, N);
+            for (int64_t I = C * Per; I < End; ++I) {
+              R.I[0] = I;
+              execRange(K, 0, static_cast<int32_t>(K.Code.size()), R, Cols,
+                        Gens, NumKeys);
+            }
+          }
+        },
+        Ctx.Profile ? &PStats : nullptr, "engine.chunk");
+    if (Ctx.Profile) {
+      Ctx.Profile->accumulate(PStats);
+      ++Ctx.Profile->ParallelLoops;
+    }
+    if (Span.live())
+      Span.argInt("chunks", NumChunks);
+    Regs Scratch = Snapshot;
+    Final = std::move(ChunkStates[0]);
+    for (size_t C = 1; C < ChunkStates.size(); ++C)
+      mergeChunk(K, Final, ChunkStates[C], Scratch, Cols, NumKeys);
+  } else {
+    if (Ctx.Profile)
+      ++Ctx.Profile->SequentialLoops;
+    Regs R = Snapshot;
+    initChunk(K, NumKeys, Final);
+    for (int64_t I = 0; I < N; ++I) {
+      R.I[0] = I;
+      execRange(K, 0, static_cast<int32_t>(K.Code.size()), R, Cols, Final,
+                NumKeys);
+    }
+  }
+  if (Ctx.WasParallel)
+    *Ctx.WasParallel = Parallel;
+
+  if (K.Single) {
+    Out = finishGen(K.Gens[0], Final[0], NumKeys[0]);
+    return true;
+  }
+  std::vector<Value> Outs;
+  for (size_t G = 0; G < K.Gens.size(); ++G)
+    Outs.push_back(finishGen(K.Gens[G], Final[G], NumKeys[G]));
+  Out = Value::makeStruct(std::move(Outs));
+  return true;
+}

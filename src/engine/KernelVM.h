@@ -1,0 +1,88 @@
+//===- engine/KernelVM.h - Bytecode execution over typed columns *- C++ -*-===//
+//
+// Part of the DMLL reproduction of Brown et al., CGO 2016.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Executes compiled kernels (engine/Kernel.h): binds loop-invariant
+/// uniforms and flat typed column buffers at launch, then runs the
+/// instruction stream once per index with unboxed per-chunk accumulators.
+/// Parallel launches replicate the interpreter's exact chunking arithmetic
+/// and index-ordered merge, so a kernel result is bit-identical to the
+/// interpreter at the same thread count — including the floating-point
+/// reassociation introduced by chunking. Launch-time binding can still
+/// reject a kernel (an array element whose runtime kind contradicts its
+/// static type); the caller then falls back to the interpreter.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DMLL_ENGINE_KERNELVM_H
+#define DMLL_ENGINE_KERNELVM_H
+
+#include "engine/Kernel.h"
+#include "interp/Value.h"
+#include "observe/Metrics.h"
+
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+namespace dmll {
+
+class ThreadPool;
+
+namespace engine {
+
+/// A loop-invariant array flattened into one typed buffer (only the vector
+/// matching Kind is populated). Keepalive pins the source array so element
+/// pointers in Cache stay valid.
+struct ColBuf {
+  lower::ScalarKind Kind = lower::ScalarKind::F64;
+  std::vector<int64_t> I;
+  std::vector<double> F;
+  std::vector<uint8_t> B;
+  ArrayPtr Keepalive;
+  size_t Size = 0;
+};
+
+/// Flattened-column cache for one program evaluation, keyed by the
+/// underlying ArrayData identity: an input array read by several kernels is
+/// flattened once. Not thread-safe; binding happens on the launching thread.
+class ColumnCache {
+public:
+  /// Returns the flat buffer for \p Arr, flattening on first use. Returns
+  /// nullptr when some element's runtime kind contradicts \p Kind (the
+  /// kernel then falls back to the interpreter).
+  const ColBuf *get(const ArrayPtr &Arr, lower::ScalarKind Kind);
+
+private:
+  std::unordered_map<const ArrayData *, std::vector<std::unique_ptr<ColBuf>>>
+      Cache;
+};
+
+/// Everything a launch needs from the surrounding evaluator.
+struct LaunchContext {
+  /// Evaluates a loop-invariant (closed) expression through the
+  /// interpreter, with its global-scope memoization — nested producer
+  /// loops still execute once.
+  std::function<Value(const ExprRef &)> EvalInvariant;
+  ThreadPool *Pool = nullptr; ///< persistent pool; null forces sequential
+  unsigned Threads = 1;
+  int64_t MinChunk = 1024;
+  ExecProfile *Profile = nullptr;
+  ColumnCache *Columns = nullptr; ///< optional shared cache
+  bool *WasParallel = nullptr;    ///< out: launch took the chunked path
+};
+
+/// Runs \p K over [0, N). Returns false (leaving \p Out untouched) when
+/// launch-time binding rejects the kernel; fatal runtime errors (division
+/// by zero, out-of-range reads) abort with the interpreter's messages.
+bool runKernel(const Kernel &K, int64_t N, const LaunchContext &Ctx,
+               Value &Out);
+
+} // namespace engine
+} // namespace dmll
+
+#endif // DMLL_ENGINE_KERNELVM_H

@@ -13,7 +13,7 @@ std::vector<double> graph::pageRankStep(const CsrGraph &Out,
                                         const CsrGraph &In,
                                         const std::vector<double> &Ranks,
                                         GraphMode Mode,
-                                        const ThreadPool &Pool) {
+                                        ThreadPool &Pool) {
   size_t N = static_cast<size_t>(Out.NumV);
   double Base = 0.15 / static_cast<double>(N);
   std::vector<double> Next(N, 0.0);
@@ -62,7 +62,7 @@ std::vector<double> graph::pageRankStep(const CsrGraph &Out,
   return Next;
 }
 
-int64_t graph::triangleCount(const CsrGraph &G, const ThreadPool &Pool) {
+int64_t graph::triangleCount(const CsrGraph &G, ThreadPool &Pool) {
   std::atomic<int64_t> Count{0};
   Pool.parallelFor(G.NumV, 256, [&](int64_t B, int64_t E, unsigned) {
     int64_t Local = 0;

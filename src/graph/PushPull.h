@@ -34,11 +34,11 @@ enum class GraphMode { Pull, Push };
 std::vector<double> pageRankStep(const data::CsrGraph &Out,
                                  const data::CsrGraph &In,
                                  const std::vector<double> &Ranks,
-                                 GraphMode Mode, const ThreadPool &Pool);
+                                 GraphMode Mode, ThreadPool &Pool);
 
 /// Exact triangle count over a symmetrized graph with sorted adjacency
 /// (merge-based intersection), parallel over vertices.
-int64_t triangleCount(const data::CsrGraph &Und, const ThreadPool &Pool);
+int64_t triangleCount(const data::CsrGraph &Und, ThreadPool &Pool);
 
 } // namespace graph
 } // namespace dmll

@@ -2,12 +2,15 @@
 
 #include "interp/Interp.h"
 
+#include "engine/KernelCompiler.h"
+#include "engine/KernelVM.h"
 #include "ir/Printer.h"
 #include "ir/Traversal.h"
 #include "observe/Trace.h"
 #include "runtime/ThreadPool.h"
 #include "support/Error.h"
 
+#include <chrono>
 #include <cmath>
 #include <memory>
 #include <unordered_set>
@@ -46,6 +49,13 @@ public:
       : Inputs(Inputs), Threads(Threads), MinChunk(MinChunk),
         Profile(Profile) {}
 
+  /// Full-option evaluator. \p Pool (required when Threads > 1) is the
+  /// persistent worker pool shared by every loop of the evaluation.
+  Evaluator(const InputMap &Inputs, const EvalOptions &Opts, ThreadPool *Pool)
+      : Inputs(Inputs), Threads(Opts.Threads ? Opts.Threads : 1),
+        MinChunk(Opts.MinChunk), Profile(Opts.Profile), Mode(Opts.Mode),
+        KStats(Opts.Kernels), Pool(Pool) {}
+
   Value evalTop(const ExprRef &E) {
     Scope Global;
     return eval(E, Global);
@@ -56,6 +66,16 @@ private:
   unsigned Threads;
   int64_t MinChunk;
   ExecProfile *Profile;
+  engine::EngineMode Mode = engine::EngineMode::Interp;
+  engine::KernelStats *KStats = nullptr;
+  ThreadPool *Pool = nullptr;
+  /// Compiled kernels (or recorded compile failures) per multiloop node.
+  struct KernelEntry {
+    std::shared_ptr<const engine::Kernel> K; ///< null: compile failed
+    size_t TimingIdx = 0;                    ///< index into KStats->Kernels
+  };
+  std::unordered_map<const Expr *, KernelEntry> CompiledKernels;
+  engine::ColumnCache Columns;
   // Free symbols per node, cached (the IR is immutable).
   std::unordered_map<const Expr *, std::vector<uint64_t>> FreeCache;
 
@@ -321,14 +341,99 @@ private:
     dmllUnreachable("bad GenKind");
   }
 
+  /// Looks up (or compiles) the kernel for multiloop \p E, recording stats
+  /// and the fallback reason on failure.
+  KernelEntry &kernelFor(const ExprRef &E) {
+    auto It = CompiledKernels.find(E.get());
+    if (It != CompiledKernels.end())
+      return It->second;
+    auto T0 = std::chrono::steady_clock::now();
+    engine::CompileOutcome Outcome;
+    {
+      TraceSpan Span("engine.compile", "compile");
+      if (Span.live())
+        Span.arg("loop", loopSignature(E));
+      Outcome = engine::compileKernel(E);
+      if (Span.live() && !Outcome.K)
+        Span.arg("fallback", Outcome.Reason);
+    }
+    double Ms = std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - T0)
+                    .count();
+    KernelEntry Entry;
+    if (Outcome.K) {
+      Entry.K = std::move(Outcome.K);
+      if (KStats) {
+        ++KStats->Compiled;
+        Entry.TimingIdx = KStats->Kernels.size();
+        engine::KernelTiming T;
+        T.Loop = Entry.K->Signature;
+        KStats->Kernels.push_back(std::move(T));
+      }
+    } else if (KStats) {
+      ++KStats->FallbackLoops;
+      KStats->Fallbacks.push_back(loopSignature(E) + ": " + Outcome.Reason);
+    }
+    if (KStats)
+      KStats->CompileMillis += Ms;
+    return CompiledKernels.emplace(E.get(), std::move(Entry)).first->second;
+  }
+
+  /// Attempts kernel execution of closed multiloop \p E. Returns false (and
+  /// counts a fallback run) when the loop didn't lower or launch binding
+  /// rejected it; the caller then takes the interpreter path.
+  bool tryKernel(const ExprRef &E, int64_t N, Scope &S, Value &Out) {
+    KernelEntry &Entry = kernelFor(E);
+    if (!Entry.K) {
+      if (KStats)
+        ++KStats->FallbackRuns;
+      return false;
+    }
+    engine::LaunchContext Ctx;
+    Ctx.EvalInvariant = [this, &S](const ExprRef &Inv) {
+      return eval(Inv, S);
+    };
+    Ctx.Pool = Pool;
+    Ctx.Threads = Threads;
+    Ctx.MinChunk = MinChunk;
+    Ctx.Profile = Profile;
+    Ctx.Columns = &Columns;
+    bool Parallel = false;
+    Ctx.WasParallel = &Parallel;
+    auto T0 = std::chrono::steady_clock::now();
+    if (!engine::runKernel(*Entry.K, N, Ctx, Out)) {
+      if (KStats)
+        ++KStats->FallbackRuns;
+      return false;
+    }
+    if (KStats) {
+      ++KStats->Launches;
+      engine::KernelTiming &T = KStats->Kernels[Entry.TimingIdx];
+      ++T.Launches;
+      T.Iters += N;
+      T.Millis += std::chrono::duration<double, std::milli>(
+                      std::chrono::steady_clock::now() - T0)
+                      .count();
+      T.Parallel |= Parallel;
+    }
+    return true;
+  }
+
   Value evalMultiloop(const ExprRef &E, const MultiloopExpr *ML, Scope &S) {
     int64_t N = eval(ML->size(), S).toInt();
     if (N < 0)
       fatalError("negative multiloop size " + std::to_string(N));
 
+    bool Closed = freeOf(E).empty();
+    if (Mode != engine::EngineMode::Interp && Closed &&
+        (Mode == engine::EngineMode::Kernel || N >= engine::AutoMinIters)) {
+      Value Out;
+      if (tryKernel(E, N, S, Out))
+        return Out;
+    }
+
     std::vector<GenState> States = initStates(ML, S);
 
-    bool Closed = freeOf(E).empty();
     if (Threads > 1 && Closed && N >= 2 * MinChunk) {
       // Chunked parallel execution (Section 5): workers evaluate disjoint
       // subranges with independent evaluators; chunk states merge in index
@@ -345,9 +450,10 @@ private:
       int64_t Per = (N + NumChunks - 1) / NumChunks;
       std::vector<std::vector<GenState>> ChunkStates(
           static_cast<size_t>(NumChunks));
-      ThreadPool Pool(Threads);
+      // Threads > 1 implies the persistent pool exists (evalProgramWith
+      // creates one per program run; workers are reused across loops).
       ParallelForStats PStats;
-      Pool.parallelFor(
+      Pool->parallelFor(
           NumChunks, 1,
           [&](int64_t CB, int64_t CE, unsigned) {
             for (int64_t C = CB; C < CE; ++C) {
@@ -604,6 +710,20 @@ Value dmll::evalClosed(const ExprRef &E, const InputMap &Inputs) {
 Value dmll::evalProgramParallel(const Program &P, const InputMap &Inputs,
                                 unsigned Threads, int64_t MinChunk,
                                 ExecProfile *Profile) {
-  return Evaluator(Inputs, Threads ? Threads : 1, MinChunk, Profile)
-      .evalTop(P.Result);
+  EvalOptions Opts;
+  Opts.Threads = Threads;
+  Opts.MinChunk = MinChunk;
+  Opts.Profile = Profile;
+  return evalProgramWith(P, Inputs, Opts);
+}
+
+Value dmll::evalProgramWith(const Program &P, const InputMap &Inputs,
+                            const EvalOptions &Opts) {
+  unsigned Threads = Opts.Threads ? Opts.Threads : 1;
+  if (Threads == 1)
+    return Evaluator(Inputs, Opts, nullptr).evalTop(P.Result);
+  // One persistent pool for the whole run: workers spawn once here and are
+  // reused by every parallel loop (interpreter chunks and kernel launches).
+  ThreadPool Pool(Threads);
+  return Evaluator(Inputs, Opts, &Pool).evalTop(P.Result);
 }

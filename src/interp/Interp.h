@@ -23,6 +23,7 @@
 #ifndef DMLL_INTERP_INTERP_H
 #define DMLL_INTERP_INTERP_H
 
+#include "engine/Engine.h"
 #include "interp/Value.h"
 #include "ir/Expr.h"
 #include "observe/Metrics.h"
@@ -33,6 +34,17 @@ namespace dmll {
 
 /// Named input bindings for a Program.
 using InputMap = std::unordered_map<std::string, Value>;
+
+/// Knobs for evalProgramWith.
+struct EvalOptions {
+  unsigned Threads = 1;    ///< workers (0 selects 1)
+  int64_t MinChunk = 1024; ///< minimum parallel chunk size
+  /// Multiloop execution engine: the boxed interpreter, compiled kernels
+  /// with transparent fallback, or Auto (kernels for non-tiny loops).
+  engine::EngineMode Mode = engine::EngineMode::Interp;
+  ExecProfile *Profile = nullptr;          ///< optional worker metrics out
+  engine::KernelStats *Kernels = nullptr;  ///< optional engine stats out
+};
 
 /// Evaluates \p P.Result with the given inputs. Aborts on type confusion or
 /// out-of-range reads (programs are verified before evaluation in tests).
@@ -58,6 +70,18 @@ Value evalClosed(const ExprRef &E, const InputMap &Inputs);
 Value evalProgramParallel(const Program &P, const InputMap &Inputs,
                           unsigned Threads, int64_t MinChunk = 1024,
                           ExecProfile *Profile = nullptr);
+
+/// Full-control evaluation: like evalProgramParallel, plus the engine-mode
+/// knob. Under EngineMode::Kernel / Auto, each closed multiloop is compiled
+/// once to register bytecode (src/engine) and executed unboxed; loops the
+/// kernel compiler rejects fall back transparently to the interpreter, with
+/// per-loop reasons recorded in \p Opts.Kernels. One persistent work-
+/// stealing ThreadPool is shared by every loop of the evaluation (both
+/// engines). Kernel results are bit-identical to the interpreter at equal
+/// Threads/MinChunk, including parallel float reassociation, because the
+/// engine replicates the interpreter's chunking and index-ordered merge.
+Value evalProgramWith(const Program &P, const InputMap &Inputs,
+                      const EvalOptions &Opts);
 
 } // namespace dmll
 

@@ -31,6 +31,7 @@ void ExecProfile::accumulate(const ParallelForStats &S) {
     WorkerStats &Acc = Workers[W.Worker];
     Acc.Chunks += W.Chunks;
     Acc.Items += W.Items;
+    Acc.Steals += W.Steals;
     Acc.BusyMs += W.BusyMs;
     Acc.WaitMs += W.WaitMs;
   }
@@ -38,12 +39,13 @@ void ExecProfile::accumulate(const ParallelForStats &S) {
 
 std::string dmll::renderWorkerStats(const std::vector<WorkerStats> &Workers) {
   std::ostringstream OS;
-  OS << "worker   chunks      items    busy(ms)    wait(ms)\n";
+  OS << "worker   chunks      items   steals    busy(ms)    wait(ms)\n";
   for (const WorkerStats &W : Workers) {
     char Buf[128];
-    std::snprintf(Buf, sizeof(Buf), "%6u %8lld %10lld %11.3f %11.3f\n",
+    std::snprintf(Buf, sizeof(Buf), "%6u %8lld %10lld %8lld %11.3f %11.3f\n",
                   W.Worker, static_cast<long long>(W.Chunks),
-                  static_cast<long long>(W.Items), W.BusyMs, W.WaitMs);
+                  static_cast<long long>(W.Items),
+                  static_cast<long long>(W.Steals), W.BusyMs, W.WaitMs);
     OS << Buf;
   }
   return OS.str();

@@ -6,9 +6,10 @@
 ///
 /// \file
 /// Per-worker metrics for the chunked shared-memory executor: how many
-/// chunks each worker claimed from the atomic cursor, how many index-space
-/// items those chunks covered, time spent inside chunk bodies (busy) versus
-/// in the claim loop waiting on the cursor / joining (queue-wait).
+/// chunks each worker executed, how many index-space items those chunks
+/// covered, how many chunks were stolen from other workers' deques, and
+/// time spent inside chunk bodies (busy) versus waking up / probing for
+/// work (queue-wait).
 /// ThreadPool::parallelFor fills a ParallelForStats per call; the
 /// interpreter accumulates them across all parallel multiloops into an
 /// ExecProfile, which executeProgram surfaces on the ExecutionReport.
@@ -28,10 +29,11 @@ namespace dmll {
 /// executions.
 struct WorkerStats {
   unsigned Worker = 0; ///< worker index, 0-based
-  int64_t Chunks = 0;  ///< chunks claimed from the dynamic cursor
+  int64_t Chunks = 0;  ///< chunks executed (own deque plus stolen)
   int64_t Items = 0;   ///< iteration-space indices covered by those chunks
+  int64_t Steals = 0;  ///< chunks taken from another worker's deque
   double BusyMs = 0;   ///< wall time inside chunk bodies
-  double WaitMs = 0;   ///< claim-loop time outside bodies (queue wait)
+  double WaitMs = 0;   ///< wake-up / steal-probe time outside bodies
 };
 
 /// Metrics of a single ThreadPool::parallelFor call.

@@ -11,8 +11,10 @@ using namespace dmll;
 
 ExecutionReport dmll::executeProgram(const Program &P, const InputMap &Inputs,
                                      const CompileOptions &Opts,
-                                     unsigned Threads) {
+                                     unsigned Threads,
+                                     engine::EngineMode Mode) {
   ExecutionReport R;
+  R.Mode = Mode;
   auto C0 = std::chrono::steady_clock::now();
   CompileResult CR = compileProgram(P, Opts);
   R.CompileMillis = std::chrono::duration<double, std::milli>(
@@ -34,8 +36,14 @@ ExecutionReport dmll::executeProgram(const Program &P, const InputMap &Inputs,
   {
     TraceSpan S("exec.run", "exec");
     S.argInt("threads", R.Threads);
-    R.Result = evalProgramParallel(CR.P, Adapted, R.Threads,
-                                   /*MinChunk=*/1024, &Profile);
+    S.arg("engine", engine::engineModeName(Mode));
+    EvalOptions EOpts;
+    EOpts.Threads = R.Threads;
+    EOpts.MinChunk = 1024;
+    EOpts.Mode = Mode;
+    EOpts.Profile = &Profile;
+    EOpts.Kernels = &R.Kernels;
+    R.Result = evalProgramWith(CR.P, Adapted, EOpts);
   }
   auto T1 = std::chrono::steady_clock::now();
   R.Millis = std::chrono::duration<double, std::milli>(T1 - T0).count();

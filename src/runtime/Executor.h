@@ -47,13 +47,24 @@ struct ExecutionReport {
   /// Multiloops that took the chunked parallel path / stayed sequential.
   int64_t ParallelLoops = 0;
   int64_t SequentialLoops = 0;
+  /// Engine mode the run executed with.
+  engine::EngineMode Mode = engine::EngineMode::Interp;
+  /// Kernel-engine stats: loops compiled to bytecode, launches, per-kernel
+  /// timings, and per-loop fallback reasons. Empty under EngineMode::Interp.
+  engine::KernelStats Kernels;
 };
 
 /// Compiles \p P with \p Opts, adapts \p Inputs to any SoA layout change,
-/// and runs the optimized program on \p Threads workers.
+/// and runs the optimized program on \p Threads workers. \p Mode selects
+/// the multiloop execution engine (docs/EXECUTION.md): the boxed
+/// interpreter, compiled register bytecode with transparent per-loop
+/// fallback, or Auto (kernels for loops of at least engine::AutoMinIters
+/// iterations).
 ExecutionReport executeProgram(const Program &P, const InputMap &Inputs,
                                const CompileOptions &Opts,
-                               unsigned Threads = 1);
+                               unsigned Threads = 1,
+                               engine::EngineMode Mode =
+                                   engine::EngineMode::Interp);
 
 } // namespace dmll
 

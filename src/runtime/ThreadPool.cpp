@@ -5,10 +5,6 @@
 #include "observe/Trace.h"
 
 #include <algorithm>
-#include <atomic>
-#include <chrono>
-#include <thread>
-#include <vector>
 
 using namespace dmll;
 
@@ -28,12 +24,135 @@ ThreadPool::ThreadPool(unsigned T) : Threads(T) {
     if (!Threads)
       Threads = 1;
   }
+  Deques = std::make_unique<WorkDeque[]>(Threads);
+  Workers.reserve(Threads - 1);
+  for (unsigned W = 1; W < Threads; ++W)
+    Workers.emplace_back([this, W] { workerMain(W); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> L(Mu);
+    Shutdown = true;
+  }
+  WakeCV.notify_all();
+  for (std::thread &T : Workers)
+    T.join();
+}
+
+void ThreadPool::workerMain(unsigned W) {
+  uint64_t Seen = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> L(Mu);
+      WakeCV.wait(L, [&] { return Shutdown || Epoch != Seen; });
+      if (Shutdown)
+        return;
+      Seen = Epoch;
+    }
+    participate(W);
+    finishParticipant();
+  }
+}
+
+void ThreadPool::finishParticipant() {
+  std::lock_guard<std::mutex> L(Mu);
+  if (--Remaining == 0)
+    DoneCV.notify_all();
+}
+
+/// Pops the next chunk: front of the own deque first, then the tail of the
+/// other workers' deques. One full empty sweep means the job is drained
+/// (chunks are only enqueued before the job is published).
+bool ThreadPool::popOrSteal(unsigned W, Chunk &C, bool &Stolen) {
+  {
+    WorkDeque &D = Deques[W];
+    std::lock_guard<std::mutex> L(D.Mu);
+    if (!D.Q.empty()) {
+      C = D.Q.front();
+      D.Q.pop_front();
+      Stolen = false;
+      return true;
+    }
+  }
+  for (unsigned I = 1; I < Threads; ++I) {
+    WorkDeque &D = Deques[(W + I) % Threads];
+    std::lock_guard<std::mutex> L(D.Mu);
+    if (!D.Q.empty()) {
+      C = D.Q.back();
+      D.Q.pop_back();
+      Stolen = true;
+      return true;
+    }
+  }
+  return false;
+}
+
+void ThreadPool::participate(unsigned W) {
+  // Snapshot the job description; it stays valid until every participant
+  // has called finishParticipant.
+  Job J = Cur;
+  if (J.Once) {
+    (*J.Once)(W);
+    return;
+  }
+  if (!J.For)
+    return;
+  ParallelForStats *Stats = J.Stats;
+  double Entered = Stats ? sinceMs(J.Start) : 0;
+  int64_t Steals = 0;
+  Chunk C;
+  bool Stolen;
+  while (popOrSteal(W, C, Stolen)) {
+    if (Stolen)
+      ++Steals;
+    double T0 = Stats || J.Trace ? sinceMs(J.Start) : 0;
+    {
+      TraceSpan Span(J.Trace, J.Name, "exec", W + 1);
+      Span.argInt("begin", C.Begin);
+      Span.argInt("end", C.End);
+      (*J.For)(C.Begin, C.End, W);
+    }
+    if (Stats) {
+      WorkerStats &WS = Stats->Workers[W];
+      ++WS.Chunks;
+      WS.Items += C.End - C.Begin;
+      WS.BusyMs += sinceMs(J.Start) - T0;
+    }
+  }
+  if (Stats) {
+    // Queue-wait: everything outside chunk bodies while this worker took
+    // part in the job — wake-up latency, deque contention, and the idle
+    // tail after the last chunk was claimed by someone else.
+    WorkerStats &WS = Stats->Workers[W];
+    WS.Steals += Steals;
+    WS.WaitMs = sinceMs(J.Start) - Entered - WS.BusyMs;
+    if (WS.WaitMs < 0)
+      WS.WaitMs = 0;
+  }
+}
+
+void ThreadPool::publishAndWait(Job J) {
+  {
+    std::lock_guard<std::mutex> L(Mu);
+    Cur = J;
+    ++Epoch;
+    Remaining = Threads;
+  }
+  WakeCV.notify_all();
+  participate(0);
+  finishParticipant();
+  {
+    std::unique_lock<std::mutex> L(Mu);
+    DoneCV.wait(L, [&] { return Remaining == 0; });
+    Cur = Job{};
+  }
 }
 
 void ThreadPool::parallelFor(
     int64_t N, int64_t ChunkSize,
     const std::function<void(int64_t, int64_t, unsigned)> &Body,
-    ParallelForStats *Stats, const char *TaskName) const {
+    ParallelForStats *Stats, const char *TaskName) {
   if (Stats) {
     *Stats = ParallelForStats{};
     Stats->Workers.resize(Threads);
@@ -47,66 +166,59 @@ void ThreadPool::parallelFor(
   const char *Name = TaskName ? TaskName : "exec.chunk";
   auto Start = std::chrono::steady_clock::now();
 
-  // One chunk body execution, with optional span + per-worker accounting.
-  auto RunChunk = [&](int64_t Begin, int64_t End, unsigned W) {
+  if (Threads == 1 || N <= ChunkSize) {
+    // Inline on the calling thread; no dispatch overhead.
     double T0 = Stats || Trace ? sinceMs(Start) : 0;
     {
-      TraceSpan Span(Trace, Name, "exec", W + 1);
-      Span.argInt("begin", Begin);
-      Span.argInt("end", End);
-      Body(Begin, End, W);
+      TraceSpan Span(Trace, Name, "exec", 1);
+      Span.argInt("begin", int64_t(0));
+      Span.argInt("end", N);
+      Body(0, N, 0);
     }
     if (Stats) {
-      WorkerStats &WS = Stats->Workers[W];
+      WorkerStats &WS = Stats->Workers[0];
       ++WS.Chunks;
-      WS.Items += End - Begin;
+      WS.Items += N;
       WS.BusyMs += sinceMs(Start) - T0;
-    }
-  };
-
-  if (Threads == 1 || N <= ChunkSize) {
-    RunChunk(0, N, 0);
-    if (Stats)
       Stats->ElapsedMs = sinceMs(Start);
+    }
     return;
   }
 
-  std::atomic<int64_t> Cursor{0};
-  auto Worker = [&](unsigned W) {
-    double Entered = Stats ? sinceMs(Start) : 0;
-    for (;;) {
-      int64_t Begin = Cursor.fetch_add(ChunkSize, std::memory_order_relaxed);
-      if (Begin >= N)
-        break;
-      RunChunk(Begin, std::min(Begin + ChunkSize, N), W);
-    }
-    if (Stats) {
-      // Queue-wait: everything in the claim loop that was not chunk work —
-      // thread spawn latency, cursor contention, and the idle tail after
-      // the last chunk is claimed by someone else.
-      WorkerStats &WS = Stats->Workers[W];
-      WS.WaitMs = sinceMs(Start) - Entered - WS.BusyMs;
-      if (WS.WaitMs < 0)
-        WS.WaitMs = 0;
-    }
-  };
-  std::vector<std::thread> Pool;
-  Pool.reserve(Threads - 1);
-  for (unsigned W = 1; W < Threads; ++W)
-    Pool.emplace_back(Worker, W);
-  Worker(0);
-  for (std::thread &T : Pool)
-    T.join();
+  // Slice into chunks and block-distribute contiguous runs onto the
+  // per-worker deques: owners walk their run front-to-back, thieves take
+  // from the far end, so locality survives until load imbalance appears.
+  int64_t NumChunks = (N + ChunkSize - 1) / ChunkSize;
+  int64_t PerWorker = (NumChunks + Threads - 1) / Threads;
+  for (unsigned W = 0; W < Threads; ++W) {
+    int64_t First = static_cast<int64_t>(W) * PerWorker;
+    int64_t Last = std::min(First + PerWorker, NumChunks);
+    if (First >= Last)
+      continue;
+    WorkDeque &D = Deques[W];
+    std::lock_guard<std::mutex> L(D.Mu);
+    for (int64_t C = First; C < Last; ++C)
+      D.Q.push_back(
+          {C * ChunkSize, std::min((C + 1) * ChunkSize, N)});
+  }
+
+  Job J;
+  J.For = &Body;
+  J.Stats = Stats;
+  J.Trace = Trace;
+  J.Name = Name;
+  J.Start = Start;
+  publishAndWait(J);
   if (Stats)
     Stats->ElapsedMs = sinceMs(Start);
 }
 
-void ThreadPool::run(const std::function<void(unsigned)> &Body) const {
-  std::vector<std::thread> Pool;
-  Pool.reserve(Threads - 1);
-  for (unsigned W = 1; W < Threads; ++W)
-    Pool.emplace_back(Body, W);
-  Body(0);
-  for (std::thread &T : Pool)
-    T.join();
+void ThreadPool::run(const std::function<void(unsigned)> &Body) {
+  if (Threads == 1) {
+    Body(0);
+    return;
+  }
+  Job J;
+  J.Once = &Body;
+  publishAndWait(J);
 }

@@ -1,19 +1,27 @@
-//===- runtime/ThreadPool.h - Worker pool with dynamic chunks --*- C++ -*-===//
+//===- runtime/ThreadPool.h - Persistent work-stealing pool ----*- C++ -*-===//
 //
 // Part of the DMLL reproduction of Brown et al., CGO 2016.
 //
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// A minimal thread pool with a dynamically load-balanced parallel-for: the
-/// iteration space is split into chunks handed out from an atomic cursor,
-/// which is the "dynamic load balancing within each machine" the paper's
-/// multi-core partitioner provides for irregular applications (Section 5).
+/// A persistent worker pool with a work-stealing parallel-for: workers are
+/// created once in the constructor and woken by condition variable for each
+/// job, so a program run executing many multiloops pays thread creation
+/// exactly once. Each parallelFor slices the iteration space into chunks,
+/// block-distributes contiguous runs onto per-worker deques, and lets idle
+/// workers steal from the tail of a victim's deque — the "dynamic load
+/// balancing within each machine" the paper's multi-core partitioner
+/// provides for irregular applications (Section 5).
 ///
 /// parallelFor is instrumented: when a ParallelForStats is supplied it
-/// records per-worker chunk counts, items covered, busy time and queue-wait
-/// (observe/Metrics.h), and when a TraceSession is active (observe/Trace.h)
-/// each chunk is recorded as a timed span on its worker's trace thread.
+/// records per-worker chunk counts, items covered, steals, busy time and
+/// queue-wait (observe/Metrics.h), and when a TraceSession is active
+/// (observe/Trace.h) each chunk is recorded as a timed span on its worker's
+/// trace thread.
+///
+/// Jobs are dispatched from one coordinating thread at a time; parallelFor
+/// and run are not reentrant from inside a chunk body.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -22,36 +30,85 @@
 
 #include "observe/Metrics.h"
 
+#include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
 
 namespace dmll {
 
-/// Fixed-size worker pool. Threads are created per parallelFor call (the
-/// pool is sized, not persistent, keeping the implementation dependency-
-/// free and the tests deterministic).
+class TraceSession;
+
+/// Fixed-size persistent worker pool: Threads - 1 OS threads parked on a
+/// condition variable plus the calling thread, which participates in every
+/// job.
 class ThreadPool {
 public:
   /// \p Threads == 0 selects the hardware concurrency.
   explicit ThreadPool(unsigned Threads = 0);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool &) = delete;
+  ThreadPool &operator=(const ThreadPool &) = delete;
 
   unsigned numThreads() const { return Threads; }
 
-  /// Runs \p Body(begin, end, worker) over [0, N) in dynamically scheduled
-  /// chunks of at most \p ChunkSize. Blocks until complete. When \p Stats
-  /// is non-null it is overwritten with this call's per-worker metrics;
-  /// \p TaskName labels the chunk spans recorded into the active
-  /// TraceSession (defaults to "exec.chunk").
+  /// Runs \p Body(begin, end, worker) over [0, N) in chunks of at most
+  /// \p ChunkSize, block-distributed over per-worker deques with stealing.
+  /// Blocks until complete. When \p Stats is non-null it is overwritten
+  /// with this call's per-worker metrics; \p TaskName labels the chunk
+  /// spans recorded into the active TraceSession (defaults to
+  /// "exec.chunk").
   void parallelFor(int64_t N, int64_t ChunkSize,
                    const std::function<void(int64_t, int64_t, unsigned)> &Body,
                    ParallelForStats *Stats = nullptr,
-                   const char *TaskName = nullptr) const;
+                   const char *TaskName = nullptr);
 
-  /// Runs \p Body(worker) once on each of the pool's workers.
-  void run(const std::function<void(unsigned)> &Body) const;
+  /// Runs \p Body(worker) once on each of the pool's workers (through the
+  /// same persistent dispatch as parallelFor).
+  void run(const std::function<void(unsigned)> &Body);
 
 private:
+  struct Chunk {
+    int64_t Begin;
+    int64_t End;
+  };
+  /// One worker's chunk queue: the owner pops from the front, thieves pop
+  /// from the back.
+  struct WorkDeque {
+    std::mutex Mu;
+    std::deque<Chunk> Q;
+  };
+  /// The currently published job (valid while Remaining > 0).
+  struct Job {
+    const std::function<void(int64_t, int64_t, unsigned)> *For = nullptr;
+    const std::function<void(unsigned)> *Once = nullptr;
+    ParallelForStats *Stats = nullptr;
+    TraceSession *Trace = nullptr;
+    const char *Name = nullptr;
+    std::chrono::steady_clock::time_point Start;
+  };
+
+  void workerMain(unsigned W);
+  void participate(unsigned W);
+  bool popOrSteal(unsigned W, Chunk &C, bool &Stolen);
+  void finishParticipant();
+  void publishAndWait(Job J);
+
   unsigned Threads;
+  std::unique_ptr<WorkDeque[]> Deques;
+  std::vector<std::thread> Workers;
+
+  std::mutex Mu;
+  std::condition_variable WakeCV;
+  std::condition_variable DoneCV;
+  uint64_t Epoch = 0;
+  unsigned Remaining = 0;
+  bool Shutdown = false;
+  Job Cur;
 };
 
 } // namespace dmll

@@ -1,0 +1,404 @@
+//===- tests/EngineTest.cpp - Kernel engine vs interpreter -----*- C++ -*-===//
+//
+// Differential tests of the unboxed kernel engine (src/engine,
+// docs/EXECUTION.md): every program is evaluated under EngineMode::Interp
+// and EngineMode::Kernel and the results must be *bit-for-bit* identical
+// (deepEquals with tolerance 0), sequentially and chunked-parallel — the
+// engine replicates the interpreter's chunk boundaries and index-ordered
+// merges, so even float reassociation agrees. Also covered: transparent
+// fallback for unlowerable loops, launch-time binding rejection, empty and
+// negative-size loops, Auto-mode thresholds, and the KernelStats surface.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+#include "apps/Apps.h"
+#include "data/Datasets.h"
+#include "engine/Engine.h"
+#include "frontend/Frontend.h"
+#include "graph/Graph.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+using namespace dmll;
+using namespace dmll::frontend;
+using testutil::adaptInputs;
+
+namespace {
+
+/// Evaluates \p P under \p Mode; MinChunk 32 so the small test datasets
+/// still take the chunked-parallel path at 3 threads.
+Value runMode(const Program &P, const InputMap &In, engine::EngineMode Mode,
+              unsigned Threads, engine::KernelStats *KS = nullptr) {
+  EvalOptions Opts;
+  Opts.Threads = Threads;
+  Opts.MinChunk = 32;
+  Opts.Mode = Mode;
+  Opts.Kernels = KS;
+  return evalProgramWith(P, In, Opts);
+}
+
+/// The differential property: Kernel == Interp bit-for-bit at 1 and 3
+/// threads (equal Threads/MinChunk on both sides).
+void expectEnginesAgree(const Program &P, const InputMap &In) {
+  ASSERT_TRUE(verify(P).empty());
+  for (unsigned Threads : {1u, 3u}) {
+    Value Expected = runMode(P, In, engine::EngineMode::Interp, Threads);
+    engine::KernelStats KS;
+    Value Actual = runMode(P, In, engine::EngineMode::Kernel, Threads, &KS);
+    EXPECT_TRUE(Expected.deepEquals(Actual, 0.0))
+        << "threads=" << Threads << "\nexpected: " << Expected.str()
+        << "\nactual:   " << Actual.str();
+    // Every loop either launched as a kernel or is accounted as a fallback.
+    EXPECT_EQ(KS.Fallbacks.size(), static_cast<size_t>(KS.FallbackLoops));
+  }
+}
+
+/// Same, after full compilation for a target (fusion etc. applied).
+void expectEnginesAgreeCompiled(const Program &P, const InputMap &In,
+                                Target T = Target::Numa) {
+  CompileOptions Opts;
+  Opts.T = T;
+  CompileResult CR = compileProgram(P, Opts);
+  expectEnginesAgree(CR.P, adaptInputs(P, CR, In));
+}
+
+InputMap kmeansInputs(uint64_t Seed) {
+  auto M = data::makeGaussianMixture(40, 4, 3, Seed);
+  auto C = data::makeCentroids(M, 3, Seed + 1);
+  return {{"matrix", M.toValue()}, {"clusters", C.toValue()}};
+}
+
+//===----------------------------------------------------------------------===//
+// Every src/apps workload, as written and compiled.
+//===----------------------------------------------------------------------===//
+
+TEST(EngineApps, KMeansShared) {
+  expectEnginesAgree(apps::kmeansSharedMemory(), kmeansInputs(7));
+  expectEnginesAgreeCompiled(apps::kmeansSharedMemory(), kmeansInputs(7));
+}
+
+TEST(EngineApps, KMeansGroupBy) {
+  expectEnginesAgree(apps::kmeansGroupBy(), kmeansInputs(17));
+  expectEnginesAgreeCompiled(apps::kmeansGroupBy(), kmeansInputs(17));
+}
+
+TEST(EngineApps, LogReg) {
+  auto X = data::makeGaussianMixture(25, 3, 2, 5);
+  auto Y = data::makeLabels(X, 6);
+  std::vector<double> Theta(X.Cols, 0.05), YD(Y.begin(), Y.end());
+  InputMap In{{"x", X.toValue()},
+              {"y", Value::arrayOfDoubles(YD)},
+              {"theta", Value::arrayOfDoubles(Theta)},
+              {"alpha", Value(0.1)}};
+  expectEnginesAgree(apps::logreg(), In);
+  expectEnginesAgreeCompiled(apps::logreg(), In);
+}
+
+TEST(EngineApps, Gda) {
+  auto X = data::makeGaussianMixture(20, 3, 2, 11);
+  auto Y = data::makeLabels(X, 12);
+  InputMap In{{"x", X.toValue()}, {"y", Value::arrayOfInts(Y)}};
+  expectEnginesAgree(apps::gda(), In);
+  expectEnginesAgreeCompiled(apps::gda(), In);
+}
+
+TEST(EngineApps, TpchQ1) {
+  auto L = data::makeLineItems(200, 23);
+  InputMap In{{"lineitems", L.toAosValue()},
+              {"cutoff", Value(int64_t(9500))}};
+  expectEnginesAgree(apps::tpchQ1(), In);
+  expectEnginesAgreeCompiled(apps::tpchQ1(), In);
+}
+
+TEST(EngineApps, Gene) {
+  auto G = data::makeGeneReads(150, 20, 31);
+  InputMap In{{"genes", G.toAosValue()}, {"min_quality", Value(10.0)}};
+  expectEnginesAgree(apps::geneBarcoding(), In);
+  expectEnginesAgreeCompiled(apps::geneBarcoding(), In);
+}
+
+TEST(EngineApps, PageRankPull) {
+  auto G = data::makeRmat(6, 4, 41);
+  auto In = G.transposed();
+  std::vector<double> Ranks(static_cast<size_t>(G.NumV),
+                            1.0 / static_cast<double>(G.NumV));
+  InputMap Im{{"in_offsets", Value::arrayOfInts(In.Offsets)},
+              {"in_edges", Value::arrayOfInts(In.Edges)},
+              {"outdeg", Value::arrayOfInts(G.OutDeg)},
+              {"ranks", Value::arrayOfDoubles(Ranks)},
+              {"numv", Value(G.NumV)}};
+  expectEnginesAgree(apps::pageRankPull(), Im);
+  expectEnginesAgreeCompiled(apps::pageRankPull(), Im);
+}
+
+TEST(EngineApps, PageRankPush) {
+  auto G = data::makeRmat(5, 4, 43);
+  std::vector<double> Ranks(static_cast<size_t>(G.NumV), 0.01);
+  std::vector<int64_t> Srcs, Dsts;
+  for (int64_t U = 0; U < G.NumV; ++U)
+    for (int64_t E = G.Offsets[U]; E < G.Offsets[U + 1]; ++E) {
+      Srcs.push_back(U);
+      Dsts.push_back(G.Edges[static_cast<size_t>(E)]);
+    }
+  InputMap Im{{"edge_src", Value::arrayOfInts(Srcs)},
+              {"edge_dst", Value::arrayOfInts(Dsts)},
+              {"outdeg", Value::arrayOfInts(G.OutDeg)},
+              {"ranks", Value::arrayOfDoubles(Ranks)},
+              {"numv", Value(G.NumV)}};
+  expectEnginesAgree(apps::pageRankPush(), Im);
+  expectEnginesAgreeCompiled(apps::pageRankPush(), Im);
+}
+
+TEST(EngineApps, TriangleCount) {
+  auto G = graph::symmetrize(data::makeRmat(5, 3, 47));
+  std::vector<int64_t> Srcs, Dsts;
+  for (int64_t U = 0; U < G.NumV; ++U)
+    for (int64_t E = G.Offsets[U]; E < G.Offsets[U + 1]; ++E) {
+      Srcs.push_back(U);
+      Dsts.push_back(G.Edges[static_cast<size_t>(E)]);
+    }
+  InputMap Im{{"offsets", Value::arrayOfInts(G.Offsets)},
+              {"edges", Value::arrayOfInts(G.Edges)},
+              {"edge_src", Value::arrayOfInts(Srcs)},
+              {"edge_dst", Value::arrayOfInts(Dsts)}};
+  expectEnginesAgree(apps::triangleCount(), Im);
+  expectEnginesAgreeCompiled(apps::triangleCount(), Im);
+}
+
+TEST(EngineApps, Knn) {
+  auto Train = data::makeGaussianMixture(30, 3, 3, 51);
+  auto TrainY = data::makeLabels(Train, 52);
+  auto Test = data::makeGaussianMixture(10, 3, 3, 53);
+  InputMap In{{"train", Train.toValue()},
+              {"train_y", Value::arrayOfInts(TrainY)},
+              {"test", Test.toValue()},
+              {"num_labels", Value(int64_t(2))}};
+  expectEnginesAgree(apps::knn(), In);
+  expectEnginesAgreeCompiled(apps::knn(), In);
+}
+
+TEST(EngineApps, NaiveBayes) {
+  auto X = data::makeGaussianMixture(25, 4, 2, 61);
+  auto Y = data::makeLabels(X, 62);
+  InputMap In{{"x", X.toValue()},
+              {"y", Value::arrayOfInts(Y)},
+              {"num_classes", Value(int64_t(2))}};
+  expectEnginesAgree(apps::naiveBayes(), In);
+  expectEnginesAgreeCompiled(apps::naiveBayes(), In);
+}
+
+//===----------------------------------------------------------------------===//
+// PropertySweep-style randomized programs.
+//===----------------------------------------------------------------------===//
+
+class EngineSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(EngineSweep, GroupByPipeline) {
+  Rng R(GetParam());
+  std::vector<int64_t> Data(50 + R.nextBelow(200));
+  for (int64_t &D : Data)
+    D = static_cast<int64_t>(R.nextBelow(41)) - 20;
+  ProgramBuilder B;
+  Val Xs = B.inVecI64("xs");
+  Val Kept = filter(Xs, [](Val X) { return X != Val(int64_t(0)); });
+  Val Groups = groupBy(Kept, [](Val X) { return X % Val(int64_t(5)); });
+  Val Buckets = Groups.field("values");
+  Val BucketsV = Buckets;
+  Val Sums = tabulate(Buckets.len(), [&](Val K) {
+    return sum(map(BucketsV(K), [](Val X) { return toF64(X); }));
+  });
+  Program P = B.build(
+      makeStruct({{"keys", Type::arrayOf(Type::i64())},
+                  {"sums", Type::arrayOf(Type::f64())}},
+                 {Groups.field("keys").expr(), Sums.expr()}));
+  expectEnginesAgree(P, {{"xs", Value::arrayOfInts(Data)}});
+}
+
+TEST_P(EngineSweep, ScalarOpMix) {
+  // Exercises the whole instruction set: select, comparisons on both
+  // banks, min/max, mod, abs/neg, exp/log/sqrt, casts, and/or.
+  Rng R(GetParam());
+  std::vector<double> Data(256 + R.nextBelow(1024));
+  for (double &D : Data)
+    D = R.nextGaussian() * 3.0;
+  ProgramBuilder B;
+  Val Xs = B.inVecF64("xs");
+  Val XsV = Xs;
+  Val Loop = sumRange(Xs.len(), [&](Val I) {
+    Val X = XsV(I);
+    Val K = toI64(X * Val(10.0)) % Val(int64_t(7));
+    Val C = (X > Val(0.0) && K != Val(int64_t(3))) || X < Val(-2.5);
+    Val Y = vselect(C, vsqrt(vabs(X)) + vexp(-vabs(X)), vlog(vabs(X) +
+                                                             Val(1.0)));
+    return vmin(vmax(Y, -X), toF64(K) + Y * Val(0.25));
+  });
+  Program P = B.build(Loop);
+  expectEnginesAgree(P, {{"xs", Value::arrayOfDoubles(Data)}});
+}
+
+TEST_P(EngineSweep, DenseBuckets) {
+  Rng R(GetParam());
+  std::vector<int64_t> Data(200 + R.nextBelow(800));
+  for (int64_t &D : Data)
+    D = static_cast<int64_t>(R.nextBelow(16));
+  ProgramBuilder B;
+  Val Xs = B.inVecI64("xs");
+  Val XsV = Xs;
+  Program P = B.build(bucketReduceDense(
+      Xs.len(), [&](Val I) { return XsV(I); },
+      [&](Val I) { return toF64(XsV(I)) * 0.5; },
+      [](Val A, Val C) { return A + C; }, Val(int64_t(16))));
+  expectEnginesAgree(P, {{"xs", Value::arrayOfInts(Data)}});
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EngineSweep,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+//===----------------------------------------------------------------------===//
+// Fallback, edge cases, and the stats surface.
+//===----------------------------------------------------------------------===//
+
+TEST(EngineFallback, LoopVaryingInnerLoopFallsBack) {
+  // The generator value is a loop-varying array — not lowerable to scalar
+  // bytecode. The engine must record the fallback and defer to the
+  // interpreter with identical results.
+  ProgramBuilder B;
+  Val N = B.inI64("n");
+  Program P = B.build(tabulate(N, [](Val I) {
+    return sum(tabulate(I + Val(int64_t(1)), [](Val J) { return J * J; }));
+  }));
+  InputMap In{{"n", Value(int64_t(40))}};
+  Value Expected = runMode(P, In, engine::EngineMode::Interp, 1);
+  engine::KernelStats KS;
+  Value Actual = runMode(P, In, engine::EngineMode::Kernel, 1, &KS);
+  EXPECT_TRUE(Expected.deepEquals(Actual, 0.0));
+  EXPECT_GT(KS.FallbackLoops, 0);
+  EXPECT_GT(KS.FallbackRuns, 0);
+  ASSERT_FALSE(KS.Fallbacks.empty());
+  // The recorded reason names the loop and the cause.
+  EXPECT_NE(KS.Fallbacks[0].find(": "), std::string::npos);
+}
+
+TEST(EngineFallback, DynamicKindMismatchRejectsAtLaunch) {
+  // @xs is declared Array[f64] but bound to ints at runtime. Lowering
+  // succeeds (static types are fine); launch-time column binding sees the
+  // dynamic kind mismatch and rejects, falling back per-run.
+  ProgramBuilder B;
+  Val Xs = B.inVecF64("xs");
+  Val XsV = Xs;
+  Program P = B.build(
+      sumRange(Xs.len(), [&](Val I) { return XsV(I) * Val(2.0); }));
+  InputMap In{{"xs", Value::arrayOfInts({1, 2, 3, 4, 5})}};
+  Value Expected = runMode(P, In, engine::EngineMode::Interp, 1);
+  engine::KernelStats KS;
+  Value Actual = runMode(P, In, engine::EngineMode::Kernel, 1, &KS);
+  EXPECT_TRUE(Expected.deepEquals(Actual, 0.0));
+  EXPECT_EQ(KS.Compiled, 1);
+  EXPECT_EQ(KS.Launches, 0);
+  EXPECT_GT(KS.FallbackRuns, 0);
+}
+
+TEST(EngineEdge, EmptyLoop) {
+  ProgramBuilder B;
+  Val Xs = B.inVecF64("xs");
+  Val XsV = Xs;
+  Program P = B.build(makeStruct(
+      {{"sum", Type::f64()}, {"squares", Type::arrayOf(Type::f64())}},
+      {sumRange(Xs.len(), [&](Val I) { return XsV(I); }).expr(),
+       tabulate(Xs.len(), [&](Val I) { return XsV(I) * XsV(I); }).expr()}));
+  InputMap In{{"xs", Value::arrayOfDoubles({})}};
+  Value Expected = runMode(P, In, engine::EngineMode::Interp, 1);
+  Value Actual = runMode(P, In, engine::EngineMode::Kernel, 1);
+  EXPECT_TRUE(Expected.deepEquals(Actual, 0.0));
+  // Empty reduction still produces the zero of the value type.
+  EXPECT_EQ(Actual.strct()->Fields[0].asFloat(), 0.0);
+  EXPECT_EQ(Actual.strct()->Fields[1].arraySize(), 0u);
+}
+
+TEST(EngineEdge, EmptyDenseBucketsStillSized) {
+  // N == 0 must still evaluate NumKeys (the interpreter does) and produce
+  // NumKeys zeroed buckets.
+  ProgramBuilder B;
+  Val Xs = B.inVecI64("xs");
+  Val XsV = Xs;
+  Program P = B.build(bucketReduceDense(
+      Xs.len(), [&](Val I) { return XsV(I); },
+      [](Val) { return Val(int64_t(1)); },
+      [](Val A, Val C) { return A + C; }, Val(int64_t(6))));
+  InputMap In{{"xs", Value::arrayOfInts({})}};
+  Value Expected = runMode(P, In, engine::EngineMode::Interp, 1);
+  Value Actual = runMode(P, In, engine::EngineMode::Kernel, 1);
+  EXPECT_TRUE(Expected.deepEquals(Actual, 0.0));
+  EXPECT_EQ(Actual.arraySize(), 6u);
+}
+
+TEST(EngineEdgeDeathTest, NegativeSizeDiesLikeInterp) {
+  ProgramBuilder B;
+  Val N = B.inI64("n");
+  Program P = B.build(sumRange(N, [](Val I) { return toF64(I); }));
+  InputMap In{{"n", Value(int64_t(-3))}};
+  EXPECT_DEATH((void)runMode(P, In, engine::EngineMode::Kernel, 1),
+               "negative multiloop size -3");
+}
+
+TEST(EngineEdgeDeathTest, DenseKeyOutOfRangeDiesLikeInterp) {
+  ProgramBuilder B;
+  Val Xs = B.inVecI64("xs");
+  Val XsV = Xs;
+  Program P = B.build(bucketReduceDense(
+      Xs.len(), [&](Val I) { return XsV(I); },
+      [](Val) { return Val(int64_t(1)); },
+      [](Val A, Val C) { return A + C; }, Val(int64_t(4))));
+  InputMap In{{"xs", Value::arrayOfInts({0, 1, 99})}};
+  EXPECT_DEATH((void)runMode(P, In, engine::EngineMode::Kernel, 1),
+               "dense bucket key 99 out of range");
+}
+
+TEST(EngineStats, CompileOnceLaunchMany) {
+  ProgramBuilder B;
+  Val Xs = B.inVecF64("xs");
+  Val XsV = Xs;
+  Program P = B.build(
+      sumRange(Xs.len(), [&](Val I) { return XsV(I) * XsV(I); }));
+  std::vector<double> Data(4096, 1.5);
+  InputMap In{{"xs", Value::arrayOfDoubles(Data)}};
+  engine::KernelStats KS;
+  (void)runMode(P, In, engine::EngineMode::Kernel, 1, &KS);
+  EXPECT_EQ(KS.Compiled, 1);
+  EXPECT_EQ(KS.FallbackLoops, 0);
+  EXPECT_EQ(KS.Launches, 1);
+  ASSERT_EQ(KS.Kernels.size(), 1u);
+  EXPECT_EQ(KS.Kernels[0].Launches, 1);
+  EXPECT_EQ(KS.Kernels[0].Iters, 4096);
+  EXPECT_FALSE(KS.Kernels[0].Loop.empty());
+  EXPECT_GE(KS.CompileMillis, 0.0);
+}
+
+TEST(EngineStats, AutoModeSkipsTinyLoops) {
+  ProgramBuilder B;
+  Val Xs = B.inVecF64("xs");
+  Val XsV = Xs;
+  Program P = B.build(
+      sumRange(Xs.len(), [&](Val I) { return XsV(I) + Val(1.0); }));
+  {
+    // Below the Auto threshold: no kernel compile, no launch.
+    std::vector<double> Tiny(engine::AutoMinIters - 1, 1.0);
+    engine::KernelStats KS;
+    (void)runMode(P, {{"xs", Value::arrayOfDoubles(Tiny)}},
+                  engine::EngineMode::Auto, 1, &KS);
+    EXPECT_EQ(KS.Compiled, 0);
+    EXPECT_EQ(KS.Launches, 0);
+  }
+  {
+    std::vector<double> Big(engine::AutoMinIters, 1.0);
+    engine::KernelStats KS;
+    (void)runMode(P, {{"xs", Value::arrayOfDoubles(Big)}},
+                  engine::EngineMode::Auto, 1, &KS);
+    EXPECT_EQ(KS.Compiled, 1);
+    EXPECT_EQ(KS.Launches, 1);
+  }
+}
+
+} // namespace

@@ -1,0 +1,33 @@
+#!/usr/bin/env sh
+# Runs the machine-readable benchmark suite and collects the JSON outputs.
+#
+#   tools/run_benchmarks.sh [BUILD_DIR] [OUT_DIR]
+#
+# BUILD_DIR defaults to ./build, OUT_DIR to the repo root. Produces:
+#   OUT_DIR/BENCH_perf.json    engine comparison (micro_patterns --json-out):
+#                              interpreter vs compiled-kernel ms + speedup
+#                              per core pattern at equal thread count
+#   OUT_DIR/BENCH_table2.json  generated C++ vs hand-written C++ per app
+#                              (table2_sequential --json-out)
+#
+# The record format is documented in bench/bench_json.h; the engine design
+# in docs/EXECUTION.md.
+
+set -eu
+
+BUILD_DIR=${1:-build}
+OUT_DIR=${2:-.}
+
+if [ ! -x "$BUILD_DIR/bench/micro_patterns" ]; then
+  echo "error: $BUILD_DIR/bench/micro_patterns not built" >&2
+  echo "build first: cmake -B $BUILD_DIR -S . && cmake --build $BUILD_DIR -j" >&2
+  exit 1
+fi
+
+echo "== engine comparison (interp vs kernel) =="
+"$BUILD_DIR/bench/micro_patterns" --json-out "$OUT_DIR/BENCH_perf.json"
+
+echo "== table 2 (generated C++ vs hand-written) =="
+"$BUILD_DIR/bench/table2_sequential" --json-out "$OUT_DIR/BENCH_table2.json"
+
+echo "wrote $OUT_DIR/BENCH_perf.json and $OUT_DIR/BENCH_table2.json"
