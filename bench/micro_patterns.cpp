@@ -9,7 +9,10 @@
 // bucket-reduce) under the boxed interpreter and under the compiled kernel
 // engine (docs/EXECUTION.md) at equal thread count — and writes the
 // BenchRecord rows as JSON (see bench_json.h). tools/run_benchmarks.sh
-// regenerates the committed BENCH_perf.json this way.
+// regenerates the committed BENCH_perf.json this way. `--trace-out FILE`
+// additionally records the whole suite (kernel compiles, loop and chunk
+// spans with counter args) into a Chrome trace; it also selects the suite
+// when given without --json-out.
 //
 //===----------------------------------------------------------------------===//
 
@@ -18,6 +21,7 @@
 #include "data/Datasets.h"
 #include "frontend/Frontend.h"
 #include "interp/Interp.h"
+#include "observe/Trace.h"
 #include "runtime/DistArray.h"
 #include "runtime/ThreadPool.h"
 
@@ -25,6 +29,7 @@
 
 #include <chrono>
 #include <cstdio>
+#include <memory>
 
 using namespace dmll;
 using namespace dmll::frontend;
@@ -168,7 +173,11 @@ void engineCase(bench::BenchJsonWriter &W, const std::string &Pattern,
 }
 
 /// The four core patterns, each a single closed loop over the input.
-int runEngineSuite(const std::string &Path) {
+int runEngineSuite(const std::string &Path, const std::string &TracePath) {
+  TraceSession Session;
+  std::unique_ptr<TraceActivation> Activation;
+  if (!TracePath.empty())
+    Activation = std::make_unique<TraceActivation>(Session);
   bench::BenchJsonWriter W("micro_patterns");
   const int64_t N = 1 << 16;
   const unsigned Threads = 1; // the speedup measured is unboxing, not cores
@@ -219,11 +228,21 @@ int runEngineSuite(const std::string &Path) {
     engineCase(W, "bucket_reduce_hash", P, IIn, N, Threads);
   }
 
-  if (!W.write(Path)) {
-    std::fprintf(stderr, "failed to write %s\n", Path.c_str());
-    return 1;
+  if (!Path.empty()) {
+    if (!W.write(Path)) {
+      std::fprintf(stderr, "failed to write %s\n", Path.c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", Path.c_str());
   }
-  std::printf("wrote %s\n", Path.c_str());
+  if (!TracePath.empty()) {
+    if (!Session.writeChromeJson(TracePath)) {
+      std::fprintf(stderr, "failed to write %s\n", TracePath.c_str());
+      return 1;
+    }
+    std::printf("wrote %zu trace events to %s\n", Session.size(),
+                TracePath.c_str());
+  }
   return 0;
 }
 
@@ -231,8 +250,9 @@ int runEngineSuite(const std::string &Path) {
 
 int main(int argc, char **argv) {
   std::string JsonPath = bench::jsonOutArgPath(argc, argv);
-  if (!JsonPath.empty())
-    return runEngineSuite(JsonPath);
+  std::string TracePath = traceArgPath(argc, argv);
+  if (!JsonPath.empty() || !TracePath.empty())
+    return runEngineSuite(JsonPath, TracePath);
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv))
     return 1;

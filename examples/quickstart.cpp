@@ -4,14 +4,17 @@
 //   1. write an implicitly parallel program with the pattern front end;
 //   2. compile it for a target (watch fusion fire);
 //   3. run it — sequentially, and with the parallel executor;
-//   4. observe it — rewrite provenance, per-worker metrics, and an optional
-//      Chrome-trace dump (open in chrome://tracing or https://ui.perfetto.dev).
+//   4. observe it — rewrite provenance, per-worker metrics, per-loop counter
+//      profiles with the simulator calibration (docs/PROFILING.md), and
+//      optional Chrome-trace / profile-JSON dumps.
 //
 // Build and run:
-//   ./build/examples/quickstart [--trace-out trace.json] [--engine MODE]
+//   ./build/examples/quickstart [--trace-out trace.json]
+//                               [--profile-out p.json] [--engine MODE]
 // where MODE is interp (boxed reference interpreter), kernel (compiled
 // register bytecode, docs/EXECUTION.md), or auto (the default: kernels for
-// non-tiny loops, interpreter otherwise).
+// non-tiny loops, interpreter otherwise). The profile JSON is the
+// dmll-profile-v1 document tools/dmll-prof diffs for regressions.
 //
 //===----------------------------------------------------------------------===//
 
@@ -21,6 +24,8 @@
 #include "ir/Traversal.h"
 #include "observe/Metrics.h"
 #include "observe/Trace.h"
+#include "runtime/Executor.h"
+#include "runtime/ProfileJson.h"
 #include "transform/Pipeline.h"
 
 #include <cstdio>
@@ -32,6 +37,7 @@ int main(int Argc, char **Argv) {
   // Optional observability: with --trace-out, every compiler phase, rewrite
   // application, analysis, and executor chunk below records into Session.
   std::string TracePath = traceArgPath(Argc, Argv);
+  std::string ProfilePath = profileArgPath(Argc, Argv);
   TraceSession Session;
   TraceActivation Activation(Session);
 
@@ -66,40 +72,56 @@ int main(int Argc, char **Argv) {
     std::printf("rule %-20s [%s pass %d] %s => %s\n", A.Rule.c_str(),
                 A.Phase.c_str(), A.Pass, A.Before.c_str(), A.After.c_str());
 
-  // 3. Run it.
+  // 3. Run it: once sequentially for reference, then through the full
+  //    executor entry point (compile + adapt + parallel run + calibrate).
+  //    MinChunk 128 lets this small input still exercise the chunked path.
   std::vector<double> Data;
   for (int I = -500; I < 500; ++I)
     Data.push_back(I * 0.1);
   InputMap Inputs{{"xs", Value::arrayOfDoubles(Data)}};
   Value Seq = evalProgram(CR.P, Inputs);
-  ExecProfile Profile;
-  engine::KernelStats Kernels;
-  EvalOptions EOpts;
-  EOpts.Threads = 4;
-  EOpts.MinChunk = 128;
-  EOpts.Mode = Mode;
-  EOpts.Profile = &Profile;
-  EOpts.Kernels = &Kernels;
-  Value Par = evalProgramWith(CR.P, Inputs, EOpts);
+  ExecutionReport R = executeProgram(P, Inputs, Opts, 4, Mode,
+                                     /*MinChunk=*/128);
   std::printf("\nmean of squares of positives: sequential %.6f, "
               "4 threads (%s engine) %.6f\n",
-              Seq.asFloat(), engine::engineModeName(Mode), Par.asFloat());
+              Seq.asFloat(), engine::engineModeName(Mode),
+              R.Result.asFloat());
 
   // 4. Executor metrics: how the parallel run spread across workers, and
   //    what the kernel engine did with each loop.
   std::printf("\n%lld parallel / %lld sequential loop(s)\n%s",
-              static_cast<long long>(Profile.ParallelLoops),
-              static_cast<long long>(Profile.SequentialLoops),
-              renderWorkerStats(Profile.Workers).c_str());
+              static_cast<long long>(R.ParallelLoops),
+              static_cast<long long>(R.SequentialLoops),
+              renderWorkerStats(R.Workers).c_str());
   if (Mode != engine::EngineMode::Interp) {
     std::printf("\n%lld kernel(s) compiled in %.3f ms, %lld launch(es), "
                 "%lld loop(s) fell back to the interpreter\n",
-                static_cast<long long>(Kernels.Compiled),
-                Kernels.CompileMillis,
-                static_cast<long long>(Kernels.Launches),
-                static_cast<long long>(Kernels.FallbackLoops));
-    for (const std::string &F : Kernels.Fallbacks)
+                static_cast<long long>(R.Kernels.Compiled),
+                R.Kernels.CompileMillis,
+                static_cast<long long>(R.Kernels.Launches),
+                static_cast<long long>(R.Kernels.FallbackLoops));
+    for (const std::string &F : R.Kernels.Fallbacks)
       std::printf("  fallback: %s\n", F.c_str());
+  }
+
+  // Per-loop measurements and the simulator's replayed prediction: the
+  // ratio column is the calibration signal (docs/PROFILING.md).
+  std::printf("\ncounters: %s\n", counterSourceName().c_str());
+  for (const LoopCalibration &L : R.Calibration.Loops)
+    std::printf("  loop %-24s %-6s iters %-6lld measured %8.3f ms  "
+                "predicted %8.3f ms  ratio %s\n",
+                L.Loop.c_str(), L.Engine.c_str(),
+                static_cast<long long>(L.Iters), L.MeasuredMs, L.PredictedMs,
+                L.Matched ? std::to_string(L.Ratio).c_str() : "(unmatched)");
+
+  if (!ProfilePath.empty()) {
+    if (writeProfileJson(ProfilePath, R))
+      std::printf("\nwrote execution profile to %s "
+                  "(diff runs with tools/dmll-prof)\n",
+                  ProfilePath.c_str());
+    else
+      std::fprintf(stderr, "\nfailed to write profile to %s\n",
+                   ProfilePath.c_str());
   }
 
   if (!TracePath.empty()) {

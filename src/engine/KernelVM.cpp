@@ -960,6 +960,10 @@ bool engine::runKernel(const Kernel &K, int64_t N, const LaunchContext &Ctx,
     if (Ctx.Profile) {
       Ctx.Profile->accumulate(PStats);
       ++Ctx.Profile->ParallelLoops;
+      if (Ctx.LoopCounters)
+        for (size_t W = 1; W < PStats.Workers.size(); ++W)
+          if (PStats.Workers[W].Chunks > 0)
+            Ctx.LoopCounters->add(PStats.Workers[W].Counters);
     }
     if (Span.live())
       Span.argInt("chunks", NumChunks);

@@ -74,6 +74,10 @@ struct LaunchContext {
   ExecProfile *Profile = nullptr;
   ColumnCache *Columns = nullptr; ///< optional shared cache
   bool *WasParallel = nullptr;    ///< out: launch took the chunked path
+  /// Out: chunk-body counter deltas from non-driver workers (worker 0 runs
+  /// on the launching thread, so its chunks are already inside the caller's
+  /// own ThreadCounters bracket — adding them here would double-count).
+  CounterSample *LoopCounters = nullptr;
 };
 
 /// Runs \p K over [0, N). Returns false (leaving \p Out untouched) when

@@ -6,12 +6,15 @@
 #include "engine/KernelVM.h"
 #include "ir/Printer.h"
 #include "ir/Traversal.h"
+#include "observe/MetricsRegistry.h"
+#include "observe/Prof.h"
 #include "observe/Trace.h"
 #include "runtime/ThreadPool.h"
 #include "support/Error.h"
 
 #include <chrono>
 #include <cmath>
+#include <cstdio>
 #include <memory>
 #include <unordered_set>
 
@@ -360,6 +363,11 @@ private:
     double Ms = std::chrono::duration<double, std::milli>(
                     std::chrono::steady_clock::now() - T0)
                     .count();
+    // Registry: compile latency distribution plus outcome tallies, fed
+    // regardless of whether the caller asked for KernelStats.
+    MetricsRegistry &R = MetricsRegistry::global();
+    R.histogram("engine.compile_ms").observe(Ms);
+    R.counter(Outcome.K ? "engine.compiled" : "engine.fallback_loops").inc();
     KernelEntry Entry;
     if (Outcome.K) {
       Entry.K = std::move(Outcome.K);
@@ -381,8 +389,11 @@ private:
 
   /// Attempts kernel execution of closed multiloop \p E. Returns false (and
   /// counts a fallback run) when the loop didn't lower or launch binding
-  /// rejected it; the caller then takes the interpreter path.
-  bool tryKernel(const ExprRef &E, int64_t N, Scope &S, Value &Out) {
+  /// rejected it; the caller then takes the interpreter path. On success,
+  /// \p OtherWorkers accumulates chunk counters from non-driver workers and
+  /// \p WasParallel reports whether the launch took the chunked path.
+  bool tryKernel(const ExprRef &E, int64_t N, Scope &S, Value &Out,
+                 CounterSample *OtherWorkers, bool *WasParallel) {
     KernelEntry &Entry = kernelFor(E);
     if (!Entry.K) {
       if (KStats)
@@ -400,12 +411,15 @@ private:
     Ctx.Columns = &Columns;
     bool Parallel = false;
     Ctx.WasParallel = &Parallel;
+    Ctx.LoopCounters = OtherWorkers;
     auto T0 = std::chrono::steady_clock::now();
     if (!engine::runKernel(*Entry.K, N, Ctx, Out)) {
       if (KStats)
         ++KStats->FallbackRuns;
       return false;
     }
+    if (WasParallel)
+      *WasParallel = Parallel;
     if (KStats) {
       ++KStats->Launches;
       engine::KernelTiming &T = KStats->Kernels[Entry.TimingIdx];
@@ -425,70 +439,126 @@ private:
       fatalError("negative multiloop size " + std::to_string(N));
 
     bool Closed = freeOf(E).empty();
+    // Every closed loop gets one "exec.loop" span, whichever engine runs
+    // it; the engine name and measured counter deltas land as span args.
+    TraceSpan LoopSpan(Closed ? TraceSession::active() : nullptr, "exec.loop",
+                       "exec");
+    if (LoopSpan.live()) {
+      LoopSpan.arg("loop", loopSignature(E));
+      LoopSpan.argInt("iters", N);
+    }
+    const bool Measure = Profile && Closed;
+    CounterSample Before = Measure ? ThreadCounters::now() : CounterSample{};
+    auto T0 = std::chrono::steady_clock::now();
+    // Chunk counters from workers other than the driver; the driver's own
+    // chunks are already inside the Before/After bracket.
+    CounterSample OtherWorkers;
+    bool Parallel = false;
+    const char *Engine = "interp";
+
+    Value Result;
+    bool Done = false;
     if (Mode != engine::EngineMode::Interp && Closed &&
         (Mode == engine::EngineMode::Kernel || N >= engine::AutoMinIters)) {
-      Value Out;
-      if (tryKernel(E, N, S, Out))
-        return Out;
+      if (tryKernel(E, N, S, Result, Measure ? &OtherWorkers : nullptr,
+                    &Parallel)) {
+        Engine = "kernel";
+        Done = true;
+      }
     }
 
-    std::vector<GenState> States = initStates(ML, S);
+    if (!Done) {
+      std::vector<GenState> States = initStates(ML, S);
 
-    if (Threads > 1 && Closed && N >= 2 * MinChunk) {
-      // Chunked parallel execution (Section 5): workers evaluate disjoint
-      // subranges with independent evaluators; chunk states merge in index
-      // order, so element order and first-occurrence key order match the
-      // sequential semantics.
-      TraceSpan LoopSpan("exec.loop", "exec");
+      if (Threads > 1 && Closed && N >= 2 * MinChunk) {
+        // Chunked parallel execution (Section 5): workers evaluate disjoint
+        // subranges with independent evaluators; chunk states merge in index
+        // order, so element order and first-occurrence key order match the
+        // sequential semantics.
+        Parallel = true;
+        int64_t NumChunks =
+            std::min<int64_t>((N + MinChunk - 1) / MinChunk,
+                              static_cast<int64_t>(Threads) * 4);
+        int64_t Per = (N + NumChunks - 1) / NumChunks;
+        std::vector<std::vector<GenState>> ChunkStates(
+            static_cast<size_t>(NumChunks));
+        // Threads > 1 implies the persistent pool exists (evalProgramWith
+        // creates one per program run; workers are reused across loops).
+        ParallelForStats PStats;
+        Pool->parallelFor(
+            NumChunks, 1,
+            [&](int64_t CB, int64_t CE, unsigned) {
+              for (int64_t C = CB; C < CE; ++C) {
+                Evaluator Sub(Inputs);
+                Scope Local;
+                ChunkStates[static_cast<size_t>(C)] = Sub.initStates(ML, Local);
+                Sub.runRange(ML, C * Per, std::min((C + 1) * Per, N),
+                             ChunkStates[static_cast<size_t>(C)], Local);
+              }
+            },
+            Profile ? &PStats : nullptr, "exec.chunk");
+        if (Profile) {
+          Profile->accumulate(PStats);
+          ++Profile->ParallelLoops;
+          for (size_t W = 1; W < PStats.Workers.size(); ++W)
+            if (PStats.Workers[W].Chunks > 0)
+              OtherWorkers.add(PStats.Workers[W].Counters);
+        }
+        if (LoopSpan.live())
+          LoopSpan.argInt("chunks", NumChunks);
+        {
+          TraceSpan MergeSpan("exec.merge", "exec");
+          States = std::move(ChunkStates[0]);
+          for (size_t C = 1; C < ChunkStates.size(); ++C)
+            mergeStates(ML, States, ChunkStates[C], S);
+        }
+      } else {
+        if (Profile && Closed)
+          ++Profile->SequentialLoops;
+        runRange(ML, 0, N, States, S);
+      }
+
+      if (ML->isSingle()) {
+        Result = finishGen(ML, States, 0);
+      } else {
+        std::vector<Value> Outs;
+        for (size_t G = 0; G < ML->numGens(); ++G)
+          Outs.push_back(finishGen(ML, States, G));
+        Result = Value::makeStruct(std::move(Outs));
+      }
+    }
+
+    if (LoopSpan.live())
+      LoopSpan.arg("engine", Engine);
+    if (Measure) {
+      LoopProfile LP;
+      LP.Loop = loopSignature(E);
+      LP.Engine = Engine;
+      LP.Iters = N;
+      LP.Millis = std::chrono::duration<double, std::milli>(
+                      std::chrono::steady_clock::now() - T0)
+                      .count();
+      LP.Parallel = Parallel;
+      LP.Counters = ThreadCounters::now() - Before;
+      LP.Counters.add(OtherWorkers);
       if (LoopSpan.live()) {
-        LoopSpan.arg("loop", loopSignature(E));
-        LoopSpan.argInt("iters", N);
+        if (LP.Counters.Hw) {
+          LoopSpan.argInt("cycles", LP.Counters.Cycles);
+          LoopSpan.argInt("instructions", LP.Counters.Instructions);
+          LoopSpan.argInt("llc_misses", LP.Counters.LlcMisses);
+          LoopSpan.argInt("branch_misses", LP.Counters.BranchMisses);
+        } else {
+          char Buf[32];
+          std::snprintf(Buf, sizeof(Buf), "%.3f", LP.Counters.UserMs);
+          LoopSpan.arg("user_ms", Buf);
+          std::snprintf(Buf, sizeof(Buf), "%.3f", LP.Counters.SysMs);
+          LoopSpan.arg("sys_ms", Buf);
+        }
       }
-      int64_t NumChunks =
-          std::min<int64_t>((N + MinChunk - 1) / MinChunk,
-                            static_cast<int64_t>(Threads) * 4);
-      int64_t Per = (N + NumChunks - 1) / NumChunks;
-      std::vector<std::vector<GenState>> ChunkStates(
-          static_cast<size_t>(NumChunks));
-      // Threads > 1 implies the persistent pool exists (evalProgramWith
-      // creates one per program run; workers are reused across loops).
-      ParallelForStats PStats;
-      Pool->parallelFor(
-          NumChunks, 1,
-          [&](int64_t CB, int64_t CE, unsigned) {
-            for (int64_t C = CB; C < CE; ++C) {
-              Evaluator Sub(Inputs);
-              Scope Local;
-              ChunkStates[static_cast<size_t>(C)] = Sub.initStates(ML, Local);
-              Sub.runRange(ML, C * Per, std::min((C + 1) * Per, N),
-                           ChunkStates[static_cast<size_t>(C)], Local);
-            }
-          },
-          Profile ? &PStats : nullptr, "exec.chunk");
-      if (Profile) {
-        Profile->accumulate(PStats);
-        ++Profile->ParallelLoops;
-      }
-      if (LoopSpan.live())
-        LoopSpan.argInt("chunks", NumChunks);
-      {
-        TraceSpan MergeSpan("exec.merge", "exec");
-        States = std::move(ChunkStates[0]);
-        for (size_t C = 1; C < ChunkStates.size(); ++C)
-          mergeStates(ML, States, ChunkStates[C], S);
-      }
-    } else {
-      if (Profile && Closed)
-        ++Profile->SequentialLoops;
-      runRange(ML, 0, N, States, S);
+      MetricsRegistry::global().counter("exec.loops").inc();
+      Profile->Loops.push_back(std::move(LP));
     }
-
-    if (ML->isSingle())
-      return finishGen(ML, States, 0);
-    std::vector<Value> Outs;
-    for (size_t G = 0; G < ML->numGens(); ++G)
-      Outs.push_back(finishGen(ML, States, G));
-    return Value::makeStruct(std::move(Outs));
+    return Result;
   }
 
   Value evalBinOp(const BinOpExpr *B, Scope &S) {

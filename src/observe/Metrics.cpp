@@ -21,6 +21,26 @@ int64_t ParallelForStats::totalItems() const {
   return N;
 }
 
+namespace {
+
+CounterSample sumCounters(const std::vector<WorkerStats> &Workers) {
+  CounterSample C;
+  for (const WorkerStats &W : Workers)
+    if (W.Chunks > 0)
+      C.add(W.Counters);
+  return C;
+}
+
+} // namespace
+
+CounterSample ParallelForStats::totalCounters() const {
+  return sumCounters(Workers);
+}
+
+CounterSample ExecProfile::totalCounters() const {
+  return sumCounters(Workers);
+}
+
 void ExecProfile::accumulate(const ParallelForStats &S) {
   for (const WorkerStats &W : S.Workers) {
     if (W.Worker >= Workers.size()) {
@@ -34,6 +54,8 @@ void ExecProfile::accumulate(const ParallelForStats &S) {
     Acc.Steals += W.Steals;
     Acc.BusyMs += W.BusyMs;
     Acc.WaitMs += W.WaitMs;
+    if (W.Chunks > 0)
+      Acc.Counters.add(W.Counters);
   }
 }
 

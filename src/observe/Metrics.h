@@ -7,17 +7,21 @@
 /// \file
 /// Per-worker metrics for the chunked shared-memory executor: how many
 /// chunks each worker executed, how many index-space items those chunks
-/// covered, how many chunks were stolen from other workers' deques, and
-/// time spent inside chunk bodies (busy) versus waking up / probing for
-/// work (queue-wait).
+/// covered, how many chunks were stolen from other workers' deques, time
+/// spent inside chunk bodies (busy) versus waking up / probing for work
+/// (queue-wait), and the hardware/rusage counter deltas of those chunk
+/// bodies (observe/Prof.h).
 /// ThreadPool::parallelFor fills a ParallelForStats per call; the
 /// interpreter accumulates them across all parallel multiloops into an
-/// ExecProfile, which executeProgram surfaces on the ExecutionReport.
+/// ExecProfile — per-worker totals plus one LoopProfile per executed
+/// closed loop — which executeProgram surfaces on the ExecutionReport.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef DMLL_OBSERVE_METRICS_H
 #define DMLL_OBSERVE_METRICS_H
+
+#include "observe/Prof.h"
 
 #include <cstdint>
 #include <string>
@@ -34,6 +38,9 @@ struct WorkerStats {
   int64_t Steals = 0;  ///< chunks taken from another worker's deque
   double BusyMs = 0;   ///< wall time inside chunk bodies
   double WaitMs = 0;   ///< wake-up / steal-probe time outside bodies
+  /// Counter deltas summed over this worker's chunk bodies (hardware when
+  /// available, getrusage fallback otherwise).
+  CounterSample Counters;
 };
 
 /// Metrics of a single ThreadPool::parallelFor call.
@@ -43,6 +50,23 @@ struct ParallelForStats {
 
   int64_t totalChunks() const;
   int64_t totalItems() const;
+  /// Chunk-body counter deltas summed across workers.
+  CounterSample totalCounters() const;
+};
+
+/// Measured execution record of one closed multiloop: which engine ran it,
+/// how long it took, and what the counters saw. The calibration layer
+/// (sim/Calibration.h) pairs these with the simulator's predictions.
+struct LoopProfile {
+  std::string Loop;   ///< loopSignature of the multiloop
+  std::string Engine; ///< "interp" | "kernel"
+  int64_t Iters = 0;
+  double Millis = 0;    ///< wall time of the loop (execution + merge)
+  bool Parallel = false;///< took the chunked path
+  /// Counter deltas over the loop: chunk-body sums across workers for
+  /// parallel loops plus the driver thread's own share (dispatch, merge);
+  /// pure driver-thread deltas for sequential loops.
+  CounterSample Counters;
 };
 
 /// Accumulated executor metrics across an evaluation (one entry per worker,
@@ -51,9 +75,13 @@ struct ExecProfile {
   std::vector<WorkerStats> Workers;
   int64_t ParallelLoops = 0;   ///< multiloops that took the chunked path
   int64_t SequentialLoops = 0; ///< multiloops evaluated on one thread
+  /// One record per executed closed multiloop, in execution order.
+  std::vector<LoopProfile> Loops;
 
   /// Merges one parallel-for's stats into the per-worker totals.
   void accumulate(const ParallelForStats &S);
+  /// Chunk-body counter deltas summed across the per-worker totals.
+  CounterSample totalCounters() const;
 };
 
 /// Fixed-width text table of per-worker stats (for benches/examples).

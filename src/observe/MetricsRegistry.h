@@ -1,0 +1,118 @@
+//===- observe/MetricsRegistry.h - Process-wide metrics --------*- C++ -*-===//
+//
+// Part of the DMLL reproduction of Brown et al., CGO 2016.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A process-wide registry of named instruments — monotonic counters,
+/// last-write gauges, and fixed-bucket histograms — that the runtime feeds
+/// as it executes: chunk-body latency and steal latency from the thread
+/// pool, kernel-compile time from the engine, loop/launch/fallback tallies
+/// from the interpreter. Instruments are created on first use, live for the
+/// process, and are updated lock-free (atomics only), so probes are cheap
+/// enough to leave in hot paths; creation/lookup takes a registry mutex and
+/// callers on hot paths resolve their instrument once up front.
+///
+/// The registry snapshot is exported as the "metrics" section of the
+/// execution profile JSON (runtime/ProfileJson.h), next to the Chrome trace
+/// — trace answers "when", metrics answer "how much, in aggregate".
+/// Instrument naming follows the trace convention: dotted lowercase
+/// `<area>.<what>`, with `_ms` suffix on time-valued histograms.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DMLL_OBSERVE_METRICSREGISTRY_H
+#define DMLL_OBSERVE_METRICSREGISTRY_H
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace dmll {
+
+/// Monotonic event count.
+class MetricCounter {
+public:
+  void inc(int64_t N = 1) { V.fetch_add(N, std::memory_order_relaxed); }
+  int64_t value() const { return V.load(std::memory_order_relaxed); }
+
+private:
+  std::atomic<int64_t> V{0};
+};
+
+/// Last-written value (e.g. "threads in the current run").
+class MetricGauge {
+public:
+  void set(double X) { V.store(X, std::memory_order_relaxed); }
+  double value() const { return V.load(std::memory_order_relaxed); }
+
+private:
+  std::atomic<double> V{0};
+};
+
+/// Fixed-bucket histogram: bucket I counts observations <= Bounds[I], the
+/// last implicit bucket counts the rest (+inf). Bounds are set at creation
+/// and never change, so concurrent observers touch only atomics.
+class MetricHistogram {
+public:
+  explicit MetricHistogram(std::vector<double> UpperBounds);
+
+  void observe(double X);
+
+  const std::vector<double> &bounds() const { return Bounds; }
+  /// Count in bucket \p I (I == bounds().size() is the +inf bucket).
+  int64_t bucketCount(size_t I) const;
+  int64_t count() const { return N.load(std::memory_order_relaxed); }
+  double sum() const { return Sum.load(std::memory_order_relaxed); }
+  double mean() const;
+
+private:
+  std::vector<double> Bounds;
+  std::unique_ptr<std::atomic<int64_t>[]> Counts; ///< Bounds.size() + 1
+  std::atomic<int64_t> N{0};
+  std::atomic<double> Sum{0};
+};
+
+/// Default bucket bounds for millisecond-valued latency histograms:
+/// 0.005ms .. 5000ms in a 1-2.5-5 ladder.
+const std::vector<double> &latencyBucketsMs();
+
+/// The registry. One process-wide instance (global()); tests may construct
+/// private instances. Instrument references remain valid for the
+/// registry's lifetime.
+class MetricsRegistry {
+public:
+  static MetricsRegistry &global();
+
+  MetricCounter &counter(const std::string &Name);
+  MetricGauge &gauge(const std::string &Name);
+  /// Returns the named histogram, creating it with \p UpperBounds (or the
+  /// latency default) on first use. Later calls ignore the bounds argument.
+  MetricHistogram &histogram(const std::string &Name,
+                             const std::vector<double> &UpperBounds = {});
+
+  /// The "metrics" JSON object: {"counters":{...},"gauges":{...},
+  /// "histograms":{name:{"count":..,"sum":..,"buckets":[{"le":..,"count":..}
+  /// ...]}}}. Bucket rows are cumulative-free (per-bucket counts); the last
+  /// row's "le" is "inf".
+  std::string renderJson() const;
+
+  /// Zeroes every instrument (drops them; names repopulate on next use).
+  /// For test isolation — never called on the hot path.
+  void reset();
+
+private:
+  mutable std::mutex Mu;
+  std::map<std::string, std::unique_ptr<MetricCounter>> Counters;
+  std::map<std::string, std::unique_ptr<MetricGauge>> Gauges;
+  std::map<std::string, std::unique_ptr<MetricHistogram>> Histograms;
+};
+
+} // namespace dmll
+
+#endif // DMLL_OBSERVE_METRICSREGISTRY_H

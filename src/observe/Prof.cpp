@@ -1,0 +1,176 @@
+//===- observe/Prof.cpp ----------------------------------------*- C++ -*-===//
+
+#include "observe/Prof.h"
+
+#include <atomic>
+
+#if defined(__linux__)
+#include <linux/perf_event.h>
+#include <sys/resource.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#include <cstring>
+#endif
+
+using namespace dmll;
+
+CounterSample CounterSample::operator-(const CounterSample &Earlier) const {
+  CounterSample D;
+  D.Hw = Hw && Earlier.Hw;
+  if (D.Hw) {
+    D.Cycles = Cycles - Earlier.Cycles;
+    D.Instructions = Instructions - Earlier.Instructions;
+    D.LlcMisses = LlcMisses - Earlier.LlcMisses;
+    D.BranchMisses = BranchMisses - Earlier.BranchMisses;
+  }
+  D.UserMs = UserMs - Earlier.UserMs;
+  D.SysMs = SysMs - Earlier.SysMs;
+  D.MinorFaults = MinorFaults - Earlier.MinorFaults;
+  D.MajorFaults = MajorFaults - Earlier.MajorFaults;
+  D.CtxSwitches = CtxSwitches - Earlier.CtxSwitches;
+  return D;
+}
+
+void CounterSample::add(const CounterSample &O) {
+  bool HadAny = Cycles || Instructions || UserMs || SysMs || MinorFaults ||
+                CtxSwitches || Hw;
+  // An all-zero accumulator adopts the other side's validity; otherwise a
+  // single fallback-only interval poisons the hardware fields.
+  Hw = HadAny ? (Hw && O.Hw) : O.Hw;
+  Cycles += O.Cycles;
+  Instructions += O.Instructions;
+  LlcMisses += O.LlcMisses;
+  BranchMisses += O.BranchMisses;
+  UserMs += O.UserMs;
+  SysMs += O.SysMs;
+  MinorFaults += O.MinorFaults;
+  MajorFaults += O.MajorFaults;
+  CtxSwitches += O.CtxSwitches;
+}
+
+namespace {
+
+#if defined(__linux__)
+
+/// -1 unknown, 0 unavailable, 1 available. Decided by the first thread that
+/// probes; later threads trust the verdict and skip doomed syscalls.
+std::atomic<int> HwVerdict{-1};
+
+long perfOpen(perf_event_attr &PE, int GroupFd) {
+  PE.size = sizeof(PE);
+  PE.exclude_kernel = 1;
+  PE.exclude_hv = 1;
+  // Counting starts immediately; samples are cumulative and bracketing is
+  // done by subtraction, so there is no enable/disable per probe.
+  return syscall(SYS_perf_event_open, &PE, /*pid=*/0, /*cpu=*/-1, GroupFd,
+                 /*flags=*/0);
+}
+
+/// One thread's event group: a cycles leader plus three siblings, read as a
+/// single PERF_FORMAT_GROUP blob per probe.
+struct PerfGroup {
+  int Leader = -1;
+  int Fds[4] = {-1, -1, -1, -1};
+  bool Open = false;
+
+  PerfGroup() {
+    if (HwVerdict.load(std::memory_order_relaxed) == 0)
+      return;
+    static const uint64_t Configs[4] = {
+        PERF_COUNT_HW_CPU_CYCLES, PERF_COUNT_HW_INSTRUCTIONS,
+        PERF_COUNT_HW_CACHE_MISSES, PERF_COUNT_HW_BRANCH_MISSES};
+    for (int I = 0; I < 4; ++I) {
+      perf_event_attr PE;
+      std::memset(&PE, 0, sizeof(PE));
+      PE.type = PERF_TYPE_HARDWARE;
+      PE.config = Configs[I];
+      if (I == 0)
+        PE.read_format = PERF_FORMAT_GROUP;
+      long Fd = perfOpen(PE, I == 0 ? -1 : Leader);
+      if (Fd < 0) {
+        close();
+        HwVerdict.store(0, std::memory_order_relaxed);
+        return;
+      }
+      Fds[I] = static_cast<int>(Fd);
+      if (I == 0)
+        Leader = Fds[0];
+    }
+    Open = true;
+    HwVerdict.store(1, std::memory_order_relaxed);
+  }
+
+  ~PerfGroup() { close(); }
+
+  void close() {
+    for (int &Fd : Fds) {
+      if (Fd >= 0)
+        ::close(Fd);
+      Fd = -1;
+    }
+    Leader = -1;
+    Open = false;
+  }
+
+  bool read(int64_t Out[4]) const {
+    if (!Open)
+      return false;
+    // PERF_FORMAT_GROUP layout: u64 nr, then one u64 value per member.
+    uint64_t Buf[1 + 4];
+    ssize_t Got = ::read(Leader, Buf, sizeof(Buf));
+    if (Got != static_cast<ssize_t>(sizeof(Buf)) || Buf[0] != 4)
+      return false;
+    for (int I = 0; I < 4; ++I)
+      Out[I] = static_cast<int64_t>(Buf[1 + I]);
+    return true;
+  }
+};
+
+PerfGroup &threadGroup() {
+  thread_local PerfGroup G;
+  return G;
+}
+
+#endif // __linux__
+
+} // namespace
+
+CounterSample ThreadCounters::now() {
+  CounterSample S;
+#if defined(__linux__)
+  int64_t Hw[4];
+  if (threadGroup().read(Hw)) {
+    S.Hw = true;
+    S.Cycles = Hw[0];
+    S.Instructions = Hw[1];
+    S.LlcMisses = Hw[2];
+    S.BranchMisses = Hw[3];
+  }
+  rusage RU;
+  if (getrusage(RUSAGE_THREAD, &RU) == 0) {
+    S.UserMs = RU.ru_utime.tv_sec * 1e3 + RU.ru_utime.tv_usec * 1e-3;
+    S.SysMs = RU.ru_stime.tv_sec * 1e3 + RU.ru_stime.tv_usec * 1e-3;
+    S.MinorFaults = RU.ru_minflt;
+    S.MajorFaults = RU.ru_majflt;
+    S.CtxSwitches = RU.ru_nvcsw + RU.ru_nivcsw;
+  }
+#endif
+  return S;
+}
+
+bool ThreadCounters::hardwareAvailable() {
+#if defined(__linux__)
+  int V = HwVerdict.load(std::memory_order_relaxed);
+  if (V >= 0)
+    return V == 1;
+  return threadGroup().Open;
+#else
+  return false;
+#endif
+}
+
+std::string dmll::counterSourceName() {
+  return ThreadCounters::hardwareAvailable()
+             ? "perf_event(cycles,instructions,llc-misses,branch-misses)"
+             : "fallback(getrusage)";
+}

@@ -13,6 +13,39 @@ using namespace dmll;
 
 TraceSession *TraceSession::Active = nullptr;
 
+namespace {
+
+/// One open span of the calling OS thread. TraceSpan is strictly scoped
+/// (RAII), so stack discipline holds. Entries carry their session (so a
+/// parent is only linked within the same session when activations nest or
+/// swap mid-span) and their logical trace thread: worker 0 participates on
+/// the driver's OS thread but records under its own tid, and linking its
+/// chunk spans to the driver-tid loop span would put parent and child on
+/// different trace rows.
+struct OpenSpan {
+  TraceSession *S;
+  uint64_t Id;
+  unsigned Tid;
+};
+
+thread_local std::vector<OpenSpan> OpenSpans;
+
+/// Innermost open span of this OS thread with matching session and logical
+/// tid (every open span on this OS thread contains "now", so any match is
+/// interval-correct); 0 when none.
+uint64_t currentParent(TraceSession *S, unsigned Tid) {
+  for (auto It = OpenSpans.rbegin(); It != OpenSpans.rend(); ++It)
+    if (It->S == S && It->Tid == Tid)
+      return It->Id;
+  return 0;
+}
+
+} // namespace
+
+uint64_t TraceSession::allocId() {
+  return NextId.fetch_add(1, std::memory_order_relaxed);
+}
+
 TraceSession::TraceSession() : Epoch(std::chrono::steady_clock::now()) {}
 
 double TraceSession::nowMs() const {
@@ -35,6 +68,8 @@ void TraceSession::instant(
   E.StartMs = nowMs();
   E.Tid = Tid;
   E.Instant = true;
+  E.Id = allocId();
+  E.Parent = currentParent(this, Tid);
   E.Args = std::move(Args);
   record(std::move(E));
 }
@@ -70,19 +105,26 @@ TraceSpan::TraceSpan(std::string Name, std::string Cat, unsigned Tid)
 TraceSpan::TraceSpan(TraceSession *S, std::string Name, std::string Cat,
                      unsigned Tid)
     : S(S), Name(std::move(Name)), Cat(std::move(Cat)), Tid(Tid) {
-  if (S)
-    Start = S->nowMs();
+  if (!S)
+    return;
+  Start = S->nowMs();
+  Id = S->allocId();
+  Parent = currentParent(S, Tid);
+  OpenSpans.push_back({S, Id, Tid});
 }
 
 TraceSpan::~TraceSpan() {
   if (!S)
     return;
+  OpenSpans.pop_back();
   TraceEvent E;
   E.Name = std::move(Name);
   E.Cat = std::move(Cat);
   E.StartMs = Start;
   E.DurMs = S->nowMs() - Start;
   E.Tid = Tid;
+  E.Id = Id;
+  E.Parent = Parent;
   E.Args = std::move(Args);
   S->record(std::move(E));
 }
@@ -167,19 +209,31 @@ std::string TraceSession::renderText() const {
       Tids.push_back(E.Tid);
   std::sort(Tids.begin(), Tids.end());
 
+  // Depth = length of the explicit parent chain (0 for roots and events
+  // whose parent was recorded through raw record() without an id).
+  std::map<uint64_t, uint64_t> ParentOf;
+  for (const TraceEvent &E : Es)
+    if (E.Id)
+      ParentOf[E.Id] = E.Parent;
+  auto DepthOf = [&](const TraceEvent *E) {
+    size_t D = 0;
+    uint64_t P = E->Parent;
+    while (P) {
+      ++D;
+      auto It = ParentOf.find(P);
+      P = It != ParentOf.end() ? It->second : 0;
+    }
+    return D;
+  };
+
   std::ostringstream OS;
   for (unsigned Tid : Tids) {
     OS << "[" << threadName(Tid) << "]\n";
-    // Depth = number of still-open enclosing spans, tracked as a stack of
-    // end times.
-    std::vector<double> Open;
     for (const TraceEvent *E : sortedForTid(Es, Tid)) {
-      while (!Open.empty() && E->StartMs >= Open.back() - 1e-9)
-        Open.pop_back();
       char Buf[64];
       std::snprintf(Buf, sizeof(Buf), "%9.3fms ", E->StartMs);
       OS << Buf;
-      for (size_t D = 0; D < Open.size(); ++D)
+      for (size_t D = DepthOf(E); D > 0; --D)
         OS << "  ";
       OS << E->Name;
       if (!E->Instant) {
@@ -189,8 +243,6 @@ std::string TraceSession::renderText() const {
       for (const auto &[K, V] : E->Args)
         OS << " " << K << "=" << V;
       OS << "\n";
-      if (!E->Instant)
-        Open.push_back(E->StartMs + E->DurMs);
     }
   }
   return OS.str();

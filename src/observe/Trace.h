@@ -30,6 +30,7 @@
 #ifndef DMLL_OBSERVE_TRACE_H
 #define DMLL_OBSERVE_TRACE_H
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <mutex>
@@ -40,9 +41,13 @@
 namespace dmll {
 
 /// One completed (or instantaneous) event. Durations are derived, not open:
-/// spans record themselves on close, and nesting is reconstructed from
-/// timestamps at render time, which keeps recording lock-cheap and
-/// thread-safe.
+/// spans record themselves on close. Nesting is explicit — every span gets
+/// a session-unique Id at open, and openings/instants link to the innermost
+/// open span of the same OS thread, session, and logical trace thread (Tid)
+/// as Parent — so renderers never reconstruct parentage from timestamps,
+/// and the invariant that a parent's interval contains its children's on
+/// the same trace row is checkable (tests/ObserveTest.cpp) rather than a
+/// rendering heuristic.
 struct TraceEvent {
   std::string Name; ///< dotted name, e.g. "compile.fusion"
   std::string Cat;  ///< "phase" | "pass" | "rewrite" | "analysis" |
@@ -51,6 +56,8 @@ struct TraceEvent {
   double DurMs = 0;   ///< 0 for instants and counters
   unsigned Tid = 0;   ///< 0 = compile/driver thread; executor worker W is W+1
   bool Instant = false; ///< zero-duration marker (Chrome phase "i" / "C")
+  uint64_t Id = 0;     ///< session-unique span id (0 only for raw record()s)
+  uint64_t Parent = 0; ///< Id of the enclosing span on this thread; 0 = root
   /// Extra metadata: counter values, IR node counts, rule summaries.
   std::vector<std::pair<std::string, std::string>> Args;
 };
@@ -86,7 +93,10 @@ public:
   /// instrumentation in compiler/runtime code) no-op when this is null.
   static TraceSession *active();
 
-  /// Indented per-thread text tree (nesting derived from timestamps).
+  /// Allocates a session-unique span id (thread-safe).
+  uint64_t allocId();
+
+  /// Indented per-thread text tree (nesting from explicit parent ids).
   std::string renderText() const;
 
   /// Chrome trace format: {"traceEvents": [...]} with complete ("X"),
@@ -102,6 +112,7 @@ private:
   std::chrono::steady_clock::time_point Epoch;
   mutable std::mutex Mu;
   std::vector<TraceEvent> Events;
+  std::atomic<uint64_t> NextId{1};
   static TraceSession *Active;
 };
 
@@ -139,11 +150,16 @@ public:
   /// True if this span will actually record (a session is attached).
   bool live() const { return S != nullptr; }
 
+  /// This span's session-unique id (0 when not live).
+  uint64_t id() const { return Id; }
+
 private:
   TraceSession *S;
   std::string Name, Cat;
   unsigned Tid;
   double Start = 0;
+  uint64_t Id = 0;     ///< allocated at open
+  uint64_t Parent = 0; ///< innermost open span on this thread at open time
   std::vector<std::pair<std::string, std::string>> Args;
 };
 

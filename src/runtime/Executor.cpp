@@ -12,7 +12,8 @@ using namespace dmll;
 ExecutionReport dmll::executeProgram(const Program &P, const InputMap &Inputs,
                                      const CompileOptions &Opts,
                                      unsigned Threads,
-                                     engine::EngineMode Mode) {
+                                     engine::EngineMode Mode,
+                                     int64_t MinChunk) {
   ExecutionReport R;
   R.Mode = Mode;
   auto C0 = std::chrono::steady_clock::now();
@@ -39,7 +40,7 @@ ExecutionReport dmll::executeProgram(const Program &P, const InputMap &Inputs,
     S.arg("engine", engine::engineModeName(Mode));
     EvalOptions EOpts;
     EOpts.Threads = R.Threads;
-    EOpts.MinChunk = 1024;
+    EOpts.MinChunk = MinChunk > 0 ? MinChunk : 1024;
     EOpts.Mode = Mode;
     EOpts.Profile = &Profile;
     EOpts.Kernels = &R.Kernels;
@@ -50,5 +51,16 @@ ExecutionReport dmll::executeProgram(const Program &P, const InputMap &Inputs,
   R.Workers = std::move(Profile.Workers);
   R.ParallelLoops = Profile.ParallelLoops;
   R.SequentialLoops = Profile.SequentialLoops;
+  R.Loops = std::move(Profile.Loops);
+  {
+    // Replay the simulator's prediction for every measured loop; the
+    // calibration compares against the compiled program the run executed,
+    // with sizes taken from the adapted inputs it actually saw.
+    TraceSpan S("exec.calibrate", "exec");
+    SizeEnv Env = sizeEnvFromInputs(CR.P, Adapted);
+    R.Calibration = calibrate(CR.P, CR.Partitioning, Env, R.Loops,
+                              MachineModel::host(),
+                              static_cast<int>(R.Threads));
+  }
   return R;
 }

@@ -25,6 +25,7 @@
 #define DMLL_RUNTIME_EXECUTOR_H
 
 #include "interp/Interp.h"
+#include "sim/Calibration.h"
 #include "transform/Pipeline.h"
 
 namespace dmll {
@@ -47,6 +48,12 @@ struct ExecutionReport {
   /// Multiloops that took the chunked parallel path / stayed sequential.
   int64_t ParallelLoops = 0;
   int64_t SequentialLoops = 0;
+  /// One record per executed closed multiloop, in execution order: engine,
+  /// wall time, and hardware/rusage counter deltas (observe/Prof.h).
+  std::vector<LoopProfile> Loops;
+  /// Simulator prediction replayed for each measured loop on the host
+  /// machine model (sim/Calibration.h).
+  CalibrationReport Calibration;
   /// Engine mode the run executed with.
   engine::EngineMode Mode = engine::EngineMode::Interp;
   /// Kernel-engine stats: loops compiled to bytecode, launches, per-kernel
@@ -59,12 +66,14 @@ struct ExecutionReport {
 /// the multiloop execution engine (docs/EXECUTION.md): the boxed
 /// interpreter, compiled register bytecode with transparent per-loop
 /// fallback, or Auto (kernels for loops of at least engine::AutoMinIters
-/// iterations).
+/// iterations). \p MinChunk is the minimum parallel chunk size (loops
+/// shorter than 2 * MinChunk stay sequential).
 ExecutionReport executeProgram(const Program &P, const InputMap &Inputs,
                                const CompileOptions &Opts,
                                unsigned Threads = 1,
                                engine::EngineMode Mode =
-                                   engine::EngineMode::Interp);
+                                   engine::EngineMode::Interp,
+                               int64_t MinChunk = 1024);
 
 } // namespace dmll
 

@@ -1,0 +1,194 @@
+//===- runtime/ProfileJson.cpp ---------------------------------*- C++ -*-===//
+
+#include "runtime/ProfileJson.h"
+
+#include "engine/Engine.h"
+#include "observe/MetricsRegistry.h"
+#include "observe/Prof.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+using namespace dmll;
+
+namespace {
+
+void jsonString(std::ostringstream &OS, const std::string &S) {
+  OS << '"';
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      OS << "\\\"";
+      break;
+    case '\\':
+      OS << "\\\\";
+      break;
+    case '\n':
+      OS << "\\n";
+      break;
+    case '\t':
+      OS << "\\t";
+      break;
+    case '\r':
+      OS << "\\r";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        OS << Buf;
+      } else {
+        OS << C;
+      }
+    }
+  }
+  OS << '"';
+}
+
+void jsonNum(std::ostringstream &OS, double X) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.6g", X);
+  OS << Buf;
+}
+
+void counterJson(std::ostringstream &OS, const CounterSample &C) {
+  OS << "{\"hw\":" << (C.Hw ? "true" : "false");
+  if (C.Hw) {
+    OS << ",\"cycles\":" << C.Cycles
+       << ",\"instructions\":" << C.Instructions
+       << ",\"llc_misses\":" << C.LlcMisses
+       << ",\"branch_misses\":" << C.BranchMisses << ",\"ipc\":";
+    jsonNum(OS, C.ipc());
+  }
+  OS << ",\"user_ms\":";
+  jsonNum(OS, C.UserMs);
+  OS << ",\"sys_ms\":";
+  jsonNum(OS, C.SysMs);
+  OS << ",\"minor_faults\":" << C.MinorFaults
+     << ",\"major_faults\":" << C.MajorFaults
+     << ",\"ctx_switches\":" << C.CtxSwitches << "}";
+}
+
+} // namespace
+
+std::string dmll::renderProfileJson(const ExecutionReport &R) {
+  std::ostringstream OS;
+  OS << "{\n\"schema\":\"dmll-profile-v1\",\n";
+  OS << "\"engine\":";
+  jsonString(OS, engine::engineModeName(R.Mode));
+  OS << ",\n\"threads\":" << R.Threads;
+  OS << ",\n\"millis\":";
+  jsonNum(OS, R.Millis);
+  OS << ",\n\"compile_millis\":";
+  jsonNum(OS, R.CompileMillis);
+  OS << ",\n\"parallel_loops\":" << R.ParallelLoops;
+  OS << ",\n\"sequential_loops\":" << R.SequentialLoops;
+
+  OS << ",\n\"hw_counters\":{\"available\":"
+     << (ThreadCounters::hardwareAvailable() ? "true" : "false")
+     << ",\"source\":";
+  jsonString(OS, counterSourceName());
+  OS << "}";
+
+  // Per-loop records. The key disambiguates repeated executions of the
+  // same loop (memoization makes repeats rare, iterative drivers make them
+  // real): Nth execution of a signature under an engine -> "#N".
+  OS << ",\n\"loops\":[";
+  std::map<std::string, int> Occurrence;
+  bool First = true;
+  for (const LoopProfile &LP : R.Loops) {
+    int Occ = Occurrence[LP.Loop + "/" + LP.Engine]++;
+    if (!First)
+      OS << ",";
+    First = false;
+    OS << "\n{\"key\":";
+    jsonString(OS, "loop:" + LP.Loop + "#" + std::to_string(Occ) + "/" +
+                       LP.Engine);
+    OS << ",\"loop\":";
+    jsonString(OS, LP.Loop);
+    OS << ",\"engine\":";
+    jsonString(OS, LP.Engine);
+    OS << ",\"occurrence\":" << Occ << ",\"iters\":" << LP.Iters
+       << ",\"millis\":";
+    jsonNum(OS, LP.Millis);
+    OS << ",\"parallel\":" << (LP.Parallel ? "true" : "false")
+       << ",\"counters\":";
+    counterJson(OS, LP.Counters);
+    OS << "}";
+  }
+  OS << "\n]";
+
+  OS << ",\n\"workers\":[";
+  First = true;
+  for (const WorkerStats &W : R.Workers) {
+    if (!First)
+      OS << ",";
+    First = false;
+    OS << "\n{\"worker\":" << W.Worker << ",\"chunks\":" << W.Chunks
+       << ",\"items\":" << W.Items << ",\"steals\":" << W.Steals
+       << ",\"busy_ms\":";
+    jsonNum(OS, W.BusyMs);
+    OS << ",\"wait_ms\":";
+    jsonNum(OS, W.WaitMs);
+    OS << ",\"counters\":";
+    counterJson(OS, W.Counters);
+    OS << "}";
+  }
+  OS << "\n]";
+
+  OS << ",\n\"metrics\":" << MetricsRegistry::global().renderJson();
+
+  const CalibrationReport &C = R.Calibration;
+  OS << ",\n\"calibration\":{\"machine\":";
+  jsonString(OS, C.Machine);
+  OS << ",\"cores\":" << C.Cores << ",\"measured_ms\":";
+  jsonNum(OS, C.MeasuredMs);
+  OS << ",\"predicted_ms\":";
+  jsonNum(OS, C.PredictedMs);
+  OS << ",\"ratio\":";
+  jsonNum(OS, C.overallRatio());
+  OS << ",\"loops\":[";
+  First = true;
+  for (const LoopCalibration &L : C.Loops) {
+    if (!First)
+      OS << ",";
+    First = false;
+    OS << "\n{\"loop\":";
+    jsonString(OS, L.Loop);
+    OS << ",\"engine\":";
+    jsonString(OS, L.Engine);
+    OS << ",\"iters\":" << L.Iters << ",\"measured_ms\":";
+    jsonNum(OS, L.MeasuredMs);
+    OS << ",\"predicted_ms\":";
+    jsonNum(OS, L.PredictedMs);
+    OS << ",\"ratio\":";
+    jsonNum(OS, L.Ratio);
+    OS << ",\"matched\":" << (L.Matched ? "true" : "false")
+       << ",\"parallel\":" << (L.Parallel ? "true" : "false") << "}";
+  }
+  OS << "\n]}\n}\n";
+  return OS.str();
+}
+
+bool dmll::writeProfileJson(const std::string &Path,
+                            const ExecutionReport &R) {
+  std::ofstream Out(Path, std::ios::binary);
+  if (!Out)
+    return false;
+  Out << renderProfileJson(R);
+  return static_cast<bool>(Out);
+}
+
+std::string dmll::profileArgPath(int Argc, char **Argv) {
+  for (int I = 1; I < Argc; ++I) {
+    const char *A = Argv[I];
+    if (std::strncmp(A, "--profile-out=", 14) == 0)
+      return A + 14;
+    if (std::strcmp(A, "--profile-out") == 0 && I + 1 < Argc)
+      return Argv[I + 1];
+  }
+  return "";
+}

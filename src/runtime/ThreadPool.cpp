@@ -2,6 +2,8 @@
 
 #include "runtime/ThreadPool.h"
 
+#include "observe/MetricsRegistry.h"
+#include "observe/Prof.h"
 #include "observe/Trace.h"
 
 #include <algorithm>
@@ -103,10 +105,17 @@ void ThreadPool::participate(unsigned W) {
   int64_t Steals = 0;
   Chunk C;
   bool Stolen;
+  double ClaimT0 = Stats ? sinceMs(J.Start) : 0;
   while (popOrSteal(W, C, Stolen)) {
-    if (Stolen)
+    if (Stolen) {
       ++Steals;
+      // Steal latency: how long this worker probed (own deque miss plus
+      // victim scan) before landing the stolen chunk.
+      if (Stats && J.StealMs)
+        J.StealMs->observe(sinceMs(J.Start) - ClaimT0);
+    }
     double T0 = Stats || J.Trace ? sinceMs(J.Start) : 0;
+    CounterSample C0 = Stats ? ThreadCounters::now() : CounterSample{};
     {
       TraceSpan Span(J.Trace, J.Name, "exec", W + 1);
       Span.argInt("begin", C.Begin);
@@ -117,7 +126,12 @@ void ThreadPool::participate(unsigned W) {
       WorkerStats &WS = Stats->Workers[W];
       ++WS.Chunks;
       WS.Items += C.End - C.Begin;
-      WS.BusyMs += sinceMs(J.Start) - T0;
+      WS.Counters.add(ThreadCounters::now() - C0);
+      double BodyMs = sinceMs(J.Start) - T0;
+      WS.BusyMs += BodyMs;
+      if (J.ChunkMs)
+        J.ChunkMs->observe(BodyMs);
+      ClaimT0 = sinceMs(J.Start);
     }
   }
   if (Stats) {
@@ -165,10 +179,21 @@ void ThreadPool::parallelFor(
   TraceSession *Trace = TraceSession::active();
   const char *Name = TaskName ? TaskName : "exec.chunk";
   auto Start = std::chrono::steady_clock::now();
+  // Registry instruments are resolved once per call on the dispatching
+  // thread (creation/lookup takes the registry mutex; observing is
+  // lock-free), and only when the caller asked for stats.
+  MetricHistogram *ChunkMs = nullptr;
+  MetricHistogram *StealMs = nullptr;
+  if (Stats) {
+    MetricsRegistry &R = MetricsRegistry::global();
+    ChunkMs = &R.histogram("exec.chunk_ms");
+    StealMs = &R.histogram("exec.steal_ms");
+  }
 
   if (Threads == 1 || N <= ChunkSize) {
     // Inline on the calling thread; no dispatch overhead.
     double T0 = Stats || Trace ? sinceMs(Start) : 0;
+    CounterSample C0 = Stats ? ThreadCounters::now() : CounterSample{};
     {
       TraceSpan Span(Trace, Name, "exec", 1);
       Span.argInt("begin", int64_t(0));
@@ -179,8 +204,12 @@ void ThreadPool::parallelFor(
       WorkerStats &WS = Stats->Workers[0];
       ++WS.Chunks;
       WS.Items += N;
-      WS.BusyMs += sinceMs(Start) - T0;
+      WS.Counters.add(ThreadCounters::now() - C0);
+      double BodyMs = sinceMs(Start) - T0;
+      WS.BusyMs += BodyMs;
+      ChunkMs->observe(BodyMs);
       Stats->ElapsedMs = sinceMs(Start);
+      MetricsRegistry::global().counter("exec.chunks").inc();
     }
     return;
   }
@@ -207,10 +236,20 @@ void ThreadPool::parallelFor(
   J.Stats = Stats;
   J.Trace = Trace;
   J.Name = Name;
+  J.ChunkMs = ChunkMs;
+  J.StealMs = StealMs;
   J.Start = Start;
   publishAndWait(J);
-  if (Stats)
+  if (Stats) {
     Stats->ElapsedMs = sinceMs(Start);
+    MetricsRegistry &R = MetricsRegistry::global();
+    R.counter("exec.chunks").inc(Stats->totalChunks());
+    int64_t Steals = 0;
+    for (const WorkerStats &W : Stats->Workers)
+      Steals += W.Steals;
+    if (Steals)
+      R.counter("exec.steals").inc(Steals);
+  }
 }
 
 void ThreadPool::run(const std::function<void(unsigned)> &Body) {

@@ -41,6 +41,7 @@
 
 namespace dmll {
 
+class MetricHistogram;
 class TraceSession;
 
 /// Fixed-size persistent worker pool: Threads - 1 OS threads parked on a
@@ -89,6 +90,10 @@ private:
     ParallelForStats *Stats = nullptr;
     TraceSession *Trace = nullptr;
     const char *Name = nullptr;
+    /// Registry histograms (observe/MetricsRegistry.h), resolved once per
+    /// parallelFor on the dispatching thread; null on unprofiled jobs.
+    MetricHistogram *ChunkMs = nullptr; ///< chunk-body latency
+    MetricHistogram *StealMs = nullptr; ///< probe time before a steal lands
     std::chrono::steady_clock::time_point Start;
   };
 

@@ -1,0 +1,82 @@
+//===- sim/Calibration.h - Simulator vs measured calibration ---*- C++ -*-===//
+//
+// Part of the DMLL reproduction of Brown et al., CGO 2016.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Closes the loop between the analytic simulator (sim/Simulator.h) and the
+/// real shared-memory executor: for every loop a run actually measured
+/// (LoopProfile, observe/Metrics.h) it replays the simulator's prediction
+/// for that loop on a host machine model and reports the predicted and
+/// measured times side by side. The ratio column is the calibration signal
+/// — a stable ratio across loops means the model's *relative* costs (what
+/// the paper's figures depend on) are trustworthy even when its absolute
+/// constants are nominal; an outlier ratio flags a loop whose cost analysis
+/// misclassifies its traffic.
+///
+/// Measured iteration counts replace the SizeEnv-derived estimates before
+/// simulating, so the comparison isolates per-iteration model error from
+/// dataset-metadata error. Loops the cost analysis does not see (nested
+/// loops memoized inside another loop's body) appear unmatched.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DMLL_SIM_CALIBRATION_H
+#define DMLL_SIM_CALIBRATION_H
+
+#include "analysis/Cost.h"
+#include "interp/Interp.h"
+#include "observe/Metrics.h"
+#include "sim/MachineModel.h"
+
+#include <string>
+#include <vector>
+
+namespace dmll {
+
+/// Predicted-vs-measured record for one executed loop.
+struct LoopCalibration {
+  std::string Loop;   ///< loopSignature
+  std::string Engine; ///< engine that ran it ("interp" | "kernel")
+  int64_t Iters = 0;
+  double MeasuredMs = 0;
+  double PredictedMs = 0; ///< 0 when unmatched
+  /// MeasuredMs / PredictedMs; 0 when the prediction is missing or zero.
+  double Ratio = 0;
+  bool Matched = false; ///< a LoopCost with this signature was found
+  bool Parallel = false;
+};
+
+/// Calibration of one execution: per-loop records plus matched totals.
+struct CalibrationReport {
+  std::string Machine; ///< machine model the predictions used
+  int Cores = 1;       ///< worker count the predictions used
+  double MeasuredMs = 0;  ///< sum over matched loops
+  double PredictedMs = 0; ///< sum over matched loops
+  std::vector<LoopCalibration> Loops;
+
+  /// MeasuredMs / PredictedMs over the matched totals (0 if empty).
+  double overallRatio() const {
+    return PredictedMs > 0 ? MeasuredMs / PredictedMs : 0;
+  }
+};
+
+/// Builds the cost model's dataset metadata from actual input values:
+/// scalar inputs and scalar struct fields land in Scalars, array inputs
+/// and array struct fields land in ArrayLens, keyed by input field path
+/// ("matrix.rows", "matrix.data", "y").
+SizeEnv sizeEnvFromInputs(const Program &P, const InputMap &Inputs);
+
+/// Pairs \p Measured (execution order) against analyzeCosts(P, Info, Env)
+/// by loop signature (first-come matching for repeated signatures) and
+/// simulates each matched loop on \p M with \p CoresUsed workers under the
+/// DMLL discipline, with the measured iteration count substituted in.
+CalibrationReport calibrate(const Program &P, const PartitionInfo &Info,
+                            const SizeEnv &Env,
+                            const std::vector<LoopProfile> &Measured,
+                            const MachineModel &M, int CoresUsed);
+
+} // namespace dmll
+
+#endif // DMLL_SIM_CALIBRATION_H

@@ -2,7 +2,25 @@
 
 #include "sim/MachineModel.h"
 
+#include <thread>
+
 using namespace dmll;
+
+MachineModel MachineModel::host() {
+  MachineModel M;
+  M.Name = "host";
+  M.Sockets = 1;
+  unsigned HW = std::thread::hardware_concurrency();
+  M.CoresPerSocket = HW ? static_cast<int>(HW) : 1;
+  // Generic commodity-core constants: calibration compares shapes and
+  // ratios, so order-of-magnitude nominal values are the right fidelity.
+  M.CoreGflops = 4.0;
+  M.SocketBandwidthGBs = 20.0;
+  M.InterSocketGBs = 20.0;
+  M.CacheBandwidthGBs = 100.0;
+  M.LlcMB = 8.0;
+  return M;
+}
 
 MachineModel MachineModel::numa4x12() {
   MachineModel M;

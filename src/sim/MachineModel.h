@@ -50,6 +50,11 @@ struct MachineModel {
   static MachineModel m1xlarge();
   /// 12-core Xeon X5680 node of the GPU cluster.
   static MachineModel x5680();
+  /// The machine this process runs on: one socket with the hardware
+  /// concurrency and generic-commodity memory constants. Used by the
+  /// calibration layer (sim/Calibration.h) to predict what the simulator
+  /// *would* say about a loop we then actually measure.
+  static MachineModel host();
 };
 
 /// A network interconnect.

@@ -1,0 +1,187 @@
+//===- support/Json.cpp ----------------------------------------*- C++ -*-===//
+
+#include "support/Json.h"
+
+#include <cctype>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+using namespace dmll;
+using namespace dmll::json;
+
+namespace {
+
+class Parser {
+public:
+  explicit Parser(const std::string &S) : S(S) {}
+
+  bool parseDoc(JValue &Out) {
+    skipWs();
+    if (!value(Out))
+      return false;
+    skipWs();
+    return Pos == S.size(); // no trailing garbage
+  }
+
+private:
+  const std::string &S;
+  size_t Pos = 0;
+
+  void skipWs() {
+    while (Pos < S.size() && (S[Pos] == ' ' || S[Pos] == '\t' ||
+                              S[Pos] == '\n' || S[Pos] == '\r'))
+      ++Pos;
+  }
+
+  bool lit(const char *L, JValue &Out, JValue::Kind K, bool B) {
+    size_t N = std::strlen(L);
+    if (S.compare(Pos, N, L) != 0)
+      return false;
+    Pos += N;
+    Out.K = K;
+    Out.B = B;
+    return true;
+  }
+
+  bool string(std::string &Out) {
+    if (Pos >= S.size() || S[Pos] != '"')
+      return false;
+    ++Pos;
+    while (Pos < S.size() && S[Pos] != '"') {
+      if (S[Pos] == '\\') {
+        if (Pos + 1 >= S.size())
+          return false;
+        char C = S[Pos + 1];
+        if (C == 'u') {
+          if (Pos + 5 >= S.size())
+            return false;
+          Out += '?'; // code point value irrelevant for our documents
+          Pos += 6;
+          continue;
+        }
+        if (!std::strchr("\"\\/bfnrt", C))
+          return false;
+        Out += C == 'n' ? '\n' : C == 't' ? '\t' : C;
+        Pos += 2;
+        continue;
+      }
+      Out += S[Pos++];
+    }
+    if (Pos >= S.size())
+      return false;
+    ++Pos; // closing quote
+    return true;
+  }
+
+  bool number(JValue &Out) {
+    size_t Start = Pos;
+    if (Pos < S.size() && S[Pos] == '-')
+      ++Pos;
+    while (Pos < S.size() &&
+           (std::isdigit(static_cast<unsigned char>(S[Pos])) ||
+            S[Pos] == '.' || S[Pos] == 'e' || S[Pos] == 'E' ||
+            S[Pos] == '+' || S[Pos] == '-'))
+      ++Pos;
+    if (Pos == Start)
+      return false;
+    Out.K = JValue::Number;
+    try {
+      Out.Num = std::stod(S.substr(Start, Pos - Start));
+    } catch (...) {
+      return false;
+    }
+    return true;
+  }
+
+  bool value(JValue &Out) {
+    skipWs();
+    if (Pos >= S.size())
+      return false;
+    char C = S[Pos];
+    if (C == 'n')
+      return lit("null", Out, JValue::Null, false);
+    if (C == 't')
+      return lit("true", Out, JValue::Bool, true);
+    if (C == 'f')
+      return lit("false", Out, JValue::Bool, false);
+    if (C == '"') {
+      Out.K = JValue::String;
+      return string(Out.Str);
+    }
+    if (C == '[') {
+      ++Pos;
+      Out.K = JValue::Array;
+      skipWs();
+      if (Pos < S.size() && S[Pos] == ']') {
+        ++Pos;
+        return true;
+      }
+      for (;;) {
+        JValue V;
+        if (!value(V))
+          return false;
+        Out.Arr.push_back(std::move(V));
+        skipWs();
+        if (Pos < S.size() && S[Pos] == ',') {
+          ++Pos;
+          continue;
+        }
+        break;
+      }
+      if (Pos >= S.size() || S[Pos] != ']')
+        return false;
+      ++Pos;
+      return true;
+    }
+    if (C == '{') {
+      ++Pos;
+      Out.K = JValue::Object;
+      skipWs();
+      if (Pos < S.size() && S[Pos] == '}') {
+        ++Pos;
+        return true;
+      }
+      for (;;) {
+        skipWs();
+        std::string Key;
+        if (!string(Key))
+          return false;
+        skipWs();
+        if (Pos >= S.size() || S[Pos] != ':')
+          return false;
+        ++Pos;
+        JValue V;
+        if (!value(V))
+          return false;
+        Out.Obj.emplace_back(std::move(Key), std::move(V));
+        skipWs();
+        if (Pos < S.size() && S[Pos] == ',') {
+          ++Pos;
+          continue;
+        }
+        break;
+      }
+      if (Pos >= S.size() || S[Pos] != '}')
+        return false;
+      ++Pos;
+      return true;
+    }
+    return number(Out);
+  }
+};
+
+} // namespace
+
+bool dmll::json::parse(const std::string &S, JValue &Out) {
+  return Parser(S).parseDoc(Out);
+}
+
+bool dmll::json::parseFile(const std::string &Path, JValue &Out) {
+  std::ifstream In(Path, std::ios::binary);
+  if (!In)
+    return false;
+  std::ostringstream SS;
+  SS << In.rdbuf();
+  return parse(SS.str(), Out);
+}

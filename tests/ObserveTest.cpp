@@ -1,9 +1,10 @@
 //===- tests/ObserveTest.cpp - Observability layer tests -------*- C++ -*-===//
 //
-// Covers docs/OBSERVABILITY.md's contracts: trace events are well-nested
-// per thread, rewrite provenance agrees with RewriteStats.Applied, executor
-// metrics account for every chunk, and the Chrome-trace JSON export
-// round-trips through a real (minimal) JSON parser.
+// Covers docs/OBSERVABILITY.md's contracts: trace events carry explicit
+// parent-span ids whose intervals nest, rewrite provenance agrees with
+// RewriteStats.Applied, executor metrics account for every chunk, and the
+// Chrome-trace JSON export round-trips through support/Json.h (the same
+// parser tools/dmll-prof consumes profiles with).
 //
 //===----------------------------------------------------------------------===//
 
@@ -15,6 +16,7 @@
 #include "observe/Trace.h"
 #include "runtime/Executor.h"
 #include "runtime/ThreadPool.h"
+#include "support/Json.h"
 #include "transform/Pipeline.h"
 
 #include <gtest/gtest.h>
@@ -29,202 +31,43 @@ using namespace dmll::frontend;
 
 namespace {
 
-//===----------------------------------------------------------------------===//
-// Minimal JSON parser (syntax + structure) for the round-trip check.
-//===----------------------------------------------------------------------===//
+using JsonValue = dmll::json::JValue;
 
-struct JsonValue {
-  enum Kind { Null, Bool, Number, String, Array, Object } K = Null;
-  bool B = false;
-  double Num = 0;
-  std::string Str;
-  std::vector<JsonValue> Arr;
-  std::vector<std::pair<std::string, JsonValue>> Obj;
+bool parseJson(const std::string &S, JsonValue &Out) {
+  return dmll::json::parse(S, Out);
+}
 
-  const JsonValue *field(const std::string &Key) const {
-    for (const auto &[F, V] : Obj)
-      if (F == Key)
-        return &V;
-    return nullptr;
-  }
-};
-
-class JsonParser {
-public:
-  explicit JsonParser(const std::string &S) : S(S) {}
-
-  bool parse(JsonValue &Out) {
-    skipWs();
-    if (!value(Out))
-      return false;
-    skipWs();
-    return Pos == S.size(); // no trailing garbage
-  }
-
-private:
-  const std::string &S;
-  size_t Pos = 0;
-
-  void skipWs() {
-    while (Pos < S.size() && (S[Pos] == ' ' || S[Pos] == '\t' ||
-                              S[Pos] == '\n' || S[Pos] == '\r'))
-      ++Pos;
-  }
-
-  bool lit(const char *L, JsonValue &Out, JsonValue::Kind K, bool B) {
-    size_t N = std::strlen(L);
-    if (S.compare(Pos, N, L) != 0)
-      return false;
-    Pos += N;
-    Out.K = K;
-    Out.B = B;
-    return true;
-  }
-
-  bool string(std::string &Out) {
-    if (Pos >= S.size() || S[Pos] != '"')
-      return false;
-    ++Pos;
-    while (Pos < S.size() && S[Pos] != '"') {
-      if (S[Pos] == '\\') {
-        if (Pos + 1 >= S.size())
-          return false;
-        char C = S[Pos + 1];
-        if (C == 'u') {
-          if (Pos + 5 >= S.size())
-            return false;
-          Out += '?'; // code point value irrelevant for the check
-          Pos += 6;
-          continue;
-        }
-        if (!std::strchr("\"\\/bfnrt", C))
-          return false;
-        Out += C == 'n' ? '\n' : C == 't' ? '\t' : C;
-        Pos += 2;
-        continue;
-      }
-      Out += S[Pos++];
-    }
-    if (Pos >= S.size())
-      return false;
-    ++Pos; // closing quote
-    return true;
-  }
-
-  bool number(JsonValue &Out) {
-    size_t Start = Pos;
-    if (Pos < S.size() && S[Pos] == '-')
-      ++Pos;
-    while (Pos < S.size() && (std::isdigit(S[Pos]) || S[Pos] == '.' ||
-                              S[Pos] == 'e' || S[Pos] == 'E' ||
-                              S[Pos] == '+' || S[Pos] == '-'))
-      ++Pos;
-    if (Pos == Start)
-      return false;
-    Out.K = JsonValue::Number;
-    Out.Num = std::stod(S.substr(Start, Pos - Start));
-    return true;
-  }
-
-  bool value(JsonValue &Out) {
-    skipWs();
-    if (Pos >= S.size())
-      return false;
-    char C = S[Pos];
-    if (C == 'n')
-      return lit("null", Out, JsonValue::Null, false);
-    if (C == 't')
-      return lit("true", Out, JsonValue::Bool, true);
-    if (C == 'f')
-      return lit("false", Out, JsonValue::Bool, false);
-    if (C == '"') {
-      Out.K = JsonValue::String;
-      return string(Out.Str);
-    }
-    if (C == '[') {
-      ++Pos;
-      Out.K = JsonValue::Array;
-      skipWs();
-      if (Pos < S.size() && S[Pos] == ']') {
-        ++Pos;
-        return true;
-      }
-      for (;;) {
-        JsonValue V;
-        if (!value(V))
-          return false;
-        Out.Arr.push_back(std::move(V));
-        skipWs();
-        if (Pos < S.size() && S[Pos] == ',') {
-          ++Pos;
-          continue;
-        }
-        break;
-      }
-      if (Pos >= S.size() || S[Pos] != ']')
-        return false;
-      ++Pos;
-      return true;
-    }
-    if (C == '{') {
-      ++Pos;
-      Out.K = JsonValue::Object;
-      skipWs();
-      if (Pos < S.size() && S[Pos] == '}') {
-        ++Pos;
-        return true;
-      }
-      for (;;) {
-        skipWs();
-        std::string Key;
-        if (!string(Key))
-          return false;
-        skipWs();
-        if (Pos >= S.size() || S[Pos] != ':')
-          return false;
-        ++Pos;
-        JsonValue V;
-        if (!value(V))
-          return false;
-        Out.Obj.emplace_back(std::move(Key), std::move(V));
-        skipWs();
-        if (Pos < S.size() && S[Pos] == ',') {
-          ++Pos;
-          continue;
-        }
-        break;
-      }
-      if (Pos >= S.size() || S[Pos] != '}')
-        return false;
-      ++Pos;
-      return true;
-    }
-    return number(Out);
-  }
-};
-
-/// Checks that all span events of one trace thread are properly nested:
-/// any two spans on the same tid are either disjoint or one contains the
-/// other (small tolerance for clock granularity).
+/// Checks the explicit-parentage invariant: every span recorded through
+/// TraceSpan has a session-unique id; every event with a parent link points
+/// at an existing span on the same trace thread whose interval contains it
+/// (small tolerance for clock granularity). This is a true invariant check
+/// — nesting is recorded at open time, never reconstructed from timestamps.
 void expectWellNested(const std::vector<TraceEvent> &Events) {
-  std::map<unsigned, std::vector<const TraceEvent *>> ByTid;
+  std::map<uint64_t, const TraceEvent *> ById;
   for (const TraceEvent &E : Events)
-    if (!E.Instant)
-      ByTid[E.Tid].push_back(&E);
+    if (E.Id) {
+      EXPECT_EQ(ById.count(E.Id), 0u) << "duplicate span id " << E.Id;
+      ById[E.Id] = &E;
+    }
   const double Eps = 1e-6;
-  for (const auto &[Tid, Spans] : ByTid) {
-    for (size_t I = 0; I < Spans.size(); ++I)
-      for (size_t J = I + 1; J < Spans.size(); ++J) {
-        const TraceEvent *A = Spans[I], *B = Spans[J];
-        double AEnd = A->StartMs + A->DurMs, BEnd = B->StartMs + B->DurMs;
-        bool Disjoint = AEnd <= B->StartMs + Eps || BEnd <= A->StartMs + Eps;
-        bool AInB = A->StartMs >= B->StartMs - Eps && AEnd <= BEnd + Eps;
-        bool BInA = B->StartMs >= A->StartMs - Eps && BEnd <= AEnd + Eps;
-        EXPECT_TRUE(Disjoint || AInB || BInA)
-            << "overlapping spans on tid " << Tid << ": " << A->Name << " ["
-            << A->StartMs << "," << AEnd << ") vs " << B->Name << " ["
-            << B->StartMs << "," << BEnd << ")";
-      }
+  for (const TraceEvent &E : Events) {
+    if (!E.Instant) {
+      EXPECT_NE(E.Id, 0u) << "span without id: " << E.Name;
+    }
+    if (!E.Parent)
+      continue;
+    auto It = ById.find(E.Parent);
+    ASSERT_NE(It, ById.end())
+        << E.Name << " links to unknown parent id " << E.Parent;
+    const TraceEvent *P = It->second;
+    EXPECT_FALSE(P->Instant) << E.Name << " has instant parent " << P->Name;
+    EXPECT_EQ(P->Tid, E.Tid)
+        << E.Name << " parent " << P->Name << " is on another thread";
+    // Parent interval contains the child's.
+    EXPECT_GE(E.StartMs, P->StartMs - Eps)
+        << E.Name << " starts before parent " << P->Name;
+    EXPECT_LE(E.StartMs + E.DurMs, P->StartMs + P->DurMs + Eps)
+        << E.Name << " ends after parent " << P->Name;
   }
 }
 
@@ -273,6 +116,14 @@ TEST(TraceSession, SpansRecordAndNest) {
   EXPECT_TRUE(Events[1].Instant);
   ASSERT_EQ(Events[0].Args.size(), 1u);
   EXPECT_EQ(Events[0].Args[0].second, "42");
+  // Explicit parentage: ids are assigned at open time, and the links record
+  // who actually enclosed whom — not a reconstruction from timestamps.
+  EXPECT_NE(Events[0].Id, 0u);
+  EXPECT_NE(Events[2].Id, 0u);
+  EXPECT_NE(Events[0].Id, Events[2].Id);
+  EXPECT_EQ(Events[0].Parent, Events[2].Id); // inner opened under outer
+  EXPECT_EQ(Events[1].Parent, Events[2].Id); // instant fired under outer
+  EXPECT_EQ(Events[2].Parent, 0u);           // outer is a root span
   // The inner span's interval lies within the outer's.
   EXPECT_GE(Events[0].StartMs, Events[2].StartMs);
   EXPECT_LE(Events[0].StartMs + Events[0].DurMs,
@@ -503,7 +354,7 @@ TEST(Export, ChromeJsonRoundTripsThroughParser) {
 
   std::string Json = S.renderChromeJson();
   JsonValue Root;
-  ASSERT_TRUE(JsonParser(Json).parse(Root)) << Json.substr(0, 400);
+  ASSERT_TRUE(parseJson(Json, Root)) << Json.substr(0, 400);
   ASSERT_EQ(Root.K, JsonValue::Object);
   const JsonValue *Events = Root.field("traceEvents");
   ASSERT_NE(Events, nullptr);
@@ -561,7 +412,7 @@ TEST(Export, JsonEscapesSpecialCharacters) {
   TraceSession S;
   S.instant("we\"ird\\name\n", "cat\t");
   JsonValue Root;
-  ASSERT_TRUE(JsonParser(S.renderChromeJson()).parse(Root));
+  ASSERT_TRUE(parseJson(S.renderChromeJson(), Root));
   const JsonValue *Events = Root.field("traceEvents");
   ASSERT_NE(Events, nullptr);
   bool Found = false;
@@ -588,7 +439,7 @@ TEST(Export, WriteChromeJsonToFile) {
     Content.append(Buf, Got);
   std::fclose(F);
   JsonValue Root;
-  EXPECT_TRUE(JsonParser(Content).parse(Root));
+  EXPECT_TRUE(parseJson(Content, Root));
   std::remove(Path.c_str());
 }
 
@@ -612,7 +463,7 @@ TEST(Export, CountersEmitNumericArgs) {
   S.counter("ir.nodes", 128);
   std::string Json = S.renderChromeJson();
   JsonValue Root;
-  ASSERT_TRUE(JsonParser(Json).parse(Root));
+  ASSERT_TRUE(parseJson(Json, Root));
   const JsonValue *Events = Root.field("traceEvents");
   ASSERT_NE(Events, nullptr);
   bool Found = false;

@@ -1,0 +1,206 @@
+//===- tools/dmll_prof.cpp - Profile diff / perf-regression gate -- C++ -===//
+//
+// Part of the DMLL reproduction of Brown et al., CGO 2016.
+//
+// dmll-prof compares two timing documents this repo produces — execution
+// profiles (runtime/ProfileJson.h, schema dmll-profile-v1) or benchmark
+// records (bench/bench_json.h) — and exits nonzero when any shared entry
+// got slower than an allowed ratio. tools/run_benchmarks.sh --check and the
+// perf_smoke ctest use it to gate fresh runs against the committed
+// BENCH_perf.json; docs/PROFILING.md documents the workflow.
+//
+//   dmll-prof [options] BASELINE.json CURRENT.json
+//   dmll-prof --check [options] CURRENT.json      (baseline: BENCH_perf.json)
+//
+//   --threshold R   fail when current/baseline > R for any entry (default
+//                   1.5)
+//   --min-ms M      ignore entries whose baseline is under M ms — they are
+//                   timer noise (default 0.05)
+//   --baseline P    baseline path for --check (default ./BENCH_perf.json)
+//   --check         single-file gate mode against the committed baseline
+//
+// Exit codes: 0 no regressions, 1 regressions found, 2 usage/parse error.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Json.h"
+
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+using dmll::json::JValue;
+
+namespace {
+
+/// Entry key -> milliseconds, extracted from either document format.
+using TimingMap = std::map<std::string, double>;
+
+/// Profile docs key loops by "loop:<sig>#<occurrence>/<engine>" (already
+/// precomputed in the document); bench docs get
+/// "bench:<pattern>/<engine>/t<threads>".
+bool extractTimings(const JValue &Doc, TimingMap &Out, std::string &Kind) {
+  if (Doc.strField("schema") == "dmll-profile-v1") {
+    Kind = "profile";
+    if (const JValue *Loops = Doc.field("loops"))
+      for (const JValue &L : Loops->Arr) {
+        std::string Key = L.strField("key");
+        if (!Key.empty())
+          Out[Key] = L.numField("millis");
+      }
+    return true;
+  }
+  if (Doc.field("benchmark") && Doc.field("records")) {
+    Kind = "bench";
+    for (const JValue &R : Doc.field("records")->Arr) {
+      std::string Key = "bench:" + R.strField("pattern") + "/" +
+                        R.strField("engine") + "/t" +
+                        std::to_string(
+                            static_cast<long long>(R.numField("threads", 1)));
+      Out[Key] = R.numField("ms");
+    }
+    return true;
+  }
+  return false;
+}
+
+bool loadTimings(const std::string &Path, TimingMap &Out, std::string &Kind) {
+  JValue Doc;
+  if (!dmll::json::parseFile(Path, Doc)) {
+    std::fprintf(stderr, "dmll-prof: cannot read or parse %s\n", Path.c_str());
+    return false;
+  }
+  if (!extractTimings(Doc, Out, Kind)) {
+    std::fprintf(stderr,
+                 "dmll-prof: %s is neither a dmll-profile-v1 document nor a "
+                 "benchmark record document\n",
+                 Path.c_str());
+    return false;
+  }
+  return true;
+}
+
+void usage() {
+  std::fprintf(
+      stderr,
+      "usage: dmll-prof [--threshold R] [--min-ms M] BASELINE.json "
+      "CURRENT.json\n"
+      "       dmll-prof --check [--threshold R] [--min-ms M] [--baseline P] "
+      "CURRENT.json\n");
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  double Threshold = 1.5;
+  double MinMs = 0.05;
+  bool Check = false;
+  std::string BaselinePath = "BENCH_perf.json";
+  std::vector<std::string> Files;
+
+  for (int I = 1; I < Argc; ++I) {
+    std::string A = Argv[I];
+    auto TakeValue = [&](const char *Flag) -> const char * {
+      size_t L = std::strlen(Flag);
+      if (A.compare(0, L, Flag) == 0 && A.size() > L && A[L] == '=')
+        return A.c_str() + L + 1;
+      if (A == Flag && I + 1 < Argc)
+        return Argv[++I];
+      return nullptr;
+    };
+    if (A == "--check") {
+      Check = true;
+    } else if (const char *V = TakeValue("--threshold")) {
+      Threshold = std::atof(V);
+    } else if (const char *V = TakeValue("--min-ms")) {
+      MinMs = std::atof(V);
+    } else if (const char *V = TakeValue("--baseline")) {
+      BaselinePath = V;
+    } else if (A == "--help" || A == "-h") {
+      usage();
+      return 0;
+    } else if (!A.empty() && A[0] == '-') {
+      std::fprintf(stderr, "dmll-prof: unknown option %s\n", A.c_str());
+      usage();
+      return 2;
+    } else {
+      Files.push_back(A);
+    }
+  }
+  if (Threshold <= 0) {
+    std::fprintf(stderr, "dmll-prof: --threshold must be positive\n");
+    return 2;
+  }
+
+  std::string Base, Cur;
+  if (Check && Files.size() == 1) {
+    Base = BaselinePath;
+    Cur = Files[0];
+  } else if (Files.size() == 2) {
+    Base = Files[0];
+    Cur = Files[1];
+  } else {
+    usage();
+    return 2;
+  }
+
+  TimingMap BaseT, CurT;
+  std::string BaseKind, CurKind;
+  if (!loadTimings(Base, BaseT, BaseKind) ||
+      !loadTimings(Cur, CurT, CurKind))
+    return 2;
+
+  if (BaseT.empty() || CurT.empty()) {
+    std::printf("dmll-prof: nothing to compare (%zu baseline, %zu current "
+                "entries); treating as pass\n",
+                BaseT.size(), CurT.size());
+    return 0;
+  }
+
+  std::printf("%-54s %10s %10s %8s  %s\n", "entry", "base(ms)", "cur(ms)",
+              "ratio", "status");
+  int Regressions = 0, Compared = 0, Skipped = 0;
+  for (const auto &[Key, BaseMs] : BaseT) {
+    auto It = CurT.find(Key);
+    if (It == CurT.end()) {
+      std::printf("%-54s %10.3f %10s %8s  removed\n", Key.c_str(), BaseMs,
+                  "-", "-");
+      continue;
+    }
+    double CurMs = It->second;
+    if (BaseMs < MinMs) {
+      ++Skipped;
+      continue;
+    }
+    ++Compared;
+    double Ratio = BaseMs > 0 ? CurMs / BaseMs : 0;
+    const char *Status = "ok";
+    if (Ratio > Threshold) {
+      Status = "REGRESSION";
+      ++Regressions;
+    } else if (Ratio < 1.0 / Threshold) {
+      Status = "improved";
+    }
+    std::printf("%-54s %10.3f %10.3f %8.2f  %s\n", Key.c_str(), BaseMs, CurMs,
+                Ratio, Status);
+  }
+  for (const auto &[Key, CurMs] : CurT)
+    if (!BaseT.count(Key))
+      std::printf("%-54s %10s %10.3f %8s  added\n", Key.c_str(), "-", CurMs,
+                  "-");
+
+  if (Compared == 0) {
+    std::fprintf(stderr,
+                 "dmll-prof: no comparable entries above %.3fms — the two "
+                 "documents do not describe the same run (%s vs %s)\n",
+                 MinMs, BaseKind.c_str(), CurKind.c_str());
+    return 2;
+  }
+  std::printf("\n%d compared, %d skipped (< %.3fms), %d regression%s "
+              "(threshold %.2fx)\n",
+              Compared, Skipped, MinMs, Regressions,
+              Regressions == 1 ? "" : "s", Threshold);
+  return Regressions ? 1 : 0;
+}

@@ -2,6 +2,7 @@
 # Runs the machine-readable benchmark suite and collects the JSON outputs.
 #
 #   tools/run_benchmarks.sh [BUILD_DIR] [OUT_DIR]
+#   tools/run_benchmarks.sh --check [BUILD_DIR]
 #
 # BUILD_DIR defaults to ./build, OUT_DIR to the repo root. Produces:
 #   OUT_DIR/BENCH_perf.json    engine comparison (micro_patterns --json-out):
@@ -10,11 +11,24 @@
 #   OUT_DIR/BENCH_table2.json  generated C++ vs hand-written C++ per app
 #                              (table2_sequential --json-out)
 #
+# --check is the perf-regression gate (the perf_smoke ctest): it reruns
+# micro_patterns into a temp directory and diffs it against the committed
+# BENCH_perf.json with tools/dmll-prof, failing when any pattern got more
+# than DMLL_PROF_THRESHOLD (default 3.0) times slower. The committed
+# reference files are not touched in this mode.
+#
 # The record format is documented in bench/bench_json.h; the engine design
-# in docs/EXECUTION.md.
+# in docs/EXECUTION.md; the gate workflow in docs/PROFILING.md.
 
 set -eu
 
+CHECK=0
+if [ "${1:-}" = "--check" ]; then
+  CHECK=1
+  shift
+fi
+
+ROOT=$(dirname "$0")/..
 BUILD_DIR=${1:-build}
 OUT_DIR=${2:-.}
 
@@ -22,6 +36,21 @@ if [ ! -x "$BUILD_DIR/bench/micro_patterns" ]; then
   echo "error: $BUILD_DIR/bench/micro_patterns not built" >&2
   echo "build first: cmake -B $BUILD_DIR -S . && cmake --build $BUILD_DIR -j" >&2
   exit 1
+fi
+
+if [ "$CHECK" = 1 ]; then
+  if [ ! -x "$BUILD_DIR/tools/dmll-prof" ]; then
+    echo "error: $BUILD_DIR/tools/dmll-prof not built" >&2
+    exit 1
+  fi
+  THRESHOLD=${DMLL_PROF_THRESHOLD:-3.0}
+  TMP_DIR=$(mktemp -d)
+  trap 'rm -rf "$TMP_DIR"' EXIT
+  echo "== perf check: micro_patterns vs committed BENCH_perf.json (threshold ${THRESHOLD}x) =="
+  "$BUILD_DIR/bench/micro_patterns" --json-out "$TMP_DIR/BENCH_perf.json"
+  "$BUILD_DIR/tools/dmll-prof" --threshold "$THRESHOLD" \
+    "$ROOT/BENCH_perf.json" "$TMP_DIR/BENCH_perf.json"
+  exit 0
 fi
 
 echo "== engine comparison (interp vs kernel) =="
