@@ -46,6 +46,8 @@ private:
   std::unordered_map<const Expr *, uint16_t> ColumnSlots;
   /// Free-symbol sets, cached per node.
   std::unordered_map<const Expr *, std::unordered_set<uint64_t>> FreeCache;
+  /// mayTrap() results, cached per node.
+  std::unordered_map<const Expr *, bool> TrapCache;
 
   bool fail(const std::string &Why) {
     if (Fail.empty())
@@ -67,6 +69,19 @@ private:
       if (Bound.count(Id))
         return false;
     return true;
+  }
+
+  /// Cached dmll::mayTrap. Uniforms and column sources are evaluated
+  /// unconditionally at launch, so hoisting a may-trap expression would
+  /// speculate past generator conditions and zero-trip loops the
+  /// interpreter uses to skip it; such expressions must stay in the
+  /// per-iteration code, where the condition branch guards them and the VM
+  /// raises the identical trap.
+  bool mayTrap(const ExprRef &E) {
+    auto It = TrapCache.find(E.get());
+    if (It != TrapCache.end())
+      return It->second;
+    return TrapCache.emplace(E.get(), dmll::mayTrap(E)).first->second;
   }
 
   std::optional<Reg> alloc(ScalarKind Kind) {
@@ -358,10 +373,12 @@ std::optional<Reg> Lowering::lowerExpr(const ExprRef &E) {
     return MemoIt->second;
 
   // Loop-invariant scalars hoist to launch-time uniforms (the interpreter
-  // reaches the same effect through its innermost-scope memoization).
+  // reaches the same effect through its innermost-scope memoization) —
+  // unless evaluating them could trap, in which case they stay inline so
+  // the generator's condition branch still guards them.
   std::optional<Reg> R;
   if (E->kind() != ExprKind::ConstInt && E->kind() != ExprKind::ConstFloat &&
-      E->kind() != ExprKind::ConstBool && isInvariant(E)) {
+      E->kind() != ExprKind::ConstBool && isInvariant(E) && !mayTrap(E)) {
     R = lowerUniform(E);
     if (R)
       Memo.emplace(E.get(), *R);
@@ -417,6 +434,12 @@ std::optional<Reg> Lowering::lowerExpr(const ExprRef &E) {
     const auto *Rd = cast<ArrayReadExpr>(E);
     if (!isInvariant(Rd->array())) {
       fail("array read from loop-varying array");
+      return std::nullopt;
+    }
+    if (mayTrap(Rd->array())) {
+      // Column sources are materialized at launch; a trapping source would
+      // be evaluated speculatively, ahead of any guarding condition.
+      fail("may-trap column source");
       return std::nullopt;
     }
     ScalarKind ElemKind = lower::scalarKindOf(*Rd->array()->type()->elem());

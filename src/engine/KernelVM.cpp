@@ -8,6 +8,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <type_traits>
 
 using namespace dmll;
@@ -221,12 +222,18 @@ void execRange(const Kernel &K, int32_t Begin, int32_t End, Regs &R,
       R.I[In.Dst] = R.I[In.A] * R.I[In.B];
       break;
     case ROp::DivI:
-      if (R.I[In.B] == 0)
+      // INT64_MIN / -1 overflows (SIGFPE on x86); trap it under the same
+      // message as /0, mirroring the interpreter exactly.
+      if (R.I[In.B] == 0 ||
+          (R.I[In.B] == -1 &&
+           R.I[In.A] == std::numeric_limits<int64_t>::min()))
         fatalError("integer division by zero");
       R.I[In.Dst] = R.I[In.A] / R.I[In.B];
       break;
     case ROp::ModI:
-      if (R.I[In.B] == 0)
+      if (R.I[In.B] == 0 ||
+          (R.I[In.B] == -1 &&
+           R.I[In.A] == std::numeric_limits<int64_t>::min()))
         fatalError("integer modulo by zero");
       R.I[In.Dst] = R.I[In.A] % R.I[In.B];
       break;

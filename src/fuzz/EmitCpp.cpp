@@ -1,0 +1,361 @@
+//===- fuzz/EmitCpp.cpp ----------------------------------------*- C++ -*-===//
+
+#include "fuzz/EmitCpp.h"
+
+#include "ir/Printer.h"
+#include "support/Error.h"
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+#include <unordered_map>
+
+using namespace dmll;
+using namespace dmll::fuzz;
+
+namespace {
+
+std::string i64Lit(int64_t V) {
+  // INT64_MIN cannot be written as a literal (the '-' applies to an
+  // out-of-range positive); spell both extremes via <limits>.
+  if (V == INT64_MIN)
+    return "std::numeric_limits<int64_t>::min()";
+  if (V == INT64_MAX)
+    return "std::numeric_limits<int64_t>::max()";
+  return std::to_string(V);
+}
+
+std::string f64Lit(double V) {
+  if (std::isnan(V))
+    return "std::numeric_limits<double>::quiet_NaN()";
+  if (std::isinf(V))
+    return V > 0 ? "std::numeric_limits<double>::infinity()"
+                 : "-std::numeric_limits<double>::infinity()";
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.17g", V); // round-trips every double
+  std::string S(Buf);
+  // Ensure a double-typed literal (printers drop ".0" for integral values).
+  if (S.find_first_of(".eEni") == std::string::npos)
+    S += ".0";
+  return S;
+}
+
+std::string quote(const std::string &S) { return "\"" + S + "\""; }
+
+std::string typeCpp(const TypeRef &Ty) {
+  switch (Ty->getKind()) {
+  case TypeKind::Bool:
+    return "Type::boolTy()";
+  case TypeKind::Int32:
+    return "Type::i32()";
+  case TypeKind::Int64:
+    return "Type::i64()";
+  case TypeKind::Float32:
+    return "Type::f32()";
+  case TypeKind::Float64:
+    return "Type::f64()";
+  case TypeKind::Array:
+    return "Type::arrayOf(" + typeCpp(Ty->elem()) + ")";
+  case TypeKind::Struct: {
+    std::string S = "Type::structOf({";
+    bool First = true;
+    for (const Type::Field &F : Ty->fields()) {
+      if (!First)
+        S += ", ";
+      First = false;
+      S += "{" + quote(F.Name) + ", " + typeCpp(F.Ty) + "}";
+    }
+    return S + "})";
+  }
+  }
+  return "?";
+}
+
+std::string valueCpp(const Value &V) {
+  if (V.isBool())
+    return std::string("Value(") + (V.asBool() ? "true" : "false") + ")";
+  if (V.isInt())
+    return "Value(int64_t(" + i64Lit(V.asInt()) + "))";
+  if (V.isFloat())
+    return "Value(" + f64Lit(V.asFloat()) + ")";
+  std::string S;
+  if (V.isArray()) {
+    S = "Value::makeArray({";
+    for (size_t I = 0; I < V.arraySize(); ++I)
+      S += (I ? ", " : "") + valueCpp(V.at(I));
+    return S + "})";
+  }
+  S = "Value::makeStruct({";
+  const auto &Fields = V.strct()->Fields;
+  for (size_t I = 0; I < Fields.size(); ++I)
+    S += (I ? ", " : "") + valueCpp(Fields[I]);
+  return S + "})";
+}
+
+const char *hintCpp(LayoutHint H) {
+  switch (H) {
+  case LayoutHint::Default:
+    return "LayoutHint::Default";
+  case LayoutHint::Local:
+    return "LayoutHint::Local";
+  case LayoutHint::Partitioned:
+    return "LayoutHint::Partitioned";
+  }
+  return "?";
+}
+
+const char *binOpCpp(BinOpKind Op) {
+  switch (Op) {
+  case BinOpKind::Add: return "BinOpKind::Add";
+  case BinOpKind::Sub: return "BinOpKind::Sub";
+  case BinOpKind::Mul: return "BinOpKind::Mul";
+  case BinOpKind::Div: return "BinOpKind::Div";
+  case BinOpKind::Mod: return "BinOpKind::Mod";
+  case BinOpKind::Min: return "BinOpKind::Min";
+  case BinOpKind::Max: return "BinOpKind::Max";
+  case BinOpKind::Eq:  return "BinOpKind::Eq";
+  case BinOpKind::Ne:  return "BinOpKind::Ne";
+  case BinOpKind::Lt:  return "BinOpKind::Lt";
+  case BinOpKind::Le:  return "BinOpKind::Le";
+  case BinOpKind::Gt:  return "BinOpKind::Gt";
+  case BinOpKind::Ge:  return "BinOpKind::Ge";
+  case BinOpKind::And: return "BinOpKind::And";
+  case BinOpKind::Or:  return "BinOpKind::Or";
+  }
+  return "?";
+}
+
+const char *unOpCpp(UnOpKind Op) {
+  switch (Op) {
+  case UnOpKind::Neg:  return "UnOpKind::Neg";
+  case UnOpKind::Not:  return "UnOpKind::Not";
+  case UnOpKind::Exp:  return "UnOpKind::Exp";
+  case UnOpKind::Log:  return "UnOpKind::Log";
+  case UnOpKind::Sqrt: return "UnOpKind::Sqrt";
+  case UnOpKind::Abs:  return "UnOpKind::Abs";
+  }
+  return "?";
+}
+
+const char *genKindCpp(GenKind K) {
+  switch (K) {
+  case GenKind::Collect:       return "GenKind::Collect";
+  case GenKind::Reduce:        return "GenKind::Reduce";
+  case GenKind::BucketCollect: return "GenKind::BucketCollect";
+  case GenKind::BucketReduce:  return "GenKind::BucketReduce";
+  }
+  return "?";
+}
+
+/// Emits each distinct node once (post-order), as a local variable.
+class Emitter {
+public:
+  explicit Emitter(std::ostringstream &Body) : Body(Body) {}
+
+  std::string emit(const ExprRef &E) {
+    auto It = Names.find(E.get());
+    if (It != Names.end())
+      return It->second;
+    std::string Name = build(E);
+    Names.emplace(E.get(), Name);
+    return Name;
+  }
+
+  std::string emitFunc(const Func &F) {
+    if (!F.isSet())
+      return "Func()";
+    std::string Params = "{";
+    for (size_t I = 0; I < F.Params.size(); ++I)
+      Params += (I ? ", " : "") + emitSym(F.Params[I]);
+    Params += "}";
+    std::string Body = emit(F.Body);
+    return "Func(" + Params + ", " + Body + ")";
+  }
+
+private:
+  std::ostringstream &Body;
+  std::unordered_map<const Expr *, std::string> Names;
+  int Next = 0;
+
+  std::string fresh(const char *Prefix) {
+    return Prefix + std::to_string(Next++);
+  }
+
+  std::string def(const char *Prefix, const std::string &Init) {
+    std::string Name = fresh(Prefix);
+    Body << "  ExprRef " << Name << " = " << Init << ";\n";
+    return Name;
+  }
+
+  std::string emitSym(const SymRef &S) {
+    auto It = Names.find(S.get());
+    if (It != Names.end())
+      return It->second;
+    std::string Name = fresh("s");
+    Body << "  SymRef " << Name << " = freshSym(" << quote(S->name())
+         << ", " << typeCpp(S->type()) << ");\n";
+    Names.emplace(S.get(), Name);
+    return Name;
+  }
+
+  std::string build(const ExprRef &E) {
+    switch (E->kind()) {
+    case ExprKind::ConstInt:
+      return def("e", "constI64(" + i64Lit(cast<ConstIntExpr>(E)->value()) +
+                          ")");
+    case ExprKind::ConstFloat:
+      return def("e", "constF64(" +
+                          f64Lit(cast<ConstFloatExpr>(E)->value()) + ")");
+    case ExprKind::ConstBool:
+      return def("e", std::string("constBool(") +
+                          (cast<ConstBoolExpr>(E)->value() ? "true"
+                                                           : "false") +
+                          ")");
+    case ExprKind::Sym: {
+      // Symbols are declared as SymRef; wrap for ExprRef use sites.
+      SymRef S = std::static_pointer_cast<const SymExpr>(E);
+      return "ExprRef(" + emitSym(S) + ")";
+    }
+    case ExprKind::Input:
+      // Inputs are pre-declared by emitReplayCpp; reaching here means the
+      // name map was not seeded.
+      fatalError("emitReplayCpp: unseeded input node");
+    case ExprKind::BinOp: {
+      const auto *B = cast<BinOpExpr>(E);
+      std::string L = emit(B->lhs()), R = emit(B->rhs());
+      return def("e", std::string("binop(") + binOpCpp(B->op()) + ", " + L +
+                          ", " + R + ")");
+    }
+    case ExprKind::UnOp: {
+      const auto *U = cast<UnOpExpr>(E);
+      std::string A = emit(U->operand());
+      return def("e", std::string("unop(") + unOpCpp(U->op()) + ", " + A +
+                          ")");
+    }
+    case ExprKind::Select: {
+      const auto *S = cast<SelectExpr>(E);
+      std::string C = emit(S->cond()), A = emit(S->trueVal()),
+                  B2 = emit(S->falseVal());
+      return def("e", "select(" + C + ", " + A + ", " + B2 + ")");
+    }
+    case ExprKind::Cast: {
+      std::string A = emit(cast<CastExpr>(E)->operand());
+      return def("e", "castTo(" + typeCpp(E->type()) + ", " + A + ")");
+    }
+    case ExprKind::ArrayRead: {
+      const auto *R = cast<ArrayReadExpr>(E);
+      std::string A = emit(R->array()), I = emit(R->index());
+      return def("e", "arrayRead(" + A + ", " + I + ")");
+    }
+    case ExprKind::ArrayLen:
+      return def("e", "arrayLen(" + emit(cast<ArrayLenExpr>(E)->array()) +
+                          ")");
+    case ExprKind::Flatten:
+      return def("e", "flatten(" + emit(cast<FlattenExpr>(E)->array()) +
+                          ")");
+    case ExprKind::MakeStruct: {
+      std::vector<std::string> Ops;
+      for (const ExprRef &Op : E->ops())
+        Ops.push_back(emit(Op));
+      std::string S = "makeStruct(" + typeCpp(E->type()) + "->fields(), {";
+      for (size_t I = 0; I < Ops.size(); ++I)
+        S += (I ? ", " : "") + Ops[I];
+      return def("e", S + "})");
+    }
+    case ExprKind::GetField: {
+      const auto *G = cast<GetFieldExpr>(E);
+      std::string B2 = emit(G->base());
+      return def("e", "getField(" + B2 + ", " + quote(G->field()) + ")");
+    }
+    case ExprKind::Multiloop: {
+      const auto *ML = cast<MultiloopExpr>(E);
+      std::string Size = emit(ML->size());
+      std::vector<std::string> GenNames;
+      for (const Generator &G : ML->gens()) {
+        std::string GN = fresh("g");
+        GenNames.push_back(GN);
+        // emitFunc/emit append their own declaration lines to Body, so the
+        // sub-expressions must be fully emitted before the assignment line
+        // that references them is started.
+        std::string Cond = G.Cond.isSet() ? emitFunc(G.Cond) : "";
+        std::string Key = G.Key.isSet() ? emitFunc(G.Key) : "";
+        std::string Value = emitFunc(G.Value);
+        std::string Reduce = G.Reduce.isSet() ? emitFunc(G.Reduce) : "";
+        std::string NumKeys = G.NumKeys ? emit(G.NumKeys) : "";
+        Body << "  Generator " << GN << ";\n";
+        Body << "  " << GN << ".Kind = " << genKindCpp(G.Kind) << ";\n";
+        if (!Cond.empty())
+          Body << "  " << GN << ".Cond = " << Cond << ";\n";
+        if (!Key.empty())
+          Body << "  " << GN << ".Key = " << Key << ";\n";
+        Body << "  " << GN << ".Value = " << Value << ";\n";
+        if (!Reduce.empty())
+          Body << "  " << GN << ".Reduce = " << Reduce << ";\n";
+        if (!NumKeys.empty())
+          Body << "  " << GN << ".NumKeys = " << NumKeys << ";\n";
+      }
+      std::string S = "multiloop(" + Size + ", {";
+      for (size_t I = 0; I < GenNames.size(); ++I)
+        S += (I ? ", " : "") + GenNames[I];
+      return def("e", S + "})");
+    }
+    case ExprKind::LoopOut: {
+      const auto *LO = cast<LoopOutExpr>(E);
+      std::string L = emit(LO->loop());
+      return def("e", "loopOut(" + L + ", " +
+                          std::to_string(LO->index()) + ")");
+    }
+    }
+    fatalError("emitReplayCpp: unknown expression kind");
+  }
+
+public:
+  void seed(const Expr *Node, std::string Name) {
+    Names.emplace(Node, std::move(Name));
+  }
+};
+
+} // namespace
+
+std::string dmll::fuzz::emitReplayCpp(const FuzzCase &C,
+                                      const std::string &FnName) {
+  std::ostringstream Out;
+  Out << "// Replay for fuzz seed " << C.Seed << ". Program:\n";
+  std::istringstream Dump(printProgram(C.P));
+  std::string Line;
+  while (std::getline(Dump, Line))
+    Out << "//   " << Line << "\n";
+  Out << "static dmll::fuzz::FuzzCase " << FnName << "() {\n"
+      << "  using namespace dmll;\n"
+      << "  fuzz::FuzzCase C;\n"
+      << "  C.Seed = " << C.Seed << "ull;\n";
+
+  std::ostringstream Body;
+  Emitter E(Body);
+  std::vector<std::string> InputNames;
+  for (size_t I = 0; I < C.P.Inputs.size(); ++I) {
+    const auto &In = C.P.Inputs[I];
+    std::string Name = "in" + std::to_string(I);
+    Body << "  auto " << Name << " = input(" << quote(In->name()) << ", "
+         << typeCpp(In->type()) << ", " << hintCpp(In->hint()) << ");\n";
+    E.seed(In.get(), Name);
+    InputNames.push_back(Name);
+  }
+  std::string Result = E.emit(C.P.Result);
+  Out << Body.str();
+
+  Out << "  C.P.Inputs = {";
+  for (size_t I = 0; I < InputNames.size(); ++I)
+    Out << (I ? ", " : "") << InputNames[I];
+  Out << "};\n"
+      << "  C.P.Result = " << Result << ";\n";
+  for (const auto &In : C.P.Inputs) {
+    auto It = C.Inputs.find(In->name());
+    if (It != C.Inputs.end())
+      Out << "  C.Inputs.emplace(" << quote(In->name()) << ", "
+          << valueCpp(It->second) << ");\n";
+  }
+  Out << "  return C;\n}\n";
+  return Out.str();
+}

@@ -1,0 +1,34 @@
+//===- fuzz/EmitCpp.h - Failing cases as replayable Builder C++ -*- C++ -*-===//
+//
+// Part of the DMLL reproduction of Brown et al., CGO 2016.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders a FuzzCase as a self-contained C++ function that rebuilds the
+/// exact program and inputs through ir/Builder calls — ready to paste into
+/// tests/FuzzTest.cpp as a regression test once a fuzzer-found bug is
+/// fixed. The emitted file leads with the ir/Printer rendering of the
+/// program as a comment, so the failure is readable without replaying it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DMLL_FUZZ_EMITCPP_H
+#define DMLL_FUZZ_EMITCPP_H
+
+#include "fuzz/Gen.h"
+
+#include <string>
+
+namespace dmll {
+namespace fuzz {
+
+/// Renders \p C as a static C++ function named \p FnName returning the
+/// rebuilt FuzzCase.
+std::string emitReplayCpp(const FuzzCase &C,
+                          const std::string &FnName = "buildCase");
+
+} // namespace fuzz
+} // namespace dmll
+
+#endif // DMLL_FUZZ_EMITCPP_H

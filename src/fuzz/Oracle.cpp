@@ -1,0 +1,511 @@
+//===- fuzz/Oracle.cpp -----------------------------------------*- C++ -*-===//
+
+#include "fuzz/Oracle.h"
+
+#include "fuzz/RefEval.h"
+#include "interp/Interp.h"
+#include "transform/Pipeline.h"
+#include "transform/Soa.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <poll.h>
+#include <signal.h>
+#include <sstream>
+#include <sys/wait.h>
+#include <unistd.h>
+
+using namespace dmll;
+using namespace dmll::fuzz;
+
+const char *dmll::fuzz::runStatusName(RunStatus S) {
+  switch (S) {
+  case RunStatus::Ok:
+    return "ok";
+  case RunStatus::Trap:
+    return "trap";
+  case RunStatus::Crash:
+    return "crash";
+  case RunStatus::Timeout:
+    return "timeout";
+  case RunStatus::Skipped:
+    return "skipped";
+  }
+  return "?";
+}
+
+const char *dmll::fuzz::divergenceKindName(DivergenceKind K) {
+  switch (K) {
+  case DivergenceKind::Crash:
+    return "crash";
+  case DivergenceKind::WrongValue:
+    return "wrong-value";
+  case DivergenceKind::TrapMismatch:
+    return "trap-mismatch";
+  case DivergenceKind::FallbackAsymmetry:
+    return "fallback-asymmetry";
+  }
+  return "?";
+}
+
+//===----------------------------------------------------------------------===//
+// Value serialization over the result pipe. Text-based; doubles use
+// hexfloat ("%a") so every bit pattern round-trips, including inf (NaN
+// payloads collapse, which is fine: the oracle treats all NaNs as equal).
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+void serializeValue(const Value &V, std::string &Out) {
+  char Buf[64];
+  if (V.isBool()) {
+    Out += V.asBool() ? "B 1\n" : "B 0\n";
+  } else if (V.isInt()) {
+    std::snprintf(Buf, sizeof(Buf), "I %" PRId64 "\n", V.asInt());
+    Out += Buf;
+  } else if (V.isFloat()) {
+    std::snprintf(Buf, sizeof(Buf), "D %a\n", V.asFloat());
+    Out += Buf;
+  } else if (V.isArray()) {
+    std::snprintf(Buf, sizeof(Buf), "A %zu\n", V.arraySize());
+    Out += Buf;
+    for (const Value &E : *V.array())
+      serializeValue(E, Out);
+  } else {
+    std::snprintf(Buf, sizeof(Buf), "S %zu\n",
+                  V.strct()->Fields.size());
+    Out += Buf;
+    for (const Value &F : V.strct()->Fields)
+      serializeValue(F, Out);
+  }
+}
+
+bool parseValue(std::istringstream &In, Value &Out) {
+  std::string Tag;
+  if (!(In >> Tag))
+    return false;
+  if (Tag == "B") {
+    int B;
+    if (!(In >> B))
+      return false;
+    Out = Value(B != 0);
+    return true;
+  }
+  if (Tag == "I") {
+    int64_t I;
+    if (!(In >> I))
+      return false;
+    Out = Value(I);
+    return true;
+  }
+  if (Tag == "D") {
+    std::string Tok;
+    if (!(In >> Tok))
+      return false;
+    Out = Value(std::strtod(Tok.c_str(), nullptr));
+    return true;
+  }
+  if (Tag == "A" || Tag == "S") {
+    size_t N;
+    if (!(In >> N))
+      return false;
+    std::vector<Value> Elems(N);
+    for (size_t I = 0; I < N; ++I)
+      if (!parseValue(In, Elems[I]))
+        return false;
+    Out = Tag == "A" ? Value::makeArray(std::move(Elems))
+                     : Value::makeStruct(std::move(Elems));
+    return true;
+  }
+  return false;
+}
+
+void writeAll(int Fd, const std::string &S) {
+  size_t Off = 0;
+  while (Off < S.size()) {
+    ssize_t N = write(Fd, S.data() + Off, S.size() - Off);
+    if (N <= 0) {
+      if (N < 0 && errno == EINTR)
+        continue;
+      return;
+    }
+    Off += static_cast<size_t>(N);
+  }
+}
+
+/// Drains \p Fds until both hit EOF or \p DeadlineMs elapses. Returns false
+/// on deadline.
+bool drainPipes(int Fds[2], std::string Bufs[2], int DeadlineMs) {
+  bool Open[2] = {true, true};
+  char Tmp[4096];
+  while (Open[0] || Open[1]) {
+    struct pollfd P[2];
+    nfds_t N = 0;
+    int Map[2];
+    for (int I = 0; I < 2; ++I)
+      if (Open[I]) {
+        P[N].fd = Fds[I];
+        P[N].events = POLLIN;
+        Map[N] = I;
+        ++N;
+      }
+    int R = poll(P, N, DeadlineMs);
+    if (R < 0) {
+      if (errno == EINTR)
+        continue;
+      return false;
+    }
+    if (R == 0)
+      return false; // deadline
+    for (nfds_t I = 0; I < N; ++I) {
+      if (!(P[I].revents & (POLLIN | POLLHUP | POLLERR)))
+        continue;
+      ssize_t Got = read(P[I].fd, Tmp, sizeof(Tmp));
+      if (Got > 0)
+        Bufs[Map[I]].append(Tmp, static_cast<size_t>(Got));
+      else if (Got == 0 || errno != EINTR)
+        Open[Map[I]] = false;
+    }
+  }
+  return true;
+}
+
+/// Replicates tests/TestUtil.h adaptInputs without the gtest dependency.
+InputMap adaptForSoa(const Program &Original, const CompileResult &CR,
+                     const InputMap &Inputs) {
+  InputMap Adapted = Inputs;
+  for (const auto &[Name, Kept] : CR.SoaConverted) {
+    const InputExpr *In = Original.findInput(Name);
+    auto It = Adapted.find(Name);
+    if (!In || It == Adapted.end())
+      continue;
+    It->second = aosToSoa(It->second, *In->type()->elem(), Kept);
+  }
+  return Adapted;
+}
+
+RunResult execConfig(const FuzzCase &C, const ExecConfig &Cfg) {
+  RunResult R;
+  if (Cfg.E == ExecConfig::Engine::Ref) {
+    R.Out = refEval(C.P, C.Inputs);
+    return R;
+  }
+  const Program *P = &C.P;
+  InputMap Adapted;
+  CompileResult CR;
+  if (Cfg.Optimize) {
+    CompileOptions Opts;
+    Opts.T = Target::Numa;
+    CR = compileProgram(C.P, Opts);
+    Adapted = adaptForSoa(C.P, CR, C.Inputs);
+    P = &CR.P;
+  }
+  EvalOptions EO;
+  EO.Threads = Cfg.Threads;
+  EO.MinChunk = Cfg.MinChunk;
+  EO.Mode = Cfg.E == ExecConfig::Engine::Kernel ? engine::EngineMode::Kernel
+                                                : engine::EngineMode::Interp;
+  engine::KernelStats Stats;
+  if (EO.Mode == engine::EngineMode::Kernel)
+    EO.Kernels = &Stats;
+  R.Out = evalProgramWith(*P, Cfg.Optimize ? Adapted : C.Inputs, EO);
+  R.Fallbacks = std::move(Stats.Fallbacks);
+  // Workers race to compile nested loops first, so the recording order is
+  // nondeterministic; the parity check wants the set, not the sequence.
+  std::sort(R.Fallbacks.begin(), R.Fallbacks.end());
+  return R;
+}
+
+} // namespace
+
+std::vector<ExecConfig> dmll::fuzz::defaultConfigs() {
+  using E = ExecConfig::Engine;
+  // MinChunk 4 forces real chunking on the tiny generated loops, so the
+  // 4-thread configurations exercise split/merge paths, not just the
+  // sequential fast path.
+  return {
+      {"interp-unopt-1t", E::Interp, false, 1, 1024},
+      {"interp-unopt-4t", E::Interp, false, 4, 4},
+      {"interp-opt-1t", E::Interp, true, 1, 1024},
+      {"kernel-unopt-1t", E::Kernel, false, 1, 1024},
+      {"kernel-unopt-4t", E::Kernel, false, 4, 4},
+      {"kernel-opt-4t", E::Kernel, true, 4, 4},
+      {"ref", E::Ref, false, 1, 1024},
+  };
+}
+
+RunResult dmll::fuzz::runForked(const std::function<RunResult()> &Body,
+                                int TimeoutSec) {
+  int OutPipe[2], ErrPipe[2];
+  if (pipe(OutPipe) != 0 || pipe(ErrPipe) != 0) {
+    RunResult R;
+    R.Status = RunStatus::Crash;
+    return R;
+  }
+  pid_t Pid = fork();
+  if (Pid == 0) {
+    // Child: route stderr into the parent's capture pipe, run, serialize.
+    close(OutPipe[0]);
+    close(ErrPipe[0]);
+    dup2(ErrPipe[1], 2);
+    close(ErrPipe[1]);
+    RunResult R = Body(); // fatalError aborts here; nothing gets written
+    std::string Payload;
+    Payload += "fallbacks " + std::to_string(R.Fallbacks.size()) + "\n";
+    for (std::string F : R.Fallbacks) {
+      for (char &Ch : F)
+        if (Ch == '\n')
+          Ch = ' ';
+      Payload += F + "\n";
+    }
+    Payload += "value\n";
+    serializeValue(R.Out, Payload);
+    writeAll(OutPipe[1], Payload);
+    close(OutPipe[1]);
+    _exit(0);
+  }
+  close(OutPipe[1]);
+  close(ErrPipe[1]);
+
+  RunResult R;
+  if (Pid < 0) {
+    close(OutPipe[0]);
+    close(ErrPipe[0]);
+    R.Status = RunStatus::Crash;
+    return R;
+  }
+
+  int Fds[2] = {OutPipe[0], ErrPipe[0]};
+  std::string Bufs[2];
+  bool Drained = drainPipes(Fds, Bufs, TimeoutSec * 1000);
+  close(OutPipe[0]);
+  close(ErrPipe[0]);
+  if (!Drained) {
+    kill(Pid, SIGKILL);
+    waitpid(Pid, nullptr, 0);
+    R.Status = RunStatus::Timeout;
+    return R;
+  }
+  int Wstatus = 0;
+  waitpid(Pid, &Wstatus, 0);
+
+  const std::string &Stderr = Bufs[1];
+  static const char Banner[] = "dmll fatal error: ";
+  if (WIFSIGNALED(Wstatus)) {
+    int Sig = WTERMSIG(Wstatus);
+    size_t At = Stderr.find(Banner);
+    if (Sig == SIGABRT && At != std::string::npos) {
+      R.Status = RunStatus::Trap;
+      size_t Begin = At + sizeof(Banner) - 1;
+      size_t End = Stderr.find('\n', Begin);
+      R.TrapMessage = Stderr.substr(
+          Begin, End == std::string::npos ? std::string::npos : End - Begin);
+    } else {
+      R.Status = RunStatus::Crash;
+      R.Signal = Sig;
+    }
+    return R;
+  }
+  if (!WIFEXITED(Wstatus) || WEXITSTATUS(Wstatus) != 0) {
+    R.Status = RunStatus::Crash;
+    return R;
+  }
+
+  // Clean exit: parse the payload.
+  std::istringstream In(Bufs[0]);
+  std::string Tag;
+  size_t NumFallbacks = 0;
+  if (!(In >> Tag) || Tag != "fallbacks" || !(In >> NumFallbacks)) {
+    R.Status = RunStatus::Crash;
+    return R;
+  }
+  In.ignore(); // newline after the count
+  for (size_t I = 0; I < NumFallbacks; ++I) {
+    std::string Line;
+    if (!std::getline(In, Line)) {
+      R.Status = RunStatus::Crash;
+      return R;
+    }
+    R.Fallbacks.push_back(std::move(Line));
+  }
+  if (!(In >> Tag) || Tag != "value" || !parseValue(In, R.Out))
+    R.Status = RunStatus::Crash;
+  return R;
+}
+
+RunResult dmll::fuzz::runSandboxed(const FuzzCase &C, const ExecConfig &Cfg,
+                                   int TimeoutSec) {
+  if (Cfg.E == ExecConfig::Engine::Ref && !refExpressible(C.P)) {
+    RunResult R;
+    R.Status = RunStatus::Skipped;
+    return R;
+  }
+  return runForked([&C, &Cfg] { return execConfig(C, Cfg); }, TimeoutSec);
+}
+
+bool dmll::fuzz::oracleEquals(const Value &A, const Value &B, double Tol) {
+  if (A.isBool() || B.isBool())
+    return A.isBool() && B.isBool() && A.asBool() == B.asBool();
+  if (A.isInt() && B.isInt())
+    return A.asInt() == B.asInt();
+  if (A.isFloat() && B.isFloat()) {
+    double X = A.asFloat(), Y = B.asFloat();
+    if (std::isnan(X) || std::isnan(Y))
+      return std::isnan(X) && std::isnan(Y);
+    if (std::isinf(X) || std::isinf(Y))
+      return X == Y;
+    double Scale = std::max({1.0, std::fabs(X), std::fabs(Y)});
+    return std::fabs(X - Y) <= Tol * Scale;
+  }
+  if (A.isArray() && B.isArray()) {
+    if (A.arraySize() != B.arraySize())
+      return false;
+    for (size_t I = 0; I < A.arraySize(); ++I)
+      if (!oracleEquals(A.at(I), B.at(I), Tol))
+        return false;
+    return true;
+  }
+  if (A.isStruct() && B.isStruct()) {
+    const auto &FA = A.strct()->Fields;
+    const auto &FB = B.strct()->Fields;
+    if (FA.size() != FB.size())
+      return false;
+    for (size_t I = 0; I < FA.size(); ++I)
+      if (!oracleEquals(FA[I], FB[I], Tol))
+        return false;
+    return true;
+  }
+  return false;
+}
+
+/// The trap message with every digit (and sign) blanked: the trap *kind*,
+/// independent of which iteration's index or bound appears in the text.
+static std::string trapClass(const std::string &Msg) {
+  std::string C;
+  for (char Ch : Msg)
+    if (!(Ch >= '0' && Ch <= '9') && Ch != '-')
+      C += Ch;
+  return C;
+}
+
+std::string Verdict::str() const {
+  std::ostringstream SS;
+  SS << "seed " << Seed;
+  if (ok()) {
+    SS << ": clean";
+    return SS.str();
+  }
+  SS << ": " << Divergences.size() << " divergence(s)";
+  for (const Divergence &D : Divergences)
+    SS << "\n  [" << divergenceKindName(D.Kind) << "] " << D.Config << ": "
+       << D.Detail;
+  return SS.str();
+}
+
+Verdict dmll::fuzz::runDifferential(const FuzzCase &C, double Tol,
+                                    int TimeoutSec) {
+  Verdict V;
+  V.Seed = C.Seed;
+  std::vector<ExecConfig> Configs = defaultConfigs();
+  std::vector<RunResult> Results;
+  Results.reserve(Configs.size());
+  for (const ExecConfig &Cfg : Configs)
+    Results.push_back(runSandboxed(C, Cfg, TimeoutSec));
+
+  const RunResult &Base = Results[0];
+  const std::string &BaseName = Configs[0].Name;
+  if (Base.Status == RunStatus::Crash || Base.Status == RunStatus::Timeout) {
+    V.Divergences.push_back(
+        {DivergenceKind::Crash, BaseName,
+         Base.Status == RunStatus::Timeout
+             ? "baseline timed out"
+             : "baseline died with signal " + std::to_string(Base.Signal)});
+    return V;
+  }
+
+  for (size_t I = 1; I < Configs.size(); ++I) {
+    const ExecConfig &Cfg = Configs[I];
+    const RunResult &R = Results[I];
+    // A configuration running the unrewritten program must reproduce the
+    // baseline's trap behavior exactly; an optimized one may drop a trap
+    // (DCE) but may never introduce one.
+    bool SameProgram = !Cfg.Optimize;
+    switch (R.Status) {
+    case RunStatus::Skipped:
+      break;
+    case RunStatus::Crash:
+      V.Divergences.push_back(
+          {DivergenceKind::Crash, Cfg.Name,
+           "died with signal " + std::to_string(R.Signal)});
+      break;
+    case RunStatus::Timeout:
+      V.Divergences.push_back({DivergenceKind::Crash, Cfg.Name, "timed out"});
+      break;
+    case RunStatus::Trap:
+      if (Base.Status != RunStatus::Trap) {
+        V.Divergences.push_back(
+            {DivergenceKind::TrapMismatch, Cfg.Name,
+             "trapped (\"" + R.TrapMessage + "\") but " + BaseName +
+                 " returned a value"});
+      } else if (SameProgram &&
+                 (Cfg.Threads > 1
+                      ? trapClass(R.TrapMessage) != trapClass(Base.TrapMessage)
+                      : R.TrapMessage != Base.TrapMessage)) {
+        // Multi-threaded runs race chunk workers to the first fatalError,
+        // so which trapping iteration reports (and hence the indices in
+        // the message) is legitimately nondeterministic; only the trap
+        // *kind* must agree. Single-threaded runs are deterministic and
+        // must reproduce the message exactly.
+        V.Divergences.push_back(
+            {DivergenceKind::TrapMismatch, Cfg.Name,
+             "trap message \"" + R.TrapMessage + "\" vs baseline \"" +
+                 Base.TrapMessage + "\""});
+      }
+      break;
+    case RunStatus::Ok:
+      if (Base.Status == RunStatus::Trap) {
+        if (SameProgram)
+          V.Divergences.push_back(
+              {DivergenceKind::TrapMismatch, Cfg.Name,
+               "returned a value but " + BaseName + " trapped (\"" +
+                   Base.TrapMessage + "\")"});
+      } else if (!oracleEquals(Base.Out, R.Out, Tol)) {
+        V.Divergences.push_back(
+            {DivergenceKind::WrongValue, Cfg.Name,
+             "got " + R.Out.str() + ", baseline " + Base.Out.str()});
+      }
+      break;
+    }
+  }
+
+  // Fallback parity between the unoptimized kernel configurations: the same
+  // program must fail (or pass) kernel compilation identically at any
+  // thread count.
+  int First = -1;
+  for (size_t I = 0; I < Configs.size(); ++I) {
+    if (Configs[I].E != ExecConfig::Engine::Kernel || Configs[I].Optimize ||
+        Results[I].Status != RunStatus::Ok)
+      continue;
+    if (First < 0) {
+      First = static_cast<int>(I);
+      continue;
+    }
+    if (Results[I].Fallbacks != Results[First].Fallbacks) {
+      std::string Detail = "fallback reasons differ from " +
+                           Configs[First].Name + ": {";
+      for (const std::string &F : Results[I].Fallbacks)
+        Detail += F + "; ";
+      Detail += "} vs {";
+      for (const std::string &F : Results[First].Fallbacks)
+        Detail += F + "; ";
+      Detail += "}";
+      V.Divergences.push_back(
+          {DivergenceKind::FallbackAsymmetry, Configs[I].Name, Detail});
+    }
+  }
+  return V;
+}

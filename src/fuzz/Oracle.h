@@ -1,0 +1,124 @@
+//===- fuzz/Oracle.h - Fork-sandboxed differential harness ----*- C++ -*-===//
+//
+// Part of the DMLL reproduction of Brown et al., CGO 2016.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The differential oracle: runs one generated program through several
+/// executor configurations — unoptimized interpreter (the Fig. 2(b) ground
+/// truth), interpreter after the full rewrite pipeline, kernel VM at
+/// several thread counts, and the independent mini evaluator — and checks
+/// that every configuration agrees. Each configuration runs in a forked
+/// child because fatalError() aborts: the child serializes its result over
+/// a pipe and the parent classifies the exit status (clean exit = Ok,
+/// SIGABRT with a "dmll fatal error:" banner = Trap, any other signal =
+/// Crash, deadline exceeded = Timeout).
+///
+/// Agreement policy:
+///  * Baseline Ok: every configuration must produce an equal value (floats
+///    under relative tolerance, NaN equal to NaN, index order exact). A
+///    trap or crash anywhere else is a divergence — rewrites must not
+///    introduce traps.
+///  * Baseline Trap: configurations running the *same* program (kernel VM,
+///    mini evaluator) must trap too. Single-threaded ones must match the
+///    message exactly; multi-threaded ones must only match the trap *class*
+///    (the message with indices/bounds digits blanked), because parallel
+///    chunk workers race to the first fatalError and the reported index is
+///    legitimately nondeterministic. Optimized configurations may
+///    legitimately not trap (DCE can delete the trapping site), but may
+///    not crash.
+///  * The two unoptimized kernel configurations must report identical
+///    per-loop fallback reasons (fallback asymmetry is an engine bug).
+///    The lists are compared sorted: with nested loops compiling inside
+///    concurrent chunk workers, recording order is racy.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DMLL_FUZZ_ORACLE_H
+#define DMLL_FUZZ_ORACLE_H
+
+#include "fuzz/Gen.h"
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace dmll {
+namespace fuzz {
+
+/// How one sandboxed execution ended.
+enum class RunStatus { Ok, Trap, Crash, Timeout, Skipped };
+
+const char *runStatusName(RunStatus S);
+
+/// Result of one sandboxed execution.
+struct RunResult {
+  RunStatus Status = RunStatus::Ok;
+  Value Out;                          ///< valid when Status == Ok
+  std::string TrapMessage;            ///< fatalError payload when Trap
+  std::vector<std::string> Fallbacks; ///< kernel fallback reasons when Ok
+  int Signal = 0;                     ///< terminating signal when Crash
+};
+
+/// One executor configuration of the differential matrix.
+struct ExecConfig {
+  enum class Engine { Interp, Kernel, Ref };
+  std::string Name;
+  Engine E = Engine::Interp;
+  bool Optimize = false; ///< run the full rewrite pipeline first
+  unsigned Threads = 1;
+  int64_t MinChunk = 1024;
+};
+
+/// The standard matrix; the first entry is the baseline (unoptimized
+/// interpreter, one thread).
+std::vector<ExecConfig> defaultConfigs();
+
+/// Runs \p Body in a forked child and classifies the outcome; the child's
+/// RunResult (value + fallback list) is piped back on clean return. This is
+/// the machinery under runSandboxed, exposed so tests can exercise the
+/// classification against synthetic children (fatalError, raw signals).
+RunResult runForked(const std::function<RunResult()> &Body,
+                    int TimeoutSec = 10);
+
+/// Executes \p C under \p Cfg in a forked child. Returns Skipped (without
+/// forking) for the Ref engine when the program is not expressible.
+RunResult runSandboxed(const FuzzCase &C, const ExecConfig &Cfg,
+                       int TimeoutSec = 10);
+
+/// Divergence classification, most severe first.
+enum class DivergenceKind { Crash, WrongValue, TrapMismatch,
+                            FallbackAsymmetry };
+
+const char *divergenceKindName(DivergenceKind K);
+
+/// One disagreement between a configuration and the baseline (or, for
+/// fallback asymmetry, between the two unoptimized kernel configurations).
+struct Divergence {
+  DivergenceKind Kind;
+  std::string Config;
+  std::string Detail;
+};
+
+/// Outcome of a full differential run.
+struct Verdict {
+  uint64_t Seed = 0;
+  std::vector<Divergence> Divergences;
+  bool ok() const { return Divergences.empty(); }
+  /// Multi-line human-readable report ("seed N: clean" when ok).
+  std::string str() const;
+};
+
+/// Runs \p C through every configuration and applies the agreement policy.
+Verdict runDifferential(const FuzzCase &C, double Tol = 1e-6,
+                        int TimeoutSec = 10);
+
+/// Deep equality as the oracle defines it: index order exact, struct
+/// arity exact, NaN equal to NaN, floats within |a-b| <= Tol*max(1,|a|,|b|).
+bool oracleEquals(const Value &A, const Value &B, double Tol);
+
+} // namespace fuzz
+} // namespace dmll
+
+#endif // DMLL_FUZZ_ORACLE_H

@@ -1,0 +1,148 @@
+//===- fuzz/Reduce.cpp -----------------------------------------*- C++ -*-===//
+
+#include "fuzz/Reduce.h"
+
+#include "fuzz/Oracle.h"
+#include "ir/Builder.h"
+#include "ir/Traversal.h"
+#include "ir/Verifier.h"
+
+using namespace dmll;
+using namespace dmll::fuzz;
+
+FailPred dmll::fuzz::oracleFails(double Tol, int TimeoutSec) {
+  return [Tol, TimeoutSec](const FuzzCase &C) {
+    return !runDifferential(C, Tol, TimeoutSec).ok();
+  };
+}
+
+namespace {
+
+/// Replaces the node \p Target (by identity, wherever it is shared) with
+/// \p Repl. Sound for the candidates below: replacements are either
+/// constants or subexpressions of the target, so no symbol can escape its
+/// binder.
+ExprRef replaceNode(const ExprRef &Root, const Expr *Target,
+                    const ExprRef &Repl) {
+  return transformBottomUp(Root, [Target, &Repl](const ExprRef &E) {
+    return E.get() == Target ? Repl : E;
+  });
+}
+
+/// Type-preserving shrink candidates for one node, smallest first.
+std::vector<ExprRef> candidatesFor(const ExprRef &E) {
+  std::vector<ExprRef> Out;
+  const TypeRef &Ty = E->type();
+
+  // Constant-fold the whole subtree. Zero and one both matter: zero kills
+  // loops and exposes empty-range bugs, one keeps divisors/sizes alive.
+  if (Ty->isInt() && !isa<ConstIntExpr>(E)) {
+    Out.push_back(constI64(0));
+    Out.push_back(constI64(1));
+  } else if (Ty->isFloat() && !isa<ConstFloatExpr>(E)) {
+    Out.push_back(constF64(0.0));
+    Out.push_back(constF64(1.0));
+  } else if (Ty->isBool() && !isa<ConstBoolExpr>(E)) {
+    Out.push_back(constBool(true));
+    Out.push_back(constBool(false));
+  }
+
+  switch (E->kind()) {
+  case ExprKind::BinOp: {
+    const auto *B = cast<BinOpExpr>(E);
+    if (sameType(B->lhs()->type(), Ty))
+      Out.push_back(B->lhs());
+    if (sameType(B->rhs()->type(), Ty))
+      Out.push_back(B->rhs());
+    break;
+  }
+  case ExprKind::UnOp:
+    if (sameType(cast<UnOpExpr>(E)->operand()->type(), Ty))
+      Out.push_back(cast<UnOpExpr>(E)->operand());
+    break;
+  case ExprKind::Cast:
+    if (sameType(cast<CastExpr>(E)->operand()->type(), Ty))
+      Out.push_back(cast<CastExpr>(E)->operand());
+    break;
+  case ExprKind::Select:
+    Out.push_back(cast<SelectExpr>(E)->trueVal());
+    Out.push_back(cast<SelectExpr>(E)->falseVal());
+    break;
+  case ExprKind::LoopOut: {
+    // Drop every other generator: LoopOut(L, i) becomes the single-
+    // generator loop of gens[i].
+    const auto *LO = cast<LoopOutExpr>(E);
+    if (const auto *ML = dyn_cast<MultiloopExpr>(LO->loop()))
+      if (!ML->isSingle())
+        Out.push_back(singleLoop(ML->size(), ML->gen(LO->index())));
+    break;
+  }
+  case ExprKind::Multiloop: {
+    // Drop generator conditions (a structural candidate the constant
+    // rules cannot express because Cond lives under a binder).
+    const auto *ML = cast<MultiloopExpr>(E);
+    bool AnyCond = false;
+    std::vector<Generator> Gens = ML->gens();
+    for (Generator &G : Gens)
+      if (G.Cond.isSet()) {
+        G.Cond = Func();
+        AnyCond = true;
+      }
+    if (AnyCond)
+      Out.push_back(multiloop(ML->size(), std::move(Gens)));
+    break;
+  }
+  default:
+    break;
+  }
+  return Out;
+}
+
+} // namespace
+
+FuzzCase dmll::fuzz::reduceCase(const FuzzCase &C, const FailPred &Pred,
+                                ReduceStats *Stats) {
+  FuzzCase Cur = C;
+  ReduceStats Local;
+  Local.NodesBefore = countNodes(Cur.P.Result);
+  size_t CurSize = Local.NodesBefore;
+
+  bool Progress = true;
+  while (Progress) {
+    Progress = false;
+    ++Local.Rounds;
+    // Deterministic node order: post-order over the current program.
+    std::vector<ExprRef> Nodes;
+    visitAll(Cur.P.Result, [&Nodes](const ExprRef &E) {
+      Nodes.push_back(E);
+    });
+    for (const ExprRef &Node : Nodes) {
+      for (const ExprRef &Repl : candidatesFor(Node)) {
+        ++Local.Tried;
+        FuzzCase Cand = Cur;
+        Cand.P.Result = replaceNode(Cur.P.Result, Node.get(), Repl);
+        if (Cand.P.Result.get() == Cur.P.Result.get())
+          continue; // target no longer present (stale after earlier accept)
+        size_t CandSize = countNodes(Cand.P.Result);
+        if (CandSize >= CurSize)
+          continue; // "never larger" is a hard guarantee
+        if (!verify(Cand.P).empty())
+          continue;
+        if (!Pred(Cand))
+          continue;
+        Cur = std::move(Cand);
+        CurSize = CandSize;
+        ++Local.Accepted;
+        Progress = true;
+        break; // restart the walk on the smaller program
+      }
+      if (Progress)
+        break;
+    }
+  }
+
+  Local.NodesAfter = CurSize;
+  if (Stats)
+    *Stats = Local;
+  return Cur;
+}

@@ -1,0 +1,56 @@
+//===- fuzz/Reduce.h - Greedy test-case reducer ---------------*- C++ -*-===//
+//
+// Part of the DMLL reproduction of Brown et al., CGO 2016.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Greedy structural shrinking of a failing FuzzCase. Candidate rewrites —
+/// constant-folding subtrees to zero/one, replacing operators by an
+/// operand, collapsing selects to one arm, dropping generator conditions,
+/// shrinking loop ranges, and dropping generators from multi-generator
+/// loops (LoopOut(L,i) -> the single-generator loop of gens[i]) — are tried
+/// in a deterministic order; a candidate is kept only if the program still
+/// verifies, is strictly smaller (countNodes), and still satisfies the
+/// failure predicate. The result therefore never grows and reduction always
+/// terminates. The predicate is injectable so tests can shrink against
+/// synthetic failures without forking executor matrices.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DMLL_FUZZ_REDUCE_H
+#define DMLL_FUZZ_REDUCE_H
+
+#include "fuzz/Gen.h"
+
+#include <functional>
+
+namespace dmll {
+namespace fuzz {
+
+/// Returns true while the case still exhibits the failure being minimized.
+using FailPred = std::function<bool(const FuzzCase &)>;
+
+/// The standard predicate: the differential oracle still reports at least
+/// one divergence.
+FailPred oracleFails(double Tol = 1e-6, int TimeoutSec = 10);
+
+/// Bookkeeping for reports and tests.
+struct ReduceStats {
+  int Rounds = 0;
+  int Tried = 0;
+  int Accepted = 0;
+  size_t NodesBefore = 0;
+  size_t NodesAfter = 0;
+};
+
+/// Greedily shrinks \p C under \p Pred. Precondition: Pred(C) is true.
+/// The returned case satisfies Pred and countNodes never exceeds the
+/// input's. Fully deterministic.
+FuzzCase reduceCase(const FuzzCase &C, const FailPred &Pred,
+                    ReduceStats *Stats = nullptr);
+
+} // namespace fuzz
+} // namespace dmll
+
+#endif // DMLL_FUZZ_REDUCE_H

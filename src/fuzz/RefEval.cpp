@@ -1,0 +1,369 @@
+//===- fuzz/RefEval.cpp ----------------------------------------*- C++ -*-===//
+
+#include "fuzz/RefEval.h"
+
+#include "ir/Traversal.h"
+#include "support/Error.h"
+
+#include <cmath>
+#include <limits>
+#include <map>
+
+using namespace dmll;
+using namespace dmll::fuzz;
+
+bool dmll::fuzz::refExpressible(const Program &P) {
+  bool Ok = true;
+  visitAll(P.Result, [&Ok](const ExprRef &E) {
+    if (const auto *ML = dyn_cast<MultiloopExpr>(E))
+      if (!ML->isSingle())
+        Ok = false;
+    if (isa<LoopOutExpr>(E))
+      Ok = false;
+  });
+  return Ok;
+}
+
+namespace {
+
+/// Flat symbol environment: id -> value, copied per binding. Deliberately
+/// naive (std::map, no sharing, no memo) so the machinery has nothing in
+/// common with the interpreter's scope chain.
+using RefEnv = std::map<uint64_t, Value>;
+
+class RefEvaluator {
+public:
+  explicit RefEvaluator(const InputMap &Inputs) : Inputs(Inputs) {}
+
+  Value eval(const ExprRef &E, const RefEnv &Env) {
+    switch (E->kind()) {
+    case ExprKind::ConstInt:
+      return Value(cast<ConstIntExpr>(E)->value());
+    case ExprKind::ConstFloat:
+      return Value(cast<ConstFloatExpr>(E)->value());
+    case ExprKind::ConstBool:
+      return Value(cast<ConstBoolExpr>(E)->value());
+    case ExprKind::Sym: {
+      const auto *Sym = cast<SymExpr>(E);
+      auto It = Env.find(Sym->id());
+      if (It == Env.end())
+        fatalError("unbound symbol " + Sym->name() +
+                   std::to_string(Sym->id()));
+      return It->second;
+    }
+    case ExprKind::Input: {
+      const auto *In = cast<InputExpr>(E);
+      auto It = Inputs.find(In->name());
+      if (It == Inputs.end())
+        fatalError("no binding for input '" + In->name() + "'");
+      return It->second;
+    }
+    case ExprKind::BinOp:
+      return binOp(cast<BinOpExpr>(E), Env);
+    case ExprKind::UnOp:
+      return unOp(cast<UnOpExpr>(E), Env);
+    case ExprKind::Select: {
+      const auto *Sel = cast<SelectExpr>(E);
+      return eval(Sel->cond(), Env).asBool() ? eval(Sel->trueVal(), Env)
+                                             : eval(Sel->falseVal(), Env);
+    }
+    case ExprKind::Cast: {
+      Value A = eval(cast<CastExpr>(E)->operand(), Env);
+      if (E->type()->isFloat())
+        return Value(A.toDouble());
+      if (E->type()->isInt())
+        return Value(A.toInt());
+      return Value(A.toDouble() != 0.0);
+    }
+    case ExprKind::ArrayRead: {
+      const auto *R = cast<ArrayReadExpr>(E);
+      Value Arr = eval(R->array(), Env);
+      int64_t Idx = eval(R->index(), Env).toInt();
+      if (Idx < 0 || static_cast<size_t>(Idx) >= Arr.arraySize())
+        fatalError("array read out of range: index " + std::to_string(Idx) +
+                   ", size " + std::to_string(Arr.arraySize()));
+      return Arr.at(static_cast<size_t>(Idx));
+    }
+    case ExprKind::ArrayLen:
+      return Value(static_cast<int64_t>(
+          eval(cast<ArrayLenExpr>(E)->array(), Env).arraySize()));
+    case ExprKind::Flatten: {
+      Value Arr = eval(cast<FlattenExpr>(E)->array(), Env);
+      ArrayData Out;
+      for (const Value &Inner : *Arr.array())
+        Out.insert(Out.end(), Inner.array()->begin(), Inner.array()->end());
+      return Value::makeArray(std::move(Out));
+    }
+    case ExprKind::MakeStruct: {
+      std::vector<Value> Fields;
+      for (const ExprRef &Op : E->ops())
+        Fields.push_back(eval(Op, Env));
+      return Value::makeStruct(std::move(Fields));
+    }
+    case ExprKind::GetField: {
+      const auto *G = cast<GetFieldExpr>(E);
+      Value Base = eval(G->base(), Env);
+      int Idx = G->base()->type()->fieldIndex(G->field());
+      return Base.strct()->Fields[static_cast<size_t>(Idx)];
+    }
+    case ExprKind::Multiloop:
+      return loop(cast<MultiloopExpr>(E), Env);
+    case ExprKind::LoopOut:
+      fatalError("refEval: multi-generator loops are not expressible");
+    }
+    fatalError("refEval: unknown expression kind");
+  }
+
+private:
+  const InputMap &Inputs;
+
+  Value apply1(const Func &F, const Value &A, const RefEnv &Env) {
+    RefEnv Child = Env;
+    Child[F.Params[0]->id()] = A;
+    return eval(F.Body, Child);
+  }
+
+  Value apply2(const Func &F, const Value &A, const Value &B,
+               const RefEnv &Env) {
+    RefEnv Child = Env;
+    Child[F.Params[0]->id()] = A;
+    Child[F.Params[1]->id()] = B;
+    return eval(F.Body, Child);
+  }
+
+  Value loop(const MultiloopExpr *ML, const RefEnv &Env) {
+    int64_t N = eval(ML->size(), Env).toInt();
+    if (N < 0)
+      fatalError("negative multiloop size " + std::to_string(N));
+    const Generator &G = ML->gen();
+
+    // Accumulators; which ones are live depends on the generator kind.
+    ArrayData Collected;
+    Value Acc;
+    bool HasAcc = false;
+    int64_t NumKeys = 0;
+    std::vector<ArrayData> DenseColl;
+    std::vector<Value> DenseVals;
+    std::vector<char> DenseHas;
+    std::vector<int64_t> HashKeys; // first-occurrence order, linear scan
+    std::vector<ArrayData> HashColl;
+    std::vector<Value> HashVals;
+
+    if (G.isDenseBucket()) {
+      NumKeys = eval(G.NumKeys, Env).toInt();
+      if (NumKeys < 0)
+        fatalError("negative dense bucket count");
+      DenseColl.resize(static_cast<size_t>(NumKeys));
+      DenseVals.resize(static_cast<size_t>(NumKeys));
+      DenseHas.assign(static_cast<size_t>(NumKeys), 0);
+    }
+
+    for (int64_t I = 0; I < N; ++I) {
+      if (G.Cond.isSet() && !apply1(G.Cond, Value(I), Env).asBool())
+        continue;
+      Value V = apply1(G.Value, Value(I), Env);
+      switch (G.Kind) {
+      case GenKind::Collect:
+        Collected.push_back(std::move(V));
+        break;
+      case GenKind::Reduce:
+        if (!HasAcc) {
+          Acc = std::move(V);
+          HasAcc = true;
+        } else {
+          Acc = apply2(G.Reduce, Acc, V, Env);
+        }
+        break;
+      case GenKind::BucketCollect:
+      case GenKind::BucketReduce: {
+        int64_t Key = apply1(G.Key, Value(I), Env).toInt();
+        if (G.NumKeys) {
+          if (Key < 0 || Key >= NumKeys)
+            fatalError("dense bucket key " + std::to_string(Key) +
+                       " out of range [0," + std::to_string(NumKeys) + ")");
+          size_t K = static_cast<size_t>(Key);
+          if (G.Kind == GenKind::BucketCollect) {
+            DenseColl[K].push_back(std::move(V));
+          } else if (!DenseHas[K]) {
+            DenseVals[K] = std::move(V);
+            DenseHas[K] = 1;
+          } else {
+            DenseVals[K] = apply2(G.Reduce, DenseVals[K], V, Env);
+          }
+          break;
+        }
+        size_t K = HashKeys.size();
+        for (size_t J = 0; J < HashKeys.size(); ++J)
+          if (HashKeys[J] == Key) {
+            K = J;
+            break;
+          }
+        bool First = K == HashKeys.size();
+        if (First) {
+          HashKeys.push_back(Key);
+          if (G.Kind == GenKind::BucketCollect)
+            HashColl.emplace_back();
+          else
+            HashVals.emplace_back();
+        }
+        if (G.Kind == GenKind::BucketCollect)
+          HashColl[K].push_back(std::move(V));
+        else if (First)
+          HashVals[K] = std::move(V);
+        else
+          HashVals[K] = apply2(G.Reduce, HashVals[K], V, Env);
+        break;
+      }
+      }
+    }
+
+    switch (G.Kind) {
+    case GenKind::Collect:
+      return Value::makeArray(std::move(Collected));
+    case GenKind::Reduce:
+      return HasAcc ? std::move(Acc) : Value::zeroOf(*G.Value.Body->type());
+    case GenKind::BucketCollect: {
+      if (G.NumKeys) {
+        ArrayData Buckets;
+        for (ArrayData &B : DenseColl)
+          Buckets.push_back(Value::makeArray(std::move(B)));
+        return Value::makeArray(std::move(Buckets));
+      }
+      ArrayData Keys, Buckets;
+      for (int64_t K : HashKeys)
+        Keys.push_back(Value(K));
+      for (ArrayData &B : HashColl)
+        Buckets.push_back(Value::makeArray(std::move(B)));
+      return Value::makeStruct({Value::makeArray(std::move(Keys)),
+                                Value::makeArray(std::move(Buckets))});
+    }
+    case GenKind::BucketReduce: {
+      if (G.NumKeys) {
+        ArrayData Out;
+        for (size_t K = 0; K < DenseVals.size(); ++K)
+          Out.push_back(DenseHas[K] ? std::move(DenseVals[K])
+                                    : Value::zeroOf(*G.Value.Body->type()));
+        return Value::makeArray(std::move(Out));
+      }
+      ArrayData Keys;
+      for (int64_t K : HashKeys)
+        Keys.push_back(Value(K));
+      return Value::makeStruct({Value::makeArray(std::move(Keys)),
+                                Value::makeArray(std::move(HashVals))});
+    }
+    }
+    fatalError("refEval: unknown generator kind");
+  }
+
+  Value binOp(const BinOpExpr *B, const RefEnv &Env) {
+    Value L = eval(B->lhs(), Env);
+    Value R = eval(B->rhs(), Env);
+    switch (B->op()) {
+    case BinOpKind::And:
+      return Value(L.asBool() && R.asBool());
+    case BinOpKind::Or:
+      return Value(L.asBool() || R.asBool());
+    case BinOpKind::Eq:
+    case BinOpKind::Ne:
+    case BinOpKind::Lt:
+    case BinOpKind::Le:
+    case BinOpKind::Gt:
+    case BinOpKind::Ge:
+      if (L.isFloat() || R.isFloat())
+        return Value(cmp(B->op(), L.toDouble(), R.toDouble()));
+      return Value(cmp(B->op(), L.toInt(), R.toInt()));
+    default:
+      break;
+    }
+    if (B->type()->isFloat()) {
+      double A = L.toDouble(), C = R.toDouble();
+      switch (B->op()) {
+      case BinOpKind::Add:
+        return Value(A + C);
+      case BinOpKind::Sub:
+        return Value(A - C);
+      case BinOpKind::Mul:
+        return Value(A * C);
+      case BinOpKind::Div:
+        return Value(A / C);
+      case BinOpKind::Mod:
+        return Value(std::fmod(A, C));
+      case BinOpKind::Min:
+        return Value(std::fmin(A, C));
+      case BinOpKind::Max:
+        return Value(std::fmax(A, C));
+      default:
+        fatalError("refEval: bad float binop");
+      }
+    }
+    int64_t A = L.toInt(), C = R.toInt();
+    switch (B->op()) {
+    case BinOpKind::Add:
+      return Value(A + C);
+    case BinOpKind::Sub:
+      return Value(A - C);
+    case BinOpKind::Mul:
+      return Value(A * C);
+    case BinOpKind::Div:
+      if (C == 0 || (C == -1 && A == std::numeric_limits<int64_t>::min()))
+        fatalError("integer division by zero");
+      return Value(A / C);
+    case BinOpKind::Mod:
+      if (C == 0 || (C == -1 && A == std::numeric_limits<int64_t>::min()))
+        fatalError("integer modulo by zero");
+      return Value(A % C);
+    case BinOpKind::Min:
+      return Value(A < C ? A : C);
+    case BinOpKind::Max:
+      return Value(A > C ? A : C);
+    default:
+      fatalError("refEval: bad int binop");
+    }
+  }
+
+  template <typename T> static bool cmp(BinOpKind Op, T A, T B) {
+    switch (Op) {
+    case BinOpKind::Eq:
+      return A == B;
+    case BinOpKind::Ne:
+      return A != B;
+    case BinOpKind::Lt:
+      return A < B;
+    case BinOpKind::Le:
+      return A <= B;
+    case BinOpKind::Gt:
+      return A > B;
+    default:
+      return A >= B;
+    }
+  }
+
+  Value unOp(const UnOpExpr *U, const RefEnv &Env) {
+    Value A = eval(U->operand(), Env);
+    switch (U->op()) {
+    case UnOpKind::Not:
+      return Value(!A.asBool());
+    case UnOpKind::Neg:
+      return U->type()->isFloat() ? Value(-A.toDouble())
+                                  : Value(-A.toInt());
+    case UnOpKind::Abs:
+      if (U->type()->isFloat())
+        return Value(std::fabs(A.toDouble()));
+      return Value(A.toInt() < 0 ? -A.toInt() : A.toInt());
+    case UnOpKind::Exp:
+      return Value(std::exp(A.toDouble()));
+    case UnOpKind::Log:
+      return Value(std::log(A.toDouble()));
+    case UnOpKind::Sqrt:
+      return Value(std::sqrt(A.toDouble()));
+    }
+    fatalError("refEval: bad unop");
+  }
+};
+
+} // namespace
+
+Value dmll::fuzz::refEval(const Program &P, const InputMap &Inputs) {
+  RefEvaluator E(Inputs);
+  return E.eval(P.Result, RefEnv());
+}

@@ -1,0 +1,43 @@
+//===- fuzz/RefEval.h - Independent mini reference evaluator --*- C++ -*-===//
+//
+// Part of the DMLL reproduction of Brown et al., CGO 2016.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A second, deliberately independent implementation of the sequential
+/// multiloop semantics, used as an extra oracle by the differential fuzzer
+/// (the refimpl/ analogue for generated programs: the hand-written refimpls
+/// cover the paper's apps, this one covers the random-program grammar). It
+/// shares no evaluation code with interp/ — no memoization, no scope chain,
+/// no engine — so a bug in the interpreter's machinery cannot cancel out in
+/// both executors. Traps use the same fatalError messages as the
+/// interpreter so trap parity can be checked exactly.
+///
+/// Multi-generator loops (LoopOut) are out of scope; the oracle consults
+/// refExpressible() and simply skips this configuration for programs that
+/// use them.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DMLL_FUZZ_REFEVAL_H
+#define DMLL_FUZZ_REFEVAL_H
+
+#include "interp/Interp.h"
+#include "ir/Expr.h"
+
+namespace dmll {
+namespace fuzz {
+
+/// True if every construct in \p P is covered by the mini evaluator
+/// (i.e. the program contains no multi-generator multiloop / LoopOut).
+bool refExpressible(const Program &P);
+
+/// Sequential evaluation of \p P. Precondition: refExpressible(P). Aborts
+/// via fatalError on traps, with interpreter-identical messages.
+Value refEval(const Program &P, const InputMap &Inputs);
+
+} // namespace fuzz
+} // namespace dmll
+
+#endif // DMLL_FUZZ_REFEVAL_H

@@ -15,7 +15,9 @@
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <limits>
 #include <memory>
+#include <mutex>
 #include <unordered_set>
 
 using namespace dmll;
@@ -77,7 +79,17 @@ private:
     std::shared_ptr<const engine::Kernel> K; ///< null: compile failed
     size_t TimingIdx = 0;                    ///< index into KStats->Kernels
   };
-  std::unordered_map<const Expr *, KernelEntry> CompiledKernels;
+  /// The kernel cache plus the lock guarding it and KStats. Shared with
+  /// the chunk-worker sub-evaluators so a nested closed loop resolves to
+  /// the same engine (and records its compile outcome exactly once)
+  /// whether the enclosing loop ran sequentially or chunked — engine
+  /// choice must not depend on the thread count.
+  struct KernelState {
+    std::mutex M;
+    std::unordered_map<const Expr *, KernelEntry> Compiled;
+  };
+  KernelState OwnKernels;
+  KernelState *Kernels = &OwnKernels;
   engine::ColumnCache Columns;
   // Free symbols per node, cached (the IR is immutable).
   std::unordered_map<const Expr *, std::vector<uint64_t>> FreeCache;
@@ -345,10 +357,12 @@ private:
   }
 
   /// Looks up (or compiles) the kernel for multiloop \p E, recording stats
-  /// and the fallback reason on failure.
+  /// and the fallback reason on failure. Caller must hold Kernels->M; the
+  /// returned reference stays valid after unlocking (unordered_map never
+  /// invalidates element references on insert).
   KernelEntry &kernelFor(const ExprRef &E) {
-    auto It = CompiledKernels.find(E.get());
-    if (It != CompiledKernels.end())
+    auto It = Kernels->Compiled.find(E.get());
+    if (It != Kernels->Compiled.end())
       return It->second;
     auto T0 = std::chrono::steady_clock::now();
     engine::CompileOutcome Outcome;
@@ -384,7 +398,7 @@ private:
     }
     if (KStats)
       KStats->CompileMillis += Ms;
-    return CompiledKernels.emplace(E.get(), std::move(Entry)).first->second;
+    return Kernels->Compiled.emplace(E.get(), std::move(Entry)).first->second;
   }
 
   /// Attempts kernel execution of closed multiloop \p E. Returns false (and
@@ -394,10 +408,19 @@ private:
   /// \p WasParallel reports whether the launch took the chunked path.
   bool tryKernel(const ExprRef &E, int64_t N, Scope &S, Value &Out,
                  CounterSample *OtherWorkers, bool *WasParallel) {
-    KernelEntry &Entry = kernelFor(E);
-    if (!Entry.K) {
-      if (KStats)
+    std::shared_ptr<const engine::Kernel> K;
+    size_t TimingIdx = 0;
+    {
+      std::lock_guard<std::mutex> Lock(Kernels->M);
+      KernelEntry &Entry = kernelFor(E);
+      K = Entry.K;
+      TimingIdx = Entry.TimingIdx;
+    }
+    if (!K) {
+      if (KStats) {
+        std::lock_guard<std::mutex> Lock(Kernels->M);
         ++KStats->FallbackRuns;
+      }
       return false;
     }
     engine::LaunchContext Ctx;
@@ -413,16 +436,19 @@ private:
     Ctx.WasParallel = &Parallel;
     Ctx.LoopCounters = OtherWorkers;
     auto T0 = std::chrono::steady_clock::now();
-    if (!engine::runKernel(*Entry.K, N, Ctx, Out)) {
-      if (KStats)
+    if (!engine::runKernel(*K, N, Ctx, Out)) {
+      if (KStats) {
+        std::lock_guard<std::mutex> Lock(Kernels->M);
         ++KStats->FallbackRuns;
+      }
       return false;
     }
     if (WasParallel)
       *WasParallel = Parallel;
     if (KStats) {
+      std::lock_guard<std::mutex> Lock(Kernels->M);
       ++KStats->Launches;
-      engine::KernelTiming &T = KStats->Kernels[Entry.TimingIdx];
+      engine::KernelTiming &T = KStats->Kernels[TimingIdx];
       ++T.Launches;
       T.Iters += N;
       T.Millis += std::chrono::duration<double, std::milli>(
@@ -490,6 +516,13 @@ private:
             [&](int64_t CB, int64_t CE, unsigned) {
               for (int64_t C = CB; C < CE; ++C) {
                 Evaluator Sub(Inputs);
+                // Nested loops inside a chunk must pick their engine the
+                // same way the sequential path would: same mode, same
+                // kernel cache (so compile outcomes record once), same
+                // stats sink. Only the parallelism stays chunk-local.
+                Sub.Mode = Mode;
+                Sub.KStats = KStats;
+                Sub.Kernels = Kernels;
                 Scope Local;
                 ChunkStates[static_cast<size_t>(C)] = Sub.initStates(ML, Local);
                 Sub.runRange(ML, C * Per, std::min((C + 1) * Per, N),
@@ -629,11 +662,13 @@ private:
     case BinOpKind::Mul:
       return Value(A * C);
     case BinOpKind::Div:
-      if (C == 0)
+      // INT64_MIN / -1 overflows (SIGFPE on x86); trap it under the same
+      // message as /0 so every executor reports identical behaviour.
+      if (C == 0 || (C == -1 && A == std::numeric_limits<int64_t>::min()))
         fatalError("integer division by zero");
       return Value(A / C);
     case BinOpKind::Mod:
-      if (C == 0)
+      if (C == 0 || (C == -1 && A == std::numeric_limits<int64_t>::min()))
         fatalError("integer modulo by zero");
       return Value(A % C);
     case BinOpKind::Min:

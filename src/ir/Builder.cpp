@@ -78,17 +78,24 @@ static ExprRef tryFoldBinOp(BinOpKind Op, const ExprRef &A, const ExprRef &B) {
   const auto *IB = dyn_cast<ConstIntExpr>(B);
   if (IA && IB) {
     int64_t X = IA->value(), Y = IB->value();
+    // Overflowing folds (INT64_MIN / -1 would even SIGFPE here) are left as
+    // runtime nodes so the executors' trap semantics apply uniformly.
+    int64_t F;
     switch (Op) {
     case BinOpKind::Add:
-      return constI64(X + Y);
+      return __builtin_add_overflow(X, Y, &F) ? nullptr : constI64(F);
     case BinOpKind::Sub:
-      return constI64(X - Y);
+      return __builtin_sub_overflow(X, Y, &F) ? nullptr : constI64(F);
     case BinOpKind::Mul:
-      return constI64(X * Y);
+      return __builtin_mul_overflow(X, Y, &F) ? nullptr : constI64(F);
     case BinOpKind::Div:
-      return Y == 0 ? nullptr : constI64(X / Y);
+      return Y == 0 || (Y == -1 && X == std::numeric_limits<int64_t>::min())
+                 ? nullptr
+                 : constI64(X / Y);
     case BinOpKind::Mod:
-      return Y == 0 ? nullptr : constI64(X % Y);
+      return Y == 0 || (Y == -1 && X == std::numeric_limits<int64_t>::min())
+                 ? nullptr
+                 : constI64(X % Y);
     case BinOpKind::Min:
       return constI64(X < Y ? X : Y);
     case BinOpKind::Max:

@@ -459,3 +459,26 @@ size_t dmll::countNodes(const ExprRef &E) {
   visitAll(E, [&](const ExprRef &) { ++N; });
   return N;
 }
+
+bool dmll::mayTrap(const ExprRef &E) {
+  bool T = false;
+  visitAll(E, [&](const ExprRef &Node) {
+    switch (Node->kind()) {
+    case ExprKind::ArrayRead:
+    case ExprKind::Multiloop:
+    case ExprKind::LoopOut:
+      T = true;
+      break;
+    case ExprKind::BinOp: {
+      const auto *B = cast<BinOpExpr>(Node);
+      if ((B->op() == BinOpKind::Div || B->op() == BinOpKind::Mod) &&
+          B->lhs()->type()->isInt())
+        T = true;
+      break;
+    }
+    default:
+      break;
+    }
+  });
+  return T;
+}

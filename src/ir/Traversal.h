@@ -81,6 +81,15 @@ uint64_t structuralHash(const ExprRef &E);
 /// consumers).
 std::vector<ExprRef> collectMultiloops(const ExprRef &E);
 
+/// True when evaluating \p E can reach fatalError: the subtree (descending
+/// into generator functions) contains an array read (bounds trap), an
+/// integer Div/Mod (zero-divisor trap), or a multiloop (negative size,
+/// dense-key range, negative dense count). Conservative — used to keep
+/// transformations and the kernel engine from evaluating an expression
+/// more eagerly than the interpreter would, which could surface a trap the
+/// program never reaches.
+bool mayTrap(const ExprRef &E);
+
 /// Number of distinct nodes reachable from \p E (diagnostics / tests).
 size_t countNodes(const ExprRef &E);
 

@@ -44,6 +44,46 @@ private:
     return true;
   }
 
+  /// Consumes exactly four hex digits into \p V; false on any non-hex char.
+  bool hex4(unsigned &V) {
+    if (Pos + 4 > S.size())
+      return false;
+    V = 0;
+    for (int I = 0; I < 4; ++I) {
+      char C = S[Pos + I];
+      unsigned D;
+      if (C >= '0' && C <= '9')
+        D = static_cast<unsigned>(C - '0');
+      else if (C >= 'a' && C <= 'f')
+        D = static_cast<unsigned>(C - 'a') + 10;
+      else if (C >= 'A' && C <= 'F')
+        D = static_cast<unsigned>(C - 'A') + 10;
+      else
+        return false;
+      V = V * 16 + D;
+    }
+    Pos += 4;
+    return true;
+  }
+
+  static void appendUtf8(std::string &Out, unsigned CP) {
+    if (CP < 0x80) {
+      Out += static_cast<char>(CP);
+    } else if (CP < 0x800) {
+      Out += static_cast<char>(0xC0 | (CP >> 6));
+      Out += static_cast<char>(0x80 | (CP & 0x3F));
+    } else if (CP < 0x10000) {
+      Out += static_cast<char>(0xE0 | (CP >> 12));
+      Out += static_cast<char>(0x80 | ((CP >> 6) & 0x3F));
+      Out += static_cast<char>(0x80 | (CP & 0x3F));
+    } else {
+      Out += static_cast<char>(0xF0 | (CP >> 18));
+      Out += static_cast<char>(0x80 | ((CP >> 12) & 0x3F));
+      Out += static_cast<char>(0x80 | ((CP >> 6) & 0x3F));
+      Out += static_cast<char>(0x80 | (CP & 0x3F));
+    }
+  }
+
   bool string(std::string &Out) {
     if (Pos >= S.size() || S[Pos] != '"')
       return false;
@@ -54,15 +94,33 @@ private:
           return false;
         char C = S[Pos + 1];
         if (C == 'u') {
-          if (Pos + 5 >= S.size())
+          Pos += 2;
+          unsigned CP;
+          if (!hex4(CP))
             return false;
-          Out += '?'; // code point value irrelevant for our documents
-          Pos += 6;
+          if (CP >= 0xD800 && CP <= 0xDBFF) {
+            // High surrogate: a low surrogate escape must follow.
+            if (Pos + 1 >= S.size() || S[Pos] != '\\' || S[Pos + 1] != 'u')
+              return false;
+            Pos += 2;
+            unsigned Lo;
+            if (!hex4(Lo) || Lo < 0xDC00 || Lo > 0xDFFF)
+              return false;
+            CP = 0x10000 + ((CP - 0xD800) << 10) + (Lo - 0xDC00);
+          } else if (CP >= 0xDC00 && CP <= 0xDFFF) {
+            return false; // lone low surrogate
+          }
+          appendUtf8(Out, CP);
           continue;
         }
         if (!std::strchr("\"\\/bfnrt", C))
           return false;
-        Out += C == 'n' ? '\n' : C == 't' ? '\t' : C;
+        Out += C == 'b'   ? '\b'
+               : C == 'f' ? '\f'
+               : C == 'n' ? '\n'
+               : C == 'r' ? '\r'
+               : C == 't' ? '\t'
+                          : C;
         Pos += 2;
         continue;
       }

@@ -13,8 +13,9 @@
 /// document that parses here is one our own tools can consume.
 ///
 /// Strict enough for the purpose (rejects trailing garbage, malformed
-/// escapes, unterminated containers), not a validator: \uXXXX escapes are
-/// accepted but decoded as '?', and numbers use std::stod semantics.
+/// escapes, unterminated containers), not a validator: numbers use std::stod
+/// semantics. \uXXXX escapes decode to UTF-8, including surrogate pairs;
+/// lone surrogates and non-hex digits are rejected as malformed.
 ///
 //===----------------------------------------------------------------------===//
 

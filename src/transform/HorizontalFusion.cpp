@@ -27,6 +27,55 @@ std::vector<uint64_t> sortedFree(const ExprRef &E) {
   return V;
 }
 
+/// Multiloop nodes reachable from \p Root through eager edges only —
+/// outside every generator function and Select arm — i.e. the loops the
+/// interpreter is guaranteed to evaluate whenever the root is demanded.
+/// (A node shared between a strict and a lazy position counts as strict:
+/// the strict occurrence forces it.)
+std::unordered_set<const Expr *> strictLoops(const ExprRef &Root) {
+  std::unordered_set<const Expr *> Strict, Seen;
+  std::function<void(const ExprRef &)> Go = [&](const ExprRef &E) {
+    if (!Seen.insert(E.get()).second)
+      return;
+    if (const auto *ML = dyn_cast<MultiloopExpr>(E)) {
+      Strict.insert(E.get());
+      // Size and dense-bucket counts are evaluated at loop start; the
+      // generator functions only run per element, i.e. lazily.
+      Go(ML->size());
+      for (const Generator &G : ML->gens())
+        if (G.NumKeys)
+          Go(G.NumKeys);
+      return;
+    }
+    if (const auto *Sel = dyn_cast<SelectExpr>(E)) {
+      Go(Sel->cond()); // arms are evaluated lazily
+      return;
+    }
+    for (const ExprRef &C : exprChildren(E))
+      Go(C);
+  };
+  Go(Root);
+  return Strict;
+}
+
+/// True when running \p ML's per-element code (all generator functions) or
+/// its dense-bucket machinery can hit a fatalError trap. Fusing a lazily
+/// reachable loop makes that code run whenever its fusion partner does, so
+/// a lazy loop may only fuse when this is false — otherwise the fused
+/// program could trap where the original never evaluated the loop at all.
+/// Dense buckets count as trapping because the key-range check itself is a
+/// trap.
+bool genCodeMayTrap(const MultiloopExpr *ML) {
+  for (const Generator &G : ML->gens()) {
+    if (G.isDenseBucket())
+      return true;
+    for (const Func *F : {&G.Cond, &G.Key, &G.Value, &G.Reduce})
+      if (F->isSet() && mayTrap(F->Body))
+        return true;
+  }
+  return false;
+}
+
 /// Replaces two loops by one fused loop throughout \p Root, fixing LoopOut
 /// indices of the second loop by \p Offset.
 ExprRef replaceFused(const ExprRef &Root, const Expr *A, const Expr *B,
@@ -67,6 +116,7 @@ int dmll::horizontalFusion(ExprRef &E, RewriteStats *Stats) {
   while (Changed) {
     Changed = false;
     std::vector<ExprRef> Loops = collectMultiloops(E);
+    std::unordered_set<const Expr *> Strict = strictLoops(E);
     for (size_t X = 0; X < Loops.size() && !Changed; ++X) {
       const auto *A = cast<MultiloopExpr>(Loops[X]);
       for (size_t Y = X + 1; Y < Loops.size() && !Changed; ++Y) {
@@ -81,7 +131,8 @@ int dmll::horizontalFusion(ExprRef &E, RewriteStats *Stats) {
         if (reaches(Loops[X], B) || reaches(Loops[Y], A))
           continue;
         // Structurally identical loops are one computation: merge instead
-        // of fusing duplicate generators (CSE beats fusion here).
+        // of fusing duplicate generators (CSE beats fusion here). Pure
+        // sharing, so it needs no strictness gate.
         if (structuralEq(Loops[X], Loops[Y])) {
           E = replaceNode(E, B, Loops[X]);
           ++Merged;
@@ -90,6 +141,12 @@ int dmll::horizontalFusion(ExprRef &E, RewriteStats *Stats) {
           Changed = true;
           continue;
         }
+        // Fusion makes each loop run whenever its partner does. That is
+        // only sound for a loop the interpreter was guaranteed to evaluate
+        // anyway (strict position), or whose per-element code cannot trap.
+        if ((!Strict.count(A) && genCodeMayTrap(A)) ||
+            (!Strict.count(B) && genCodeMayTrap(B)))
+          continue;
 
         ExprRef NA = normalizeLoopIndex(Loops[X]);
         ExprRef NB = normalizeLoopIndex(Loops[Y]);

@@ -1,0 +1,40 @@
+#!/bin/sh
+# Time-budgeted differential fuzzing driver.
+#
+#   tools/run_fuzz.sh [--minutes N] [--seed S] [--build DIR]
+#
+# Runs dmll-fuzz in fixed-size batches of consecutive seeds until the time
+# budget is spent (default 5 minutes), starting from --seed (default 1, so
+# a run with the same arguments covers the same seeds in the same order).
+# Exits nonzero as soon as a batch reports a divergence; the failing batch
+# output (including the reduced replay program) is left on stdout.
+set -eu
+
+MINUTES=5
+SEED=1
+BUILD=build
+BATCH=100
+
+while [ $# -gt 0 ]; do
+  case "$1" in
+    --minutes) MINUTES=$2; shift 2 ;;
+    --seed)    SEED=$2; shift 2 ;;
+    --build)   BUILD=$2; shift 2 ;;
+    *) echo "usage: $0 [--minutes N] [--seed S] [--build DIR]" >&2; exit 2 ;;
+  esac
+done
+
+FUZZ="$BUILD/tools/dmll-fuzz"
+if [ ! -x "$FUZZ" ]; then
+  echo "run_fuzz.sh: $FUZZ not built (cmake --build $BUILD)" >&2
+  exit 2
+fi
+
+DEADLINE=$(( $(date +%s) + MINUTES * 60 ))
+TOTAL=0
+while [ "$(date +%s)" -lt "$DEADLINE" ]; do
+  "$FUZZ" --seed "$SEED" --count "$BATCH" --reduce
+  SEED=$(( SEED + BATCH ))
+  TOTAL=$(( TOTAL + BATCH ))
+done
+echo "run_fuzz.sh: $TOTAL seeds clean within the ${MINUTES}-minute budget"
