@@ -7,6 +7,7 @@
 #include "ir/Traversal.h"
 #include "observe/Trace.h"
 #include "support/Error.h"
+#include "transform/loop/LoopTransforms.h"
 
 #include <cinttypes>
 #include <cmath>
@@ -27,13 +28,17 @@ namespace {
 
 class Emitter {
 public:
-  Emitter(const Program &P, const CppEmitOptions &Opts) : P(P), Opts(Opts) {}
+  Emitter(const Program &P, const CppEmitOptions &Opts) : P(P), Opts(Opts) {
+    if (Opts.EnableLoopTransforms)
+      Plan = planLoopTransforms(P);
+  }
 
   std::string run();
 
 private:
   const Program &P;
   CppEmitOptions Opts;
+  LoopTransformPlan Plan; ///< per-generator loop-transform decisions
   int VarCounter = 0;
   int StructCounter = 0;
   // Canonical type string -> generated struct name, in creation order.
@@ -394,15 +399,54 @@ private:
     return Levels;
   }
 
+  /// How the loop-transform plan modifies an in-place add (all defaults
+  /// reproduce the untransformed emission).
+  struct InPlaceOpts {
+    bool SkipInit = false;   ///< accumulator pre-sized at the loop header
+    std::string Flat;        ///< non-empty: accumulate into this flat buffer
+    std::string FlatN2;      ///< emitted inner size (row stride of Flat)
+    bool SimdInner = false;  ///< inner loop body is simd-safe
+  };
+
   /// Emits the in-place accumulation `Target[k](+)= f(k)` for the matched
   /// Collect \p Levels (sizes first so an empty accumulator can be sized).
   void emitInPlaceAdd(const std::vector<const MultiloopExpr *> &Levels,
                       const std::string &Target, Scope &Blk,
-                      const std::string &Guard) {
+                      const std::string &Guard, const InPlaceOpts &IP) {
     const MultiloopExpr *L1 = Levels[0];
     std::string N1 = emit(L1->size(), Blk);
-    Blk.Code += Guard + "if (" + Target + ".empty()) " + Target +
-                ".resize((size_t)(" + N1 + "));\n";
+    if (!IP.Flat.empty() && Levels.size() == 2) {
+      // Flattened two-level accumulator: `Flat[k1 * n2 + k2] += v`. Both
+      // scopes are built before any loop text so statements hoisted to the
+      // k1 level land above the inner loop (the nested-vector path below
+      // re-evaluates them per inner iteration).
+      const MultiloopExpr *L2 = Levels[1];
+      std::string K1 = fresh("k"), K2 = fresh("k");
+      Scope Inner;
+      Inner.Parent = &Blk;
+      Inner.Indent = Guard + "  ";
+      Inner.SymNames[L1->gen().Value.Params[0]->id()] = K1;
+      Scope In2;
+      In2.Parent = &Inner;
+      In2.Indent = Inner.Indent + "  ";
+      In2.SymNames[L2->gen().Value.Params[0]->id()] = K2;
+      std::string V = emit(L2->gen().Value.Body, In2);
+      Blk.Code += Guard + "for (int64_t " + K1 + " = 0; " + K1 + " < " + N1 +
+                  "; ++" + K1 + ") {\n";
+      Blk.Code += Inner.Code;
+      if (IP.SimdInner)
+        Blk.Code += Inner.Indent + "#pragma omp simd\n";
+      Blk.Code += Inner.Indent + "for (int64_t " + K2 + " = 0; " + K2 +
+                  " < " + IP.FlatN2 + "; ++" + K2 + ") {\n";
+      Blk.Code += In2.Code;
+      Blk.Code += In2.Indent + IP.Flat + "[(size_t)(" + K1 + " * " +
+                  IP.FlatN2 + " + " + K2 + ")] += " + V + ";\n";
+      Blk.Code += Inner.Indent + "}\n" + Guard + "}\n";
+      return;
+    }
+    if (!IP.SkipInit)
+      Blk.Code += Guard + "if (" + Target + ".empty()) " + Target +
+                  ".resize((size_t)(" + N1 + "));\n";
     std::string K1 = fresh("k");
     Blk.Code += Guard + "for (int64_t " + K1 + " = 0; " + K1 + " < " + N1 +
                 "; ++" + K1 + ") {\n";
@@ -445,12 +489,21 @@ private:
     std::string N = emit(ML->size(), Cur);
     std::string Idx = fresh("i");
 
+    // Per-generator loop-transform decisions (nullptr: emit as before).
+    const std::vector<GenLoopPlan> *Plans =
+        Opts.EnableLoopTransforms ? Plan.plansFor(ML) : nullptr;
+    auto planOf = [&](size_t G) { return Plans ? (*Plans)[G] : GenLoopPlan(); };
+
     // Accumulator declarations (into T, before the loop).
     struct GenState {
       std::string Result; // final use-name
       std::string Acc, Has, Keys, Vals, Map;
       std::string NumKeys;
       std::string ValTy;
+      // Hoisted in-place-add accumulator state (HoistAccInit/FlattenAcc).
+      bool HoistedInit = false;
+      std::string Flat, FlatN1, FlatN2;
+      bool SimdInner = false;
     };
     std::vector<GenState> States(ML->numGens());
     // Hash-bucket generators with alpha-equal key and condition share one
@@ -483,10 +536,17 @@ private:
         while (Root->Parent)
           Root = Root->Parent;
         stmt(*Root, "std::vector<" + St.ValTy + "> " + St.Acc + ";");
-        if (Root != &T)
-          stmt(T, St.Acc + ".clear();");
-        if (isTrueCond(Gen.Cond))
-          stmt(T, St.Acc + ".reserve((size_t)(" + N + "));");
+        if (planOf(G).IndexedStore) {
+          // Every iteration writes its slot (condition is trivially true):
+          // size the buffer once and store by index, so the loop body has
+          // no push_back bookkeeping and can take a simd hint.
+          stmt(T, St.Acc + ".resize((size_t)(" + N + "));");
+        } else {
+          if (Root != &T)
+            stmt(T, St.Acc + ".clear();");
+          if (isTrueCond(Gen.Cond))
+            stmt(T, St.Acc + ".reserve((size_t)(" + N + "));");
+        }
         St.Result = St.Acc;
         break;
       }
@@ -496,6 +556,46 @@ private:
         stmt(T, St.ValTy + " " + St.Acc + "{};");
         stmt(T, "bool " + St.Has + " = false;");
         St.Result = St.Acc;
+        if (planOf(G).HoistAccInit) {
+          // Size the in-place-add accumulator once at the loop header
+          // instead of checking emptiness per iteration. Only legal when
+          // the level sizes are loop-invariant (resolvable at T) — and the
+          // `N > 0` guard keeps an empty loop's accumulator empty, exactly
+          // as the per-iteration path leaves it.
+          auto Levels = matchInPlaceAdd(Gen);
+          auto Resolvable = [&](const ExprRef &Sz) {
+            for (uint64_t Id : freeOf(Sz))
+              if (!T.lookup(Id))
+                return false;
+            return true;
+          };
+          if (!Levels.empty() && Resolvable(Levels[0]->size()) &&
+              (Levels.size() == 1 ||
+               (planOf(G).FlattenAcc && Resolvable(Levels[1]->size())))) {
+            St.FlatN1 = emit(Levels[0]->size(), Cur);
+            if (Levels.size() == 2) {
+              // Two-level accumulator: accumulate into one flat row-major
+              // buffer for the duration of the loop (materialized back
+              // into the nested vector after the loop closes).
+              St.FlatN2 = emit(Levels[1]->size(), Cur);
+              St.Flat = fresh("flatacc");
+              std::string ETy =
+                  cType(Levels[1]->gen().Value.Body->type());
+              stmt(T, "std::vector<" + ETy + "> " + St.Flat + ";");
+              stmt(T, "if (" + N + " > 0) " + St.Flat +
+                          ".assign((size_t)(" + St.FlatN1 +
+                          ") * (size_t)(" + St.FlatN2 + "), " + ETy +
+                          "{});");
+              St.SimdInner =
+                  simdSafeLoopBody(Levels[1]->gen().Value.Body,
+                                   Levels[1]->gen().Value.Params[0]);
+            } else {
+              stmt(T, "if (" + N + " > 0) " + St.Acc + ".resize((size_t)(" +
+                          St.FlatN1 + "));");
+            }
+            St.HoistedInit = true;
+          }
+        }
         break;
       case GenKind::BucketCollect:
       case GenKind::BucketReduce: {
@@ -528,6 +628,57 @@ private:
         break;
       }
       }
+    }
+
+    // Strip-mined scalar-add reduction (single generator): compute W values
+    // into a lane buffer under `#pragma omp simd` — each lane writes its
+    // own slot, so vectorizing is legal — then fold the lanes into the
+    // accumulator sequentially in index order. The accumulation order is
+    // exactly the plain loop's, so results stay bit-identical (floats
+    // included); a scalar loop handles the tail.
+    if (ML->numGens() == 1 && planOf(0).StripMine &&
+        ML->gen().Kind == GenKind::Reduce && isTrueCond(ML->gen().Cond) &&
+        isScalarAdd(ML->gen().Reduce)) {
+      const Generator &Gen = ML->gen();
+      GenState &St = States[0];
+      const char *W = "8";
+      std::string Lanes = fresh("lanes");
+      std::string L = fresh("l"), L2 = fresh("l"), LI = fresh("li");
+      // Build both bodies before any loop text so hoisted loop-invariant
+      // statements land above the loops, in scope for both.
+      Scope LaneS;
+      LaneS.Parent = &T;
+      LaneS.Indent = T.Indent + "    ";
+      LaneS.SymNames[Gen.Value.Params[0]->id()] = LI;
+      std::string V = emit(Gen.Value.Body, LaneS);
+      Scope Tail;
+      Tail.Parent = &T;
+      Tail.Indent = T.Indent + "  ";
+      Tail.SymNames[Gen.Value.Params[0]->id()] = Idx;
+      std::string VT = emit(Gen.Value.Body, Tail);
+      std::string BI = T.Indent + "  ";
+      stmt(T, "int64_t " + Idx + " = 0;");
+      stmt(T, "for (; " + Idx + " + " + W + " <= " + N + "; " + Idx +
+                  " += " + W + ") {");
+      T.Code += BI + St.ValTy + " " + Lanes + "[" + W + "];\n";
+      T.Code += BI + "#pragma omp simd\n";
+      T.Code += BI + "for (int " + L + " = 0; " + L + " < " + W + "; ++" +
+                L + ") {\n";
+      T.Code += LaneS.Indent + "const int64_t " + LI + " = " + Idx + " + " +
+                L + ";\n";
+      T.Code += LaneS.Code;
+      T.Code += LaneS.Indent + Lanes + "[" + L + "] = " + V + ";\n";
+      T.Code += BI + "}\n";
+      T.Code += BI + "for (int " + L2 + " = 0; " + L2 + " < " + W + "; ++" +
+                L2 + ") " + St.Acc + " += " + Lanes + "[" + L2 + "];\n";
+      stmt(T, "}");
+      stmt(T, "for (; " + Idx + " < " + N + "; ++" + Idx + ") {");
+      T.Code += Tail.Code;
+      T.Code += Tail.Indent + St.Acc + " += " + VT + ";\n";
+      stmt(T, "}");
+      LoopOutVars[ML] = {St.Result};
+      T.Memo.emplace(E.get(), St.Result);
+      return St.Result;
     }
 
     // Loop body.
@@ -589,13 +740,22 @@ private:
       switch (Gen.Kind) {
       case GenKind::Collect: {
         std::string V = emit(Gen.Value.Body, Blk);
-        Blk.Code += Guard + St.Acc + ".push_back(" + V + ");\n";
+        if (planOf(G).IndexedStore)
+          Blk.Code += Guard + St.Acc + "[(size_t)(" + Idx + ")] = " + V +
+                      ";\n";
+        else
+          Blk.Code += Guard + St.Acc + ".push_back(" + V + ");\n";
         break;
       }
       case GenKind::Reduce: {
         auto Levels = matchInPlaceAdd(Gen);
         if (!Levels.empty()) {
-          emitInPlaceAdd(Levels, St.Acc, Blk, Guard);
+          InPlaceOpts IP;
+          IP.SkipInit = St.HoistedInit;
+          IP.Flat = St.Flat;
+          IP.FlatN2 = St.FlatN2;
+          IP.SimdInner = St.SimdInner;
+          emitInPlaceAdd(Levels, St.Acc, Blk, Guard, IP);
           break;
         }
         std::string V = emit(Gen.Value.Body, Blk);
@@ -620,7 +780,8 @@ private:
           if (!Levels.empty()) {
             Blk.Code += Guard + "const size_t " + K + " = (size_t)(" + Key +
                         ");\n";
-            emitInPlaceAdd(Levels, St.Vals + "[" + K + "]", Blk, Guard);
+            emitInPlaceAdd(Levels, St.Vals + "[" + K + "]", Blk, Guard,
+                           InPlaceOpts());
             break;
           }
           std::string V = emit(Gen.Value.Body, Blk);
@@ -680,6 +841,15 @@ private:
         Body.Code += Close + "\n";
     }
 
+    // The whole loop takes `#pragma omp simd` only when every generator is
+    // a simd-safe indexed-store collect: iterations then write disjoint
+    // slots with no push_back or reduction carried between them. (A reduce
+    // under a plain simd pragma would license float reassociation.)
+    bool LoopSimd = Plans != nullptr && ML->numGens() > 0;
+    for (size_t G = 0; LoopSimd && G < ML->numGens(); ++G)
+      LoopSimd = planOf(G).IndexedStore && planOf(G).SimdHint;
+    if (LoopSimd)
+      stmt(T, "#pragma omp simd");
     stmt(T, "for (int64_t " + Idx + " = 0; " + Idx + " < " + N + "; ++" +
                 Idx + ") {");
     T.Code += Body.Code;
@@ -690,6 +860,21 @@ private:
     for (size_t G = 0; G < ML->numGens(); ++G) {
       const Generator &Gen = ML->gen(G);
       GenState &St = States[G];
+      if (!St.Flat.empty()) {
+        // Materialize the flattened accumulator back into the nested
+        // vector. When the loop ran zero iterations the flat buffer was
+        // never sized, and the accumulator stays empty — same as the
+        // untransformed emission.
+        std::string R = fresh("r");
+        stmt(T, "if (!" + St.Flat + ".empty()) {");
+        stmt(T, "  " + St.Acc + ".resize((size_t)(" + St.FlatN1 + "));");
+        stmt(T, "  for (int64_t " + R + " = 0; " + R + " < " + St.FlatN1 +
+                    "; ++" + R + ")");
+        stmt(T, "    " + St.Acc + "[(size_t)(" + R + ")].assign(" + St.Flat +
+                    ".begin() + " + R + " * " + St.FlatN2 + ", " + St.Flat +
+                    ".begin() + (" + R + " + 1) * " + St.FlatN2 + ");");
+        stmt(T, "}");
+      }
       if (Gen.isBucket() && !Gen.NumKeys) {
         std::string STy = cType(Gen.resultType());
         std::string Res = fresh("grp");
@@ -993,8 +1178,10 @@ GeneratedRunResult dmll::compileAndRun(const Program &P,
     TraceSpan S("codegen.write-inputs", "codegen");
     writeInputsBinary(P, Inputs, Dat);
   }
-  std::string Compile = "c++ -O3 -march=native -std=c++20 -o " + Bin + " " +
-                        Src + " 2> " + Bin + ".log";
+  // -fopenmp-simd honors the emitter's `#pragma omp simd` hints without
+  // pulling in the OpenMP runtime.
+  std::string Compile = "c++ -O3 -march=native -std=c++20 -fopenmp-simd -o " +
+                        Bin + " " + Src + " 2> " + Bin + ".log";
   {
     TraceSpan S("codegen.gcc", "codegen");
     S.arg("binary", Bin);

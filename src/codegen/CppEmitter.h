@@ -14,6 +14,15 @@
 /// — this is the "DMLL generated C++" column of Table 2, compiled with gcc
 /// -O3 by the benchmark harness and raced against src/refimpl.
 ///
+/// The emitter additionally consumes the per-generator loop-transform plan
+/// (transform/loop/LoopTransforms.h): planned collects store by index into
+/// a pre-sized buffer under `#pragma omp simd`, scalar reductions strip-mine
+/// their value computation into a vectorizable lane buffer (folded in index
+/// order, so results stay bit-identical), and in-place-add accumulators are
+/// sized once before the loop — two-level ones flattened to a row-major
+/// buffer for the duration of the loop. docs/CODEGEN.md shows the emitted
+/// C++ before and after each transform.
+///
 /// Host-side helpers serialize an InputMap to the binary format and compute
 /// the same checksum over interpreter Values, so tests can validate
 /// generated code end-to-end against the reference interpreter.
@@ -35,6 +44,10 @@ namespace dmll {
 struct CppEmitOptions {
   /// Timed repetitions of the whole computation in the generated main().
   int TimingIters = 3;
+  /// Consume planLoopTransforms() decisions (transform/loop/): indexed
+  /// stores, `#pragma omp simd` hints, strip-mined reductions, hoisted and
+  /// flattened accumulators. Off emits the plain per-generator loops.
+  bool EnableLoopTransforms = true;
 };
 
 /// Emits the full standalone C++ source for \p P.

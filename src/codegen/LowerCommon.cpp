@@ -2,6 +2,11 @@
 
 #include "codegen/LowerCommon.h"
 
+#include "ir/Builder.h"
+#include "ir/Traversal.h"
+
+#include <functional>
+
 using namespace dmll;
 
 lower::ScalarKind lower::scalarKindOf(const Type &Ty) {
@@ -47,4 +52,69 @@ bool lower::isScalarAddReduce(const Func &R) {
     return false;
   uint64_t A = R.Params[0]->id(), B = R.Params[1]->id();
   return (L->id() == A && Rr->id() == B) || (L->id() == B && Rr->id() == A);
+}
+
+bool lower::isBoundedGatherLoop(const ExprRef &E) {
+  const auto *ML = dyn_cast<MultiloopExpr>(E);
+  if (!ML || !ML->isSingle())
+    return false;
+  const Generator &G = ML->gen();
+  if (G.Kind != GenKind::Collect || !isTrueCond(G.Cond) || G.Key.isSet())
+    return false;
+  if (!G.Value.isSet() || G.Value.arity() != 1)
+    return false;
+  if (mayTrap(ML->size()))
+    return false;
+  uint64_t Idx = G.Value.Params[0]->id();
+
+  // Arrays whose length bounds the loop: leaves of the size's Min-chain.
+  std::vector<ExprRef> Bounding;
+  std::function<void(const ExprRef &)> Chain = [&](const ExprRef &S) {
+    if (const auto *B = dyn_cast<BinOpExpr>(S); B && B->op() == BinOpKind::Min) {
+      Chain(B->lhs());
+      Chain(B->rhs());
+      return;
+    }
+    if (const auto *L = dyn_cast<ArrayLenExpr>(S))
+      Bounding.push_back(L->array());
+  };
+  Chain(ML->size());
+
+  // The body may trap only through in-bounds reads: every ArrayRead must be
+  // at exactly the loop index, from an index-invariant array whose length
+  // bounds the loop; no integer division; no nested loops.
+  bool Ok = true;
+  visitAll(G.Value.Body, [&](const ExprRef &Node) {
+    switch (Node->kind()) {
+    case ExprKind::Multiloop:
+    case ExprKind::LoopOut:
+      Ok = false;
+      return;
+    case ExprKind::BinOp: {
+      const auto *B = cast<BinOpExpr>(Node);
+      if ((B->op() == BinOpKind::Div || B->op() == BinOpKind::Mod) &&
+          B->type()->isInt())
+        Ok = false;
+      return;
+    }
+    case ExprKind::ArrayRead: {
+      const auto *Rd = cast<ArrayReadExpr>(Node);
+      const auto *S = dyn_cast<SymExpr>(Rd->index());
+      if (!S || S->id() != Idx || freeSyms(Rd->array()).count(Idx) ||
+          mayTrap(Rd->array())) {
+        Ok = false;
+        return;
+      }
+      bool Covered = false;
+      for (const ExprRef &A : Bounding)
+        Covered |= A.get() == Rd->array().get() ||
+                   structuralEq(A, Rd->array());
+      Ok &= Covered;
+      return;
+    }
+    default:
+      return;
+    }
+  });
+  return Ok;
 }

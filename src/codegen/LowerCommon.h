@@ -7,12 +7,15 @@
 /// \file
 /// Helpers shared by every backend that lowers multiloops out of the boxed
 /// interpreter world: the C++ emitter (codegen/CppEmitter), the CUDA emitter,
-/// and the in-process kernel engine (src/engine). They answer the two
-/// questions every lowering asks per expression: "which unboxed scalar class
-/// does this type collapse to?" (the interpreter collapses i32/i64 to int64
-/// and f32/f64 to double — see interp/Value.h) and "is this reduction the
-/// plain scalar addition?" (which permits a zero-initialized accumulator with
-/// no first-element flag, the shape compilers vectorize).
+/// and the in-process kernel engine (src/engine). They answer the questions
+/// every lowering asks per expression: "which unboxed scalar class does this
+/// type collapse to?" (the interpreter collapses i32/i64 to int64 and
+/// f32/f64 to double — see interp/Value.h), "is this reduction the plain
+/// scalar addition?" (which permits a zero-initialized accumulator with no
+/// first-element flag, the shape compilers vectorize), and "is this loop a
+/// bounded gather precompute?" (which a backend may evaluate speculatively —
+/// e.g. as a launch-time column — even though mayTrap() conservatively says
+/// any loop might trap).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -40,6 +43,16 @@ const char *scalarKindName(ScalarKind K);
 /// either parameter order): its accumulator may start at zero with no
 /// first-element flag, which lets lowered reduction loops vectorize.
 bool isScalarAddReduce(const Func &R);
+
+/// True when \p E is a loop that provably cannot trap, so a backend may
+/// evaluate it speculatively — ahead of any guarding condition — the way
+/// the kernel engine materializes column sources at launch. The structural
+/// whitelist matches the loops the gather-precompute rewrite
+/// (transform/loop/LoopTransforms.h) builds: a single unconditional
+/// Collect whose body reads arrays only at the loop index, where the loop
+/// size is a Min-chain of the lengths of every array read (all reads
+/// in-bounds by construction) and the rest of the body is trap-free.
+bool isBoundedGatherLoop(const ExprRef &E);
 
 } // namespace lower
 } // namespace dmll

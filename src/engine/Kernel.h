@@ -150,6 +150,13 @@ struct Kernel {
   std::vector<ColumnRef> Columns;
   uint16_t NumI = 0, NumF = 0, NumB = 0; ///< register bank sizes
   bool Single = true;   ///< single-generator loop (result not wrapped)
+  /// Straight-line collect-only code (no control flow, no reductions or
+  /// buckets): the VM may run index blocks instruction-wide, dispatching
+  /// each opcode once per block with a vectorizable lane loop. Traps
+  /// (column bounds, integer division) are pre-validated per block and the
+  /// block replays scalar on any violation, so the abort point and message
+  /// stay exactly the interpreter's. Set by the compiler's post-scan.
+  bool WideEligible = false;
   std::string Signature; ///< loopSignature(loop) for stats / fallback lines
 };
 

@@ -436,9 +436,11 @@ std::optional<Reg> Lowering::lowerExpr(const ExprRef &E) {
       fail("array read from loop-varying array");
       return std::nullopt;
     }
-    if (mayTrap(Rd->array())) {
+    if (mayTrap(Rd->array()) && !lower::isBoundedGatherLoop(Rd->array())) {
       // Column sources are materialized at launch; a trapping source would
-      // be evaluated speculatively, ahead of any guarding condition.
+      // be evaluated speculatively, ahead of any guarding condition. A
+      // bounded gather loop (the shape gatherPrecompute builds) provably
+      // cannot trap, so it binds as a column like any input array.
       fail("may-trap column source");
       return std::nullopt;
     }
@@ -603,6 +605,29 @@ CompileOutcome Lowering::run(const ExprRef &Loop) {
     Out.Reason = Fail.empty() ? "unknown lowering failure" : Fail;
     return Out;
   }
+
+  // Wide-eligibility post-scan: straight-line collect-only streams (no
+  // control flow, no reduce/bucket state carried between indices) can run
+  // instruction-wide over index blocks — the loop-transform layer's
+  // widening, applied to the VM's dispatch loop (see KernelVM.cpp).
+  K.WideEligible = !K.Code.empty();
+  for (const Inst &In : K.Code) {
+    switch (In.Op) {
+    case ROp::Jump:
+    case ROp::JumpIfFalse:
+    case ROp::JumpIfTrue:
+    case ROp::EmitBucket:
+    case ROp::ReduceHead:
+    case ROp::ReduceStore:
+    case ROp::BucketHead:
+    case ROp::BucketStore:
+      K.WideEligible = false;
+      break;
+    default:
+      break;
+    }
+  }
+
   Out.K = std::make_unique<Kernel>(std::move(K));
   return Out;
 }

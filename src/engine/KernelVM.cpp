@@ -7,6 +7,7 @@
 #include "support/Error.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <limits>
 #include <type_traits>
@@ -576,6 +577,350 @@ T applyFrag(const Kernel &K, const GenPlan &P, Regs &R,
   return (R.*Bank)[P.ResultReg];
 }
 
+/// Lane count for instruction-wide execution of eligible kernels. Large
+/// enough to amortize opcode dispatch and fill vector units, small enough
+/// that the widened register banks stay cache-resident.
+constexpr int64_t WideW = 32;
+
+/// Widened register banks: lane L of register R lives at [R * WideW + L].
+/// Construction broadcasts the launch snapshot (uniforms) into every lane;
+/// all other registers are written before read in a straight-line stream.
+struct WideRegs {
+  std::vector<int64_t> I;
+  std::vector<double> F;
+  std::vector<uint8_t> B;
+
+  WideRegs(const Kernel &K, const Regs &Uni)
+      : I(static_cast<size_t>(K.NumI) * WideW, 0),
+        F(static_cast<size_t>(K.NumF) * WideW, 0.0),
+        B(static_cast<size_t>(K.NumB) * WideW, 0) {
+    for (size_t R = 0; R < Uni.I.size(); ++R)
+      for (int64_t L = 0; L < WideW; ++L)
+        I[R * WideW + static_cast<size_t>(L)] = Uni.I[R];
+    for (size_t R = 0; R < Uni.F.size(); ++R)
+      for (int64_t L = 0; L < WideW; ++L)
+        F[R * WideW + static_cast<size_t>(L)] = Uni.F[R];
+    for (size_t R = 0; R < Uni.B.size(); ++R)
+      for (int64_t L = 0; L < WideW; ++L)
+        B[R * WideW + static_cast<size_t>(L)] = Uni.B[R];
+  }
+};
+
+/// Executes indices [Base, Base + WideW) of a wide-eligible kernel
+/// instruction-wide: each opcode dispatches once and its lane loop runs over
+/// the block, which the compiler can vectorize. Phase A computes every
+/// instruction with traps *recorded* instead of thrown (a would-trap lane
+/// computes a placeholder); on any violation the function returns false
+/// with no state modified, and the caller replays the block scalar so the
+/// abort happens at exactly the interpreter's element, with its message.
+/// Phase B appends the collect emits lane-by-lane in index order, so the
+/// result is bit-identical to the scalar path. Emitted values are
+/// snapshotted during Phase A because a value register may be reused by a
+/// later generator's section.
+bool execWideBlock(const Kernel &K, int64_t Base,
+                   const std::vector<const ColBuf *> &Cols, WideRegs &W,
+                   std::vector<ChunkGen> &Gens,
+                   std::vector<std::vector<int64_t>> &EmitI,
+                   std::vector<std::vector<double>> &EmitF,
+                   std::vector<std::vector<uint8_t>> &EmitB) {
+  // Lay the index sequence into register 0's lanes.
+  for (int64_t L = 0; L < WideW; ++L)
+    W.I[static_cast<size_t>(L)] = Base + L;
+
+  size_t NextEmit = 0;
+  auto LI = [&](uint16_t R) { return W.I.data() + size_t(R) * WideW; };
+  auto LF = [&](uint16_t R) { return W.F.data() + size_t(R) * WideW; };
+  auto LB = [&](uint16_t R) { return W.B.data() + size_t(R) * WideW; };
+
+  for (const Inst &In : K.Code) {
+    switch (In.Op) {
+    case ROp::LoadImmI:
+      for (int64_t L = 0; L < WideW; ++L)
+        LI(In.Dst)[L] = In.ImmI;
+      break;
+    case ROp::LoadImmF:
+      for (int64_t L = 0; L < WideW; ++L)
+        LF(In.Dst)[L] = In.ImmF;
+      break;
+    case ROp::LoadImmB:
+      for (int64_t L = 0; L < WideW; ++L)
+        LB(In.Dst)[L] = In.ImmI != 0;
+      break;
+    case ROp::MoveI:
+      for (int64_t L = 0; L < WideW; ++L)
+        LI(In.Dst)[L] = LI(In.A)[L];
+      break;
+    case ROp::MoveF:
+      for (int64_t L = 0; L < WideW; ++L)
+        LF(In.Dst)[L] = LF(In.A)[L];
+      break;
+    case ROp::MoveB:
+      for (int64_t L = 0; L < WideW; ++L)
+        LB(In.Dst)[L] = LB(In.A)[L];
+      break;
+    case ROp::LoadColI: {
+      const ColBuf *C = Cols[In.A];
+      for (int64_t L = 0; L < WideW; ++L) {
+        int64_t Idx = LI(In.B)[L];
+        if (Idx < 0 || static_cast<size_t>(Idx) >= C->Size)
+          return false;
+        LI(In.Dst)[L] = C->I[static_cast<size_t>(Idx)];
+      }
+      break;
+    }
+    case ROp::LoadColF: {
+      const ColBuf *C = Cols[In.A];
+      for (int64_t L = 0; L < WideW; ++L) {
+        int64_t Idx = LI(In.B)[L];
+        if (Idx < 0 || static_cast<size_t>(Idx) >= C->Size)
+          return false;
+        LF(In.Dst)[L] = C->F[static_cast<size_t>(Idx)];
+      }
+      break;
+    }
+    case ROp::LoadColB: {
+      const ColBuf *C = Cols[In.A];
+      for (int64_t L = 0; L < WideW; ++L) {
+        int64_t Idx = LI(In.B)[L];
+        if (Idx < 0 || static_cast<size_t>(Idx) >= C->Size)
+          return false;
+        LB(In.Dst)[L] = C->B[static_cast<size_t>(Idx)] != 0;
+      }
+      break;
+    }
+    case ROp::AddI:
+      for (int64_t L = 0; L < WideW; ++L)
+        LI(In.Dst)[L] = LI(In.A)[L] + LI(In.B)[L];
+      break;
+    case ROp::SubI:
+      for (int64_t L = 0; L < WideW; ++L)
+        LI(In.Dst)[L] = LI(In.A)[L] - LI(In.B)[L];
+      break;
+    case ROp::MulI:
+      for (int64_t L = 0; L < WideW; ++L)
+        LI(In.Dst)[L] = LI(In.A)[L] * LI(In.B)[L];
+      break;
+    case ROp::DivI:
+      for (int64_t L = 0; L < WideW; ++L) {
+        if (LI(In.B)[L] == 0 ||
+            (LI(In.B)[L] == -1 &&
+             LI(In.A)[L] == std::numeric_limits<int64_t>::min()))
+          return false;
+        LI(In.Dst)[L] = LI(In.A)[L] / LI(In.B)[L];
+      }
+      break;
+    case ROp::ModI:
+      for (int64_t L = 0; L < WideW; ++L) {
+        if (LI(In.B)[L] == 0 ||
+            (LI(In.B)[L] == -1 &&
+             LI(In.A)[L] == std::numeric_limits<int64_t>::min()))
+          return false;
+        LI(In.Dst)[L] = LI(In.A)[L] % LI(In.B)[L];
+      }
+      break;
+    case ROp::MinI:
+      for (int64_t L = 0; L < WideW; ++L)
+        LI(In.Dst)[L] =
+            LI(In.A)[L] < LI(In.B)[L] ? LI(In.A)[L] : LI(In.B)[L];
+      break;
+    case ROp::MaxI:
+      for (int64_t L = 0; L < WideW; ++L)
+        LI(In.Dst)[L] =
+            LI(In.A)[L] > LI(In.B)[L] ? LI(In.A)[L] : LI(In.B)[L];
+      break;
+    case ROp::NegI:
+      for (int64_t L = 0; L < WideW; ++L)
+        LI(In.Dst)[L] = -LI(In.A)[L];
+      break;
+    case ROp::AbsI:
+      for (int64_t L = 0; L < WideW; ++L)
+        LI(In.Dst)[L] = LI(In.A)[L] < 0 ? -LI(In.A)[L] : LI(In.A)[L];
+      break;
+    case ROp::AddF:
+      for (int64_t L = 0; L < WideW; ++L)
+        LF(In.Dst)[L] = LF(In.A)[L] + LF(In.B)[L];
+      break;
+    case ROp::SubF:
+      for (int64_t L = 0; L < WideW; ++L)
+        LF(In.Dst)[L] = LF(In.A)[L] - LF(In.B)[L];
+      break;
+    case ROp::MulF:
+      for (int64_t L = 0; L < WideW; ++L)
+        LF(In.Dst)[L] = LF(In.A)[L] * LF(In.B)[L];
+      break;
+    case ROp::DivF:
+      for (int64_t L = 0; L < WideW; ++L)
+        LF(In.Dst)[L] = LF(In.A)[L] / LF(In.B)[L];
+      break;
+    case ROp::ModF:
+      for (int64_t L = 0; L < WideW; ++L)
+        LF(In.Dst)[L] = std::fmod(LF(In.A)[L], LF(In.B)[L]);
+      break;
+    case ROp::MinF:
+      for (int64_t L = 0; L < WideW; ++L)
+        LF(In.Dst)[L] = std::fmin(LF(In.A)[L], LF(In.B)[L]);
+      break;
+    case ROp::MaxF:
+      for (int64_t L = 0; L < WideW; ++L)
+        LF(In.Dst)[L] = std::fmax(LF(In.A)[L], LF(In.B)[L]);
+      break;
+    case ROp::NegF:
+      for (int64_t L = 0; L < WideW; ++L)
+        LF(In.Dst)[L] = -LF(In.A)[L];
+      break;
+    case ROp::AbsF:
+      for (int64_t L = 0; L < WideW; ++L)
+        LF(In.Dst)[L] = std::fabs(LF(In.A)[L]);
+      break;
+    case ROp::ExpF:
+      for (int64_t L = 0; L < WideW; ++L)
+        LF(In.Dst)[L] = std::exp(LF(In.A)[L]);
+      break;
+    case ROp::LogF:
+      for (int64_t L = 0; L < WideW; ++L)
+        LF(In.Dst)[L] = std::log(LF(In.A)[L]);
+      break;
+    case ROp::SqrtF:
+      for (int64_t L = 0; L < WideW; ++L)
+        LF(In.Dst)[L] = std::sqrt(LF(In.A)[L]);
+      break;
+    case ROp::EqI:
+      for (int64_t L = 0; L < WideW; ++L)
+        LB(In.Dst)[L] = LI(In.A)[L] == LI(In.B)[L];
+      break;
+    case ROp::NeI:
+      for (int64_t L = 0; L < WideW; ++L)
+        LB(In.Dst)[L] = LI(In.A)[L] != LI(In.B)[L];
+      break;
+    case ROp::LtI:
+      for (int64_t L = 0; L < WideW; ++L)
+        LB(In.Dst)[L] = LI(In.A)[L] < LI(In.B)[L];
+      break;
+    case ROp::LeI:
+      for (int64_t L = 0; L < WideW; ++L)
+        LB(In.Dst)[L] = LI(In.A)[L] <= LI(In.B)[L];
+      break;
+    case ROp::GtI:
+      for (int64_t L = 0; L < WideW; ++L)
+        LB(In.Dst)[L] = LI(In.A)[L] > LI(In.B)[L];
+      break;
+    case ROp::GeI:
+      for (int64_t L = 0; L < WideW; ++L)
+        LB(In.Dst)[L] = LI(In.A)[L] >= LI(In.B)[L];
+      break;
+    case ROp::EqF:
+      for (int64_t L = 0; L < WideW; ++L)
+        LB(In.Dst)[L] = LF(In.A)[L] == LF(In.B)[L];
+      break;
+    case ROp::NeF:
+      for (int64_t L = 0; L < WideW; ++L)
+        LB(In.Dst)[L] = LF(In.A)[L] != LF(In.B)[L];
+      break;
+    case ROp::LtF:
+      for (int64_t L = 0; L < WideW; ++L)
+        LB(In.Dst)[L] = LF(In.A)[L] < LF(In.B)[L];
+      break;
+    case ROp::LeF:
+      for (int64_t L = 0; L < WideW; ++L)
+        LB(In.Dst)[L] = LF(In.A)[L] <= LF(In.B)[L];
+      break;
+    case ROp::GtF:
+      for (int64_t L = 0; L < WideW; ++L)
+        LB(In.Dst)[L] = LF(In.A)[L] > LF(In.B)[L];
+      break;
+    case ROp::GeF:
+      for (int64_t L = 0; L < WideW; ++L)
+        LB(In.Dst)[L] = LF(In.A)[L] >= LF(In.B)[L];
+      break;
+    case ROp::AndB:
+      for (int64_t L = 0; L < WideW; ++L)
+        LB(In.Dst)[L] = LB(In.A)[L] && LB(In.B)[L];
+      break;
+    case ROp::OrB:
+      for (int64_t L = 0; L < WideW; ++L)
+        LB(In.Dst)[L] = LB(In.A)[L] || LB(In.B)[L];
+      break;
+    case ROp::NotB:
+      for (int64_t L = 0; L < WideW; ++L)
+        LB(In.Dst)[L] = !LB(In.A)[L];
+      break;
+    case ROp::I2F:
+      for (int64_t L = 0; L < WideW; ++L)
+        LF(In.Dst)[L] = static_cast<double>(LI(In.A)[L]);
+      break;
+    case ROp::F2I:
+      for (int64_t L = 0; L < WideW; ++L)
+        LI(In.Dst)[L] = static_cast<int64_t>(LF(In.A)[L]);
+      break;
+    case ROp::B2I:
+      for (int64_t L = 0; L < WideW; ++L)
+        LI(In.Dst)[L] = LB(In.A)[L] ? 1 : 0;
+      break;
+    case ROp::B2F:
+      for (int64_t L = 0; L < WideW; ++L)
+        LF(In.Dst)[L] = LB(In.A)[L] ? 1.0 : 0.0;
+      break;
+    case ROp::I2B:
+      for (int64_t L = 0; L < WideW; ++L)
+        LB(In.Dst)[L] = LI(In.A)[L] != 0;
+      break;
+    case ROp::F2B:
+      for (int64_t L = 0; L < WideW; ++L)
+        LB(In.Dst)[L] = LF(In.A)[L] != 0.0;
+      break;
+    case ROp::EmitCollect: {
+      // Snapshot the lanes now; the register may be clobbered by a later
+      // generator's section before Phase B runs.
+      if (NextEmit >= EmitI.size()) {
+        EmitI.emplace_back();
+        EmitF.emplace_back();
+        EmitB.emplace_back();
+      }
+      const GenPlan &P = K.Gens[In.Dst];
+      switch (P.ValKind) {
+      case ScalarKind::I64:
+        EmitI[NextEmit].assign(LI(In.A), LI(In.A) + WideW);
+        break;
+      case ScalarKind::F64:
+        EmitF[NextEmit].assign(LF(In.A), LF(In.A) + WideW);
+        break;
+      default:
+        EmitB[NextEmit].assign(LB(In.A), LB(In.A) + WideW);
+        break;
+      }
+      ++NextEmit;
+      break;
+    }
+    default:
+      // Eligibility excludes control flow and reduce/bucket state.
+      return false;
+    }
+  }
+
+  // Phase B: no lane trapped anywhere — land the snapshotted emits, in
+  // lane (= index) order per generator, exactly as the scalar path would.
+  NextEmit = 0;
+  for (const Inst &In : K.Code) {
+    if (In.Op != ROp::EmitCollect)
+      continue;
+    const GenPlan &P = K.Gens[In.Dst];
+    ChunkGen &G = Gens[In.Dst];
+    switch (P.ValKind) {
+    case ScalarKind::I64:
+      G.CI.insert(G.CI.end(), EmitI[NextEmit].begin(), EmitI[NextEmit].end());
+      break;
+    case ScalarKind::F64:
+      G.CF.insert(G.CF.end(), EmitF[NextEmit].begin(), EmitF[NextEmit].end());
+      break;
+    default:
+      G.CB.insert(G.CB.end(), EmitB[NextEmit].begin(), EmitB[NextEmit].end());
+      break;
+    }
+    ++NextEmit;
+  }
+  return true;
+}
+
 /// Merges chunk state \p B (later indices) into \p A, mirroring the
 /// interpreter's mergeStates: collects concatenate, reductions combine via
 /// the reduce fragment, hash buckets merge preserving first-occurrence key
@@ -937,6 +1282,41 @@ bool engine::runKernel(const Kernel &K, int64_t N, const LaunchContext &Ctx,
   }
 
   std::vector<ChunkGen> Final;
+  // Index spans run scalar, or — for wide-eligible kernels — in WideW
+  // blocks with a scalar tail. A block whose pre-validation detects a trap
+  // replays scalar from its base, which aborts at the interpreter's exact
+  // element; pre-trap indices re-execute identically (straight-line code,
+  // emits landed only by the replay).
+  const bool UseWide = K.WideEligible && Ctx.EnableWide && N >= WideW;
+  std::atomic<int64_t> WideBlocks{0};
+  auto ExecSpan = [&](int64_t Begin, int64_t End, Regs &R,
+                      std::vector<ChunkGen> &Gens) {
+    int64_t I = Begin;
+    if (UseWide && End - Begin >= WideW) {
+      WideRegs WR(K, R);
+      std::vector<std::vector<int64_t>> EI;
+      std::vector<std::vector<double>> EF;
+      std::vector<std::vector<uint8_t>> EB;
+      int64_t Blocks = 0;
+      for (; I + WideW <= End; I += WideW) {
+        if (execWideBlock(K, I, Cols, WR, Gens, EI, EF, EB)) {
+          ++Blocks;
+          continue;
+        }
+        for (int64_t J = I; J < I + WideW; ++J) {
+          R.I[0] = J;
+          execRange(K, 0, static_cast<int32_t>(K.Code.size()), R, Cols, Gens,
+                    NumKeys);
+        }
+      }
+      WideBlocks.fetch_add(Blocks, std::memory_order_relaxed);
+    }
+    for (; I < End; ++I) {
+      R.I[0] = I;
+      execRange(K, 0, static_cast<int32_t>(K.Code.size()), R, Cols, Gens,
+                NumKeys);
+    }
+  };
   bool Parallel = Ctx.Pool && Ctx.Threads > 1 && N >= 2 * Ctx.MinChunk;
   if (Parallel) {
     // The interpreter's exact chunk arithmetic, so float reassociation is
@@ -956,11 +1336,7 @@ bool engine::runKernel(const Kernel &K, int64_t N, const LaunchContext &Ctx,
             std::vector<ChunkGen> &Gens = ChunkStates[static_cast<size_t>(C)];
             initChunk(K, NumKeys, Gens);
             int64_t End = std::min((C + 1) * Per, N);
-            for (int64_t I = C * Per; I < End; ++I) {
-              R.I[0] = I;
-              execRange(K, 0, static_cast<int32_t>(K.Code.size()), R, Cols,
-                        Gens, NumKeys);
-            }
+            ExecSpan(C * Per, End, R, Gens);
           }
         },
         Ctx.Profile ? &PStats : nullptr, "engine.chunk");
@@ -983,14 +1359,12 @@ bool engine::runKernel(const Kernel &K, int64_t N, const LaunchContext &Ctx,
       ++Ctx.Profile->SequentialLoops;
     Regs R = Snapshot;
     initChunk(K, NumKeys, Final);
-    for (int64_t I = 0; I < N; ++I) {
-      R.I[0] = I;
-      execRange(K, 0, static_cast<int32_t>(K.Code.size()), R, Cols, Final,
-                NumKeys);
-    }
+    ExecSpan(0, N, R, Final);
   }
   if (Ctx.WasParallel)
     *Ctx.WasParallel = Parallel;
+  if (Ctx.Profile)
+    Ctx.Profile->WideBlocks += WideBlocks.load(std::memory_order_relaxed);
 
   if (K.Single) {
     Out = finishGen(K.Gens[0], Final[0], NumKeys[0]);

@@ -71,6 +71,10 @@ struct LaunchContext {
   ThreadPool *Pool = nullptr; ///< persistent pool; null forces sequential
   unsigned Threads = 1;
   int64_t MinChunk = 1024;
+  /// Run wide-eligible kernels (Kernel::WideEligible) instruction-wide
+  /// over index blocks. Results are bit-identical either way; the knob
+  /// exists for ablation and differential testing.
+  bool EnableWide = true;
   ExecProfile *Profile = nullptr;
   ColumnCache *Columns = nullptr; ///< optional shared cache
   bool *WasParallel = nullptr;    ///< out: launch took the chunked path

@@ -200,6 +200,7 @@ RunResult execConfig(const FuzzCase &C, const ExecConfig &Cfg) {
   if (Cfg.Optimize) {
     CompileOptions Opts;
     Opts.T = Target::Numa;
+    Opts.EnableLoopTransforms = Cfg.LoopTransforms;
     CR = compileProgram(C.P, Opts);
     Adapted = adaptForSoa(C.P, CR, C.Inputs);
     P = &CR.P;
@@ -228,13 +229,14 @@ std::vector<ExecConfig> dmll::fuzz::defaultConfigs() {
   // 4-thread configurations exercise split/merge paths, not just the
   // sequential fast path.
   return {
-      {"interp-unopt-1t", E::Interp, false, 1, 1024},
-      {"interp-unopt-4t", E::Interp, false, 4, 4},
-      {"interp-opt-1t", E::Interp, true, 1, 1024},
-      {"kernel-unopt-1t", E::Kernel, false, 1, 1024},
-      {"kernel-unopt-4t", E::Kernel, false, 4, 4},
-      {"kernel-opt-4t", E::Kernel, true, 4, 4},
-      {"ref", E::Ref, false, 1, 1024},
+      {"interp-unopt-1t", E::Interp, false, true, 1, 1024},
+      {"interp-unopt-4t", E::Interp, false, true, 4, 4},
+      {"interp-opt-1t", E::Interp, true, true, 1, 1024},
+      {"interp-opt-nolt-1t", E::Interp, true, false, 1, 1024},
+      {"kernel-unopt-1t", E::Kernel, false, true, 1, 1024},
+      {"kernel-unopt-4t", E::Kernel, false, true, 4, 4},
+      {"kernel-opt-4t", E::Kernel, true, true, 4, 4},
+      {"ref", E::Ref, false, true, 1, 1024},
   };
 }
 

@@ -67,6 +67,11 @@ struct ExecConfig {
   std::string Name;
   Engine E = Engine::Interp;
   bool Optimize = false; ///< run the full rewrite pipeline first
+  /// With Optimize, keep the loop-transform layer (transform/loop/) on.
+  /// The matrix runs one optimized configuration with it off so the
+  /// gather-precompute rewrite and its downstream effects are diffed
+  /// against the same pipeline without them.
+  bool LoopTransforms = true;
   unsigned Threads = 1;
   int64_t MinChunk = 1024;
 };

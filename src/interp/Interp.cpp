@@ -59,7 +59,7 @@ public:
   Evaluator(const InputMap &Inputs, const EvalOptions &Opts, ThreadPool *Pool)
       : Inputs(Inputs), Threads(Opts.Threads ? Opts.Threads : 1),
         MinChunk(Opts.MinChunk), Profile(Opts.Profile), Mode(Opts.Mode),
-        KStats(Opts.Kernels), Pool(Pool) {}
+        WideKernels(Opts.WideKernels), KStats(Opts.Kernels), Pool(Pool) {}
 
   Value evalTop(const ExprRef &E) {
     Scope Global;
@@ -72,6 +72,7 @@ private:
   int64_t MinChunk;
   ExecProfile *Profile;
   engine::EngineMode Mode = engine::EngineMode::Interp;
+  bool WideKernels = true;
   engine::KernelStats *KStats = nullptr;
   ThreadPool *Pool = nullptr;
   /// Compiled kernels (or recorded compile failures) per multiloop node.
@@ -430,6 +431,7 @@ private:
     Ctx.Pool = Pool;
     Ctx.Threads = Threads;
     Ctx.MinChunk = MinChunk;
+    Ctx.EnableWide = WideKernels;
     Ctx.Profile = Profile;
     Ctx.Columns = &Columns;
     bool Parallel = false;

@@ -42,6 +42,10 @@ struct EvalOptions {
   /// Multiloop execution engine: the boxed interpreter, compiled kernels
   /// with transparent fallback, or Auto (kernels for non-tiny loops).
   engine::EngineMode Mode = engine::EngineMode::Interp;
+  /// Run wide-eligible kernels instruction-wide over index blocks
+  /// (engine/KernelVM.h). Bit-identical either way; the knob exists for
+  /// ablation and differential testing.
+  bool WideKernels = true;
   ExecProfile *Profile = nullptr;          ///< optional worker metrics out
   engine::KernelStats *Kernels = nullptr;  ///< optional engine stats out
 };

@@ -75,6 +75,7 @@ struct ExecProfile {
   std::vector<WorkerStats> Workers;
   int64_t ParallelLoops = 0;   ///< multiloops that took the chunked path
   int64_t SequentialLoops = 0; ///< multiloops evaluated on one thread
+  int64_t WideBlocks = 0;      ///< kernel index blocks run instruction-wide
   /// One record per executed closed multiloop, in execution order.
   std::vector<LoopProfile> Loops;
 

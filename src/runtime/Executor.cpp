@@ -51,6 +51,7 @@ ExecutionReport dmll::executeProgram(const Program &P, const InputMap &Inputs,
   R.Workers = std::move(Profile.Workers);
   R.ParallelLoops = Profile.ParallelLoops;
   R.SequentialLoops = Profile.SequentialLoops;
+  R.WideBlocks = Profile.WideBlocks;
   R.Loops = std::move(Profile.Loops);
   {
     // Replay the simulator's prediction for every measured loop; the

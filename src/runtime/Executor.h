@@ -48,6 +48,8 @@ struct ExecutionReport {
   /// Multiloops that took the chunked parallel path / stayed sequential.
   int64_t ParallelLoops = 0;
   int64_t SequentialLoops = 0;
+  /// Kernel index blocks executed instruction-wide (Kernel::WideEligible).
+  int64_t WideBlocks = 0;
   /// One record per executed closed multiloop, in execution order: engine,
   /// wall time, and hardware/rusage counter deltas (observe/Prof.h).
   std::vector<LoopProfile> Loops;

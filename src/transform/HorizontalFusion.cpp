@@ -58,6 +58,131 @@ std::unordered_set<const Expr *> strictLoops(const ExprRef &Root) {
   return Strict;
 }
 
+/// Evaluation regions of \p Root: the root itself plus every lazily entered
+/// code body — generator functions and Select arms. A loop is evaluated iff
+/// some region that strictly reaches it is entered, so two loops that are
+/// strictly reachable from exactly the same regions are always demanded
+/// together.
+std::vector<ExprRef> evalRegions(const ExprRef &Root) {
+  std::vector<ExprRef> Regions{Root};
+  visitAll(Root, [&](const ExprRef &Node) {
+    if (const auto *ML = dyn_cast<MultiloopExpr>(Node)) {
+      for (const Generator &G : ML->gens())
+        for (const Func *F : {&G.Cond, &G.Key, &G.Value, &G.Reduce})
+          if (F->isSet())
+            Regions.push_back(F->Body);
+    } else if (const auto *Sel = dyn_cast<SelectExpr>(Node)) {
+      Regions.push_back(Sel->trueVal());
+      Regions.push_back(Sel->falseVal());
+    }
+  });
+  return Regions;
+}
+
+/// True when, region by region, \p X being demanded implies \p Y is
+/// demanded too: every region that strictly reaches X also strictly
+/// reaches Y. A loop runs iff some region strictly reaching it is entered,
+/// so under this containment Y always runs when X does — fusing them adds
+/// no execution of Y the original program skipped.
+bool demandImplies(const std::vector<std::unordered_set<const Expr *>> &Strict,
+                   const Expr *X, const Expr *Y) {
+  for (const auto &S : Strict)
+    if (S.count(X) && !S.count(Y))
+      return false;
+  return true;
+}
+
+/// True when \p G's dense-bucket key-range check cannot fire: the
+/// generator's own condition is exactly the guard `key >= 0 && key < N`
+/// (in either conjunct order) for its key and key count.
+bool denseGuarded(const Generator &G) {
+  if (!G.isDenseBucket())
+    return true;
+  if (!G.Cond.isSet() || !G.Key.isSet() || G.Cond.arity() != 1 ||
+      G.Key.arity() != 1)
+    return false;
+  // Compare against the key body re-expressed on the condition's parameter.
+  ExprRef Key = substitute(G.Key.Body,
+                           {{G.Key.Params[0]->id(), G.Cond.Params[0]}});
+  const auto *AndE = dyn_cast<BinOpExpr>(G.Cond.Body);
+  if (!AndE || AndE->op() != BinOpKind::And)
+    return false;
+  auto IsLower = [&](const ExprRef &E) {
+    const auto *B = dyn_cast<BinOpExpr>(E);
+    if (!B || B->op() != BinOpKind::Ge)
+      return false;
+    const auto *Z = dyn_cast<ConstIntExpr>(B->rhs());
+    return Z && Z->value() == 0 && structuralEq(B->lhs(), Key);
+  };
+  auto IsUpper = [&](const ExprRef &E) {
+    const auto *B = dyn_cast<BinOpExpr>(E);
+    return B && B->op() == BinOpKind::Lt && structuralEq(B->lhs(), Key) &&
+           structuralEq(B->rhs(), G.NumKeys);
+  };
+  return (IsLower(AndE->lhs()) && IsUpper(AndE->rhs())) ||
+         (IsLower(AndE->rhs()) && IsUpper(AndE->lhs()));
+}
+
+/// True when every trap source in \p X's per-element code already occurs in
+/// \p Y's (both generator lists expressed on the same loop index): any trap
+/// X could hit on an element, Y's code hits first on that same element, so
+/// running X alongside Y traps exactly where Y alone would have. Dense
+/// buckets additionally need their range check guarded by their own
+/// condition, and key counts (evaluated eagerly at loop start) must be
+/// trap-free.
+bool trapCoveredBy(const std::vector<Generator> &X,
+                   const std::vector<Generator> &Y) {
+  std::vector<ExprRef> YNodes;
+  for (const Generator &G : Y)
+    for (const Func *F : {&G.Cond, &G.Key, &G.Value, &G.Reduce})
+      if (F->isSet())
+        visitAll(F->Body,
+                 [&](const ExprRef &N) { YNodes.push_back(N); });
+  auto Occurs = [&](const ExprRef &N) {
+    for (const ExprRef &M : YNodes)
+      if (M.get() == N.get() || structuralEq(M, N))
+        return true;
+    return false;
+  };
+  std::function<bool(const ExprRef &)> Covered =
+      [&](const ExprRef &N) -> bool {
+    if (!mayTrap(N))
+      return true;
+    if (Occurs(N))
+      return true;
+    switch (N->kind()) {
+    case ExprKind::Multiloop:
+    case ExprKind::LoopOut:
+    case ExprKind::ArrayRead:
+      // The node itself is a trap origin and Y never evaluates it.
+      return false;
+    case ExprKind::BinOp: {
+      const auto *B = cast<BinOpExpr>(N);
+      if ((B->op() == BinOpKind::Div || B->op() == BinOpKind::Mod) &&
+          B->type()->isInt())
+        return false;
+      break;
+    }
+    default:
+      break;
+    }
+    for (const ExprRef &C : exprChildren(N))
+      if (!Covered(C))
+        return false;
+    return true;
+  };
+  for (const Generator &G : X) {
+    if (G.NumKeys && mayTrap(G.NumKeys))
+      return false;
+    if (!denseGuarded(G))
+      return false;
+    for (const Func *F : {&G.Cond, &G.Key, &G.Value, &G.Reduce})
+      if (F->isSet() && !Covered(F->Body))
+        return false;
+  }
+  return true;
+}
+
 /// True when running \p ML's per-element code (all generator functions) or
 /// its dense-bucket machinery can hit a fatalError trap. Fusing a lazily
 /// reachable loop makes that code run whenever its fusion partner does, so
@@ -117,6 +242,9 @@ int dmll::horizontalFusion(ExprRef &E, RewriteStats *Stats) {
     Changed = false;
     std::vector<ExprRef> Loops = collectMultiloops(E);
     std::unordered_set<const Expr *> Strict = strictLoops(E);
+    std::vector<std::unordered_set<const Expr *>> RegionStrict;
+    for (const ExprRef &R : evalRegions(E))
+      RegionStrict.push_back(strictLoops(R));
     for (size_t X = 0; X < Loops.size() && !Changed; ++X) {
       const auto *A = cast<MultiloopExpr>(Loops[X]);
       for (size_t Y = X + 1; Y < Loops.size() && !Changed; ++Y) {
@@ -141,13 +269,6 @@ int dmll::horizontalFusion(ExprRef &E, RewriteStats *Stats) {
           Changed = true;
           continue;
         }
-        // Fusion makes each loop run whenever its partner does. That is
-        // only sound for a loop the interpreter was guaranteed to evaluate
-        // anyway (strict position), or whose per-element code cannot trap.
-        if ((!Strict.count(A) && genCodeMayTrap(A)) ||
-            (!Strict.count(B) && genCodeMayTrap(B)))
-          continue;
-
         ExprRef NA = normalizeLoopIndex(Loops[X]);
         ExprRef NB = normalizeLoopIndex(Loops[Y]);
         const auto *MA = cast<MultiloopExpr>(NA);
@@ -182,6 +303,29 @@ int dmll::horizontalFusion(ExprRef &E, RewriteStats *Stats) {
           NG.Value = Retarget(G.Value);
           Gens.push_back(std::move(NG));
         }
+        // Fusion makes each loop run whenever its partner does. Per
+        // direction that is sound when the loop was guaranteed to be
+        // evaluated anyway (strict position), cannot trap, is demanded
+        // whenever its partner is (region containment — k-means' count
+        // pass sits behind the division that also demands the sum pass),
+        // or every trap source in its code occurs in the partner's code
+        // (the count pass re-runs the sum pass's argmin, so the fused
+        // loop traps exactly where the sum pass alone would have).
+        std::vector<Generator> AGens(Gens.begin(),
+                                     Gens.begin() + MA->numGens());
+        std::vector<Generator> BGens(Gens.begin() + MA->numGens(),
+                                     Gens.end());
+        auto DirectionSafe = [&](const MultiloopExpr *L,
+                                 const MultiloopExpr *Partner,
+                                 const std::vector<Generator> &LG,
+                                 const std::vector<Generator> &PG) {
+          return Strict.count(L) || !genCodeMayTrap(L) ||
+                 demandImplies(RegionStrict, Partner, L) ||
+                 trapCoveredBy(LG, PG);
+        };
+        if (!DirectionSafe(A, B, AGens, BGens) ||
+            !DirectionSafe(B, A, BGens, AGens))
+          continue;
         ExprRef Fused = multiloop(MA->size(), std::move(Gens));
         E = replaceFused(E, A, B, Fused,
                          static_cast<unsigned>(MA->numGens()),

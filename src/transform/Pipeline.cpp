@@ -7,6 +7,7 @@
 #include "observe/Trace.h"
 #include "support/Error.h"
 #include "transform/Rules.h"
+#include "transform/loop/LoopTransforms.h"
 
 #include <unordered_map>
 
@@ -222,6 +223,22 @@ CompileResult dmll::compileProgram(const Program &P,
     Res.P.Result = dce(Res.P.Result);
   }
 
+  // 5. Loop-level transforms: IR-changing pieces of the loop layer. Runs
+  // after cleanup so the fused loop structure is final; the precompute
+  // loops it introduces are loop-invariant and get hoisted (emitter) or
+  // bound as columns (engine) rather than re-entering fusion.
+  if (Opts.EnableLoopTransforms) {
+    TraceSpan S("compile.loop-transforms", "phase");
+    Res.Stats.Phase = "loop";
+    int Applied = gatherPrecompute(Res.P, &Res.Stats);
+    if (Applied) {
+      Res.P.Result = cse(Res.P.Result);
+      Res.P.Result = dce(Res.P.Result);
+    }
+    if (S.live())
+      S.argInt("gather-precompute", Applied);
+  }
+
   // Final distribution analysis for the runtime / simulator. For GPU
   // targets this is computed here, *before* the kernel-level Row-to-Column
   // rewrite: distribution happens over the Column-to-Row form, and each
@@ -232,7 +249,7 @@ CompileResult dmll::compileProgram(const Program &P,
   for (const std::string &W : Saved.warnings())
     Res.Partitioning.Diags.warn(W);
 
-  // 5. GPU: always Row-to-Column when possible (scalar reductions fit
+  // 6. GPU: always Row-to-Column when possible (scalar reductions fit
   // shared memory).
   if (Opts.EnableNestedRules &&
       (Opts.T == Target::Gpu || Opts.T == Target::GpuCluster)) {

@@ -19,6 +19,9 @@
 ///   4. GPU targets additionally apply Row-to-Column Reduce whenever
 ///      possible (scalar reductions fit shared memory).
 ///   5. Horizontal fusion, bucket-key sharing, CSE, DCE.
+///   6. Loop-level transforms (transform/loop/LoopTransforms.h): the
+///      gather-precompute rewrite runs here, after fusion has settled, so
+///      its precompute loops are hoisted rather than fused away.
 ///
 /// When a TraceSession (observe/Trace.h) is active, every stage records a
 /// timed "compile.*" phase span with IR node/loop counts, every rewrite
@@ -49,6 +52,7 @@ struct CompileOptions {
   bool EnableHorizontal = true;   ///< horizontal fusion
   bool EnableSoa = true;          ///< AoS-to-SoA + DFE
   bool EnableNestedRules = true;  ///< Fig. 3 rules (Fig. 6's ablation knob)
+  bool EnableLoopTransforms = true; ///< loop layer (transform/loop/)
   int MaxPasses = 6;
 };
 

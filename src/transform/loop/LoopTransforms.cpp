@@ -1,0 +1,292 @@
+//===- transform/loop/LoopTransforms.cpp -----------------------*- C++ -*-===//
+
+#include "transform/loop/LoopTransforms.h"
+
+#include "analysis/Affine.h"
+#include "analysis/Stencil.h"
+#include "codegen/LowerCommon.h"
+#include "ir/Builder.h"
+#include "ir/Traversal.h"
+
+#include <unordered_set>
+
+using namespace dmll;
+
+namespace {
+
+/// True when \p E contains an operation whose per-use cost dominates a load
+/// (division, modulo, or a libm call) — the profitability bar for
+/// precomputing a gathered value.
+bool hasExpensiveOp(const ExprRef &E) {
+  bool Found = false;
+  visitAll(E, [&](const ExprRef &Node) {
+    if (const auto *B = dyn_cast<BinOpExpr>(Node)) {
+      if (B->op() == BinOpKind::Div || B->op() == BinOpKind::Mod)
+        Found = true;
+    } else if (const auto *U = dyn_cast<UnOpExpr>(Node)) {
+      if (U->op() == UnOpKind::Exp || U->op() == UnOpKind::Log ||
+          U->op() == UnOpKind::Sqrt)
+        Found = true;
+    }
+  });
+  return Found;
+}
+
+/// All reads `A[Idx]` in \p V whose index is structurally \p G and whose
+/// array does not depend on \p IdxSym (so the read can move to a precompute
+/// loop). Returns the distinct array operands in first-seen order.
+std::vector<ExprRef> gatheredArrays(const ExprRef &V, const ExprRef &G,
+                                    uint64_t IdxSym) {
+  std::vector<ExprRef> Arrays;
+  visitAll(V, [&](const ExprRef &Node) {
+    const auto *Rd = dyn_cast<ArrayReadExpr>(Node);
+    if (!Rd || !structuralEq(Rd->index(), G))
+      return;
+    if (freeSyms(Rd->array()).count(IdxSym))
+      return;
+    for (const ExprRef &A : Arrays)
+      if (A.get() == Rd->array().get() || structuralEq(A, Rd->array()))
+        return;
+    Arrays.push_back(Rd->array());
+  });
+  return Arrays;
+}
+
+/// Replaces every read `A[G]` (for A in \p Arrays) inside \p V by
+/// \p MakeRead(A, original index).
+ExprRef replaceGatherReads(
+    const ExprRef &V, const ExprRef &G, const std::vector<ExprRef> &Arrays,
+    const std::function<ExprRef(const ExprRef &, const ExprRef &)> &MakeRead) {
+  return transformBottomUp(V, [&](const ExprRef &Node) -> ExprRef {
+    const auto *Rd = dyn_cast<ArrayReadExpr>(Node);
+    if (!Rd || !structuralEq(Rd->index(), G))
+      return Node;
+    for (const ExprRef &A : Arrays)
+      if (A.get() == Rd->array().get() || structuralEq(A, Rd->array()))
+        return MakeRead(Rd->array(), Rd->index());
+    return Node;
+  });
+}
+
+/// Attempts the gather-precompute rewrite on one generator value function.
+/// Returns the rewritten function, or an unset Func when it does not apply.
+Func tryGatherPrecompute(const Func &Value) {
+  if (!Value.isSet() || Value.arity() != 1)
+    return Func();
+  const ExprRef &V = Value.Body;
+  if (!V->type()->isScalar())
+    return Func();
+  uint64_t Idx = Value.Params[0]->id();
+
+  // Candidate gather indices: every data-dependent read index. The rewrite
+  // targets true indirection, so the index must itself contain a read
+  // (`edges[off + i]` in PageRank), not just the loop variable.
+  std::vector<ExprRef> Candidates;
+  visitAll(V, [&](const ExprRef &Node) {
+    const auto *Rd = dyn_cast<ArrayReadExpr>(Node);
+    if (!Rd)
+      return;
+    const ExprRef &G = Rd->index();
+    if (!freeSyms(G).count(Idx))
+      return;
+    bool HasRead = false;
+    visitAll(G, [&](const ExprRef &N) { HasRead |= isa<ArrayReadExpr>(N); });
+    if (!HasRead)
+      return;
+    for (const ExprRef &C : Candidates)
+      if (structuralEq(C, G))
+        return;
+    Candidates.push_back(G);
+  });
+
+  for (const ExprRef &G : Candidates) {
+    std::vector<ExprRef> Arrays = gatheredArrays(V, G, Idx);
+    if (Arrays.empty())
+      continue;
+    // The arrays must themselves be safe to enumerate (no traps while
+    // building the precompute input lengths).
+    bool ArraysSafe = true;
+    for (const ExprRef &A : Arrays)
+      ArraysSafe &= !mayTrap(A);
+    if (!ArraysSafe)
+      continue;
+
+    // Residual check: with each gathered read abstracted to a plain symbol,
+    // the value must not mention the loop index — then the whole value
+    // moves to the precompute loop. The residual must also be trap-free
+    // (it will run speculatively for every in-bounds element, gathered or
+    // not; the reads themselves become in-bounds by the Min-chain size).
+    ExprRef Residual = replaceGatherReads(
+        V, G, Arrays, [&](const ExprRef &A, const ExprRef &) {
+          return ExprRef(freshSym("gp.elem", A->type()->elem()));
+        });
+    if (freeSyms(Residual).count(Idx))
+      continue;
+    if (mayTrap(Residual))
+      continue;
+    if (!hasExpensiveOp(Residual))
+      continue;
+
+    // Build the precompute loop over the common valid index range.
+    ExprRef Size = arrayLen(Arrays[0]);
+    for (size_t I = 1; I < Arrays.size(); ++I)
+      Size = binop(BinOpKind::Min, Size, arrayLen(Arrays[I]));
+    SymRef J = freshSym("gp.j", Type::i64());
+    ExprRef PreBody = replaceGatherReads(
+        V, G, Arrays, [&](const ExprRef &A, const ExprRef &) {
+          return arrayRead(A, ExprRef(J));
+        });
+    Generator PG;
+    PG.Kind = GenKind::Collect;
+    PG.Value = Func({J}, PreBody);
+    ExprRef Pre = singleLoop(std::move(Size), std::move(PG));
+
+    // The value becomes a single gather of the precomputed array.
+    return Func(Value.Params, arrayRead(Pre, G));
+  }
+  return Func();
+}
+
+} // namespace
+
+int dmll::gatherPrecompute(Program &P, RewriteStats *Stats,
+                           const LoopTransformOptions &Opts) {
+  if (!Opts.EnableGatherPrecompute)
+    return 0;
+  int Applied = 0;
+  P.Result = transformBottomUp(P.Result, [&](const ExprRef &Node) -> ExprRef {
+    const auto *ML = dyn_cast<MultiloopExpr>(Node);
+    if (!ML)
+      return Node;
+    bool Changed = false;
+    std::vector<Generator> Gens;
+    Gens.reserve(ML->numGens());
+    for (const Generator &G : ML->gens()) {
+      Generator NG = G;
+      Func NewValue = tryGatherPrecompute(G.Value);
+      if (NewValue.isSet()) {
+        NG.Value = std::move(NewValue);
+        Changed = true;
+        ++Applied;
+      }
+      Gens.push_back(std::move(NG));
+    }
+    if (!Changed)
+      return Node;
+    ExprRef Rewritten = multiloop(ML->size(), std::move(Gens));
+    if (Stats)
+      Stats->recordApplication("gather-precompute", Applied, Node, Rewritten);
+    return Rewritten;
+  });
+  return Applied;
+}
+
+bool dmll::simdSafeLoopBody(const ExprRef &Body, const SymRef &Idx) {
+  if (!Body->type()->isScalar())
+    return false;
+  std::unordered_set<uint64_t> LoopSyms{Idx->id()};
+  // Loop-invariant subtrees are pruned wholesale: the emitter hoists them
+  // above the loop, so a reference to (say) a multiloop-produced array does
+  // not put a loop in the body — only index-dependent code runs per lane.
+  std::function<bool(const ExprRef &)> Safe = [&](const ExprRef &E) -> bool {
+    if (!freeSyms(E).count(Idx->id()))
+      return true;
+    switch (E->kind()) {
+    case ExprKind::Multiloop:
+    case ExprKind::LoopOut:
+    case ExprKind::MakeStruct:
+    case ExprKind::Flatten:
+      // Not straight-line scalar code once emitted.
+      return false;
+    case ExprKind::BinOp: {
+      const auto *B = cast<BinOpExpr>(E);
+      // An integer division's trap must not be subject to the compiler's
+      // vector reordering.
+      if ((B->op() == BinOpKind::Div || B->op() == BinOpKind::Mod) &&
+          B->lhs()->type()->isInt())
+        return false;
+      break;
+    }
+    case ExprKind::ArrayRead: {
+      const auto *Rd = cast<ArrayReadExpr>(E);
+      if (freeSyms(Rd->array()).count(Idx->id()))
+        return false; // which array is read varies per iteration
+      // Loop-varying reads must stream (affine in the index), not gather.
+      if (!decomposeAffine(Rd->index(), LoopSyms).IsAffine)
+        return false;
+      return Safe(Rd->index());
+    }
+    default:
+      break;
+    }
+    for (const ExprRef &C : exprChildren(E))
+      if (!Safe(C))
+        return false;
+    return true;
+  };
+  return Safe(Body);
+}
+
+LoopTransformPlan dmll::planLoopTransforms(const Program &P,
+                                           const LoopTransformOptions &Opts) {
+  LoopTransformPlan Plan;
+  for (const ExprRef &Loop : collectMultiloops(P.Result)) {
+    const auto *ML = cast<MultiloopExpr>(Loop);
+    // Stencil gate for vector hints: a loop with an Unknown read stencil
+    // gathers data-dependently somewhere; the Affine per-read check below
+    // re-derives the same fact per generator, but the stencil summary lets
+    // a clean loop skip straight through.
+    LoopStencils LS = computeStencils(Loop);
+    bool AnyUnknown = false;
+    for (const StencilEntry &E : LS.Entries)
+      AnyUnknown |= E.S == Stencil::Unknown && !E.AffineStrided;
+
+    std::vector<GenLoopPlan> Gens(ML->numGens());
+    bool Any = false;
+    for (size_t I = 0; I < ML->numGens(); ++I) {
+      const Generator &G = ML->gen(I);
+      GenLoopPlan &GP = Gens[I];
+      if (!G.Value.isSet() || G.Value.arity() != 1)
+        continue;
+      bool CondTrue = isTrueCond(G.Cond);
+      bool ScalarVal =
+          lower::scalarKindOf(*G.Value.Body->type()) != lower::ScalarKind::NotScalar;
+      bool SimdSafe = !AnyUnknown && Opts.EnableSimdHints &&
+                      simdSafeLoopBody(G.Value.Body, G.Value.Params[0]);
+      switch (G.Kind) {
+      case GenKind::Collect:
+        if (CondTrue && ScalarVal && Opts.EnableIndexedStore) {
+          GP.IndexedStore = true;
+          GP.SimdHint = SimdSafe;
+        }
+        break;
+      case GenKind::Reduce:
+        // Strip-mining pays only when the value computation is expensive
+        // (division or a libm call serializes the scalar pipeline); for
+        // cheap bodies the lane-buffer spill costs more than it saves,
+        // especially at short trip counts (k-means' 20-column distances).
+        if (CondTrue && ScalarVal && Opts.EnableStripMine &&
+            hasExpensiveOp(G.Value.Body))
+          GP.StripMine = SimdSafe;
+        if (CondTrue && Opts.EnableAccHoist &&
+            G.Value.Body->type()->isArray()) {
+          // Vector accumulators (the emitter's in-place add): size once
+          // before the loop; two-level accumulators also flatten into one
+          // row-major buffer. The emitter re-checks mechanically that the
+          // reduce is the in-place-add shape and the sizes are emittable
+          // at the loop header.
+          GP.HoistAccInit = true;
+          GP.FlattenAcc = G.Value.Body->type()->elem()->isArray();
+        }
+        break;
+      default:
+        break;
+      }
+      Any |= GP.IndexedStore || GP.SimdHint || GP.StripMine ||
+             GP.HoistAccInit || GP.FlattenAcc;
+    }
+    if (Any)
+      Plan.Gens.emplace(Loop.get(), std::move(Gens));
+  }
+  return Plan;
+}

@@ -1,0 +1,111 @@
+//===- transform/loop/LoopTransforms.h - Loop-level transforms -*- C++ -*-===//
+//
+// Part of the DMLL reproduction of Brown et al., CGO 2016.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The loop-transform layer: runs after the rewrite pipeline
+/// (transform/Pipeline.h) and ahead of both backends, closing the gap
+/// between pattern-shaped loops and the hand-written C++ of Table 2. It has
+/// two halves:
+///
+///  1. An IR-level rewrite, gatherPrecompute(): a reduction (or collect)
+///     whose value gathers several invariant arrays through one
+///     data-dependent index — `ranks[e] / max(outdeg[e], 1)` in PageRank —
+///     is rewritten to gather a single precomputed array instead. The
+///     precompute loop is loop-invariant, so the C++ emitter hoists it out
+///     by code motion and the kernel engine binds it as a column; the
+///     per-element division collapses to one load. The transform preserves
+///     bit-identical results: the same operations run on the same values,
+///     only earlier and once per element instead of once per use.
+///
+///  2. An analysis, planLoopTransforms(), that decides per generator which
+///     emitter-level loop transforms are legal (see codegen/CppEmitter.cpp
+///     for how each plan bit changes the emitted C++):
+///       - IndexedStore: collects with a trivially-true condition write
+///         `out[i] = v` into a pre-sized buffer instead of push_back.
+///       - SimdHint: `#pragma omp simd` on loops whose body is straight-line
+///         with affine reads (legality driven by the Stencil and Affine
+///         analyses: an Unknown read stencil marks a gather and disables
+///         the hint).
+///       - StripMine: scalar reductions compute a short vectorizable lane
+///         buffer of values, then fold it sequentially in index order —
+///         the accumulation order is unchanged, so the result stays
+///         bit-identical even for floats.
+///       - HoistAccInit / FlattenAcc: vector (and matrix) accumulators of
+///         in-place add reductions are sized once before the loop instead
+///         of per iteration, and two-level accumulators become one flat
+///         row-major buffer (materialized back on loop exit).
+///
+/// Every decision here must keep results bit-identical to the untransformed
+/// interpreter (tests/CodegenTest.cpp and the fuzz oracle enforce this), so
+/// float reassociation is never introduced: simd hints go only on loops
+/// whose iterations write disjoint slots, and reductions vectorize the
+/// value computation, never the accumulation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DMLL_TRANSFORM_LOOP_LOOPTRANSFORMS_H
+#define DMLL_TRANSFORM_LOOP_LOOPTRANSFORMS_H
+
+#include "ir/Expr.h"
+#include "transform/Rewriter.h"
+
+#include <map>
+#include <vector>
+
+namespace dmll {
+
+/// Ablation switches for the loop-transform layer; defaults enable all.
+struct LoopTransformOptions {
+  bool EnableGatherPrecompute = true;
+  bool EnableIndexedStore = true;
+  bool EnableSimdHints = true;
+  bool EnableStripMine = true;
+  bool EnableAccHoist = true;
+};
+
+/// Per-generator emitter decisions (all default to "emit as before").
+struct GenLoopPlan {
+  bool IndexedStore = false; ///< Collect: pre-size and store by index.
+  bool SimdHint = false;     ///< `#pragma omp simd` on the emitted loop.
+  bool StripMine = false;    ///< Scalar reduce: lane-buffer the values.
+  bool HoistAccInit = false; ///< In-place add: size the accumulator once.
+  bool FlattenAcc = false;   ///< 2-level in-place add: flat row-major acc.
+};
+
+/// Transform decisions for every multiloop of a program, keyed by loop node
+/// (plans are parallel to MultiloopExpr::gens()).
+struct LoopTransformPlan {
+  std::map<const Expr *, std::vector<GenLoopPlan>> Gens;
+
+  /// Plans for \p Loop, or nullptr when nothing applies.
+  const std::vector<GenLoopPlan> *plansFor(const Expr *Loop) const {
+    auto It = Gens.find(Loop);
+    return It == Gens.end() ? nullptr : &It->second;
+  }
+};
+
+/// True when \p Body (a generator body over index symbol \p Idx) is safe
+/// and profitable under `#pragma omp simd`: straight-line scalar code (no
+/// nested loops or struct values), no integer division (whose trap must not
+/// be speculated), and every array read affine in \p Idx per the Affine
+/// analysis, so the loop streams instead of gathers.
+bool simdSafeLoopBody(const ExprRef &Body, const SymRef &Idx);
+
+/// Applies the gather-precompute rewrite everywhere it is legal and
+/// profitable in \p P. Returns the number of rewritten generators;
+/// applications are recorded in \p Stats as "gather-precompute".
+int gatherPrecompute(Program &P, RewriteStats *Stats = nullptr,
+                     const LoopTransformOptions &Opts = {});
+
+/// Decides the emitter-level transforms for every multiloop in \p P.
+/// Legality is driven by the Stencil/Affine analyses (via simdSafeLoopBody
+/// and the read-stencil classification of each loop).
+LoopTransformPlan planLoopTransforms(const Program &P,
+                                     const LoopTransformOptions &Opts = {});
+
+} // namespace dmll
+
+#endif // DMLL_TRANSFORM_LOOP_LOOPTRANSFORMS_H

@@ -18,6 +18,13 @@
 //                   timer noise (default 0.05)
 //   --baseline P    baseline path for --check (default ./BENCH_perf.json)
 //   --check         single-file gate mode against the committed baseline
+//   --speedup       compare the records' speedup field instead of raw ms
+//                   (benchmark documents only). Speedups are normalized
+//                   against a reference measured in the same run, so the
+//                   gate is insensitive to machine load; a regression is a
+//                   speedup that *shrank* by more than the threshold factor.
+//                   This is how BENCH_table2.json (generated C++ vs
+//                   hand-written, per app) is gated.
 //
 // Exit codes: 0 no regressions, 1 regressions found, 2 usage/parse error.
 //
@@ -40,8 +47,10 @@ using TimingMap = std::map<std::string, double>;
 
 /// Profile docs key loops by "loop:<sig>#<occurrence>/<engine>" (already
 /// precomputed in the document); bench docs get
-/// "bench:<pattern>/<engine>/t<threads>".
-bool extractTimings(const JValue &Doc, TimingMap &Out, std::string &Kind) {
+/// "bench:<pattern>/<engine>/t<threads>". \p Speedups (may be null)
+/// additionally collects each bench record's speedup field when present.
+bool extractTimings(const JValue &Doc, TimingMap &Out, std::string &Kind,
+                    TimingMap *Speedups) {
   if (Doc.strField("schema") == "dmll-profile-v1") {
     Kind = "profile";
     if (const JValue *Loops = Doc.field("loops"))
@@ -60,19 +69,22 @@ bool extractTimings(const JValue &Doc, TimingMap &Out, std::string &Kind) {
                         std::to_string(
                             static_cast<long long>(R.numField("threads", 1)));
       Out[Key] = R.numField("ms");
+      if (Speedups && R.field("speedup"))
+        (*Speedups)[Key] = R.numField("speedup");
     }
     return true;
   }
   return false;
 }
 
-bool loadTimings(const std::string &Path, TimingMap &Out, std::string &Kind) {
+bool loadTimings(const std::string &Path, TimingMap &Out, std::string &Kind,
+                 TimingMap *Speedups = nullptr) {
   JValue Doc;
   if (!dmll::json::parseFile(Path, Doc)) {
     std::fprintf(stderr, "dmll-prof: cannot read or parse %s\n", Path.c_str());
     return false;
   }
-  if (!extractTimings(Doc, Out, Kind)) {
+  if (!extractTimings(Doc, Out, Kind, Speedups)) {
     std::fprintf(stderr,
                  "dmll-prof: %s is neither a dmll-profile-v1 document nor a "
                  "benchmark record document\n",
@@ -85,8 +97,8 @@ bool loadTimings(const std::string &Path, TimingMap &Out, std::string &Kind) {
 void usage() {
   std::fprintf(
       stderr,
-      "usage: dmll-prof [--threshold R] [--min-ms M] BASELINE.json "
-      "CURRENT.json\n"
+      "usage: dmll-prof [--speedup] [--threshold R] [--min-ms M] "
+      "BASELINE.json CURRENT.json\n"
       "       dmll-prof --check [--threshold R] [--min-ms M] [--baseline P] "
       "CURRENT.json\n");
 }
@@ -97,6 +109,7 @@ int main(int Argc, char **Argv) {
   double Threshold = 1.5;
   double MinMs = 0.05;
   bool Check = false;
+  bool SpeedupMode = false;
   std::string BaselinePath = "BENCH_perf.json";
   std::vector<std::string> Files;
 
@@ -112,6 +125,8 @@ int main(int Argc, char **Argv) {
     };
     if (A == "--check") {
       Check = true;
+    } else if (A == "--speedup") {
+      SpeedupMode = true;
     } else if (const char *V = TakeValue("--threshold")) {
       Threshold = std::atof(V);
     } else if (const char *V = TakeValue("--min-ms")) {
@@ -146,11 +161,67 @@ int main(int Argc, char **Argv) {
     return 2;
   }
 
-  TimingMap BaseT, CurT;
+  TimingMap BaseT, CurT, BaseS, CurS;
   std::string BaseKind, CurKind;
-  if (!loadTimings(Base, BaseT, BaseKind) ||
-      !loadTimings(Cur, CurT, CurKind))
+  if (!loadTimings(Base, BaseT, BaseKind, &BaseS) ||
+      !loadTimings(Cur, CurT, CurKind, &CurS))
     return 2;
+
+  if (SpeedupMode) {
+    // Speedup gate: both documents must be benchmark records carrying
+    // speedup fields. A regression is an entry whose speedup shrank by
+    // more than the threshold factor; raw ms differences are ignored
+    // (both sides of a speedup come from the same run, so machine load
+    // cancels). Entries whose baseline reference time is under --min-ms
+    // are skipped as timer noise.
+    if (BaseS.empty() || CurS.empty()) {
+      std::fprintf(stderr,
+                   "dmll-prof: --speedup needs benchmark documents with "
+                   "speedup fields (%zu baseline, %zu current entries)\n",
+                   BaseS.size(), CurS.size());
+      return 2;
+    }
+    std::printf("%-54s %10s %10s %8s  %s\n", "entry", "base(x)", "cur(x)",
+                "ratio", "status");
+    int Regressions = 0, Compared = 0, Skipped = 0;
+    for (const auto &[Key, BaseX] : BaseS) {
+      auto It = CurS.find(Key);
+      if (It == CurS.end()) {
+        std::printf("%-54s %10.3f %10s %8s  removed\n", Key.c_str(), BaseX,
+                    "-", "-");
+        continue;
+      }
+      auto MsIt = BaseT.find(Key);
+      if (BaseX <= 0 ||
+          (MsIt != BaseT.end() && MsIt->second < MinMs)) {
+        ++Skipped;
+        continue;
+      }
+      ++Compared;
+      double CurX = It->second;
+      double Ratio = CurX / BaseX;
+      const char *Status = "ok";
+      if (Ratio < 1.0 / Threshold) {
+        Status = "REGRESSION";
+        ++Regressions;
+      } else if (Ratio > Threshold) {
+        Status = "improved";
+      }
+      std::printf("%-54s %10.3f %10.3f %8.2f  %s\n", Key.c_str(), BaseX,
+                  CurX, Ratio, Status);
+    }
+    if (Compared == 0) {
+      std::fprintf(stderr,
+                   "dmll-prof: no comparable speedup entries — the two "
+                   "documents do not describe the same benchmark\n");
+      return 2;
+    }
+    std::printf("\n%d compared, %d skipped, %d regression%s (speedup may "
+                "shrink at most %.2fx)\n",
+                Compared, Skipped, Regressions,
+                Regressions == 1 ? "" : "s", Threshold);
+    return Regressions ? 1 : 0;
+  }
 
   if (BaseT.empty() || CurT.empty()) {
     std::printf("dmll-prof: nothing to compare (%zu baseline, %zu current "

@@ -14,8 +14,14 @@
 # --check is the perf-regression gate (the perf_smoke ctest): it reruns
 # micro_patterns into a temp directory and diffs it against the committed
 # BENCH_perf.json with tools/dmll-prof, failing when any pattern got more
-# than DMLL_PROF_THRESHOLD (default 3.0) times slower. The committed
-# reference files are not touched in this mode.
+# than DMLL_PROF_THRESHOLD (default 3.0) times slower. It then reruns
+# table2_sequential and gates the per-app generated-C++-vs-hand-written
+# speedups against the committed BENCH_table2.json (dmll-prof --speedup):
+# an app whose speedup shrank by more than DMLL_TABLE2_THRESHOLD (default
+# 2.0) fails the gate. Speedups are measured against a reference in the
+# same run, so this second gate is insensitive to absolute machine load.
+# Set DMLL_CHECK_TABLE2=0 to skip it. The committed reference files are
+# not touched in this mode.
 #
 # The record format is documented in bench/bench_json.h; the engine design
 # in docs/EXECUTION.md; the gate workflow in docs/PROFILING.md.
@@ -50,6 +56,16 @@ if [ "$CHECK" = 1 ]; then
   "$BUILD_DIR/bench/micro_patterns" --json-out "$TMP_DIR/BENCH_perf.json"
   "$BUILD_DIR/tools/dmll-prof" --threshold "$THRESHOLD" \
     "$ROOT/BENCH_perf.json" "$TMP_DIR/BENCH_perf.json"
+
+  if [ "${DMLL_CHECK_TABLE2:-1}" = 1 ] && \
+     [ -x "$BUILD_DIR/bench/table2_sequential" ] && \
+     [ -f "$ROOT/BENCH_table2.json" ]; then
+    T2_THRESHOLD=${DMLL_TABLE2_THRESHOLD:-2.0}
+    echo "== table2 check: per-app speedup vs committed BENCH_table2.json (threshold ${T2_THRESHOLD}x) =="
+    "$BUILD_DIR/bench/table2_sequential" --json-out "$TMP_DIR/BENCH_table2.json" > /dev/null
+    "$BUILD_DIR/tools/dmll-prof" --speedup --threshold "$T2_THRESHOLD" \
+      "$ROOT/BENCH_table2.json" "$TMP_DIR/BENCH_table2.json"
+  fi
   exit 0
 fi
 
