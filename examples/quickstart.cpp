@@ -11,10 +11,14 @@
 // Build and run:
 //   ./build/examples/quickstart [--trace-out trace.json]
 //                               [--profile-out p.json] [--engine MODE]
+//                               [--tune-out t.json] [--tune-in t.json]
 // where MODE is interp (boxed reference interpreter), kernel (compiled
 // register bytecode, docs/EXECUTION.md), or auto (the default: kernels for
 // non-tiny loops, interpreter otherwise). The profile JSON is the
 // dmll-profile-v1 document tools/dmll-prof diffs for regressions.
+// --tune-out searches per-loop execution knobs with the autotuner and
+// writes the dmll-tune-v1 artifact; --tune-in replays a saved artifact
+// through the executor (docs/TUNING.md).
 //
 //===----------------------------------------------------------------------===//
 
@@ -27,6 +31,7 @@
 #include "runtime/Executor.h"
 #include "runtime/ProfileJson.h"
 #include "transform/Pipeline.h"
+#include "tune/Tuner.h"
 
 #include <cstdio>
 
@@ -80,8 +85,44 @@ int main(int Argc, char **Argv) {
     Data.push_back(I * 0.1);
   InputMap Inputs{{"xs", Value::arrayOfDoubles(Data)}};
   Value Seq = evalProgram(CR.P, Inputs);
-  ExecutionReport R = executeProgram(P, Inputs, Opts, 4, Mode,
-                                     /*MinChunk=*/128);
+
+  // Optional autotuning (docs/TUNING.md): --tune-out searches per-loop
+  // knobs and persists the decisions; --tune-in replays a saved artifact.
+  ExecOptions Exec;
+  Exec.Threads = 4;
+  Exec.Mode = Mode;
+  Exec.MinChunk = 128;
+  tune::DecisionTable Decisions;
+  std::string TuneOut = tune::tuneArgPath(Argc, Argv, "tune-out");
+  std::string TuneIn = tune::tuneArgPath(Argc, Argv, "tune-in");
+  if (!TuneOut.empty()) {
+    tune::TuneOptions TO;
+    TO.Compile = Opts;
+    TO.Threads = Exec.Threads;
+    TO.Mode = Mode;
+    TO.MinChunk = Exec.MinChunk;
+    tune::TuningProfile TP = tune::tuneProgram("quickstart", P, Inputs, TO);
+    if (tune::writeTuningProfile(TuneOut, TP))
+      std::printf("wrote tuning artifact to %s (%zu tuned loop(s), "
+                  "baseline %.3f ms, tuned %.3f ms)\n",
+                  TuneOut.c_str(), TP.Loops.size(), TP.BaselineMs,
+                  TP.TunedMs);
+    Decisions = TP.decisions();
+    Exec.Tuning = Decisions.empty() ? nullptr : &Decisions;
+  } else if (!TuneIn.empty()) {
+    tune::TuningProfile TP;
+    if (tune::readTuningProfile(TuneIn, TP)) {
+      Decisions = TP.decisions();
+      Exec.Tuning = Decisions.empty() ? nullptr : &Decisions;
+      std::printf("replaying %zu tuned decision(s) from %s\n",
+                  TP.Loops.size(), TuneIn.c_str());
+    } else {
+      std::fprintf(stderr, "failed to read tuning artifact %s\n",
+                   TuneIn.c_str());
+    }
+  }
+
+  ExecutionReport R = executeProgram(P, Inputs, Opts, Exec);
   std::printf("\nmean of squares of positives: sequential %.6f, "
               "4 threads (%s engine) %.6f\n",
               Seq.asFloat(), engine::engineModeName(Mode),

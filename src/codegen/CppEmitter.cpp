@@ -30,7 +30,7 @@ class Emitter {
 public:
   Emitter(const Program &P, const CppEmitOptions &Opts) : P(P), Opts(Opts) {
     if (Opts.EnableLoopTransforms)
-      Plan = planLoopTransforms(P);
+      Plan = planLoopTransforms(P, {}, Opts.Tuning);
   }
 
   std::string run();
@@ -254,10 +254,26 @@ private:
       // Note: operands are emitted as (possibly hoisted) values, so both
       // arms are evaluated; generated arms must be trap-free (pure pattern
       // code is).
-      return define(E, Cur,
-                    "(" + emit(S->cond(), Cur) + ") ? (" +
-                        emit(S->trueVal(), Cur) + ") : (" +
-                        emit(S->falseVal(), Cur) + ")");
+      std::string C = emit(S->cond(), Cur);
+      std::string T = emit(S->trueVal(), Cur);
+      std::string F = emit(S->falseVal(), Cur);
+      if (E->type()->isStruct()) {
+        // A whole-struct ternary compiles to stack stores that keep the
+        // value out of registers across loop iterations (the k-means
+        // argmin accumulator ran ~35% slower than the hand-written
+        // two-register form because of this — docs/CODEGEN.md). Selecting
+        // each field yields per-field cmovs instead.
+        std::string Init = cType(E->type()) + "{";
+        for (size_t I = 0; I < E->type()->fields().size(); ++I) {
+          const Type::Field &Fl = E->type()->fields()[I];
+          if (I)
+            Init += ", ";
+          Init += "(" + C + ") ? (" + T + "." + Fl.Name + ") : (" + F +
+                  "." + Fl.Name + ")";
+        }
+        return define(E, Cur, Init + "}");
+      }
+      return define(E, Cur, "(" + C + ") ? (" + T + ") : (" + F + ")");
     }
     case ExprKind::Cast: {
       const auto *C = cast<CastExpr>(E);

@@ -40,6 +40,10 @@
 
 namespace dmll {
 
+namespace tune {
+class DecisionTable;
+} // namespace tune
+
 /// Code generation options.
 struct CppEmitOptions {
   /// Timed repetitions of the whole computation in the generated main().
@@ -48,6 +52,9 @@ struct CppEmitOptions {
   /// stores, `#pragma omp simd` hints, strip-mined reductions, hoisted and
   /// flattened accumulators. Off emits the plain per-generator loops.
   bool EnableLoopTransforms = true;
+  /// Per-loop tuning decisions (tune/Decision.h): loops flagged
+  /// NoLoopTransforms get no plan bits. Null emits untuned.
+  const tune::DecisionTable *Tuning = nullptr;
 };
 
 /// Emits the full standalone C++ source for \p P.

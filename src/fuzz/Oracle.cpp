@@ -6,6 +6,7 @@
 #include "interp/Interp.h"
 #include "transform/Pipeline.h"
 #include "transform/Soa.h"
+#include "tune/Tuner.h"
 
 #include <algorithm>
 #include <cerrno>
@@ -213,6 +214,15 @@ RunResult execConfig(const FuzzCase &C, const ExecConfig &Cfg) {
   engine::KernelStats Stats;
   if (EO.Mode == engine::EngineMode::Kernel)
     EO.Kernels = &Stats;
+  // The tuned configuration installs a deterministic mixed-engine decision
+  // table: some loops pinned to the kernel VM (wide and scalar), the rest
+  // to the interpreter, with Threads/MinChunk matching the globals so
+  // chunk boundaries — and float reassociation — are unchanged.
+  tune::DecisionTable Tuned;
+  if (Cfg.Tuned) {
+    Tuned = tune::syntheticDecisions(*P, Cfg.Threads, Cfg.MinChunk);
+    EO.Tuning = &Tuned;
+  }
   R.Out = evalProgramWith(*P, Cfg.Optimize ? Adapted : C.Inputs, EO);
   R.Fallbacks = std::move(Stats.Fallbacks);
   // Workers race to compile nested loops first, so the recording order is
@@ -236,6 +246,7 @@ std::vector<ExecConfig> dmll::fuzz::defaultConfigs() {
       {"kernel-unopt-1t", E::Kernel, false, true, 1, 1024},
       {"kernel-unopt-4t", E::Kernel, false, true, 4, 4},
       {"kernel-opt-4t", E::Kernel, true, true, 4, 4},
+      {"tuned-mixed-4t", E::Interp, false, true, 4, 4, true},
       {"ref", E::Ref, false, true, 1, 1024},
   };
 }
@@ -508,6 +519,29 @@ Verdict dmll::fuzz::runDifferential(const FuzzCase &C, double Tol,
       V.Divergences.push_back(
           {DivergenceKind::FallbackAsymmetry, Configs[I].Name, Detail});
     }
+  }
+
+  // Tuned decisions must be bit-identical to the untuned interpreter at
+  // the same globals: the decision table only moves loops between engines
+  // (bit-identical by the engine guarantee) and restates the global
+  // Threads/MinChunk, so the comparison tolerance is exactly zero.
+  int TunedIdx = -1, UntunedIdx = -1;
+  for (size_t I = 0; I < Configs.size(); ++I) {
+    if (Configs[I].Optimize || Results[I].Status != RunStatus::Ok)
+      continue;
+    if (Configs[I].Tuned)
+      TunedIdx = static_cast<int>(I);
+    else if (Configs[I].E == ExecConfig::Engine::Interp &&
+             Configs[I].Threads > 1)
+      UntunedIdx = static_cast<int>(I);
+  }
+  if (TunedIdx >= 0 && UntunedIdx >= 0 &&
+      !oracleEquals(Results[static_cast<size_t>(UntunedIdx)].Out,
+                    Results[static_cast<size_t>(TunedIdx)].Out, 0.0)) {
+    V.Divergences.push_back(
+        {DivergenceKind::WrongValue, Configs[static_cast<size_t>(TunedIdx)].Name,
+         "tuned decisions not bit-identical to " +
+             Configs[static_cast<size_t>(UntunedIdx)].Name});
   }
   return V;
 }

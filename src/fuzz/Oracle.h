@@ -8,8 +8,10 @@
 /// The differential oracle: runs one generated program through several
 /// executor configurations — unoptimized interpreter (the Fig. 2(b) ground
 /// truth), interpreter after the full rewrite pipeline, kernel VM at
-/// several thread counts, and the independent mini evaluator — and checks
-/// that every configuration agrees. Each configuration runs in a forked
+/// several thread counts, a tuned configuration executing a synthetic
+/// per-loop decision table (tune/Tuner.h syntheticDecisions — mixed
+/// engines, globals pinned so chunking matches), and the independent mini
+/// evaluator — and checks that every configuration agrees. Each configuration runs in a forked
 /// child because fatalError() aborts: the child serializes its result over
 /// a pipe and the parent classifies the exit status (clean exit = Ok,
 /// SIGABRT with a "dmll fatal error:" banner = Trap, any other signal =
@@ -74,6 +76,10 @@ struct ExecConfig {
   bool LoopTransforms = true;
   unsigned Threads = 1;
   int64_t MinChunk = 1024;
+  /// Execute under a synthetic per-loop decision table (mixed engines,
+  /// Threads/MinChunk pinned to the globals above). Results must stay
+  /// bit-identical to the untuned interpreter at the same globals.
+  bool Tuned = false;
 };
 
 /// The standard matrix; the first entry is the baseline (unoptimized

@@ -59,7 +59,9 @@ public:
   Evaluator(const InputMap &Inputs, const EvalOptions &Opts, ThreadPool *Pool)
       : Inputs(Inputs), Threads(Opts.Threads ? Opts.Threads : 1),
         MinChunk(Opts.MinChunk), Profile(Opts.Profile), Mode(Opts.Mode),
-        WideKernels(Opts.WideKernels), KStats(Opts.Kernels), Pool(Pool) {}
+        WideKernels(Opts.WideKernels), KStats(Opts.Kernels),
+        Tuning(Opts.Tuning && !Opts.Tuning->empty() ? Opts.Tuning : nullptr),
+        Pool(Pool) {}
 
   Value evalTop(const ExprRef &E) {
     Scope Global;
@@ -74,6 +76,8 @@ private:
   engine::EngineMode Mode = engine::EngineMode::Interp;
   bool WideKernels = true;
   engine::KernelStats *KStats = nullptr;
+  /// Per-loop tuning decisions (tune/Decision.h); null when untuned.
+  const tune::DecisionTable *Tuning = nullptr;
   ThreadPool *Pool = nullptr;
   /// Compiled kernels (or recorded compile failures) per multiloop node.
   struct KernelEntry {
@@ -407,8 +411,11 @@ private:
   /// rejected it; the caller then takes the interpreter path. On success,
   /// \p OtherWorkers accumulates chunk counters from non-driver workers and
   /// \p WasParallel reports whether the launch took the chunked path.
+  /// \p EffThreads / \p EffChunk / \p EffWide are the loop's effective
+  /// knobs after any per-loop tuning decision was applied.
   bool tryKernel(const ExprRef &E, int64_t N, Scope &S, Value &Out,
-                 CounterSample *OtherWorkers, bool *WasParallel) {
+                 CounterSample *OtherWorkers, bool *WasParallel,
+                 unsigned EffThreads, int64_t EffChunk, bool EffWide) {
     std::shared_ptr<const engine::Kernel> K;
     size_t TimingIdx = 0;
     {
@@ -429,9 +436,9 @@ private:
       return eval(Inv, S);
     };
     Ctx.Pool = Pool;
-    Ctx.Threads = Threads;
-    Ctx.MinChunk = MinChunk;
-    Ctx.EnableWide = WideKernels;
+    Ctx.Threads = EffThreads;
+    Ctx.MinChunk = EffChunk;
+    Ctx.EnableWide = EffWide;
     Ctx.Profile = Profile;
     Ctx.Columns = &Columns;
     bool Parallel = false;
@@ -467,6 +474,24 @@ private:
       fatalError("negative multiloop size " + std::to_string(N));
 
     bool Closed = freeOf(E).empty();
+    // Per-loop tuning decision, if a table is loaded and names this loop.
+    // Effective knobs default to the run's globals; a decision narrows or
+    // pins them for this loop only. Open loops always inherit (they run
+    // inside an enclosing loop's iteration and are not tuned separately).
+    const tune::LoopDecision *TD =
+        (Tuning && Closed) ? Tuning->lookup(loopSignature(E)) : nullptr;
+    unsigned EffThreads = Threads;
+    int64_t EffChunk = MinChunk;
+    bool EffWide = WideKernels;
+    if (TD) {
+      if (TD->Threads)
+        EffThreads = std::min(Threads, TD->Threads);
+      if (TD->MinChunk > 0)
+        EffChunk = TD->MinChunk;
+      if (TD->Wide >= 0)
+        EffWide = TD->Wide != 0;
+      MetricsRegistry::global().counter("tune.decisions_applied").inc();
+    }
     // Every closed loop gets one "exec.loop" span, whichever engine runs
     // it; the engine name and measured counter deltas land as span args.
     TraceSpan LoopSpan(Closed ? TraceSession::active() : nullptr, "exec.loop",
@@ -484,12 +509,23 @@ private:
     bool Parallel = false;
     const char *Engine = "interp";
 
+    // Engine choice: a pinned per-loop decision replaces the global mode
+    // outright (Kernel attempts compilation even under EngineMode::Interp;
+    // Interp suppresses it even under EngineMode::Kernel). Default keeps
+    // the global policy.
+    bool WantKernel;
+    if (TD && TD->Engine != tune::LoopEngine::Default)
+      WantKernel = TD->Engine == tune::LoopEngine::Kernel;
+    else
+      WantKernel = Mode != engine::EngineMode::Interp &&
+                   (Mode == engine::EngineMode::Kernel ||
+                    N >= engine::AutoMinIters);
+
     Value Result;
     bool Done = false;
-    if (Mode != engine::EngineMode::Interp && Closed &&
-        (Mode == engine::EngineMode::Kernel || N >= engine::AutoMinIters)) {
+    if (WantKernel && Closed) {
       if (tryKernel(E, N, S, Result, Measure ? &OtherWorkers : nullptr,
-                    &Parallel)) {
+                    &Parallel, EffThreads, EffChunk, EffWide)) {
         Engine = "kernel";
         Done = true;
       }
@@ -498,15 +534,15 @@ private:
     if (!Done) {
       std::vector<GenState> States = initStates(ML, S);
 
-      if (Threads > 1 && Closed && N >= 2 * MinChunk) {
+      if (EffThreads > 1 && Closed && N >= 2 * EffChunk) {
         // Chunked parallel execution (Section 5): workers evaluate disjoint
         // subranges with independent evaluators; chunk states merge in index
         // order, so element order and first-occurrence key order match the
         // sequential semantics.
         Parallel = true;
         int64_t NumChunks =
-            std::min<int64_t>((N + MinChunk - 1) / MinChunk,
-                              static_cast<int64_t>(Threads) * 4);
+            std::min<int64_t>((N + EffChunk - 1) / EffChunk,
+                              static_cast<int64_t>(EffThreads) * 4);
         int64_t Per = (N + NumChunks - 1) / NumChunks;
         std::vector<std::vector<GenState>> ChunkStates(
             static_cast<size_t>(NumChunks));
@@ -525,6 +561,7 @@ private:
                 Sub.Mode = Mode;
                 Sub.KStats = KStats;
                 Sub.Kernels = Kernels;
+                Sub.Tuning = Tuning;
                 Scope Local;
                 ChunkStates[static_cast<size_t>(C)] = Sub.initStates(ML, Local);
                 Sub.runRange(ML, C * Per, std::min((C + 1) * Per, N),
@@ -574,6 +611,10 @@ private:
                       std::chrono::steady_clock::now() - T0)
                       .count();
       LP.Parallel = Parallel;
+      LP.Threads = EffThreads;
+      LP.MinChunk = EffChunk;
+      LP.Wide = EffWide;
+      LP.Tuned = TD != nullptr;
       LP.Counters = ThreadCounters::now() - Before;
       LP.Counters.add(OtherWorkers);
       if (LoopSpan.live()) {

@@ -27,6 +27,7 @@
 #include "interp/Value.h"
 #include "ir/Expr.h"
 #include "observe/Metrics.h"
+#include "tune/Decision.h"
 
 #include <unordered_map>
 
@@ -46,6 +47,11 @@ struct EvalOptions {
   /// (engine/KernelVM.h). Bit-identical either way; the knob exists for
   /// ablation and differential testing.
   bool WideKernels = true;
+  /// Per-loop tuning decisions keyed by loop signature (tune/Decision.h).
+  /// For every closed multiloop with an entry, the decision's engine /
+  /// thread-cap / chunk-size / wide knobs replace the globals above for
+  /// that loop only. Null or empty reproduces untuned execution exactly.
+  const tune::DecisionTable *Tuning = nullptr;
   ExecProfile *Profile = nullptr;          ///< optional worker metrics out
   engine::KernelStats *Kernels = nullptr;  ///< optional engine stats out
 };

@@ -63,6 +63,14 @@ struct LoopProfile {
   int64_t Iters = 0;
   double Millis = 0;    ///< wall time of the loop (execution + merge)
   bool Parallel = false;///< took the chunked path
+  /// Effective knobs the loop ran with, after any per-loop tuning decision
+  /// (tune/Decision.h) was applied: workers available to the loop, minimum
+  /// parallel chunk size, and whether wide kernel blocks were enabled.
+  unsigned Threads = 1;
+  int64_t MinChunk = 0;
+  bool Wide = false;
+  /// True when a DecisionTable entry matched this loop's signature.
+  bool Tuned = false;
   /// Counter deltas over the loop: chunk-body sums across workers for
   /// parallel loops plus the driver thread's own share (dispatch, merge);
   /// pure driver-thread deltas for sequential loops.

@@ -14,6 +14,19 @@ ExecutionReport dmll::executeProgram(const Program &P, const InputMap &Inputs,
                                      unsigned Threads,
                                      engine::EngineMode Mode,
                                      int64_t MinChunk) {
+  ExecOptions Exec;
+  Exec.Threads = Threads;
+  Exec.Mode = Mode;
+  Exec.MinChunk = MinChunk;
+  return executeProgram(P, Inputs, Opts, Exec);
+}
+
+ExecutionReport dmll::executeProgram(const Program &P, const InputMap &Inputs,
+                                     const CompileOptions &Opts,
+                                     const ExecOptions &Exec) {
+  engine::EngineMode Mode = Exec.Mode;
+  unsigned Threads = Exec.Threads;
+  int64_t MinChunk = Exec.MinChunk;
   ExecutionReport R;
   R.Mode = Mode;
   auto C0 = std::chrono::steady_clock::now();
@@ -42,6 +55,8 @@ ExecutionReport dmll::executeProgram(const Program &P, const InputMap &Inputs,
     EOpts.Threads = R.Threads;
     EOpts.MinChunk = MinChunk > 0 ? MinChunk : 1024;
     EOpts.Mode = Mode;
+    EOpts.WideKernels = Exec.WideKernels;
+    EOpts.Tuning = Exec.Tuning;
     EOpts.Profile = &Profile;
     EOpts.Kernels = &R.Kernels;
     R.Result = evalProgramWith(CR.P, Adapted, EOpts);
@@ -53,6 +68,9 @@ ExecutionReport dmll::executeProgram(const Program &P, const InputMap &Inputs,
   R.SequentialLoops = Profile.SequentialLoops;
   R.WideBlocks = Profile.WideBlocks;
   R.Loops = std::move(Profile.Loops);
+  for (const LoopProfile &LP : R.Loops)
+    if (LP.Tuned)
+      ++R.TunedLoops;
   {
     // Replay the simulator's prediction for every measured loop; the
     // calibration compares against the compiled program the run executed,

@@ -48,6 +48,9 @@ struct ExecutionReport {
   /// Multiloops that took the chunked parallel path / stayed sequential.
   int64_t ParallelLoops = 0;
   int64_t SequentialLoops = 0;
+  /// Loop executions that matched a per-loop tuning decision (counts every
+  /// execution, so a tuned loop inside an outer iteration counts per run).
+  int64_t TunedLoops = 0;
   /// Kernel index blocks executed instruction-wide (Kernel::WideEligible).
   int64_t WideBlocks = 0;
   /// One record per executed closed multiloop, in execution order: engine,
@@ -63,13 +66,32 @@ struct ExecutionReport {
   engine::KernelStats Kernels;
 };
 
+/// Runtime knobs for executeProgram. Defaults reproduce the classic
+/// single-threaded interpreter run; Tuning points at a per-loop decision
+/// table (tune/Decision.h) consulted for every closed multiloop.
+struct ExecOptions {
+  unsigned Threads = 1;
+  engine::EngineMode Mode = engine::EngineMode::Interp;
+  int64_t MinChunk = 1024;
+  /// Wide kernel blocks enabled by default (per-loop decisions can flip
+  /// either way).
+  bool WideKernels = true;
+  /// Optional per-loop tuning decisions; null runs untuned.
+  const tune::DecisionTable *Tuning = nullptr;
+};
+
 /// Compiles \p P with \p Opts, adapts \p Inputs to any SoA layout change,
-/// and runs the optimized program on \p Threads workers. \p Mode selects
-/// the multiloop execution engine (docs/EXECUTION.md): the boxed
-/// interpreter, compiled register bytecode with transparent per-loop
-/// fallback, or Auto (kernels for loops of at least engine::AutoMinIters
-/// iterations). \p MinChunk is the minimum parallel chunk size (loops
-/// shorter than 2 * MinChunk stay sequential).
+/// and runs the optimized program with the runtime knobs in \p Exec:
+/// worker count, engine mode (docs/EXECUTION.md — boxed interpreter,
+/// compiled register bytecode with transparent per-loop fallback, or Auto),
+/// minimum parallel chunk size (loops shorter than 2 * MinChunk stay
+/// sequential), and an optional per-loop tuning decision table
+/// (docs/TUNING.md).
+ExecutionReport executeProgram(const Program &P, const InputMap &Inputs,
+                               const CompileOptions &Opts,
+                               const ExecOptions &Exec);
+
+/// Convenience overload with the historical flat knob list.
 ExecutionReport executeProgram(const Program &P, const InputMap &Inputs,
                                const CompileOptions &Opts,
                                unsigned Threads = 1,

@@ -115,7 +115,9 @@ std::string dmll::renderProfileJson(const ExecutionReport &R) {
        << ",\"millis\":";
     jsonNum(OS, LP.Millis);
     OS << ",\"parallel\":" << (LP.Parallel ? "true" : "false")
-       << ",\"counters\":";
+       << ",\"threads\":" << LP.Threads << ",\"min_chunk\":" << LP.MinChunk
+       << ",\"wide\":" << (LP.Wide ? "true" : "false")
+       << ",\"tuned\":" << (LP.Tuned ? "true" : "false") << ",\"counters\":";
     counterJson(OS, LP.Counters);
     OS << "}";
   }

@@ -10,8 +10,10 @@
 //===----------------------------------------------------------------------===//
 
 #include "ir/Builder.h"
+#include "ir/Printer.h"
 #include "ir/Traversal.h"
 #include "transform/Rules.h"
+#include "tune/Decision.h"
 
 #include <unordered_map>
 
@@ -235,7 +237,16 @@ ExprRef replaceFused(const ExprRef &Root, const Expr *A, const Expr *B,
 
 } // namespace
 
-int dmll::horizontalFusion(ExprRef &E, RewriteStats *Stats) {
+int dmll::horizontalFusion(ExprRef &E, RewriteStats *Stats,
+                           const tune::DecisionTable *Tuning) {
+  // Per-loop tuning ablation (tune/Decision.h): a loop whose pre-fusion
+  // signature carries NoHorizontalFuse never participates in fusion.
+  auto FusionVetoed = [&](const ExprRef &L) {
+    if (!Tuning)
+      return false;
+    const tune::LoopDecision *D = Tuning->lookup(loopSignature(L));
+    return D && D->NoHorizontalFuse;
+  };
   int Merged = 0;
   bool Changed = true;
   while (Changed) {
@@ -269,6 +280,10 @@ int dmll::horizontalFusion(ExprRef &E, RewriteStats *Stats) {
           Changed = true;
           continue;
         }
+        // The merge above is pure sharing (same computation either way);
+        // everything below changes execution shape, so the veto bites here.
+        if (FusionVetoed(Loops[X]) || FusionVetoed(Loops[Y]))
+          continue;
         ExprRef NA = normalizeLoopIndex(Loops[X]);
         ExprRef NB = normalizeLoopIndex(Loops[Y]);
         const auto *MA = cast<MultiloopExpr>(NA);

@@ -218,7 +218,7 @@ CompileResult dmll::compileProgram(const Program &P,
     Res.P.Result = shareBucketKeys(Res.P.Result);
     Res.P.Result = cse(Res.P.Result);
     if (Opts.EnableHorizontal)
-      horizontalFusion(Res.P.Result, &Res.Stats);
+      horizontalFusion(Res.P.Result, &Res.Stats, Opts.Tuning);
     Res.P.Result = cse(Res.P.Result);
     Res.P.Result = dce(Res.P.Result);
   }
@@ -259,7 +259,7 @@ CompileResult dmll::compileProgram(const Program &P,
     Res.P = rewriteProgram(Res.P, {&R2C}, &Res.Stats, Opts.MaxPasses);
     Res.P.Result = cse(Res.P.Result);
     if (Opts.EnableHorizontal)
-      horizontalFusion(Res.P.Result, &Res.Stats);
+      horizontalFusion(Res.P.Result, &Res.Stats, Opts.Tuning);
     Res.P.Result = dce(Res.P.Result);
   }
   if (Compile.live()) {

@@ -45,6 +45,10 @@ enum class Target { Sequential, MultiCore, Numa, Cluster, Gpu, GpuCluster };
 /// Printable target name.
 const char *targetName(Target T);
 
+namespace tune {
+class DecisionTable;
+} // namespace tune
+
 /// Ablation-friendly switches; defaults reproduce the full DMLL pipeline.
 struct CompileOptions {
   Target T = Target::Numa;
@@ -54,6 +58,11 @@ struct CompileOptions {
   bool EnableNestedRules = true;  ///< Fig. 3 rules (Fig. 6's ablation knob)
   bool EnableLoopTransforms = true; ///< loop layer (transform/loop/)
   int MaxPasses = 6;
+  /// Per-loop tuning decisions (tune/Decision.h): loops flagged
+  /// NoHorizontalFuse are excluded from horizontal fusion; loops flagged
+  /// NoLoopTransforms get empty loop-transform plans at codegen. Null
+  /// compiles untuned.
+  const tune::DecisionTable *Tuning = nullptr;
 };
 
 /// Output of compileProgram.

@@ -19,6 +19,10 @@
 
 namespace dmll {
 
+namespace tune {
+class DecisionTable;
+} // namespace tune
+
 /// Section 3.1 pipeline (vertical) fusion:
 ///   C = Collect_s(c1)(f1);  G_C(c2)(k(f1))(f2(f1))(r)
 ///   ->  G_s(c1 && c2')(...)
@@ -101,7 +105,11 @@ public:
 /// Horizontal fusion (Section 3.1 via [30]): merges independent multiloops
 /// of structurally equal size and equal free-symbol context into one
 /// multiloop with multiple generators. Returns the number of loops merged.
-int horizontalFusion(ExprRef &E, RewriteStats *Stats = nullptr);
+/// \p Tuning, when set, vetoes fusion (not the pure-sharing loop-cse merge)
+/// for any loop whose pre-fusion signature carries NoHorizontalFuse — the
+/// autotuner's per-loop ablation knob (tune/Decision.h).
+int horizontalFusion(ExprRef &E, RewriteStats *Stats = nullptr,
+                     const tune::DecisionTable *Tuning = nullptr);
 
 /// Structural-hash-based common subexpression elimination. Alpha-aware, so
 /// the copies of a shared computation created by fusing a producer into two

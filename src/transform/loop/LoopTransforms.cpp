@@ -6,7 +6,9 @@
 #include "analysis/Stencil.h"
 #include "codegen/LowerCommon.h"
 #include "ir/Builder.h"
+#include "ir/Printer.h"
 #include "ir/Traversal.h"
+#include "tune/Decision.h"
 
 #include <unordered_set>
 
@@ -228,10 +230,18 @@ bool dmll::simdSafeLoopBody(const ExprRef &Body, const SymRef &Idx) {
 }
 
 LoopTransformPlan dmll::planLoopTransforms(const Program &P,
-                                           const LoopTransformOptions &Opts) {
+                                           const LoopTransformOptions &Opts,
+                                           const tune::DecisionTable *Tuning) {
   LoopTransformPlan Plan;
   for (const ExprRef &Loop : collectMultiloops(P.Result)) {
     const auto *ML = cast<MultiloopExpr>(Loop);
+    // Per-loop tuning ablation: a NoLoopTransforms decision leaves this
+    // loop's plan empty (the emitter then lowers it untransformed).
+    if (Tuning) {
+      const tune::LoopDecision *D = Tuning->lookup(loopSignature(Loop));
+      if (D && D->NoLoopTransforms)
+        continue;
+    }
     // Stencil gate for vector hints: a loop with an Unknown read stencil
     // gathers data-dependently somewhere; the Affine per-read check below
     // re-derives the same fact per generator, but the stencil summary lets

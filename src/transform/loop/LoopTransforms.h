@@ -57,6 +57,10 @@
 
 namespace dmll {
 
+namespace tune {
+class DecisionTable;
+} // namespace tune
+
 /// Ablation switches for the loop-transform layer; defaults enable all.
 struct LoopTransformOptions {
   bool EnableGatherPrecompute = true;
@@ -102,9 +106,13 @@ int gatherPrecompute(Program &P, RewriteStats *Stats = nullptr,
 
 /// Decides the emitter-level transforms for every multiloop in \p P.
 /// Legality is driven by the Stencil/Affine analyses (via simdSafeLoopBody
-/// and the read-stencil classification of each loop).
+/// and the read-stencil classification of each loop). \p Tuning, when set,
+/// masks the plan of any loop whose signature carries NoLoopTransforms —
+/// the autotuner's per-loop codegen ablation (tune/Decision.h).
 LoopTransformPlan planLoopTransforms(const Program &P,
-                                     const LoopTransformOptions &Opts = {});
+                                     const LoopTransformOptions &Opts = {},
+                                     const tune::DecisionTable *Tuning =
+                                         nullptr);
 
 } // namespace dmll
 

@@ -1,0 +1,75 @@
+//===- tune/CostModel.cpp --------------------------------------*- C++ -*-===//
+
+#include "tune/CostModel.h"
+
+#include "sim/Simulator.h"
+
+#include <algorithm>
+
+using namespace dmll;
+using namespace dmll::tune;
+
+TuneCostModel::TuneCostModel(std::vector<LoopCost> CostList,
+                             const MachineModel &M, unsigned RunThreads,
+                             int64_t RunMinChunk)
+    : M(M), RunThreads(RunThreads ? RunThreads : 1),
+      RunMinChunk(RunMinChunk > 0 ? RunMinChunk : 1024) {
+  // First-come keying mirrors sim/Calibration.h's matching: repeated
+  // signatures share one cost entry.
+  for (LoopCost &LC : CostList)
+    Costs.emplace(LC.Signature, std::move(LC));
+}
+
+const LoopCost *TuneCostModel::costFor(const std::string &Sig) const {
+  auto It = Costs.find(Sig);
+  return It == Costs.end() ? nullptr : &It->second;
+}
+
+double TuneCostModel::rawPredict(const LoopCost &LC,
+                                 const LoopDecision &D) const {
+  // Resolve the decision against the run's globals exactly like the
+  // interpreter does (interp/Interp.cpp evalMultiloop).
+  unsigned EffThreads =
+      D.Threads ? std::min(RunThreads, D.Threads) : RunThreads;
+  int64_t EffChunk = D.MinChunk > 0 ? D.MinChunk : RunMinChunk;
+  int64_t N = static_cast<int64_t>(LC.Iters);
+  bool Parallel = EffThreads > 1 && N >= 2 * EffChunk;
+  int64_t NumChunks = 1;
+  if (Parallel)
+    NumChunks = std::min<int64_t>((N + EffChunk - 1) / EffChunk,
+                                  static_cast<int64_t>(EffThreads) * 4);
+  Discipline Disc = Discipline::dmll();
+  SimResult R = simulateShared({LC}, M, Parallel ? static_cast<int>(EffThreads) : 1,
+                               MemPolicy::Partitioned, Disc);
+  // simulateShared already charges ~2 tasks/worker/loop; charge the actual
+  // chunk count instead so chunk-size candidates differentiate.
+  double Ms = R.Ms + Disc.PerTaskOverheadMs * static_cast<double>(NumChunks);
+  return Ms > 0 ? Ms : 1e-6;
+}
+
+double TuneCostModel::predict(const std::string &Sig, const LoopDecision &D,
+                              bool Kernel) const {
+  const LoopCost *LC = costFor(Sig);
+  if (!LC)
+    return 0;
+  double Raw = rawPredict(*LC, D);
+  const char *Cls = Kernel ? "/kernel" : "/interp";
+  const char *Other = Kernel ? "/interp" : "/kernel";
+  auto It = Ratios.find(Sig + Cls);
+  if (It != Ratios.end())
+    return Raw * It->second;
+  auto Ot = Ratios.find(Sig + Other);
+  if (Ot != Ratios.end())
+    return Raw * (Kernel ? Ot->second / InterpPenalty
+                         : Ot->second * InterpPenalty);
+  return Raw * (Kernel ? 1.0 : InterpPenalty);
+}
+
+void TuneCostModel::observe(const std::string &Sig, bool Kernel,
+                            const LoopDecision &D, double MeasuredMs) {
+  const LoopCost *LC = costFor(Sig);
+  if (!LC || MeasuredMs <= 0)
+    return;
+  double Raw = rawPredict(*LC, D);
+  Ratios[Sig + (Kernel ? "/kernel" : "/interp")] = MeasuredMs / Raw;
+}

@@ -1,0 +1,25 @@
+//===- tune/Decision.cpp ---------------------------------------*- C++ -*-===//
+
+#include "tune/Decision.h"
+
+using namespace dmll;
+
+const char *dmll::tune::loopEngineName(LoopEngine E) {
+  switch (E) {
+  case LoopEngine::Default:
+    return "default";
+  case LoopEngine::Interp:
+    return "interp";
+  case LoopEngine::Kernel:
+    return "kernel";
+  }
+  return "?";
+}
+
+tune::LoopEngine dmll::tune::parseLoopEngine(const std::string &S) {
+  if (S == "interp")
+    return LoopEngine::Interp;
+  if (S == "kernel")
+    return LoopEngine::Kernel;
+  return LoopEngine::Default;
+}

@@ -1,0 +1,429 @@
+//===- tune/Tuner.cpp ------------------------------------------*- C++ -*-===//
+
+#include "tune/Tuner.h"
+
+#include "codegen/CppEmitter.h"
+#include "ir/Printer.h"
+#include "ir/Traversal.h"
+#include "observe/MetricsRegistry.h"
+#include "observe/Trace.h"
+#include "runtime/Executor.h"
+#include "sim/Calibration.h"
+#include "transform/loop/LoopTransforms.h"
+#include "tune/CostModel.h"
+
+#include <algorithm>
+#include <cmath>
+
+using namespace dmll;
+using namespace dmll::tune;
+
+namespace {
+
+/// Per-loop aggregate of one run's LoopProfiles: repeated executions of a
+/// signature (iterative apps) fold into a mean so candidates measured in
+/// different rounds compare on equal footing.
+struct LoopMeasure {
+  double TotalMs = 0;
+  int64_t Execs = 0;
+  int64_t Iters = 0;    ///< max per-execution iteration count
+  bool Kernel = false;  ///< engine of the last execution
+  double meanMs() const { return Execs ? TotalMs / Execs : 0; }
+};
+
+std::map<std::string, LoopMeasure>
+aggregateLoops(const std::vector<LoopProfile> &Loops) {
+  std::map<std::string, LoopMeasure> Out;
+  for (const LoopProfile &LP : Loops) {
+    LoopMeasure &M = Out[LP.Loop];
+    M.TotalMs += LP.Millis;
+    ++M.Execs;
+    M.Iters = std::max(M.Iters, LP.Iters);
+    M.Kernel = LP.Engine == "kernel";
+  }
+  return Out;
+}
+
+/// Canonical execution shape of a decision, for candidate dedup: two
+/// decisions that resolve to the same engine, chunking, and wide bit would
+/// measure identically, so only the first-enumerated one is kept.
+std::string shapeKey(const LoopDecision &D, bool Kernel, unsigned RunThreads,
+                     int64_t RunMinChunk, int64_t N) {
+  unsigned EffThreads =
+      D.Threads ? std::min(RunThreads, D.Threads) : RunThreads;
+  int64_t EffChunk = D.MinChunk > 0 ? D.MinChunk : RunMinChunk;
+  bool Parallel = EffThreads > 1 && N >= 2 * EffChunk;
+  std::string K = Kernel ? "k" : "i";
+  if (Kernel)
+    K += D.Wide == 0 ? "s" : "w";
+  if (!Parallel)
+    return K + "/seq";
+  int64_t NumChunks = std::min<int64_t>((N + EffChunk - 1) / EffChunk,
+                                        static_cast<int64_t>(EffThreads) * 4);
+  return K + "/t" + std::to_string(EffThreads) + "c" +
+         std::to_string(NumChunks) + "p" + std::to_string(EffChunk);
+}
+
+/// True when \p D resolves to a kernel attempt under global mode \p Mode
+/// for a loop of \p N iterations.
+bool resolvesToKernel(const LoopDecision &D, engine::EngineMode Mode,
+                      int64_t N) {
+  if (D.Engine != LoopEngine::Default)
+    return D.Engine == LoopEngine::Kernel;
+  return Mode != engine::EngineMode::Interp &&
+         (Mode == engine::EngineMode::Kernel || N >= engine::AutoMinIters);
+}
+
+/// Runtime-knob candidates for one loop, deduped by execution shape, in
+/// deterministic enumeration order. The default (inherit-everything)
+/// decision is NOT included — the baseline run measures it.
+std::vector<LoopDecision> candidatesFor(int64_t N, const TuneOptions &Opts) {
+  std::vector<LoopDecision> Out;
+  std::vector<std::string> Seen;
+  // The baseline's shape is taken: candidates that resolve to it add no
+  // information.
+  Seen.push_back(shapeKey(LoopDecision(), resolvesToKernel({}, Opts.Mode, N),
+                          Opts.Threads, Opts.MinChunk, N));
+  std::vector<unsigned> ThreadCaps{0, 1};
+  for (unsigned T = 2; T < Opts.Threads; T *= 2)
+    ThreadCaps.push_back(T);
+  const int64_t Chunks[] = {0, 256, 4096, 16384};
+  for (LoopEngine E : {LoopEngine::Kernel, LoopEngine::Interp}) {
+    for (int Wide : E == LoopEngine::Kernel ? std::vector<int>{-1, 0}
+                                            : std::vector<int>{-1}) {
+      for (unsigned T : ThreadCaps) {
+        for (int64_t C : Chunks) {
+          LoopDecision D;
+          D.Engine = E;
+          D.Threads = T;
+          D.MinChunk = C;
+          D.Wide = Wide;
+          std::string Key = shapeKey(D, E == LoopEngine::Kernel, Opts.Threads,
+                                     Opts.MinChunk, N);
+          if (std::find(Seen.begin(), Seen.end(), Key) != Seen.end())
+            continue;
+          Seen.push_back(Key);
+          Out.push_back(D);
+        }
+      }
+    }
+  }
+  return Out;
+}
+
+uint64_t fnv1a(const std::string &S) {
+  uint64_t H = 1469598103934665603ull;
+  for (char C : S) {
+    H ^= static_cast<unsigned char>(C);
+    H *= 1099511628211ull;
+  }
+  return H;
+}
+
+} // namespace
+
+TuningProfile dmll::tune::tuneProgram(const std::string &App,
+                                      const Program &P, const InputMap &Inputs,
+                                      const TuneOptions &Opts) {
+  TraceSpan Span("tune.search", "tune");
+  MetricsRegistry &Reg = MetricsRegistry::global();
+  Reg.counter("tune.searches").inc();
+
+  TuningProfile TP;
+  TP.App = App;
+  TP.Threads = Opts.Threads ? Opts.Threads : 1;
+  TP.MinChunk = Opts.MinChunk > 0 ? Opts.MinChunk : 1024;
+  TP.Mode = engine::engineModeName(Opts.Mode);
+
+  ExecOptions Exec;
+  Exec.Threads = TP.Threads;
+  Exec.Mode = Opts.Mode;
+  Exec.MinChunk = TP.MinChunk;
+
+  // Baseline: the untuned run every decision must beat (or match).
+  ExecutionReport Base;
+  {
+    TraceSpan S("tune.baseline", "tune");
+    Base = executeProgram(P, Inputs, Opts.Compile, Exec);
+  }
+  TP.BaselineMs = Base.Millis;
+  std::map<std::string, LoopMeasure> BaseLoops = aggregateLoops(Base.Loops);
+
+  // Seed the compositional model: static per-loop costs from the analysis
+  // stack against the dataset the run actually saw (same SoA adaptation
+  // the executor applies), calibrated with the baseline measurements.
+  CompileResult CR = compileProgram(P, Opts.Compile);
+  InputMap Adapted = Inputs;
+  for (const auto &[Name, Kept] : CR.SoaConverted) {
+    const InputExpr *In = P.findInput(Name);
+    if (In && Adapted.count(Name))
+      Adapted[Name] = aosToSoa(Adapted[Name], *In->type()->elem(), Kept);
+  }
+  SizeEnv Env = sizeEnvFromInputs(CR.P, Adapted);
+  TP.Fingerprint = sizeEnvFingerprint(Env);
+  TuneCostModel Model(analyzeCosts(CR.P, CR.Partitioning, Env),
+                      MachineModel::host(), TP.Threads, TP.MinChunk);
+  for (const auto &[Sig, M] : BaseLoops)
+    Model.observe(Sig, M.Kernel, LoopDecision(), M.meanMs());
+
+  // Candidate enumeration + predict-then-verify ranking, per tunable loop
+  // (measured in the baseline AND visible to the cost analysis).
+  struct Tunable {
+    std::string Sig;
+    int64_t N = 0;
+    std::vector<LoopDecision> Cands; ///< ranked by predicted ms
+    std::vector<double> MeasuredMs;  ///< mean ms per measured candidate
+    std::vector<bool> MeasuredKernel;
+  };
+  std::vector<Tunable> Tunables;
+  for (const auto &[Sig, M] : BaseLoops) {
+    if (!Model.costFor(Sig))
+      continue;
+    Tunable T;
+    T.Sig = Sig;
+    T.N = M.Iters;
+    T.Cands = candidatesFor(M.Iters, Opts);
+    TP.Candidates += static_cast<int>(T.Cands.size());
+    std::stable_sort(T.Cands.begin(), T.Cands.end(),
+                     [&](const LoopDecision &A, const LoopDecision &B) {
+                       return Model.predict(Sig, A,
+                                            resolvesToKernel(A, Opts.Mode,
+                                                             T.N)) <
+                              Model.predict(Sig, B,
+                                            resolvesToKernel(B, Opts.Mode,
+                                                             T.N));
+                     });
+    T.MeasuredMs.assign(T.Cands.size(), 0);
+    T.MeasuredKernel.assign(T.Cands.size(), false);
+    Tunables.push_back(std::move(T));
+  }
+  Reg.counter("tune.candidates").inc(TP.Candidates);
+
+  // Verify rounds: round r installs every loop's r-th ranked candidate and
+  // measures them all in one whole-program run.
+  int Rounds = std::max(0, Opts.Rounds);
+  for (int R = 0; R < Rounds; ++R) {
+    DecisionTable Table;
+    bool AnyNew = false;
+    for (Tunable &T : Tunables)
+      if (static_cast<size_t>(R) < T.Cands.size()) {
+        Table.set(T.Sig, T.Cands[static_cast<size_t>(R)]);
+        AnyNew = true;
+      }
+    if (!AnyNew)
+      break;
+    TraceSpan S("tune.round", "tune");
+    Exec.Tuning = &Table;
+    ExecutionReport Run = executeProgram(P, Inputs, Opts.Compile, Exec);
+    Exec.Tuning = nullptr;
+    ++TP.MeasureRuns;
+    std::map<std::string, LoopMeasure> Measured = aggregateLoops(Run.Loops);
+    for (Tunable &T : Tunables) {
+      if (static_cast<size_t>(R) >= T.Cands.size())
+        continue;
+      auto It = Measured.find(T.Sig);
+      if (It == Measured.end())
+        continue;
+      T.MeasuredMs[static_cast<size_t>(R)] = It->second.meanMs();
+      T.MeasuredKernel[static_cast<size_t>(R)] = It->second.Kernel;
+      Model.observe(T.Sig, It->second.Kernel,
+                    T.Cands[static_cast<size_t>(R)], It->second.meanMs());
+    }
+  }
+
+  // Winner per loop: the measured minimum. The baseline competes, so an
+  // entry only lands when some candidate actually beat untuned.
+  DecisionTable Winners;
+  for (Tunable &T : Tunables) {
+    double BestMs = BaseLoops[T.Sig].meanMs();
+    int Best = -1;
+    for (size_t I = 0; I < T.Cands.size(); ++I)
+      if (T.MeasuredMs[I] > 0 && T.MeasuredMs[I] < BestMs) {
+        BestMs = T.MeasuredMs[I];
+        Best = static_cast<int>(I);
+      }
+    if (Best < 0)
+      continue;
+    LoopTuneEntry E;
+    E.Loop = T.Sig;
+    E.D = T.Cands[static_cast<size_t>(Best)];
+    E.BaselineMs = BaseLoops[T.Sig].meanMs();
+    E.MeasuredMs = BestMs;
+    E.PredictedMs = Model.predict(
+        T.Sig, E.D, T.MeasuredKernel[static_cast<size_t>(Best)]);
+    TP.Loops.push_back(std::move(E));
+    Winners.set(T.Sig, T.Cands[static_cast<size_t>(Best)]);
+  }
+  std::sort(TP.Loops.begin(), TP.Loops.end(),
+            [](const LoopTuneEntry &A, const LoopTuneEntry &B) {
+              return A.Loop < B.Loop;
+            });
+
+  // Confirmation run under the winning table. An empty table is the
+  // baseline configuration by construction — re-measuring it would only
+  // report timer noise as a tuning delta, so the baseline number stands.
+  if (TP.Loops.empty()) {
+    TP.TunedMs = TP.BaselineMs;
+    TP.MeasureRuns += 1; // baseline only
+  } else {
+    TraceSpan S("tune.confirm", "tune");
+    Exec.Tuning = &Winners;
+    ExecutionReport Conf = executeProgram(P, Inputs, Opts.Compile, Exec);
+    TP.TunedMs = Conf.Millis;
+    TP.MeasureRuns += 2; // baseline + confirmation
+    // Verification extends to the whole program: per-loop wins that don't
+    // survive the end-to-end confirmation (measurement noise, cross-loop
+    // interference) are discarded rather than shipped in the artifact.
+    if (TP.TunedMs > TP.BaselineMs) {
+      TP.Loops.clear();
+      TP.TunedMs = TP.BaselineMs;
+    }
+  }
+  Reg.counter("tune.tuned_loops").inc(static_cast<int64_t>(TP.Loops.size()));
+  if (Span.live()) {
+    Span.argInt("loops", static_cast<int64_t>(TP.Loops.size()));
+    Span.argInt("candidates", TP.Candidates);
+  }
+  return TP;
+}
+
+CodegenTuneResult dmll::tune::tuneGeneratedCpp(const Program &P,
+                                               const InputMap &Inputs,
+                                               const CompileOptions &Copts,
+                                               const std::string &WorkDir,
+                                               const std::string &BaseName,
+                                               int TimingIters) {
+  TraceSpan Span("tune.codegen", "tune");
+  CodegenTuneResult Res;
+
+  // Variant set: default emission, the global loop-transform ablation,
+  // per-loop plan masking, and horizontal-fusion exclusions from compile
+  // provenance. Every non-default variant is expressible as a decision
+  // table, so winners replay through --tune-in.
+  struct Variant {
+    std::string Label;
+    DecisionTable Table;
+  };
+  std::vector<Variant> Variants;
+  Variants.push_back({"default", {}});
+
+  CompileResult CR = compileProgram(P, Copts);
+  LoopTransformPlan Plan = planLoopTransforms(CR.P);
+  std::vector<std::string> PlannedSigs;
+  for (const ExprRef &L : collectMultiloops(CR.P.Result))
+    if (Plan.plansFor(L.get())) {
+      std::string Sig = loopSignature(L);
+      if (std::find(PlannedSigs.begin(), PlannedSigs.end(), Sig) ==
+          PlannedSigs.end())
+        PlannedSigs.push_back(Sig);
+    }
+  if (!PlannedSigs.empty()) {
+    Variant All{"no-loop-transforms", {}};
+    for (const std::string &Sig : PlannedSigs) {
+      LoopDecision D;
+      D.NoLoopTransforms = true;
+      All.Table.set(Sig, D);
+    }
+    Variants.push_back(std::move(All));
+  }
+  if (PlannedSigs.size() > 1) {
+    size_t PerLoop = std::min<size_t>(PlannedSigs.size(), 4);
+    for (size_t I = 0; I < PerLoop; ++I) {
+      LoopDecision D;
+      D.NoLoopTransforms = true;
+      Variant V{"no-lt:" + std::to_string(I), {}};
+      V.Table.set(PlannedSigs[I], D);
+      Variants.push_back(std::move(V));
+    }
+  }
+  {
+    std::vector<std::string> FuseSigs;
+    for (const RewriteApplication *A :
+         CR.Stats.applicationsOf("horizontal-fusion"))
+      if (std::find(FuseSigs.begin(), FuseSigs.end(), A->Before) ==
+          FuseSigs.end())
+        FuseSigs.push_back(A->Before);
+    size_t FuseN = std::min<size_t>(FuseSigs.size(), 2);
+    for (size_t I = 0; I < FuseN; ++I) {
+      LoopDecision D;
+      D.NoHorizontalFuse = true;
+      Variant V{"no-hfuse:" + std::to_string(I), {}};
+      V.Table.set(FuseSigs[I], D);
+      Variants.push_back(std::move(V));
+    }
+  }
+
+  Checksum Ref;
+  bool HaveRef = false;
+  double BestMs = 0;
+  for (size_t VI = 0; VI < Variants.size(); ++VI) {
+    Variant &V = Variants[VI];
+    CompileOptions C2 = Copts;
+    C2.Tuning = &V.Table;
+    CompileResult CV = VI == 0 ? std::move(CR) : compileProgram(P, C2);
+    InputMap Adapted = Inputs;
+    for (const auto &[Name, Kept] : CV.SoaConverted) {
+      const InputExpr *In = P.findInput(Name);
+      if (In && Adapted.count(Name))
+        Adapted[Name] = aosToSoa(Adapted[Name], *In->type()->elem(), Kept);
+    }
+    CppEmitOptions EO;
+    EO.TimingIters = TimingIters;
+    EO.Tuning = &V.Table;
+    GeneratedRunResult R = compileAndRun(CV.P, Adapted, WorkDir,
+                                         BaseName + "_v" + std::to_string(VI),
+                                         EO);
+    ++Res.Variants;
+    if (!R.Ok)
+      continue;
+    if (!HaveRef) {
+      // The default variant anchors both the baseline time and the
+      // checksum every other variant must reproduce.
+      Ref = R.Sum;
+      HaveRef = true;
+      Res.BaselineMs = R.MillisPerIter;
+      BestMs = R.MillisPerIter;
+      continue;
+    }
+    auto Close = [](double A, double B) {
+      double Tol = 1e-9 * std::max(1.0, std::max(std::fabs(A), std::fabs(B)));
+      return std::fabs(A - B) <= Tol;
+    };
+    if (R.Sum.Count != Ref.Count || !Close(R.Sum.Sum, Ref.Sum) ||
+        !Close(R.Sum.Abs, Ref.Abs))
+      continue;
+    if (R.MillisPerIter < BestMs) {
+      BestMs = R.MillisPerIter;
+      Res.BestVariant = V.Label;
+      Res.Decisions = V.Table;
+    }
+  }
+  Res.TunedMs = BestMs;
+  if (Span.live()) {
+    Span.argInt("variants", Res.Variants);
+    Span.arg("best", Res.BestVariant);
+  }
+  return Res;
+}
+
+DecisionTable dmll::tune::syntheticDecisions(const Program &P,
+                                             unsigned Threads,
+                                             int64_t MinChunk) {
+  DecisionTable T;
+  for (const ExprRef &L : collectMultiloops(P.Result)) {
+    if (!freeSyms(L).empty())
+      continue;
+    std::string Sig = loopSignature(L);
+    uint64_t H = fnv1a(Sig);
+    LoopDecision D;
+    D.Engine = (H & 1) ? LoopEngine::Kernel : LoopEngine::Interp;
+    if (D.Engine == LoopEngine::Kernel)
+      D.Wide = (H & 2) ? 1 : 0;
+    // Pinned to the globals: chunk boundaries (and float reassociation)
+    // match the untuned run bit for bit.
+    D.Threads = Threads;
+    D.MinChunk = MinChunk;
+    T.set(Sig, D);
+  }
+  return T;
+}

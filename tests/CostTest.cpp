@@ -1,0 +1,178 @@
+//===- tests/CostTest.cpp - SizeEnv / cost-model edge cases ----*- C++ -*-===//
+//
+// The static cost analysis (analysis/Cost.h) evaluates symbolic sizes
+// against dataset metadata that is routinely *incomplete*: the tuner and
+// the simulator both call it with whatever sizeEnvFromInputs could see.
+// These tests pin the documented fallbacks — missing scalar and
+// array-length keys, the HashKeys default for bucket projections, division
+// by zero, filter selectivity — and the nested-loop iteration accounting
+// the compositional tuning model depends on (docs/TUNING.md).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Cost.h"
+#include "analysis/Partitioning.h"
+#include "frontend/Frontend.h"
+#include "ir/Builder.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace dmll;
+using namespace dmll::frontend;
+
+namespace {
+
+ExprRef scalarField(const std::string &In, const std::string &Field,
+                    const std::string &Field2 = "") {
+  std::vector<Type::Field> Fields{{Field, Type::i64()}};
+  if (!Field2.empty())
+    Fields.push_back({Field2, Type::i64()});
+  ExprRef Base(input(In, Type::structOf(Fields)));
+  return getField(Base, Field);
+}
+
+} // namespace
+
+TEST(SizeEnvTest, MissingScalarKeyDefaultsToOne) {
+  SizeEnv Env;
+  // "m.rows" is absent from Scalars: the evaluator must not trap and must
+  // fall back to the neutral 1, not 0 (a 0 would zero out every product).
+  EXPECT_DOUBLE_EQ(evalApproxSize(scalarField("m", "rows"), Env), 1.0);
+  Env.Scalars["m.rows"] = 50000;
+  EXPECT_DOUBLE_EQ(evalApproxSize(scalarField("m", "rows"), Env), 50000.0);
+}
+
+TEST(SizeEnvTest, KeysValuesProjectionUsesHashKeysDefault) {
+  // {keys, values} projections of hash-bucket results have no input path;
+  // they estimate as HashKeys (default 16).
+  ExprRef Base(input("g", Type::structOf({{"keys", Type::i64()}})));
+  ExprRef Keys = getField(Base, "keys");
+  SizeEnv Env;
+  EXPECT_DOUBLE_EQ(evalApproxSize(Keys, Env), 16.0);
+  Env.HashKeys = 6; // TPC-H Q1: 3 return flags x 2 line statuses
+  EXPECT_DOUBLE_EQ(evalApproxSize(Keys, Env), 6.0);
+  // An explicit scalar entry beats the projection heuristic.
+  Env.Scalars["g.keys"] = 42;
+  EXPECT_DOUBLE_EQ(evalApproxSize(Keys, Env), 42.0);
+}
+
+TEST(SizeEnvTest, MissingArrayLenDefaultsToOne) {
+  ExprRef Xs(input("xs", Type::arrayOf(Type::f64())));
+  SizeEnv Env;
+  EXPECT_DOUBLE_EQ(evalApproxSize(arrayLen(Xs), Env), 1.0);
+  Env.ArrayLens["xs"] = 1000;
+  EXPECT_DOUBLE_EQ(evalApproxSize(arrayLen(Xs), Env), 1000.0);
+}
+
+TEST(SizeEnvTest, DivisionByZeroEvaluatesToZero) {
+  // rows / cols with cols unknown->0 must not produce inf/NaN iteration
+  // counts downstream; the evaluator defines x/0 = 0.
+  ExprRef Rows = scalarField("m", "rows", "cols");
+  ExprRef Cols = getField(ExprRef(input(
+      "m", Type::structOf({{"rows", Type::i64()}, {"cols", Type::i64()}}))),
+      "cols");
+  ExprRef Ratio = binop(BinOpKind::Div, Rows, Cols);
+  SizeEnv Env;
+  Env.Scalars["m.rows"] = 100;
+  Env.Scalars["m.cols"] = 0;
+  EXPECT_DOUBLE_EQ(evalApproxSize(Ratio, Env), 0.0);
+}
+
+TEST(SizeEnvTest, MinMaxSubCompose) {
+  ExprRef A = scalarField("s", "a", "b");
+  ExprRef B = getField(
+      ExprRef(input("s",
+                    Type::structOf({{"a", Type::i64()}, {"b", Type::i64()}}))),
+      "b");
+  SizeEnv Env;
+  Env.Scalars["s.a"] = 30;
+  Env.Scalars["s.b"] = 12;
+  EXPECT_DOUBLE_EQ(evalApproxSize(binop(BinOpKind::Min, A, B), Env), 12.0);
+  EXPECT_DOUBLE_EQ(evalApproxSize(binop(BinOpKind::Max, A, B), Env), 30.0);
+  EXPECT_DOUBLE_EQ(evalApproxSize(binop(BinOpKind::Sub, A, B), Env), 18.0);
+}
+
+TEST(SizeEnvTest, FilterSelectivityScalesCollectLength) {
+  ProgramBuilder B;
+  Val Xs = B.inVecF64("xs");
+  Program P = B.build(filter(Xs, [](Val X) { return X > Val(0.0); }));
+  SizeEnv Env;
+  Env.ArrayLens["xs"] = 1000;
+  // A conditional Collect keeps Selectivity (default 0.5) of its domain.
+  EXPECT_DOUBLE_EQ(evalApproxSize(arrayLen(P.Result), Env), 500.0);
+  Env.Selectivity = 0.1;
+  EXPECT_DOUBLE_EQ(evalApproxSize(arrayLen(P.Result), Env), 100.0);
+}
+
+TEST(SizeEnvTest, UnconditionalMapKeepsFullLength) {
+  ProgramBuilder B;
+  Val Xs = B.inVecF64("xs");
+  Program P = B.build(map(Xs, [](Val X) { return X * Val(2.0); }));
+  SizeEnv Env;
+  Env.ArrayLens["xs"] = 768;
+  EXPECT_DOUBLE_EQ(evalApproxSize(arrayLen(P.Result), Env), 768.0);
+}
+
+TEST(CostTest, TopLevelIterationsComeFromArrayLens) {
+  ProgramBuilder B;
+  Val Xs = B.inVecF64("xs");
+  Program P = B.build(sum(map(Xs, [](Val X) { return X * X; })));
+  SizeEnv Env;
+  Env.ArrayLens["xs"] = 2048;
+  std::vector<LoopCost> Costs =
+      analyzeCosts(P, analyzePartitioning(P), Env);
+  ASSERT_FALSE(Costs.empty());
+  // After no transformation the loops are nested/chained, but the last
+  // (root) loop must see the full domain.
+  EXPECT_DOUBLE_EQ(Costs.back().Iters, 2048.0);
+}
+
+TEST(CostTest, NestedLoopWorkScalesWithInnerLength) {
+  // map over xs with a nested sum over ys that *depends on x* (so it
+  // cannot float out as its own top-level loop): the inner loop's flops
+  // must be charged per outer iteration (the CumMult accounting), so
+  // growing ys grows FlopsPerIter of the outer loop.
+  auto Build = [] {
+    ProgramBuilder B;
+    Val Xs = B.inVecF64("xs");
+    Val Ys = B.inVecF64("ys");
+    return B.build(map(Xs, [&](Val X) {
+      return sum(map(Ys, [&](Val Y) { return X * Y; }));
+    }));
+  };
+  auto FlopsAt = [&](double YsLen) {
+    Program P = Build();
+    SizeEnv Env;
+    Env.ArrayLens["xs"] = 100;
+    Env.ArrayLens["ys"] = YsLen;
+    std::vector<LoopCost> Costs =
+        analyzeCosts(P, analyzePartitioning(P), Env);
+    double Flops = 0;
+    for (const LoopCost &C : Costs)
+      if (C.Iters == 100.0)
+        Flops = C.FlopsPerIter;
+    return Flops;
+  };
+  double Small = FlopsAt(10), Large = FlopsAt(1000);
+  ASSERT_GT(Small, 0.0);
+  // 100x more inner iterations must show up as much more per-outer work.
+  EXPECT_GT(Large, Small * 10);
+}
+
+TEST(CostTest, MissingEnvironmentStillProducesFiniteCosts) {
+  // The tuner calls analyzeCosts with whatever sizeEnvFromInputs saw; a
+  // totally empty environment must still yield finite, non-negative costs.
+  ProgramBuilder B;
+  Val Xs = B.inVecF64("xs");
+  Program P = B.build(sum(map(Xs, [](Val X) { return X + Val(1.0); })));
+  std::vector<LoopCost> Costs =
+      analyzeCosts(P, analyzePartitioning(P), SizeEnv());
+  ASSERT_FALSE(Costs.empty());
+  for (const LoopCost &C : Costs) {
+    EXPECT_TRUE(std::isfinite(C.Iters));
+    EXPECT_TRUE(std::isfinite(C.FlopsPerIter));
+    EXPECT_GE(C.Iters, 0.0);
+  }
+}

@@ -30,6 +30,7 @@ set(REGISTERED_DOCS
   FUZZING.md
   OBSERVABILITY.md
   PROFILING.md
+  TUNING.md
 )
 
 file(GLOB_RECURSE HEADERS "${DMLL_SOURCE_DIR}/src/*.h")

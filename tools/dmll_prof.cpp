@@ -18,6 +18,11 @@
 //                   timer noise (default 0.05)
 //   --baseline P    baseline path for --check (default ./BENCH_perf.json)
 //   --check         single-file gate mode against the committed baseline
+//   --history F     take the baseline from F, a BENCH_history.jsonl file
+//                   (one {"ts": ..., "doc": ...} line per past run,
+//                   appended by tools/run_benchmarks.sh): the latest entry
+//                   whose document describes the same benchmark as
+//                   CURRENT.json is the baseline.
 //   --speedup       compare the records' speedup field instead of raw ms
 //                   (benchmark documents only). Speedups are normalized
 //                   against a reference measured in the same run, so the
@@ -34,6 +39,7 @@
 
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <map>
 #include <string>
 #include <vector>
@@ -94,13 +100,60 @@ bool loadTimings(const std::string &Path, TimingMap &Out, std::string &Kind,
   return true;
 }
 
+/// What a document describes: the benchmark name for record documents, the
+/// schema for execution profiles. History matching compares identities.
+std::string docIdentity(const JValue &Doc) {
+  std::string B = Doc.strField("benchmark");
+  return B.empty() ? Doc.strField("schema") : B;
+}
+
+/// Scans a BENCH_history.jsonl file (one {"ts", "doc"} object per line,
+/// appended by tools/run_benchmarks.sh) for the latest entry whose document
+/// has \p Identity; extracts its timings as the baseline.
+bool loadHistoryBaseline(const std::string &Path, const std::string &Identity,
+                         TimingMap &Out, std::string &Kind,
+                         TimingMap *Speedups, std::string &Ts) {
+  std::ifstream In(Path);
+  if (!In) {
+    std::fprintf(stderr, "dmll-prof: cannot read history %s\n", Path.c_str());
+    return false;
+  }
+  JValue Best;
+  bool Found = false;
+  std::string Line;
+  while (std::getline(In, Line)) {
+    if (Line.find_first_not_of(" \t\r") == std::string::npos)
+      continue;
+    JValue Entry;
+    if (!dmll::json::parse(Line, Entry)) {
+      std::fprintf(stderr, "dmll-prof: skipping malformed history line\n");
+      continue;
+    }
+    const JValue *Doc = Entry.field("doc");
+    if (Doc && docIdentity(*Doc) == Identity) {
+      Best = *Doc; // later lines win: the file is append-only
+      Ts = Entry.strField("ts");
+      Found = true;
+    }
+  }
+  if (!Found) {
+    std::fprintf(stderr,
+                 "dmll-prof: history %s has no entry for benchmark '%s'\n",
+                 Path.c_str(), Identity.c_str());
+    return false;
+  }
+  return extractTimings(Best, Out, Kind, Speedups);
+}
+
 void usage() {
   std::fprintf(
       stderr,
       "usage: dmll-prof [--speedup] [--threshold R] [--min-ms M] "
       "BASELINE.json CURRENT.json\n"
       "       dmll-prof --check [--threshold R] [--min-ms M] [--baseline P] "
-      "CURRENT.json\n");
+      "CURRENT.json\n"
+      "       dmll-prof --history BENCH_history.jsonl [--speedup] "
+      "[--threshold R] [--min-ms M] CURRENT.json\n");
 }
 
 } // namespace
@@ -111,6 +164,7 @@ int main(int Argc, char **Argv) {
   bool Check = false;
   bool SpeedupMode = false;
   std::string BaselinePath = "BENCH_perf.json";
+  std::string HistoryPath;
   std::vector<std::string> Files;
 
   for (int I = 1; I < Argc; ++I) {
@@ -133,6 +187,8 @@ int main(int Argc, char **Argv) {
       MinMs = std::atof(V);
     } else if (const char *V = TakeValue("--baseline")) {
       BaselinePath = V;
+    } else if (const char *V = TakeValue("--history")) {
+      HistoryPath = V;
     } else if (A == "--help" || A == "-h") {
       usage();
       return 0;
@@ -150,10 +206,12 @@ int main(int Argc, char **Argv) {
   }
 
   std::string Base, Cur;
-  if (Check && Files.size() == 1) {
+  if (!HistoryPath.empty() && Files.size() == 1) {
+    Cur = Files[0];
+  } else if (Check && Files.size() == 1) {
     Base = BaselinePath;
     Cur = Files[0];
-  } else if (Files.size() == 2) {
+  } else if (HistoryPath.empty() && Files.size() == 2) {
     Base = Files[0];
     Cur = Files[1];
   } else {
@@ -163,8 +221,30 @@ int main(int Argc, char **Argv) {
 
   TimingMap BaseT, CurT, BaseS, CurS;
   std::string BaseKind, CurKind;
-  if (!loadTimings(Base, BaseT, BaseKind, &BaseS) ||
-      !loadTimings(Cur, CurT, CurKind, &CurS))
+  if (!HistoryPath.empty()) {
+    // Baseline from the history log: the latest past run of the same
+    // benchmark as the current document.
+    JValue CurDoc;
+    if (!dmll::json::parseFile(Cur, CurDoc)) {
+      std::fprintf(stderr, "dmll-prof: cannot read or parse %s\n",
+                   Cur.c_str());
+      return 2;
+    }
+    if (!extractTimings(CurDoc, CurT, CurKind, &CurS)) {
+      std::fprintf(stderr,
+                   "dmll-prof: %s is neither a dmll-profile-v1 document nor "
+                   "a benchmark record document\n",
+                   Cur.c_str());
+      return 2;
+    }
+    std::string Ts;
+    if (!loadHistoryBaseline(HistoryPath, docIdentity(CurDoc), BaseT,
+                             BaseKind, &BaseS, Ts))
+      return 2;
+    std::printf("baseline: %s entry from %s\n", HistoryPath.c_str(),
+                Ts.empty() ? "(unknown time)" : Ts.c_str());
+  } else if (!loadTimings(Base, BaseT, BaseKind, &BaseS) ||
+             !loadTimings(Cur, CurT, CurKind, &CurS))
     return 2;
 
   if (SpeedupMode) {

@@ -9,7 +9,15 @@
 #                              interpreter vs compiled-kernel ms + speedup
 #                              per core pattern at equal thread count
 #   OUT_DIR/BENCH_table2.json  generated C++ vs hand-written C++ per app
-#                              (table2_sequential --json-out)
+#                              (table2_sequential --json-out; with
+#                              DMLL_BENCH_TUNE=1 also dmll-tuned records
+#                              from the codegen autotuner, docs/TUNING.md)
+#
+# Every fresh run is additionally appended to OUT_DIR/BENCH_history.jsonl —
+# one line per document, {"ts": "<UTC ISO-8601>", "doc": {...}} — so the
+# overwritten BENCH_*.json files keep a git-tracked time series. Diff the
+# current run against the previous matching entry with
+#   build/tools/dmll-prof --history BENCH_history.jsonl CURRENT.json
 #
 # --check is the perf-regression gate (the perf_smoke ctest): it reruns
 # micro_patterns into a temp directory and diffs it against the committed
@@ -69,10 +77,27 @@ if [ "$CHECK" = 1 ]; then
   exit 0
 fi
 
+# Appends one {"ts": ..., "doc": ...} line per benchmark document to the
+# history file (the BENCH_*.json files themselves are overwritten per run).
+append_history() {
+  TS=$(date -u +%Y-%m-%dT%H:%M:%SZ)
+  # Compact the document onto one line so the history stays one JSON
+  # object per line (JSONL).
+  DOC=$(tr -d '\n' < "$1")
+  printf '{"ts":"%s","doc":%s}\n' "$TS" "$DOC" >> "$OUT_DIR/BENCH_history.jsonl"
+}
+
 echo "== engine comparison (interp vs kernel) =="
 "$BUILD_DIR/bench/micro_patterns" --json-out "$OUT_DIR/BENCH_perf.json"
+append_history "$OUT_DIR/BENCH_perf.json"
 
 echo "== table 2 (generated C++ vs hand-written) =="
-"$BUILD_DIR/bench/table2_sequential" --json-out "$OUT_DIR/BENCH_table2.json"
+TUNE_FLAG=""
+if [ "${DMLL_BENCH_TUNE:-0}" = 1 ]; then
+  TUNE_FLAG="--tune"
+fi
+"$BUILD_DIR/bench/table2_sequential" $TUNE_FLAG --json-out "$OUT_DIR/BENCH_table2.json"
+append_history "$OUT_DIR/BENCH_table2.json"
 
 echo "wrote $OUT_DIR/BENCH_perf.json and $OUT_DIR/BENCH_table2.json"
+echo "appended this run to $OUT_DIR/BENCH_history.jsonl"
