@@ -11,6 +11,18 @@
 // (open in chrome://tracing or https://ui.perfetto.dev; see
 // docs/OBSERVABILITY.md).
 //
+// Pass --inproc to additionally run each application's IR once through the
+// in-process executor (4 threads, Auto engine) before its generated-C++
+// timing. The in-process runs feed the live telemetry plane — per-loop
+// exec.loop_ms series, dmll-events-v1 events, sampling attribution — so a
+// dmll-top pointed at --metrics-live (or --metrics-port) shows live
+// per-loop rows while the suite runs; --metrics-out archives the final
+// Prometheus snapshot (docs/TELEMETRY.md). --inproc-only runs just those
+// in-process executions and skips the generated-C++ compile+run — the
+// telemetry_smoke gate times that mode with and without --sample to bound
+// sampling overhead on exactly the code the sampler observes (subprocess
+// compiles would only add timing noise to the comparison).
+//
 // Pass --tune to additionally run the codegen autotuner (tune/Tuner.h
 // tuneGeneratedCpp) per application: it builds and times generated-C++
 // variants with per-loop transform-plan masking and horizontal-fusion
@@ -28,8 +40,10 @@
 #include "data/Datasets.h"
 #include "graph/Graph.h"
 #include "graph/PushPull.h"
+#include "observe/LiveTelemetry.h"
 #include "observe/Trace.h"
 #include "refimpl/RefImpl.h"
+#include "runtime/Executor.h"
 #include "support/Table.h"
 #include "transform/Pipeline.h"
 #include "transform/Soa.h"
@@ -40,6 +54,7 @@
 #include <cstdio>
 #include <functional>
 #include <string>
+#include <sys/resource.h>
 
 using namespace dmll;
 
@@ -64,6 +79,8 @@ struct Row {
 
 std::vector<Row> Rows;
 bool TuneMode = false;
+bool InProc = false;
+bool InProcOnly = false; ///< skip the generated-C++ timing entirely
 
 std::string optsApplied(const CompileResult &CR) {
   std::string S;
@@ -83,6 +100,19 @@ void runCase(const std::string &Name, const Program &P, const InputMap &In,
              const std::string &DataDesc, int64_t N, int Iters,
              const std::function<void()> &Ref) {
   TraceSpan Span("bench." + Name, "phase");
+  if (InProc) {
+    // One in-process run through the full executor: this is what feeds the
+    // per-loop telemetry series (the generated-C++ timing below runs in a
+    // subprocess, invisible to this process's registry and sampler).
+    CompileOptions IC;
+    IC.T = Target::Numa;
+    ExecOptions IE;
+    IE.Threads = 4;
+    IE.Mode = engine::EngineMode::Auto;
+    (void)executeProgram(P, In, IC, IE);
+  }
+  if (InProcOnly)
+    return; // telemetry feed only: no generated-C++ compile+run noise
   CompileOptions CO;
   CO.T = Target::Sequential;
   CompileResult CR = compileProgram(P, CO);
@@ -119,12 +149,19 @@ void runCase(const std::string &Name, const Program &P, const InputMap &In,
 } // namespace
 
 int main(int Argc, char **Argv) {
+  auto WallT0 = std::chrono::steady_clock::now();
   std::string TracePath = traceArgPath(Argc, Argv);
   TraceSession Session;
   TraceActivation Activation(Session);
-  for (int I = 1; I < Argc; ++I)
+  TelemetryScope Telemetry(telemetryCliArgs(Argc, Argv));
+  for (int I = 1; I < Argc; ++I) {
     if (std::string(Argv[I]) == "--tune")
       TuneMode = true;
+    if (std::string(Argv[I]) == "--inproc")
+      InProc = true;
+    if (std::string(Argv[I]) == "--inproc-only")
+      InProc = InProcOnly = true;
+  }
 
   // Scaled datasets (constant factor below the paper's; see DESIGN.md §2).
   const size_t Rows_ = 50000, Cols = 20, K = 10;
@@ -237,6 +274,21 @@ int main(int Argc, char **Argv) {
     else
       std::fprintf(stderr, "failed to write trace to %s\n",
                    TracePath.c_str());
+  }
+
+  if (InProc) {
+    // Machine-readable cost line for the telemetry_smoke overhead gate:
+    // cpu_ms is process user+sys (sampler thread included), which measures
+    // the cycles telemetry actually costs even when wall clock on a shared
+    // host is dominated by steal time.
+    struct rusage RU;
+    getrusage(RUSAGE_SELF, &RU);
+    double CpuMs = (RU.ru_utime.tv_sec + RU.ru_stime.tv_sec) * 1e3 +
+                   (RU.ru_utime.tv_usec + RU.ru_stime.tv_usec) / 1e3;
+    double WallMs = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - WallT0)
+                        .count();
+    std::printf("telemetry-inproc wall_ms=%.0f cpu_ms=%.0f\n", WallMs, CpuMs);
   }
   return 0;
 }

@@ -12,6 +12,9 @@
 //   ./build/examples/quickstart [--trace-out trace.json]
 //                               [--profile-out p.json] [--engine MODE]
 //                               [--tune-out t.json] [--tune-in t.json]
+//                               [--metrics-out m.prom] [--metrics-live m.prom]
+//                               [--metrics-port N] [--events-out e.jsonl]
+//                               [--sample] [--sample-out s.collapsed]
 // where MODE is interp (boxed reference interpreter), kernel (compiled
 // register bytecode, docs/EXECUTION.md), or auto (the default: kernels for
 // non-tiny loops, interpreter otherwise). The profile JSON is the
@@ -26,6 +29,7 @@
 #include "interp/Interp.h"
 #include "ir/Printer.h"
 #include "ir/Traversal.h"
+#include "observe/LiveTelemetry.h"
 #include "observe/Metrics.h"
 #include "observe/Trace.h"
 #include "runtime/Executor.h"
@@ -45,6 +49,9 @@ int main(int Argc, char **Argv) {
   std::string ProfilePath = profileArgPath(Argc, Argv);
   TraceSession Session;
   TraceActivation Activation(Session);
+  // The always-on telemetry plane (docs/TELEMETRY.md): final/live Prometheus
+  // snapshots, the dmll-events-v1 log, and the sampling profiler.
+  TelemetryScope Telemetry(telemetryCliArgs(Argc, Argv));
 
   // --engine interp|kernel|auto selects the multiloop execution engine.
   engine::EngineMode Mode = engine::EngineMode::Auto;
@@ -154,6 +161,19 @@ int main(int Argc, char **Argv) {
                 L.Loop.c_str(), L.Engine.c_str(),
                 static_cast<long long>(L.Iters), L.MeasuredMs, L.PredictedMs,
                 L.Matched ? std::to_string(L.Ratio).c_str() : "(unmatched)");
+
+  // With --sample: where this run's wall time went, by (phase, loop).
+  if (R.Sampling.Enabled) {
+    std::printf("\nsampling (%.3gms period): %lld tick(s), %lld busy / "
+                "%lld idle sample(s)\n",
+                R.Sampling.PeriodMs,
+                static_cast<long long>(R.Sampling.Ticks),
+                static_cast<long long>(R.Sampling.Samples),
+                static_cast<long long>(R.Sampling.IdleSamples));
+    for (const auto &[Stack, N] : R.Sampling.Stacks)
+      std::printf("  %-52s %lld\n", Stack.c_str(),
+                  static_cast<long long>(N));
+  }
 
   if (!ProfilePath.empty()) {
     if (writeProfileJson(ProfilePath, R))

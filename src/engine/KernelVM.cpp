@@ -2,6 +2,7 @@
 
 #include "engine/KernelVM.h"
 
+#include "observe/Sampler.h"
 #include "observe/Trace.h"
 #include "runtime/ThreadPool.h"
 #include "support/Error.h"
@@ -1280,6 +1281,7 @@ bool engine::runKernel(const Kernel &K, int64_t N, const LaunchContext &Ctx,
     Span.arg("loop", K.Signature);
     Span.argInt("iters", N);
   }
+  SampleScope KernelSample("engine.kernel", Ctx.SampleLoop);
 
   std::vector<ChunkGen> Final;
   // Index spans run scalar, or — for wide-eligible kernels — in WideW
@@ -1331,6 +1333,7 @@ bool engine::runKernel(const Kernel &K, int64_t N, const LaunchContext &Ctx,
     Ctx.Pool->parallelFor(
         NumChunks, 1,
         [&](int64_t CB, int64_t CE, unsigned) {
+          SampleScope ChunkSample("engine.chunk", Ctx.SampleLoop);
           for (int64_t C = CB; C < CE; ++C) {
             Regs R = Snapshot;
             std::vector<ChunkGen> &Gens = ChunkStates[static_cast<size_t>(C)];

@@ -82,6 +82,10 @@ struct LaunchContext {
   /// on the launching thread, so its chunks are already inside the caller's
   /// own ThreadCounters bracket — adding them here would double-count).
   CounterSample *LoopCounters = nullptr;
+  /// Interned loop signature (observe/Sampler.h) for sample attribution, or
+  /// null when no sampling profiler is active. Threaded from the evaluator
+  /// so kernel and chunk phases attribute to the loop without unwinding.
+  const char *SampleLoop = nullptr;
 };
 
 /// Runs \p K over [0, N). Returns false (leaving \p Out untouched) when

@@ -4,6 +4,8 @@
 
 #include "fuzz/RefEval.h"
 #include "interp/Interp.h"
+#include "observe/Events.h"
+#include "observe/Sampler.h"
 #include "transform/Pipeline.h"
 #include "transform/Soa.h"
 #include "tune/Tuner.h"
@@ -191,6 +193,21 @@ InputMap adaptForSoa(const Program &Original, const CompileResult &CR,
 
 RunResult execConfig(const FuzzCase &C, const ExecConfig &Cfg) {
   RunResult R;
+  // Telemetry configuration: whole plane live inside this forked child —
+  // sampling thread reading every worker's slot, event log swallowing the
+  // stream. Declaration order gives sampler-then-log teardown; both outlive
+  // the evaluation below.
+  std::unique_ptr<EventLog> TelLog;
+  std::unique_ptr<EventLogActivation> TelLogAct;
+  std::unique_ptr<SamplingProfiler> TelProf;
+  std::unique_ptr<SamplerActivation> TelProfAct;
+  if (Cfg.Telemetry) {
+    TelLog = std::make_unique<EventLog>("/dev/null");
+    if (TelLog->ok())
+      TelLogAct = std::make_unique<EventLogActivation>(*TelLog);
+    TelProf = std::make_unique<SamplingProfiler>(0.2);
+    TelProfAct = std::make_unique<SamplerActivation>(*TelProf);
+  }
   if (Cfg.E == ExecConfig::Engine::Ref) {
     R.Out = refEval(C.P, C.Inputs);
     return R;
@@ -247,6 +264,7 @@ std::vector<ExecConfig> dmll::fuzz::defaultConfigs() {
       {"kernel-unopt-4t", E::Kernel, false, true, 4, 4},
       {"kernel-opt-4t", E::Kernel, true, true, 4, 4},
       {"tuned-mixed-4t", E::Interp, false, true, 4, 4, true},
+      {"telemetry-4t", E::Interp, false, true, 4, 4, false, true},
       {"ref", E::Ref, false, true, 1, 1024},
   };
 }
@@ -525,12 +543,14 @@ Verdict dmll::fuzz::runDifferential(const FuzzCase &C, double Tol,
   // the same globals: the decision table only moves loops between engines
   // (bit-identical by the engine guarantee) and restates the global
   // Threads/MinChunk, so the comparison tolerance is exactly zero.
-  int TunedIdx = -1, UntunedIdx = -1;
+  int TunedIdx = -1, UntunedIdx = -1, TelemetryIdx = -1;
   for (size_t I = 0; I < Configs.size(); ++I) {
     if (Configs[I].Optimize || Results[I].Status != RunStatus::Ok)
       continue;
     if (Configs[I].Tuned)
       TunedIdx = static_cast<int>(I);
+    else if (Configs[I].Telemetry)
+      TelemetryIdx = static_cast<int>(I);
     else if (Configs[I].E == ExecConfig::Engine::Interp &&
              Configs[I].Threads > 1)
       UntunedIdx = static_cast<int>(I);
@@ -541,6 +561,17 @@ Verdict dmll::fuzz::runDifferential(const FuzzCase &C, double Tol,
     V.Divergences.push_back(
         {DivergenceKind::WrongValue, Configs[static_cast<size_t>(TunedIdx)].Name,
          "tuned decisions not bit-identical to " +
+             Configs[static_cast<size_t>(UntunedIdx)].Name});
+  }
+  // Telemetry is a pure observer: a live sampler and event log may not
+  // perturb a single bit of the result.
+  if (TelemetryIdx >= 0 && UntunedIdx >= 0 &&
+      !oracleEquals(Results[static_cast<size_t>(UntunedIdx)].Out,
+                    Results[static_cast<size_t>(TelemetryIdx)].Out, 0.0)) {
+    V.Divergences.push_back(
+        {DivergenceKind::WrongValue,
+         Configs[static_cast<size_t>(TelemetryIdx)].Name,
+         "telemetry run not bit-identical to " +
              Configs[static_cast<size_t>(UntunedIdx)].Name});
   }
   return V;

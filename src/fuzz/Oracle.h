@@ -10,7 +10,10 @@
 /// truth), interpreter after the full rewrite pipeline, kernel VM at
 /// several thread counts, a tuned configuration executing a synthetic
 /// per-loop decision table (tune/Tuner.h syntheticDecisions — mixed
-/// engines, globals pinned so chunking matches), and the independent mini
+/// engines, globals pinned so chunking matches), a telemetry configuration
+/// running with the sampling profiler and event log live (observability
+/// must be a pure observer: bit-identical to the untuned interpreter at
+/// the same globals), and the independent mini
 /// evaluator — and checks that every configuration agrees. Each configuration runs in a forked
 /// child because fatalError() aborts: the child serializes its result over
 /// a pipe and the parent classifies the exit status (clean exit = Ok,
@@ -80,6 +83,11 @@ struct ExecConfig {
   /// Threads/MinChunk pinned to the globals above). Results must stay
   /// bit-identical to the untuned interpreter at the same globals.
   bool Tuned = false;
+  /// Execute with the telemetry plane live: sampling profiler running and
+  /// a dmll-events-v1 log (to /dev/null) activated in the forked child.
+  /// Telemetry is a pure observer, so results must stay bit-identical to
+  /// the untuned interpreter at the same globals.
+  bool Telemetry = false;
 };
 
 /// The standard matrix; the first entry is the baseline (unoptimized

@@ -6,8 +6,10 @@
 #include "engine/KernelVM.h"
 #include "ir/Printer.h"
 #include "ir/Traversal.h"
+#include "observe/Events.h"
 #include "observe/MetricsRegistry.h"
 #include "observe/Prof.h"
+#include "observe/Sampler.h"
 #include "observe/Trace.h"
 #include "runtime/ThreadPool.h"
 #include "support/Error.h"
@@ -18,6 +20,7 @@
 #include <limits>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <unordered_set>
 
 using namespace dmll;
@@ -387,6 +390,10 @@ private:
     MetricsRegistry &R = MetricsRegistry::global();
     R.histogram("engine.compile_ms").observe(Ms);
     R.counter(Outcome.K ? "engine.compiled" : "engine.fallback_loops").inc();
+    if (!Outcome.K)
+      if (EventLog *EL = EventLog::active())
+        EL->emit(EventKind::EngineFallback, loopSignature(E),
+                 {EventLog::str("reason", Outcome.Reason)});
     KernelEntry Entry;
     if (Outcome.K) {
       Entry.K = std::move(Outcome.K);
@@ -415,7 +422,8 @@ private:
   /// knobs after any per-loop tuning decision was applied.
   bool tryKernel(const ExprRef &E, int64_t N, Scope &S, Value &Out,
                  CounterSample *OtherWorkers, bool *WasParallel,
-                 unsigned EffThreads, int64_t EffChunk, bool EffWide) {
+                 unsigned EffThreads, int64_t EffChunk, bool EffWide,
+                 const char *SampleSig) {
     std::shared_ptr<const engine::Kernel> K;
     size_t TimingIdx = 0;
     {
@@ -444,6 +452,7 @@ private:
     bool Parallel = false;
     Ctx.WasParallel = &Parallel;
     Ctx.LoopCounters = OtherWorkers;
+    Ctx.SampleLoop = SampleSig;
     auto T0 = std::chrono::steady_clock::now();
     if (!engine::runKernel(*K, N, Ctx, Out)) {
       if (KStats) {
@@ -474,12 +483,26 @@ private:
       fatalError("negative multiloop size " + std::to_string(N));
 
     bool Closed = freeOf(E).empty();
+    // Closed loops are the unit the telemetry plane attributes to: compute
+    // the signature once and share it between tuning lookup, trace span,
+    // events, per-loop metric labels, the loop profile, and the sampler
+    // (which needs a process-lifetime interned pointer another thread can
+    // read at any time).
+    const std::string Sig = Closed ? loopSignature(E) : std::string();
+    const char *SampleSig =
+        (Closed && SamplingProfiler::active()) ? internSampleName(Sig)
+                                               : nullptr;
+    // Open loops run per-element inside an enclosing closed loop; they keep
+    // its attribution rather than paying per-element publication stores.
+    std::optional<SampleScope> LoopSample;
+    if (Closed)
+      LoopSample.emplace("exec.loop", SampleSig);
     // Per-loop tuning decision, if a table is loaded and names this loop.
     // Effective knobs default to the run's globals; a decision narrows or
     // pins them for this loop only. Open loops always inherit (they run
     // inside an enclosing loop's iteration and are not tuned separately).
-    const tune::LoopDecision *TD =
-        (Tuning && Closed) ? Tuning->lookup(loopSignature(E)) : nullptr;
+    const tune::LoopDecision *TD = (Tuning && Closed) ? Tuning->lookup(Sig)
+                                                      : nullptr;
     unsigned EffThreads = Threads;
     int64_t EffChunk = MinChunk;
     bool EffWide = WideKernels;
@@ -491,15 +514,24 @@ private:
       if (TD->Wide >= 0)
         EffWide = TD->Wide != 0;
       MetricsRegistry::global().counter("tune.decisions_applied").inc();
+      if (EventLog *EL = EventLog::active())
+        EL->emit(EventKind::TuneDecision, Sig,
+                 {EventLog::num("threads", EffThreads),
+                  EventLog::num("min_chunk", static_cast<double>(EffChunk)),
+                  EventLog::num("wide", EffWide ? 1 : 0)});
     }
     // Every closed loop gets one "exec.loop" span, whichever engine runs
     // it; the engine name and measured counter deltas land as span args.
     TraceSpan LoopSpan(Closed ? TraceSession::active() : nullptr, "exec.loop",
                        "exec");
     if (LoopSpan.live()) {
-      LoopSpan.arg("loop", loopSignature(E));
+      LoopSpan.arg("loop", Sig);
       LoopSpan.argInt("iters", N);
     }
+    EventLog *Events = Closed ? EventLog::active() : nullptr;
+    if (Events)
+      Events->emit(EventKind::LoopBegin, Sig,
+                   {EventLog::num("iters", static_cast<double>(N))});
     const bool Measure = Profile && Closed;
     CounterSample Before = Measure ? ThreadCounters::now() : CounterSample{};
     auto T0 = std::chrono::steady_clock::now();
@@ -525,7 +557,7 @@ private:
     bool Done = false;
     if (WantKernel && Closed) {
       if (tryKernel(E, N, S, Result, Measure ? &OtherWorkers : nullptr,
-                    &Parallel, EffThreads, EffChunk, EffWide)) {
+                    &Parallel, EffThreads, EffChunk, EffWide, SampleSig)) {
         Engine = "kernel";
         Done = true;
       }
@@ -552,6 +584,9 @@ private:
         Pool->parallelFor(
             NumChunks, 1,
             [&](int64_t CB, int64_t CE, unsigned) {
+              // Pool workers start with a fresh slot, so they publish the
+              // loop themselves (the driver's scope isn't inherited).
+              SampleScope ChunkSample("exec.chunk", SampleSig);
               for (int64_t C = CB; C < CE; ++C) {
                 Evaluator Sub(Inputs);
                 // Nested loops inside a chunk must pick their engine the
@@ -602,9 +637,29 @@ private:
 
     if (LoopSpan.live())
       LoopSpan.arg("engine", Engine);
+    if (Closed) {
+      // Always-on per-loop series: one labeled histogram family keyed by
+      // (loop, engine) plus a per-loop threads gauge. Loop signatures have
+      // bounded cardinality (they name IR shapes, not data), so the label
+      // space stays small; this is what dmll-top and the exposition show
+      // live, whether or not profiling was requested.
+      double WallMs = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - T0)
+                          .count();
+      MetricsRegistry &R = MetricsRegistry::global();
+      R.histogram("exec.loop_ms|loop=" + Sig + "|engine=" + Engine)
+          .observe(WallMs);
+      R.gauge("exec.loop_threads|loop=" + Sig)
+          .set(Parallel ? EffThreads : 1);
+      if (Events)
+        Events->emit(EventKind::LoopEnd, Sig,
+                     {EventLog::str("engine", Engine),
+                      EventLog::num("millis", WallMs),
+                      EventLog::num("parallel", Parallel ? 1 : 0)});
+    }
     if (Measure) {
       LoopProfile LP;
-      LP.Loop = loopSignature(E);
+      LP.Loop = Sig;
       LP.Engine = Engine;
       LP.Iters = N;
       LP.Millis = std::chrono::duration<double, std::milli>(

@@ -1,0 +1,290 @@
+//===- observe/Events.cpp --------------------------------------*- C++ -*-===//
+
+#include "observe/Events.h"
+
+#include "support/Error.h"
+#include "support/Json.h"
+
+#include <atomic>
+#include <cstring>
+#include <fstream>
+
+using namespace dmll;
+
+int dmll::telemetryThreadId() {
+  static std::atomic<int> Next{0};
+  thread_local int Id = Next.fetch_add(1, std::memory_order_relaxed);
+  return Id;
+}
+
+const char *dmll::eventKindName(EventKind K) {
+  switch (K) {
+  case EventKind::LogOpen:
+    return "log.open";
+  case EventKind::RunStart:
+    return "run.start";
+  case EventKind::RunStop:
+    return "run.stop";
+  case EventKind::LoopBegin:
+    return "loop.begin";
+  case EventKind::LoopEnd:
+    return "loop.end";
+  case EventKind::EngineFallback:
+    return "engine.fallback";
+  case EventKind::TuneDecision:
+    return "tune.decision";
+  case EventKind::MetricsSnapshot:
+    return "metrics.snapshot";
+  case EventKind::Trap:
+    return "trap";
+  }
+  return "unknown";
+}
+
+namespace {
+
+std::atomic<EventLog *> ActiveLog{nullptr};
+
+void appendEscaped(std::string &Out, const std::string &S) {
+  Out += '"';
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += C;
+      }
+    }
+  }
+  Out += '"';
+}
+
+void trapHook(const std::string &Msg) {
+  if (EventLog *L = EventLog::active()) {
+    L->emit(EventKind::Trap, {}, {EventLog::str("message", Msg)});
+    L->flush();
+  }
+}
+
+} // namespace
+
+EventLog::EventLog(const std::string &Path) : LogPath(Path) {
+  F = std::fopen(Path.c_str(), "w");
+  Epoch = std::chrono::steady_clock::now();
+  if (F)
+    emit(EventKind::LogOpen, {},
+         {str("schema", "dmll-events-v1")});
+}
+
+EventLog::~EventLog() {
+  if (F)
+    std::fclose(F);
+}
+
+int64_t EventLog::size() const {
+  std::lock_guard<std::mutex> L(Mu);
+  return Count;
+}
+
+EventArg EventLog::num(std::string Key, double V) {
+  EventArg A;
+  A.Key = std::move(Key);
+  A.Num = V;
+  A.IsNum = true;
+  return A;
+}
+
+EventArg EventLog::str(std::string Key, std::string V) {
+  EventArg A;
+  A.Key = std::move(Key);
+  A.Str = std::move(V);
+  return A;
+}
+
+void EventLog::emit(EventKind K, const std::string &Loop,
+                    const std::vector<EventArg> &Args) {
+  if (!F)
+    return;
+  int Tid = telemetryThreadId();
+  std::string Line;
+  Line.reserve(96);
+  std::lock_guard<std::mutex> L(Mu);
+  // Timestamp under the lock, so line order and ts_ms order agree — the
+  // validator checks global monotonicity.
+  double Ts = std::chrono::duration<double, std::milli>(
+                  std::chrono::steady_clock::now() - Epoch)
+                  .count();
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "{\"ts_ms\":%.3f,\"tid\":%d,\"type\":", Ts,
+                Tid);
+  Line += Buf;
+  appendEscaped(Line, eventKindName(K));
+  if (!Loop.empty()) {
+    Line += ",\"loop\":";
+    appendEscaped(Line, Loop);
+  }
+  for (const EventArg &A : Args) {
+    Line += ",";
+    appendEscaped(Line, A.Key);
+    Line += ":";
+    if (A.IsNum) {
+      std::snprintf(Buf, sizeof(Buf), "%.6g", A.Num);
+      Line += Buf;
+    } else {
+      appendEscaped(Line, A.Str);
+    }
+  }
+  Line += "}\n";
+  std::fwrite(Line.data(), 1, Line.size(), F);
+  std::fflush(F);
+  ++Count;
+}
+
+void EventLog::flush() {
+  std::lock_guard<std::mutex> L(Mu);
+  if (F)
+    std::fflush(F);
+}
+
+EventLog *EventLog::active() {
+  return ActiveLog.load(std::memory_order_acquire);
+}
+
+EventLogActivation::EventLogActivation(EventLog &L) {
+  Prev = ActiveLog.exchange(&L, std::memory_order_release);
+  setFatalErrorHook(trapHook);
+}
+
+EventLogActivation::~EventLogActivation() {
+  ActiveLog.store(Prev, std::memory_order_release);
+  if (!Prev)
+    setFatalErrorHook(nullptr);
+}
+
+EventLogCheck dmll::validateEventLog(const std::string &Path) {
+  EventLogCheck R;
+  auto Fail = [&](const std::string &Msg) {
+    R.Ok = false;
+    if (R.Errors.size() < 20)
+      R.Errors.push_back(Msg);
+  };
+  std::ifstream In(Path, std::ios::binary);
+  if (!In) {
+    Fail("cannot open " + Path);
+    return R;
+  }
+  static const char *Known[] = {
+      "log.open",      "run.start",       "run.stop",
+      "loop.begin",    "loop.end",        "engine.fallback",
+      "tune.decision", "metrics.snapshot", "trap"};
+  double LastTs = -1;
+  int64_t RunStarts = 0, RunStops = 0;
+  bool SawTrap = false;
+  // Per-tid stack of open loop signatures (loop.begin/loop.end nest on the
+  // thread that executes the loop).
+  std::map<int64_t, std::vector<std::string>> OpenLoops;
+  std::string Line;
+  while (std::getline(In, Line)) {
+    ++R.Lines;
+    if (Line.empty())
+      continue;
+    std::string Where = "line " + std::to_string(R.Lines);
+    json::JValue V;
+    if (!json::parse(Line, V)) {
+      Fail(Where + ": not valid JSON");
+      continue;
+    }
+    if (V.K != json::JValue::Object) {
+      Fail(Where + ": not a JSON object");
+      continue;
+    }
+    const json::JValue *Ts = V.field("ts_ms");
+    const json::JValue *Tid = V.field("tid");
+    const json::JValue *TypeV = V.field("type");
+    if (!Ts || Ts->K != json::JValue::Number)
+      Fail(Where + ": missing numeric ts_ms");
+    if (!Tid || Tid->K != json::JValue::Number)
+      Fail(Where + ": missing numeric tid");
+    if (!TypeV || TypeV->K != json::JValue::String) {
+      Fail(Where + ": missing type");
+      continue;
+    }
+    const std::string &Type = TypeV->Str;
+    bool KnownType = false;
+    for (const char *T : Known)
+      KnownType |= Type == T;
+    if (!KnownType)
+      Fail(Where + ": unknown event type \"" + Type + "\"");
+    ++R.CountsByType[Type];
+    if (Ts && Ts->K == json::JValue::Number) {
+      if (Ts->Num < LastTs)
+        Fail(Where + ": ts_ms went backwards");
+      LastTs = std::max(LastTs, Ts->Num);
+    }
+    if (R.Lines == 1) {
+      if (Type != "log.open")
+        Fail("line 1: first event must be log.open");
+      if (V.strField("schema") != "dmll-events-v1")
+        Fail("line 1: log.open must carry schema \"dmll-events-v1\"");
+    }
+    if (Type == "run.start")
+      ++RunStarts;
+    else if (Type == "run.stop")
+      ++RunStops;
+    else if (Type == "trap")
+      SawTrap = true;
+    else if (Type == "loop.begin" || Type == "loop.end") {
+      const json::JValue *Loop = V.field("loop");
+      int64_t T = Tid && Tid->K == json::JValue::Number
+                      ? static_cast<int64_t>(Tid->Num)
+                      : -1;
+      if (!Loop || Loop->K != json::JValue::String) {
+        Fail(Where + ": " + Type + " without loop signature");
+      } else if (Type == "loop.begin") {
+        OpenLoops[T].push_back(Loop->Str);
+      } else {
+        std::vector<std::string> &Stack = OpenLoops[T];
+        if (Stack.empty())
+          Fail(Where + ": loop.end without matching loop.begin on tid " +
+               std::to_string(T));
+        else if (Stack.back() != Loop->Str)
+          Fail(Where + ": loop.end signature \"" + Loop->Str +
+               "\" does not match open loop \"" + Stack.back() + "\"");
+        else
+          Stack.pop_back();
+      }
+    }
+  }
+  if (R.Lines == 0)
+    Fail("empty event log");
+  // A trap aborts mid-flight, legitimately leaving loops open and runs
+  // unstopped; otherwise everything must balance.
+  if (!SawTrap) {
+    if (RunStarts != RunStops)
+      Fail("run.start/run.stop imbalance: " + std::to_string(RunStarts) +
+           " vs " + std::to_string(RunStops));
+    for (const auto &[Tid, Stack] : OpenLoops)
+      if (!Stack.empty())
+        Fail("tid " + std::to_string(Tid) + " ended with " +
+             std::to_string(Stack.size()) + " unclosed loop.begin event(s)");
+  }
+  return R;
+}

@@ -1,0 +1,137 @@
+//===- observe/Events.h - Structured JSONL event log -----------*- C++ -*-===//
+//
+// Part of the DMLL reproduction of Brown et al., CGO 2016.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The structured runtime event log (`dmll-events-v1`): an append-only JSONL
+/// stream of execution milestones — run start/stop, closed-loop begin/end
+/// with signature, engine fallbacks, tuner decisions applied, metrics
+/// snapshots, and traps — each stamped with a monotonic timestamp and a
+/// small per-thread id. Unlike the Chrome trace (observe/Trace.h), which is
+/// buffered in memory and exported after the run, the event log is written
+/// as execution happens, so a tail/service-side consumer sees milestones
+/// live and a trap still leaves every event up to the abort on disk.
+///
+/// One line per event: `{"ts_ms":..,"tid":..,"type":"..",...}`. The first
+/// line is always a `log.open` record carrying `"schema":"dmll-events-v1"`.
+/// Timestamps are milliseconds since the log was opened (steady clock), and
+/// writes are serialized, so `ts_ms` is globally non-decreasing — a property
+/// validateEventLog() checks along with schema conformance (see
+/// docs/TELEMETRY.md for the full schema).
+///
+/// Like TraceSession, an EventLog becomes the process-wide sink through an
+/// RAII EventLogActivation; emission sites test EventLog::active() and stay
+/// branch-cheap when no log is active. Activation also hooks fatalError so
+/// traps emit a final `trap` event and flush before aborting.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DMLL_OBSERVE_EVENTS_H
+#define DMLL_OBSERVE_EVENTS_H
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace dmll {
+
+/// Small, stable per-thread id for telemetry records: 0, 1, 2, ... in order
+/// of first use within the process (the driver is typically 0). Distinct
+/// from pthread ids, which are neither small nor stable across runs.
+int telemetryThreadId();
+
+/// Event kinds of the dmll-events-v1 schema.
+enum class EventKind {
+  LogOpen,        ///< first line of every log; carries the schema tag
+  RunStart,       ///< executeProgram began an evaluation
+  RunStop,        ///< executeProgram finished (args: millis)
+  LoopBegin,      ///< a closed multiloop started (args: iters)
+  LoopEnd,        ///< it finished (args: engine, millis, parallel)
+  EngineFallback, ///< kernel compilation rejected a loop (args: reason)
+  TuneDecision,   ///< a per-loop tuning decision was applied
+  MetricsSnapshot,///< snapshotter delta record (args: changed counters)
+  Trap,           ///< fatalError fired (args: message); log flushes first
+};
+
+const char *eventKindName(EventKind K);
+
+/// One extra key/value on an event line; numbers are emitted as JSON
+/// numbers, strings as escaped JSON strings.
+struct EventArg {
+  std::string Key;
+  std::string Str;
+  double Num = 0;
+  bool IsNum = false;
+};
+
+/// An open dmll-events-v1 log file. Thread-safe; every emit appends one
+/// line and flushes (events are per-loop-coarse, not per-element, so the
+/// stream stays cheap while remaining tail-able and abort-safe).
+class EventLog {
+public:
+  /// Opens (truncates) \p Path and writes the log.open header line.
+  explicit EventLog(const std::string &Path);
+  ~EventLog();
+
+  bool ok() const { return F != nullptr; }
+  const std::string &path() const { return LogPath; }
+  /// Events written so far, header included.
+  int64_t size() const;
+
+  /// Appends one event line. \p Loop is the loop signature ("" omits the
+  /// field); \p Args are extra key/values.
+  void emit(EventKind K, const std::string &Loop = {},
+            const std::vector<EventArg> &Args = {});
+  void flush();
+
+  /// Convenience EventArg builders.
+  static EventArg num(std::string Key, double V);
+  static EventArg str(std::string Key, std::string V);
+
+  /// The process-wide active log, or null. Set by EventLogActivation.
+  static EventLog *active();
+
+private:
+  std::FILE *F = nullptr;
+  std::string LogPath;
+  std::chrono::steady_clock::time_point Epoch;
+  mutable std::mutex Mu;
+  int64_t Count = 0;
+};
+
+/// RAII activation: installs \p L as the process-wide event sink and hooks
+/// fatalError to emit a trap event (and flush) before aborting. Restores
+/// the previous sink/hook on destruction.
+class EventLogActivation {
+public:
+  explicit EventLogActivation(EventLog &L);
+  ~EventLogActivation();
+
+private:
+  EventLog *Prev;
+};
+
+/// Result of validating a JSONL file against dmll-events-v1.
+struct EventLogCheck {
+  bool Ok = true;
+  std::vector<std::string> Errors;
+  std::map<std::string, int64_t> CountsByType;
+  int64_t Lines = 0;
+};
+
+/// Validates \p Path against the dmll-events-v1 schema: every line parses
+/// as a JSON object with ts_ms/tid/type, the first line is log.open with
+/// the right schema tag, ts_ms is globally non-decreasing, loop begin/end
+/// nest per thread with matching signatures, and run start/stop balance.
+/// A trap event waives the balance checks (the run aborted mid-flight).
+EventLogCheck validateEventLog(const std::string &Path);
+
+} // namespace dmll
+
+#endif // DMLL_OBSERVE_EVENTS_H

@@ -1,0 +1,182 @@
+//===- observe/LiveTelemetry.h - Snapshotter + Prometheus ------*- C++ -*-===//
+//
+// Part of the DMLL reproduction of Brown et al., CGO 2016.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The live half of the telemetry plane (docs/TELEMETRY.md): renders the
+/// MetricsRegistry — counters, gauges, histograms, including the per-loop
+/// `exec.loop_ms|loop=<sig>|engine=<e>` series the interpreter feeds — plus
+/// the active sampling profiler's buckets in Prometheus text exposition
+/// format, and runs a LiveSnapshotter thread that periodically writes the
+/// exposition to a file (atomic tmp+rename, so tailers never see a torn
+/// snapshot), serves it over an optional localhost TCP endpoint, and
+/// appends counter-delta records to the active event log. `dmll-top` tails
+/// either output and renders the live per-loop table.
+///
+/// Registry names may carry labels after `|` separators
+/// (`base|key=value|key=value`); the renderer splits them into Prometheus
+/// label sets, so one histogram family groups every loop/engine series.
+/// A parser + format checker for the exposition text lives here too, used
+/// by dmll-top, the telemetry tests, and the telemetry_smoke gate.
+///
+/// TelemetryCli/TelemetryScope wrap the whole plane behind the shared
+/// command-line flags (--metrics-out/--metrics-live/--metrics-port/
+/// --events-out/--sample/--sample-out) for quickstart and the benches.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DMLL_OBSERVE_LIVETELEMETRY_H
+#define DMLL_OBSERVE_LIVETELEMETRY_H
+
+#include "observe/Events.h"
+#include "observe/MetricsRegistry.h"
+#include "observe/Sampler.h"
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace dmll {
+
+/// Splits a registry instrument name into its base and `|key=value` labels.
+void splitMetricName(const std::string &Name, std::string &Base,
+                     std::vector<std::pair<std::string, std::string>> &Labels);
+
+/// Renders \p R (and the active SamplingProfiler's buckets, if any) in
+/// Prometheus text exposition format: `dmll_`-prefixed mangled names,
+/// counters with `_total`, histograms with cumulative `_bucket{le=...}`
+/// rows ending at `+Inf`, plus `_sum`/`_count`. `_count` equals the `+Inf`
+/// bucket by construction, so a snapshot taken mid-update still satisfies
+/// the Prometheus histogram invariant.
+std::string renderPrometheus(const MetricsRegistry &R);
+/// The process-global registry's exposition.
+std::string renderPrometheus();
+
+/// One parsed exposition sample.
+struct PromSample {
+  std::string Name; ///< full series name (e.g. dmll_exec_loop_ms_bucket)
+  std::map<std::string, std::string> Labels;
+  double Value = 0;
+};
+
+/// A parsed exposition document.
+struct PromSnapshot {
+  std::vector<PromSample> Samples;
+  std::map<std::string, std::string> Types; ///< # TYPE name -> type
+
+  /// First sample with \p Name and exactly \p Labels, or nullptr.
+  const PromSample *
+  find(const std::string &Name,
+       const std::map<std::string, std::string> &Labels) const;
+};
+
+/// Parses exposition text; false (with \p Err set) on malformed lines.
+bool parsePrometheus(const std::string &Text, PromSnapshot &Out,
+                     std::string *Err = nullptr);
+
+/// Format sanity check: parses \p Text and verifies every series name is
+/// legal, every sample's family is TYPE-declared, and every histogram's
+/// buckets are cumulative, end in a `+Inf` row, and agree with `_count`.
+/// Returns human-readable problems (empty = pass).
+std::vector<std::string> checkPrometheus(const std::string &Text);
+
+/// Background metrics snapshotter: a dedicated thread that renders the
+/// exposition every period, atomically replaces \p Path (if set), answers
+/// HTTP GETs on 127.0.0.1:\p Port (if nonzero), and appends a
+/// metrics.snapshot delta event per cycle to the active EventLog.
+class LiveSnapshotter {
+public:
+  struct Options {
+    double PeriodMs = 200;
+    std::string Path; ///< exposition file; empty writes no file
+    int Port = 0;     ///< localhost TCP endpoint; 0 serves nothing
+  };
+
+  explicit LiveSnapshotter(Options O);
+  ~LiveSnapshotter();
+
+  void start();
+  void stop(); ///< takes one final snapshot before joining
+
+  /// Forces one snapshot cycle from the calling thread.
+  void snapshotNow();
+
+  int64_t snapshots() const { return Count.load(std::memory_order_relaxed); }
+  /// The most recently rendered exposition text.
+  std::string lastText() const;
+  int port() const { return Opts.Port; }
+
+private:
+  void cycle();
+  void threadMain();
+  void serve(const std::string &Text);
+
+  Options Opts;
+  std::atomic<bool> Running{false};
+  std::thread Thread;
+  std::atomic<int64_t> Count{0};
+  mutable std::mutex Mu; ///< serializes cycles; guards Last/PrevCounters
+  std::string Last;
+  std::map<std::string, int64_t> PrevCounters;
+  int ListenFd = -1;
+};
+
+/// The shared telemetry command-line surface (quickstart, benches, smoke):
+///   --metrics-out F    write a final Prometheus snapshot to F on exit
+///   --metrics-live F   run the snapshotter, replacing F every period
+///   --metrics-port N   also serve the exposition on 127.0.0.1:N
+///   --events-out F     write the dmll-events-v1 JSONL log to F
+///   --sample           run the sampling profiler
+///   --sample-out F     write collapsed stacks to F on exit (implies
+///                      --sample)
+struct TelemetryCli {
+  std::string MetricsOut, MetricsLive, EventsOut, SampleOut;
+  bool Sample = false;
+  int Port = 0;
+  /// 50 Hz. Each tick on a saturated single-core host costs ~100-200us
+  /// effective (the wakeup preempts a worker and pollutes its caches), so
+  /// 50 Hz keeps measured overhead near half the 2% telemetry_smoke
+  /// budget while multi-second loops still collect thousands of samples.
+  double SamplePeriodMs = 20;
+  double LivePeriodMs = 100;
+
+  bool any() const {
+    return !MetricsOut.empty() || !MetricsLive.empty() ||
+           !EventsOut.empty() || !SampleOut.empty() || Sample || Port != 0;
+  }
+};
+
+/// Parses the flags above out of argv (leaving unrelated flags alone).
+TelemetryCli telemetryCliArgs(int Argc, char **Argv);
+
+/// RAII wiring for TelemetryCli: activates the event log, the sampling
+/// profiler, and the snapshotter on construction; on destruction writes the
+/// final --metrics-out snapshot and --sample-out collapsed stacks, then
+/// tears everything down (the snapshotter takes a last snapshot while the
+/// sampler is still live).
+class TelemetryScope {
+public:
+  explicit TelemetryScope(const TelemetryCli &C);
+  ~TelemetryScope();
+
+  SamplingProfiler *profiler() { return Prof.get(); }
+  LiveSnapshotter *snapshotter() { return Snap.get(); }
+  EventLog *events() { return Log.get(); }
+
+private:
+  TelemetryCli Cli;
+  std::unique_ptr<EventLog> Log;
+  std::unique_ptr<EventLogActivation> LogAct;
+  std::unique_ptr<SamplingProfiler> Prof;
+  std::unique_ptr<SamplerActivation> ProfAct;
+  std::unique_ptr<LiveSnapshotter> Snap;
+};
+
+} // namespace dmll
+
+#endif // DMLL_OBSERVE_LIVETELEMETRY_H

@@ -83,6 +83,25 @@ void jsonNum(std::ostringstream &OS, double V) {
 
 } // namespace
 
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> L(Mu);
+  MetricsSnapshot S;
+  for (const auto &[Name, C] : Counters)
+    S.Counters[Name] = C->value();
+  for (const auto &[Name, G] : Gauges)
+    S.Gauges[Name] = G->value();
+  for (const auto &[Name, H] : Histograms) {
+    HistogramSnapshot &HS = S.Histograms[Name];
+    HS.Bounds = H->bounds();
+    HS.Counts.resize(HS.Bounds.size() + 1);
+    for (size_t I = 0; I <= HS.Bounds.size(); ++I)
+      HS.Counts[I] = H->bucketCount(I);
+    HS.Count = H->count();
+    HS.Sum = H->sum();
+  }
+  return S;
+}
+
 std::string MetricsRegistry::renderJson() const {
   std::lock_guard<std::mutex> L(Mu);
   std::ostringstream OS;
@@ -106,14 +125,19 @@ std::string MetricsRegistry::renderJson() const {
        << ",\"sum\":";
     jsonNum(OS, H->sum());
     OS << ",\"buckets\":[";
+    // Cumulative rows, Prometheus-style: each row counts observations <=
+    // its bound, and the final "inf" row is the total — what exposition
+    // consumers (and dmll-prof) expect from a histogram.
     const std::vector<double> &B = H->bounds();
+    int64_t Cum = 0;
     for (size_t I = 0; I <= B.size(); ++I) {
+      Cum += H->bucketCount(I);
       OS << (I ? "," : "") << "{\"le\":";
       if (I < B.size())
         jsonNum(OS, B[I]);
       else
         OS << "\"inf\"";
-      OS << ",\"count\":" << H->bucketCount(I) << "}";
+      OS << ",\"count\":" << Cum << "}";
     }
     OS << "]}";
     First = false;

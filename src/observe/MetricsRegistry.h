@@ -16,9 +16,15 @@
 ///
 /// The registry snapshot is exported as the "metrics" section of the
 /// execution profile JSON (runtime/ProfileJson.h), next to the Chrome trace
-/// — trace answers "when", metrics answer "how much, in aggregate".
+/// — trace answers "when", metrics answer "how much, in aggregate" — and in
+/// Prometheus text exposition format by the live snapshotter
+/// (observe/LiveTelemetry.h, docs/TELEMETRY.md).
 /// Instrument naming follows the trace convention: dotted lowercase
-/// `<area>.<what>`, with `_ms` suffix on time-valued histograms.
+/// `<area>.<what>`, with `_ms` suffix on time-valued histograms. A name may
+/// additionally carry `|key=value` label suffixes (e.g.
+/// `exec.loop_ms|loop=Multiloop[Reduce]|engine=kernel`); the JSON export
+/// keeps them verbatim while the Prometheus renderer splits them into label
+/// sets, grouping every labeled series under one metric family.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -82,6 +88,23 @@ private:
 /// 0.005ms .. 5000ms in a 1-2.5-5 ladder.
 const std::vector<double> &latencyBucketsMs();
 
+/// Point-in-time copy of one histogram: per-bucket counts (last entry is
+/// the +inf bucket), observation count, and sum.
+struct HistogramSnapshot {
+  std::vector<double> Bounds;
+  std::vector<int64_t> Counts; ///< Bounds.size() + 1 entries
+  int64_t Count = 0;
+  double Sum = 0;
+};
+
+/// Point-in-time copy of every instrument, for exporters that iterate the
+/// registry off the hot path (Prometheus rendering, snapshot deltas).
+struct MetricsSnapshot {
+  std::map<std::string, int64_t> Counters;
+  std::map<std::string, double> Gauges;
+  std::map<std::string, HistogramSnapshot> Histograms;
+};
+
 /// The registry. One process-wide instance (global()); tests may construct
 /// private instances. Instrument references remain valid for the
 /// registry's lifetime.
@@ -96,10 +119,15 @@ public:
   MetricHistogram &histogram(const std::string &Name,
                              const std::vector<double> &UpperBounds = {});
 
+  /// Copies every instrument's current value (takes the registry mutex;
+  /// concurrent observers proceed lock-free).
+  MetricsSnapshot snapshot() const;
+
   /// The "metrics" JSON object: {"counters":{...},"gauges":{...},
   /// "histograms":{name:{"count":..,"sum":..,"buckets":[{"le":..,"count":..}
-  /// ...]}}}. Bucket rows are cumulative-free (per-bucket counts); the last
-  /// row's "le" is "inf".
+  /// ...]}}}. Bucket rows are cumulative (Prometheus-style: each row counts
+  /// observations <= its bound); the last row's "le" is "inf" and its count
+  /// is the total observation count.
   std::string renderJson() const;
 
   /// Zeroes every instrument (drops them; names repopulate on next use).

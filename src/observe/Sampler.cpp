@@ -1,0 +1,208 @@
+//===- observe/Sampler.cpp -------------------------------------*- C++ -*-===//
+
+#include "observe/Sampler.h"
+
+#include <algorithm>
+#include <chrono>
+#include <fstream>
+#include <unordered_set>
+
+using namespace dmll;
+
+namespace {
+
+/// Process-wide slot registry. Slots are heap objects that never free, so
+/// the sampler thread can read a slot even while its owning thread exits;
+/// exited threads' slots are recycled through the InUse flag.
+struct SlotRegistry {
+  std::mutex Mu;
+  std::vector<std::unique_ptr<SampleSlot>> Slots;
+
+  static SlotRegistry &get() {
+    static SlotRegistry *R = new SlotRegistry; // never destroyed
+    return *R;
+  }
+
+  SampleSlot *acquire() {
+    std::lock_guard<std::mutex> L(Mu);
+    for (auto &S : Slots)
+      if (!S->InUse.load(std::memory_order_relaxed)) {
+        S->Phase.store(nullptr, std::memory_order_relaxed);
+        S->Loop.store(nullptr, std::memory_order_relaxed);
+        S->InUse.store(true, std::memory_order_release);
+        return S.get();
+      }
+    Slots.push_back(std::make_unique<SampleSlot>());
+    Slots.back()->InUse.store(true, std::memory_order_release);
+    return Slots.back().get();
+  }
+};
+
+/// Thread-local slot handle; releases the slot when the thread exits.
+struct SlotHandle {
+  SampleSlot *S;
+  SlotHandle() : S(SlotRegistry::get().acquire()) {}
+  ~SlotHandle() {
+    S->Phase.store(nullptr, std::memory_order_relaxed);
+    S->Loop.store(nullptr, std::memory_order_relaxed);
+    S->InUse.store(false, std::memory_order_release);
+  }
+};
+
+SampleSlot *mySlot() {
+  thread_local SlotHandle H;
+  return H.S;
+}
+
+std::atomic<SamplingProfiler *> ActiveProfiler{nullptr};
+
+} // namespace
+
+const char *dmll::internSampleName(const std::string &S) {
+  static std::mutex Mu;
+  // node-based: element addresses are stable across rehash and insert.
+  static std::unordered_set<std::string> *Table =
+      new std::unordered_set<std::string>; // never destroyed
+  std::lock_guard<std::mutex> L(Mu);
+  return Table->insert(S).first->c_str();
+}
+
+SampleScope::SampleScope(const char *Phase, const char *Loop) {
+  S = mySlot();
+  PrevPhase = S->Phase.load(std::memory_order_relaxed);
+  PrevLoop = S->Loop.load(std::memory_order_relaxed);
+  if (Loop)
+    S->Loop.store(Loop, std::memory_order_relaxed);
+  S->Phase.store(Phase, std::memory_order_release);
+}
+
+SampleScope::~SampleScope() {
+  S->Phase.store(PrevPhase, std::memory_order_relaxed);
+  S->Loop.store(PrevLoop, std::memory_order_release);
+}
+
+SamplingProfiler::SamplingProfiler(double PeriodMs)
+    : Period(PeriodMs > 0 ? PeriodMs : 1.0) {}
+
+SamplingProfiler::~SamplingProfiler() { stop(); }
+
+void SamplingProfiler::start() {
+  if (Running.exchange(true, std::memory_order_acq_rel))
+    return;
+  Thread = std::thread([this] { threadMain(); });
+}
+
+void SamplingProfiler::stop() {
+  if (!Running.exchange(false, std::memory_order_acq_rel))
+    return;
+  if (Thread.joinable())
+    Thread.join();
+}
+
+void SamplingProfiler::threadMain() {
+  SlotRegistry &Reg = SlotRegistry::get();
+  auto PeriodDur = std::chrono::duration<double, std::milli>(Period);
+  std::vector<std::pair<const char *, const char *>> Seen;
+  while (Running.load(std::memory_order_acquire)) {
+    std::this_thread::sleep_for(PeriodDur);
+    Seen.clear();
+    int64_t TickIdle = 0;
+    {
+      std::lock_guard<std::mutex> L(Reg.Mu);
+      for (const auto &S : Reg.Slots) {
+        if (!S->InUse.load(std::memory_order_acquire))
+          continue;
+        const char *Phase = S->Phase.load(std::memory_order_acquire);
+        const char *Loop = S->Loop.load(std::memory_order_relaxed);
+        if (Phase)
+          Seen.emplace_back(Phase, Loop);
+        else
+          ++TickIdle;
+      }
+    }
+    std::lock_guard<std::mutex> L(Mu);
+    ++Ticks;
+    Idle += TickIdle;
+    Samples += static_cast<int64_t>(Seen.size());
+    for (const auto &PL : Seen)
+      ++Buckets[PL];
+  }
+}
+
+SamplingSummary SamplingProfiler::summary() const {
+  SamplingSummary R;
+  R.Enabled = true;
+  R.PeriodMs = Period;
+  std::map<std::string, int64_t> Keyed;
+  {
+    std::lock_guard<std::mutex> L(Mu);
+    R.Ticks = Ticks;
+    R.Samples = Samples;
+    R.IdleSamples = Idle;
+    for (const auto &[PL, N] : Buckets) {
+      std::string Key = PL.first;
+      if (PL.second) {
+        Key += ';';
+        Key += PL.second;
+      }
+      Keyed[Key] += N;
+    }
+  }
+  R.Stacks.assign(Keyed.begin(), Keyed.end());
+  return R;
+}
+
+SamplingSummary dmll::samplingDelta(const SamplingSummary &Before,
+                                    const SamplingSummary &After) {
+  SamplingSummary R;
+  R.Enabled = After.Enabled;
+  R.PeriodMs = After.PeriodMs;
+  R.Ticks = After.Ticks - Before.Ticks;
+  R.Samples = After.Samples - Before.Samples;
+  R.IdleSamples = After.IdleSamples - Before.IdleSamples;
+  std::map<std::string, int64_t> Prev(Before.Stacks.begin(),
+                                      Before.Stacks.end());
+  for (const auto &[Key, N] : After.Stacks) {
+    int64_t D = N - Prev[Key];
+    if (D > 0)
+      R.Stacks.emplace_back(Key, D);
+  }
+  return R;
+}
+
+std::string SamplingProfiler::collapsed() const {
+  SamplingSummary S = summary();
+  std::string Out;
+  for (const auto &[Key, N] : S.Stacks) {
+    Out += "dmll;";
+    Out += Key;
+    Out += ' ';
+    Out += std::to_string(N);
+    Out += '\n';
+  }
+  if (S.IdleSamples > 0)
+    Out += "dmll;(idle) " + std::to_string(S.IdleSamples) + "\n";
+  return Out;
+}
+
+bool SamplingProfiler::writeCollapsed(const std::string &Path) const {
+  std::ofstream Out(Path, std::ios::binary);
+  if (!Out)
+    return false;
+  Out << collapsed();
+  return static_cast<bool>(Out);
+}
+
+SamplingProfiler *SamplingProfiler::active() {
+  return ActiveProfiler.load(std::memory_order_acquire);
+}
+
+SamplerActivation::SamplerActivation(SamplingProfiler &P) : Mine(P) {
+  Prev = ActiveProfiler.exchange(&P, std::memory_order_acq_rel);
+  P.start();
+}
+
+SamplerActivation::~SamplerActivation() {
+  Mine.stop();
+  ActiveProfiler.store(Prev, std::memory_order_release);
+}

@@ -2,6 +2,7 @@
 
 #include "runtime/Executor.h"
 
+#include "observe/Events.h"
 #include "observe/Trace.h"
 #include "transform/Soa.h"
 
@@ -30,7 +31,11 @@ ExecutionReport dmll::executeProgram(const Program &P, const InputMap &Inputs,
   ExecutionReport R;
   R.Mode = Mode;
   auto C0 = std::chrono::steady_clock::now();
-  CompileResult CR = compileProgram(P, Opts);
+  CompileResult CR;
+  {
+    SampleScope CompileSample("exec.compile", nullptr);
+    CR = compileProgram(P, Opts);
+  }
   R.CompileMillis = std::chrono::duration<double, std::milli>(
                         std::chrono::steady_clock::now() - C0)
                         .count();
@@ -46,6 +51,17 @@ ExecutionReport dmll::executeProgram(const Program &P, const InputMap &Inputs,
   }
   R.Threads = Threads ? Threads : 1;
   ExecProfile Profile;
+  // Bracket the evaluation with run events and a sampling snapshot, so the
+  // report carries exactly this run's sample delta even when one profiler
+  // spans several runs.
+  SamplingProfiler *Sampler = SamplingProfiler::active();
+  SamplingSummary SampleStart;
+  if (Sampler)
+    SampleStart = Sampler->summary();
+  if (EventLog *EL = EventLog::active())
+    EL->emit(EventKind::RunStart, {},
+             {EventLog::num("threads", R.Threads),
+              EventLog::str("engine", engine::engineModeName(Mode))});
   auto T0 = std::chrono::steady_clock::now();
   {
     TraceSpan S("exec.run", "exec");
@@ -63,6 +79,10 @@ ExecutionReport dmll::executeProgram(const Program &P, const InputMap &Inputs,
   }
   auto T1 = std::chrono::steady_clock::now();
   R.Millis = std::chrono::duration<double, std::milli>(T1 - T0).count();
+  if (EventLog *EL = EventLog::active())
+    EL->emit(EventKind::RunStop, {}, {EventLog::num("millis", R.Millis)});
+  if (Sampler)
+    R.Sampling = samplingDelta(SampleStart, Sampler->summary());
   R.Workers = std::move(Profile.Workers);
   R.ParallelLoops = Profile.ParallelLoops;
   R.SequentialLoops = Profile.SequentialLoops;

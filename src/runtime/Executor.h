@@ -25,6 +25,7 @@
 #define DMLL_RUNTIME_EXECUTOR_H
 
 #include "interp/Interp.h"
+#include "observe/Sampler.h"
 #include "sim/Calibration.h"
 #include "transform/Pipeline.h"
 
@@ -64,6 +65,10 @@ struct ExecutionReport {
   /// Kernel-engine stats: loops compiled to bytecode, launches, per-kernel
   /// timings, and per-loop fallback reasons. Empty under EngineMode::Interp.
   engine::KernelStats Kernels;
+  /// This run's sampling-profiler delta (observe/Sampler.h): busy/idle
+  /// sample counts and per-(phase, loop) collapsed stacks accumulated
+  /// between run start and stop. Enabled=false when no profiler was active.
+  SamplingSummary Sampling;
 };
 
 /// Runtime knobs for executeProgram. Defaults reproduce the classic

@@ -143,6 +143,25 @@ std::string dmll::renderProfileJson(const ExecutionReport &R) {
 
   OS << ",\n\"metrics\":" << MetricsRegistry::global().renderJson();
 
+  // The run's sampling-profiler delta, when one was active: collapsed
+  // (phase;loop) stacks plus the busy/idle tallies telemetry_smoke checks.
+  OS << ",\n\"sampling\":{\"enabled\":"
+     << (R.Sampling.Enabled ? "true" : "false") << ",\"period_ms\":";
+  jsonNum(OS, R.Sampling.PeriodMs);
+  OS << ",\"ticks\":" << R.Sampling.Ticks
+     << ",\"samples\":" << R.Sampling.Samples
+     << ",\"idle_samples\":" << R.Sampling.IdleSamples << ",\"stacks\":[";
+  First = true;
+  for (const auto &[Key, N] : R.Sampling.Stacks) {
+    if (!First)
+      OS << ",";
+    First = false;
+    OS << "\n{\"stack\":";
+    jsonString(OS, Key);
+    OS << ",\"samples\":" << N << "}";
+  }
+  OS << "\n]}";
+
   const CalibrationReport &C = R.Calibration;
   OS << ",\n\"calibration\":{\"machine\":";
   jsonString(OS, C.Machine);

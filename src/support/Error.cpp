@@ -2,13 +2,24 @@
 
 #include "support/Error.h"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 
 using namespace dmll;
 
+namespace {
+std::atomic<FatalErrorHook> Hook{nullptr};
+} // namespace
+
+void dmll::setFatalErrorHook(FatalErrorHook H) {
+  Hook.store(H, std::memory_order_release);
+}
+
 void dmll::fatalError(const std::string &Msg) {
   std::fprintf(stderr, "dmll fatal error: %s\n", Msg.c_str());
+  if (FatalErrorHook H = Hook.load(std::memory_order_acquire))
+    H(Msg);
   std::abort();
 }
 

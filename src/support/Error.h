@@ -25,6 +25,13 @@ namespace dmll {
 /// cannot be expressed as a plain assert (e.g. carry runtime data).
 [[noreturn]] void fatalError(const std::string &Msg);
 
+/// Observer invoked by fatalError with the message just before the abort.
+/// Installed by the telemetry event log (observe/Events.h) so a trap still
+/// lands in the JSONL stream; null clears. The hook must not itself call
+/// fatalError.
+using FatalErrorHook = void (*)(const std::string &Msg);
+void setFatalErrorHook(FatalErrorHook H);
+
 /// Marks a point in the code that must never be reached.
 [[noreturn]] void dmllUnreachable(const char *Msg);
 

@@ -206,10 +206,13 @@ TEST(Metrics, RenderJsonRoundTripsAndResets) {
   const json::JValue *Buckets = Lat->field("buckets");
   ASSERT_NE(Buckets, nullptr);
   ASSERT_EQ(Buckets->Arr.size(), 3u); // two bounds + inf
+  // Bucket rows are cumulative (Prometheus-style); the inf row carries the
+  // total observation count. docs/TELEMETRY.md.
   EXPECT_DOUBLE_EQ(Buckets->Arr[0].numField("le"), 1.0);
   EXPECT_DOUBLE_EQ(Buckets->Arr[0].numField("count"), 1.0);
+  EXPECT_DOUBLE_EQ(Buckets->Arr[1].numField("count"), 1.0);
   EXPECT_EQ(Buckets->Arr[2].strField("le"), "inf");
-  EXPECT_DOUBLE_EQ(Buckets->Arr[2].numField("count"), 1.0);
+  EXPECT_DOUBLE_EQ(Buckets->Arr[2].numField("count"), 2.0);
 
   R.reset();
   json::JValue Empty;

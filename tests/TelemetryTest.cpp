@@ -1,0 +1,526 @@
+//===- tests/TelemetryTest.cpp - Live telemetry plane tests ----*- C++ -*-===//
+//
+// Covers docs/TELEMETRY.md's contracts: the Prometheus exposition renders
+// legal, TYPE-declared series with cumulative histogram buckets ending at
+// +Inf (and _count equal to the +Inf row, mid-update included); the
+// registry's JSON export shares the cumulative-bucket convention; the
+// dmll-events-v1 log validates — header, monotonic timestamps, per-thread
+// loop nesting, trap waiver; the sampling profiler attributes real
+// multiloop runs to (phase, loop) and exports flamegraph-ready collapsed
+// stacks; and the whole plane stays consistent while four threads execute
+// programs concurrently under the snapshotter (the sanitize label runs this
+// suite under TSan).
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Frontend.h"
+#include "interp/Interp.h"
+#include "observe/Events.h"
+#include "observe/LiveTelemetry.h"
+#include "observe/MetricsRegistry.h"
+#include "observe/Sampler.h"
+#include "runtime/Executor.h"
+#include "runtime/ProfileJson.h"
+#include "support/Json.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <thread>
+#include <unistd.h>
+
+using namespace dmll;
+using namespace dmll::frontend;
+
+namespace {
+
+/// Unique temp path per test; removed by the caller.
+std::string tmpPath(const std::string &Stem) {
+  return testing::TempDir() + "telemetry_" + Stem + "_" +
+         std::to_string(::getpid());
+}
+
+/// Mean-of-positive-squares, sized to parallelize with MinChunk 128.
+Program meanOfSquares(InputMap &Inputs) {
+  ProgramBuilder B;
+  Val Xs = B.inVecF64("xs", LayoutHint::Partitioned);
+  Val Kept = filter(Xs, [](Val X) { return X > Val(0.0); });
+  Val Squares = map(Kept, [](Val X) { return X * X; });
+  Program P = B.build(sum(Squares) / toF64(Kept.len()));
+  std::vector<double> Data;
+  for (int I = -4000; I < 4000; ++I)
+    Data.push_back(I * 0.01);
+  Inputs = {{"xs", Value::arrayOfDoubles(Data)}};
+  return P;
+}
+
+ExecutionReport runOnce(unsigned Threads = 4) {
+  InputMap Inputs;
+  Program P = meanOfSquares(Inputs);
+  CompileOptions CO;
+  CO.T = Target::Numa;
+  ExecOptions EO;
+  EO.Threads = Threads;
+  EO.Mode = engine::EngineMode::Auto;
+  EO.MinChunk = 128;
+  return executeProgram(P, Inputs, CO, EO);
+}
+
+std::string slurp(const std::string &Path) {
+  std::ifstream In(Path, std::ios::binary);
+  std::ostringstream SS;
+  SS << In.rdbuf();
+  return SS.str();
+}
+
+//===----------------------------------------------------------------------===//
+// Metric name labels and Prometheus rendering.
+//===----------------------------------------------------------------------===//
+
+TEST(MetricLabels, SplitNameParsesLabelSuffixes) {
+  std::string Base;
+  std::vector<std::pair<std::string, std::string>> Labels;
+  splitMetricName("exec.loop_ms|loop=Multiloop[Reduce]|engine=kernel", Base,
+                  Labels);
+  EXPECT_EQ(Base, "exec.loop_ms");
+  ASSERT_EQ(Labels.size(), 2u);
+  EXPECT_EQ(Labels[0].first, "loop");
+  EXPECT_EQ(Labels[0].second, "Multiloop[Reduce]");
+  EXPECT_EQ(Labels[1].first, "engine");
+  EXPECT_EQ(Labels[1].second, "kernel");
+
+  splitMetricName("plain.name", Base, Labels);
+  EXPECT_EQ(Base, "plain.name");
+  EXPECT_TRUE(Labels.empty());
+}
+
+TEST(Prometheus, RenderedRegistryPassesFormatCheck) {
+  MetricsRegistry R;
+  R.counter("exec.loops").inc(7);
+  R.gauge("exec.threads").set(4);
+  MetricHistogram &H = R.histogram("exec.loop_ms|loop=Multiloop[Reduce]",
+                                   {1.0, 10.0});
+  H.observe(0.5);
+  H.observe(5.0);
+  H.observe(50.0);
+
+  std::string Text = renderPrometheus(R);
+  std::vector<std::string> Problems = checkPrometheus(Text);
+  for (const std::string &P : Problems)
+    ADD_FAILURE() << P;
+
+  PromSnapshot Snap;
+  ASSERT_TRUE(parsePrometheus(Text, Snap));
+  // Counter family mangled + suffixed, value preserved.
+  const PromSample *C = Snap.find("dmll_exec_loops_total", {});
+  ASSERT_NE(C, nullptr);
+  EXPECT_EQ(C->Value, 7);
+  EXPECT_EQ(Snap.Types["dmll_exec_loops_total"], "counter");
+  // Labeled histogram: cumulative buckets ending at +Inf, _count == +Inf.
+  const PromSample *B1 = Snap.find(
+      "dmll_exec_loop_ms_bucket",
+      {{"loop", "Multiloop[Reduce]"}, {"le", "1"}});
+  ASSERT_NE(B1, nullptr);
+  EXPECT_EQ(B1->Value, 1);
+  const PromSample *BInf = Snap.find(
+      "dmll_exec_loop_ms_bucket",
+      {{"loop", "Multiloop[Reduce]"}, {"le", "+Inf"}});
+  ASSERT_NE(BInf, nullptr);
+  EXPECT_EQ(BInf->Value, 3);
+  const PromSample *Count =
+      Snap.find("dmll_exec_loop_ms_count", {{"loop", "Multiloop[Reduce]"}});
+  ASSERT_NE(Count, nullptr);
+  EXPECT_EQ(Count->Value, 3);
+}
+
+TEST(Prometheus, CheckerRejectsBrokenHistograms) {
+  // No +Inf bucket.
+  std::string NoInf = "# TYPE h histogram\n"
+                      "h_bucket{le=\"1\"} 2\n"
+                      "h_sum 1\nh_count 2\n";
+  EXPECT_FALSE(checkPrometheus(NoInf).empty());
+  // Non-cumulative buckets.
+  std::string NonCum = "# TYPE h histogram\n"
+                       "h_bucket{le=\"1\"} 5\n"
+                       "h_bucket{le=\"+Inf\"} 3\n"
+                       "h_sum 1\nh_count 3\n";
+  EXPECT_FALSE(checkPrometheus(NonCum).empty());
+  // _count disagreeing with +Inf.
+  std::string BadCount = "# TYPE h histogram\n"
+                         "h_bucket{le=\"1\"} 1\n"
+                         "h_bucket{le=\"+Inf\"} 3\n"
+                         "h_sum 1\nh_count 4\n";
+  EXPECT_FALSE(checkPrometheus(BadCount).empty());
+  // Undeclared series.
+  EXPECT_FALSE(checkPrometheus("lonely 1\n").empty());
+}
+
+TEST(Prometheus, RegistryJsonBucketsAreCumulative) {
+  MetricsRegistry R;
+  MetricHistogram &H = R.histogram("t.h", {1.0, 10.0});
+  H.observe(0.5);
+  H.observe(0.6);
+  H.observe(5.0);
+  H.observe(50.0);
+
+  json::JValue Doc;
+  ASSERT_TRUE(json::parse(R.renderJson(), Doc));
+  const json::JValue *Hist = Doc.field("histograms");
+  ASSERT_NE(Hist, nullptr);
+  const json::JValue *HJ = Hist->field("t.h");
+  ASSERT_NE(HJ, nullptr);
+  const json::JValue *Buckets = HJ->field("buckets");
+  ASSERT_NE(Buckets, nullptr);
+  ASSERT_EQ(Buckets->Arr.size(), 3u);
+  // Cumulative: 2 (<=1), 3 (<=10), 4 (inf row == total count).
+  EXPECT_EQ(Buckets->Arr[0].numField("count"), 2);
+  EXPECT_EQ(Buckets->Arr[1].numField("count"), 3);
+  EXPECT_EQ(Buckets->Arr[2].numField("count"), 4);
+  EXPECT_EQ(Buckets->Arr[2].strField("le"), "inf");
+  EXPECT_EQ(HJ->numField("count"), 4);
+}
+
+//===----------------------------------------------------------------------===//
+// Event log: emission and dmll-events-v1 validation.
+//===----------------------------------------------------------------------===//
+
+TEST(EventLogTest, EmitsValidatableLog) {
+  std::string Path = tmpPath("events");
+  {
+    EventLog Log(Path);
+    ASSERT_TRUE(Log.ok());
+    EventLogActivation Act(Log);
+    ASSERT_EQ(EventLog::active(), &Log);
+    Log.emit(EventKind::RunStart, {}, {EventLog::num("threads", 4)});
+    Log.emit(EventKind::LoopBegin, "Multiloop[Reduce]",
+             {EventLog::num("iters", 100)});
+    Log.emit(EventKind::LoopEnd, "Multiloop[Reduce]",
+             {EventLog::str("engine", "interp"),
+              EventLog::num("millis", 1.5)});
+    Log.emit(EventKind::RunStop, {}, {EventLog::num("millis", 2.0)});
+  }
+  EXPECT_EQ(EventLog::active(), nullptr);
+
+  EventLogCheck C = validateEventLog(Path);
+  for (const std::string &E : C.Errors)
+    ADD_FAILURE() << E;
+  EXPECT_TRUE(C.Ok);
+  EXPECT_EQ(C.Lines, 5);
+  EXPECT_EQ(C.CountsByType["log.open"], 1);
+  EXPECT_EQ(C.CountsByType["loop.begin"], 1);
+  EXPECT_EQ(C.CountsByType["loop.end"], 1);
+  std::remove(Path.c_str());
+}
+
+TEST(EventLogTest, ValidatorCatchesBrokenStreams) {
+  std::string Path = tmpPath("badevents");
+  auto WriteLines = [&](const std::string &Body) {
+    std::ofstream Out(Path, std::ios::binary);
+    Out << Body;
+  };
+  // Missing log.open header.
+  WriteLines("{\"ts_ms\":0,\"tid\":0,\"type\":\"run.start\"}\n");
+  EXPECT_FALSE(validateEventLog(Path).Ok);
+  // Decreasing timestamps.
+  WriteLines("{\"ts_ms\":5,\"tid\":0,\"type\":\"log.open\","
+             "\"schema\":\"dmll-events-v1\"}\n"
+             "{\"ts_ms\":1,\"tid\":0,\"type\":\"run.start\"}\n");
+  EXPECT_FALSE(validateEventLog(Path).Ok);
+  // loop.end without begin.
+  WriteLines("{\"ts_ms\":0,\"tid\":0,\"type\":\"log.open\","
+             "\"schema\":\"dmll-events-v1\"}\n"
+             "{\"ts_ms\":1,\"tid\":0,\"type\":\"loop.end\","
+             "\"loop\":\"Multiloop[Reduce]\"}\n");
+  EXPECT_FALSE(validateEventLog(Path).Ok);
+  // Unbalanced loop.begin — invalid without a trap, waived with one.
+  std::string Unbalanced =
+      "{\"ts_ms\":0,\"tid\":0,\"type\":\"log.open\","
+      "\"schema\":\"dmll-events-v1\"}\n"
+      "{\"ts_ms\":1,\"tid\":0,\"type\":\"run.start\"}\n"
+      "{\"ts_ms\":2,\"tid\":0,\"type\":\"loop.begin\","
+      "\"loop\":\"Multiloop[Reduce]\"}\n";
+  WriteLines(Unbalanced);
+  EXPECT_FALSE(validateEventLog(Path).Ok);
+  WriteLines(Unbalanced +
+             "{\"ts_ms\":3,\"tid\":0,\"type\":\"trap\","
+             "\"message\":\"array read out of range\"}\n");
+  EXPECT_TRUE(validateEventLog(Path).Ok) << "trap must waive balance checks";
+  std::remove(Path.c_str());
+}
+
+TEST(EventLogTest, RealRunEmitsBalancedStream) {
+  std::string Path = tmpPath("runevents");
+  {
+    EventLog Log(Path);
+    ASSERT_TRUE(Log.ok());
+    EventLogActivation Act(Log);
+    ExecutionReport R = runOnce();
+    EXPECT_GT(R.Result.asFloat(), 0.0);
+  }
+  EventLogCheck C = validateEventLog(Path);
+  for (const std::string &E : C.Errors)
+    ADD_FAILURE() << E;
+  EXPECT_TRUE(C.Ok);
+  EXPECT_EQ(C.CountsByType["run.start"], 1);
+  EXPECT_EQ(C.CountsByType["run.stop"], 1);
+  EXPECT_GE(C.CountsByType["loop.begin"], 1);
+  EXPECT_EQ(C.CountsByType["loop.begin"], C.CountsByType["loop.end"]);
+  std::remove(Path.c_str());
+}
+
+//===----------------------------------------------------------------------===//
+// Sampling profiler.
+//===----------------------------------------------------------------------===//
+
+TEST(SamplerTest, AttributesScopesToPhaseAndLoop) {
+  SamplingProfiler P(0.1);
+  SamplerActivation Act(P);
+  ASSERT_EQ(SamplingProfiler::active(), &P);
+  const char *Loop = internSampleName("Multiloop[Collect]");
+  {
+    SampleScope S("test.phase", Loop);
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  }
+  SamplingSummary Sum = P.summary();
+  EXPECT_TRUE(Sum.Enabled);
+  EXPECT_GT(Sum.Ticks, 0);
+  EXPECT_GT(Sum.Samples, 0);
+  bool Found = false;
+  for (const auto &[Key, N] : Sum.Stacks)
+    if (Key == "test.phase;Multiloop[Collect]" && N > 0)
+      Found = true;
+  EXPECT_TRUE(Found) << "no samples attributed to the published scope";
+
+  std::string Collapsed = P.collapsed();
+  EXPECT_NE(Collapsed.find("dmll;test.phase;Multiloop[Collect] "),
+            std::string::npos)
+      << Collapsed;
+}
+
+TEST(SamplerTest, ScopesNestAndRestore) {
+  SamplingProfiler P(0.1);
+  SamplerActivation Act(P);
+  const char *Outer = internSampleName("outer-loop");
+  {
+    SampleScope A("phase.a", Outer);
+    {
+      // Null loop inherits the enclosing loop.
+      SampleScope B("phase.b", nullptr);
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  SamplingSummary Sum = P.summary();
+  for (const auto &[Key, N] : Sum.Stacks) {
+    (void)N;
+    if (Key.rfind("phase.b", 0) == 0) {
+      EXPECT_EQ(Key, "phase.b;outer-loop");
+    }
+  }
+}
+
+TEST(SamplerTest, RealRunProducesLoopAttribution) {
+  SamplingProfiler P(0.2);
+  SamplerActivation Act(P);
+  // Run enough times for the 0.2ms sampler to land inside loops even when
+  // the machine is slow; the run itself is milliseconds.
+  ExecutionReport R;
+  for (int I = 0; I < 5 && R.Sampling.Samples == 0; ++I)
+    R = runOnce();
+  EXPECT_TRUE(R.Sampling.Enabled);
+  EXPECT_GT(R.Sampling.Ticks, 0);
+  // Whatever was sampled must attribute to telemetry phases.
+  for (const auto &[Key, N] : R.Sampling.Stacks) {
+    EXPECT_GT(N, 0);
+    EXPECT_TRUE(Key.rfind("exec.", 0) == 0 || Key.rfind("engine.", 0) == 0)
+        << "unexpected phase in stack key: " << Key;
+  }
+  // The report's delta never exceeds the profiler's own totals.
+  SamplingSummary Total = P.summary();
+  EXPECT_LE(R.Sampling.Samples, Total.Samples);
+  EXPECT_LE(R.Sampling.Ticks, Total.Ticks);
+}
+
+TEST(SamplerTest, DeltaSubtracts) {
+  SamplingSummary A, B;
+  A.Ticks = 10;
+  A.Samples = 5;
+  A.Stacks = {{"p;l", 3}, {"q", 2}};
+  B.Enabled = true;
+  B.Ticks = 25;
+  B.Samples = 9;
+  B.Stacks = {{"p;l", 7}, {"q", 2}, {"r", 1}};
+  SamplingSummary D = samplingDelta(A, B);
+  EXPECT_EQ(D.Ticks, 15);
+  EXPECT_EQ(D.Samples, 4);
+  ASSERT_EQ(D.Stacks.size(), 2u); // "q" unchanged drops out
+  EXPECT_EQ(D.Stacks[0].first, "p;l");
+  EXPECT_EQ(D.Stacks[0].second, 4);
+  EXPECT_EQ(D.Stacks[1].first, "r");
+  EXPECT_EQ(D.Stacks[1].second, 1);
+}
+
+//===----------------------------------------------------------------------===//
+// Execution report integration.
+//===----------------------------------------------------------------------===//
+
+TEST(TelemetryReport, ProfileJsonCarriesSamplingSection) {
+  SamplingProfiler P(0.2);
+  SamplerActivation Act(P);
+  ExecutionReport R = runOnce();
+  json::JValue Doc;
+  ASSERT_TRUE(json::parse(renderProfileJson(R), Doc));
+  const json::JValue *S = Doc.field("sampling");
+  ASSERT_NE(S, nullptr);
+  const json::JValue *Enabled = S->field("enabled");
+  ASSERT_NE(Enabled, nullptr);
+  EXPECT_EQ(Enabled->K, json::JValue::Bool);
+  EXPECT_NEAR(S->numField("period_ms"), 0.2, 1e-9);
+  ASSERT_NE(S->field("stacks"), nullptr);
+  for (const json::JValue &Row : S->field("stacks")->Arr) {
+    EXPECT_FALSE(Row.strField("stack").empty());
+    EXPECT_GT(Row.numField("samples"), 0);
+  }
+}
+
+TEST(TelemetryReport, PerLoopSeriesLandInGlobalRegistry) {
+  (void)runOnce();
+  MetricsSnapshot S = MetricsRegistry::global().snapshot();
+  bool FoundLoopSeries = false;
+  for (const auto &[Name, H] : S.Histograms) {
+    (void)H;
+    if (Name.rfind("exec.loop_ms|loop=", 0) == 0)
+      FoundLoopSeries = true;
+  }
+  EXPECT_TRUE(FoundLoopSeries)
+      << "no exec.loop_ms|loop=... series after a run";
+  std::string Text = renderPrometheus();
+  EXPECT_NE(Text.find("dmll_exec_loop_ms_bucket{"), std::string::npos);
+  EXPECT_TRUE(checkPrometheus(Text).empty());
+}
+
+//===----------------------------------------------------------------------===//
+// Snapshotter and CLI wiring.
+//===----------------------------------------------------------------------===//
+
+TEST(Snapshotter, WritesAtomicSnapshotsAndDeltaEvents) {
+  std::string Prom = tmpPath("live.prom");
+  std::string Events = tmpPath("live.events");
+  {
+    EventLog Log(Events);
+    ASSERT_TRUE(Log.ok());
+    EventLogActivation Act(Log);
+    LiveSnapshotter::Options O;
+    O.PeriodMs = 20;
+    O.Path = Prom;
+    LiveSnapshotter Snap(O);
+    Snap.start();
+    (void)runOnce();
+    std::this_thread::sleep_for(std::chrono::milliseconds(60));
+    Snap.stop();
+    EXPECT_GT(Snap.snapshots(), 0);
+    EXPECT_FALSE(Snap.lastText().empty());
+  }
+  std::string Text = slurp(Prom);
+  ASSERT_FALSE(Text.empty());
+  EXPECT_TRUE(checkPrometheus(Text).empty());
+  EventLogCheck C = validateEventLog(Events);
+  EXPECT_TRUE(C.Ok);
+  EXPECT_GT(C.CountsByType["metrics.snapshot"], 0);
+  std::remove(Prom.c_str());
+  std::remove(Events.c_str());
+}
+
+TEST(TelemetryCliTest, ParsesSharedFlags) {
+  const char *Argv[] = {"prog",           "--metrics-out", "m.prom",
+                        "--events-out",   "e.jsonl",       "--sample-out",
+                        "s.collapsed",    "--metrics-live", "l.prom",
+                        "--metrics-port", "9109",          "--other-flag"};
+  TelemetryCli C = telemetryCliArgs(12, const_cast<char **>(Argv));
+  EXPECT_EQ(C.MetricsOut, "m.prom");
+  EXPECT_EQ(C.EventsOut, "e.jsonl");
+  EXPECT_EQ(C.SampleOut, "s.collapsed");
+  EXPECT_EQ(C.MetricsLive, "l.prom");
+  EXPECT_EQ(C.Port, 9109);
+  EXPECT_TRUE(C.Sample) << "--sample-out implies --sample";
+  EXPECT_TRUE(C.any());
+  TelemetryCli None = telemetryCliArgs(1, const_cast<char **>(Argv));
+  EXPECT_FALSE(None.any());
+}
+
+//===----------------------------------------------------------------------===//
+// Concurrent telemetry: the TSan target.
+//===----------------------------------------------------------------------===//
+
+TEST(ConcurrentTelemetry, SnapshotterAndSamplerSurviveParallelRuns) {
+  std::string Prom = tmpPath("hammer.prom");
+  std::string Events = tmpPath("hammer.events");
+  std::vector<MetricsSnapshot> Observed;
+  {
+    EventLog Log(Events);
+    ASSERT_TRUE(Log.ok());
+    EventLogActivation LogAct(Log);
+    SamplingProfiler Prof(0.2);
+    SamplerActivation ProfAct(Prof);
+    LiveSnapshotter::Options O;
+    O.PeriodMs = 5;
+    O.Path = Prom;
+    LiveSnapshotter Snap(O);
+    Snap.start();
+
+    // Four threads each running full executions (each execution spins up
+    // its own worker pool, so the process is well past four threads) while
+    // the sampler and snapshotter read everything they publish.
+    std::vector<std::thread> Workers;
+    for (int W = 0; W < 4; ++W)
+      Workers.emplace_back([] {
+        for (int I = 0; I < 3; ++I) {
+          ExecutionReport R = runOnce(2);
+          EXPECT_GT(R.Result.asFloat(), 0.0);
+        }
+      });
+    // Main thread: hammer snapshots and record registry observations for
+    // the monotonicity check below.
+    for (int I = 0; I < 20; ++I) {
+      Snap.snapshotNow();
+      Observed.push_back(MetricsRegistry::global().snapshot());
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    for (std::thread &T : Workers)
+      T.join();
+    Snap.stop();
+  }
+
+  // Counters are monotonic across every observation.
+  for (size_t I = 1; I < Observed.size(); ++I)
+    for (const auto &[Name, V] : Observed[I - 1].Counters) {
+      auto It = Observed[I].Counters.find(Name);
+      ASSERT_NE(It, Observed[I].Counters.end()) << Name << " disappeared";
+      EXPECT_GE(It->second, V) << "counter " << Name << " went backwards";
+    }
+  // Histogram counts monotonic too (cumulative totals never shrink).
+  for (size_t I = 1; I < Observed.size(); ++I)
+    for (const auto &[Name, H] : Observed[I - 1].Histograms) {
+      auto It = Observed[I].Histograms.find(Name);
+      if (It != Observed[I].Histograms.end()) {
+        EXPECT_GE(It->second.Count, H.Count)
+            << "histogram " << Name << " went backwards";
+      }
+    }
+
+  // The event log stayed well-formed JSONL through all of it.
+  EventLogCheck C = validateEventLog(Events);
+  for (const std::string &E : C.Errors)
+    ADD_FAILURE() << E;
+  EXPECT_TRUE(C.Ok);
+  EXPECT_EQ(C.CountsByType["run.start"], 12);
+  EXPECT_EQ(C.CountsByType["run.stop"], 12);
+  // And the final exposition passes the format check.
+  EXPECT_TRUE(checkPrometheus(slurp(Prom)).empty());
+  std::remove(Prom.c_str());
+  std::remove(Events.c_str());
+}
+
+} // namespace

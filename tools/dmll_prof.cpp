@@ -23,6 +23,11 @@
 //                   appended by tools/run_benchmarks.sh): the latest entry
 //                   whose document describes the same benchmark as
 //                   CURRENT.json is the baseline.
+//   --events F      validate F against the dmll-events-v1 JSONL schema
+//                   (observe/Events.h) instead of comparing timings: every
+//                   line must parse, the header/timestamps/loop nesting
+//                   must check out, and a per-type event tally is printed.
+//                   The telemetry_smoke gate runs this on live logs.
 //   --speedup       compare the records' speedup field instead of raw ms
 //                   (benchmark documents only). Speedups are normalized
 //                   against a reference measured in the same run, so the
@@ -35,6 +40,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "observe/Events.h"
 #include "support/Json.h"
 
 #include <cstdio>
@@ -153,7 +159,8 @@ void usage() {
       "       dmll-prof --check [--threshold R] [--min-ms M] [--baseline P] "
       "CURRENT.json\n"
       "       dmll-prof --history BENCH_history.jsonl [--speedup] "
-      "[--threshold R] [--min-ms M] CURRENT.json\n");
+      "[--threshold R] [--min-ms M] CURRENT.json\n"
+      "       dmll-prof --events EVENTS.jsonl\n");
 }
 
 } // namespace
@@ -165,6 +172,7 @@ int main(int Argc, char **Argv) {
   bool SpeedupMode = false;
   std::string BaselinePath = "BENCH_perf.json";
   std::string HistoryPath;
+  std::string EventsPath;
   std::vector<std::string> Files;
 
   for (int I = 1; I < Argc; ++I) {
@@ -189,6 +197,8 @@ int main(int Argc, char **Argv) {
       BaselinePath = V;
     } else if (const char *V = TakeValue("--history")) {
       HistoryPath = V;
+    } else if (const char *V = TakeValue("--events")) {
+      EventsPath = V;
     } else if (A == "--help" || A == "-h") {
       usage();
       return 0;
@@ -203,6 +213,26 @@ int main(int Argc, char **Argv) {
   if (Threshold <= 0) {
     std::fprintf(stderr, "dmll-prof: --threshold must be positive\n");
     return 2;
+  }
+
+  if (!EventsPath.empty()) {
+    // Event-log validation mode: schema-check the JSONL stream and report
+    // what it contains.
+    if (!Files.empty() || Check || SpeedupMode || !HistoryPath.empty()) {
+      std::fprintf(stderr,
+                   "dmll-prof: --events takes no other files or modes\n");
+      usage();
+      return 2;
+    }
+    dmll::EventLogCheck C = dmll::validateEventLog(EventsPath);
+    std::printf("%s: %lld line%s\n", EventsPath.c_str(),
+                static_cast<long long>(C.Lines), C.Lines == 1 ? "" : "s");
+    for (const auto &[Type, N] : C.CountsByType)
+      std::printf("  %-18s %lld\n", Type.c_str(), static_cast<long long>(N));
+    for (const std::string &E : C.Errors)
+      std::fprintf(stderr, "dmll-prof: %s\n", E.c_str());
+    std::printf("%s\n", C.Ok ? "valid dmll-events-v1 log" : "INVALID log");
+    return C.Ok ? 0 : 1;
   }
 
   std::string Base, Cur;

@@ -1,0 +1,311 @@
+//===- tools/dmll_top.cpp - Live per-loop telemetry viewer ------- C++ -===//
+//
+// Part of the DMLL reproduction of Brown et al., CGO 2016.
+//
+// dmll-top tails the Prometheus exposition a running DMLL process emits —
+// either the file the live snapshotter atomically replaces (--metrics-live
+// on any telemetry-wired binary) or its localhost TCP endpoint
+// (--metrics-port) — and renders a refreshing per-loop table: execution
+// rate, p50/p99 latency estimated from the exec.loop_ms histogram buckets,
+// the engine that ran the loop, the thread count it last used, and the
+// share of profiler samples attributed to it. See docs/TELEMETRY.md.
+//
+//   dmll-top FILE.prom            tail an exposition file (default mode)
+//   dmll-top --port N             poll http://127.0.0.1:N instead
+//   dmll-top --interval MS        refresh period (default 500)
+//   dmll-top --once               render one frame and exit (scripts/tests)
+//   dmll-top --check FILE.prom    run the exposition format checker and
+//                                 exit 0 (clean) / 1 (problems found)
+//
+// Exit codes: 0 ok, 1 check failed, 2 usage/read error.
+//
+//===----------------------------------------------------------------------===//
+
+#include "observe/LiveTelemetry.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+using namespace dmll;
+
+namespace {
+
+bool readFile(const std::string &Path, std::string &Out) {
+  std::ifstream In(Path, std::ios::binary);
+  if (!In)
+    return false;
+  std::ostringstream SS;
+  SS << In.rdbuf();
+  Out = SS.str();
+  return true;
+}
+
+/// One HTTP GET against the snapshotter's endpoint; returns the body.
+bool readPort(int Port, std::string &Out) {
+  int Fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (Fd < 0)
+    return false;
+  sockaddr_in Addr{};
+  Addr.sin_family = AF_INET;
+  Addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  Addr.sin_port = htons(static_cast<uint16_t>(Port));
+  if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) != 0) {
+    ::close(Fd);
+    return false;
+  }
+  const char *Req = "GET /metrics HTTP/1.0\r\n\r\n";
+  (void)!::write(Fd, Req, std::strlen(Req));
+  std::string Resp;
+  char Buf[4096];
+  ssize_t N;
+  while ((N = ::read(Fd, Buf, sizeof(Buf))) > 0)
+    Resp.append(Buf, static_cast<size_t>(N));
+  ::close(Fd);
+  size_t Body = Resp.find("\r\n\r\n");
+  if (Body == std::string::npos)
+    return false;
+  Out = Resp.substr(Body + 4);
+  return true;
+}
+
+/// Per-loop state extracted from one exposition snapshot.
+struct LoopRow {
+  int64_t Count = 0;   ///< exec.loop_ms _count across engines
+  double SumMs = 0;    ///< exec.loop_ms _sum across engines
+  std::string Engine;  ///< engine label of the highest-count series
+  int64_t EngineCount = 0;
+  double Threads = 0;  ///< exec.loop_threads gauge
+  int64_t Samples = 0; ///< profiler samples attributed to this loop
+  /// Cumulative (upper bound, count) rows merged across engines.
+  std::map<double, int64_t> Buckets;
+};
+
+/// Quantile estimate from cumulative buckets, Prometheus histogram_quantile
+/// style: linear interpolation inside the first bucket whose cumulative
+/// count reaches q * total.
+double quantileMs(const std::map<double, int64_t> &Buckets, double Q) {
+  if (Buckets.empty())
+    return 0;
+  int64_t Total = Buckets.rbegin()->second;
+  if (Total <= 0)
+    return 0;
+  double Rank = Q * static_cast<double>(Total);
+  double PrevBound = 0;
+  int64_t PrevCum = 0;
+  for (const auto &[Bound, Cum] : Buckets) {
+    if (static_cast<double>(Cum) >= Rank) {
+      if (std::isinf(Bound))
+        return PrevBound; // open-ended: report the last finite bound
+      int64_t InBucket = Cum - PrevCum;
+      if (InBucket <= 0)
+        return Bound;
+      return PrevBound + (Bound - PrevBound) *
+                             (Rank - static_cast<double>(PrevCum)) /
+                             static_cast<double>(InBucket);
+    }
+    PrevBound = std::isinf(Bound) ? PrevBound : Bound;
+    PrevCum = Cum;
+  }
+  return PrevBound;
+}
+
+std::map<std::string, LoopRow> extractLoops(const PromSnapshot &Snap,
+                                            int64_t &TotalSamples) {
+  std::map<std::string, LoopRow> Rows;
+  TotalSamples = 0;
+  for (const PromSample &S : Snap.Samples) {
+    auto LoopIt = S.Labels.find("loop");
+    if (S.Name == "dmll_samples_total") {
+      TotalSamples += static_cast<int64_t>(S.Value);
+      if (LoopIt != S.Labels.end())
+        Rows[LoopIt->second].Samples += static_cast<int64_t>(S.Value);
+      continue;
+    }
+    if (LoopIt == S.Labels.end())
+      continue;
+    LoopRow &R = Rows[LoopIt->second];
+    if (S.Name == "dmll_exec_loop_ms_count") {
+      int64_t C = static_cast<int64_t>(S.Value);
+      R.Count += C;
+      auto EngIt = S.Labels.find("engine");
+      if (EngIt != S.Labels.end() && C >= R.EngineCount) {
+        R.Engine = EngIt->second;
+        R.EngineCount = C;
+      }
+    } else if (S.Name == "dmll_exec_loop_ms_sum") {
+      R.SumMs += S.Value;
+    } else if (S.Name == "dmll_exec_loop_ms_bucket") {
+      auto LeIt = S.Labels.find("le");
+      if (LeIt == S.Labels.end())
+        continue;
+      double Le = LeIt->second == "+Inf"
+                      ? std::numeric_limits<double>::infinity()
+                      : std::atof(LeIt->second.c_str());
+      R.Buckets[Le] += static_cast<int64_t>(S.Value);
+    } else if (S.Name == "dmll_exec_loop_threads") {
+      R.Threads = S.Value;
+    }
+  }
+  return Rows;
+}
+
+/// Renders one frame. \p Prev (count per loop at the previous frame) and
+/// \p DtSec feed the rate column.
+void renderFrame(const PromSnapshot &Snap,
+                 std::map<std::string, int64_t> &Prev, double DtSec,
+                 bool Clear) {
+  int64_t TotalSamples = 0;
+  std::map<std::string, LoopRow> Rows = extractLoops(Snap, TotalSamples);
+  if (Clear)
+    std::printf("\x1b[H\x1b[2J");
+  std::printf("dmll-top — %zu loop%s", Rows.size(),
+              Rows.size() == 1 ? "" : "s");
+  if (const PromSample *P = Snap.find("dmll_sampler_period_ms", {}))
+    std::printf(", sampler @ %.3gms", P->Value);
+  if (const PromSample *L = Snap.find("dmll_exec_loops_total", {}))
+    std::printf(", %lld loop runs", static_cast<long long>(L->Value));
+  std::printf("\n%-44s %9s %9s %9s %9s %-7s %7s %8s\n", "loop", "runs",
+              "rate/s", "p50(ms)", "p99(ms)", "engine", "threads",
+              "samples%");
+  // Busiest loops first.
+  std::vector<std::pair<std::string, const LoopRow *>> Order;
+  for (const auto &[Loop, R] : Rows)
+    Order.emplace_back(Loop, &R);
+  std::sort(Order.begin(), Order.end(), [](const auto &A, const auto &B) {
+    return A.second->SumMs > B.second->SumMs;
+  });
+  for (const auto &[Loop, RP] : Order) {
+    const LoopRow &R = *RP;
+    double Rate = 0;
+    auto It = Prev.find(Loop);
+    if (It != Prev.end() && DtSec > 0)
+      Rate = static_cast<double>(R.Count - It->second) / DtSec;
+    std::string Name = Loop.size() > 44 ? Loop.substr(0, 41) + "..." : Loop;
+    double SamplePct =
+        TotalSamples > 0
+            ? 100.0 * static_cast<double>(R.Samples) / TotalSamples
+            : 0;
+    std::printf("%-44s %9lld %9.1f %9.3f %9.3f %-7s %7.0f %7.1f%%\n",
+                Name.c_str(), static_cast<long long>(R.Count), Rate,
+                quantileMs(R.Buckets, 0.5), quantileMs(R.Buckets, 0.99),
+                R.Engine.c_str(), R.Threads, SamplePct);
+  }
+  Prev.clear();
+  for (const auto &[Loop, R] : Rows)
+    Prev[Loop] = R.Count;
+}
+
+void usage() {
+  std::fprintf(stderr,
+               "usage: dmll-top [--interval MS] [--once] FILE.prom\n"
+               "       dmll-top [--interval MS] [--once] --port N\n"
+               "       dmll-top --check FILE.prom\n");
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  std::string Path;
+  int Port = 0;
+  double IntervalMs = 500;
+  bool Once = false;
+  bool Check = false;
+  for (int I = 1; I < Argc; ++I) {
+    std::string A = Argv[I];
+    auto TakeValue = [&](const char *Flag) -> const char * {
+      size_t L = std::strlen(Flag);
+      if (A.compare(0, L, Flag) == 0 && A.size() > L && A[L] == '=')
+        return A.c_str() + L + 1;
+      if (A == Flag && I + 1 < Argc)
+        return Argv[++I];
+      return nullptr;
+    };
+    if (A == "--once") {
+      Once = true;
+    } else if (A == "--check") {
+      Check = true;
+    } else if (const char *V = TakeValue("--port")) {
+      Port = std::atoi(V);
+    } else if (const char *V = TakeValue("--interval")) {
+      IntervalMs = std::atof(V);
+    } else if (A == "--help" || A == "-h") {
+      usage();
+      return 0;
+    } else if (!A.empty() && A[0] == '-') {
+      std::fprintf(stderr, "dmll-top: unknown option %s\n", A.c_str());
+      usage();
+      return 2;
+    } else {
+      Path = A;
+    }
+  }
+  if ((Path.empty() && Port == 0) || (Check && Path.empty())) {
+    usage();
+    return 2;
+  }
+
+  if (Check) {
+    std::string Text;
+    if (!readFile(Path, Text)) {
+      std::fprintf(stderr, "dmll-top: cannot read %s\n", Path.c_str());
+      return 2;
+    }
+    std::vector<std::string> Problems = checkPrometheus(Text);
+    for (const std::string &P : Problems)
+      std::fprintf(stderr, "dmll-top: %s\n", P.c_str());
+    std::printf("%s: %s\n", Path.c_str(),
+                Problems.empty() ? "exposition format ok"
+                                 : "exposition format INVALID");
+    return Problems.empty() ? 0 : 1;
+  }
+
+  std::map<std::string, int64_t> Prev;
+  auto PrevT = std::chrono::steady_clock::now();
+  bool FirstFrame = true;
+  int Misses = 0;
+  for (;;) {
+    std::string Text;
+    bool Got = Port > 0 ? readPort(Port, Text) : readFile(Path, Text);
+    if (!Got) {
+      if (Once || ++Misses > 40) {
+        std::fprintf(stderr, "dmll-top: cannot read %s\n",
+                     Port > 0 ? ("port " + std::to_string(Port)).c_str()
+                              : Path.c_str());
+        return 2;
+      }
+      // The producer may not have written its first snapshot yet.
+      std::this_thread::sleep_for(std::chrono::milliseconds(250));
+      continue;
+    }
+    Misses = 0;
+    PromSnapshot Snap;
+    std::string Err;
+    if (!parsePrometheus(Text, Snap, &Err)) {
+      std::fprintf(stderr, "dmll-top: bad exposition: %s\n", Err.c_str());
+      return 2;
+    }
+    auto Now = std::chrono::steady_clock::now();
+    double Dt = std::chrono::duration<double>(Now - PrevT).count();
+    renderFrame(Snap, Prev, FirstFrame ? 0 : Dt, !Once && !FirstFrame);
+    PrevT = Now;
+    FirstFrame = false;
+    if (Once)
+      return 0;
+    std::this_thread::sleep_for(
+        std::chrono::duration<double, std::milli>(IntervalMs));
+  }
+}

@@ -12,6 +12,11 @@
 #                              (table2_sequential --json-out; with
 #                              DMLL_BENCH_TUNE=1 also dmll-tuned records
 #                              from the codegen autotuner, docs/TUNING.md)
+#   OUT_DIR/BENCH_metrics.prom final Prometheus metrics snapshot of the
+#                              table2 run (--metrics-out): compile/fallback
+#                              counters and histograms, archived next to
+#                              BENCH_history.jsonl per suite run
+#                              (docs/TELEMETRY.md)
 #
 # Every fresh run is additionally appended to OUT_DIR/BENCH_history.jsonl —
 # one line per document, {"ts": "<UTC ISO-8601>", "doc": {...}} — so the
@@ -96,8 +101,10 @@ TUNE_FLAG=""
 if [ "${DMLL_BENCH_TUNE:-0}" = 1 ]; then
   TUNE_FLAG="--tune"
 fi
-"$BUILD_DIR/bench/table2_sequential" $TUNE_FLAG --json-out "$OUT_DIR/BENCH_table2.json"
+"$BUILD_DIR/bench/table2_sequential" $TUNE_FLAG --json-out "$OUT_DIR/BENCH_table2.json" \
+  --metrics-out "$OUT_DIR/BENCH_metrics.prom"
 append_history "$OUT_DIR/BENCH_table2.json"
 
 echo "wrote $OUT_DIR/BENCH_perf.json and $OUT_DIR/BENCH_table2.json"
+echo "archived the run's metrics snapshot to $OUT_DIR/BENCH_metrics.prom"
 echo "appended this run to $OUT_DIR/BENCH_history.jsonl"

@@ -1,0 +1,161 @@
+#!/usr/bin/env sh
+# Telemetry smoke gate (the telemetry_smoke ctest): end-to-end check of the
+# always-on telemetry plane (docs/TELEMETRY.md) on a real workload, plus the
+# sampling profiler's self-measured overhead bound.
+#
+#   tools/run_telemetry_smoke.sh [BUILD_DIR]
+#
+# What it does:
+#   1. Times table2_sequential --inproc-only — just the in-process
+#      executions the sampler observes; the generated-C++ subprocess
+#      compiles of the full bench would only add timing noise — with the
+#      event log, the live snapshotter, and a final metrics snapshot,
+#      sampling OFF.
+#   2. Times the identical command with --sample (and --sample-out).
+#      Each side runs twice, interleaved, and keeps the minimum — the
+#      standard defense against one-off scheduler noise.
+#   3. Validates the event logs against dmll-events-v1 (dmll-prof
+#      --events), the exposition snapshots against the Prometheus format
+#      checker (dmll-top --check), renders one dmll-top frame from the
+#      live file (per-loop rows must be present), and checks the collapsed
+#      stacks.
+#   4. Gates sampling overhead: the sampled minimum may be at most
+#      DMLL_TELEMETRY_THRESHOLD percent (default 2) over the base minimum.
+#      Both runs carry the event log and snapshotter, so the comparison
+#      isolates exactly what --sample adds. The gated quantity is the
+#      bench's self-reported process CPU time (user+sys, sampler thread
+#      included — the `telemetry-inproc cpu_ms=` line), because on a
+#      shared single-core host wall clock is dominated by steal time that
+#      has nothing to do with sampling; wall is still reported. One full
+#      re-measurement of both sides is allowed before failing.
+#
+# Environment:
+#   DMLL_TELEMETRY_THRESHOLD  overhead bound in percent (default 2)
+#   DMLL_TELEMETRY_GATE=0     run everything but skip the overhead gate
+#
+# Exit nonzero on any validation failure or a (re-measured) overhead breach.
+
+set -eu
+
+BUILD_DIR=${1:-build}
+THRESHOLD=${DMLL_TELEMETRY_THRESHOLD:-2}
+
+for BIN in bench/table2_sequential tools/dmll-prof tools/dmll-top; do
+  if [ ! -x "$BUILD_DIR/$BIN" ]; then
+    echo "error: $BUILD_DIR/$BIN not built" >&2
+    exit 1
+  fi
+done
+
+TMP_DIR=$(mktemp -d)
+trap 'rm -rf "$TMP_DIR"' EXIT
+
+# Runs one table2 --inproc-only measurement and prints the bench's
+# self-reported process CPU milliseconds (the `telemetry-inproc cpu_ms=`
+# line: user+sys, sampler thread included). $1: artifact prefix; extra
+# telemetry flags follow.
+timed_run() {
+  MODE=$1
+  shift
+  "$BUILD_DIR/bench/table2_sequential" --inproc-only \
+    --events-out "$TMP_DIR/$MODE.events.jsonl" \
+    --metrics-live "$TMP_DIR/$MODE.live.prom" \
+    --metrics-out "$TMP_DIR/$MODE.final.prom" \
+    "$@" > "$TMP_DIR/$MODE.out" 2>&1 || {
+    echo "error: table2_sequential ($MODE) failed:" >&2
+    cat "$TMP_DIR/$MODE.out" >&2
+    exit 1
+  }
+  CPU=$(sed -n 's/^telemetry-inproc wall_ms=[0-9]* cpu_ms=\([0-9]*\)$/\1/p' \
+    "$TMP_DIR/$MODE.out")
+  if [ -z "$CPU" ]; then
+    echo "error: no telemetry-inproc cost line in $MODE output" >&2
+    exit 1
+  fi
+  echo "$CPU"
+}
+
+min_ms() {
+  if [ "$1" -lt "$2" ]; then echo "$1"; else echo "$2"; fi
+}
+
+# One full measurement: two interleaved (base, sampled) pairs, min each.
+# Sets BASE_MS / SAMPLED_MS (process CPU ms). $1: artifact prefix.
+measure() {
+  P=$1
+  B1=$(timed_run "$P.base1")
+  S1=$(timed_run "$P.sampled1" --sample \
+    --sample-out "$TMP_DIR/$P.sampled1.collapsed")
+  B2=$(timed_run "$P.base2")
+  S2=$(timed_run "$P.sampled2" --sample \
+    --sample-out "$TMP_DIR/$P.sampled2.collapsed")
+  BASE_MS=$(min_ms "$B1" "$B2")
+  SAMPLED_MS=$(min_ms "$S1" "$S2")
+  echo "$P: base cpu ${B1}ms/${B2}ms -> ${BASE_MS}ms," \
+       "sampled cpu ${S1}ms/${S2}ms -> ${SAMPLED_MS}ms"
+  grep "^telemetry-inproc" "$TMP_DIR/$P.base1.out" "$TMP_DIR/$P.sampled1.out" \
+    "$TMP_DIR/$P.base2.out" "$TMP_DIR/$P.sampled2.out" | sed 's/^/  /'
+}
+
+echo "== telemetry smoke: timed runs (2x base, 2x sampled, interleaved) =="
+measure r1
+
+echo "== validating the dmll-events-v1 logs =="
+"$BUILD_DIR/tools/dmll-prof" --events "$TMP_DIR/r1.base1.events.jsonl"
+"$BUILD_DIR/tools/dmll-prof" --events "$TMP_DIR/r1.sampled1.events.jsonl"
+
+echo "== checking the Prometheus expositions =="
+"$BUILD_DIR/tools/dmll-top" --check "$TMP_DIR/r1.base1.final.prom"
+"$BUILD_DIR/tools/dmll-top" --check "$TMP_DIR/r1.sampled1.final.prom"
+"$BUILD_DIR/tools/dmll-top" --check "$TMP_DIR/r1.sampled1.live.prom"
+
+echo "== dmll-top frame from the live exposition =="
+"$BUILD_DIR/tools/dmll-top" --once "$TMP_DIR/r1.sampled1.live.prom" \
+  | tee "$TMP_DIR/top.out"
+if ! grep -q "Multiloop" "$TMP_DIR/top.out"; then
+  echo "error: dmll-top frame shows no per-loop rows" >&2
+  exit 1
+fi
+
+echo "== collapsed stacks =="
+if [ ! -s "$TMP_DIR/r1.sampled1.collapsed" ]; then
+  echo "error: --sample-out wrote no collapsed stacks" >&2
+  exit 1
+fi
+head -5 "$TMP_DIR/r1.sampled1.collapsed"
+if ! grep -q "^dmll;" "$TMP_DIR/r1.sampled1.collapsed"; then
+  echo "error: collapsed stacks are not in dmll;phase;loop form" >&2
+  exit 1
+fi
+
+if [ "${DMLL_TELEMETRY_GATE:-1}" != 1 ]; then
+  echo "overhead gate skipped (DMLL_TELEMETRY_GATE=0)"
+  exit 0
+fi
+
+# Overhead gate, with one full re-measurement on breach.
+check_overhead() {
+  # $1 base ms, $2 sampled ms; returns 0 when within the bound.
+  awk -v b="$1" -v s="$2" -v t="$THRESHOLD" \
+    'BEGIN { exit !(b > 0 && s <= b * (1 + t / 100.0)) }'
+}
+
+report_overhead() {
+  awk -v b="$1" -v s="$2" -v t="$THRESHOLD" \
+    'BEGIN { printf "sampling overhead: %+.2f%% (bound %s%%)\n", (s/b-1)*100, t }'
+}
+
+if check_overhead "$BASE_MS" "$SAMPLED_MS"; then
+  report_overhead "$BASE_MS" "$SAMPLED_MS"
+  exit 0
+fi
+
+echo "overhead bound exceeded (${BASE_MS}ms -> ${SAMPLED_MS}ms); re-measuring once"
+measure r2
+if check_overhead "$BASE_MS" "$SAMPLED_MS"; then
+  report_overhead "$BASE_MS" "$SAMPLED_MS"
+  exit 0
+fi
+awk -v b="$BASE_MS" -v s="$SAMPLED_MS" -v t="$THRESHOLD" \
+  'BEGIN { printf "error: sampling overhead %+.2f%% exceeds the %s%% bound\n", (s/b-1)*100, t }' >&2
+exit 1
