@@ -15,13 +15,17 @@
 //                               [--metrics-out m.prom] [--metrics-live m.prom]
 //                               [--metrics-port N] [--events-out e.jsonl]
 //                               [--sample] [--sample-out s.collapsed]
+//                               [--deadline-ms N] [--max-memory-mb N]
 // where MODE is interp (boxed reference interpreter), kernel (compiled
 // register bytecode, docs/EXECUTION.md), or auto (the default: kernels for
 // non-tiny loops, interpreter otherwise). The profile JSON is the
 // dmll-profile-v1 document tools/dmll-prof diffs for regressions.
 // --tune-out searches per-loop execution knobs with the autotuner and
 // writes the dmll-tune-v1 artifact; --tune-in replays a saved artifact
-// through the executor (docs/TUNING.md).
+// through the executor (docs/TUNING.md). --deadline-ms / --max-memory-mb
+// bound the parallel run with the recoverable execution limits
+// (docs/ROBUSTNESS.md): an overrun comes back as a structured non-ok
+// ExecutionReport with partial metrics, not a dead process.
 //
 //===----------------------------------------------------------------------===//
 
@@ -99,6 +103,14 @@ int main(int Argc, char **Argv) {
   Exec.Threads = 4;
   Exec.Mode = Mode;
   Exec.MinChunk = 128;
+  // Optional resource ceilings (docs/ROBUSTNESS.md). Overruns surface as
+  // a non-ok report status below instead of killing the process.
+  for (int I = 1; I + 1 < Argc; ++I) {
+    if (std::string(Argv[I]) == "--deadline-ms")
+      Exec.Limits.DeadlineMs = std::atoll(Argv[I + 1]);
+    else if (std::string(Argv[I]) == "--max-memory-mb")
+      Exec.Limits.MaxMemoryBytes = std::atoll(Argv[I + 1]) * 1024 * 1024;
+  }
   tune::DecisionTable Decisions;
   std::string TuneOut = tune::tuneArgPath(Argc, Argv, "tune-out");
   std::string TuneIn = tune::tuneArgPath(Argc, Argv, "tune-in");
@@ -130,10 +142,14 @@ int main(int Argc, char **Argv) {
   }
 
   ExecutionReport R = executeProgram(P, Inputs, Opts, Exec);
-  std::printf("\nmean of squares of positives: sequential %.6f, "
-              "4 threads (%s engine) %.6f\n",
-              Seq.asFloat(), engine::engineModeName(Mode),
-              R.Result.asFloat());
+  if (R.ok())
+    std::printf("\nmean of squares of positives: sequential %.6f, "
+                "4 threads (%s engine) %.6f\n",
+                Seq.asFloat(), engine::engineModeName(Mode),
+                R.Result.asFloat());
+  else
+    std::printf("\nrun ended %s (%s) — report below is partial\n",
+                execStatusName(R.Status), R.TrapMessage.c_str());
 
   // 4. Executor metrics: how the parallel run spread across workers, and
   //    what the kernel engine did with each loop.

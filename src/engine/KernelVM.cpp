@@ -2,8 +2,10 @@
 
 #include "engine/KernelVM.h"
 
+#include "faultinject/FaultInject.h"
 #include "observe/Sampler.h"
 #include "observe/Trace.h"
+#include "runtime/Cancel.h"
 #include "runtime/ThreadPool.h"
 #include "support/Error.h"
 
@@ -23,6 +25,16 @@ const ColBuf *ColumnCache::get(const ArrayPtr &Arr, ScalarKind Kind) {
     if (B->Kind == Kind)
       return B.get();
 
+  // Fresh flatten: charge the flat buffer against the run's memory budget
+  // before allocating (a huge column becomes BudgetExceeded, not OOM), and
+  // give the injector's allocation-failure hook its opportunity.
+  if (Control) {
+    int64_t Elem = Kind == ScalarKind::I1 ? 1 : 8;
+    Control->chargeMemory(static_cast<int64_t>(Arr->size()) * Elem);
+    Control->checkpoint();
+  }
+  if (faults::shouldFire(faults::Hook::Alloc))
+    trap("injected allocation failure");
   auto Buf = std::make_unique<ColBuf>();
   Buf->Kind = Kind;
   Buf->Keepalive = Arr;
@@ -144,8 +156,8 @@ void initChunk(const Kernel &K, const std::vector<int64_t> &NumKeys,
 }
 
 [[noreturn]] void colOutOfRange(int64_t Idx, size_t Size) {
-  fatalError("array read out of range: index " + std::to_string(Idx) +
-             ", size " + std::to_string(Size));
+  trap("array read out of range: index " + std::to_string(Idx) + ", size " +
+       std::to_string(Size));
 }
 
 /// Executes instructions [Begin, End). \p NumKeys holds the dense bucket
@@ -229,14 +241,14 @@ void execRange(const Kernel &K, int32_t Begin, int32_t End, Regs &R,
       if (R.I[In.B] == 0 ||
           (R.I[In.B] == -1 &&
            R.I[In.A] == std::numeric_limits<int64_t>::min()))
-        fatalError("integer division by zero");
+        trap("integer division by zero");
       R.I[In.Dst] = R.I[In.A] / R.I[In.B];
       break;
     case ROp::ModI:
       if (R.I[In.B] == 0 ||
           (R.I[In.B] == -1 &&
            R.I[In.A] == std::numeric_limits<int64_t>::min()))
-        fatalError("integer modulo by zero");
+        trap("integer modulo by zero");
       R.I[In.Dst] = R.I[In.A] % R.I[In.B];
       break;
     case ROp::MinI:
@@ -374,8 +386,8 @@ void execRange(const Kernel &K, int32_t Begin, int32_t End, Regs &R,
       if (P.Dense) {
         int64_t NK = NumKeys[In.Dst];
         if (Key < 0 || Key >= NK)
-          fatalError("dense bucket key " + std::to_string(Key) +
-                     " out of range [0," + std::to_string(NK) + ")");
+          trap("dense bucket key " + std::to_string(Key) +
+               " out of range [0," + std::to_string(NK) + ")");
         size_t Slot = static_cast<size_t>(Key);
         switch (P.ValKind) {
         case ScalarKind::I64:
@@ -479,8 +491,8 @@ void execRange(const Kernel &K, int32_t Begin, int32_t End, Regs &R,
       if (P.Dense) {
         int64_t NK = NumKeys[In.Dst];
         if (Key < 0 || Key >= NK)
-          fatalError("dense bucket key " + std::to_string(Key) +
-                     " out of range [0," + std::to_string(NK) + ")");
+          trap("dense bucket key " + std::to_string(Key) +
+               " out of range [0," + std::to_string(NK) + ")");
         Slot = static_cast<size_t>(Key);
         First = !G.DHas[Slot];
         if (First)
@@ -1233,13 +1245,14 @@ bool engine::runKernel(const Kernel &K, int64_t N, const LaunchContext &Ctx,
       continue;
     int64_t NK = Ctx.EvalInvariant(P.NumKeys).toInt();
     if (NK < 0)
-      fatalError("negative dense bucket count");
+      trap("negative dense bucket count");
     NumKeys[G] = NK;
   }
 
   Regs Snapshot(K);
   ColumnCache LocalCache;
   ColumnCache &Cache = Ctx.Columns ? *Ctx.Columns : LocalCache;
+  Cache.setControl(Ctx.Control);
   std::vector<const ColBuf *> Cols;
   if (N > 0) {
     // Bind uniforms and columns. A runtime kind that contradicts the
@@ -1291,8 +1304,8 @@ bool engine::runKernel(const Kernel &K, int64_t N, const LaunchContext &Ctx,
   // emits landed only by the replay).
   const bool UseWide = K.WideEligible && Ctx.EnableWide && N >= WideW;
   std::atomic<int64_t> WideBlocks{0};
-  auto ExecSpan = [&](int64_t Begin, int64_t End, Regs &R,
-                      std::vector<ChunkGen> &Gens) {
+  auto ExecSpanRaw = [&](int64_t Begin, int64_t End, Regs &R,
+                         std::vector<ChunkGen> &Gens) {
     int64_t I = Begin;
     if (UseWide && End - Begin >= WideW) {
       WideRegs WR(K, R);
@@ -1319,6 +1332,24 @@ bool engine::runKernel(const Kernel &K, int64_t N, const LaunchContext &Ctx,
                 NumKeys);
     }
   };
+  // Unboxed spans run far more iterations per unit time than the boxed
+  // interpreter, so they checkpoint on a coarser cadence: every KernelCheck
+  // indices the span charges its iterations, polls deadline/budget
+  // cancellation, and gives the fault injector's Trap hook an opportunity.
+  auto ExecSpan = [&](int64_t Begin, int64_t End, Regs &R,
+                      std::vector<ChunkGen> &Gens) {
+    constexpr int64_t KernelCheck = 4096;
+    for (int64_t SB = Begin; SB < End; SB += KernelCheck) {
+      int64_t SE = std::min(SB + KernelCheck, End);
+      if (faults::shouldFire(faults::Hook::Trap))
+        trap("injected trap");
+      if (Ctx.Control) {
+        Ctx.Control->chargeIterations(SE - SB);
+        Ctx.Control->checkpoint();
+      }
+      ExecSpanRaw(SB, SE, R, Gens);
+    }
+  };
   bool Parallel = Ctx.Pool && Ctx.Threads > 1 && N >= 2 * Ctx.MinChunk;
   if (Parallel) {
     // The interpreter's exact chunk arithmetic, so float reassociation is
@@ -1342,7 +1373,8 @@ bool engine::runKernel(const Kernel &K, int64_t N, const LaunchContext &Ctx,
             ExecSpan(C * Per, End, R, Gens);
           }
         },
-        Ctx.Profile ? &PStats : nullptr, "engine.chunk");
+        Ctx.Profile ? &PStats : nullptr, "engine.chunk",
+        Ctx.Control ? &Ctx.Control->token() : nullptr);
     if (Ctx.Profile) {
       Ctx.Profile->accumulate(PStats);
       ++Ctx.Profile->ParallelLoops;

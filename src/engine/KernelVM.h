@@ -31,6 +31,7 @@
 
 namespace dmll {
 
+class RunControl;
 class ThreadPool;
 
 namespace engine {
@@ -54,12 +55,18 @@ class ColumnCache {
 public:
   /// Returns the flat buffer for \p Arr, flattening on first use. Returns
   /// nullptr when some element's runtime kind contradicts \p Kind (the
-  /// kernel then falls back to the interpreter).
+  /// kernel then falls back to the interpreter). A fresh flatten charges
+  /// the run's memory budget and is an allocation-failure fault-injection
+  /// point (both may throw TrapError).
   const ColBuf *get(const ArrayPtr &Arr, lower::ScalarKind Kind);
+
+  /// Installs the run's limits enforcement; null disables charging.
+  void setControl(RunControl *C) { Control = C; }
 
 private:
   std::unordered_map<const ArrayData *, std::vector<std::unique_ptr<ColBuf>>>
       Cache;
+  RunControl *Control = nullptr;
 };
 
 /// Everything a launch needs from the surrounding evaluator.
@@ -86,11 +93,17 @@ struct LaunchContext {
   /// null when no sampling profiler is active. Threaded from the evaluator
   /// so kernel and chunk phases attribute to the loop without unwinding.
   const char *SampleLoop = nullptr;
+  /// Per-run limits enforcement (runtime/Cancel.h): deadline / budget
+  /// checkpoints inside span execution and the cancel token handed to
+  /// parallel launches. Null = unlimited.
+  RunControl *Control = nullptr;
 };
 
 /// Runs \p K over [0, N). Returns false (leaving \p Out untouched) when
-/// launch-time binding rejects the kernel; fatal runtime errors (division
-/// by zero, out-of-range reads) abort with the interpreter's messages.
+/// launch-time binding rejects the kernel; runtime faults (division by
+/// zero, out-of-range reads) throw TrapError with the interpreter's
+/// messages, unwinding cleanly out of worker chunks (runtime/ThreadPool.h
+/// trap containment).
 bool runKernel(const Kernel &K, int64_t N, const LaunchContext &Ctx,
                Value &Out);
 

@@ -1,0 +1,135 @@
+//===- faultinject/FaultInject.cpp ----------------------------*- C++ -*-===//
+
+#include "faultinject/FaultInject.h"
+
+#include "support/Error.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+
+using namespace dmll;
+using namespace dmll::faults;
+
+namespace {
+
+std::atomic<bool> Armed{false};
+FaultPlan Plan; // written only while disarmed
+std::atomic<uint64_t> Opportunities[NumHooks];
+std::atomic<uint64_t> Fired[NumHooks];
+
+double hookProb(Hook H) {
+  switch (H) {
+  case Hook::Alloc:
+    return Plan.AllocProb;
+  case Hook::Trap:
+    return Plan.TrapProb;
+  case Hook::Delay:
+    return Plan.DelayProb;
+  case Hook::Stall:
+    return Plan.StallProb;
+  }
+  return 0.0;
+}
+
+/// splitmix64 of (seed, hook, opportunity index): the decision for the N-th
+/// opportunity of a hook is a pure function of the plan, independent of
+/// which thread draws it.
+uint64_t mix(uint64_t Seed, unsigned H, uint64_t N) {
+  uint64_t X = Seed ^ (0x9e3779b97f4a7c15ULL * (H + 1)) ^ (N * 0xbf58476d1ce4e5b9ULL);
+  X ^= X >> 30;
+  X *= 0xbf58476d1ce4e5b9ULL;
+  X ^= X >> 27;
+  X *= 0x94d049bb133111ebULL;
+  X ^= X >> 31;
+  return X;
+}
+
+void resetCounters() {
+  for (unsigned I = 0; I < NumHooks; ++I) {
+    Opportunities[I].store(0, std::memory_order_relaxed);
+    Fired[I].store(0, std::memory_order_relaxed);
+  }
+}
+
+} // namespace
+
+bool dmll::faults::shouldFire(Hook H) {
+  if (!Armed.load(std::memory_order_acquire))
+    return false;
+  double P = hookProb(H);
+  if (P <= 0.0)
+    return false;
+  unsigned Idx = static_cast<unsigned>(H);
+  uint64_t N = Opportunities[Idx].fetch_add(1, std::memory_order_relaxed);
+  uint64_t R = mix(Plan.Seed, Idx, N);
+  // Compare the top 53 bits against the probability threshold.
+  double U = static_cast<double>(R >> 11) * 0x1.0p-53;
+  if (U >= P)
+    return false;
+  Fired[Idx].fetch_add(1, std::memory_order_relaxed);
+  if (H == Hook::Delay)
+    std::this_thread::sleep_for(std::chrono::microseconds(Plan.DelayMicros));
+  else if (H == Hook::Stall)
+    std::this_thread::sleep_for(std::chrono::microseconds(Plan.StallMicros));
+  return true;
+}
+
+uint64_t dmll::faults::firedCount(Hook H) {
+  return Fired[static_cast<unsigned>(H)].load(std::memory_order_relaxed);
+}
+
+ScopedFaultInjection::ScopedFaultInjection(const FaultPlan &P) {
+  if (Armed.load(std::memory_order_relaxed))
+    fatalError("fault injection armed twice");
+  Plan = P;
+  resetCounters();
+  Armed.store(true, std::memory_order_release);
+}
+
+ScopedFaultInjection::~ScopedFaultInjection() {
+  Armed.store(false, std::memory_order_release);
+}
+
+bool dmll::faults::armFaultsFromEnv() {
+  const char *Env = std::getenv("DMLL_FAULTS");
+  if (!Env || !*Env)
+    return false;
+  FaultPlan P;
+  std::string S(Env);
+  size_t Pos = 0;
+  while (Pos < S.size()) {
+    size_t Comma = S.find(',', Pos);
+    if (Comma == std::string::npos)
+      Comma = S.size();
+    std::string Item = S.substr(Pos, Comma - Pos);
+    Pos = Comma + 1;
+    size_t Eq = Item.find('=');
+    if (Eq == std::string::npos)
+      continue;
+    std::string Key = Item.substr(0, Eq);
+    std::string Val = Item.substr(Eq + 1);
+    if (Key == "seed")
+      P.Seed = std::strtoull(Val.c_str(), nullptr, 10);
+    else if (Key == "alloc")
+      P.AllocProb = std::strtod(Val.c_str(), nullptr);
+    else if (Key == "trap")
+      P.TrapProb = std::strtod(Val.c_str(), nullptr);
+    else if (Key == "delay")
+      P.DelayProb = std::strtod(Val.c_str(), nullptr);
+    else if (Key == "stall")
+      P.StallProb = std::strtod(Val.c_str(), nullptr);
+    else if (Key == "delay_us")
+      P.DelayMicros = std::strtoll(Val.c_str(), nullptr, 10);
+    else if (Key == "stall_us")
+      P.StallMicros = std::strtoll(Val.c_str(), nullptr, 10);
+  }
+  // Leaked deliberately: armed for the process lifetime.
+  static ScopedFaultInjection *Lifetime = nullptr;
+  if (!Lifetime)
+    Lifetime = new ScopedFaultInjection(P);
+  return true;
+}

@@ -1,0 +1,89 @@
+//===- faultinject/FaultInject.h - Deterministic fault injector -*- C++ -*-===//
+//
+// Part of the DMLL reproduction of Brown et al., CGO 2016.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A deterministic, seeded fault injector proving the recoverable-execution
+/// contract (docs/ROBUSTNESS.md). The runtime carries four dormant hook
+/// points; arming a FaultPlan (ScopedFaultInjection, or the DMLL_FAULTS
+/// environment variable parsed by armFaultsFromEnv) makes each hook fire
+/// pseudo-randomly but *reproducibly*:
+///
+///   Alloc — large Value/column materializations fail with a recoverable
+///           "injected allocation failure" trap instead of succeeding
+///   Trap  — evaluator checkpoints raise a synthetic user-program trap
+///   Delay — worker chunk bodies sleep DelayMicros before running,
+///           shuffling chunk completion order and steal patterns
+///   Stall — chunk boundaries sleep StallMicros after completing a chunk,
+///           widening the window in which siblings observe a cancel
+///
+/// Decisions are pure functions of (plan seed, hook, per-hook firing
+/// counter) — thread interleavings change *which worker* draws decision
+/// N of a hook, never the decision sequence itself, so a schedule that
+/// fired k faults fires k faults on every machine. The chaos oracle
+/// (src/fuzz/Oracle.h runChaos) drives random plans through generated
+/// programs and asserts survival + post-fault bit-identity.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DMLL_FAULTINJECT_FAULTINJECT_H
+#define DMLL_FAULTINJECT_FAULTINJECT_H
+
+#include <cstdint>
+
+namespace dmll {
+namespace faults {
+
+/// The runtime hook points a FaultPlan can arm.
+enum class Hook : unsigned {
+  Alloc = 0, ///< fail a large allocation with a recoverable trap
+  Trap,      ///< raise a synthetic trap at an evaluator checkpoint
+  Delay,     ///< sleep before running a worker chunk body
+  Stall,     ///< sleep at a chunk boundary after completing a chunk
+};
+constexpr unsigned NumHooks = 4;
+
+/// One deterministic fault schedule. Probabilities are per firing
+/// opportunity, in the closed range [0, 1].
+struct FaultPlan {
+  uint64_t Seed = 0;
+  double AllocProb = 0.0;
+  double TrapProb = 0.0;
+  double DelayProb = 0.0;
+  double StallProb = 0.0;
+  /// Sleep lengths for Delay / Stall firings.
+  int64_t DelayMicros = 50;
+  int64_t StallMicros = 200;
+};
+
+/// True when a plan is armed AND \p H fires for this opportunity; advances
+/// the hook's firing counter either way. The dormant (unarmed) fast path is
+/// one relaxed atomic load. For Delay/Stall the sleep is performed inside
+/// shouldFire before it returns true.
+bool shouldFire(Hook H);
+
+/// Number of times \p H has actually fired since the plan was armed — lets
+/// tests assert a schedule really injected something.
+uint64_t firedCount(Hook H);
+
+/// Arms \p P process-wide until the object is destroyed, resetting all
+/// firing counters. Not reentrant: at most one live ScopedFaultInjection.
+class ScopedFaultInjection {
+public:
+  explicit ScopedFaultInjection(const FaultPlan &P);
+  ~ScopedFaultInjection();
+  ScopedFaultInjection(const ScopedFaultInjection &) = delete;
+  ScopedFaultInjection &operator=(const ScopedFaultInjection &) = delete;
+};
+
+/// Parses DMLL_FAULTS ("seed=N,alloc=P,trap=P,delay=P,stall=P") and arms it
+/// for the process lifetime; no-op when the variable is unset or empty.
+/// Returns true if a plan was armed. Intended for tool main()s.
+bool armFaultsFromEnv();
+
+} // namespace faults
+} // namespace dmll
+
+#endif // DMLL_FAULTINJECT_FAULTINJECT_H

@@ -214,9 +214,13 @@ Val dot(Val A, Val B) {
 Val sigmoid(Val Z) { return Val(1.0) / (Val(1.0) + vexp(-Z)); }
 
 Val ProgramBuilder::in(const std::string &Name, TypeRef Ty, LayoutHint Hint) {
+  // A user-program error, not a compiler invariant: report it through the
+  // recoverable trap path so a host process (daemon, fuzz harness) survives
+  // a bad program. The message text is load-bearing — fuzz trap-class
+  // matching compares it across executors (tests/FrontendTest.cpp pins it).
   for (const auto &I : Inputs)
     if (I->name() == Name)
-      fatalError("duplicate input '" + Name + "'");
+      trap("duplicate input '" + Name + "'");
   auto In = input(Name, std::move(Ty), Hint);
   Inputs.push_back(In);
   return Val(ExprRef(In));

@@ -2,10 +2,14 @@
 
 #include "fuzz/Oracle.h"
 
+#include "faultinject/FaultInject.h"
 #include "fuzz/RefEval.h"
 #include "interp/Interp.h"
 #include "observe/Events.h"
+#include "observe/MetricsRegistry.h"
 #include "observe/Sampler.h"
+#include "runtime/ThreadPool.h"
+#include "support/Error.h"
 #include "transform/Pipeline.h"
 #include "transform/Soa.h"
 #include "tune/Tuner.h"
@@ -212,6 +216,23 @@ RunResult execConfig(const FuzzCase &C, const ExecConfig &Cfg) {
     R.Out = refEval(C.P, C.Inputs);
     return R;
   }
+  if (Cfg.Recover) {
+    // The recoverable path: traps come back as a structured ExecResult
+    // instead of unwinding, so this configuration never relies on the
+    // fork sandbox for trap containment — the child converts the status
+    // into the ordinary trap payload.
+    EvalOptions EO;
+    EO.Threads = Cfg.Threads;
+    EO.MinChunk = Cfg.MinChunk;
+    ExecResult ER = evalProgramRecover(C.P, C.Inputs, EO);
+    if (ER.ok()) {
+      R.Out = std::move(ER.Out);
+    } else {
+      R.Status = RunStatus::Trap;
+      R.TrapMessage = std::move(ER.TrapMessage);
+    }
+    return R;
+  }
   const Program *P = &C.P;
   InputMap Adapted;
   CompileResult CR;
@@ -265,6 +286,7 @@ std::vector<ExecConfig> dmll::fuzz::defaultConfigs() {
       {"kernel-opt-4t", E::Kernel, true, true, 4, 4},
       {"tuned-mixed-4t", E::Interp, false, true, 4, 4, true},
       {"telemetry-4t", E::Interp, false, true, 4, 4, false, true},
+      {"recover-4t", E::Interp, false, true, 4, 4, false, false, true},
       {"ref", E::Ref, false, true, 1, 1024},
   };
 }
@@ -284,17 +306,38 @@ RunResult dmll::fuzz::runForked(const std::function<RunResult()> &Body,
     close(ErrPipe[0]);
     dup2(ErrPipe[1], 2);
     close(ErrPipe[1]);
-    RunResult R = Body(); // fatalError aborts here; nothing gets written
-    std::string Payload;
-    Payload += "fallbacks " + std::to_string(R.Fallbacks.size()) + "\n";
-    for (std::string F : R.Fallbacks) {
-      for (char &Ch : F)
+    auto trapPayload = [](std::string Msg) {
+      for (char &Ch : Msg)
         if (Ch == '\n')
           Ch = ' ';
-      Payload += F + "\n";
+      return "trap\n" + Msg + "\n";
+    };
+    std::string Payload;
+    try {
+      // fatalError (compiler invariants) still aborts here: nothing gets
+      // written and the parent classifies by the SIGABRT + stderr banner.
+      RunResult R = Body();
+      if (R.Status == RunStatus::Trap) {
+        // A recoverable configuration already folded the trap into its
+        // RunResult; forward it as the same first-class payload.
+        Payload = trapPayload(R.TrapMessage);
+      } else {
+        Payload += "fallbacks " + std::to_string(R.Fallbacks.size()) + "\n";
+        for (std::string F : R.Fallbacks) {
+          for (char &Ch : F)
+            if (Ch == '\n')
+              Ch = ' ';
+          Payload += F + "\n";
+        }
+        Payload += "value\n";
+        serializeValue(R.Out, Payload);
+      }
+    } catch (const TrapError &E) {
+      // A user-program trap unwinding out of the evaluation is a
+      // first-class outcome, not a child death: report it over the pipe
+      // and exit cleanly.
+      Payload = trapPayload(E.message());
     }
-    Payload += "value\n";
-    serializeValue(R.Out, Payload);
     writeAll(OutPipe[1], Payload);
     close(OutPipe[1]);
     _exit(0);
@@ -350,7 +393,18 @@ RunResult dmll::fuzz::runForked(const std::function<RunResult()> &Body,
   std::istringstream In(Bufs[0]);
   std::string Tag;
   size_t NumFallbacks = 0;
-  if (!(In >> Tag) || Tag != "fallbacks" || !(In >> NumFallbacks)) {
+  if (!(In >> Tag)) {
+    R.Status = RunStatus::Crash;
+    return R;
+  }
+  if (Tag == "trap") {
+    // Recoverable trap reported by the child with a clean exit.
+    In.ignore(); // newline after the tag
+    std::getline(In, R.TrapMessage);
+    R.Status = RunStatus::Trap;
+    return R;
+  }
+  if (Tag != "fallbacks" || !(In >> NumFallbacks)) {
     R.Status = RunStatus::Crash;
     return R;
   }
@@ -543,7 +597,7 @@ Verdict dmll::fuzz::runDifferential(const FuzzCase &C, double Tol,
   // the same globals: the decision table only moves loops between engines
   // (bit-identical by the engine guarantee) and restates the global
   // Threads/MinChunk, so the comparison tolerance is exactly zero.
-  int TunedIdx = -1, UntunedIdx = -1, TelemetryIdx = -1;
+  int TunedIdx = -1, UntunedIdx = -1, TelemetryIdx = -1, RecoverIdx = -1;
   for (size_t I = 0; I < Configs.size(); ++I) {
     if (Configs[I].Optimize || Results[I].Status != RunStatus::Ok)
       continue;
@@ -551,6 +605,8 @@ Verdict dmll::fuzz::runDifferential(const FuzzCase &C, double Tol,
       TunedIdx = static_cast<int>(I);
     else if (Configs[I].Telemetry)
       TelemetryIdx = static_cast<int>(I);
+    else if (Configs[I].Recover)
+      RecoverIdx = static_cast<int>(I);
     else if (Configs[I].E == ExecConfig::Engine::Interp &&
              Configs[I].Threads > 1)
       UntunedIdx = static_cast<int>(I);
@@ -574,5 +630,146 @@ Verdict dmll::fuzz::runDifferential(const FuzzCase &C, double Tol,
          "telemetry run not bit-identical to " +
              Configs[static_cast<size_t>(UntunedIdx)].Name});
   }
+  // The recover wrapper is pure control flow around the same evaluation:
+  // a TrapError handler that never fires may not change a single bit of
+  // an Ok result.
+  if (RecoverIdx >= 0 && UntunedIdx >= 0 &&
+      !oracleEquals(Results[static_cast<size_t>(UntunedIdx)].Out,
+                    Results[static_cast<size_t>(RecoverIdx)].Out, 0.0)) {
+    V.Divergences.push_back(
+        {DivergenceKind::WrongValue,
+         Configs[static_cast<size_t>(RecoverIdx)].Name,
+         "recoverable run not bit-identical to " +
+             Configs[static_cast<size_t>(UntunedIdx)].Name});
+  }
   return V;
+}
+
+//===----------------------------------------------------------------------===//
+// Chaos oracle: in-process survival under deterministic fault schedules.
+//===----------------------------------------------------------------------===//
+
+std::string ChaosReport::str() const {
+  std::ostringstream SS;
+  SS << "seed " << Seed << ": " << Schedules << " schedule(s), " << Faulted
+     << " faulted, " << Disturbed << " disturbed";
+  if (ok()) {
+    SS << ": clean";
+    return SS.str();
+  }
+  SS << ", " << Problems.size() << " problem(s)";
+  for (const std::string &P : Problems)
+    SS << "\n  " << P;
+  return SS.str();
+}
+
+ChaosReport dmll::fuzz::runChaos(const FuzzCase &C, int Schedules,
+                                 uint64_t SeedBase) {
+  ChaosReport Rep;
+  Rep.Seed = C.Seed;
+  // One persistent pool for the whole chaos run: reusing it across faulted
+  // executions is exactly the state-cleanliness claim under test.
+  ThreadPool Pool(4);
+  auto runOnce = [&](const ExecLimits &Limits) {
+    EvalOptions EO;
+    EO.Threads = 4;
+    EO.MinChunk = 4;
+    // Auto splits loops between the interpreter and the kernel VM, so a
+    // fault unwinding mid-run also has to leave the kernel/column caches
+    // coherent for the re-run to bit-match.
+    EO.Mode = engine::EngineMode::Auto;
+    EO.Pool = &Pool;
+    EO.Limits = Limits;
+    return evalProgramRecover(C.P, C.Inputs, EO);
+  };
+  auto describe = [](const ExecResult &R) {
+    std::string S = execStatusName(R.Status);
+    if (!R.TrapMessage.empty())
+      S += " (\"" + R.TrapMessage + "\")";
+    return S;
+  };
+  auto sameOutcome = [](const ExecResult &A, const ExecResult &B) {
+    if (A.Status != B.Status)
+      return false;
+    if (A.Status == ExecStatus::Ok)
+      return oracleEquals(A.Out, B.Out, 0.0);
+    // Fault-free runs are fully deterministic — first-trap-wins pins the
+    // winning chunk — so even the message indices must reproduce.
+    return A.TrapMessage == B.TrapMessage;
+  };
+
+  // Fault-free reference on the same pool (the program may legitimately
+  // trap on its own; the reference then pins that trap).
+  ExecResult Ref = runOnce(ExecLimits{});
+  std::map<std::string, int64_t> PrevCounters =
+      MetricsRegistry::global().snapshot().Counters;
+
+  for (int S = 0; S < Schedules; ++S) {
+    // Deterministic schedule mix: rotate which hooks are armed so single
+    // fault classes and combinations both get coverage, with occasional
+    // tight resource limits stacked on top.
+    faults::FaultPlan Plan;
+    Plan.Seed = SeedBase + static_cast<uint64_t>(S) * 0x9e3779b97f4a7c15ULL;
+    Plan.AllocProb = (S % 3 == 0) ? 0.05 : 0.0;
+    Plan.TrapProb = (S % 2 == 0) ? 0.02 : 0.0;
+    Plan.DelayProb = (S % 4 == 1) ? 0.05 : 0.0;
+    Plan.StallProb = (S % 5 == 2) ? 0.02 : 0.0;
+    Plan.DelayMicros = 20;
+    Plan.StallMicros = 100;
+    ExecLimits Limits;
+    if (S % 7 == 3)
+      Limits.MaxIterations = 192; // budget trap mid-run
+    if (S % 11 == 4)
+      Limits.DeadlineMs = 1; // near-immediate deadline
+    ++Rep.Schedules;
+
+    bool Fired = false, Escaped = false;
+    ExecResult Faulted;
+    {
+      faults::ScopedFaultInjection Arm(Plan);
+      try {
+        Faulted = runOnce(Limits);
+      } catch (const TrapError &E) {
+        Escaped = true;
+        Rep.Problems.push_back("schedule " + std::to_string(S) +
+                               ": TrapError escaped evalProgramRecover: " +
+                               E.message());
+      } catch (const std::exception &E) {
+        Escaped = true;
+        Rep.Problems.push_back("schedule " + std::to_string(S) +
+                               ": exception escaped evalProgramRecover: " +
+                               E.what());
+      }
+      Fired = faults::firedCount(faults::Hook::Alloc) +
+                  faults::firedCount(faults::Hook::Trap) >
+              0;
+    }
+    if (Fired)
+      ++Rep.Faulted;
+    if (!Escaped && !Faulted.ok())
+      ++Rep.Disturbed;
+
+    // State-clean probe: a fault-free run on the same pool right after the
+    // unwind must reproduce the reference bit-for-bit.
+    ExecResult Again = runOnce(ExecLimits{});
+    if (!sameOutcome(Ref, Again))
+      Rep.Problems.push_back(
+          "schedule " + std::to_string(S) + ": fault-free re-run diverged: " +
+          describe(Again) + " vs reference " + describe(Ref));
+
+    // Counter monotonicity: a counter that went backwards means the unwind
+    // corrupted (or someone reset) a live instrument.
+    std::map<std::string, int64_t> Now =
+        MetricsRegistry::global().snapshot().Counters;
+    for (const auto &[Name, V] : PrevCounters) {
+      auto It = Now.find(Name);
+      if (It == Now.end() || It->second < V) {
+        Rep.Problems.push_back("schedule " + std::to_string(S) +
+                               ": counter " + Name + " went backwards");
+        break;
+      }
+    }
+    PrevCounters = std::move(Now);
+  }
+  return Rep;
 }

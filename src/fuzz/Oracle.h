@@ -13,12 +13,18 @@
 /// engines, globals pinned so chunking matches), a telemetry configuration
 /// running with the sampling profiler and event log live (observability
 /// must be a pure observer: bit-identical to the untuned interpreter at
-/// the same globals), and the independent mini
-/// evaluator — and checks that every configuration agrees. Each configuration runs in a forked
-/// child because fatalError() aborts: the child serializes its result over
-/// a pipe and the parent classifies the exit status (clean exit = Ok,
-/// SIGABRT with a "dmll fatal error:" banner = Trap, any other signal =
-/// Crash, deadline exceeded = Timeout).
+/// the same globals), a recoverable configuration driving the structured
+/// ExecResult path (evalProgramRecover — traps unwind instead of
+/// aborting), and the independent mini evaluator — and checks that every
+/// configuration agrees. Each configuration runs in a forked child so a
+/// genuine crash (or a compiler-invariant fatalError, which still aborts)
+/// cannot take the harness down: the child serializes its result over a
+/// pipe and the parent classifies the exit status (clean exit = Ok or
+/// Trap depending on the payload tag, SIGABRT with a "dmll fatal error:"
+/// banner = Trap, any other signal = Crash, deadline exceeded = Timeout).
+/// Recoverable traps — TrapError unwinding out of the evaluation — are
+/// caught in the child and reported as a first-class trap payload over
+/// the pipe with a clean exit.
 ///
 /// Agreement policy:
 ///  * Baseline Ok: every configuration must produce an equal value (floats
@@ -88,6 +94,11 @@ struct ExecConfig {
   /// Telemetry is a pure observer, so results must stay bit-identical to
   /// the untuned interpreter at the same globals.
   bool Telemetry = false;
+  /// Execute through evalProgramRecover: traps come back as a structured
+  /// ExecResult instead of unwinding. The recover wrapper must be
+  /// semantically invisible — Ok results bit-identical to the untuned
+  /// interpreter at the same globals, traps matching the baseline's class.
+  bool Recover = false;
 };
 
 /// The standard matrix; the first entry is the baseline (unoptimized
@@ -136,6 +147,35 @@ Verdict runDifferential(const FuzzCase &C, double Tol = 1e-6,
 /// Deep equality as the oracle defines it: index order exact, struct
 /// arity exact, NaN equal to NaN, floats within |a-b| <= Tol*max(1,|a|,|b|).
 bool oracleEquals(const Value &A, const Value &B, double Tol);
+
+/// Outcome of a chaos run (runChaos): how many fault schedules executed,
+/// how many actually injected something, how many runs ended non-Ok, and
+/// every invariant violation found. Problems empty = the program survived
+/// all schedules with clean state.
+struct ChaosReport {
+  uint64_t Seed = 0;   ///< generator seed of the case driven
+  int Schedules = 0;   ///< fault schedules executed
+  int Faulted = 0;     ///< schedules where >= 1 Alloc/Trap fault fired
+  int Disturbed = 0;   ///< faulted runs that ended with a non-Ok status
+  std::vector<std::string> Problems;
+  bool ok() const { return Problems.empty(); }
+  /// Human-readable multi-line report ("seed N: survived K schedules...").
+  std::string str() const;
+};
+
+/// The chaos oracle: drives \p C *in-process* (no fork — surviving is the
+/// point) through \p Schedules deterministic fault schedules derived from
+/// \p SeedBase on one persistent 4-worker ThreadPool. Each schedule arms a
+/// FaultPlan (faultinject/FaultInject.h) — injected allocation failures,
+/// synthetic traps, worker delays, chunk-boundary stalls — sometimes
+/// stacked with tight deadlines / iteration budgets, and runs through
+/// evalProgramRecover. Invariants checked per schedule:
+///  * no TrapError (or any exception) escapes the recover boundary;
+///  * a fault-free re-run on the *same* pool reproduces the fault-free
+///    reference bit-for-bit (Tol = 0) — no poisoned pool, kernel cache,
+///    or column state survives the unwind;
+///  * every MetricsRegistry counter stays monotonic across the fault.
+ChaosReport runChaos(const FuzzCase &C, int Schedules, uint64_t SeedBase);
 
 } // namespace fuzz
 } // namespace dmll

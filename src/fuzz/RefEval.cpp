@@ -47,15 +47,14 @@ public:
       const auto *Sym = cast<SymExpr>(E);
       auto It = Env.find(Sym->id());
       if (It == Env.end())
-        fatalError("unbound symbol " + Sym->name() +
-                   std::to_string(Sym->id()));
+        trap("unbound symbol " + Sym->name() + std::to_string(Sym->id()));
       return It->second;
     }
     case ExprKind::Input: {
       const auto *In = cast<InputExpr>(E);
       auto It = Inputs.find(In->name());
       if (It == Inputs.end())
-        fatalError("no binding for input '" + In->name() + "'");
+        trap("no binding for input '" + In->name() + "'");
       return It->second;
     }
     case ExprKind::BinOp:
@@ -80,8 +79,8 @@ public:
       Value Arr = eval(R->array(), Env);
       int64_t Idx = eval(R->index(), Env).toInt();
       if (Idx < 0 || static_cast<size_t>(Idx) >= Arr.arraySize())
-        fatalError("array read out of range: index " + std::to_string(Idx) +
-                   ", size " + std::to_string(Arr.arraySize()));
+        trap("array read out of range: index " + std::to_string(Idx) +
+             ", size " + std::to_string(Arr.arraySize()));
       return Arr.at(static_cast<size_t>(Idx));
     }
     case ExprKind::ArrayLen:
@@ -134,7 +133,7 @@ private:
   Value loop(const MultiloopExpr *ML, const RefEnv &Env) {
     int64_t N = eval(ML->size(), Env).toInt();
     if (N < 0)
-      fatalError("negative multiloop size " + std::to_string(N));
+      trap("negative multiloop size " + std::to_string(N));
     const Generator &G = ML->gen();
 
     // Accumulators; which ones are live depends on the generator kind.
@@ -152,7 +151,7 @@ private:
     if (G.isDenseBucket()) {
       NumKeys = eval(G.NumKeys, Env).toInt();
       if (NumKeys < 0)
-        fatalError("negative dense bucket count");
+        trap("negative dense bucket count");
       DenseColl.resize(static_cast<size_t>(NumKeys));
       DenseVals.resize(static_cast<size_t>(NumKeys));
       DenseHas.assign(static_cast<size_t>(NumKeys), 0);
@@ -179,8 +178,8 @@ private:
         int64_t Key = apply1(G.Key, Value(I), Env).toInt();
         if (G.NumKeys) {
           if (Key < 0 || Key >= NumKeys)
-            fatalError("dense bucket key " + std::to_string(Key) +
-                       " out of range [0," + std::to_string(NumKeys) + ")");
+            trap("dense bucket key " + std::to_string(Key) + " out of range [0," +
+                 std::to_string(NumKeys) + ")");
           size_t K = static_cast<size_t>(Key);
           if (G.Kind == GenKind::BucketCollect) {
             DenseColl[K].push_back(std::move(V));
@@ -306,11 +305,11 @@ private:
       return Value(A * C);
     case BinOpKind::Div:
       if (C == 0 || (C == -1 && A == std::numeric_limits<int64_t>::min()))
-        fatalError("integer division by zero");
+        trap("integer division by zero");
       return Value(A / C);
     case BinOpKind::Mod:
       if (C == 0 || (C == -1 && A == std::numeric_limits<int64_t>::min()))
-        fatalError("integer modulo by zero");
+        trap("integer modulo by zero");
       return Value(A % C);
     case BinOpKind::Min:
       return Value(A < C ? A : C);

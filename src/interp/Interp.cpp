@@ -4,6 +4,7 @@
 
 #include "engine/KernelCompiler.h"
 #include "engine/KernelVM.h"
+#include "faultinject/FaultInject.h"
 #include "ir/Printer.h"
 #include "ir/Traversal.h"
 #include "observe/Events.h"
@@ -58,13 +59,16 @@ public:
         Profile(Profile) {}
 
   /// Full-option evaluator. \p Pool (required when Threads > 1) is the
-  /// persistent worker pool shared by every loop of the evaluation.
-  Evaluator(const InputMap &Inputs, const EvalOptions &Opts, ThreadPool *Pool)
+  /// persistent worker pool shared by every loop of the evaluation;
+  /// \p Control (may be null) enforces the run's ExecLimits at evaluator
+  /// checkpoints.
+  Evaluator(const InputMap &Inputs, const EvalOptions &Opts, ThreadPool *Pool,
+            RunControl *Control = nullptr)
       : Inputs(Inputs), Threads(Opts.Threads ? Opts.Threads : 1),
         MinChunk(Opts.MinChunk), Profile(Opts.Profile), Mode(Opts.Mode),
         WideKernels(Opts.WideKernels), KStats(Opts.Kernels),
         Tuning(Opts.Tuning && !Opts.Tuning->empty() ? Opts.Tuning : nullptr),
-        Pool(Pool) {}
+        Pool(Pool), Control(Control) {}
 
   Value evalTop(const ExprRef &E) {
     Scope Global;
@@ -82,6 +86,10 @@ private:
   /// Per-loop tuning decisions (tune/Decision.h); null when untuned.
   const tune::DecisionTable *Tuning = nullptr;
   ThreadPool *Pool = nullptr;
+  /// Per-run limits enforcement (runtime/Cancel.h); null = unlimited.
+  /// Shared by pointer with chunk sub-evaluators so every worker observes
+  /// the same cancel token and charges the same budgets.
+  RunControl *Control = nullptr;
   /// Compiled kernels (or recorded compile failures) per multiloop node.
   struct KernelEntry {
     std::shared_ptr<const engine::Kernel> K; ///< null: compile failed
@@ -172,8 +180,17 @@ private:
       if (Gen.isDenseBucket()) {
         int64_t K = eval(Gen.NumKeys, S).toInt();
         if (K < 0)
-          fatalError("negative dense bucket count");
+          trap("negative dense bucket count");
         States[G].NumKeys = K;
+        // Charge the dense state against the memory budget *before*
+        // allocating, so a huge key count becomes BudgetExceeded rather
+        // than OOM. Charged per chunk: each worker really allocates it.
+        if (Control) {
+          Control->chargeMemory(K * static_cast<int64_t>(sizeof(Value)));
+          Control->checkpoint();
+        }
+        if (faults::shouldFire(faults::Hook::Alloc))
+          trap("injected allocation failure");
         if (Gen.Kind == GenKind::BucketReduce) {
           States[G].DenseVals.resize(static_cast<size_t>(K));
           States[G].DenseHas.assign(static_cast<size_t>(K), 0);
@@ -186,9 +203,33 @@ private:
   }
 
   /// Runs [Begin, End) of the loop, accumulating into \p States.
+  ///
+  /// Every CheckpointInterval iterations this is also a cancellation /
+  /// budget checkpoint: accumulated iteration and (shallow, per-element)
+  /// memory charges flush to RunControl, which throws TrapError on any
+  /// exceeded limit, and the fault injector's Trap hook gets a firing
+  /// opportunity. Enforcement granularity is therefore the checkpoint
+  /// interval, never a single iteration.
   void runRange(const MultiloopExpr *ML, int64_t Begin, int64_t End,
                 std::vector<GenState> &States, Scope &S) {
+    int64_t SinceCheck = 0;
+    int64_t PendingElems = 0;
+    auto Flush = [&] {
+      if (faults::shouldFire(faults::Hook::Trap))
+        trap("injected trap");
+      if (Control) {
+        Control->chargeIterations(SinceCheck);
+        if (PendingElems)
+          Control->chargeMemory(PendingElems *
+                                static_cast<int64_t>(sizeof(Value)));
+        Control->checkpoint();
+      }
+      SinceCheck = 0;
+      PendingElems = 0;
+    };
     for (int64_t I = Begin; I < End; ++I) {
+      if (++SinceCheck >= CheckpointInterval)
+        Flush();
       for (size_t G = 0; G < ML->numGens(); ++G) {
         const Generator &Gen = ML->gen(G);
         GenState &St = States[G];
@@ -197,6 +238,7 @@ private:
         Value V = applyUnary(Gen.Value, I, S);
         switch (Gen.Kind) {
         case GenKind::Collect:
+          ++PendingElems;
           St.Collected.push_back(std::move(V));
           break;
         case GenKind::Reduce:
@@ -209,12 +251,12 @@ private:
           break;
         case GenKind::BucketCollect:
         case GenKind::BucketReduce: {
+          ++PendingElems;
           int64_t Key = applyUnary(Gen.Key, I, S).toInt();
           if (Gen.NumKeys) {
             if (Key < 0 || Key >= St.NumKeys)
-              fatalError("dense bucket key " + std::to_string(Key) +
-                         " out of range [0," + std::to_string(St.NumKeys) +
-                         ")");
+              trap("dense bucket key " + std::to_string(Key) +
+                   " out of range [0," + std::to_string(St.NumKeys) + ")");
             size_t K = static_cast<size_t>(Key);
             if (Gen.Kind == GenKind::BucketCollect) {
               St.DenseColl[K].push_back(std::move(V));
@@ -248,6 +290,8 @@ private:
         }
       }
     }
+    if (SinceCheck || PendingElems)
+      Flush();
   }
 
   /// Merges the chunk state \p Next (covering later indices) into \p Acc.
@@ -449,6 +493,7 @@ private:
     Ctx.EnableWide = EffWide;
     Ctx.Profile = Profile;
     Ctx.Columns = &Columns;
+    Ctx.Control = Control;
     bool Parallel = false;
     Ctx.WasParallel = &Parallel;
     Ctx.LoopCounters = OtherWorkers;
@@ -480,7 +525,7 @@ private:
   Value evalMultiloop(const ExprRef &E, const MultiloopExpr *ML, Scope &S) {
     int64_t N = eval(ML->size(), S).toInt();
     if (N < 0)
-      fatalError("negative multiloop size " + std::to_string(N));
+      trap("negative multiloop size " + std::to_string(N));
 
     bool Closed = freeOf(E).empty();
     // Closed loops are the unit the telemetry plane attributes to: compute
@@ -597,13 +642,15 @@ private:
                 Sub.KStats = KStats;
                 Sub.Kernels = Kernels;
                 Sub.Tuning = Tuning;
+                Sub.Control = Control;
                 Scope Local;
                 ChunkStates[static_cast<size_t>(C)] = Sub.initStates(ML, Local);
                 Sub.runRange(ML, C * Per, std::min((C + 1) * Per, N),
                              ChunkStates[static_cast<size_t>(C)], Local);
               }
             },
-            Profile ? &PStats : nullptr, "exec.chunk");
+            Profile ? &PStats : nullptr, "exec.chunk",
+            Control ? &Control->token() : nullptr);
         if (Profile) {
           Profile->accumulate(PStats);
           ++Profile->ParallelLoops;
@@ -763,11 +810,11 @@ private:
       // INT64_MIN / -1 overflows (SIGFPE on x86); trap it under the same
       // message as /0 so every executor reports identical behaviour.
       if (C == 0 || (C == -1 && A == std::numeric_limits<int64_t>::min()))
-        fatalError("integer division by zero");
+        trap("integer division by zero");
       return Value(A / C);
     case BinOpKind::Mod:
       if (C == 0 || (C == -1 && A == std::numeric_limits<int64_t>::min()))
-        fatalError("integer modulo by zero");
+        trap("integer modulo by zero");
       return Value(A % C);
     case BinOpKind::Min:
       return Value(A < C ? A : C);
@@ -813,14 +860,13 @@ private:
       const auto *Sym = cast<SymExpr>(E);
       if (const Value *V = S.lookup(Sym->id()))
         return *V;
-      fatalError("unbound symbol " + Sym->name() +
-                 std::to_string(Sym->id()));
+      trap("unbound symbol " + Sym->name() + std::to_string(Sym->id()));
     }
     case ExprKind::Input: {
       const auto *In = cast<InputExpr>(E);
       auto It = Inputs.find(In->name());
       if (It == Inputs.end())
-        fatalError("no binding for input '" + In->name() + "'");
+        trap("no binding for input '" + In->name() + "'");
       return It->second;
     }
     case ExprKind::BinOp:
@@ -847,8 +893,8 @@ private:
       Value Arr = eval(R->array(), S);
       int64_t Idx = eval(R->index(), S).toInt();
       if (Idx < 0 || static_cast<size_t>(Idx) >= Arr.arraySize())
-        fatalError("array read out of range: index " + std::to_string(Idx) +
-                   ", size " + std::to_string(Arr.arraySize()));
+        trap("array read out of range: index " + std::to_string(Idx) +
+             ", size " + std::to_string(Arr.arraySize()));
       return Arr.at(static_cast<size_t>(Idx));
     }
     case ExprKind::ArrayLen:
@@ -886,7 +932,17 @@ private:
       auto It = MS.Memo.find(E.get());
       if (It != MS.Memo.end())
         return It->second;
-      Value Result = evalMultiloop(E, cast<MultiloopExpr>(E), S);
+      Value Result;
+      try {
+        Result = evalMultiloop(E, cast<MultiloopExpr>(E), S);
+      } catch (TrapError &Err) {
+        // Attribute the trap to the innermost *closed* loop it unwound
+        // from (the unit telemetry and tuning key on); the innermost
+        // catch wins because it stamps first.
+        if (Err.loop().empty() && freeOf(E).empty())
+          Err.setLoop(loopSignature(E));
+        throw;
+      }
       MS.Memo.emplace(E.get(), Result);
       return Result;
     }
@@ -923,10 +979,34 @@ Value dmll::evalProgramParallel(const Program &P, const InputMap &Inputs,
 Value dmll::evalProgramWith(const Program &P, const InputMap &Inputs,
                             const EvalOptions &Opts) {
   unsigned Threads = Opts.Threads ? Opts.Threads : 1;
-  if (Threads == 1)
-    return Evaluator(Inputs, Opts, nullptr).evalTop(P.Result);
+  // The run's control block lives on this frame; worker chunks observe it
+  // through the shared Evaluator / LaunchContext pointers. Only armed when
+  // limits were requested — the unlimited path carries no checkpoint state.
+  RunControl RC;
+  RunControl *Control = nullptr;
+  if (Opts.Limits.any()) {
+    RC.arm(Opts.Limits);
+    Control = &RC;
+  }
+  if (Threads == 1 && !Opts.Pool)
+    return Evaluator(Inputs, Opts, nullptr, Control).evalTop(P.Result);
+  if (Opts.Pool)
+    return Evaluator(Inputs, Opts, Opts.Pool, Control).evalTop(P.Result);
   // One persistent pool for the whole run: workers spawn once here and are
   // reused by every parallel loop (interpreter chunks and kernel launches).
   ThreadPool Pool(Threads);
-  return Evaluator(Inputs, Opts, &Pool).evalTop(P.Result);
+  return Evaluator(Inputs, Opts, &Pool, Control).evalTop(P.Result);
+}
+
+ExecResult dmll::evalProgramRecover(const Program &P, const InputMap &Inputs,
+                                    const EvalOptions &Opts) {
+  ExecResult R;
+  try {
+    R.Out = evalProgramWith(P, Inputs, Opts);
+  } catch (TrapError &E) {
+    R.Status = execStatusForTrap(E.kind());
+    R.TrapMessage = E.message();
+    R.TrapLoop = E.loop();
+  }
+  return R;
 }

@@ -27,11 +27,14 @@
 #include "interp/Value.h"
 #include "ir/Expr.h"
 #include "observe/Metrics.h"
+#include "runtime/Cancel.h"
 #include "tune/Decision.h"
 
 #include <unordered_map>
 
 namespace dmll {
+
+class ThreadPool;
 
 /// Named input bindings for a Program.
 using InputMap = std::unordered_map<std::string, Value>;
@@ -52,12 +55,34 @@ struct EvalOptions {
   /// thread-cap / chunk-size / wide knobs replace the globals above for
   /// that loop only. Null or empty reproduces untuned execution exactly.
   const tune::DecisionTable *Tuning = nullptr;
+  /// Resource ceilings for this run (runtime/Cancel.h); all-zero means
+  /// unlimited. Overruns unwind as TrapError{Deadline|Budget}, surfaced as
+  /// a structured status by evalProgramRecover / executeProgram.
+  ExecLimits Limits;
+  /// External persistent worker pool. Null (the default) makes the run own
+  /// a pool sized to Threads; non-null reuses the caller's pool across
+  /// runs (the ThreadPool survives traps, so a service can keep one pool
+  /// for many queries). Threads should equal Pool->numThreads().
+  ThreadPool *Pool = nullptr;
   ExecProfile *Profile = nullptr;          ///< optional worker metrics out
   engine::KernelStats *Kernels = nullptr;  ///< optional engine stats out
 };
 
-/// Evaluates \p P.Result with the given inputs. Aborts on type confusion or
-/// out-of-range reads (programs are verified before evaluation in tests).
+/// Structured outcome of a recoverable evaluation: the value on Ok, or the
+/// trap's message plus the signature of the innermost closed multiloop it
+/// unwound from (empty when it hit outside any closed loop).
+struct ExecResult {
+  ExecStatus Status = ExecStatus::Ok;
+  Value Out;               ///< result value; only meaningful when ok()
+  std::string TrapMessage; ///< set when !ok()
+  std::string TrapLoop;    ///< loop signature of the trap site, may be empty
+  bool ok() const { return Status == ExecStatus::Ok; }
+};
+
+/// Evaluates \p P.Result with the given inputs. User-program runtime faults
+/// (division by zero, out-of-range reads, bad bucket keys) throw TrapError
+/// (support/Error.h); type confusion aborts (programs are verified before
+/// evaluation in tests).
 Value evalProgram(const Program &P, const InputMap &Inputs);
 
 /// Evaluates a closed expression (free of unbound symbols) with inputs.
@@ -92,6 +117,15 @@ Value evalProgramParallel(const Program &P, const InputMap &Inputs,
 /// engine replicates the interpreter's chunking and index-ordered merge.
 Value evalProgramWith(const Program &P, const InputMap &Inputs,
                       const EvalOptions &Opts);
+
+/// Fault-isolated evaluation: like evalProgramWith, but traps, deadline
+/// expiry, and budget overruns are returned as a structured ExecResult
+/// instead of propagating. The process — and the ThreadPool, when
+/// \p Opts.Pool names a persistent one — survives and stays reusable: a
+/// subsequent fault-free run on the same pool is bit-identical to a fresh
+/// evaluation (docs/ROBUSTNESS.md).
+ExecResult evalProgramRecover(const Program &P, const InputMap &Inputs,
+                              const EvalOptions &Opts);
 
 } // namespace dmll
 

@@ -11,19 +11,19 @@ using namespace dmll;
 
 bool Value::asBool() const {
   if (!isBool())
-    fatalError("value is not a bool: " + str());
+    trap("value is not a bool: " + str());
   return std::get<bool>(V);
 }
 
 int64_t Value::asInt() const {
   if (!isInt())
-    fatalError("value is not an int: " + str());
+    trap("value is not an int: " + str());
   return std::get<int64_t>(V);
 }
 
 double Value::asFloat() const {
   if (!isFloat())
-    fatalError("value is not a float: " + str());
+    trap("value is not a float: " + str());
   return std::get<double>(V);
 }
 
@@ -34,7 +34,7 @@ double Value::toDouble() const {
     return static_cast<double>(std::get<int64_t>(V));
   if (isBool())
     return std::get<bool>(V) ? 1.0 : 0.0;
-  fatalError("cannot coerce non-scalar to double: " + str());
+  trap("cannot coerce non-scalar to double: " + str());
 }
 
 int64_t Value::toInt() const {
@@ -44,26 +44,26 @@ int64_t Value::toInt() const {
     return static_cast<int64_t>(std::get<double>(V));
   if (isBool())
     return std::get<bool>(V) ? 1 : 0;
-  fatalError("cannot coerce non-scalar to int: " + str());
+  trap("cannot coerce non-scalar to int: " + str());
 }
 
 const ArrayPtr &Value::array() const {
   if (!isArray())
-    fatalError("value is not an array: " + str());
+    trap("value is not an array: " + str());
   return std::get<ArrayPtr>(V);
 }
 
 const StructPtr &Value::strct() const {
   if (!isStruct())
-    fatalError("value is not a struct: " + str());
+    trap("value is not a struct: " + str());
   return std::get<StructPtr>(V);
 }
 
 const Value &Value::at(size_t I) const {
   const ArrayPtr &A = array();
   if (I >= A->size())
-    fatalError("array index " + std::to_string(I) + " out of range (size " +
-               std::to_string(A->size()) + ")");
+    trap("array index " + std::to_string(I) + " out of range (size " +
+         std::to_string(A->size()) + ")");
   return (*A)[I];
 }
 

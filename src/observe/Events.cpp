@@ -196,11 +196,17 @@ EventLogCheck dmll::validateEventLog(const std::string &Path) {
       "loop.begin",    "loop.end",        "engine.fallback",
       "tune.decision", "metrics.snapshot", "trap"};
   double LastTs = -1;
-  int64_t RunStarts = 0, RunStops = 0;
-  bool SawTrap = false;
+  int64_t RunStarts = 0, RunStops = 0, RunDepth = 0, Traps = 0;
   // Per-tid stack of open loop signatures (loop.begin/loop.end nest on the
   // thread that executes the loop).
   std::map<int64_t, std::vector<std::string>> OpenLoops;
+  // Loops a trap abandoned per tid: a recoverable trap unwinds out of open
+  // loops without emitting loop.end, so the trap event clears every open
+  // stack. A sibling worker already inside a loop when the trap line landed
+  // still emits its loop.end afterwards (per-tid program order puts such
+  // stragglers before any post-trap loop.begin on that tid); this counter
+  // is the per-tid allowance for them.
+  std::map<int64_t, int64_t> TrapCleared;
   std::string Line;
   while (std::getline(In, Line)) {
     ++R.Lines;
@@ -245,13 +251,29 @@ EventLogCheck dmll::validateEventLog(const std::string &Path) {
       if (V.strField("schema") != "dmll-events-v1")
         Fail("line 1: log.open must carry schema \"dmll-events-v1\"");
     }
-    if (Type == "run.start")
+    if (Type == "run.start") {
       ++RunStarts;
-    else if (Type == "run.stop")
+      ++RunDepth;
+    } else if (Type == "run.stop") {
       ++RunStops;
-    else if (Type == "trap")
-      SawTrap = true;
-    else if (Type == "loop.begin" || Type == "loop.end") {
+      if (--RunDepth < 0)
+        Fail(Where + ": run.stop without an open run.start");
+      // A recovered run closes its bracket with an explicit status; when
+      // present it must be one of the ExecStatus names (runtime/Cancel.h).
+      std::string Status = V.strField("status");
+      if (!Status.empty() && Status != "ok" && Status != "trapped" &&
+          Status != "deadline_exceeded" && Status != "budget_exceeded")
+        Fail(Where + ": run.stop with unknown status \"" + Status + "\"");
+    } else if (Type == "trap") {
+      // A trap unwinds out of every open loop without emitting loop.end;
+      // the stream legitimately continues afterwards (run.stop with a
+      // non-ok status, then fresh runs on the recovered executor).
+      ++Traps;
+      for (auto &[T, Stack] : OpenLoops) {
+        TrapCleared[T] += static_cast<int64_t>(Stack.size());
+        Stack.clear();
+      }
+    } else if (Type == "loop.begin" || Type == "loop.end") {
       const json::JValue *Loop = V.field("loop");
       int64_t T = Tid && Tid->K == json::JValue::Number
                       ? static_cast<int64_t>(Tid->Num)
@@ -262,29 +284,37 @@ EventLogCheck dmll::validateEventLog(const std::string &Path) {
         OpenLoops[T].push_back(Loop->Str);
       } else {
         std::vector<std::string> &Stack = OpenLoops[T];
-        if (Stack.empty())
+        if (!Stack.empty() && Stack.back() == Loop->Str) {
+          Stack.pop_back();
+        } else if (Stack.empty() && TrapCleared[T] > 0) {
+          // Straggler loop.end whose loop.begin a trap cleared: a sibling
+          // worker finishing the loop it was already inside.
+          --TrapCleared[T];
+        } else if (Stack.empty()) {
           Fail(Where + ": loop.end without matching loop.begin on tid " +
                std::to_string(T));
-        else if (Stack.back() != Loop->Str)
+        } else {
           Fail(Where + ": loop.end signature \"" + Loop->Str +
                "\" does not match open loop \"" + Stack.back() + "\"");
-        else
-          Stack.pop_back();
+        }
       }
     }
   }
   if (R.Lines == 0)
     Fail("empty event log");
-  // A trap aborts mid-flight, legitimately leaving loops open and runs
-  // unstopped; otherwise everything must balance.
-  if (!SawTrap) {
-    if (RunStarts != RunStops)
-      Fail("run.start/run.stop imbalance: " + std::to_string(RunStarts) +
-           " vs " + std::to_string(RunStops));
-    for (const auto &[Tid, Stack] : OpenLoops)
-      if (!Stack.empty())
-        Fail("tid " + std::to_string(Tid) + " ended with " +
-             std::to_string(Stack.size()) + " unclosed loop.begin event(s)");
-  }
+  // Loops opened after the last trap must balance; loops a trap unwound
+  // were already cleared above. An aborting (non-recovered) trap kills the
+  // process right after the trap line, so its stacks are cleared too.
+  for (const auto &[Tid, Stack] : OpenLoops)
+    if (!Stack.empty())
+      Fail("tid " + std::to_string(Tid) + " ended with " +
+           std::to_string(Stack.size()) + " unclosed loop.begin event(s)");
+  // Every trap may strand at most one run bracket (the process dying, or a
+  // writer that never emits the closing run.stop); anything beyond that is
+  // a real imbalance.
+  if (RunStarts - RunStops > Traps)
+    Fail("run.start/run.stop imbalance: " + std::to_string(RunStarts) +
+         " vs " + std::to_string(RunStops) + " with only " +
+         std::to_string(Traps) + " trap(s)");
   return R;
 }

@@ -23,8 +23,12 @@
 ///
 /// Like TraceSession, an EventLog becomes the process-wide sink through an
 /// RAII EventLogActivation; emission sites test EventLog::active() and stay
-/// branch-cheap when no log is active. Activation also hooks fatalError so
-/// traps emit a final `trap` event and flush before aborting.
+/// branch-cheap when no log is active. Activation also hooks the fatal
+/// error path, so every trap emits a `trap` event and flushes at the trap
+/// site. Recoverable traps (support/Error.h TrapError) then *continue* the
+/// stream — the executor closes the bracket with a `run.stop` carrying a
+/// non-ok status and later runs keep appending; only aborting fatalError
+/// invariants end the log at the trap line.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -128,8 +132,13 @@ struct EventLogCheck {
 /// Validates \p Path against the dmll-events-v1 schema: every line parses
 /// as a JSON object with ts_ms/tid/type, the first line is log.open with
 /// the right schema tag, ts_ms is globally non-decreasing, loop begin/end
-/// nest per thread with matching signatures, and run start/stop balance.
-/// A trap event waives the balance checks (the run aborted mid-flight).
+/// nest per thread with matching signatures, run depth never goes
+/// negative, and any run.stop status is a known ExecStatus name. Traps may
+/// appear mid-stream: a trap clears every open loop stack (the unwind
+/// emits no loop.end; straggling sibling loop.end events are absorbed) and
+/// the log may continue with recovery events afterwards. At end of file
+/// the run.start/run.stop imbalance may not exceed the trap count, and
+/// every loop opened after the last trap must have closed.
 EventLogCheck validateEventLog(const std::string &Path);
 
 } // namespace dmll

@@ -36,6 +36,7 @@ struct WorkerStats {
   int64_t Chunks = 0;  ///< chunks executed (own deque plus stolen)
   int64_t Items = 0;   ///< iteration-space indices covered by those chunks
   int64_t Steals = 0;  ///< chunks taken from another worker's deque
+  int64_t Skipped = 0; ///< chunks dropped after a trap / cancellation
   double BusyMs = 0;   ///< wall time inside chunk bodies
   double WaitMs = 0;   ///< wake-up / steal-probe time outside bodies
   /// Counter deltas summed over this worker's chunk bodies (hardware when

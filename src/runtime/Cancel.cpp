@@ -1,0 +1,88 @@
+//===- runtime/Cancel.cpp -------------------------------------*- C++ -*-===//
+
+#include "runtime/Cancel.h"
+
+using namespace dmll;
+
+const char *dmll::execStatusName(ExecStatus S) {
+  switch (S) {
+  case ExecStatus::Ok:
+    return "ok";
+  case ExecStatus::Trapped:
+    return "trapped";
+  case ExecStatus::DeadlineExceeded:
+    return "deadline_exceeded";
+  case ExecStatus::BudgetExceeded:
+    return "budget_exceeded";
+  }
+  return "?";
+}
+
+ExecStatus dmll::execStatusForTrap(TrapKind K) {
+  switch (K) {
+  case TrapKind::Trap:
+    return ExecStatus::Trapped;
+  case TrapKind::Deadline:
+    return ExecStatus::DeadlineExceeded;
+  case TrapKind::Budget:
+    return ExecStatus::BudgetExceeded;
+  }
+  return ExecStatus::Trapped;
+}
+
+void CancelToken::armDeadline(int64_t Ms) {
+  if (Ms <= 0)
+    return;
+  HasDeadline = true;
+  Deadline = std::chrono::steady_clock::now() + std::chrono::milliseconds(Ms);
+}
+
+void CancelToken::cancel(TrapKind K, const std::string &M) {
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    if (Flag.load(std::memory_order_relaxed))
+      return; // first cancel wins
+    Kind = K;
+    Msg = M;
+    Flag.store(true, std::memory_order_release);
+  }
+}
+
+bool CancelToken::cancelled() {
+  if (Flag.load(std::memory_order_acquire))
+    return true;
+  if (HasDeadline && std::chrono::steady_clock::now() >= Deadline) {
+    cancel(TrapKind::Deadline, "deadline exceeded");
+    return true;
+  }
+  return false;
+}
+
+std::string CancelToken::message() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Msg;
+}
+
+void CancelToken::rethrow() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  throw TrapError(Kind, Msg);
+}
+
+void RunControl::arm(const ExecLimits &L) {
+  Token.armDeadline(L.DeadlineMs);
+  Mem.setLimit(L.MaxMemoryBytes);
+  MaxIterations = L.MaxIterations;
+}
+
+void RunControl::checkpoint() {
+  if (Token.cancelled())
+    Token.rethrow();
+  if (Mem.exceeded())
+    trapWithKind(TrapKind::Budget,
+                 "memory budget exceeded: " + std::to_string(Mem.used()) +
+                     " bytes used, limit " + std::to_string(Mem.limit()));
+  if (MaxIterations > 0 && iterations() > MaxIterations)
+    trapWithKind(TrapKind::Budget,
+                 "iteration budget exceeded: " + std::to_string(iterations()) +
+                     " iterations, limit " + std::to_string(MaxIterations));
+}

@@ -73,14 +73,28 @@ ExecutionReport dmll::executeProgram(const Program &P, const InputMap &Inputs,
     EOpts.Mode = Mode;
     EOpts.WideKernels = Exec.WideKernels;
     EOpts.Tuning = Exec.Tuning;
+    EOpts.Limits = Exec.Limits;
+    EOpts.Pool = Exec.Pool;
     EOpts.Profile = &Profile;
     EOpts.Kernels = &R.Kernels;
-    R.Result = evalProgramWith(CR.P, Adapted, EOpts);
+    ExecResult ER = evalProgramRecover(CR.P, Adapted, EOpts);
+    R.Status = ER.Status;
+    if (ER.ok()) {
+      R.Result = std::move(ER.Out);
+    } else {
+      R.TrapMessage = std::move(ER.TrapMessage);
+      R.TrapLoop = std::move(ER.TrapLoop);
+    }
   }
   auto T1 = std::chrono::steady_clock::now();
   R.Millis = std::chrono::duration<double, std::milli>(T1 - T0).count();
+  // run.stop fires whatever the outcome — a trapped run still closes its
+  // bracket in the event stream (the validator pairs it with the trap
+  // event, observe/Events.cpp).
   if (EventLog *EL = EventLog::active())
-    EL->emit(EventKind::RunStop, {}, {EventLog::num("millis", R.Millis)});
+    EL->emit(EventKind::RunStop, {},
+             {EventLog::num("millis", R.Millis),
+              EventLog::str("status", execStatusName(R.Status))});
   if (Sampler)
     R.Sampling = samplingDelta(SampleStart, Sampler->summary());
   R.Workers = std::move(Profile.Workers);

@@ -33,6 +33,16 @@ namespace dmll {
 
 /// Result of executeProgram.
 struct ExecutionReport {
+  /// How the run ended (runtime/Cancel.h). On anything but Ok the report
+  /// is *partial*: Result is meaningless, but the trap fields below and
+  /// every metric accumulated before the unwind (loop profiles, worker
+  /// stats, kernel stats) are valid — the trapped execution still tells
+  /// its story. The process (and any persistent ThreadPool) survives.
+  ExecStatus Status = ExecStatus::Ok;
+  /// Trap message / loop signature of the unwind site; empty on Ok.
+  std::string TrapMessage;
+  std::string TrapLoop;
+  bool ok() const { return Status == ExecStatus::Ok; }
   Value Result;
   /// Execution wall time (the parallel evaluation only).
   double Millis = 0;
@@ -83,6 +93,12 @@ struct ExecOptions {
   bool WideKernels = true;
   /// Optional per-loop tuning decisions; null runs untuned.
   const tune::DecisionTable *Tuning = nullptr;
+  /// Resource ceilings (runtime/Cancel.h); all-zero = unlimited. Overruns
+  /// surface as ExecutionReport::Status Deadline/BudgetExceeded.
+  ExecLimits Limits;
+  /// External persistent worker pool reused across executions; null makes
+  /// each run own one (see EvalOptions::Pool).
+  ThreadPool *Pool = nullptr;
 };
 
 /// Compiles \p P with \p Opts, adapts \p Inputs to any SoA layout change,
@@ -92,6 +108,12 @@ struct ExecOptions {
 /// minimum parallel chunk size (loops shorter than 2 * MinChunk stay
 /// sequential), and an optional per-loop tuning decision table
 /// (docs/TUNING.md).
+///
+/// Execution is fault-isolated (docs/ROBUSTNESS.md): user-program traps,
+/// deadline expiry, and budget overruns do not propagate — they come back
+/// as ExecutionReport::Status with the trap message/loop and the partial
+/// metrics gathered before the unwind. Only compiler invariants still
+/// abort.
 ExecutionReport executeProgram(const Program &P, const InputMap &Inputs,
                                const CompileOptions &Opts,
                                const ExecOptions &Exec);

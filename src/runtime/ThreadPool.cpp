@@ -2,9 +2,11 @@
 
 #include "runtime/ThreadPool.h"
 
+#include "faultinject/FaultInject.h"
 #include "observe/MetricsRegistry.h"
 #include "observe/Prof.h"
 #include "observe/Trace.h"
+#include "runtime/Cancel.h"
 
 #include <algorithm>
 
@@ -90,12 +92,36 @@ bool ThreadPool::popOrSteal(unsigned W, Chunk &C, bool &Stolen) {
   return false;
 }
 
+void ThreadPool::recordTrap(TrapSlot &Slot, CancelToken *Cancel, int64_t Begin,
+                            TrapKind Kind, const std::string &Msg) {
+  {
+    std::lock_guard<std::mutex> L(Slot.Mu);
+    if (!Slot.Has || Begin < Slot.Begin.load(std::memory_order_relaxed)) {
+      Slot.Has = true;
+      Slot.Kind = Kind;
+      Slot.Msg = Msg;
+      Slot.Begin.store(Begin, std::memory_order_relaxed);
+    }
+  }
+  // Deadline / budget overruns cancel the whole run: every sibling chunk
+  // is skipped. A plain user trap does NOT flip the token — chunks below
+  // the recorded one must still run so an even earlier trap can claim the
+  // slot (that is what makes the winner deterministic).
+  if (Cancel && Kind != TrapKind::Trap)
+    Cancel->cancel(Kind, Msg);
+}
+
 void ThreadPool::participate(unsigned W) {
   // Snapshot the job description; it stays valid until every participant
   // has called finishParticipant.
   Job J = Cur;
   if (J.Once) {
-    (*J.Once)(W);
+    try {
+      (*J.Once)(W);
+    } catch (TrapError &E) {
+      if (J.Trap)
+        recordTrap(*J.Trap, J.Cancel, 0, E.kind(), E.message());
+    }
     return;
   }
   if (!J.For)
@@ -103,6 +129,7 @@ void ThreadPool::participate(unsigned W) {
   ParallelForStats *Stats = J.Stats;
   double Entered = Stats ? sinceMs(J.Start) : 0;
   int64_t Steals = 0;
+  int64_t Skipped = 0;
   Chunk C;
   bool Stolen;
   double ClaimT0 = Stats ? sinceMs(J.Start) : 0;
@@ -114,14 +141,43 @@ void ThreadPool::participate(unsigned W) {
       if (Stats && J.StealMs)
         J.StealMs->observe(sinceMs(J.Start) - ClaimT0);
     }
+    // Cooperative cancellation point: skip chunks an external cancel
+    // (deadline/budget) invalidated, and chunks above a recorded trap.
+    if ((J.Cancel && J.Cancel->cancelledRelaxed()) ||
+        (J.Trap &&
+         C.Begin > J.Trap->Begin.load(std::memory_order_relaxed))) {
+      ++Skipped;
+      if (Stats)
+        ClaimT0 = sinceMs(J.Start);
+      continue;
+    }
+    faults::shouldFire(faults::Hook::Delay);
     double T0 = Stats || J.Trace ? sinceMs(J.Start) : 0;
     CounterSample C0 = Stats ? ThreadCounters::now() : CounterSample{};
     {
       TraceSpan Span(J.Trace, J.Name, "exec", W + 1);
       Span.argInt("begin", C.Begin);
       Span.argInt("end", C.End);
-      (*J.For)(C.Begin, C.End, W);
+      try {
+        (*J.For)(C.Begin, C.End, W);
+      } catch (TrapError &E) {
+        if (J.Trap) {
+          recordTrap(*J.Trap, J.Cancel, C.Begin, E.kind(), E.message());
+        }
+        // No slot (plain-callback job): swallow into a generic cancel so
+        // the worker thread still never dies; the dispatcher cannot
+        // rethrow without a slot.
+      } catch (std::exception &E) {
+        if (J.Trap)
+          recordTrap(*J.Trap, J.Cancel, C.Begin, TrapKind::Trap,
+                     std::string("worker chunk exception: ") + E.what());
+      } catch (...) {
+        if (J.Trap)
+          recordTrap(*J.Trap, J.Cancel, C.Begin, TrapKind::Trap,
+                     "worker chunk exception: unknown");
+      }
     }
+    faults::shouldFire(faults::Hook::Stall);
     if (Stats) {
       WorkerStats &WS = Stats->Workers[W];
       ++WS.Chunks;
@@ -140,6 +196,7 @@ void ThreadPool::participate(unsigned W) {
     // tail after the last chunk was claimed by someone else.
     WorkerStats &WS = Stats->Workers[W];
     WS.Steals += Steals;
+    WS.Skipped += Skipped;
     WS.WaitMs = sinceMs(J.Start) - Entered - WS.BusyMs;
     if (WS.WaitMs < 0)
       WS.WaitMs = 0;
@@ -166,7 +223,7 @@ void ThreadPool::publishAndWait(Job J) {
 void ThreadPool::parallelFor(
     int64_t N, int64_t ChunkSize,
     const std::function<void(int64_t, int64_t, unsigned)> &Body,
-    ParallelForStats *Stats, const char *TaskName) {
+    ParallelForStats *Stats, const char *TaskName, CancelToken *Cancel) {
   if (Stats) {
     *Stats = ParallelForStats{};
     Stats->Workers.resize(Threads);
@@ -231,6 +288,7 @@ void ThreadPool::parallelFor(
           {C * ChunkSize, std::min((C + 1) * ChunkSize, N)});
   }
 
+  TrapSlot Slot;
   Job J;
   J.For = &Body;
   J.Stats = Stats;
@@ -238,6 +296,8 @@ void ThreadPool::parallelFor(
   J.Name = Name;
   J.ChunkMs = ChunkMs;
   J.StealMs = StealMs;
+  J.Trap = &Slot;
+  J.Cancel = Cancel;
   J.Start = Start;
   publishAndWait(J);
   if (Stats) {
@@ -250,6 +310,11 @@ void ThreadPool::parallelFor(
     if (Steals)
       R.counter("exec.steals").inc(Steals);
   }
+  // The job drained (workers are parked, deques empty): rethrow the winning
+  // trap on the dispatching thread. No re-notification of the trap hook —
+  // it already fired at the original trap() site.
+  if (Slot.Has)
+    throw TrapError(Slot.Kind, Slot.Msg);
 }
 
 void ThreadPool::run(const std::function<void(unsigned)> &Body) {
@@ -257,7 +322,11 @@ void ThreadPool::run(const std::function<void(unsigned)> &Body) {
     Body(0);
     return;
   }
+  TrapSlot Slot;
   Job J;
   J.Once = &Body;
+  J.Trap = &Slot;
   publishAndWait(J);
+  if (Slot.Has)
+    throw TrapError(Slot.Kind, Slot.Msg);
 }

@@ -23,13 +23,28 @@
 /// Jobs are dispatched from one coordinating thread at a time; parallelFor
 /// and run are not reentrant from inside a chunk body.
 ///
+/// Trap containment (docs/ROBUSTNESS.md): a TrapError thrown by a chunk
+/// body never escapes a worker thread. The pool catches it at the chunk
+/// boundary, records it in a per-job trap slot where the trap whose chunk
+/// covers the *lowest* iteration range wins, and rethrows the winner on the
+/// dispatching thread once the job drains. Siblings keep executing chunks
+/// below the recorded trap (one of them might trap even earlier — this is
+/// what makes "first trap wins" deterministic: the winner is exactly the
+/// trap sequential execution would have hit first) and skip chunks above
+/// it. An external CancelToken (deadline / budget, runtime/Cancel.h) skips
+/// *all* remaining chunks instead. The pool survives either way: deques
+/// drain, workers re-park, and the next parallelFor on the same pool runs
+/// normally.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef DMLL_RUNTIME_THREADPOOL_H
 #define DMLL_RUNTIME_THREADPOOL_H
 
 #include "observe/Metrics.h"
+#include "support/Error.h"
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -41,6 +56,7 @@
 
 namespace dmll {
 
+class CancelToken;
 class MetricHistogram;
 class TraceSession;
 
@@ -63,10 +79,16 @@ public:
   /// with this call's per-worker metrics; \p TaskName labels the chunk
   /// spans recorded into the active TraceSession (defaults to
   /// "exec.chunk").
+  ///
+  /// A TrapError thrown by \p Body is contained per the trap-slot protocol
+  /// above and rethrown from this call on the dispatching thread; when
+  /// \p Cancel is non-null, cancellation (first trap, deadline, budget)
+  /// makes the remaining chunks drain as skips.
   void parallelFor(int64_t N, int64_t ChunkSize,
                    const std::function<void(int64_t, int64_t, unsigned)> &Body,
                    ParallelForStats *Stats = nullptr,
-                   const char *TaskName = nullptr);
+                   const char *TaskName = nullptr,
+                   CancelToken *Cancel = nullptr);
 
   /// Runs \p Body(worker) once on each of the pool's workers (through the
   /// same persistent dispatch as parallelFor).
@@ -83,6 +105,19 @@ private:
     std::mutex Mu;
     std::deque<Chunk> Q;
   };
+  /// Where a job's winning trap is parked until the dispatcher rethrows it.
+  /// Begin is the trapping chunk's start index; the lowest Begin wins so
+  /// the surviving trap equals the one sequential execution hits first.
+  struct TrapSlot {
+    std::mutex Mu;
+    /// Lock-free skip test for workers: chunks starting above this value
+    /// are dropped. INT64_MAX while no trap is recorded.
+    std::atomic<int64_t> Begin{INT64_MAX};
+    bool Has = false;
+    TrapKind Kind = TrapKind::Trap;
+    std::string Msg;
+  };
+
   /// The currently published job (valid while Remaining > 0).
   struct Job {
     const std::function<void(int64_t, int64_t, unsigned)> *For = nullptr;
@@ -94,12 +129,21 @@ private:
     /// parallelFor on the dispatching thread; null on unprofiled jobs.
     MetricHistogram *ChunkMs = nullptr; ///< chunk-body latency
     MetricHistogram *StealMs = nullptr; ///< probe time before a steal lands
+    /// Trap containment state, owned by the dispatching frame.
+    TrapSlot *Trap = nullptr;
+    /// External cancellation: when set and cancelled, remaining chunks are
+    /// skipped rather than run.
+    CancelToken *Cancel = nullptr;
     std::chrono::steady_clock::time_point Start;
   };
 
   void workerMain(unsigned W);
   void participate(unsigned W);
   bool popOrSteal(unsigned W, Chunk &C, bool &Stolen);
+  /// Records a trap from the chunk starting at \p Begin into \p Slot
+  /// (lowest Begin wins) and, for deadline/budget kinds, flips \p Cancel.
+  static void recordTrap(TrapSlot &Slot, CancelToken *Cancel, int64_t Begin,
+                         TrapKind Kind, const std::string &Msg);
   void finishParticipant();
   void publishAndWait(Job J);
 

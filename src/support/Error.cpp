@@ -12,8 +12,28 @@ namespace {
 std::atomic<FatalErrorHook> Hook{nullptr};
 } // namespace
 
+const char *dmll::trapKindName(TrapKind K) {
+  switch (K) {
+  case TrapKind::Trap:
+    return "trap";
+  case TrapKind::Deadline:
+    return "deadline";
+  case TrapKind::Budget:
+    return "budget";
+  }
+  return "?";
+}
+
 void dmll::setFatalErrorHook(FatalErrorHook H) {
   Hook.store(H, std::memory_order_release);
+}
+
+void dmll::trap(const std::string &Msg) { trapWithKind(TrapKind::Trap, Msg); }
+
+void dmll::trapWithKind(TrapKind K, const std::string &Msg) {
+  if (FatalErrorHook H = Hook.load(std::memory_order_acquire))
+    H(Msg);
+  throw TrapError(K, Msg);
 }
 
 void dmll::fatalError(const std::string &Msg) {

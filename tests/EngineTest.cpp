@@ -17,6 +17,7 @@
 #include "engine/Engine.h"
 #include "frontend/Frontend.h"
 #include "graph/Graph.h"
+#include "support/Error.h"
 #include "support/Rng.h"
 
 #include <gtest/gtest.h>
@@ -334,16 +335,23 @@ TEST(EngineEdge, EmptyDenseBucketsStillSized) {
   EXPECT_EQ(Actual.arraySize(), 6u);
 }
 
-TEST(EngineEdgeDeathTest, NegativeSizeDiesLikeInterp) {
+TEST(EngineEdgeTrapTest, NegativeSizeTrapsLikeInterp) {
   ProgramBuilder B;
   Val N = B.inI64("n");
   Program P = B.build(sumRange(N, [](Val I) { return toF64(I); }));
   InputMap In{{"n", Value(int64_t(-3))}};
-  EXPECT_DEATH((void)runMode(P, In, engine::EngineMode::Kernel, 1),
-               "negative multiloop size -3");
+  try {
+    (void)runMode(P, In, engine::EngineMode::Kernel, 1);
+    FAIL() << "expected a TrapError";
+  } catch (const TrapError &E) {
+    EXPECT_NE(E.message().find("negative multiloop size -3"),
+              std::string::npos)
+        << E.message();
+    EXPECT_EQ(E.kind(), TrapKind::Trap);
+  }
 }
 
-TEST(EngineEdgeDeathTest, DenseKeyOutOfRangeDiesLikeInterp) {
+TEST(EngineEdgeTrapTest, DenseKeyOutOfRangeTrapsLikeInterp) {
   ProgramBuilder B;
   Val Xs = B.inVecI64("xs");
   Val XsV = Xs;
@@ -352,8 +360,14 @@ TEST(EngineEdgeDeathTest, DenseKeyOutOfRangeDiesLikeInterp) {
       [](Val) { return Val(int64_t(1)); },
       [](Val A, Val C) { return A + C; }, Val(int64_t(4))));
   InputMap In{{"xs", Value::arrayOfInts({0, 1, 99})}};
-  EXPECT_DEATH((void)runMode(P, In, engine::EngineMode::Kernel, 1),
-               "dense bucket key 99 out of range");
+  try {
+    (void)runMode(P, In, engine::EngineMode::Kernel, 1);
+    FAIL() << "expected a TrapError";
+  } catch (const TrapError &E) {
+    EXPECT_NE(E.message().find("dense bucket key 99 out of range"),
+              std::string::npos)
+        << E.message();
+  }
 }
 
 TEST(EngineStats, CompileOnceLaunchMany) {

@@ -4,6 +4,7 @@
 #include "frontend/Frontend.h"
 #include "ir/Traversal.h"
 #include "ir/Verifier.h"
+#include "support/Error.h"
 
 #include <gtest/gtest.h>
 
@@ -19,10 +20,21 @@ TEST(FrontendTest, OperatorsBuildTypedIr) {
   EXPECT_TRUE(C.type()->isBool());
 }
 
-TEST(FrontendTest, DuplicateInputAborts) {
+TEST(FrontendTest, DuplicateInputTrapsRecoverably) {
   ProgramBuilder B;
   B.inF64("x");
-  EXPECT_DEATH((void)B.inF64("x"), "duplicate input");
+  try {
+    (void)B.inF64("x");
+    FAIL() << "expected a TrapError";
+  } catch (const TrapError &E) {
+    // Message stability is load-bearing: the fuzz oracle's trap-class
+    // matching compares this text across executors.
+    EXPECT_EQ(E.message(), "duplicate input 'x'");
+    EXPECT_EQ(E.kind(), TrapKind::Trap);
+  }
+  // The builder is still usable after the recoverable trap.
+  Val Y = B.inF64("y");
+  EXPECT_TRUE(Y.type()->isFloat());
 }
 
 TEST(FrontendTest, MatHelpers) {

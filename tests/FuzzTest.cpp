@@ -126,6 +126,40 @@ TEST(FuzzOracle, ClassifiesTrapWithMessage) {
   EXPECT_EQ(R.TrapMessage, "synthetic trap 42");
 }
 
+TEST(FuzzOracle, ClassifiesRecoverableTrapOnCleanExit) {
+  // A TrapError unwinding out of the child's body is caught and reported
+  // over the pipe with a clean exit — no SIGABRT involved.
+  RunResult R = runForked([]() -> RunResult { trap("recoverable trap 7"); });
+  ASSERT_EQ(R.Status, RunStatus::Trap);
+  EXPECT_EQ(R.TrapMessage, "recoverable trap 7");
+}
+
+TEST(FuzzOracle, ClassifiesStructuredTrapResult) {
+  // A recoverable configuration folds the trap into its RunResult; the
+  // child forwards it as the same payload.
+  RunResult R = runForked([]() -> RunResult {
+    RunResult Inner;
+    Inner.Status = RunStatus::Trap;
+    Inner.TrapMessage = "structured trap 9";
+    return Inner;
+  });
+  ASSERT_EQ(R.Status, RunStatus::Trap);
+  EXPECT_EQ(R.TrapMessage, "structured trap 9");
+}
+
+TEST(FuzzChaos, SurvivesSeededFaultSchedules) {
+  // A handful of generated cases through the in-process chaos oracle:
+  // every schedule must leave the process alive and the executor state
+  // bit-identical for the fault-free re-run. The full budget runs in the
+  // chaos_smoke ctest (tools/run_fuzz.sh --chaos).
+  for (uint64_t Seed : {3ull, 7ull}) {
+    FuzzCase C = generateCase(Seed);
+    ChaosReport Rep = runChaos(C, 6, Seed * 1000003);
+    EXPECT_TRUE(Rep.ok()) << Rep.str();
+    EXPECT_EQ(Rep.Schedules, 6);
+  }
+}
+
 TEST(FuzzOracle, ClassifiesRawSignalAsCrash) {
   RunResult R = runForked([]() -> RunResult {
     std::raise(SIGSEGV);

@@ -1,0 +1,306 @@
+//===- tests/RecoverTest.cpp - Recoverable execution contract --*- C++ -*-===//
+//
+// Tests for docs/ROBUSTNESS.md: user-program traps unwind out of the
+// interpreter, the kernel VM, and parallel chunk workers as structured
+// TrapError/ExecResult values instead of aborting; first-trap-wins is
+// deterministic at any thread count; deadlines and resource budgets come
+// back as DeadlineExceeded/BudgetExceeded with a partial report; a
+// persistent ThreadPool drains cleanly after a trap and is immediately
+// reusable; and the seeded fault injector replays identical schedules.
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/Apps.h"
+#include "data/Datasets.h"
+#include "faultinject/FaultInject.h"
+#include "frontend/Frontend.h"
+#include "interp/Interp.h"
+#include "runtime/Executor.h"
+#include "runtime/ThreadPool.h"
+#include "support/Error.h"
+
+#include <gtest/gtest.h>
+
+using namespace dmll;
+using namespace dmll::frontend;
+
+namespace {
+
+/// sum over xs of 1000 / xs(i): traps "integer division by zero" wherever
+/// xs holds a zero.
+Program divTrapProgram() {
+  ProgramBuilder B;
+  Val Xs = B.inVecI64("xs");
+  Val XsV = Xs;
+  return B.build(sumRange(
+      Xs.len(), [&](Val I) { return Val(int64_t(1000)) / XsV(I); }));
+}
+
+InputMap divTrapInputs(bool WithZero) {
+  std::vector<int64_t> Data(64, 7);
+  if (WithZero) {
+    Data[17] = 0;
+    Data[40] = 0;
+  }
+  return InputMap{{"xs", Value::arrayOfInts(Data)}};
+}
+
+/// Reads xs((i * 13) % 97) over a 50-element array: in range for small i,
+/// out of range first at i == 4 (index 52) — the trap message carries the
+/// offending index, so it doubles as a first-trap-wins determinism probe.
+Program oorTrapProgram() {
+  ProgramBuilder B;
+  Val Xs = B.inVecI64("xs");
+  Val XsV = Xs;
+  return B.build(sumRange(Xs.len(), [&](Val I) {
+    return XsV((I * Val(int64_t(13))) % Val(int64_t(97)));
+  }));
+}
+
+ExecResult recoverRun(const Program &P, const InputMap &In,
+                      engine::EngineMode Mode, unsigned Threads,
+                      ExecLimits Limits = {}, ThreadPool *Pool = nullptr,
+                      ExecProfile *Profile = nullptr) {
+  EvalOptions EO;
+  EO.Threads = Threads;
+  EO.MinChunk = 4; // the 64-element test programs still chunk at 4 threads
+  EO.Mode = Mode;
+  EO.Limits = Limits;
+  EO.Pool = Pool;
+  EO.Profile = Profile;
+  return evalProgramRecover(P, In, EO);
+}
+
+InputMap pageRankInputs() {
+  auto G = data::makeRmat(14, 8, 41);
+  auto In = G.transposed();
+  std::vector<double> Ranks(static_cast<size_t>(G.NumV),
+                            1.0 / static_cast<double>(G.NumV));
+  return InputMap{{"in_offsets", Value::arrayOfInts(In.Offsets)},
+                  {"in_edges", Value::arrayOfInts(In.Edges)},
+                  {"outdeg", Value::arrayOfInts(G.OutDeg)},
+                  {"ranks", Value::arrayOfDoubles(Ranks)},
+                  {"numv", Value(G.NumV)}};
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Structured trap recovery across engines and thread counts.
+//===----------------------------------------------------------------------===//
+
+TEST(RecoverTest, TrapReturnsStructuredResultEverywhere) {
+  Program P = divTrapProgram();
+  InputMap Bad = divTrapInputs(true);
+  for (engine::EngineMode Mode :
+       {engine::EngineMode::Interp, engine::EngineMode::Kernel}) {
+    for (unsigned Threads : {1u, 4u}) {
+      ExecResult R = recoverRun(P, Bad, Mode, Threads);
+      EXPECT_EQ(R.Status, ExecStatus::Trapped)
+          << engine::engineModeName(Mode) << " t=" << Threads;
+      EXPECT_EQ(R.TrapMessage, "integer division by zero");
+      EXPECT_NE(R.TrapLoop.find("Multiloop"), std::string::npos)
+          << "trap not attributed to a loop: \"" << R.TrapLoop << "\"";
+    }
+  }
+}
+
+TEST(RecoverTest, OkPathBitIdenticalToPlainEval) {
+  Program P = divTrapProgram();
+  InputMap Good = divTrapInputs(false);
+  Value Expected = evalProgram(P, Good);
+  for (unsigned Threads : {1u, 4u}) {
+    ExecResult R =
+        recoverRun(P, Good, engine::EngineMode::Interp, Threads);
+    ASSERT_TRUE(R.ok());
+    EXPECT_TRUE(R.Out.deepEquals(Expected, 0.0)) << "threads " << Threads;
+  }
+}
+
+TEST(RecoverTest, FirstTrapWinsDeterministically) {
+  // The out-of-range index in the message identifies *which* iteration
+  // won: every parallel run must report the same iteration the sequential
+  // run traps on, on both engines.
+  Program P = oorTrapProgram();
+  std::vector<int64_t> Data(50, 1);
+  InputMap In{{"xs", Value::arrayOfInts(Data)}};
+  for (engine::EngineMode Mode :
+       {engine::EngineMode::Interp, engine::EngineMode::Kernel}) {
+    ExecResult Seq = recoverRun(P, In, Mode, 1);
+    ASSERT_EQ(Seq.Status, ExecStatus::Trapped);
+    for (int Rep = 0; Rep < 5; ++Rep) {
+      ExecResult Par = recoverRun(P, In, Mode, 4);
+      ASSERT_EQ(Par.Status, ExecStatus::Trapped);
+      EXPECT_EQ(Par.TrapMessage, Seq.TrapMessage)
+          << engine::engineModeName(Mode) << " rep " << Rep;
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Deadlines and budgets.
+//===----------------------------------------------------------------------===//
+
+TEST(RecoverTest, DeadlineExceededWithPartialReport) {
+  InputMap In = pageRankInputs();
+  CompileOptions CO;
+  CO.T = Target::Numa;
+  ExecOptions Exec;
+  Exec.Threads = 4;
+  Exec.MinChunk = 32;
+  Exec.Limits.DeadlineMs = 1; // a 16k-vertex boxed PageRank needs far more
+  ExecutionReport R = executeProgram(apps::pageRankPull(), In, CO, Exec);
+  EXPECT_EQ(R.Status, ExecStatus::DeadlineExceeded);
+  EXPECT_NE(R.TrapMessage.find("deadline exceeded"), std::string::npos)
+      << R.TrapMessage;
+  // The report is partial, not garbage: timings were still measured.
+  EXPECT_GT(R.Millis, 0.0);
+  EXPECT_EQ(R.Threads, 4u);
+
+  // The executor survives: the same program finishes without the limit.
+  Exec.Limits = ExecLimits{};
+  ExecutionReport R2 = executeProgram(apps::pageRankPull(), In, CO, Exec);
+  ASSERT_TRUE(R2.ok());
+  EXPECT_GT(R2.Result.arraySize(), 0u);
+}
+
+TEST(RecoverTest, MemoryBudgetExceededOnAllocationHeavyCollect) {
+  // A collect materializing 1M boxed values wants ~16 MB of Value cells;
+  // a 1 MB budget must trap gracefully *before* the allocations happen.
+  ProgramBuilder B;
+  Val N = B.inI64("n");
+  Program P = B.build(tabulate(N, [](Val I) { return toF64(I); }));
+  InputMap In{{"n", Value(int64_t(1000000))}};
+  ExecLimits Limits;
+  Limits.MaxMemoryBytes = 1 << 20;
+  for (unsigned Threads : {1u, 4u}) {
+    ExecResult R =
+        recoverRun(P, In, engine::EngineMode::Interp, Threads, Limits);
+    EXPECT_EQ(R.Status, ExecStatus::BudgetExceeded) << "t=" << Threads;
+    EXPECT_NE(R.TrapMessage.find("memory budget exceeded"),
+              std::string::npos)
+        << R.TrapMessage;
+  }
+  // Unlimited, the same evaluation completes.
+  ExecResult Ok = recoverRun(P, In, engine::EngineMode::Interp, 4);
+  ASSERT_TRUE(Ok.ok());
+  EXPECT_EQ(Ok.Out.arraySize(), 1000000u);
+}
+
+TEST(RecoverTest, IterationBudgetExceeded) {
+  ProgramBuilder B;
+  Val N = B.inI64("n");
+  Program P = B.build(sumRange(N, [](Val I) { return toF64(I); }));
+  InputMap In{{"n", Value(int64_t(100000))}};
+  ExecLimits Limits;
+  Limits.MaxIterations = 10000;
+  for (engine::EngineMode Mode :
+       {engine::EngineMode::Interp, engine::EngineMode::Kernel}) {
+    ExecResult R = recoverRun(P, In, Mode, 4, Limits);
+    EXPECT_EQ(R.Status, ExecStatus::BudgetExceeded)
+        << engine::engineModeName(Mode);
+    EXPECT_NE(R.TrapMessage.find("iteration budget exceeded"),
+              std::string::npos)
+        << R.TrapMessage;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// ThreadPool drain and reuse.
+//===----------------------------------------------------------------------===//
+
+TEST(RecoverTest, PoolDrainsAndStaysReusableAfterTraps) {
+  ThreadPool Pool(4);
+  Program Trap = divTrapProgram();
+  Program Ok = divTrapProgram();
+  InputMap Bad = divTrapInputs(true);
+  InputMap Good = divTrapInputs(false);
+  Value Expected = evalProgram(Ok, Good);
+
+  // Alternate trapping and clean runs on the same pool: every trap must
+  // drain fully (no leaked tasks, no stuck workers) and every clean run
+  // must still use all workers and reproduce the reference exactly.
+  for (int Round = 0; Round < 3; ++Round) {
+    ExecResult Trapped =
+        recoverRun(Trap, Bad, engine::EngineMode::Interp, 4, {}, &Pool);
+    EXPECT_EQ(Trapped.Status, ExecStatus::Trapped) << "round " << Round;
+
+    ExecProfile Profile;
+    ExecResult Clean = recoverRun(Ok, Good, engine::EngineMode::Interp, 4,
+                                  {}, &Pool, &Profile);
+    ASSERT_TRUE(Clean.ok()) << "round " << Round;
+    EXPECT_TRUE(Clean.Out.deepEquals(Expected, 0.0));
+    // Metrics of the clean run are consistent: work happened, and nothing
+    // was skipped (no stale cancellation leaked from the trapped run).
+    int64_t Items = 0, Skipped = 0;
+    for (const WorkerStats &W : Profile.Workers) {
+      Items += W.Items;
+      Skipped += W.Skipped;
+    }
+    EXPECT_EQ(Skipped, 0) << "round " << Round;
+    EXPECT_GT(Items, 0) << "round " << Round;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Deterministic fault injection.
+//===----------------------------------------------------------------------===//
+
+TEST(RecoverTest, InjectorReplaysIdenticalSchedules) {
+  // Same seed, same (single-threaded) run: the injected fault sequence —
+  // and therefore the outcome and the per-hook firing counts — replays
+  // exactly.
+  Program P = divTrapProgram();
+  InputMap Good = divTrapInputs(false);
+  faults::FaultPlan Plan;
+  Plan.Seed = 42;
+  Plan.TrapProb = 0.05;
+  Plan.AllocProb = 0.05;
+
+  auto RunArmed = [&] {
+    faults::ScopedFaultInjection Arm(Plan);
+    ExecResult R = recoverRun(P, Good, engine::EngineMode::Interp, 1);
+    return std::make_tuple(R.Status, R.TrapMessage,
+                           faults::firedCount(faults::Hook::Trap),
+                           faults::firedCount(faults::Hook::Alloc));
+  };
+  auto A = RunArmed();
+  auto B = RunArmed();
+  EXPECT_EQ(A, B);
+  // The dormant injector never fires.
+  ExecResult Clean = recoverRun(P, Good, engine::EngineMode::Interp, 1);
+  EXPECT_TRUE(Clean.ok());
+}
+
+TEST(RecoverTest, InjectedTrapsAreRecoverable) {
+  // Aggressive plans over several seeds: whenever a schedule actually
+  // fires, the run must come back Trapped with the injector's message —
+  // never crash — and a fault-free rerun matches the plain evaluation
+  // bit-for-bit.
+  Program P = divTrapProgram();
+  InputMap Good = divTrapInputs(false);
+  Value Expected = evalProgram(P, Good);
+  int Fired = 0;
+  for (uint64_t Seed = 1; Seed <= 8; ++Seed) {
+    faults::FaultPlan Plan;
+    Plan.Seed = Seed;
+    Plan.TrapProb = 0.5;
+    Plan.AllocProb = 0.5;
+    faults::ScopedFaultInjection Arm(Plan);
+    ExecResult R = recoverRun(P, Good, engine::EngineMode::Interp, 4);
+    if (faults::firedCount(faults::Hook::Trap) +
+            faults::firedCount(faults::Hook::Alloc) >
+        0) {
+      ++Fired;
+      EXPECT_EQ(R.Status, ExecStatus::Trapped) << "seed " << Seed;
+      EXPECT_NE(R.TrapMessage.find("injected"), std::string::npos)
+          << R.TrapMessage;
+    } else {
+      EXPECT_TRUE(R.ok()) << "seed " << Seed;
+    }
+  }
+  EXPECT_GT(Fired, 0) << "no schedule fired; plans too weak for the probe";
+  ExecResult After = recoverRun(P, Good, engine::EngineMode::Interp, 4);
+  ASSERT_TRUE(After.ok());
+  EXPECT_TRUE(After.Out.deepEquals(Expected, 0.0));
+}

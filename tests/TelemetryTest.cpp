@@ -5,7 +5,8 @@
 // +Inf (and _count equal to the +Inf row, mid-update included); the
 // registry's JSON export shares the cumulative-bucket convention; the
 // dmll-events-v1 log validates — header, monotonic timestamps, per-thread
-// loop nesting, trap waiver; the sampling profiler attributes real
+// loop nesting, mid-stream trap recovery; the sampling profiler attributes
+// real
 // multiloop runs to (phase, loop) and exports flamegraph-ready collapsed
 // stacks; and the whole plane stays consistent while four threads execute
 // programs concurrently under the snapshotter (the sanitize label runs this
@@ -247,6 +248,102 @@ TEST(EventLogTest, ValidatorCatchesBrokenStreams) {
              "{\"ts_ms\":3,\"tid\":0,\"type\":\"trap\","
              "\"message\":\"array read out of range\"}\n");
   EXPECT_TRUE(validateEventLog(Path).Ok) << "trap must waive balance checks";
+  std::remove(Path.c_str());
+}
+
+TEST(EventLogTest, ValidatorAcceptsTrapMidStream) {
+  std::string Path = tmpPath("midtrap");
+  auto WriteLines = [&](const std::string &Body) {
+    std::ofstream Out(Path, std::ios::binary);
+    Out << Body;
+  };
+  // A recovered trap mid-stream: the loops open at the trap are cleared, a
+  // straggling sibling loop.end is absorbed, the run closes its bracket
+  // with status=trapped, and the stream continues with a clean run.
+  WriteLines(
+      "{\"ts_ms\":0,\"tid\":0,\"type\":\"log.open\","
+      "\"schema\":\"dmll-events-v1\"}\n"
+      "{\"ts_ms\":1,\"tid\":0,\"type\":\"run.start\"}\n"
+      "{\"ts_ms\":2,\"tid\":0,\"type\":\"loop.begin\","
+      "\"loop\":\"Multiloop[Reduce]\"}\n"
+      "{\"ts_ms\":3,\"tid\":1,\"type\":\"loop.begin\","
+      "\"loop\":\"Multiloop[Collect]\"}\n"
+      "{\"ts_ms\":4,\"tid\":2,\"type\":\"trap\","
+      "\"message\":\"injected trap\"}\n"
+      "{\"ts_ms\":5,\"tid\":1,\"type\":\"loop.end\","
+      "\"loop\":\"Multiloop[Collect]\"}\n"
+      "{\"ts_ms\":6,\"tid\":0,\"type\":\"run.stop\","
+      "\"status\":\"trapped\"}\n"
+      "{\"ts_ms\":7,\"tid\":0,\"type\":\"run.start\"}\n"
+      "{\"ts_ms\":8,\"tid\":0,\"type\":\"loop.begin\","
+      "\"loop\":\"Multiloop[Reduce]\"}\n"
+      "{\"ts_ms\":9,\"tid\":0,\"type\":\"loop.end\","
+      "\"loop\":\"Multiloop[Reduce]\"}\n"
+      "{\"ts_ms\":10,\"tid\":0,\"type\":\"run.stop\",\"status\":\"ok\"}\n");
+  EventLogCheck C = validateEventLog(Path);
+  for (const std::string &E : C.Errors)
+    ADD_FAILURE() << E;
+  EXPECT_TRUE(C.Ok);
+  EXPECT_EQ(C.CountsByType["run.stop"], 2);
+
+  // run.stop with no open run.start is structural corruption, trap or not.
+  WriteLines("{\"ts_ms\":0,\"tid\":0,\"type\":\"log.open\","
+             "\"schema\":\"dmll-events-v1\"}\n"
+             "{\"ts_ms\":1,\"tid\":0,\"type\":\"trap\","
+             "\"message\":\"m\"}\n"
+             "{\"ts_ms\":2,\"tid\":0,\"type\":\"run.stop\","
+             "\"status\":\"trapped\"}\n");
+  EXPECT_FALSE(validateEventLog(Path).Ok);
+  // Unknown run.stop status name.
+  WriteLines("{\"ts_ms\":0,\"tid\":0,\"type\":\"log.open\","
+             "\"schema\":\"dmll-events-v1\"}\n"
+             "{\"ts_ms\":1,\"tid\":0,\"type\":\"run.start\"}\n"
+             "{\"ts_ms\":2,\"tid\":0,\"type\":\"run.stop\","
+             "\"status\":\"exploded\"}\n");
+  EXPECT_FALSE(validateEventLog(Path).Ok);
+  // A loop opened *after* the last trap must still close.
+  WriteLines("{\"ts_ms\":0,\"tid\":0,\"type\":\"log.open\","
+             "\"schema\":\"dmll-events-v1\"}\n"
+             "{\"ts_ms\":1,\"tid\":0,\"type\":\"trap\","
+             "\"message\":\"m\"}\n"
+             "{\"ts_ms\":2,\"tid\":0,\"type\":\"loop.begin\","
+             "\"loop\":\"Multiloop[Reduce]\"}\n");
+  EXPECT_FALSE(validateEventLog(Path).Ok);
+  std::remove(Path.c_str());
+}
+
+TEST(EventLogTest, RecoveredTrapKeepsStreamValid) {
+  std::string Path = tmpPath("trapevents");
+  {
+    EventLog Log(Path);
+    ASSERT_TRUE(Log.ok());
+    EventLogActivation Act(Log);
+    // A trapping run: integer modulo by zero inside the loop. The trap
+    // event fires at the trap site and the executor closes the bracket
+    // with a non-ok run.stop instead of killing the process.
+    ProgramBuilder B;
+    Val Xs = B.inVecI64("xs");
+    Val XsV = Xs;
+    Program P = B.build(sumRange(
+        Xs.len(), [&](Val I) { return XsV(I) % Val(int64_t(0)); }));
+    InputMap In{{"xs", Value::arrayOfInts({1, 2, 3})}};
+    CompileOptions CO;
+    CO.T = Target::Numa;
+    ExecOptions EO;
+    EO.Threads = 2;
+    ExecutionReport R = executeProgram(P, In, CO, EO);
+    EXPECT_EQ(R.Status, ExecStatus::Trapped);
+    EXPECT_EQ(R.TrapMessage, "integer modulo by zero");
+    // The recovered process keeps appending to the same log.
+    ExecutionReport R2 = runOnce();
+    EXPECT_TRUE(R2.ok());
+  }
+  EventLogCheck C = validateEventLog(Path);
+  for (const std::string &E : C.Errors)
+    ADD_FAILURE() << E;
+  EXPECT_TRUE(C.Ok);
+  EXPECT_GE(C.CountsByType["trap"], 1);
+  EXPECT_EQ(C.CountsByType["run.stop"], 2);
   std::remove(Path.c_str());
 }
 

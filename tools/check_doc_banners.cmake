@@ -30,6 +30,7 @@ set(REGISTERED_DOCS
   FUZZING.md
   OBSERVABILITY.md
   PROFILING.md
+  ROBUSTNESS.md
   TELEMETRY.md
   TUNING.md
 )

@@ -4,15 +4,21 @@
 // configuration (see src/fuzz/Oracle.h). Usage:
 //
 //   dmll-fuzz [--seed S] [--count N] [--reduce] [--out DIR]
+//             [--chaos] [--schedules K]
 //
-//   --seed S    first seed (default 1)
-//   --count N   number of consecutive seeds to run (default 1)
-//   --reduce    greedily shrink each failing case before reporting
-//   --out DIR   write each failing case as a replayable Builder C++ file
-//               (DIR/fuzz_seed_<S>.cpp) instead of dumping it to stdout
+//   --seed S       first seed (default 1)
+//   --count N      number of consecutive seeds to run (default 1)
+//   --reduce       greedily shrink each failing case before reporting
+//   --out DIR      write each failing case as a replayable Builder C++ file
+//                  (DIR/fuzz_seed_<S>.cpp) instead of dumping it to stdout
+//   --chaos        chaos-oracle mode: instead of the differential matrix,
+//                  drive each case in-process through K deterministic fault
+//                  schedules (src/fuzz/Oracle.h runChaos) and assert
+//                  survival, post-fault bit-identity, and monotonic metrics
+//   --schedules K  fault schedules per seed in --chaos mode (default 4)
 //
-// Exit status: 0 = every seed clean, 1 = at least one divergence,
-// 2 = usage error.
+// Exit status: 0 = every seed clean, 1 = at least one divergence or chaos
+// problem, 2 = usage error.
 //
 //===----------------------------------------------------------------------===//
 
@@ -33,7 +39,8 @@ namespace {
 
 int usage(const char *Argv0) {
   std::fprintf(stderr,
-               "usage: %s [--seed S] [--count N] [--reduce] [--out DIR]\n",
+               "usage: %s [--seed S] [--count N] [--reduce] [--out DIR] "
+               "[--chaos] [--schedules K]\n",
                Argv0);
   return 2;
 }
@@ -47,8 +54,8 @@ bool parseU64(const char *S, uint64_t &Out) {
 } // namespace
 
 int main(int argc, char **argv) {
-  uint64_t Seed = 1, Count = 1;
-  bool Reduce = false;
+  uint64_t Seed = 1, Count = 1, Schedules = 4;
+  bool Reduce = false, Chaos = false;
   std::string OutDir;
 
   for (int I = 1; I < argc; ++I) {
@@ -61,11 +68,42 @@ int main(int argc, char **argv) {
         return usage(argv[0]);
     } else if (std::strcmp(A, "--reduce") == 0) {
       Reduce = true;
+    } else if (std::strcmp(A, "--chaos") == 0) {
+      Chaos = true;
+    } else if (std::strcmp(A, "--schedules") == 0 && I + 1 < argc) {
+      if (!parseU64(argv[++I], Schedules) || Schedules == 0)
+        return usage(argv[0]);
     } else if (std::strcmp(A, "--out") == 0 && I + 1 < argc) {
       OutDir = argv[++I];
     } else {
       return usage(argv[0]);
     }
+  }
+
+  if (Chaos) {
+    // Chaos mode: each case runs in-process — surviving every fault
+    // schedule without a crash *is* the assertion, so no fork sandbox.
+    uint64_t ChaosFailures = 0, TotalSchedules = 0, TotalFaulted = 0;
+    for (uint64_t S = Seed; S < Seed + Count; ++S) {
+      fuzz::FuzzCase C = fuzz::generateCase(S);
+      // Offset the fault seed from the generator seed so case shape and
+      // fault schedule vary independently.
+      fuzz::ChaosReport Rep =
+          fuzz::runChaos(C, static_cast<int>(Schedules), S * 1000003);
+      TotalSchedules += static_cast<uint64_t>(Rep.Schedules);
+      TotalFaulted += static_cast<uint64_t>(Rep.Faulted);
+      if (Rep.ok())
+        continue;
+      ++ChaosFailures;
+      std::printf("%s\n", Rep.str().c_str());
+    }
+    std::printf("dmll-fuzz --chaos: %llu/%llu seed(s) clean, %llu "
+                "schedule(s) run, %llu faulted\n",
+                static_cast<unsigned long long>(Count - ChaosFailures),
+                static_cast<unsigned long long>(Count),
+                static_cast<unsigned long long>(TotalSchedules),
+                static_cast<unsigned long long>(TotalFaulted));
+    return ChaosFailures ? 1 : 0;
   }
 
   uint64_t Failures = 0;

@@ -1,26 +1,36 @@
 #!/bin/sh
-# Time-budgeted differential fuzzing driver.
+# Time-budgeted differential fuzzing driver (plus a fixed-size chaos mode).
 #
-#   tools/run_fuzz.sh [--minutes N] [--seed S] [--build DIR]
+#   tools/run_fuzz.sh [--minutes N] [--seed S] [--build DIR] [--chaos]
 #
-# Runs dmll-fuzz in fixed-size batches of consecutive seeds until the time
-# budget is spent (default 5 minutes), starting from --seed (default 1, so
-# a run with the same arguments covers the same seeds in the same order).
-# Exits nonzero as soon as a batch reports a divergence; the failing batch
-# output (including the reduced replay program) is left on stdout.
+# Default mode runs dmll-fuzz in fixed-size batches of consecutive seeds
+# until the time budget is spent (default 5 minutes), starting from --seed
+# (default 1, so a run with the same arguments covers the same seeds in the
+# same order). Exits nonzero as soon as a batch reports a divergence; the
+# failing batch output (including the reduced replay program) is left on
+# stdout.
+#
+# --chaos instead runs one fixed deterministic batch of the chaos oracle
+# (docs/ROBUSTNESS.md): 60 generated cases x 4 fault schedules each = 240
+# seeded schedules, asserting the process survives every injected fault,
+# a fault-free re-run on the same executor stays bit-identical, and
+# metrics counters remain monotonic. Fixed size (not time-budgeted) so the
+# chaos_smoke ctest covers the same schedules on every machine.
 set -eu
 
 MINUTES=5
 SEED=1
 BUILD=build
 BATCH=100
+CHAOS=0
 
 while [ $# -gt 0 ]; do
   case "$1" in
     --minutes) MINUTES=$2; shift 2 ;;
     --seed)    SEED=$2; shift 2 ;;
     --build)   BUILD=$2; shift 2 ;;
-    *) echo "usage: $0 [--minutes N] [--seed S] [--build DIR]" >&2; exit 2 ;;
+    --chaos)   CHAOS=1; shift ;;
+    *) echo "usage: $0 [--minutes N] [--seed S] [--build DIR] [--chaos]" >&2; exit 2 ;;
   esac
 done
 
@@ -28,6 +38,12 @@ FUZZ="$BUILD/tools/dmll-fuzz"
 if [ ! -x "$FUZZ" ]; then
   echo "run_fuzz.sh: $FUZZ not built (cmake --build $BUILD)" >&2
   exit 2
+fi
+
+if [ "$CHAOS" = 1 ]; then
+  "$FUZZ" --chaos --seed "$SEED" --count 60 --schedules 4
+  echo "run_fuzz.sh: chaos batch clean (60 seeds x 4 schedules)"
+  exit 0
 fi
 
 DEADLINE=$(( $(date +%s) + MINUTES * 60 ))
