@@ -68,7 +68,7 @@ public:
         MinChunk(Opts.MinChunk), Profile(Opts.Profile), Mode(Opts.Mode),
         WideKernels(Opts.WideKernels), KStats(Opts.Kernels),
         Tuning(Opts.Tuning && !Opts.Tuning->empty() ? Opts.Tuning : nullptr),
-        Pool(Pool), Control(Control) {}
+        Pool(Pool), Control(Control), Reuse(Opts.KernelReuse) {}
 
   Value evalTop(const ExprRef &E) {
     Scope Global;
@@ -106,6 +106,10 @@ private:
   };
   KernelState OwnKernels;
   KernelState *Kernels = &OwnKernels;
+  /// Optional cross-run kernel cache (EvalOptions::KernelReuse); consulted
+  /// and fed under Kernels->M, so the lock order is always run-local state
+  /// first, then the shared cache.
+  KernelReuseCache *Reuse = nullptr;
   engine::ColumnCache Columns;
   // Free symbols per node, cached (the IR is immutable).
   std::unordered_map<const Expr *, std::vector<uint64_t>> FreeCache;
@@ -416,6 +420,28 @@ private:
     auto It = Kernels->Compiled.find(E.get());
     if (It != Kernels->Compiled.end())
       return It->second;
+    // Cross-run cache (service/Serve.h): a previous run of this Program
+    // already compiled (or rejected) this exact node — adopt the outcome
+    // without re-lowering, registering this run's stats rows as usual.
+    std::shared_ptr<const engine::Kernel> Cached;
+    if (Reuse && Reuse->lookup(E.get(), Cached)) {
+      MetricsRegistry::global().counter("engine.kernel_cache_hits").inc();
+      KernelEntry Entry;
+      if (Cached) {
+        Entry.K = std::move(Cached);
+        if (KStats) {
+          Entry.TimingIdx = KStats->Kernels.size();
+          engine::KernelTiming T;
+          T.Loop = Entry.K->Signature;
+          KStats->Kernels.push_back(std::move(T));
+        }
+      } else if (KStats) {
+        ++KStats->FallbackLoops;
+        KStats->Fallbacks.push_back(loopSignature(E) + ": cached fallback");
+      }
+      return Kernels->Compiled.emplace(E.get(), std::move(Entry))
+          .first->second;
+    }
     auto T0 = std::chrono::steady_clock::now();
     engine::CompileOutcome Outcome;
     {
@@ -454,6 +480,8 @@ private:
     }
     if (KStats)
       KStats->CompileMillis += Ms;
+    if (Reuse)
+      Reuse->store(E.get(), Entry.K);
     return Kernels->Compiled.emplace(E.get(), std::move(Entry)).first->second;
   }
 
@@ -641,6 +669,7 @@ private:
                 Sub.Mode = Mode;
                 Sub.KStats = KStats;
                 Sub.Kernels = Kernels;
+                Sub.Reuse = Reuse;
                 Sub.Tuning = Tuning;
                 Sub.Control = Control;
                 Scope Local;
@@ -957,6 +986,27 @@ private:
 };
 
 } // namespace
+
+bool KernelReuseCache::lookup(
+    const Expr *E, std::shared_ptr<const engine::Kernel> &K) const {
+  std::lock_guard<std::mutex> L(Mu);
+  auto It = Map.find(E);
+  if (It == Map.end())
+    return false;
+  K = It->second;
+  return true;
+}
+
+void KernelReuseCache::store(const Expr *E,
+                             std::shared_ptr<const engine::Kernel> K) {
+  std::lock_guard<std::mutex> L(Mu);
+  Map.emplace(E, std::move(K));
+}
+
+size_t KernelReuseCache::size() const {
+  std::lock_guard<std::mutex> L(Mu);
+  return Map.size();
+}
 
 Value dmll::evalProgram(const Program &P, const InputMap &Inputs) {
   return Evaluator(Inputs).evalTop(P.Result);

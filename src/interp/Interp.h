@@ -30,14 +30,44 @@
 #include "runtime/Cancel.h"
 #include "tune/Decision.h"
 
+#include <memory>
+#include <mutex>
 #include <unordered_map>
 
 namespace dmll {
 
 class ThreadPool;
 
+namespace engine {
+struct Kernel;
+} // namespace engine
+
 /// Named input bindings for a Program.
 using InputMap = std::unordered_map<std::string, Value>;
+
+/// Cross-run compiled-kernel cache, keyed by multiloop node identity. A
+/// single evaluation already memoizes kernel compilations per loop; this
+/// cache extends that memoization across *runs* of the same Program object
+/// (same ExprRef graph — the pointers are the keys), which is what lets a
+/// long-lived service (service/Serve.h) pay kernel compilation once per
+/// cached program instead of once per request. Known compile failures are
+/// cached too (a stored null kernel), so a rejected loop is not re-lowered
+/// on every request either. Thread-safe; entries live as long as the cache,
+/// so the owner must keep the Program (and its Exprs) alive alongside it.
+class KernelReuseCache {
+public:
+  /// True when \p E has a recorded outcome; \p K receives the kernel (null
+  /// for a recorded compile failure).
+  bool lookup(const Expr *E, std::shared_ptr<const engine::Kernel> &K) const;
+  /// Records the compile outcome for \p E (first store wins).
+  void store(const Expr *E, std::shared_ptr<const engine::Kernel> K);
+  size_t size() const;
+
+private:
+  mutable std::mutex Mu;
+  std::unordered_map<const Expr *, std::shared_ptr<const engine::Kernel>>
+      Map;
+};
 
 /// Knobs for evalProgramWith.
 struct EvalOptions {
@@ -64,6 +94,12 @@ struct EvalOptions {
   /// runs (the ThreadPool survives traps, so a service can keep one pool
   /// for many queries). Threads should equal Pool->numThreads().
   ThreadPool *Pool = nullptr;
+  /// Cross-run compiled-kernel cache for repeated evaluations of the same
+  /// Program object. Null compiles per run as before; non-null makes this
+  /// run consult the cache before invoking the kernel compiler and record
+  /// its fresh outcomes into it (hits count as `engine.kernel_cache_hits`
+  /// in the metrics registry).
+  KernelReuseCache *KernelReuse = nullptr;
   ExecProfile *Profile = nullptr;          ///< optional worker metrics out
   engine::KernelStats *Kernels = nullptr;  ///< optional engine stats out
 };

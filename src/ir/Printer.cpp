@@ -98,7 +98,18 @@ public:
 
 private:
   std::unordered_map<const Expr *, std::string> Names;
+  std::unordered_map<const Expr *, size_t> SymIds;
   std::string Lets;
+
+  /// Canonical symbol naming: ids are assigned in first-print order, not
+  /// from the builder's process-global counter, so structurally identical
+  /// programs print identically however (and whenever) they were built.
+  /// The daemon's compiled-program cache keys on the hash of this text
+  /// (service/Serve.h), which makes the canonical form load-bearing.
+  std::string symName(const SymExpr *S) {
+    auto It = SymIds.emplace(S, SymIds.size()).first;
+    return S->name() + std::to_string(It->second);
+  }
 
   std::string renderFunc(const Func &F) {
     if (!F.isSet())
@@ -107,7 +118,7 @@ private:
     for (size_t I = 0; I < F.Params.size(); ++I) {
       if (I)
         S += ",";
-      S += F.Params[I]->name() + std::to_string(F.Params[I]->id());
+      S += symName(F.Params[I].get());
     }
     S += " => " + render(F.Body, false) + ")";
     return S;
@@ -151,10 +162,8 @@ private:
     }
     case ExprKind::ConstBool:
       return cast<ConstBoolExpr>(E)->value() ? "true" : "false";
-    case ExprKind::Sym: {
-      const auto *S = cast<SymExpr>(E);
-      return S->name() + std::to_string(S->id());
-    }
+    case ExprKind::Sym:
+      return symName(cast<SymExpr>(E));
     case ExprKind::Input:
       return "@" + cast<InputExpr>(E)->name();
     case ExprKind::BinOp: {

@@ -2,6 +2,8 @@
 
 #include "observe/LiveTelemetry.h"
 
+#include "support/Net.h"
+
 #include <algorithm>
 #include <cctype>
 #include <cmath>
@@ -389,23 +391,10 @@ std::vector<std::string> dmll::checkPrometheus(const std::string &Text) {
 LiveSnapshotter::LiveSnapshotter(Options O) : Opts(std::move(O)) {
   if (Opts.PeriodMs <= 0)
     Opts.PeriodMs = 200;
-  if (Opts.Port > 0) {
-    ListenFd = ::socket(AF_INET, SOCK_STREAM, 0);
-    if (ListenFd >= 0) {
-      int One = 1;
-      ::setsockopt(ListenFd, SOL_SOCKET, SO_REUSEADDR, &One, sizeof(One));
-      sockaddr_in Addr{};
-      Addr.sin_family = AF_INET;
-      Addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-      Addr.sin_port = htons(static_cast<uint16_t>(Opts.Port));
-      if (::bind(ListenFd, reinterpret_cast<sockaddr *>(&Addr),
-                 sizeof(Addr)) != 0 ||
-          ::listen(ListenFd, 8) != 0) {
-        ::close(ListenFd);
-        ListenFd = -1;
-      }
-    }
-  }
+  // Port 0 binds a kernel-assigned ephemeral port (boundPort() reads it
+  // back), so concurrent test processes never collide on a fixed number.
+  if (Opts.Port >= 0)
+    ListenFd = net::listenLoopback(Opts.Port, 8, &BoundPort);
 }
 
 LiveSnapshotter::~LiveSnapshotter() {
@@ -436,7 +425,7 @@ std::string LiveSnapshotter::lastText() const {
 void LiveSnapshotter::serve(const std::string &Text) {
   if (ListenFd < 0)
     return;
-  // Drain every connection already queued; never block.
+  // Drain every connection already queued; never block on accept.
   for (;;) {
     pollfd P{ListenFd, POLLIN, 0};
     if (::poll(&P, 1, 0) <= 0 || !(P.revents & POLLIN))
@@ -444,17 +433,19 @@ void LiveSnapshotter::serve(const std::string &Text) {
     int Fd = ::accept(ListenFd, nullptr, nullptr);
     if (Fd < 0)
       return;
+    // Read the client's request before answering: closing with unread
+    // bytes in the receive buffer can send RST, which makes scrapers drop
+    // the body we already wrote.
+    net::drainRequest(Fd);
     std::string Resp =
         "HTTP/1.0 200 OK\r\nContent-Type: text/plain; version=0.0.4\r\n"
         "Content-Length: " +
         std::to_string(Text.size()) + "\r\n\r\n" + Text;
-    size_t Off = 0;
-    while (Off < Resp.size()) {
-      ssize_t W = ::write(Fd, Resp.data() + Off, Resp.size() - Off);
-      if (W <= 0)
-        break;
-      Off += static_cast<size_t>(W);
-    }
+    // MSG_NOSIGNAL + EINTR retry inside sendAll: a client that vanished
+    // mid-response is this connection's problem, never the process's
+    // (no SIGPIPE), and never aborts serving the remaining queue.
+    if (!net::sendAll(Fd, Resp))
+      MetricsRegistry::global().counter("telemetry.client_abort").inc();
     ::close(Fd);
   }
 }
@@ -569,13 +560,17 @@ TelemetryScope::TelemetryScope(const TelemetryCli &C) : Cli(C) {
     Prof = std::make_unique<SamplingProfiler>(Cli.SamplePeriodMs);
     ProfAct = std::make_unique<SamplerActivation>(*Prof);
   }
-  if (!Cli.MetricsLive.empty() || Cli.Port > 0) {
+  if (!Cli.MetricsLive.empty() || Cli.Port >= 0) {
     LiveSnapshotter::Options O;
     O.PeriodMs = Cli.LivePeriodMs;
     O.Path = Cli.MetricsLive;
     O.Port = Cli.Port;
     Snap = std::make_unique<LiveSnapshotter>(O);
     Snap->start();
+    // An ephemeral bind is useless unless someone can learn the port.
+    if (Cli.Port == 0 && Snap->boundPort() > 0)
+      std::fprintf(stderr, "telemetry: serving metrics on 127.0.0.1:%d\n",
+                   Snap->boundPort());
   }
 }
 

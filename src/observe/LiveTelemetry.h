@@ -87,14 +87,24 @@ std::vector<std::string> checkPrometheus(const std::string &Text);
 
 /// Background metrics snapshotter: a dedicated thread that renders the
 /// exposition every period, atomically replaces \p Path (if set), answers
-/// HTTP GETs on 127.0.0.1:\p Port (if nonzero), and appends a
+/// HTTP GETs on 127.0.0.1:\p Port (if requested), and appends a
 /// metrics.snapshot delta event per cycle to the active EventLog.
+///
+/// The endpoint is crash-proof against misbehaving clients (support/Net.h):
+/// responses go out with MSG_NOSIGNAL so a disconnect mid-response is a
+/// recorded error, not a SIGPIPE, and the client's request is drained
+/// (bounded, non-blocking) before the response is written and the socket
+/// closed, so scrapers never see an RST clobber the already-sent body.
 class LiveSnapshotter {
 public:
   struct Options {
     double PeriodMs = 200;
     std::string Path; ///< exposition file; empty writes no file
-    int Port = 0;     ///< localhost TCP endpoint; 0 serves nothing
+    /// Localhost TCP endpoint: a fixed port, or 0 to bind a kernel-assigned
+    /// ephemeral port (read it back via boundPort() — this is what keeps
+    /// parallel test runs from racing on port collisions). Negative serves
+    /// nothing.
+    int Port = -1;
   };
 
   explicit LiveSnapshotter(Options O);
@@ -109,7 +119,12 @@ public:
   int64_t snapshots() const { return Count.load(std::memory_order_relaxed); }
   /// The most recently rendered exposition text.
   std::string lastText() const;
+  /// The configured port (Options::Port, -1 when no endpoint was asked).
   int port() const { return Opts.Port; }
+  /// The actually-bound endpoint port: equals port() for a fixed bind, the
+  /// kernel-assigned port for Options::Port == 0, and 0 when there is no
+  /// live endpoint (none requested, or the bind failed).
+  int boundPort() const { return BoundPort; }
 
 private:
   void cycle();
@@ -124,12 +139,14 @@ private:
   std::string Last;
   std::map<std::string, int64_t> PrevCounters;
   int ListenFd = -1;
+  int BoundPort = 0; ///< set once in the constructor, then read-only
 };
 
 /// The shared telemetry command-line surface (quickstart, benches, smoke):
 ///   --metrics-out F    write a final Prometheus snapshot to F on exit
 ///   --metrics-live F   run the snapshotter, replacing F every period
-///   --metrics-port N   also serve the exposition on 127.0.0.1:N
+///   --metrics-port N   also serve the exposition on 127.0.0.1:N; N == 0
+///                      binds an ephemeral port and prints it to stderr
 ///   --events-out F     write the dmll-events-v1 JSONL log to F
 ///   --sample           run the sampling profiler
 ///   --sample-out F     write collapsed stacks to F on exit (implies
@@ -137,7 +154,8 @@ private:
 struct TelemetryCli {
   std::string MetricsOut, MetricsLive, EventsOut, SampleOut;
   bool Sample = false;
-  int Port = 0;
+  /// -1: no endpoint requested; 0: ephemeral; >0: fixed port.
+  int Port = -1;
   /// 50 Hz. Each tick on a saturated single-core host costs ~100-200us
   /// effective (the wakeup preempts a worker and pollutes its caches), so
   /// 50 Hz keeps measured overhead near half the 2% telemetry_smoke
@@ -147,7 +165,7 @@ struct TelemetryCli {
 
   bool any() const {
     return !MetricsOut.empty() || !MetricsLive.empty() ||
-           !EventsOut.empty() || !SampleOut.empty() || Sample || Port != 0;
+           !EventsOut.empty() || !SampleOut.empty() || Sample || Port >= 0;
   }
 };
 

@@ -152,3 +152,35 @@ void MetricsRegistry::reset() {
   Gauges.clear();
   Histograms.clear();
 }
+
+double dmll::histogramQuantile(const HistogramSnapshot &H, double Q) {
+  if (H.Counts.empty())
+    return 0;
+  int64_t Total = 0;
+  for (int64_t C : H.Counts)
+    Total += C;
+  if (Total <= 0)
+    return 0;
+  double Rank = Q * static_cast<double>(Total);
+  double PrevBound = 0;
+  int64_t Cum = 0;
+  for (size_t I = 0; I < H.Counts.size(); ++I) {
+    int64_t Prev = Cum;
+    Cum += H.Counts[I];
+    if (static_cast<double>(Cum) < Rank) {
+      if (I < H.Bounds.size())
+        PrevBound = H.Bounds[I];
+      continue;
+    }
+    if (I >= H.Bounds.size())
+      return PrevBound; // +inf bucket: clamp to the last finite bound
+    double Bound = H.Bounds[I];
+    int64_t InBucket = Cum - Prev;
+    if (InBucket <= 0)
+      return Bound;
+    double Frac = (Rank - static_cast<double>(Prev)) /
+                  static_cast<double>(InBucket);
+    return PrevBound + (Bound - PrevBound) * Frac;
+  }
+  return PrevBound;
+}

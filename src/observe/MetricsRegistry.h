@@ -97,6 +97,14 @@ struct HistogramSnapshot {
   double Sum = 0;
 };
 
+/// Quantile estimate from a histogram snapshot, Prometheus
+/// histogram_quantile style: linear interpolation inside the first bucket
+/// whose cumulative count reaches \p Q * total. \p Q in [0, 1]; returns 0
+/// for an empty histogram. Observations in the +inf bucket clamp to the
+/// last finite bound (there is nothing to interpolate against). This is
+/// what `serve.request_ms` p50/p99 are computed from (docs/SERVICE.md).
+double histogramQuantile(const HistogramSnapshot &H, double Q);
+
 /// Point-in-time copy of every instrument, for exporters that iterate the
 /// registry off the hot path (Prometheus rendering, snapshot deltas).
 struct MetricsSnapshot {

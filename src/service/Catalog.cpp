@@ -1,0 +1,135 @@
+//===- service/Catalog.cpp - Named program catalog --------------*- C++ -*-===//
+
+#include "service/Catalog.h"
+
+#include "apps/Apps.h"
+#include "data/Datasets.h"
+#include "frontend/Frontend.h"
+#include "graph/Graph.h"
+
+using namespace dmll;
+using namespace dmll::service;
+
+namespace {
+
+/// The faulty tenant: sum of 1000000 / xs(i), where xs(0) == 0 — the very
+/// first iteration divides by zero, so the run traps immediately and
+/// deterministically whatever the chunking. Floats would produce inf; the
+/// integer division is what the evaluator defines as a trap.
+Program makeTrapDiv() {
+  using namespace frontend;
+  ProgramBuilder B;
+  Val Xs = B.inVecI64("xs");
+  Val Out = sumRange(Xs.len(), [&](Val I) { return Val(1000000) / Xs(I); });
+  return B.build(Out);
+}
+
+} // namespace
+
+const std::vector<std::string> &service::appNames() {
+  static const std::vector<std::string> Names = {
+      "tpch-q1", "gene", "gda", "k-means", "logreg", "pagerank"};
+  return Names;
+}
+
+const std::vector<std::string> &service::catalogNames() {
+  static const std::vector<std::string> Names = [] {
+    std::vector<std::string> N = appNames();
+    N.push_back("trapdiv");
+    return N;
+  }();
+  return Names;
+}
+
+bool service::makeProgram(const std::string &Name, Program &P) {
+  if (Name == "tpch-q1")
+    P = apps::tpchQ1();
+  else if (Name == "gene")
+    P = apps::geneBarcoding();
+  else if (Name == "gda")
+    P = apps::gda();
+  else if (Name == "k-means")
+    P = apps::kmeansSharedMemory();
+  else if (Name == "logreg")
+    P = apps::logreg();
+  else if (Name == "pagerank")
+    P = apps::pageRankPull();
+  else if (Name == "trapdiv")
+    P = makeTrapDiv();
+  else
+    return false;
+  return true;
+}
+
+bool service::makeInputs(const std::string &Name, int64_t Scale,
+                         InputMap &Inputs, int64_t &N) {
+  if (Scale < 1)
+    Scale = 1;
+  // Same shapes and seeds as bench/table2_sequential.cpp at Scale 1.
+  const size_t Rows = static_cast<size_t>(50000 / Scale) + 1;
+  const size_t Cols = 20, K = 10;
+  if (Name == "tpch-q1") {
+    auto L = data::makeLineItems(static_cast<size_t>(500000 / Scale) + 1, 1);
+    int64_t Cutoff = 9500;
+    Inputs = {{"lineitems", L.toAosValue()}, {"cutoff", Value(Cutoff)}};
+    N = static_cast<int64_t>(L.size());
+    return true;
+  }
+  if (Name == "gene") {
+    auto G = data::makeGeneReads(static_cast<size_t>(500000 / Scale) + 1,
+                                 10000, 2);
+    Inputs = {{"genes", G.toAosValue()}, {"min_quality", Value(10.0)}};
+    N = static_cast<int64_t>(G.size());
+    return true;
+  }
+  if (Name == "gda") {
+    auto X = data::makeGaussianMixture(Rows, Cols, 2, 3);
+    auto Y = data::makeLabels(X, 4);
+    Inputs = {{"x", X.toValue()}, {"y", Value::arrayOfInts(Y)}};
+    N = static_cast<int64_t>(Rows);
+    return true;
+  }
+  if (Name == "k-means") {
+    auto M = data::makeGaussianMixture(Rows, Cols, K, 5);
+    auto C = data::makeCentroids(M, K, 6);
+    Inputs = {{"matrix", M.toValue()}, {"clusters", C.toValue()}};
+    N = static_cast<int64_t>(Rows);
+    return true;
+  }
+  if (Name == "logreg") {
+    auto X = data::makeGaussianMixture(Rows, Cols, 2, 7);
+    auto Y = data::makeLabels(X, 8);
+    std::vector<double> Theta(Cols, 0.01), YD(Y.begin(), Y.end());
+    Inputs = {{"x", X.toValue()},
+              {"y", Value::arrayOfDoubles(YD)},
+              {"theta", Value::arrayOfDoubles(Theta)},
+              {"alpha", Value(0.1)}};
+    N = static_cast<int64_t>(Rows);
+    return true;
+  }
+  if (Name == "pagerank") {
+    unsigned RmatScale = 14;
+    for (int64_t S = Scale; S > 1 && RmatScale > 8; S /= 2)
+      --RmatScale;
+    auto G = data::makeRmat(RmatScale, 8, 9);
+    std::vector<double> Ranks(static_cast<size_t>(G.NumV),
+                              1.0 / static_cast<double>(G.NumV));
+    Inputs = graph::pageRankInputs(G, Ranks);
+    N = G.NumV;
+    return true;
+  }
+  if (Name == "trapdiv") {
+    std::vector<int64_t> Xs(static_cast<size_t>(200000 / Scale) + 1);
+    for (size_t I = 0; I < Xs.size(); ++I)
+      Xs[I] = static_cast<int64_t>(I % 13); // Xs[0] == 0: traps at once
+    Inputs = {{"xs", Value::arrayOfInts(Xs)}};
+    N = static_cast<int64_t>(Xs.size());
+    return true;
+  }
+  return false;
+}
+
+bool service::makeApp(const std::string &Name, int64_t Scale, AppCase &Out) {
+  Out.Name = Name;
+  return makeProgram(Name, Out.P) && makeInputs(Name, Scale, Out.Inputs, Out.N);
+}

@@ -1,0 +1,69 @@
+//===- service/Catalog.h - Named program catalog for the daemon -*- C++ -*-===//
+//
+// Part of the DMLL reproduction of Brown et al., CGO 2016.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The named-program catalog shared by dmll-serve (service/Serve.h) and
+/// dmll-tune: every Table 2 application the tuner can steer, with the
+/// deterministic datasets of bench/table2_sequential.cpp divided by a
+/// request's scale factor. Requests in the dmll-serve-v1 protocol name
+/// programs rather than shipping IR or data, so one catalog entry is the
+/// unit the daemon's compiled-program cache amortizes over.
+///
+/// The program half of an entry is scale-independent (the same ExprRef
+/// graph serves every scale), which is what makes the cache sound: the key
+/// is the hash of the serialized IR, and inputs are materialized per
+/// (app, scale) on the side. `trapdiv` is the deliberately faulty tenant —
+/// an integer division whose first divisor is zero — used to prove a
+/// trapped request cannot take the daemon (or its persistent ThreadPool)
+/// down with it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DMLL_SERVICE_CATALOG_H
+#define DMLL_SERVICE_CATALOG_H
+
+#include "interp/Interp.h"
+#include "ir/Expr.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dmll {
+namespace service {
+
+/// One materialized catalog application.
+struct AppCase {
+  std::string Name;
+  Program P;
+  InputMap Inputs;
+  int64_t N = 0; ///< dataset size driving the benchmark records
+};
+
+/// The tunable Table 2 applications (what `dmll-tune --list` prints).
+const std::vector<std::string> &appNames();
+
+/// Everything the daemon serves: appNames() plus the trapping tenant
+/// "trapdiv".
+const std::vector<std::string> &catalogNames();
+
+/// Builds just the (scale-independent) program for \p Name; false on an
+/// unknown name.
+bool makeProgram(const std::string &Name, Program &P);
+
+/// Materializes the deterministic dataset for \p Name with sizes divided by
+/// \p Scale (clamped to >= 1); \p N receives the dataset size. False on an
+/// unknown name.
+bool makeInputs(const std::string &Name, int64_t Scale, InputMap &Inputs,
+                int64_t &N);
+
+/// makeProgram + makeInputs in one call (the dmll-tune entry point).
+bool makeApp(const std::string &Name, int64_t Scale, AppCase &Out);
+
+} // namespace service
+} // namespace dmll
+
+#endif // DMLL_SERVICE_CATALOG_H

@@ -1,0 +1,136 @@
+//===- support/Net.cpp - Loopback socket helpers ---------------*- C++ -*-===//
+
+#include "support/Net.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+using namespace dmll;
+
+bool net::sendAll(int Fd, const void *Data, size_t Len) {
+  const char *P = static_cast<const char *>(Data);
+  size_t Off = 0;
+  while (Off < Len) {
+    ssize_t W = ::send(Fd, P + Off, Len - Off, MSG_NOSIGNAL);
+    if (W < 0 && errno == ENOTSOCK)
+      W = ::write(Fd, P + Off, Len - Off); // pipe fd (dmll-serve --stdio)
+    if (W < 0) {
+      if (errno == EINTR)
+        continue;
+      return false;
+    }
+    if (W == 0)
+      return false;
+    Off += static_cast<size_t>(W);
+  }
+  return true;
+}
+
+bool net::sendAll(int Fd, const std::string &Data) {
+  return sendAll(Fd, Data.data(), Data.size());
+}
+
+bool net::recvAll(int Fd, void *Data, size_t Len) {
+  char *P = static_cast<char *>(Data);
+  size_t Off = 0;
+  while (Off < Len) {
+    ssize_t R = ::recv(Fd, P + Off, Len - Off, 0);
+    if (R < 0 && errno == ENOTSOCK)
+      R = ::read(Fd, P + Off, Len - Off); // pipe fd (dmll-serve --stdio)
+    if (R < 0) {
+      if (errno == EINTR)
+        continue;
+      return false;
+    }
+    if (R == 0)
+      return false; // EOF mid-message
+    Off += static_cast<size_t>(R);
+  }
+  return true;
+}
+
+int net::listenLoopback(int Port, int Backlog, int *BoundPort) {
+  if (BoundPort)
+    *BoundPort = 0;
+  int Fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (Fd < 0)
+    return -1;
+  int One = 1;
+  ::setsockopt(Fd, SOL_SOCKET, SO_REUSEADDR, &One, sizeof(One));
+  sockaddr_in Addr{};
+  Addr.sin_family = AF_INET;
+  Addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  Addr.sin_port = htons(static_cast<uint16_t>(Port));
+  if (::bind(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) != 0 ||
+      ::listen(Fd, Backlog) != 0) {
+    ::close(Fd);
+    return -1;
+  }
+  if (BoundPort) {
+    sockaddr_in Got{};
+    socklen_t Len = sizeof(Got);
+    if (::getsockname(Fd, reinterpret_cast<sockaddr *>(&Got), &Len) == 0)
+      *BoundPort = static_cast<int>(ntohs(Got.sin_port));
+  }
+  return Fd;
+}
+
+int net::connectLoopback(int Port) {
+  int Fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (Fd < 0)
+    return -1;
+  sockaddr_in Addr{};
+  Addr.sin_family = AF_INET;
+  Addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  Addr.sin_port = htons(static_cast<uint16_t>(Port));
+  for (;;) {
+    if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) == 0)
+      return Fd;
+    if (errno == EINTR)
+      continue;
+    ::close(Fd);
+    return -1;
+  }
+}
+
+bool net::pollIn(int Fd, int TimeoutMs) {
+  pollfd P{Fd, POLLIN, 0};
+  for (;;) {
+    int N = ::poll(&P, 1, TimeoutMs);
+    if (N < 0 && errno == EINTR)
+      continue;
+    return N > 0 && (P.revents & (POLLIN | POLLHUP));
+  }
+}
+
+std::string net::drainRequest(int Fd, size_t MaxBytes, int TimeoutMs) {
+  std::string Req;
+  // Slice the timeout so a drip-feeding peer cannot hold us past it.
+  int Left = TimeoutMs;
+  while (Req.size() < MaxBytes && Left >= 0) {
+    int Slice = Left < 20 ? Left : 20;
+    Left -= Slice > 0 ? Slice : 1;
+    if (!pollIn(Fd, Slice))
+      continue;
+    char Buf[1024];
+    ssize_t R = ::recv(Fd, Buf, sizeof(Buf), MSG_DONTWAIT);
+    if (R < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK)
+        continue;
+      break;
+    }
+    if (R == 0)
+      break; // peer closed its half
+    Req.append(Buf, static_cast<size_t>(R));
+    if (Req.find("\r\n\r\n") != std::string::npos ||
+        Req.find("\n\n") != std::string::npos)
+      break; // a complete HTTP-style request header block
+  }
+  return Req;
+}

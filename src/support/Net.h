@@ -1,0 +1,69 @@
+//===- support/Net.h - Loopback socket helpers -----------------*- C++ -*-===//
+//
+// Part of the DMLL reproduction of Brown et al., CGO 2016.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The one socket layer in the repo: small, crash-proof helpers shared by
+/// the telemetry endpoint (observe/LiveTelemetry.h) and the query daemon
+/// (service/Serve.h, docs/SERVICE.md). Everything here is loopback-only TCP
+/// and designed for long-lived processes, so the failure modes that would
+/// take a daemon down are handled at this layer once:
+///
+///  * sendAll uses `send(..., MSG_NOSIGNAL)` and retries EINTR — a client
+///    that disconnects mid-response yields a clean `false`, never SIGPIPE.
+///  * listenLoopback accepts Port == 0 and reports the kernel-assigned
+///    ephemeral port, so parallel test runs never race on a fixed port.
+///  * drainRequest reads (bounded, poll-driven) whatever the client sent
+///    before the server responds and closes — closing a socket with unread
+///    bytes in the receive buffer can emit RST and make well-behaved
+///    clients (curl, Prometheus scrapers) discard the already-sent body.
+///
+/// No helper throws; every failure is a false/-1 return the caller can log
+/// and survive.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DMLL_SUPPORT_NET_H
+#define DMLL_SUPPORT_NET_H
+
+#include <cstddef>
+#include <string>
+
+namespace dmll {
+namespace net {
+
+/// Writes all \p Len bytes to \p Fd with send(MSG_NOSIGNAL), retrying
+/// EINTR. Returns false on any other error (e.g. EPIPE from a client that
+/// went away) — never raises SIGPIPE. Falls back to write() on a non-socket
+/// fd so the same framing works over a stdio pipe.
+bool sendAll(int Fd, const void *Data, size_t Len);
+bool sendAll(int Fd, const std::string &Data);
+
+/// Reads exactly \p Len bytes, retrying EINTR. False on EOF or error.
+bool recvAll(int Fd, void *Data, size_t Len);
+
+/// Creates a listening TCP socket on 127.0.0.1:\p Port (SO_REUSEADDR,
+/// backlog \p Backlog). \p Port == 0 binds an ephemeral port. On success
+/// returns the fd and stores the actually-bound port in \p BoundPort (when
+/// non-null); on failure returns -1.
+int listenLoopback(int Port, int Backlog, int *BoundPort = nullptr);
+
+/// Connects to 127.0.0.1:\p Port; returns the fd or -1.
+int connectLoopback(int Port);
+
+/// Drains whatever request the peer sent on \p Fd before the caller writes
+/// its response: polls for readability and reads until a blank line ends an
+/// HTTP-style header block, EOF, \p MaxBytes read, or \p TimeoutMs spent.
+/// Returns the bytes read (possibly empty). Never blocks longer than the
+/// timeout and never fails — a misbehaving peer just yields fewer bytes.
+std::string drainRequest(int Fd, size_t MaxBytes = 4096, int TimeoutMs = 100);
+
+/// Polls \p Fd for readability; true when a read would not block.
+bool pollIn(int Fd, int TimeoutMs);
+
+} // namespace net
+} // namespace dmll
+
+#endif // DMLL_SUPPORT_NET_H

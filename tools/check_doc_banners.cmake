@@ -31,6 +31,7 @@ set(REGISTERED_DOCS
   OBSERVABILITY.md
   PROFILING.md
   ROBUSTNESS.md
+  SERVICE.md
   TELEMETRY.md
   TUNING.md
 )

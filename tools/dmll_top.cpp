@@ -16,6 +16,8 @@
 //   dmll-top --once               render one frame and exit (scripts/tests)
 //   dmll-top --check FILE.prom    run the exposition format checker and
 //                                 exit 0 (clean) / 1 (problems found)
+//   dmll-top --check --port N     same check against a live endpoint (use
+//                                 the ephemeral port a daemon printed)
 //
 // Exit codes: 0 ok, 1 check failed, 2 usage/read error.
 //
@@ -213,7 +215,8 @@ void usage() {
   std::fprintf(stderr,
                "usage: dmll-top [--interval MS] [--once] FILE.prom\n"
                "       dmll-top [--interval MS] [--once] --port N\n"
-               "       dmll-top --check FILE.prom\n");
+               "       dmll-top --check FILE.prom\n"
+               "       dmll-top --check --port N\n");
 }
 
 } // namespace
@@ -253,21 +256,23 @@ int main(int Argc, char **Argv) {
       Path = A;
     }
   }
-  if ((Path.empty() && Port == 0) || (Check && Path.empty())) {
+  if (Path.empty() && Port == 0) {
     usage();
     return 2;
   }
 
   if (Check) {
     std::string Text;
-    if (!readFile(Path, Text)) {
-      std::fprintf(stderr, "dmll-top: cannot read %s\n", Path.c_str());
+    std::string What = Path.empty() ? "port " + std::to_string(Port) : Path;
+    bool Got = Path.empty() ? readPort(Port, Text) : readFile(Path, Text);
+    if (!Got) {
+      std::fprintf(stderr, "dmll-top: cannot read %s\n", What.c_str());
       return 2;
     }
     std::vector<std::string> Problems = checkPrometheus(Text);
     for (const std::string &P : Problems)
       std::fprintf(stderr, "dmll-top: %s\n", P.c_str());
-    std::printf("%s: %s\n", Path.c_str(),
+    std::printf("%s: %s\n", What.c_str(),
                 Problems.empty() ? "exposition format ok"
                                  : "exposition format INVALID");
     return Problems.empty() ? 0 : 1;

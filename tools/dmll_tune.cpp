@@ -31,10 +31,8 @@
 //
 //===----------------------------------------------------------------------===//
 
-#include "apps/Apps.h"
-#include "data/Datasets.h"
-#include "graph/Graph.h"
 #include "runtime/Executor.h"
+#include "service/Catalog.h"
 #include "support/Table.h"
 #include "transform/Soa.h"
 #include "tune/Tuner.h"
@@ -48,84 +46,12 @@ using namespace dmll;
 
 namespace {
 
-/// One tunable application: the Table 2 registry minus triangle counting
-/// (a domain-specific graph kernel, not IR the tuner can steer).
-struct AppCase {
-  std::string Name;
-  Program P;
-  InputMap Inputs;
-  int64_t N = 0;
-};
-
-const char *const AppNames[] = {"tpch-q1", "gene",   "gda",
-                                "k-means", "logreg", "pagerank"};
-
-/// Builds the named app with datasets divided by \p Scale (same shapes and
-/// seeds as bench/table2_sequential.cpp at Scale 1).
-bool makeApp(const std::string &Name, int64_t Scale, AppCase &Out) {
-  if (Scale < 1)
-    Scale = 1;
-  Out.Name = Name;
-  const size_t Rows = static_cast<size_t>(50000 / Scale) + 1;
-  const size_t Cols = 20, K = 10;
-  if (Name == "tpch-q1") {
-    auto L = data::makeLineItems(static_cast<size_t>(500000 / Scale) + 1, 1);
-    int64_t Cutoff = 9500;
-    Out.P = apps::tpchQ1();
-    Out.Inputs = {{"lineitems", L.toAosValue()}, {"cutoff", Value(Cutoff)}};
-    Out.N = static_cast<int64_t>(L.size());
-    return true;
-  }
-  if (Name == "gene") {
-    auto G = data::makeGeneReads(static_cast<size_t>(500000 / Scale) + 1,
-                                 10000, 2);
-    Out.P = apps::geneBarcoding();
-    Out.Inputs = {{"genes", G.toAosValue()}, {"min_quality", Value(10.0)}};
-    Out.N = static_cast<int64_t>(G.size());
-    return true;
-  }
-  if (Name == "gda") {
-    auto X = data::makeGaussianMixture(Rows, Cols, 2, 3);
-    auto Y = data::makeLabels(X, 4);
-    Out.P = apps::gda();
-    Out.Inputs = {{"x", X.toValue()}, {"y", Value::arrayOfInts(Y)}};
-    Out.N = static_cast<int64_t>(Rows);
-    return true;
-  }
-  if (Name == "k-means") {
-    auto M = data::makeGaussianMixture(Rows, Cols, K, 5);
-    auto C = data::makeCentroids(M, K, 6);
-    Out.P = apps::kmeansSharedMemory();
-    Out.Inputs = {{"matrix", M.toValue()}, {"clusters", C.toValue()}};
-    Out.N = static_cast<int64_t>(Rows);
-    return true;
-  }
-  if (Name == "logreg") {
-    auto X = data::makeGaussianMixture(Rows, Cols, 2, 7);
-    auto Y = data::makeLabels(X, 8);
-    std::vector<double> Theta(Cols, 0.01), YD(Y.begin(), Y.end());
-    Out.P = apps::logreg();
-    Out.Inputs = {{"x", X.toValue()},
-                  {"y", Value::arrayOfDoubles(YD)},
-                  {"theta", Value::arrayOfDoubles(Theta)},
-                  {"alpha", Value(0.1)}};
-    Out.N = static_cast<int64_t>(Rows);
-    return true;
-  }
-  if (Name == "pagerank") {
-    unsigned RmatScale = 14;
-    for (int64_t S = Scale; S > 1 && RmatScale > 8; S /= 2)
-      --RmatScale;
-    auto G = data::makeRmat(RmatScale, 8, 9);
-    std::vector<double> Ranks(static_cast<size_t>(G.NumV),
-                              1.0 / static_cast<double>(G.NumV));
-    Out.P = apps::pageRankPull();
-    Out.Inputs = graph::pageRankInputs(G, Ranks);
-    Out.N = G.NumV;
-    return true;
-  }
-  return false;
-}
+/// One tunable application (service/Catalog.h): the Table 2 registry minus
+/// triangle counting (a domain-specific graph kernel, not IR the tuner can
+/// steer). The registry itself lives in the service catalog so dmll-serve
+/// executes byte-for-byte the same programs and datasets the tuner tunes.
+using AppCase = service::AppCase;
+using service::makeApp;
 
 /// The dataset fingerprint the tuner would store for this app under these
 /// compile options (compiled program + SoA-adapted inputs, matching
@@ -243,8 +169,8 @@ int main(int Argc, char **Argv) {
   }
 
   if (List) {
-    for (const char *N : AppNames)
-      std::printf("%s\n", N);
+    for (const std::string &N : service::appNames())
+      std::printf("%s\n", N.c_str());
     return 0;
   }
   if (!Suite && App.empty())
@@ -268,7 +194,7 @@ int main(int Argc, char **Argv) {
     std::string Json = "{\"benchmark\":\"tuned_multithread\",\"records\":[";
     std::string AppsJson;
     bool First = true;
-    for (const char *N : AppNames) {
+    for (const std::string &N : service::appNames()) {
       AppCase A;
       if (!makeApp(N, Scale, A))
         continue;
@@ -280,9 +206,10 @@ int main(int Argc, char **Argv) {
                     "\"engine\":\"untuned\",\"ms\":%.6f,\"speedup\":1.0},"
                     "{\"pattern\":\"%s\",\"n\":%lld,\"threads\":%u,"
                     "\"engine\":\"tuned\",\"ms\":%.6f,\"speedup\":%.6f}",
-                    First ? "" : ",", N, static_cast<long long>(A.N),
-                    Threads, TP.BaselineMs, N, static_cast<long long>(A.N),
-                    Threads, TP.TunedMs,
+                    First ? "" : ",", N.c_str(),
+                    static_cast<long long>(A.N), Threads, TP.BaselineMs,
+                    N.c_str(), static_cast<long long>(A.N), Threads,
+                    TP.TunedMs,
                     TP.TunedMs > 0 ? TP.BaselineMs / TP.TunedMs : 1.0);
       Json += Buf;
       AppsJson += std::string(First ? "" : ",") + renderTuningProfile(TP);

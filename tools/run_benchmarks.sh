@@ -17,6 +17,11 @@
 #                              counters and histograms, archived next to
 #                              BENCH_history.jsonl per suite run
 #                              (docs/TELEMETRY.md)
+#   OUT_DIR/BENCH_serve.json   daemon serving metrics (docs/SERVICE.md):
+#                              request p50/p99 from serve.request_ms,
+#                              compiled-program cache hit rate, req/s —
+#                              dmll-serve on an ephemeral port driven by
+#                              dmll-loadgen
 #
 # Every fresh run is additionally appended to OUT_DIR/BENCH_history.jsonl —
 # one line per document, {"ts": "<UTC ISO-8601>", "doc": {...}} — so the
@@ -104,6 +109,34 @@ fi
 "$BUILD_DIR/bench/table2_sequential" $TUNE_FLAG --json-out "$OUT_DIR/BENCH_table2.json" \
   --metrics-out "$OUT_DIR/BENCH_metrics.prom"
 append_history "$OUT_DIR/BENCH_table2.json"
+
+if [ -x "$BUILD_DIR/tools/dmll-serve" ] && \
+   [ -x "$BUILD_DIR/tools/dmll-loadgen" ]; then
+  echo "== serve (daemon p50/p99, cache hit rate, req/s) =="
+  SERVE_TMP=$(mktemp -d)
+  "$BUILD_DIR/tools/dmll-serve" --port 0 --port-file "$SERVE_TMP/ports" \
+    --threads 4 > "$SERVE_TMP/serve.out" 2> "$SERVE_TMP/serve.err" &
+  SERVE_PID=$!
+  # set -e must not leak the daemon: it inherits our stdout, so a
+  # survivor holds the pipe open for whoever invoked this script.
+  trap 'kill "$SERVE_PID" 2>/dev/null || true; rm -rf "$SERVE_TMP"' EXIT
+  TRIES=0
+  while [ ! -s "$SERVE_TMP/ports" ] && [ "$TRIES" -lt 100 ]; do
+    TRIES=$((TRIES + 1)); sleep 0.1
+  done
+  if "$BUILD_DIR/tools/dmll-loadgen" --port-file "$SERVE_TMP/ports" \
+       --clients 4 --requests 8 --scale 50 \
+       --bench-out "$OUT_DIR/BENCH_serve.json" --shutdown; then
+    wait "$SERVE_PID" || true
+    append_history "$OUT_DIR/BENCH_serve.json"
+    echo "wrote $OUT_DIR/BENCH_serve.json"
+  else
+    kill "$SERVE_PID" 2>/dev/null || true
+    cat "$SERVE_TMP/serve.err" >&2
+    echo "warning: serve benchmark failed; skipping BENCH_serve.json" >&2
+  fi
+  rm -rf "$SERVE_TMP"
+fi
 
 echo "wrote $OUT_DIR/BENCH_perf.json and $OUT_DIR/BENCH_table2.json"
 echo "archived the run's metrics snapshot to $OUT_DIR/BENCH_metrics.prom"

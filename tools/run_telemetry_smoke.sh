@@ -19,6 +19,10 @@
 #      checker (dmll-top --check), renders one dmll-top frame from the
 #      live file (per-loop rows must be present), and checks the collapsed
 #      stacks.
+#   3b. When dmll-serve is built, exercises the live HTTP endpoint on a
+#      kernel-assigned ephemeral port (--metrics-port 0 + --port-file, so
+#      parallel smoke runs never race on a fixed port) and format-checks
+#      what an HTTP client actually receives (dmll-top --check --port).
 #   4. Gates sampling overhead: the sampled minimum may be at most
 #      DMLL_TELEMETRY_THRESHOLD percent (default 2) over the base minimum.
 #      Both runs carry the event log and snapshotter, so the comparison
@@ -48,7 +52,16 @@ for BIN in bench/table2_sequential tools/dmll-prof tools/dmll-top; do
 done
 
 TMP_DIR=$(mktemp -d)
-trap 'rm -rf "$TMP_DIR"' EXIT
+SERVE_PID=""
+# Kill the 3b daemon on *any* exit path: a leaked daemon inherits our
+# stdout and holds the pipe open long after the script dies.
+cleanup() {
+  if [ -n "$SERVE_PID" ]; then
+    kill "$SERVE_PID" 2>/dev/null || true
+  fi
+  rm -rf "$TMP_DIR"
+}
+trap cleanup EXIT
 
 # Runs one table2 --inproc-only measurement and prints the bench's
 # self-reported process CPU milliseconds (the `telemetry-inproc cpu_ms=`
@@ -115,6 +128,31 @@ echo "== dmll-top frame from the live exposition =="
 if ! grep -q "Multiloop" "$TMP_DIR/top.out"; then
   echo "error: dmll-top frame shows no per-loop rows" >&2
   exit 1
+fi
+
+if [ -x "$BUILD_DIR/tools/dmll-serve" ]; then
+  echo "== live endpoint over HTTP (ephemeral port) =="
+  "$BUILD_DIR/tools/dmll-serve" --port 0 --port-file "$TMP_DIR/ports" \
+    --metrics-port 0 > "$TMP_DIR/serve.out" 2> "$TMP_DIR/serve.err" &
+  SERVE_PID=$!
+  TRIES=0
+  while [ ! -s "$TMP_DIR/ports" ] && [ "$TRIES" -lt 100 ]; do
+    TRIES=$((TRIES + 1)); sleep 0.1
+  done
+  METRICS_PORT=$(sed -n 2p "$TMP_DIR/ports")
+  if [ -z "$METRICS_PORT" ] || [ "$METRICS_PORT" -le 0 ]; then
+    echo "error: dmll-serve reported no ephemeral metrics port" >&2
+    cat "$TMP_DIR/serve.err" >&2
+    exit 1
+  fi
+  if ! "$BUILD_DIR/tools/dmll-top" --check --port "$METRICS_PORT"; then
+    echo "error: live exposition from dmll-serve failed the format check" >&2
+    cat "$TMP_DIR/serve.err" >&2
+    exit 1
+  fi
+  kill "$SERVE_PID" 2>/dev/null || true
+  wait "$SERVE_PID" 2>/dev/null || true
+  SERVE_PID=""
 fi
 
 echo "== collapsed stacks =="
